@@ -1,0 +1,503 @@
+//! Learning-based knob tuning (E1) — the CDBTune/QTune line of work.
+//!
+//! CDBTune models tuning as a sequential decision problem solved with
+//! reinforcement learning; QTune adds query/workload awareness for
+//! finer-grained tuning. We reproduce both on a deterministic performance
+//! surface with realistic shape (saturating buffer-pool benefit, workload-
+//! dependent work-mem optimum, durability/throughput trade-off, parallelism
+//! contention), plus a DB-backed environment that tunes a live
+//! [`aimdb_engine::Database`] by issuing `SET` statements and measuring
+//! workload cost.
+//!
+//! Baselines: factory defaults, random search, coarse grid search.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::synth::gaussian;
+use aimdb_common::Value;
+use aimdb_engine::knobs::KNOB_SPECS;
+use aimdb_engine::Database;
+use aimdb_ml::qlearn::{QLearner, QParams};
+
+/// The tuned subspace: a subset of engine knobs, each discretized into
+/// `LEVELS` levels (log-spaced over its legal range).
+pub const TUNED_KNOBS: &[&str] = &[
+    "buffer_pool_pages",
+    "work_mem_kb",
+    "wal_sync",
+    "parallel_workers",
+];
+
+pub const LEVELS: usize = 5;
+
+/// A configuration: one level index per tuned knob.
+pub type Config = Vec<usize>;
+
+/// Map a level index to a concrete knob value (log-spaced).
+pub fn level_value(knob: &str, level: usize) -> i64 {
+    let spec = KNOB_SPECS
+        .iter()
+        .find(|s| s.name == knob)
+        .expect("tuned knob exists");
+    if spec.max - spec.min <= LEVELS as i64 {
+        // small domains (booleans): clamp
+        return (spec.min + level as i64).min(spec.max);
+    }
+    let lo = (spec.min.max(1)) as f64;
+    let hi = spec.max as f64;
+    let t = level as f64 / (LEVELS - 1) as f64;
+    (lo * (hi / lo).powf(t)).round() as i64
+}
+
+/// Default configuration expressed as the nearest level per knob.
+pub fn default_config() -> Config {
+    TUNED_KNOBS
+        .iter()
+        .map(|k| {
+            let spec = KNOB_SPECS.iter().find(|s| s.name == *k).expect("knob");
+            (0..LEVELS)
+                .min_by_key(|&l| (level_value(k, l) - spec.default).abs())
+                .expect("levels nonempty")
+        })
+        .collect()
+}
+
+/// Workload classes with different performance surfaces (QTune's
+/// motivation: the right knobs depend on the query mix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadType {
+    Oltp,
+    Olap,
+    Htap,
+}
+
+impl WorkloadType {
+    pub const ALL: [WorkloadType; 3] = [WorkloadType::Oltp, WorkloadType::Olap, WorkloadType::Htap];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadType::Oltp => "OLTP",
+            WorkloadType::Olap => "OLAP",
+            WorkloadType::Htap => "HTAP",
+        }
+    }
+
+    /// Workload feature vector (QTune conditions on query features; we use
+    /// the mix fractions: reads, writes, scans).
+    pub fn features(&self) -> [f64; 3] {
+        match self {
+            WorkloadType::Oltp => [0.5, 0.5, 0.0],
+            WorkloadType::Olap => [0.1, 0.0, 0.9],
+            WorkloadType::Htap => [0.4, 0.3, 0.3],
+        }
+    }
+}
+
+/// A tunable environment: evaluate a configuration, get throughput.
+pub trait TuningEnv {
+    fn throughput(&mut self, config: &Config) -> f64;
+    fn workload(&self) -> WorkloadType;
+}
+
+/// Deterministic analytic performance surface with realistic shape.
+pub struct SurfaceEnv {
+    pub workload: WorkloadType,
+    noise: f64,
+    rng: StdRng,
+    pub evals: usize,
+}
+
+impl SurfaceEnv {
+    pub fn new(workload: WorkloadType, noise: f64, seed: u64) -> Self {
+        SurfaceEnv {
+            workload,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            evals: 0,
+        }
+    }
+
+    /// Noise-free ground truth (used by tests and to score tuners).
+    pub fn true_throughput(workload: WorkloadType, config: &Config) -> f64 {
+        let bp = level_value("buffer_pool_pages", config[0]) as f64;
+        let wm = level_value("work_mem_kb", config[1]) as f64;
+        let wal = level_value("wal_sync", config[2]) as f64;
+        let pw = level_value("parallel_workers", config[3]) as f64;
+        let [reads, writes, scans] = workload.features();
+
+        // buffer pool: log-saturating benefit, strongest for OLTP reads
+        let bp_gain = (bp.ln() / 16384f64.ln()).min(1.0);
+        // work_mem: OLAP wants large; OLTP wastes memory past a small peak
+        let wm_norm = (wm.ln() - 64f64.ln()) / (65536f64.ln() - 64f64.ln());
+        let wm_peak = 0.25 + 0.7 * scans; // OLAP peak near large values
+        let wm_gain = 1.0 - (wm_norm - wm_peak).powi(2) * 1.8;
+        // wal_sync on costs writes throughput
+        let wal_cost = wal * writes * 0.35;
+        // parallelism: helps scans, contention past 8 workers hurts writes
+        let pw_gain = scans * (pw.min(16.0).ln_1p() / 16f64.ln_1p())
+            - writes * ((pw - 8.0).max(0.0) / 56.0) * 0.4;
+
+        (100.0 * (0.6 + 0.8 * reads * bp_gain + 0.6 * wm_gain.max(0.0) + 0.5 * pw_gain
+            - wal_cost))
+            .max(1.0)
+    }
+}
+
+impl TuningEnv for SurfaceEnv {
+    fn throughput(&mut self, config: &Config) -> f64 {
+        self.evals += 1;
+        let t = Self::true_throughput(self.workload, config);
+        (t + self.noise * gaussian(&mut self.rng)).max(0.1)
+    }
+
+    fn workload(&self) -> WorkloadType {
+        self.workload
+    }
+}
+
+/// Environment backed by a live [`Database`]: applies the configuration
+/// with `SET` and measures the cost of a fixed query mix (throughput =
+/// 1e4 / measured cost units).
+pub struct DbEnv<'a> {
+    pub db: &'a Database,
+    pub queries: Vec<String>,
+    pub workload: WorkloadType,
+    pub evals: usize,
+}
+
+impl<'a> DbEnv<'a> {
+    pub fn new(db: &'a Database, queries: Vec<String>, workload: WorkloadType) -> Self {
+        DbEnv {
+            db,
+            queries,
+            workload,
+            evals: 0,
+        }
+    }
+}
+
+impl TuningEnv for DbEnv<'_> {
+    fn throughput(&mut self, config: &Config) -> f64 {
+        self.evals += 1;
+        for (k, &lvl) in TUNED_KNOBS.iter().zip(config) {
+            let v = level_value(k, lvl);
+            let _ = self.db.knobs.set(k, &Value::Int(v));
+            if *k == "buffer_pool_pages" {
+                let _ = self.db.buffer_pool().resize(v as usize);
+            }
+        }
+        let io_before = self.db.disk().stats();
+        let mut cost = 0.0;
+        for q in &self.queries {
+            if let Ok(stmt) = aimdb_sql::parser::parse_one(q) {
+                if let aimdb_sql::Statement::Select(sel) = stmt {
+                    if let Ok((_, c)) = self.db.execute_select_measured(&sel) {
+                        cost += c;
+                    }
+                }
+            }
+        }
+        // physical I/O dominates: charge the disk reads this run caused
+        // (buffer-pool misses go to disk; a bigger pool avoids them)
+        let io_after = self.db.disk().stats();
+        cost += (io_after.total_ios() - io_before.total_ios()) as f64 * 2.0;
+        // wal_sync adds a simulated durability cost per write query
+        let wal = level_value("wal_sync", config[2]) as f64;
+        cost += wal * 5.0;
+        1e4 / cost.max(1.0)
+    }
+
+    fn workload(&self) -> WorkloadType {
+        self.workload
+    }
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuningReport {
+    pub method: String,
+    pub best_config: Config,
+    pub best_throughput: f64,
+    pub evaluations: usize,
+}
+
+/// Baseline: keep factory defaults.
+pub fn tune_default(env: &mut dyn TuningEnv) -> TuningReport {
+    let cfg = default_config();
+    let tp = env.throughput(&cfg);
+    TuningReport {
+        method: "default".into(),
+        best_config: cfg,
+        best_throughput: tp,
+        evaluations: 1,
+    }
+}
+
+/// Baseline: uniform random search over the configuration space.
+pub fn tune_random(env: &mut dyn TuningEnv, budget: usize, seed: u64) -> TuningReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = (default_config(), f64::NEG_INFINITY);
+    for _ in 0..budget {
+        let cfg: Config = (0..TUNED_KNOBS.len())
+            .map(|_| rng.gen_range(0..LEVELS))
+            .collect();
+        let tp = env.throughput(&cfg);
+        if tp > best.1 {
+            best = (cfg, tp);
+        }
+    }
+    TuningReport {
+        method: "random".into(),
+        best_config: best.0,
+        best_throughput: best.1,
+        evaluations: budget,
+    }
+}
+
+/// Baseline: coarse grid search (2 levels per knob: min & max), the
+/// DBA-style "try the extremes" sweep.
+pub fn tune_grid(env: &mut dyn TuningEnv) -> TuningReport {
+    let k = TUNED_KNOBS.len();
+    let mut best = (default_config(), f64::NEG_INFINITY);
+    let mut evals = 0;
+    for mask in 0..(1usize << k) {
+        let cfg: Config = (0..k)
+            .map(|i| if mask >> i & 1 == 1 { LEVELS - 1 } else { 0 })
+            .collect();
+        let tp = env.throughput(&cfg);
+        evals += 1;
+        if tp > best.1 {
+            best = (cfg, tp);
+        }
+    }
+    TuningReport {
+        method: "grid".into(),
+        best_config: best.0,
+        best_throughput: best.1,
+        evaluations: evals,
+    }
+}
+
+/// State encoding for the RL tuner: mixed-radix over knob levels.
+fn encode(config: &Config) -> usize {
+    config.iter().fold(0, |acc, &l| acc * LEVELS + l)
+}
+
+/// Actions: for each knob, increment or decrement its level.
+fn apply_action(config: &Config, action: usize) -> Config {
+    let knob = action / 2;
+    let up = action % 2 == 0;
+    let mut c = config.clone();
+    if up {
+        c[knob] = (c[knob] + 1).min(LEVELS - 1);
+    } else {
+        c[knob] = c[knob].saturating_sub(1);
+    }
+    c
+}
+
+/// CDBTune-style RL tuner: Q-learning over the discretized knob space with
+/// throughput-delta rewards.
+pub fn tune_rl(env: &mut dyn TuningEnv, episodes: usize, steps: usize, seed: u64) -> TuningReport {
+    let n_actions = TUNED_KNOBS.len() * 2;
+    let mut q = QLearner::new(
+        n_actions,
+        QParams {
+            alpha: 0.3,
+            gamma: 0.9,
+            epsilon: 1.0,
+            epsilon_min: 0.05,
+            epsilon_decay: 0.9,
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut best = (default_config(), f64::NEG_INFINITY);
+    let mut evals = 0;
+    for _ in 0..episodes {
+        let mut cfg = default_config();
+        let mut tp = env.throughput(&cfg);
+        evals += 1;
+        if tp > best.1 {
+            best = (cfg.clone(), tp);
+        }
+        for _ in 0..steps {
+            let s = encode(&cfg);
+            let a = q.select(s, &[]);
+            let next = apply_action(&cfg, a);
+            let next_tp = env.throughput(&next);
+            evals += 1;
+            // reward: relative throughput change (CDBTune uses perf delta)
+            let reward = (next_tp - tp) / tp.max(1.0);
+            q.update(s, a, reward, encode(&next), &[], false);
+            cfg = next;
+            tp = next_tp;
+            if tp > best.1 {
+                best = (cfg.clone(), tp);
+            }
+        }
+        q.end_episode();
+    }
+    TuningReport {
+        method: "rl(cdbtune)".into(),
+        best_config: best.0,
+        best_throughput: best.1,
+        evaluations: evals,
+    }
+}
+
+/// QTune-style query-aware tuner: one Q-table per workload class, selected
+/// by workload features, sharing the same budget across classes.
+pub struct QueryAwareTuner {
+    per_workload: Vec<(WorkloadType, Config)>,
+}
+
+impl QueryAwareTuner {
+    /// Train per-workload configurations.
+    pub fn train(
+        mut env_for: impl FnMut(WorkloadType) -> Box<dyn TuningEnv>,
+        episodes: usize,
+        steps: usize,
+        seed: u64,
+    ) -> Self {
+        let per_workload = WorkloadType::ALL
+            .iter()
+            .map(|&w| {
+                let mut env = env_for(w);
+                let rep = tune_rl(env.as_mut(), episodes, steps, seed ^ w as u64);
+                (w, rep.best_config)
+            })
+            .collect();
+        QueryAwareTuner { per_workload }
+    }
+
+    /// Recommend a configuration for a workload (nearest by features).
+    pub fn recommend(&self, w: WorkloadType) -> &Config {
+        let target = w.features();
+        self.per_workload
+            .iter()
+            .min_by(|a, b| {
+                let da: f64 = a
+                    .0
+                    .features()
+                    .iter()
+                    .zip(&target)
+                    .map(|(x, y)| (x - y).powi(2))
+                    .sum();
+                let db: f64 = b
+                    .0
+                    .features()
+                    .iter()
+                    .zip(&target)
+                    .map(|(x, y)| (x - y).powi(2))
+                    .sum();
+                da.total_cmp(&db)
+            })
+            .map(|(_, c)| c)
+            .expect("trained on all workloads")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_values_monotone_and_in_range() {
+        for k in TUNED_KNOBS {
+            let spec = KNOB_SPECS.iter().find(|s| s.name == *k).unwrap();
+            let vals: Vec<i64> = (0..LEVELS).map(|l| level_value(k, l)).collect();
+            assert!(vals.windows(2).all(|w| w[0] <= w[1]), "{k}: {vals:?}");
+            assert!(vals.iter().all(|&v| v >= spec.min && v <= spec.max));
+        }
+    }
+
+    #[test]
+    fn surface_is_workload_dependent() {
+        // OLAP prefers large work_mem; OLTP prefers small
+        let mut big_wm = default_config();
+        big_wm[1] = LEVELS - 1;
+        let mut small_wm = default_config();
+        small_wm[1] = 0;
+        let olap_big = SurfaceEnv::true_throughput(WorkloadType::Olap, &big_wm);
+        let olap_small = SurfaceEnv::true_throughput(WorkloadType::Olap, &small_wm);
+        assert!(olap_big > olap_small);
+        // wal_sync off helps OLTP
+        let mut wal_on = default_config();
+        wal_on[2] = LEVELS - 1;
+        let mut wal_off = default_config();
+        wal_off[2] = 0;
+        assert!(
+            SurfaceEnv::true_throughput(WorkloadType::Oltp, &wal_off)
+                > SurfaceEnv::true_throughput(WorkloadType::Oltp, &wal_on)
+        );
+    }
+
+    #[test]
+    fn rl_beats_defaults_and_random_with_same_budget() {
+        for w in WorkloadType::ALL {
+            let mut env = SurfaceEnv::new(w, 1.0, 1);
+            let rl = tune_rl(&mut env, 20, 12, 5);
+            let mut env = SurfaceEnv::new(w, 1.0, 1);
+            let def = tune_default(&mut env);
+            let mut env = SurfaceEnv::new(w, 1.0, 1);
+            let rnd = tune_random(&mut env, rl.evaluations, 5);
+            let true_rl = SurfaceEnv::true_throughput(w, &rl.best_config);
+            let true_def = SurfaceEnv::true_throughput(w, &def.best_config);
+            let true_rnd = SurfaceEnv::true_throughput(w, &rnd.best_config);
+            assert!(
+                true_rl > true_def,
+                "{}: rl {true_rl} vs default {true_def}",
+                w.name()
+            );
+            // same budget: RL should at least match random search
+            assert!(
+                true_rl >= true_rnd * 0.95,
+                "{}: rl {true_rl} vs random {true_rnd}",
+                w.name()
+            );
+        }
+    }
+
+    #[test]
+    fn query_aware_tuner_specializes() {
+        let tuner = QueryAwareTuner::train(
+            |w| Box::new(SurfaceEnv::new(w, 0.5, 3)),
+            15,
+            10,
+            7,
+        );
+        let oltp_cfg = tuner.recommend(WorkloadType::Oltp);
+        let olap_cfg = tuner.recommend(WorkloadType::Olap);
+        // the recommended config must be good *for its own workload*
+        let cross = SurfaceEnv::true_throughput(WorkloadType::Olap, oltp_cfg);
+        let own = SurfaceEnv::true_throughput(WorkloadType::Olap, olap_cfg);
+        assert!(own >= cross * 0.95, "own {own} vs cross {cross}");
+    }
+
+    #[test]
+    fn db_env_tunes_real_database() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
+        let tuples: Vec<String> = (0..2000).map(|i| format!("({i}, {})", i % 100)).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).unwrap();
+        db.execute("ANALYZE").unwrap();
+        let queries = vec!["SELECT COUNT(*) FROM t WHERE a < 500".to_string()];
+        let mut env = DbEnv::new(&db, queries, WorkloadType::Olap);
+        let rep = tune_random(&mut env, 6, 2);
+        assert_eq!(rep.evaluations, 6);
+        assert!(rep.best_throughput > 0.0);
+        // knobs really applied
+        let applied = db.knobs.get("buffer_pool_pages").unwrap();
+        assert!(applied >= 1);
+    }
+
+    #[test]
+    fn grid_search_covers_extremes() {
+        let mut env = SurfaceEnv::new(WorkloadType::Htap, 0.0, 1);
+        let rep = tune_grid(&mut env);
+        assert_eq!(rep.evaluations, 1 << TUNED_KNOBS.len());
+        assert!(rep.best_throughput > 0.0);
+    }
+}

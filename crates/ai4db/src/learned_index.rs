@@ -1,0 +1,434 @@
+//! Learned indexes (E8) — the RMI of Kraska et al. and an updatable
+//! delta-buffer variant in the spirit of ALEX.
+//!
+//! "Indexes are models": a B+tree maps a key to a page; a learned index
+//! replaces the tree walk with a model predicting the key's position in
+//! the sorted array, plus a bounded local search within the model's
+//! worst-case error. Wins: size (two linear models per segment vs. a node
+//! hierarchy) and, on learnable distributions, lookup work.
+//!
+//! [`Rmi`] is the classic two-stage recursive model index (linear root
+//! dispatching to linear leaf models with per-leaf error bounds).
+//! [`UpdatableIndex`] adds ALEX-style updates: inserts go to a sorted
+//! delta buffer that merges into a rebuilt RMI when it grows past a
+//! fraction of the main array.
+
+use aimdb_common::{AimError, Result};
+
+/// A linear model `pos ≈ slope * key + intercept`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Linear {
+    slope: f64,
+    intercept: f64,
+}
+
+impl Linear {
+    /// Least-squares fit of positions (0..n) against keys.
+    fn fit(keys: &[i64], first_pos: usize) -> Linear {
+        let n = keys.len() as f64;
+        if keys.is_empty() {
+            return Linear::default();
+        }
+        if keys.len() == 1 {
+            return Linear {
+                slope: 0.0,
+                intercept: first_pos as f64,
+            };
+        }
+        let mean_x = keys.iter().map(|&k| k as f64).sum::<f64>() / n;
+        let mean_y = first_pos as f64 + (n - 1.0) / 2.0;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for (i, &k) in keys.iter().enumerate() {
+            let dx = k as f64 - mean_x;
+            cov += dx * (first_pos as f64 + i as f64 - mean_y);
+            var += dx * dx;
+        }
+        let slope = if var > 0.0 { cov / var } else { 0.0 };
+        Linear {
+            slope,
+            intercept: mean_y - slope * mean_x,
+        }
+    }
+
+    #[inline]
+    fn predict(&self, key: i64) -> f64 {
+        self.slope * key as f64 + self.intercept
+    }
+}
+
+/// Two-stage recursive model index over a sorted `i64` key array mapping
+/// each key to its position (the "page" in Kraska et al.'s formulation).
+///
+/// ```
+/// use aimdb_ai4db::learned_index::Rmi;
+///
+/// let keys: Vec<i64> = (0..10_000).map(|i| i * 3).collect();
+/// let rmi = Rmi::build(keys, 64).unwrap();
+/// assert_eq!(rmi.get(300), Some(100));
+/// assert_eq!(rmi.get(301), None);
+/// assert_eq!(rmi.range(0, 29).len(), 10);
+/// ```
+pub struct Rmi {
+    keys: Vec<i64>,
+    root: Linear,
+    leaves: Vec<Linear>,
+    /// Per-leaf worst-case absolute prediction error.
+    errors: Vec<usize>,
+}
+
+impl Rmi {
+    /// Build from sorted, deduplicated keys with `n_leaves` second-stage
+    /// models.
+    pub fn build(keys: Vec<i64>, n_leaves: usize) -> Result<Self> {
+        if keys.is_empty() {
+            return Err(AimError::InvalidInput("RMI needs at least one key".into()));
+        }
+        if keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(AimError::InvalidInput(
+                "RMI keys must be strictly ascending".into(),
+            ));
+        }
+        let n_leaves = n_leaves.clamp(1, keys.len());
+        // root model maps key → leaf index (scaled position)
+        let root_fit = Linear::fit(&keys, 0);
+        let scale = n_leaves as f64 / keys.len() as f64;
+        let root = Linear {
+            slope: root_fit.slope * scale,
+            intercept: root_fit.intercept * scale,
+        };
+        // partition keys by root prediction, fit one linear model per leaf
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n_leaves];
+        for (i, &k) in keys.iter().enumerate() {
+            let leaf = (root.predict(k).floor().max(0.0) as usize).min(n_leaves - 1);
+            buckets[leaf].push(i);
+        }
+        let mut leaves = vec![Linear::default(); n_leaves];
+        let mut errors = vec![0usize; n_leaves];
+        for (l, idxs) in buckets.iter().enumerate() {
+            if idxs.is_empty() {
+                // empty leaf: inherit the root mapping so lookups of alien
+                // keys still land somewhere sane
+                leaves[l] = Linear {
+                    slope: root_fit.slope,
+                    intercept: root_fit.intercept,
+                };
+                continue;
+            }
+            let leaf_keys: Vec<i64> = idxs.iter().map(|&i| keys[i]).collect();
+            let model = Linear::fit(&leaf_keys, idxs[0]);
+            let mut max_err = 0usize;
+            for (j, &i) in idxs.iter().enumerate() {
+                let pred = model.predict(leaf_keys[j]);
+                let err = (pred - i as f64).abs().ceil() as usize;
+                max_err = max_err.max(err);
+            }
+            leaves[l] = model;
+            errors[l] = max_err;
+        }
+        Ok(Rmi {
+            keys,
+            root,
+            leaves,
+            errors,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Lookup: position of `key` if present, plus the number of probes
+    /// spent in the bounded local search (the comparison metric vs. the
+    /// B+tree's nodes-visited).
+    pub fn get_with_cost(&self, key: i64) -> (Option<usize>, usize) {
+        let leaf = (self.root.predict(key).floor().max(0.0) as usize)
+            .min(self.leaves.len() - 1);
+        let pred = self.leaves[leaf].predict(key);
+        let err = self.errors[leaf];
+        let center = pred.round().max(0.0) as usize;
+        let lo = center.saturating_sub(err).min(self.keys.len());
+        let hi = (center + err + 1).min(self.keys.len());
+        // binary search within the error window
+        let window = &self.keys[lo..hi];
+        let probes = (window.len().max(1) as f64).log2().ceil() as usize + 1;
+        match window.binary_search(&key) {
+            Ok(i) => (Some(lo + i), probes),
+            Err(_) => {
+                // guard against window misses for keys outside any leaf's
+                // training range: fall back to full binary search
+                match self.keys.binary_search(&key) {
+                    Ok(i) => (
+                        Some(i),
+                        probes + (self.keys.len().max(2) as f64).log2().ceil() as usize,
+                    ),
+                    Err(_) => (None, probes),
+                }
+            }
+        }
+    }
+
+    pub fn get(&self, key: i64) -> Option<usize> {
+        self.get_with_cost(key).0
+    }
+
+    /// All positions with keys in `[lo, hi]`.
+    pub fn range(&self, lo: i64, hi: i64) -> std::ops::Range<usize> {
+        let start = self.keys.partition_point(|&k| k < lo);
+        let end = self.keys.partition_point(|&k| k <= hi);
+        start..end
+    }
+
+    /// Model size in bytes: root + leaves + error bounds (excludes the
+    /// data array itself, as in the learned-index papers).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Linear>() * (1 + self.leaves.len())
+            + std::mem::size_of::<usize>() * self.errors.len()
+    }
+
+    /// Mean and max error bound across leaves (search-window radii).
+    pub fn error_stats(&self) -> (f64, usize) {
+        let max = self.errors.iter().copied().max().unwrap_or(0);
+        let mean = self.errors.iter().sum::<usize>() as f64 / self.errors.len().max(1) as f64;
+        (mean, max)
+    }
+
+    pub fn keys(&self) -> &[i64] {
+        &self.keys
+    }
+}
+
+/// ALEX-style updatable learned index: RMI over the main array plus a
+/// sorted delta buffer; merge + rebuild when the delta exceeds
+/// `rebuild_fraction` of the main size.
+pub struct UpdatableIndex {
+    rmi: Rmi,
+    delta: Vec<i64>,
+    n_leaves: usize,
+    rebuild_fraction: f64,
+    pub rebuilds: usize,
+}
+
+impl UpdatableIndex {
+    pub fn build(keys: Vec<i64>, n_leaves: usize, rebuild_fraction: f64) -> Result<Self> {
+        Ok(UpdatableIndex {
+            rmi: Rmi::build(keys, n_leaves)?,
+            delta: Vec::new(),
+            n_leaves,
+            rebuild_fraction: rebuild_fraction.clamp(0.01, 1.0),
+            rebuilds: 0,
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.rmi.len() + self.delta.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a key (duplicates ignored).
+    pub fn insert(&mut self, key: i64) -> Result<()> {
+        if self.contains(key) {
+            return Ok(());
+        }
+        match self.delta.binary_search(&key) {
+            Ok(_) => return Ok(()),
+            Err(pos) => self.delta.insert(pos, key),
+        }
+        if self.delta.len() as f64 > self.rmi.len() as f64 * self.rebuild_fraction {
+            self.merge()?;
+        }
+        Ok(())
+    }
+
+    fn merge(&mut self) -> Result<()> {
+        let mut keys = Vec::with_capacity(self.len());
+        let (mut i, mut j) = (0, 0);
+        let main = self.rmi.keys();
+        while i < main.len() || j < self.delta.len() {
+            let take_main = j >= self.delta.len()
+                || (i < main.len() && main[i] <= self.delta[j]);
+            if take_main {
+                keys.push(main[i]);
+                i += 1;
+            } else {
+                keys.push(self.delta[j]);
+                j += 1;
+            }
+        }
+        keys.dedup();
+        self.rmi = Rmi::build(keys, self.n_leaves)?;
+        self.delta.clear();
+        self.rebuilds += 1;
+        Ok(())
+    }
+
+    pub fn contains(&self, key: i64) -> bool {
+        self.delta.binary_search(&key).is_ok() || self.rmi.get(key).is_some()
+    }
+
+    /// All keys in `[lo, hi]`, merged across main and delta.
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<i64> {
+        let main = &self.rmi.keys()[self.rmi.range(lo, hi)];
+        let dlo = self.delta.partition_point(|&k| k < lo);
+        let dhi = self.delta.partition_point(|&k| k <= hi);
+        let delta = &self.delta[dlo..dhi];
+        let mut out = Vec::with_capacity(main.len() + delta.len());
+        let (mut i, mut j) = (0, 0);
+        while i < main.len() || j < delta.len() {
+            let take_main = j >= delta.len() || (i < main.len() && main[i] <= delta[j]);
+            if take_main {
+                out.push(main[i]);
+                i += 1;
+            } else {
+                out.push(delta[j]);
+                j += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::synth::{lognormal_keys, step_keys, uniform_keys};
+    use aimdb_storage::BTree;
+
+    fn check_all_lookups(keys: &[i64], rmi: &Rmi) {
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(rmi.get(k), Some(i), "key {k} at {i}");
+        }
+    }
+
+    #[test]
+    fn rmi_finds_every_key_on_all_distributions() {
+        for keys in [
+            uniform_keys(50_000, 1),
+            lognormal_keys(50_000, 12.0, 1.5, 1),
+            step_keys(50_000, 16, 1),
+        ] {
+            let rmi = Rmi::build(keys.clone(), 256).unwrap();
+            check_all_lookups(&keys, &rmi);
+            assert_eq!(rmi.get(i64::MIN), None);
+            assert_eq!(rmi.get(i64::MAX), None);
+        }
+    }
+
+    #[test]
+    fn rmi_rejects_bad_input() {
+        assert!(Rmi::build(vec![], 4).is_err());
+        assert!(Rmi::build(vec![3, 1, 2], 4).is_err());
+        assert!(Rmi::build(vec![1, 1], 4).is_err());
+        // single key is fine
+        let r = Rmi::build(vec![42], 4).unwrap();
+        assert_eq!(r.get(42), Some(0));
+    }
+
+    #[test]
+    fn rmi_much_smaller_than_btree() {
+        let keys = uniform_keys(100_000, 2);
+        let rmi = Rmi::build(keys.clone(), 512).unwrap();
+        let btree =
+            BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
+        assert!(
+            rmi.size_bytes() * 10 < btree.size_bytes(),
+            "rmi {} vs btree {}",
+            rmi.size_bytes(),
+            btree.size_bytes()
+        );
+    }
+
+    #[test]
+    fn uniform_keys_have_small_error_windows() {
+        let keys = uniform_keys(100_000, 3);
+        let rmi = Rmi::build(keys, 512).unwrap();
+        let (mean, _max) = rmi.error_stats();
+        assert!(mean < 32.0, "mean error window {mean}");
+    }
+
+    #[test]
+    fn heavy_tail_is_harder_than_uniform() {
+        let uniform = Rmi::build(uniform_keys(50_000, 4), 256).unwrap();
+        let lognorm = Rmi::build(lognormal_keys(50_000, 12.0, 1.8, 4), 256).unwrap();
+        let (mu, _) = uniform.error_stats();
+        let (ml, _) = lognorm.error_stats();
+        assert!(
+            ml > mu,
+            "lognormal windows ({ml}) should exceed uniform ({mu})"
+        );
+    }
+
+    #[test]
+    fn rmi_range_matches_filter() {
+        let keys = uniform_keys(10_000, 5);
+        let rmi = Rmi::build(keys.clone(), 64).unwrap();
+        let lo = keys[100];
+        let hi = keys[250];
+        let r = rmi.range(lo, hi);
+        assert_eq!(r, 100..251);
+        assert_eq!(rmi.range(hi, lo).len(), 0);
+    }
+
+    #[test]
+    fn updatable_index_inserts_and_rebuilds() {
+        let keys: Vec<i64> = (0..10_000).map(|i| i * 10).collect();
+        let mut idx = UpdatableIndex::build(keys, 64, 0.05).unwrap();
+        let before = idx.len();
+        for i in 0..2_000 {
+            idx.insert(i * 10 + 5).unwrap();
+        }
+        assert_eq!(idx.len(), before + 2_000);
+        assert!(idx.rebuilds >= 1, "should have rebuilt at least once");
+        for i in 0..2_000 {
+            assert!(idx.contains(i * 10 + 5));
+        }
+        assert!(idx.contains(0));
+        assert!(!idx.contains(3));
+        // duplicate insert is a no-op
+        idx.insert(5).unwrap();
+        assert_eq!(idx.len(), before + 2_000);
+    }
+
+    #[test]
+    fn updatable_range_is_sorted_and_complete() {
+        let keys: Vec<i64> = (0..1_000).map(|i| i * 4).collect();
+        let mut idx = UpdatableIndex::build(keys, 16, 0.5).unwrap();
+        for i in 0..500 {
+            idx.insert(i * 8 + 2).unwrap();
+        }
+        let r = idx.range(100, 200);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+        assert!(r.contains(&100));
+        assert!(r.contains(&106)); // delta key (106 = 13*8+2)
+        for &k in &r {
+            assert!((100..=200).contains(&k));
+        }
+    }
+
+    #[test]
+    fn lookup_cost_competitive_with_btree_on_uniform() {
+        let keys = uniform_keys(100_000, 6);
+        let rmi = Rmi::build(keys.clone(), 1024).unwrap();
+        let btree =
+            BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
+        let mut rmi_cost = 0usize;
+        let mut bt_cost = 0usize;
+        for &k in keys.iter().step_by(97) {
+            rmi_cost += rmi.get_with_cost(k).1;
+            bt_cost += btree.get_with_cost(&k).1;
+        }
+        // both are small; the RMI should not be wildly worse and is
+        // typically better (windows of ≤32 keys vs 3-4 node visits of 64)
+        assert!(
+            rmi_cost as f64 <= bt_cost as f64 * 2.5,
+            "rmi {rmi_cost} vs btree {bt_cost}"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! End-to-end learned optimizer (E7) — the NEO line of work.
+//!
+//! NEO (Marcus et al., VLDB'19) learns to pick physical plans from
+//! *execution latency feedback* instead of a cost model, which makes it
+//! robust to estimation errors. We reproduce the core loop against the
+//! real engine:
+//!
+//! 1. enumerate candidate physical plans for each query (varying the cost
+//!    model's page-cost assumptions and the estimator — the same plan
+//!    diversity NEO gets from its search);
+//! 2. the *baseline* picks the plan the classical cost model prefers —
+//!    which goes wrong when statistics are stale;
+//! 3. the *learned* optimizer featurizes plans, predicts measured cost
+//!    with a value network trained on executed plans (ε-greedy
+//!    experience collection), and picks the argmin.
+//!
+//! The experiment makes statistics stale (ANALYZE, then grow the data
+//! 10×) so the cost model's choice is systematically wrong, while latency
+//! feedback self-corrects — the tutorial's "robust to estimation errors".
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::Result;
+use aimdb_engine::optimizer::{CardEstimator, CostParams, HistogramEstimator, Planner};
+use aimdb_engine::plan::{PhysOp, PhysicalPlan};
+use aimdb_engine::Database;
+use aimdb_ml::data::Dataset;
+use aimdb_ml::mlp::{Head, Mlp, MlpParams};
+use aimdb_sql::ast::{Select, Statement};
+use aimdb_sql::parser::parse_one;
+
+/// Plan feature vector for the value network.
+pub fn featurize(plan: &PhysicalPlan) -> Vec<f64> {
+    fn walk(p: &PhysicalPlan, acc: &mut [f64; 6]) {
+        match &p.op {
+            PhysOp::SeqScan { .. } => acc[0] += 1.0,
+            PhysOp::IndexScan { .. } => acc[1] += 1.0,
+            PhysOp::HashJoin { .. } => acc[2] += 1.0,
+            PhysOp::NestedLoopJoin { .. } => acc[3] += 1.0,
+            PhysOp::Filter { .. } => acc[4] += 1.0,
+            _ => acc[5] += 1.0,
+        }
+        for c in p.children() {
+            walk(c, acc);
+        }
+    }
+    let mut counts = [0.0; 6];
+    walk(plan, &mut counts);
+    let mut f = counts.to_vec();
+    f.push((plan.est_rows + 1.0).ln());
+    f.push((plan.est_cost + 1.0).ln());
+    f.push(plan.node_count() as f64);
+    f
+}
+
+/// Enumerate diverse candidate plans for a query by sweeping the cost
+/// model's assumptions (page-cost ratios and index enthusiasm), deduped
+/// by plan shape.
+pub fn enumerate_candidates(db: &Database, sel: &Select) -> Result<Vec<PhysicalPlan>> {
+    let stats = db.stats_snapshot();
+    let est = HistogramEstimator;
+    let mut plans: Vec<PhysicalPlan> = Vec::new();
+    let mut shapes: Vec<String> = Vec::new();
+    for rpc in [1.0, 4.0, 16.0, 64.0] {
+        for rows_per_page in [16.0, 64.0, 256.0] {
+            let mut planner = Planner::new(&db.catalog, &stats, &est as &dyn CardEstimator);
+            planner.cost = CostParams {
+                random_page_cost: rpc,
+                rows_per_page,
+                ..CostParams::default()
+            };
+            let plan = planner.plan_select(sel)?;
+            let shape = plan.explain();
+            // dedupe on operator tree only (strip cost annotations)
+            let shape_key: String = shape
+                .lines()
+                .map(|l| l.split("(rows").next().unwrap_or(l).trim_end())
+                .collect::<Vec<_>>()
+                .join("\n");
+            if !shapes.contains(&shape_key) {
+                shapes.push(shape_key);
+                plans.push(plan);
+            }
+        }
+    }
+    Ok(plans)
+}
+
+/// The classical choice: minimum estimated cost under current statistics.
+pub fn baseline_pick(candidates: &[PhysicalPlan]) -> usize {
+    candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.est_cost.total_cmp(&b.1.est_cost))
+        .map(|(i, _)| i)
+        .expect("candidates nonempty")
+}
+
+/// NEO-style learned optimizer: a plan value network plus its experience.
+pub struct Neo {
+    experience: Vec<(Vec<f64>, f64)>,
+    model: Option<Mlp>,
+    rng: StdRng,
+    pub epsilon: f64,
+}
+
+impl Neo {
+    pub fn new(seed: u64) -> Self {
+        Neo {
+            experience: Vec::new(),
+            model: None,
+            rng: StdRng::seed_from_u64(seed),
+            epsilon: 0.3,
+        }
+    }
+
+    /// Pick a candidate: ε-greedy during training, greedy once trained.
+    pub fn pick(&mut self, candidates: &[PhysicalPlan], explore: bool) -> usize {
+        if explore && self.rng.gen::<f64>() < self.epsilon {
+            return self.rng.gen_range(0..candidates.len());
+        }
+        match &self.model {
+            Some(m) => candidates
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    m.predict_one(&featurize(a.1))
+                        .total_cmp(&m.predict_one(&featurize(b.1)))
+                })
+                .map(|(i, _)| i)
+                .expect("candidates nonempty"),
+            None => baseline_pick(candidates), // cold start: cost model
+        }
+    }
+
+    /// Record an executed plan's measured cost units.
+    pub fn observe(&mut self, plan: &PhysicalPlan, measured_cost: f64) {
+        self.experience
+            .push((featurize(plan), (measured_cost + 1.0).ln()));
+    }
+
+    /// Retrain the value network on all experience.
+    pub fn retrain(&mut self, seed: u64) -> Result<()> {
+        if self.experience.len() < 8 {
+            return Ok(()); // not enough signal yet
+        }
+        let x: Vec<Vec<f64>> = self.experience.iter().map(|(f, _)| f.clone()).collect();
+        let y: Vec<f64> = self.experience.iter().map(|(_, c)| *c).collect();
+        let ds = Dataset::new(x, y)?;
+        self.model = Some(Mlp::fit(
+            &ds,
+            &MlpParams {
+                hidden: vec![32, 16],
+                epochs: 250,
+                lr: 0.01,
+                batch: 16,
+                seed,
+                head: Head::Regression,
+            },
+        )?);
+        Ok(())
+    }
+
+    pub fn experience_len(&self) -> usize {
+        self.experience.len()
+    }
+}
+
+/// Result of the E7 comparison.
+#[derive(Debug, Clone)]
+pub struct NeoReport {
+    pub baseline_latency: f64,
+    pub neo_latency: f64,
+    pub episodes: usize,
+    pub candidates_per_query: f64,
+}
+
+/// The stale-stats scenario: analyze early, then grow the hot range 10×
+/// so histogram selectivities are wrong.
+pub fn stale_stats_db() -> Result<Database> {
+    let db = Database::new();
+    db.execute("CREATE TABLE events (id INT, kind INT, val INT)")?;
+    // phase 1: uniform kinds 0..100, 2k rows → ANALYZE (stats think kind
+    // is selective: ~1%)
+    let tuples: Vec<String> = (0..2000)
+        .map(|i| format!("({i}, {}, {})", i % 100, i % 37))
+        .collect();
+    db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(",")))?;
+    db.execute("CREATE INDEX ev_kind ON events (kind)")?;
+    db.execute("ANALYZE events")?;
+    // phase 2: 20k more rows, almost all kind=7 → kind=7 now matches ~60%
+    // of the table, so the index scan the stats still love is terrible
+    let tuples: Vec<String> = (2000..22000)
+        .map(|i| format!("({i}, {}, {})", if i % 8 == 0 { i % 100 } else { 7 }, i % 37))
+        .collect();
+    db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(",")))?;
+    Ok(db)
+}
+
+/// The workload whose plans the stale stats mislead.
+pub fn stale_workload() -> Result<Vec<Select>> {
+    ["SELECT COUNT(*) FROM events WHERE kind = 7 AND val < 30",
+     "SELECT SUM(val) FROM events WHERE kind = 7",
+     "SELECT COUNT(*) FROM events WHERE kind = 7 AND val > 5"]
+        .iter()
+        .map(|sql| match parse_one(sql)? {
+            Statement::Select(s) => Ok(s),
+            _ => unreachable!("workload is SELECTs"),
+        })
+        .collect()
+}
+
+/// Run the full E7 loop: train NEO with latency feedback for `episodes`,
+/// then compare final per-workload latency against the cost-model choice.
+pub fn run_experiment(episodes: usize, seed: u64) -> Result<NeoReport> {
+    let db = stale_stats_db()?;
+    let workload = stale_workload()?;
+    let mut neo = Neo::new(seed);
+    let mut cand_count = 0.0;
+
+    // training: ε-greedy plan choice, observe measured cost, retrain
+    for ep in 0..episodes {
+        for sel in &workload {
+            let cands = enumerate_candidates(&db, sel)?;
+            cand_count += cands.len() as f64;
+            let pick = neo.pick(&cands, true);
+            let (_, measured) = db.run_plan_measured(&cands[pick])?;
+            neo.observe(&cands[pick], measured);
+        }
+        neo.retrain(seed ^ ep as u64)?;
+        neo.epsilon = (neo.epsilon * 0.85).max(0.05);
+    }
+
+    // evaluation: greedy NEO vs cost-model baseline
+    let mut baseline_latency = 0.0;
+    let mut neo_latency = 0.0;
+    for sel in &workload {
+        let cands = enumerate_candidates(&db, sel)?;
+        let b = baseline_pick(&cands);
+        let (_, bl) = db.run_plan_measured(&cands[b])?;
+        baseline_latency += bl;
+        let n = neo.pick(&cands, false);
+        let (_, nl) = db.run_plan_measured(&cands[n])?;
+        neo_latency += nl;
+    }
+    Ok(NeoReport {
+        baseline_latency,
+        neo_latency,
+        episodes,
+        candidates_per_query: cand_count / (episodes.max(1) * workload.len()) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_are_diverse() {
+        let db = stale_stats_db().unwrap();
+        let workload = stale_workload().unwrap();
+        let cands = enumerate_candidates(&db, &workload[0]).unwrap();
+        assert!(cands.len() >= 2, "want plan diversity, got {}", cands.len());
+        // at least one indexed and one sequential variant
+        let shapes: Vec<String> = cands.iter().map(|p| p.explain()).collect();
+        assert!(shapes.iter().any(|s| s.contains("IndexScan")));
+        assert!(shapes.iter().any(|s| s.contains("SeqScan")));
+    }
+
+    #[test]
+    fn stale_stats_mislead_the_cost_model() {
+        let db = stale_stats_db().unwrap();
+        let workload = stale_workload().unwrap();
+        let cands = enumerate_candidates(&db, &workload[1]).unwrap();
+        let baseline = baseline_pick(&cands);
+        // the cost model picks an index scan (stats say kind=7 is 1%)…
+        assert!(cands[baseline].explain().contains("IndexScan"));
+        // …but measured execution says a seq scan is at least as fast
+        let (_, idx_cost) = db.run_plan_measured(&cands[baseline]).unwrap();
+        let seq = cands
+            .iter()
+            .find(|p| p.explain().contains("SeqScan"))
+            .unwrap();
+        let (_, seq_cost) = db.run_plan_measured(seq).unwrap();
+        assert!(
+            seq_cost < idx_cost,
+            "seq {seq_cost} should beat misled index {idx_cost}"
+        );
+    }
+
+    #[test]
+    fn neo_learns_to_beat_the_misled_cost_model() {
+        let report = run_experiment(6, 42).unwrap();
+        assert!(
+            report.neo_latency < report.baseline_latency,
+            "neo {} vs baseline {}",
+            report.neo_latency,
+            report.baseline_latency
+        );
+    }
+
+    #[test]
+    fn plans_agree_on_results() {
+        let db = stale_stats_db().unwrap();
+        let workload = stale_workload().unwrap();
+        for sel in &workload {
+            let cands = enumerate_candidates(&db, sel).unwrap();
+            let (first, _) = db.run_plan_measured(&cands[0]).unwrap();
+            for c in &cands[1..] {
+                let (rows, _) = db.run_plan_measured(c).unwrap();
+                assert_eq!(rows, first, "plan variants must return identical rows");
+            }
+        }
+    }
+
+    #[test]
+    fn featurize_is_stable_length() {
+        let db = stale_stats_db().unwrap();
+        let workload = stale_workload().unwrap();
+        for sel in &workload {
+            for c in enumerate_candidates(&db, sel).unwrap() {
+                assert_eq!(featurize(&c).len(), 9);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_start_falls_back_to_cost_model() {
+        let db = stale_stats_db().unwrap();
+        let workload = stale_workload().unwrap();
+        let cands = enumerate_candidates(&db, &workload[0]).unwrap();
+        let mut neo = Neo::new(1);
+        neo.epsilon = 0.0;
+        assert_eq!(neo.pick(&cands, true), baseline_pick(&cands));
+    }
+}

@@ -1,0 +1,35 @@
+//! E5 timing: cardinality estimation per query — histogram vs learned MLP.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aimdb_ai4db::cardinality::{histogram_estimate, CorrData, LearnedCard};
+
+fn bench_card(c: &mut Criterion) {
+    let data = CorrData::generate(20_000, 100, 0.9, 11);
+    let db = data.load_into_db().expect("db");
+    let stats = db.stats_snapshot().get("pairs").expect("stats").clone();
+    let model = LearnedCard::train(&data, &data.gen_queries(400, 21), 5).expect("train");
+    let queries = data.gen_queries(64, 33);
+
+    let mut group = c.benchmark_group("e5_estimate");
+    group.bench_function("histogram", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| histogram_estimate(black_box(&stats), q))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("learned_mlp", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|q| model.estimate(black_box(q)))
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_card);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E8 timing: learned-index (RMI) point lookups vs B+tree.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use aimdb_ai4db::learned_index::Rmi;
+use aimdb_common::synth::{lognormal_keys, uniform_keys};
+use aimdb_storage::BTree;
+
+fn bench_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_index_lookup");
+    for (name, keys) in [
+        ("uniform", uniform_keys(200_000, 1)),
+        ("lognormal", lognormal_keys(200_000, 12.0, 1.5, 1)),
+    ] {
+        let rmi = Rmi::build(keys.clone(), 1024).expect("rmi");
+        let btree = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).expect("bt");
+        let probes: Vec<i64> = keys.iter().step_by(37).copied().collect();
+        group.bench_function(format!("rmi/{name}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &probes {
+                    if rmi.get(black_box(k)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_function(format!("btree/{name}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &k in &probes {
+                    if btree.get(black_box(&k)).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E16 timing: inference strategies over 100k rows, and the hybrid
+//! pushdown vs predict-all plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aimdb_db4ai::hybrid::{derive_pushdown, naive_plan, pushdown_plan, FeatureBounds};
+use aimdb_db4ai::inference::{run_inference, Strategy};
+use aimdb_ml::linear::LinearRegression;
+
+fn bench_infer(c: &mut Criterion) {
+    let feats: Vec<Vec<f64>> = (0..100_000)
+        .map(|i| vec![(i % 500) as f64, ((i * 3) % 500) as f64])
+        .collect();
+    let model = |x: &[f64]| 2.0 * x[0] - x[1] + 0.5;
+
+    let mut group = c.benchmark_group("e16_inference");
+    group.sample_size(10);
+    for s in [Strategy::PerRowUdf, Strategy::Batched, Strategy::Cached] {
+        group.bench_function(format!("{s:?}"), |b| {
+            b.iter(|| run_inference(&feats, &model, s).predictions.len())
+        });
+    }
+
+    let patients: Vec<Vec<f64>> = (0..100_000)
+        .map(|i| vec![20.0 + (i * 7 % 60) as f64, (i % 10) as f64 / 2.0])
+        .collect();
+    let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
+    let bounds = FeatureBounds::from_matrix(&patients).expect("bounds");
+    let pd = derive_pushdown(&lin, &bounds, 6.5, 0).expect("pushdown");
+    group.bench_function("hybrid/predict_all", |b| {
+        b.iter(|| naive_plan(&patients, &lin, 6.5).qualifying.len())
+    });
+    group.bench_function("hybrid/pushdown", |b| {
+        b.iter(|| pushdown_plan(&patients, &lin, 6.5, &pd).qualifying.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_infer);
+criterion_main!(benches);

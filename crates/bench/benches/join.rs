@@ -1,0 +1,23 @@
+//! E6 timing: join-order search — exact DP vs greedy vs MCTS planning time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aimdb_ai4db::join_order::{order_dp, order_greedy, order_mcts, JoinGraph, Topology};
+
+fn bench_join(c: &mut Criterion) {
+    let small = JoinGraph::generate(Topology::Clique, 8, 1);
+    let large = JoinGraph::generate(Topology::Clique, 13, 1);
+
+    let mut group = c.benchmark_group("e6_join_search");
+    group.bench_function("dp/n8", |b| b.iter(|| order_dp(&small).cost));
+    group.bench_function("greedy/n8", |b| b.iter(|| order_greedy(&small).cost));
+    group.bench_function("mcts400/n8", |b| b.iter(|| order_mcts(&small, 400, 7).cost));
+    // where DP hurts and budgeted search shines
+    group.sample_size(10);
+    group.bench_function("dp/n13", |b| b.iter(|| order_dp(&large).cost));
+    group.bench_function("mcts400/n13", |b| b.iter(|| order_mcts(&large, 400, 7).cost));
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E1 timing: knob-tuning search cost — RL episodes vs random search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aimdb_ai4db::knob::{tune_random, tune_rl, SurfaceEnv, WorkloadType};
+
+fn bench_knob(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tuning");
+    group.bench_function("rl_20x12", |b| {
+        b.iter(|| {
+            let mut env = SurfaceEnv::new(WorkloadType::Htap, 1.0, 1);
+            tune_rl(&mut env, 20, 12, 5).best_throughput
+        })
+    });
+    group.bench_function("random_241", |b| {
+        b.iter(|| {
+            let mut env = SurfaceEnv::new(WorkloadType::Htap, 1.0, 1);
+            tune_random(&mut env, 241, 5).best_throughput
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knob);
+criterion_main!(benches);

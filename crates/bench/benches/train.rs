@@ -1,0 +1,36 @@
+//! E15 timing: training paths — feature selection with/without
+//! materialization, serial vs parallel model selection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use aimdb_db4ai::features::{forward_select, nonlinear_problem};
+use aimdb_db4ai::selection::{classification_problem, select_parallel, select_serial, Config};
+
+fn bench_train(c: &mut Criterion) {
+    let (x, y) = nonlinear_problem(300, 4, 2);
+    let mut group = c.benchmark_group("e15_training");
+    group.sample_size(10);
+    group.bench_function("feature_select/naive", |b| {
+        b.iter(|| forward_select(x.clone(), &y, 3, false, 7).expect("ok").2)
+    });
+    group.bench_function("feature_select/materialized", |b| {
+        b.iter(|| forward_select(x.clone(), &y, 3, true, 7).expect("ok").2)
+    });
+
+    let (train, valid) = classification_problem(800, 2).expect("problem");
+    let grid = Config::grid();
+    group.bench_function("model_select/serial", |b| {
+        b.iter(|| select_serial(&grid, &train, &valid).expect("ok").best_score)
+    });
+    group.bench_function("model_select/parallel_x4", |b| {
+        b.iter(|| {
+            select_parallel(&grid, &train, &valid, 4)
+                .expect("ok")
+                .best_score
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

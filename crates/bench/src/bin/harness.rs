@@ -1,0 +1,35 @@
+//! The experiment harness: regenerates every table of the reproduction.
+//!
+//! ```text
+//! harness            # run everything (E1..E16, A1..A4)
+//! harness e5 e6      # run selected experiments
+//! harness --list     # list experiment ids
+//! ```
+
+use aimdb_bench::{all_experiments, experiment_by_id, Report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!(
+            "experiments: e1..e16 (one per tutorial topic), a1..a4 (ablations); see DESIGN.md §2"
+        );
+        return;
+    }
+    let selected: Vec<fn() -> Report> = if args.is_empty() {
+        all_experiments()
+    } else {
+        args.iter()
+            .map(|a| {
+                experiment_by_id(a).unwrap_or_else(|| {
+                    eprintln!("unknown experiment '{a}' (want e1..e16 or a1..a4)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    for f in selected {
+        let report = f();
+        println!("{}", report.render());
+    }
+}

@@ -1,0 +1,103 @@
+//! Workspace-wide error type.
+//!
+//! One enum covers the whole stack (storage, SQL, planning, execution, ML,
+//! advisors) so errors can cross crate boundaries without conversion
+//! boilerplate. Variants carry human-readable context; callers that need to
+//! dispatch programmatically match on the variant.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, AimError>;
+
+/// The error type for every fallible operation in the `aimdb` workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AimError {
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A name (table, column, index, model) could not be resolved.
+    NotFound(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// A value had the wrong type for the operation.
+    TypeMismatch(String),
+    /// The logical plan or query shape is unsupported or malformed.
+    Plan(String),
+    /// Runtime failure during execution.
+    Execution(String),
+    /// Storage-layer failure (page, buffer pool, index).
+    Storage(String),
+    /// Transaction aborted (conflict, deadlock avoidance, explicit).
+    TxnAborted(String),
+    /// An ML model was asked to do something inconsistent with its state
+    /// (e.g. predict before training, dimension mismatch).
+    Model(String),
+    /// Input data failed validation (empty dataset, NaN label, ...).
+    InvalidInput(String),
+}
+
+impl AimError {
+    /// Short machine-friendly category tag, used by monitoring components.
+    pub fn category(&self) -> &'static str {
+        match self {
+            AimError::Parse(_) => "parse",
+            AimError::NotFound(_) => "not_found",
+            AimError::AlreadyExists(_) => "already_exists",
+            AimError::TypeMismatch(_) => "type_mismatch",
+            AimError::Plan(_) => "plan",
+            AimError::Execution(_) => "execution",
+            AimError::Storage(_) => "storage",
+            AimError::TxnAborted(_) => "txn_aborted",
+            AimError::Model(_) => "model",
+            AimError::InvalidInput(_) => "invalid_input",
+        }
+    }
+}
+
+impl fmt::Display for AimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AimError::Parse(m) => write!(f, "parse error: {m}"),
+            AimError::NotFound(m) => write!(f, "not found: {m}"),
+            AimError::AlreadyExists(m) => write!(f, "already exists: {m}"),
+            AimError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            AimError::Plan(m) => write!(f, "plan error: {m}"),
+            AimError::Execution(m) => write!(f, "execution error: {m}"),
+            AimError::Storage(m) => write!(f, "storage error: {m}"),
+            AimError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            AimError::Model(m) => write!(f, "model error: {m}"),
+            AimError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = AimError::NotFound("table t".into());
+        assert_eq!(e.to_string(), "not found: table t");
+    }
+
+    #[test]
+    fn category_is_stable() {
+        assert_eq!(AimError::Parse("x".into()).category(), "parse");
+        assert_eq!(AimError::TxnAborted("c".into()).category(), "txn_aborted");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            AimError::Storage("page 3".into()),
+            AimError::Storage("page 3".into())
+        );
+        assert_ne!(
+            AimError::Storage("page 3".into()),
+            AimError::Execution("page 3".into())
+        );
+    }
+}

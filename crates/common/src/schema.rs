@@ -1,0 +1,167 @@
+//! Table schemas: ordered, named, typed columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{AimError, Result};
+use crate::value::{DataType, Value};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub data_type: DataType,
+    pub nullable: bool,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+}
+
+/// An ordered set of columns describing a table or an operator's output.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name. Names are matched case-insensitively, as
+    /// in SQL identifiers.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| AimError::NotFound(format!("column {name}")))
+    }
+
+    pub fn column(&self, idx: usize) -> Result<&Column> {
+        self.columns
+            .get(idx)
+            .ok_or_else(|| AimError::Plan(format!("column index {idx} out of range")))
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut columns = Vec::with_capacity(indices.len());
+        for &i in indices {
+            columns.push(self.column(i)?.clone());
+        }
+        Ok(Schema { columns })
+    }
+
+    /// Validate a row of values against this schema, coercing literals into
+    /// the declared column types.
+    pub fn check_row(&self, values: Vec<Value>) -> Result<Vec<Value>> {
+        if values.len() != self.columns.len() {
+            return Err(AimError::TypeMismatch(format!(
+                "expected {} values, got {}",
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        values
+            .into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if v.is_null() {
+                    if !c.nullable {
+                        return Err(AimError::TypeMismatch(format!(
+                            "column {} is NOT NULL",
+                            c.name
+                        )));
+                    }
+                    return Ok(Value::Null);
+                }
+                v.coerce(c.data_type)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Text)])
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        assert_eq!(schema().index_of("ID").unwrap(), 0);
+        assert_eq!(schema().index_of("Name").unwrap(), 1);
+        assert!(schema().index_of("missing").is_err());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let j = schema().join(&Schema::from_pairs(&[("x", DataType::Float)]));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.index_of("x").unwrap(), 2);
+    }
+
+    #[test]
+    fn project_picks_columns() {
+        let p = schema().project(&[1]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.columns()[0].name, "name");
+        assert!(schema().project(&[5]).is_err());
+    }
+
+    #[test]
+    fn check_row_coerces_and_validates() {
+        let s = Schema::from_pairs(&[("x", DataType::Float)]);
+        let row = s.check_row(vec![Value::Int(3)]).unwrap();
+        assert_eq!(row[0], Value::Float(3.0));
+        assert!(s.check_row(vec![]).is_err());
+    }
+
+    #[test]
+    fn not_null_rejects_null() {
+        let s = Schema::new(vec![Column::new("id", DataType::Int).not_null()]);
+        assert!(s.check_row(vec![Value::Null]).is_err());
+    }
+}

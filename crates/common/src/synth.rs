@@ -1,0 +1,236 @@
+//! Seeded synthetic-data generators.
+//!
+//! The tutorial's claims are about behaviour in specific data regimes:
+//! skewed access (Zipf), correlated columns (where independence-assumption
+//! estimators fail), heavy-tailed key distributions (where learned indexes
+//! shine or struggle), and seasonal workload traces (forecasting). These
+//! generators produce exactly those regimes, deterministically from a seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Deterministic RNG for experiments; every learned component in the
+/// workspace accepts a seed and builds one of these.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Zipfian sampler over `{0, .., n-1}` with exponent `s` (s=0 is uniform,
+/// s≈1 is classic web/workload skew). Uses inverse-CDF over precomputed
+/// cumulative weights: O(n) setup, O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in cdf.iter_mut() {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u)
+    }
+}
+
+/// Standard normal via Box–Muller (rand 0.8 core has no gaussian sampler).
+pub fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// `n` keys drawn from a lognormal distribution (heavy tail), sorted and
+/// deduplicated — the canonical hard case for linear learned-index models.
+pub fn lognormal_keys(n: usize, mu: f64, sigma: f64, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut keys: Vec<i64> = (0..n)
+        .map(|_| (mu + sigma * gaussian(&mut r)).exp() as i64)
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// `n` uniformly spaced keys with jitter — the easy case for learned
+/// indexes (a single linear model nearly suffices).
+pub fn uniform_keys(n: usize, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let mut keys: Vec<i64> = (0..n)
+        .map(|i| (i as i64) * 100 + r.gen_range(0..90))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Piecewise "step" key distribution: `segments` dense clusters separated
+/// by large gaps. Stresses the segmentation ability of learned indexes.
+pub fn step_keys(n: usize, segments: usize, seed: u64) -> Vec<i64> {
+    let mut r = rng(seed);
+    let per = (n / segments.max(1)).max(1);
+    let mut keys = Vec::with_capacity(n);
+    let mut base: i64 = 0;
+    for _ in 0..segments {
+        for _ in 0..per {
+            base += r.gen_range(1..4);
+            keys.push(base);
+        }
+        base += 1_000_000;
+    }
+    keys.sort_unstable();
+    keys.dedup();
+    keys
+}
+
+/// Two integer columns with controllable correlation `corr` in [0, 1]:
+/// with probability `corr` the second column is a deterministic function of
+/// the first; otherwise it is independent uniform. Independence-assumption
+/// cardinality estimators are exact at corr=0 and badly wrong at corr→1.
+pub fn correlated_pairs(n: usize, domain: i64, corr: f64, seed: u64) -> Vec<(i64, i64)> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| {
+            let a = r.gen_range(0..domain);
+            let b = if r.gen::<f64>() < corr {
+                // dependent: b tracks a (same bucket)
+                a
+            } else {
+                r.gen_range(0..domain)
+            };
+            (a, b)
+        })
+        .collect()
+}
+
+/// A seasonal arrival-rate trace: `len` ticks of a sinusoidal daily pattern
+/// plus linear trend plus gaussian noise plus optional injected spikes.
+/// Used by the workload-forecasting and health-monitoring experiments.
+pub fn seasonal_trace(
+    len: usize,
+    period: usize,
+    base: f64,
+    amplitude: f64,
+    trend: f64,
+    noise: f64,
+    spike_every: Option<usize>,
+    seed: u64,
+) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..len)
+        .map(|t| {
+            let season =
+                amplitude * (std::f64::consts::TAU * (t % period) as f64 / period as f64).sin();
+            let spike = match spike_every {
+                Some(k) if k > 0 && t % k == k - 1 => amplitude * 3.0,
+                _ => 0.0,
+            };
+            (base + season + trend * t as f64 + noise * gaussian(&mut r) + spike).max(0.0)
+        })
+        .collect()
+}
+
+/// Sample `k` distinct indices from `0..n` (reservoir-free, for small k).
+pub fn sample_indices(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        // head must dominate tail under s=1.2
+        assert!(counts[0] > counts[50] * 5);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_s0_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng(3);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "uniform bucket out of range: {c}");
+        }
+    }
+
+    #[test]
+    fn key_generators_are_sorted_unique_and_deterministic() {
+        for keys in [
+            lognormal_keys(5_000, 10.0, 1.0, 42),
+            uniform_keys(5_000, 42),
+            step_keys(5_000, 8, 42),
+        ] {
+            assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(uniform_keys(100, 9), uniform_keys(100, 9));
+        assert_ne!(uniform_keys(100, 9), uniform_keys(100, 10));
+    }
+
+    #[test]
+    fn correlation_changes_joint_distribution() {
+        let indep = correlated_pairs(10_000, 50, 0.0, 1);
+        let dep = correlated_pairs(10_000, 50, 0.95, 1);
+        let match_rate = |ps: &[(i64, i64)]| {
+            ps.iter().filter(|(a, b)| a == b).count() as f64 / ps.len() as f64
+        };
+        assert!(match_rate(&indep) < 0.1);
+        assert!(match_rate(&dep) > 0.9);
+    }
+
+    #[test]
+    fn seasonal_trace_has_period_and_spikes() {
+        let t = seasonal_trace(200, 24, 100.0, 20.0, 0.0, 0.0, Some(50), 5);
+        assert_eq!(t.len(), 200);
+        // spike ticks exceed the seasonal max
+        assert!(t[49] > 120.0 + 1.0);
+        assert!(t.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = rng(11);
+        let xs: Vec<f64> = (0..50_000).map(|_| gaussian(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = rng(2);
+        let s = sample_indices(10, 4, &mut r);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert_eq!(sample_indices(3, 10, &mut r).len(), 3);
+    }
+}

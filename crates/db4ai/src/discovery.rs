@@ -1,0 +1,334 @@
+//! Data discovery (Aurum-style enterprise knowledge graph).
+//!
+//! "Aurum … leverages an enterprise knowledge graph (EKG) to capture a
+//! variety of relationships … The EKG is a hyper-graph where each node
+//! denotes a table column, each edge represents the relationship between
+//! two nodes and hyper-edges connect nodes that are hierarchically related
+//! such as columns in the same table."
+//!
+//! Nodes are column profiles (value sketch + name trigrams); edges connect
+//! columns by *content* similarity (Jaccard over values) and *name*
+//! similarity (trigram overlap); hyper-edges group same-table columns.
+//! Discovery queries walk the graph. The baseline is exact-name matching,
+//! which misses renamed/derived copies of the same data — the scenario the
+//! corpus generator plants.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::Result;
+
+/// A column in the corpus.
+#[derive(Debug, Clone)]
+pub struct ColumnNode {
+    pub table: String,
+    pub column: String,
+    pub values: Vec<String>,
+}
+
+impl ColumnNode {
+    pub fn id(&self) -> String {
+        format!("{}.{}", self.table, self.column)
+    }
+}
+
+/// Trigram set of a name (lowercased, padded).
+fn trigrams(s: &str) -> HashSet<String> {
+    let padded = format!("  {}  ", s.to_ascii_lowercase());
+    let chars: Vec<char> = padded.chars().collect();
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+fn jaccard<T: std::hash::Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// An edge in the EKG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeKind {
+    /// High value-overlap (same underlying data / join candidates).
+    ContentSimilar(f64),
+    /// Similar column names.
+    NameSimilar(f64),
+}
+
+/// The enterprise knowledge graph.
+pub struct Ekg {
+    pub nodes: Vec<ColumnNode>,
+    /// adjacency: node index → (neighbor, edge kind)
+    pub edges: HashMap<usize, Vec<(usize, EdgeKind)>>,
+    /// hyper-edges: table name → node indices
+    pub tables: HashMap<String, Vec<usize>>,
+}
+
+impl Ekg {
+    /// Build the EKG: profile every column, connect pairs above the
+    /// similarity thresholds.
+    pub fn build(nodes: Vec<ColumnNode>, content_thresh: f64, name_thresh: f64) -> Result<Self> {
+        let value_sets: Vec<HashSet<&String>> =
+            nodes.iter().map(|n| n.values.iter().collect()).collect();
+        let name_sets: Vec<HashSet<String>> =
+            nodes.iter().map(|n| trigrams(&n.column)).collect();
+        let mut edges: HashMap<usize, Vec<(usize, EdgeKind)>> = HashMap::new();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                let content = jaccard(&value_sets[i], &value_sets[j]);
+                if content >= content_thresh {
+                    edges
+                        .entry(i)
+                        .or_default()
+                        .push((j, EdgeKind::ContentSimilar(content)));
+                    edges
+                        .entry(j)
+                        .or_default()
+                        .push((i, EdgeKind::ContentSimilar(content)));
+                }
+                let name = jaccard(&name_sets[i], &name_sets[j]);
+                if name >= name_thresh {
+                    edges
+                        .entry(i)
+                        .or_default()
+                        .push((j, EdgeKind::NameSimilar(name)));
+                    edges
+                        .entry(j)
+                        .or_default()
+                        .push((i, EdgeKind::NameSimilar(name)));
+                }
+            }
+        }
+        let mut tables: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            tables.entry(n.table.clone()).or_default().push(i);
+        }
+        Ok(Ekg {
+            nodes,
+            edges,
+            tables,
+        })
+    }
+
+    fn find(&self, table: &str, column: &str) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.table == table && n.column == column)
+    }
+
+    /// Discovery query: columns related to `(table, column)` by content
+    /// similarity, ranked by score.
+    pub fn related_columns(&self, table: &str, column: &str) -> Vec<(&ColumnNode, f64)> {
+        let Some(i) = self.find(table, column) else {
+            return vec![];
+        };
+        let mut out: Vec<(&ColumnNode, f64)> = self
+            .edges
+            .get(&i)
+            .into_iter()
+            .flatten()
+            .filter_map(|(j, kind)| match kind {
+                EdgeKind::ContentSimilar(s) => Some((&self.nodes[*j], *s)),
+                EdgeKind::NameSimilar(_) => None,
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Keyword search over column names (name-trigram similarity),
+    /// expanded one hop through content edges — "find datasets about X".
+    pub fn keyword_search(&self, keyword: &str, limit: usize) -> Vec<&ColumnNode> {
+        let kw = trigrams(keyword);
+        let mut scored: Vec<(usize, f64)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, jaccard(&kw, &trigrams(&n.column))))
+            .filter(|(_, s)| *s > 0.1)
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut out = Vec::new();
+        for (i, _) in scored {
+            if seen.insert(i) {
+                out.push(i);
+            }
+            // one-hop content expansion
+            for (j, kind) in self.edges.get(&i).into_iter().flatten() {
+                if matches!(kind, EdgeKind::ContentSimilar(_)) && seen.insert(*j) {
+                    out.push(*j);
+                }
+            }
+            if out.len() >= limit {
+                break;
+            }
+        }
+        out.truncate(limit);
+        out.into_iter().map(|i| &self.nodes[i]).collect()
+    }
+
+    /// Join-candidate discovery: pairs of columns across different tables
+    /// with content overlap above `thresh`.
+    pub fn join_candidates(&self, thresh: f64) -> Vec<(&ColumnNode, &ColumnNode, f64)> {
+        let mut out = Vec::new();
+        for (i, nbrs) in &self.edges {
+            for (j, kind) in nbrs {
+                if i < j {
+                    if let EdgeKind::ContentSimilar(s) = kind {
+                        if *s >= thresh && self.nodes[*i].table != self.nodes[*j].table {
+                            out.push((&self.nodes[*i], &self.nodes[*j], *s));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| b.2.total_cmp(&a.2));
+        out
+    }
+}
+
+/// Baseline: related columns = exact same column name elsewhere.
+pub fn name_match_related<'a>(
+    nodes: &'a [ColumnNode],
+    table: &str,
+    column: &str,
+) -> Vec<&'a ColumnNode> {
+    nodes
+        .iter()
+        .filter(|n| n.column.eq_ignore_ascii_case(column) && n.table != table)
+        .collect()
+}
+
+/// Generate a corpus with planted relationships: `customers.cust_id`
+/// copied (with sampling) into other tables under *renamed* columns —
+/// name matching finds none of them — plus a same-named-but-unrelated
+/// column and noise. Returns (nodes, ids of truly related columns).
+pub fn generate_corpus(seed: u64) -> (Vec<ColumnNode>, HashSet<String>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids: Vec<String> = (0..400).map(|i| format!("CUST{:05}", i * 7)).collect();
+    let mut nodes = Vec::new();
+    let mut truth = HashSet::new();
+
+    nodes.push(ColumnNode {
+        table: "customers".into(),
+        column: "cust_id".into(),
+        values: ids.clone(),
+    });
+
+    // renamed derived copies (subsets of the same ids)
+    for (t, c, take) in [
+        ("orders", "buyer_ref", 300),
+        ("tickets", "account", 250),
+        ("mailing_list", "member_key", 200),
+    ] {
+        let mut sample = ids.clone();
+        sample.shuffle(&mut rng);
+        sample.truncate(take);
+        truth.insert(format!("{t}.{c}"));
+        nodes.push(ColumnNode {
+            table: t.into(),
+            column: c.into(),
+            values: sample,
+        });
+    }
+
+    // a same-named but unrelated column (name matching's false positive)
+    nodes.push(ColumnNode {
+        table: "legacy_import".into(),
+        column: "cust_id".into(),
+        values: (0..300).map(|i| format!("LEG-{i}")).collect(),
+    });
+
+    // noise columns
+    for t in 0..10 {
+        for c in 0..4 {
+            nodes.push(ColumnNode {
+                table: format!("misc{t}"),
+                column: format!("col{c}"),
+                values: (0..200)
+                    .map(|_| format!("v{}", rng.gen_range(0..100_000)))
+                    .collect(),
+            });
+        }
+    }
+    (nodes, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basics() {
+        let a: HashSet<i32> = [1, 2, 3].into();
+        let b: HashSet<i32> = [2, 3, 4].into();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-9);
+        let empty: HashSet<i32> = HashSet::new();
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn ekg_finds_renamed_copies_name_matching_does_not() {
+        let (nodes, truth) = generate_corpus(1);
+        let ekg = Ekg::build(nodes.clone(), 0.3, 0.6).unwrap();
+        let related = ekg.related_columns("customers", "cust_id");
+        let found: HashSet<String> = related.iter().map(|(n, _)| n.id()).collect();
+        let recall = truth.intersection(&found).count() as f64 / truth.len() as f64;
+        assert!(recall > 0.99, "ekg recall {recall}, found {found:?}");
+        // EKG must NOT surface the same-named-but-unrelated column
+        assert!(!found.contains("legacy_import.cust_id"));
+        // name matching finds only the false positive
+        let by_name = name_match_related(&nodes, "customers", "cust_id");
+        assert_eq!(by_name.len(), 1);
+        assert_eq!(by_name[0].id(), "legacy_import.cust_id");
+    }
+
+    #[test]
+    fn keyword_search_ranks_name_hits_first() {
+        let (nodes, _) = generate_corpus(2);
+        let ekg = Ekg::build(nodes, 0.3, 0.6).unwrap();
+        let hits = ekg.keyword_search("cust", 5);
+        assert!(!hits.is_empty());
+        assert!(hits[0].column.contains("cust"));
+        // one-hop expansion pulls in the renamed copies
+        let ids: Vec<String> = hits.iter().map(|n| n.id()).collect();
+        assert!(
+            ids.iter().any(|i| i == "orders.buyer_ref"
+                || i == "tickets.account"
+                || i == "mailing_list.member_key"),
+            "expanded hits: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn join_candidates_cross_tables_only() {
+        let (nodes, _) = generate_corpus(3);
+        let ekg = Ekg::build(nodes, 0.3, 0.6).unwrap();
+        let cands = ekg.join_candidates(0.3);
+        assert!(!cands.is_empty());
+        for (a, b, s) in &cands {
+            assert_ne!(a.table, b.table);
+            assert!(*s >= 0.3);
+        }
+    }
+
+    #[test]
+    fn hyper_edges_group_table_columns() {
+        let (nodes, _) = generate_corpus(4);
+        let ekg = Ekg::build(nodes, 0.3, 0.6).unwrap();
+        assert_eq!(ekg.tables["misc0"].len(), 4);
+        assert_eq!(ekg.tables["customers"].len(), 1);
+    }
+
+    #[test]
+    fn missing_probe_returns_empty() {
+        let (nodes, _) = generate_corpus(5);
+        let ekg = Ekg::build(nodes, 0.3, 0.6).unwrap();
+        assert!(ekg.related_columns("nope", "nothing").is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Hybrid DB&AI inference (the tutorial's challenges section).
+//!
+//! "Many applications require both DB and AI operations, e.g., finding
+//! all the patients of a hospital whose stay time will be longer than 3
+//! days. A naive way is to predict the hospital stay of each patient and
+//! then prune the patients whose stay time is less than 3. Obviously this
+//! method is rather expensive, and it calls for a new optimization model
+//! … AI operator push-down, AI cost estimation."
+//!
+//! For a linear model `stay = w·x + b`, the predicate `stay > τ` can be
+//! *pushed down*: using per-feature bounds from table statistics, derive
+//! a sound single-column prefilter (`age > t`) that provably keeps every
+//! qualifying row. The engine applies the cheap relational filter first
+//! (index-friendly), and the model runs only on survivors. Same answers,
+//! a fraction of the model invocations.
+
+use aimdb_common::{AimError, Result};
+use aimdb_engine::Database;
+use aimdb_ml::linear::LinearRegression;
+
+use crate::inference::{feature_matrix, CALL_OVERHEAD, PER_PREDICT};
+
+/// Per-feature value bounds (from ANALYZE-style statistics).
+#[derive(Debug, Clone)]
+pub struct FeatureBounds {
+    pub min: Vec<f64>,
+    pub max: Vec<f64>,
+}
+
+impl FeatureBounds {
+    pub fn from_matrix(features: &[Vec<f64>]) -> Result<FeatureBounds> {
+        let d = features
+            .first()
+            .ok_or_else(|| AimError::InvalidInput("empty feature matrix".into()))?
+            .len();
+        let mut min = vec![f64::INFINITY; d];
+        let mut max = vec![f64::NEG_INFINITY; d];
+        for row in features {
+            for ((v, mn), mx) in row.iter().zip(min.iter_mut()).zip(max.iter_mut()) {
+                *mn = mn.min(*v);
+                *mx = mx.max(*v);
+            }
+        }
+        Ok(FeatureBounds { min, max })
+    }
+}
+
+/// A sound pushed-down prefilter: `feature[idx] > threshold` implies
+/// nothing qualifying is lost (every row with `predict > tau` passes).
+#[derive(Debug, Clone, Copy)]
+pub struct Pushdown {
+    pub feature_idx: usize,
+    pub threshold: f64,
+}
+
+/// Derive the pushdown for `w·x + b > tau` on pivot feature `idx`:
+/// assume every *other* feature contributes its maximum possible amount;
+/// whatever is still missing must come from the pivot. Requires a
+/// positive pivot weight (monotone in the pivot).
+pub fn derive_pushdown(
+    model: &LinearRegression,
+    bounds: &FeatureBounds,
+    tau: f64,
+    idx: usize,
+) -> Result<Pushdown> {
+    let (w, b) = model.weights();
+    if idx >= w.len() {
+        return Err(AimError::InvalidInput(format!("pivot {idx} out of range")));
+    }
+    if w[idx] <= 0.0 {
+        return Err(AimError::InvalidInput(
+            "pushdown pivot needs a positive weight".into(),
+        ));
+    }
+    // max contribution of every non-pivot feature
+    let mut others_max = 0.0;
+    for (j, &wj) in w.iter().enumerate() {
+        if j == idx {
+            continue;
+        }
+        others_max += if wj >= 0.0 {
+            wj * bounds.max[j]
+        } else {
+            wj * bounds.min[j]
+        };
+    }
+    // w_idx * x_idx > tau - b - others_max  ⇒  x_idx > threshold
+    let threshold = (tau - b - others_max) / w[idx];
+    Ok(Pushdown {
+        feature_idx: idx,
+        threshold,
+    })
+}
+
+/// Result of the hybrid query execution.
+#[derive(Debug, Clone)]
+pub struct HybridReport {
+    pub method: String,
+    /// Row indices whose prediction exceeds τ.
+    pub qualifying: Vec<usize>,
+    pub model_invocations: usize,
+    pub cost_units: f64,
+}
+
+/// Naive plan: predict every row, then filter.
+pub fn naive_plan(features: &[Vec<f64>], model: &LinearRegression, tau: f64) -> HybridReport {
+    let mut qualifying = Vec::new();
+    for (i, x) in features.iter().enumerate() {
+        if model.predict_one(x) > tau {
+            qualifying.push(i);
+        }
+    }
+    HybridReport {
+        method: "predict-all".into(),
+        qualifying,
+        model_invocations: features.len(),
+        cost_units: features.len() as f64 * (CALL_OVERHEAD + PER_PREDICT),
+    }
+}
+
+/// Pushdown plan: cheap relational prefilter, model only on survivors.
+pub fn pushdown_plan(
+    features: &[Vec<f64>],
+    model: &LinearRegression,
+    tau: f64,
+    pd: &Pushdown,
+) -> HybridReport {
+    let mut qualifying = Vec::new();
+    let mut invocations = 0usize;
+    let mut cost = 0.0;
+    for (i, x) in features.iter().enumerate() {
+        cost += 0.02; // relational predicate evaluation
+        if x[pd.feature_idx] > pd.threshold {
+            invocations += 1;
+            cost += CALL_OVERHEAD + PER_PREDICT;
+            if model.predict_one(x) > tau {
+                qualifying.push(i);
+            }
+        }
+    }
+    HybridReport {
+        method: "ai-pushdown".into(),
+        qualifying,
+        model_invocations: invocations,
+        cost_units: cost,
+    }
+}
+
+/// End-to-end against a real database table: extract features, derive the
+/// pushdown from statistics, run both plans, verify identical answers.
+/// Returns (naive, pushdown).
+pub fn run_hospital_query(
+    db: &Database,
+    table: &str,
+    feature_cols: &[&str],
+    model: &LinearRegression,
+    tau: f64,
+    pivot: usize,
+) -> Result<(HybridReport, HybridReport)> {
+    let features = feature_matrix(db, table, feature_cols)?;
+    let bounds = FeatureBounds::from_matrix(&features)?;
+    let pd = derive_pushdown(model, &bounds, tau, pivot)?;
+    let naive = naive_plan(&features, model, tau);
+    let pushed = pushdown_plan(&features, model, tau, &pd);
+    if naive.qualifying != pushed.qualifying {
+        return Err(AimError::Execution(
+            "pushdown changed the query answer — unsound prefilter".into(),
+        ));
+    }
+    Ok((naive, pushed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// stay = 0.05*age + 0.8*severity; ages 20..80, severity 0..4.5.
+    fn setup() -> (Vec<Vec<f64>>, LinearRegression) {
+        let features: Vec<Vec<f64>> = (0..2000)
+            .map(|i| vec![20.0 + (i * 7 % 60) as f64, (i % 10) as f64 / 2.0])
+            .collect();
+        let model = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
+        (features, model)
+    }
+
+    #[test]
+    fn pushdown_is_sound_and_cheaper() {
+        let (features, model) = setup();
+        let bounds = FeatureBounds::from_matrix(&features).unwrap();
+        let tau = 6.5; // only old, severe patients qualify
+        let pd = derive_pushdown(&model, &bounds, tau, 0).unwrap();
+        let naive = naive_plan(&features, &model, tau);
+        let pushed = pushdown_plan(&features, &model, tau, &pd);
+        assert!(pd.threshold > 20.0, "prefilter must actually prune: {pd:?}");
+        assert_eq!(naive.qualifying, pushed.qualifying, "answers must match");
+        assert!(!naive.qualifying.is_empty(), "query should match something");
+        assert!(
+            pushed.model_invocations * 2 < naive.model_invocations,
+            "pushdown {} vs naive {} invocations",
+            pushed.model_invocations,
+            naive.model_invocations
+        );
+        assert!(pushed.cost_units < naive.cost_units * 0.6);
+    }
+
+    #[test]
+    fn pushdown_threshold_is_conservative() {
+        let (features, model) = setup();
+        let bounds = FeatureBounds::from_matrix(&features).unwrap();
+        let pd = derive_pushdown(&model, &bounds, 5.0, 0).unwrap();
+        // every qualifying row must pass the prefilter
+        for x in &features {
+            if model.predict_one(x) > 5.0 {
+                assert!(x[pd.feature_idx] > pd.threshold, "lost qualifying row");
+            }
+        }
+    }
+
+    #[test]
+    fn selective_tau_prunes_more() {
+        let (features, model) = setup();
+        let bounds = FeatureBounds::from_matrix(&features).unwrap();
+        let invocations = |tau: f64| {
+            let pd = derive_pushdown(&model, &bounds, tau, 0).unwrap();
+            pushdown_plan(&features, &model, tau, &pd).model_invocations
+        };
+        assert!(invocations(6.5) < invocations(5.0));
+    }
+
+    #[test]
+    fn negative_pivot_weight_rejected() {
+        let model = LinearRegression::from_weights(vec![-1.0, 2.0], 0.0);
+        let bounds = FeatureBounds {
+            min: vec![0.0, 0.0],
+            max: vec![1.0, 1.0],
+        };
+        assert!(derive_pushdown(&model, &bounds, 1.0, 0).is_err());
+        assert!(derive_pushdown(&model, &bounds, 1.0, 1).is_ok());
+        assert!(derive_pushdown(&model, &bounds, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn end_to_end_on_database() {
+        let db = Database::new();
+        db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").unwrap();
+        let tuples: Vec<String> = (0..1000)
+            .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
+            .collect();
+        db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).unwrap();
+        let model = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
+        let (naive, pushed) =
+            run_hospital_query(&db, "patients", &["age", "severity"], &model, 5.0, 0).unwrap();
+        assert_eq!(naive.qualifying, pushed.qualifying);
+        assert!(pushed.model_invocations < naive.model_invocations);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(FeatureBounds::from_matrix(&[]).is_err());
+    }
+}

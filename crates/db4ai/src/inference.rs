@@ -1,0 +1,254 @@
+//! In-database model inference (operator support, operator selection,
+//! execution acceleration).
+//!
+//! Three physical implementations of the same logical `PREDICT` operator
+//! over a table, mirroring §2.2's inference section:
+//!
+//! - **per-row UDF**: invoke the model once per row with per-call
+//!   overhead — how naive UDF integrations behave;
+//! - **batched (vectorized)**: extract the feature matrix in one pass and
+//!   run the model column-wise, paying the call overhead once per batch;
+//! - **cached (memoized)**: batched plus a result cache keyed by the
+//!   feature tuple — wins when the feature domain repeats.
+//!
+//! Operator *selection* picks among them with a cost model over row count
+//! and distinct-ratio statistics, the way an optimizer would.
+
+use std::collections::HashMap;
+
+use aimdb_common::{AimError, Result, Value};
+use aimdb_engine::Database;
+
+/// Cost-model constants (cost units).
+pub const CALL_OVERHEAD: f64 = 5.0; // UDF invocation overhead
+pub const BATCH_OVERHEAD: f64 = 50.0; // one-time vectorized dispatch
+pub const PER_PREDICT: f64 = 1.0; // model forward pass
+pub const CACHE_PROBE: f64 = 0.05;
+
+/// A predict-capable function over feature vectors.
+pub type PredictFn<'a> = dyn Fn(&[f64]) -> f64 + 'a;
+
+/// Execution strategies for the PREDICT operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    PerRowUdf,
+    Batched,
+    Cached,
+}
+
+/// Outcome of one inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceReport {
+    pub strategy: Strategy,
+    pub predictions: Vec<f64>,
+    pub model_invocations: usize,
+    pub cost_units: f64,
+}
+
+/// Extract the feature matrix of `columns` from a table.
+pub fn feature_matrix(db: &Database, table: &str, columns: &[&str]) -> Result<Vec<Vec<f64>>> {
+    let t = db.catalog.table(table)?;
+    let idx: Vec<usize> = columns
+        .iter()
+        .map(|c| t.schema.index_of(c))
+        .collect::<Result<_>>()?;
+    t.scan()?
+        .into_iter()
+        .map(|(_, row)| idx.iter().map(|&i| row.get(i).as_f64()).collect())
+        .collect()
+}
+
+/// Run PREDICT over pre-extracted features with the given strategy.
+pub fn run_inference(
+    features: &[Vec<f64>],
+    model: &PredictFn,
+    strategy: Strategy,
+) -> InferenceReport {
+    match strategy {
+        Strategy::PerRowUdf => {
+            let predictions: Vec<f64> = features.iter().map(|x| model(x)).collect();
+            let n = features.len();
+            InferenceReport {
+                strategy,
+                predictions,
+                model_invocations: n,
+                cost_units: n as f64 * (CALL_OVERHEAD + PER_PREDICT),
+            }
+        }
+        Strategy::Batched => {
+            let predictions: Vec<f64> = features.iter().map(|x| model(x)).collect();
+            let n = features.len();
+            InferenceReport {
+                strategy,
+                predictions,
+                model_invocations: n,
+                cost_units: BATCH_OVERHEAD + n as f64 * PER_PREDICT,
+            }
+        }
+        Strategy::Cached => {
+            let mut cache: HashMap<Vec<u64>, f64> = HashMap::new();
+            let mut invocations = 0usize;
+            let mut cost = BATCH_OVERHEAD;
+            let predictions: Vec<f64> = features
+                .iter()
+                .map(|x| {
+                    let key: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    cost += CACHE_PROBE;
+                    *cache.entry(key).or_insert_with(|| {
+                        invocations += 1;
+                        cost += PER_PREDICT;
+                        model(x)
+                    })
+                })
+                .collect();
+            InferenceReport {
+                strategy,
+                predictions,
+                model_invocations: invocations,
+                cost_units: cost,
+            }
+        }
+    }
+}
+
+/// Predicted cost of each strategy from statistics (row count and the
+/// fraction of distinct feature tuples).
+pub fn predicted_cost(strategy: Strategy, rows: f64, distinct_ratio: f64) -> f64 {
+    match strategy {
+        Strategy::PerRowUdf => rows * (CALL_OVERHEAD + PER_PREDICT),
+        Strategy::Batched => BATCH_OVERHEAD + rows * PER_PREDICT,
+        Strategy::Cached => {
+            BATCH_OVERHEAD + rows * CACHE_PROBE + rows * distinct_ratio * PER_PREDICT
+        }
+    }
+}
+
+/// Operator selection: the cost-based choice an optimizer would make.
+pub fn choose_strategy(rows: f64, distinct_ratio: f64) -> Strategy {
+    [Strategy::PerRowUdf, Strategy::Batched, Strategy::Cached]
+        .into_iter()
+        .min_by(|a, b| {
+            predicted_cost(*a, rows, distinct_ratio)
+                .total_cmp(&predicted_cost(*b, rows, distinct_ratio))
+        })
+        .expect("three strategies")
+}
+
+/// Distinct-tuple ratio of a feature matrix (the statistic the selector
+/// consumes; ANALYZE-style sampling in a real system).
+pub fn distinct_ratio(features: &[Vec<f64>]) -> f64 {
+    if features.is_empty() {
+        return 1.0;
+    }
+    let mut set: std::collections::HashSet<Vec<u64>> = std::collections::HashSet::new();
+    for f in features {
+        set.insert(f.iter().map(|v| v.to_bits()).collect());
+    }
+    set.len() as f64 / features.len() as f64
+}
+
+/// End-to-end: choose a strategy from stats, run it, return the report.
+pub fn run_auto(features: &[Vec<f64>], model: &PredictFn) -> InferenceReport {
+    let strategy = choose_strategy(features.len() as f64, distinct_ratio(features));
+    run_inference(features, model, strategy)
+}
+
+/// Assemble predictions back into SQL values (the operator's output
+/// column).
+pub fn to_values(report: &InferenceReport) -> Vec<Value> {
+    report.predictions.iter().map(|&p| Value::Float(p)).collect()
+}
+
+/// Validate that two reports computed identical predictions.
+pub fn assert_equivalent(a: &InferenceReport, b: &InferenceReport) -> Result<()> {
+    if a.predictions.len() != b.predictions.len()
+        || a.predictions
+            .iter()
+            .zip(&b.predictions)
+            .any(|(x, y)| (x - y).abs() > 1e-12)
+    {
+        return Err(AimError::Execution(
+            "inference strategies disagree on results".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(x: &[f64]) -> f64 {
+        2.0 * x[0] - x[1] + 0.5
+    }
+
+    fn repeated_features(n: usize, distinct: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| vec![(i % distinct) as f64, ((i * 3) % distinct) as f64])
+            .collect()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let feats = repeated_features(5_000, 50);
+        let udf = run_inference(&feats, &model, Strategy::PerRowUdf);
+        let batched = run_inference(&feats, &model, Strategy::Batched);
+        let cached = run_inference(&feats, &model, Strategy::Cached);
+        assert_equivalent(&udf, &batched).unwrap();
+        assert_equivalent(&udf, &cached).unwrap();
+    }
+
+    #[test]
+    fn batched_beats_udf_and_cache_wins_on_duplicates() {
+        let feats = repeated_features(10_000, 100);
+        let udf = run_inference(&feats, &model, Strategy::PerRowUdf);
+        let batched = run_inference(&feats, &model, Strategy::Batched);
+        let cached = run_inference(&feats, &model, Strategy::Cached);
+        assert!(batched.cost_units < udf.cost_units * 0.25);
+        assert!(cached.cost_units < batched.cost_units);
+        assert_eq!(udf.model_invocations, 10_000);
+        assert!(cached.model_invocations <= 100);
+    }
+
+    #[test]
+    fn cache_useless_on_unique_features() {
+        let feats: Vec<Vec<f64>> = (0..2_000).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let batched = run_inference(&feats, &model, Strategy::Batched);
+        let cached = run_inference(&feats, &model, Strategy::Cached);
+        assert_eq!(cached.model_invocations, 2_000);
+        assert!(cached.cost_units > batched.cost_units);
+    }
+
+    #[test]
+    fn selector_picks_the_measured_winner() {
+        for (n, distinct) in [(10_000usize, 50usize), (2_000, 2_000), (30, 30)] {
+            let feats: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![(i % distinct) as f64, (i % distinct) as f64 + 0.5])
+                .collect();
+            let choice = choose_strategy(n as f64, distinct_ratio(&feats));
+            let measured_best = [Strategy::PerRowUdf, Strategy::Batched, Strategy::Cached]
+                .into_iter()
+                .min_by(|&a, &b| {
+                    run_inference(&feats, &model, a)
+                        .cost_units
+                        .total_cmp(&run_inference(&feats, &model, b).cost_units)
+                })
+                .unwrap();
+            assert_eq!(choice, measured_best, "n={n} distinct={distinct}");
+        }
+    }
+
+    #[test]
+    fn feature_matrix_reads_from_database() {
+        let db = Database::new();
+        db.execute("CREATE TABLE pts (a INT, b FLOAT, note TEXT)").unwrap();
+        db.execute("INSERT INTO pts VALUES (1, 2.5, 'x'), (3, 4.5, 'y')").unwrap();
+        let m = feature_matrix(&db, "pts", &["a", "b"]).unwrap();
+        assert_eq!(m, vec![vec![1.0, 2.5], vec![3.0, 4.5]]);
+        assert!(feature_matrix(&db, "pts", &["nope"]).is_err());
+        // auto mode end to end
+        let report = run_auto(&m, &model);
+        assert_eq!(report.predictions.len(), 2);
+        assert_eq!(to_values(&report).len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # aimdb-db4ai
+//!
+//! Every DB4AI technique from §2.2 of "AI Meets Database: AI4DB and DB4AI"
+//! (SIGMOD 2021):
+//!
+//! | Tutorial topic | Module | What it does |
+//! |---|---|---|
+//! | Declarative language model (AISQL) | [`declarative`] | implements the engine's `ModelHook`: `CREATE MODEL`, `PREDICT`, `PREDICT(...)` in SQL |
+//! | Data discovery (Aurum) | [`discovery`] | enterprise knowledge graph over column profiles; related-column search vs. name matching |
+//! | Data cleaning (ActiveClean) | [`cleaning`] | budgeted, model-aware iterative cleaning vs. random/no cleaning |
+//! | Data labeling (crowdsourcing) | [`labeling`] | simulated worker pool; Dawid–Skene truth inference vs. majority vote; cost-accuracy curves |
+//! | Data lineage | [`lineage`] | derivation DAG with ancestry queries and staleness propagation |
+//! | Fault-tolerant learning (challenge §2.3) | [`fault`] | checkpointed training with crash recovery, resume ≡ rerun |
+//! | Feature selection | [`features`] | batched + materialized feature evaluation (Zhang et al.) vs. naive recompute |
+//! | Model selection | [`selection`] | parallel configuration search (task parallelism via crossbeam) vs. serial; successive halving |
+//! | Model management (ModelDB) | [`registry`] | versioned model registry with metadata, search, and serde snapshots |
+//! | Hardware acceleration (DAnA/ColumnML) | [`accel`] | simulated accelerator with a transfer-cost/throughput model; offload crossover |
+//! | Model inference | [`inference`] | per-row UDF vs. batched vs. cached in-database inference |
+//! | Hybrid DB&AI inference | [`hybrid`] | the tutorial's "patients staying > 3 days" query: predicate-aware AI pushdown vs. predict-all |
+
+pub mod accel;
+pub mod cleaning;
+pub mod declarative;
+pub mod discovery;
+pub mod fault;
+pub mod features;
+pub mod hybrid;
+pub mod inference;
+pub mod labeling;
+pub mod lineage;
+pub mod registry;
+pub mod selection;
+
+pub use declarative::ModelRuntime;
+pub use registry::ModelRegistry;

@@ -1,0 +1,344 @@
+//! Data lineage: a derivation DAG over datasets, models and transforms.
+//!
+//! Governance needs to answer "where did this training table come from?"
+//! and "what breaks if this source changes?". Artifacts (tables, cleaned
+//! datasets, feature sets, models) are nodes; each derivation records its
+//! inputs and the operation; queries walk ancestry/descendants, and
+//! source changes propagate staleness downstream.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use aimdb_common::{AimError, Result};
+
+/// Kinds of artifacts tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    SourceTable,
+    DerivedTable,
+    FeatureSet,
+    Model,
+    Report,
+}
+
+/// One artifact in the lineage graph.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pub name: String,
+    pub kind: ArtifactKind,
+    pub operation: String,
+    /// Logical version; bumped on refresh.
+    pub version: u64,
+    pub stale: bool,
+}
+
+/// The lineage DAG.
+///
+/// ```
+/// use aimdb_db4ai::lineage::{ArtifactKind, LineageGraph};
+///
+/// let mut g = LineageGraph::new();
+/// g.add_source("raw").unwrap();
+/// g.derive("model", ArtifactKind::Model, "train", &["raw"]).unwrap();
+/// let stale = g.source_changed("raw").unwrap();
+/// assert_eq!(stale, vec!["model".to_string()]);
+/// g.refresh("model").unwrap();
+/// assert!(!g.get("model").unwrap().stale);
+/// ```
+#[derive(Default)]
+pub struct LineageGraph {
+    nodes: Vec<Artifact>,
+    ids: HashMap<String, usize>,
+    /// child → parents
+    parents: HashMap<usize, Vec<usize>>,
+    /// parent → children
+    children: HashMap<usize, Vec<usize>>,
+    clock: u64,
+}
+
+impl LineageGraph {
+    pub fn new() -> Self {
+        LineageGraph::default()
+    }
+
+    /// Register a source artifact (no inputs).
+    pub fn add_source(&mut self, name: &str) -> Result<usize> {
+        self.add_node(name, ArtifactKind::SourceTable, "ingest", &[])
+    }
+
+    /// Register a derived artifact with its inputs and operation.
+    pub fn derive(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        operation: &str,
+        inputs: &[&str],
+    ) -> Result<usize> {
+        if inputs.is_empty() {
+            return Err(AimError::InvalidInput(
+                "derived artifact needs at least one input".into(),
+            ));
+        }
+        self.add_node(name, kind, operation, inputs)
+    }
+
+    fn add_node(
+        &mut self,
+        name: &str,
+        kind: ArtifactKind,
+        operation: &str,
+        inputs: &[&str],
+    ) -> Result<usize> {
+        if self.ids.contains_key(name) {
+            return Err(AimError::AlreadyExists(format!("artifact {name}")));
+        }
+        let parent_ids: Vec<usize> = inputs
+            .iter()
+            .map(|n| {
+                self.ids
+                    .get(*n)
+                    .copied()
+                    .ok_or_else(|| AimError::NotFound(format!("artifact {n}")))
+            })
+            .collect::<Result<_>>()?;
+        self.clock += 1;
+        let id = self.nodes.len();
+        self.nodes.push(Artifact {
+            name: name.to_string(),
+            kind,
+            operation: operation.to_string(),
+            version: self.clock,
+            stale: false,
+        });
+        self.ids.insert(name.to_string(), id);
+        for p in &parent_ids {
+            self.children.entry(*p).or_default().push(id);
+        }
+        self.parents.insert(id, parent_ids);
+        Ok(id)
+    }
+
+    pub fn get(&self, name: &str) -> Result<&Artifact> {
+        self.ids
+            .get(name)
+            .map(|&i| &self.nodes[i])
+            .ok_or_else(|| AimError::NotFound(format!("artifact {name}")))
+    }
+
+    fn id_of(&self, name: &str) -> Result<usize> {
+        self.ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| AimError::NotFound(format!("artifact {name}")))
+    }
+
+    fn walk(&self, start: usize, map: &HashMap<usize, Vec<usize>>) -> Vec<usize> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([start]);
+        let mut order = Vec::new();
+        while let Some(n) = queue.pop_front() {
+            for &m in map.get(&n).into_iter().flatten() {
+                if seen.insert(m) {
+                    order.push(m);
+                    queue.push_back(m);
+                }
+            }
+        }
+        order
+    }
+
+    /// Every ancestor of `name` (transitively), nearest first.
+    pub fn ancestry(&self, name: &str) -> Result<Vec<&Artifact>> {
+        let id = self.id_of(name)?;
+        Ok(self
+            .walk(id, &self.parents)
+            .into_iter()
+            .map(|i| &self.nodes[i])
+            .collect())
+    }
+
+    /// Every descendant of `name` (everything derived from it).
+    pub fn descendants(&self, name: &str) -> Result<Vec<&Artifact>> {
+        let id = self.id_of(name)?;
+        Ok(self
+            .walk(id, &self.children)
+            .into_iter()
+            .map(|i| &self.nodes[i])
+            .collect())
+    }
+
+    /// A source changed: bump its version and mark every descendant stale.
+    /// Returns the names marked stale.
+    pub fn source_changed(&mut self, name: &str) -> Result<Vec<String>> {
+        let id = self.id_of(name)?;
+        self.clock += 1;
+        self.nodes[id].version = self.clock;
+        let affected = self.walk(id, &self.children);
+        let mut names = Vec::with_capacity(affected.len());
+        for i in affected {
+            self.nodes[i].stale = true;
+            names.push(self.nodes[i].name.clone());
+        }
+        Ok(names)
+    }
+
+    /// Refresh an artifact: allowed only when no parent is stale; clears
+    /// its stale flag and bumps its version.
+    pub fn refresh(&mut self, name: &str) -> Result<()> {
+        let id = self.id_of(name)?;
+        if let Some(ps) = self.parents.get(&id) {
+            if let Some(&p) = ps.iter().find(|&&p| self.nodes[p].stale) {
+                return Err(AimError::InvalidInput(format!(
+                    "cannot refresh {name}: input {} is stale",
+                    self.nodes[p].name
+                )));
+            }
+        }
+        self.clock += 1;
+        self.nodes[id].version = self.clock;
+        self.nodes[id].stale = false;
+        Ok(())
+    }
+
+    /// Topological refresh order for all stale artifacts.
+    pub fn refresh_plan(&self) -> Vec<&Artifact> {
+        // Kahn over the stale subgraph
+        let stale: HashSet<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].stale)
+            .collect();
+        let mut indeg: HashMap<usize, usize> = stale
+            .iter()
+            .map(|&i| {
+                let d = self
+                    .parents
+                    .get(&i)
+                    .map(|ps| ps.iter().filter(|p| stale.contains(p)).count())
+                    .unwrap_or(0);
+                (i, d)
+            })
+            .collect();
+        let mut queue: VecDeque<usize> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&i, _)| i)
+            .collect();
+        let mut sorted_queue: Vec<usize> = queue.drain(..).collect();
+        sorted_queue.sort_unstable();
+        let mut queue: VecDeque<usize> = sorted_queue.into();
+        let mut order = Vec::new();
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for &c in self.children.get(&n).into_iter().flatten() {
+                if let Some(d) = indeg.get_mut(&c) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        order.into_iter().map(|i| &self.nodes[i]).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// raw → cleaned → features → model → report, plus a second source.
+    fn pipeline() -> LineageGraph {
+        let mut g = LineageGraph::new();
+        g.add_source("raw_events").unwrap();
+        g.add_source("customer_master").unwrap();
+        g.derive("cleaned", ArtifactKind::DerivedTable, "activeclean", &["raw_events"])
+            .unwrap();
+        g.derive(
+            "features",
+            ArtifactKind::FeatureSet,
+            "join+select",
+            &["cleaned", "customer_master"],
+        )
+        .unwrap();
+        g.derive("churn_model", ArtifactKind::Model, "train:logreg", &["features"])
+            .unwrap();
+        g.derive("dashboard", ArtifactKind::Report, "aggregate", &["churn_model"])
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn ancestry_and_descendants() {
+        let g = pipeline();
+        let anc: Vec<&str> = g
+            .ancestry("churn_model")
+            .unwrap()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(anc[0], "features"); // nearest first
+        assert!(anc.contains(&"raw_events"));
+        assert!(anc.contains(&"customer_master"));
+        let desc: Vec<&str> = g
+            .descendants("raw_events")
+            .unwrap()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
+        assert_eq!(desc, vec!["cleaned", "features", "churn_model", "dashboard"]);
+    }
+
+    #[test]
+    fn staleness_propagates_and_gates_refresh() {
+        let mut g = pipeline();
+        let stale = g.source_changed("raw_events").unwrap();
+        assert_eq!(stale.len(), 4);
+        assert!(g.get("churn_model").unwrap().stale);
+        assert!(!g.get("customer_master").unwrap().stale);
+        // can't refresh the model before its inputs
+        assert!(g.refresh("churn_model").is_err());
+        // refresh in dependency order succeeds
+        g.refresh("cleaned").unwrap();
+        g.refresh("features").unwrap();
+        g.refresh("churn_model").unwrap();
+        g.refresh("dashboard").unwrap();
+        assert!(!g.get("dashboard").unwrap().stale);
+    }
+
+    #[test]
+    fn refresh_plan_is_topological() {
+        let mut g = pipeline();
+        g.source_changed("raw_events").unwrap();
+        let plan: Vec<&str> = g.refresh_plan().iter().map(|a| a.name.as_str()).collect();
+        let pos = |n: &str| plan.iter().position(|&p| p == n).unwrap();
+        assert!(pos("cleaned") < pos("features"));
+        assert!(pos("features") < pos("churn_model"));
+        assert!(pos("churn_model") < pos("dashboard"));
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let mut g = pipeline();
+        assert!(g.add_source("raw_events").is_err()); // duplicate
+        assert!(g
+            .derive("x", ArtifactKind::Model, "train", &["missing"])
+            .is_err());
+        assert!(g.derive("y", ArtifactKind::Model, "train", &[]).is_err());
+        assert!(g.ancestry("missing").is_err());
+    }
+
+    #[test]
+    fn versions_monotone() {
+        let mut g = pipeline();
+        let v1 = g.get("cleaned").unwrap().version;
+        g.source_changed("raw_events").unwrap();
+        g.refresh("cleaned").unwrap();
+        assert!(g.get("cleaned").unwrap().version > v1);
+    }
+}

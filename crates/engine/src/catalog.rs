@@ -1,0 +1,355 @@
+//! Catalog: tables, secondary indexes, and their physical storage.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use aimdb_common::{AimError, Result, Row, Schema, Value};
+use aimdb_storage::{BTree, BufferPool, HeapFile, RowId};
+
+/// A secondary index: one column, B+tree from value to row ids.
+pub struct Index {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+    pub tree: RwLock<BTree<Value, Vec<RowId>>>,
+}
+
+impl Index {
+    /// Row ids whose key equals `v`.
+    pub fn lookup(&self, v: &Value) -> Vec<RowId> {
+        self.tree.read().get(v).cloned().unwrap_or_default()
+    }
+
+    /// Row ids with key in `[lo, hi]`.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<RowId> {
+        self.tree
+            .read()
+            .range(lo, hi)
+            .into_iter()
+            .flat_map(|(_, rids)| rids)
+            .collect()
+    }
+
+    fn insert_entry(&self, v: Value, rid: RowId) {
+        let mut tree = self.tree.write();
+        match tree.get(&v).cloned() {
+            Some(mut rids) => {
+                rids.push(rid);
+                tree.insert(v, rids);
+            }
+            None => {
+                tree.insert(v, vec![rid]);
+            }
+        }
+    }
+
+    fn remove_entry(&self, v: &Value, rid: RowId) {
+        let mut tree = self.tree.write();
+        if let Some(mut rids) = tree.get(v).cloned() {
+            rids.retain(|r| *r != rid);
+            if rids.is_empty() {
+                tree.remove(v);
+            } else {
+                tree.insert(v.clone(), rids);
+            }
+        }
+    }
+}
+
+/// A table: schema + heap + indexes on it.
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub heap: HeapFile,
+    /// column name (lowercase) → index
+    indexes: RwLock<HashMap<String, Arc<Index>>>,
+}
+
+impl Table {
+    pub fn new(name: String, schema: Schema, pool: Arc<BufferPool>) -> Self {
+        Table {
+            name,
+            schema,
+            heap: HeapFile::new(pool),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Insert a row, maintaining all indexes. Values are validated and
+    /// coerced against the schema.
+    pub fn insert(&self, values: Vec<Value>) -> Result<RowId> {
+        let values = self.schema.check_row(values)?;
+        let row = Row::new(values);
+        let rid = self.heap.insert(&row)?;
+        for idx in self.indexes.read().values() {
+            let col = self.schema.index_of(&idx.column)?;
+            idx.insert_entry(row.get(col).clone(), rid);
+        }
+        Ok(rid)
+    }
+
+    /// Delete by row id; returns the old row if it existed.
+    pub fn delete(&self, rid: RowId) -> Result<Option<Row>> {
+        let Some(old) = self.heap.get(rid)? else {
+            return Ok(None);
+        };
+        self.heap.delete(rid)?;
+        for idx in self.indexes.read().values() {
+            let col = self.schema.index_of(&idx.column)?;
+            idx.remove_entry(old.get(col), rid);
+        }
+        Ok(Some(old))
+    }
+
+    /// Replace the row at `rid`; returns `(old_row, new_rid)`.
+    pub fn update(&self, rid: RowId, values: Vec<Value>) -> Result<(Row, RowId)> {
+        let old = self
+            .delete(rid)?
+            .ok_or_else(|| AimError::NotFound(format!("row {rid:?}")))?;
+        let new_rid = self.insert(values)?;
+        Ok((old, new_rid))
+    }
+
+    /// Re-insert a previously deleted row (transaction undo).
+    pub fn reinsert(&self, row: Row) -> Result<RowId> {
+        let rid = self.heap.insert(&row)?;
+        for idx in self.indexes.read().values() {
+            let col = self.schema.index_of(&idx.column)?;
+            idx.insert_entry(row.get(col).clone(), rid);
+        }
+        Ok(rid)
+    }
+
+    pub fn scan(&self) -> Result<Vec<(RowId, Row)>> {
+        self.heap.scan()
+    }
+
+    pub fn row_count(&self) -> Result<usize> {
+        self.heap.len()
+    }
+
+    /// Build a new index over `column`, backfilling existing rows.
+    pub fn create_index(&self, name: &str, column: &str) -> Result<Arc<Index>> {
+        let col = self.schema.index_of(column)?;
+        let mut map = self.indexes.write();
+        let key = column.to_ascii_lowercase();
+        if map.contains_key(&key) {
+            return Err(AimError::AlreadyExists(format!(
+                "index on {}.{column}",
+                self.name
+            )));
+        }
+        let idx = Arc::new(Index {
+            name: name.to_string(),
+            table: self.name.clone(),
+            column: column.to_string(),
+            tree: RwLock::new(BTree::new()),
+        });
+        for (rid, row) in self.heap.scan()? {
+            idx.insert_entry(row.get(col).clone(), rid);
+        }
+        map.insert(key, Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    pub fn drop_index_on(&self, column: &str) -> bool {
+        self.indexes
+            .write()
+            .remove(&column.to_ascii_lowercase())
+            .is_some()
+    }
+
+    /// The index on `column`, if one exists.
+    pub fn index_on(&self, column: &str) -> Option<Arc<Index>> {
+        self.indexes
+            .read()
+            .get(&column.to_ascii_lowercase())
+            .cloned()
+    }
+
+    pub fn indexed_columns(&self) -> Vec<String> {
+        self.indexes.read().values().map(|i| i.column.clone()).collect()
+    }
+}
+
+/// The catalog of all tables and indexes.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// index name (lowercase) → (table, column)
+    index_names: RwLock<HashMap<String, (String, String)>>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        pool: Arc<BufferPool>,
+    ) -> Result<Arc<Table>> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(AimError::AlreadyExists(format!("table {name}")));
+        }
+        let t = Arc::new(Table::new(name.to_string(), schema, pool));
+        tables.insert(key, Arc::clone(&t));
+        Ok(t)
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        self.tables
+            .write()
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| AimError::NotFound(format!("table {name}")))?;
+        // drop its index names
+        self.index_names
+            .write()
+            .retain(|_, (t, _)| !t.eq_ignore_ascii_case(name));
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| AimError::NotFound(format!("table {name}")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    pub fn create_index(&self, name: &str, table: &str, column: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.index_names.read().contains_key(&key) {
+            return Err(AimError::AlreadyExists(format!("index {name}")));
+        }
+        let t = self.table(table)?;
+        t.create_index(name, column)?;
+        self.index_names
+            .write()
+            .insert(key, (table.to_string(), column.to_string()));
+        Ok(())
+    }
+
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let (table, column) = self
+            .index_names
+            .write()
+            .remove(&key)
+            .ok_or_else(|| AimError::NotFound(format!("index {name}")))?;
+        let t = self.table(&table)?;
+        t.drop_index_on(&column);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::DataType;
+    use aimdb_storage::Disk;
+
+    fn setup() -> (Arc<BufferPool>, Catalog) {
+        let pool = Arc::new(BufferPool::new(Arc::new(Disk::new()), 64));
+        (pool, Catalog::new())
+    }
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Text)])
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let (pool, cat) = setup();
+        let t = cat.create_table("users", schema(), pool).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("ann".into())]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("bob".into())]).unwrap();
+        assert_eq!(t.row_count().unwrap(), 2);
+        assert!(cat.create_table("USERS", schema(), Arc::new(BufferPool::new(Arc::new(Disk::new()), 4))).is_err());
+        assert!(cat.table("Users").is_ok());
+    }
+
+    #[test]
+    fn index_maintained_through_dml() {
+        let (pool, cat) = setup();
+        let t = cat.create_table("u", schema(), pool).unwrap();
+        let r1 = t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        cat.create_index("idx_id", "u", "id").unwrap();
+        let r2 = t.insert(vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        let idx = t.index_on("id").unwrap();
+        assert_eq!(idx.lookup(&Value::Int(1)), vec![r1]);
+        assert_eq!(idx.lookup(&Value::Int(2)), vec![r2]);
+        // update moves the row
+        let (_, r2b) = t.update(r2, vec![Value::Int(3), Value::Text("b".into())]).unwrap();
+        assert!(idx.lookup(&Value::Int(2)).is_empty());
+        assert_eq!(idx.lookup(&Value::Int(3)), vec![r2b]);
+        // delete removes the entry
+        t.delete(r1).unwrap();
+        assert!(idx.lookup(&Value::Int(1)).is_empty());
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let (pool, cat) = setup();
+        let t = cat.create_table("u", schema(), pool).unwrap();
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))]).unwrap();
+        }
+        cat.create_index("idx", "u", "id").unwrap();
+        let idx = t.index_on("id").unwrap();
+        assert_eq!(idx.range(&Value::Int(10), &Value::Int(19)).len(), 10);
+    }
+
+    #[test]
+    fn duplicate_keys_in_index() {
+        let (pool, cat) = setup();
+        let t = cat.create_table("u", schema(), pool).unwrap();
+        cat.create_index("idx", "u", "id").unwrap();
+        let a = t.insert(vec![Value::Int(7), Value::Text("x".into())]).unwrap();
+        let b = t.insert(vec![Value::Int(7), Value::Text("y".into())]).unwrap();
+        let idx = t.index_on("id").unwrap();
+        let mut rids = idx.lookup(&Value::Int(7));
+        rids.sort();
+        let mut expect = vec![a, b];
+        expect.sort();
+        assert_eq!(rids, expect);
+        t.delete(a).unwrap();
+        assert_eq!(idx.lookup(&Value::Int(7)), vec![b]);
+    }
+
+    #[test]
+    fn drop_index_and_table() {
+        let (pool, cat) = setup();
+        cat.create_table("u", schema(), pool).unwrap();
+        cat.create_index("idx", "u", "id").unwrap();
+        assert!(cat.create_index("idx", "u", "name").is_err()); // name taken
+        cat.drop_index("IDX").unwrap();
+        assert!(cat.drop_index("idx").is_err());
+        cat.drop_table("u").unwrap();
+        assert!(cat.table("u").is_err());
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let (pool, cat) = setup();
+        let t = cat.create_table("u", schema(), pool).unwrap();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert!(t
+            .insert(vec![Value::Text("no".into()), Value::Text("x".into())])
+            .is_err());
+    }
+}

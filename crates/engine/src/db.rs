@@ -1,0 +1,733 @@
+//! The `Database` facade: parse → plan → execute, plus DDL, DML,
+//! transactions, knobs, statistics and the AISQL model hook.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use aimdb_common::{AimError, Column, Result, Row, Schema, Value};
+use aimdb_sql::ast::{ModelKind, Select, Statement};
+use aimdb_sql::expr::{BuiltinFns, ScalarFns};
+use aimdb_sql::parser::{parse, parse_one};
+use aimdb_sql::Expr;
+use aimdb_storage::{BufferPool, Disk, Wal};
+
+use crate::catalog::Catalog;
+use crate::exec::{execute, ExecContext};
+use crate::knobs::Knobs;
+use crate::metrics::{KpiSnapshot, Metrics};
+use crate::optimizer::{CardEstimator, HistogramEstimator, Planner};
+use crate::plan::{bind_expr, PhysicalPlan};
+use crate::stats::TableStats;
+use crate::txn::{log_delete, log_insert, log_update, TxnManager};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// SELECT / PREDICT output.
+    Rows { schema: Schema, rows: Vec<Row> },
+    /// DML row count.
+    Affected(usize),
+    /// DDL / admin acknowledgement, EXPLAIN text.
+    Text(String),
+}
+
+impl QueryResult {
+    /// The rows, if this result carries any.
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryResult::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// First value of the first row (for scalar queries).
+    pub fn scalar(&self) -> Result<&Value> {
+        self.rows()
+            .first()
+            .map(|r| r.get(0))
+            .ok_or_else(|| AimError::Execution("result has no rows".into()))
+    }
+}
+
+/// Pluggable model training/inference for the AISQL surface
+/// (`CREATE MODEL`, `PREDICT`, `PREDICT(...)` in expressions).
+/// Implemented by `aimdb-db4ai`; the engine stays ML-free.
+pub trait ModelHook: Send + Sync {
+    /// Train and register a model from a table's columns.
+    #[allow(clippy::too_many_arguments)]
+    fn create_model(
+        &self,
+        db: &Database,
+        name: &str,
+        kind: ModelKind,
+        table: &str,
+        features: &[String],
+        label: Option<&str>,
+        params: &[(String, Value)],
+    ) -> Result<String>;
+
+    fn drop_model(&self, name: &str) -> Result<()>;
+
+    /// Single-row inference.
+    fn predict(&self, name: &str, inputs: &[Value]) -> Result<Value>;
+}
+
+/// Scalar-function registry handed to the executor: built-ins plus
+/// `PREDICT(model, args...)` dispatched to the model hook.
+struct EngineFns {
+    hook: Option<Arc<dyn ModelHook>>,
+}
+
+impl ScalarFns for EngineFns {
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        if name.eq_ignore_ascii_case("PREDICT") {
+            let hook = self
+                .hook
+                .as_ref()
+                .ok_or_else(|| AimError::Model("no model runtime registered".into()))?;
+            let model = args
+                .first()
+                .ok_or_else(|| AimError::Model("PREDICT needs a model name".into()))?
+                .as_str()?;
+            return hook.predict(model, &args[1..]);
+        }
+        BuiltinFns.call(name, args)
+    }
+}
+
+/// An in-process database instance.
+///
+/// ```
+/// use aimdb_engine::{Database, QueryResult};
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+/// db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+/// let r = db.execute("SELECT COUNT(*) FROM t WHERE a > 1").unwrap();
+/// assert_eq!(r.scalar().unwrap().as_i64().unwrap(), 1);
+/// ```
+pub struct Database {
+    disk: Arc<Disk>,
+    pool: Arc<BufferPool>,
+    pub catalog: Catalog,
+    pub wal: Wal,
+    pub knobs: Knobs,
+    pub metrics: Metrics,
+    stats: RwLock<HashMap<String, TableStats>>,
+    txn: Mutex<TxnManager>,
+    estimator: RwLock<Arc<dyn CardEstimator>>,
+    hook: RwLock<Option<Arc<dyn ModelHook>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        let disk = Arc::new(Disk::new());
+        let knobs = Knobs::new();
+        let cap = knobs.get("buffer_pool_pages").expect("default knob") as usize;
+        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), cap));
+        Database {
+            disk,
+            pool,
+            catalog: Catalog::new(),
+            wal: Wal::new(),
+            knobs,
+            metrics: Metrics::new(),
+            stats: RwLock::new(HashMap::new()),
+            txn: Mutex::new(TxnManager::new()),
+            estimator: RwLock::new(Arc::new(HistogramEstimator)),
+            hook: RwLock::new(None),
+        }
+    }
+
+    /// Install a learned cardinality estimator (E5/E7); pass
+    /// `Arc::new(HistogramEstimator)` to restore the default.
+    pub fn set_estimator(&self, est: Arc<dyn CardEstimator>) {
+        *self.estimator.write() = est;
+    }
+
+    /// Install the DB4AI model runtime.
+    pub fn set_model_hook(&self, hook: Arc<dyn ModelHook>) {
+        *self.hook.write() = Some(hook);
+    }
+
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    pub fn disk(&self) -> &Arc<Disk> {
+        &self.disk
+    }
+
+    /// Current optimizer statistics (empty until ANALYZE).
+    pub fn stats_snapshot(&self) -> HashMap<String, TableStats> {
+        self.stats.read().clone()
+    }
+
+    /// KPI snapshot for monitors/tuners.
+    pub fn kpis(&self) -> KpiSnapshot {
+        let b = self.pool.stats();
+        let d = self.disk.stats();
+        self.metrics.snapshot(b.hit_rate(), d.reads, d.writes)
+    }
+
+    /// Execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_one(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a `;`-separated script, returning each statement's result.
+    pub fn run_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
+        parse(sql)?.iter().map(|s| self.execute_stmt(s)).collect()
+    }
+
+    /// Execute a parsed statement.
+    pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
+        let out = self.dispatch(stmt);
+        if out.is_err() {
+            self.metrics.record_error();
+        }
+        out
+    }
+
+    fn dispatch(&self, stmt: &Statement) -> Result<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .iter()
+                        .map(|c| {
+                            let mut col = Column::new(c.name.clone(), c.data_type);
+                            if c.not_null {
+                                col = col.not_null();
+                            }
+                            col
+                        })
+                        .collect(),
+                );
+                self.catalog
+                    .create_table(name, schema, Arc::clone(&self.pool))?;
+                Ok(QueryResult::Text(format!("created table {name}")))
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(name)?;
+                self.stats.write().remove(&name.to_ascii_lowercase());
+                Ok(QueryResult::Text(format!("dropped table {name}")))
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                self.catalog.create_index(name, table, column)?;
+                Ok(QueryResult::Text(format!(
+                    "created index {name} on {table}({column})"
+                )))
+            }
+            Statement::DropIndex { name } => {
+                self.catalog.drop_index(name)?;
+                Ok(QueryResult::Text(format!("dropped index {name}")))
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.exec_insert(table, columns.as_deref(), rows),
+            Statement::Select(sel) => {
+                let plan = self.plan(sel)?;
+                self.run_plan(&plan)
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.exec_update(table, assignments, where_clause.as_ref()),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.exec_delete(table, where_clause.as_ref()),
+            Statement::Begin => {
+                self.txn.lock().begin(&self.wal)?;
+                Ok(QueryResult::Text("begin".into()))
+            }
+            Statement::Commit => {
+                self.txn.lock().commit(&self.wal)?;
+                self.metrics.record_commit();
+                Ok(QueryResult::Text("commit".into()))
+            }
+            Statement::Rollback => {
+                self.txn.lock().rollback(&self.wal, &self.catalog)?;
+                self.metrics.record_abort();
+                Ok(QueryResult::Text("rollback".into()))
+            }
+            Statement::Explain(inner) => match inner.as_ref() {
+                Statement::Select(sel) => {
+                    let plan = self.plan(sel)?;
+                    Ok(QueryResult::Text(plan.explain()))
+                }
+                other => Ok(QueryResult::Text(format!("{other:?}"))),
+            },
+            Statement::Analyze { table } => {
+                let names = match table {
+                    Some(t) => vec![t.clone()],
+                    None => self.catalog.table_names(),
+                };
+                for n in &names {
+                    self.analyze_table(n)?;
+                }
+                Ok(QueryResult::Text(format!("analyzed {} table(s)", names.len())))
+            }
+            Statement::Set { knob, value } => {
+                let applied = self.knobs.set(knob, value)?;
+                if knob.eq_ignore_ascii_case("buffer_pool_pages") {
+                    self.pool.resize(applied as usize)?;
+                }
+                Ok(QueryResult::Text(format!("set {knob} = {applied}")))
+            }
+            Statement::CreateModel {
+                name,
+                kind,
+                table,
+                features,
+                label,
+                params,
+            } => {
+                let hook = self
+                    .hook
+                    .read()
+                    .clone()
+                    .ok_or_else(|| AimError::Model("no model runtime registered".into()))?;
+                let desc = hook.create_model(
+                    self,
+                    name,
+                    *kind,
+                    table,
+                    features,
+                    label.as_deref(),
+                    params,
+                )?;
+                Ok(QueryResult::Text(desc))
+            }
+            Statement::DropModel { name } => {
+                let hook = self
+                    .hook
+                    .read()
+                    .clone()
+                    .ok_or_else(|| AimError::Model("no model runtime registered".into()))?;
+                hook.drop_model(name)?;
+                Ok(QueryResult::Text(format!("dropped model {name}")))
+            }
+            Statement::Predict { model, inputs } => {
+                let hook = self
+                    .hook
+                    .read()
+                    .clone()
+                    .ok_or_else(|| AimError::Model("no model runtime registered".into()))?;
+                let vals: Vec<Value> = inputs
+                    .iter()
+                    .map(|e| e.eval(&Schema::default(), &Row::default(), &BuiltinFns))
+                    .collect::<Result<_>>()?;
+                let out = hook.predict(model, &vals)?;
+                Ok(QueryResult::Rows {
+                    schema: Schema::from_pairs(&[(
+                        "prediction",
+                        aimdb_common::DataType::Float,
+                    )]),
+                    rows: vec![Row::new(vec![out])],
+                })
+            }
+        }
+    }
+
+    /// Plan a SELECT with the current stats and estimator.
+    pub fn plan(&self, sel: &Select) -> Result<PhysicalPlan> {
+        let stats = self.stats.read();
+        let est = self.estimator.read().clone();
+        let planner = Planner::new(&self.catalog, &stats, est.as_ref());
+        planner.plan_select(sel)
+    }
+
+    /// Execute a physical plan, recording metrics. Returns rows + schema.
+    pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        let ctx = ExecContext::new(&self.catalog, &fns);
+        let rows = execute(plan, &ctx)?;
+        self.metrics
+            .record_query(rows.len() as u64, ctx.cost_units());
+        Ok(QueryResult::Rows {
+            schema: plan.schema.clone(),
+            rows,
+        })
+    }
+
+    /// Plan + execute returning the measured cost units — the latency
+    /// signal learned optimizers train on.
+    pub fn execute_select_measured(&self, sel: &Select) -> Result<(Vec<Row>, f64)> {
+        let plan = self.plan(sel)?;
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        let ctx = ExecContext::new(&self.catalog, &fns);
+        let rows = execute(&plan, &ctx)?;
+        let cost = ctx.cost_units();
+        self.metrics.record_query(rows.len() as u64, cost);
+        Ok((rows, cost))
+    }
+
+    /// Execute an externally built physical plan and return measured cost
+    /// units (used by learned join-ordering / NEO experiments).
+    pub fn run_plan_measured(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        let ctx = ExecContext::new(&self.catalog, &fns);
+        let rows = execute(plan, &ctx)?;
+        let cost = ctx.cost_units();
+        self.metrics.record_query(rows.len() as u64, cost);
+        Ok((rows, cost))
+    }
+
+    fn analyze_table(&self, name: &str) -> Result<()> {
+        let t = self.catalog.table(name)?;
+        let st = TableStats::analyze(&t, 32)?;
+        self.stats.write().insert(name.to_ascii_lowercase(), st);
+        Ok(())
+    }
+
+    fn exec_insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+    ) -> Result<QueryResult> {
+        let t = self.catalog.table(table)?;
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
+        let mut n = 0;
+        for exprs in rows {
+            let vals: Vec<Value> = exprs
+                .iter()
+                .map(|e| e.eval(&Schema::default(), &Row::default(), &BuiltinFns))
+                .collect::<Result<_>>()?;
+            let full = match columns {
+                None => vals,
+                Some(cols) => {
+                    if cols.len() != vals.len() {
+                        return Err(AimError::Plan(format!(
+                            "INSERT column list has {} names but {} values",
+                            cols.len(),
+                            vals.len()
+                        )));
+                    }
+                    let mut full = vec![Value::Null; t.schema.len()];
+                    for (c, v) in cols.iter().zip(vals) {
+                        full[t.schema.index_of(c)?] = v;
+                    }
+                    full
+                }
+            };
+            let rid = t.insert(full)?;
+            log_insert(&self.wal, txn, table, rid);
+            n += 1;
+        }
+        if auto {
+            self.txn.lock().commit_auto(&self.wal, txn);
+        }
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn exec_update(
+        &self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<QueryResult> {
+        let t = self.catalog.table(table)?;
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        let pred = match where_clause {
+            Some(w) => Some(bind_expr(w, &t.schema)?),
+            None => None,
+        };
+        let bound_assign: Vec<(usize, Expr)> = assignments
+            .iter()
+            .map(|(c, e)| Ok((t.schema.index_of(c)?, bind_expr(e, &t.schema)?)))
+            .collect::<Result<_>>()?;
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
+        let mut n = 0;
+        for (rid, row) in t.scan()? {
+            let keep = match &pred {
+                Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
+                None => true,
+            };
+            if !keep {
+                continue;
+            }
+            let mut vals = row.values().to_vec();
+            for (ci, e) in &bound_assign {
+                vals[*ci] = e.eval(&t.schema, &row, &fns)?;
+            }
+            let (before, new_rid) = t.update(rid, vals)?;
+            log_update(&self.wal, txn, table, rid, new_rid, before);
+            n += 1;
+        }
+        if auto {
+            self.txn.lock().commit_auto(&self.wal, txn);
+        }
+        Ok(QueryResult::Affected(n))
+    }
+
+    fn exec_delete(&self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+        let t = self.catalog.table(table)?;
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        let pred = match where_clause {
+            Some(w) => Some(bind_expr(w, &t.schema)?),
+            None => None,
+        };
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
+        let mut n = 0;
+        for (rid, row) in t.scan()? {
+            let keep = match &pred {
+                Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
+                None => true,
+            };
+            if keep {
+                if let Some(before) = t.delete(rid)? {
+                    log_delete(&self.wal, txn, table, rid, before);
+                    n += 1;
+                }
+            }
+        }
+        if auto {
+            self.txn.lock().commit_auto(&self.wal, txn);
+        }
+        Ok(QueryResult::Affected(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_users() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE users (id INT NOT NULL, name TEXT, age INT)")
+            .unwrap();
+        for i in 0..100 {
+            db.execute(&format!(
+                "INSERT INTO users VALUES ({i}, 'user{i}', {})",
+                20 + (i % 50)
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_with_filter_and_order() {
+        let db = db_with_users();
+        let r = db
+            .execute("SELECT id, age FROM users WHERE age >= 65 ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        let rows = r.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(0), &Value::Int(99));
+        assert!(rows.iter().all(|r| r.get(1).as_i64().unwrap() >= 65));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let db = db_with_users();
+        let r = db
+            .execute("SELECT COUNT(*), AVG(age), MIN(id), MAX(id) FROM users")
+            .unwrap();
+        let row = &r.rows()[0];
+        assert_eq!(row.get(0), &Value::Int(100));
+        assert_eq!(row.get(2), &Value::Int(0));
+        assert_eq!(row.get(3), &Value::Int(99));
+        let r = db
+            .execute("SELECT age, COUNT(*) AS n FROM users GROUP BY age ORDER BY n DESC, age")
+            .unwrap();
+        assert_eq!(r.rows().len(), 50);
+        assert_eq!(r.rows()[0].get(1), &Value::Int(2));
+    }
+
+    #[test]
+    fn join_two_tables() {
+        let db = db_with_users();
+        db.execute("CREATE TABLE orders (oid INT, user_id INT, amount FLOAT)")
+            .unwrap();
+        for i in 0..50 {
+            db.execute(&format!(
+                "INSERT INTO orders VALUES ({i}, {}, {})",
+                i % 10,
+                (i as f64) * 1.5
+            ))
+            .unwrap();
+        }
+        let r = db
+            .execute(
+                "SELECT u.name, SUM(o.amount) AS total FROM users u JOIN orders o \
+                 ON u.id = o.user_id GROUP BY u.name ORDER BY total DESC LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(r.rows().len(), 2);
+        // user 9 gets orders 9,19,29,39,49 → 1.5*(9+19+29+39+49)=217.5
+        assert_eq!(r.rows()[0].get(0), &Value::Text("user9".into()));
+        assert_eq!(r.rows()[0].get(1), &Value::Float(217.5));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let db = db_with_users();
+        let r = db
+            .execute("UPDATE users SET age = age + 100 WHERE id < 10")
+            .unwrap();
+        assert_eq!(r, QueryResult::Affected(10));
+        let r = db.execute("SELECT COUNT(*) FROM users WHERE age >= 120").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(10));
+        let r = db.execute("DELETE FROM users WHERE id >= 50").unwrap();
+        assert_eq!(r, QueryResult::Affected(50));
+        let r = db.execute("SELECT COUNT(*) FROM users").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(50));
+    }
+
+    #[test]
+    fn transaction_rollback_restores_data() {
+        let db = db_with_users();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM users WHERE id < 50").unwrap();
+        db.execute("INSERT INTO users VALUES (1000, 'temp', 1)").unwrap();
+        db.execute("UPDATE users SET age = 0 WHERE id = 60").unwrap();
+        db.execute("ROLLBACK").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM users").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(100));
+        let r = db.execute("SELECT age FROM users WHERE id = 60").unwrap();
+        assert_ne!(r.rows()[0].get(0), &Value::Int(0));
+        let r = db.execute("SELECT COUNT(*) FROM users WHERE id = 1000").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn transaction_commit_persists() {
+        let db = db_with_users();
+        db.execute("BEGIN").unwrap();
+        db.execute("DELETE FROM users WHERE id < 10").unwrap();
+        db.execute("COMMIT").unwrap();
+        let r = db.execute("SELECT COUNT(*) FROM users").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(90));
+    }
+
+    #[test]
+    fn index_used_after_analyze() {
+        let db = Database::new();
+        db.execute("CREATE TABLE big (id INT, v INT)").unwrap();
+        let tuples: Vec<String> = (0..5000).map(|i| format!("({i}, {})", i % 7)).collect();
+        db.execute(&format!("INSERT INTO big VALUES {}", tuples.join(","))).unwrap();
+        db.execute("CREATE INDEX idx_id ON big (id)").unwrap();
+        db.execute("ANALYZE big").unwrap();
+        let r = db.execute("EXPLAIN SELECT * FROM big WHERE id = 5").unwrap();
+        let QueryResult::Text(plan) = r else { panic!() };
+        assert!(plan.contains("IndexScan"), "plan: {plan}");
+        // and still correct
+        let r = db.execute("SELECT v FROM big WHERE id = 5").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int(5));
+        // on a tiny table the optimizer must prefer the sequential scan
+        let db2 = db_with_users();
+        db2.execute("CREATE INDEX idx2 ON users (id)").unwrap();
+        db2.execute("ANALYZE users").unwrap();
+        let QueryResult::Text(plan) = db2
+            .execute("EXPLAIN SELECT * FROM users WHERE id = 5")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan.contains("SeqScan"), "plan: {plan}");
+    }
+
+    #[test]
+    fn seq_scan_for_unselective_predicate() {
+        let db = db_with_users();
+        db.execute("CREATE INDEX idx_age ON users (age)").unwrap();
+        db.execute("ANALYZE").unwrap();
+        let r = db.execute("EXPLAIN SELECT * FROM users WHERE age >= 20").unwrap();
+        let QueryResult::Text(plan) = r else { panic!() };
+        assert!(plan.contains("SeqScan"), "plan: {plan}");
+    }
+
+    #[test]
+    fn knobs_via_set() {
+        let db = Database::new();
+        db.execute("SET buffer_pool_pages = 8").unwrap();
+        assert_eq!(db.buffer_pool().capacity(), 8);
+        assert!(db.execute("SET no_such_knob = 1").is_err());
+    }
+
+    #[test]
+    fn kpis_reflect_activity() {
+        let db = db_with_users();
+        let before = db.kpis();
+        db.execute("SELECT * FROM users").unwrap();
+        let after = db.kpis();
+        assert_eq!(after.queries_executed, before.queries_executed + 1);
+        assert!(after.rows_emitted >= before.rows_emitted + 100);
+        assert!(after.total_cost_units > before.total_cost_units);
+    }
+
+    #[test]
+    fn run_script_multiple() {
+        let db = Database::new();
+        let rs = db
+            .run_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t;")
+            .unwrap();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[2].scalar().unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn predict_without_hook_errors() {
+        let db = Database::new();
+        assert!(db.execute("PREDICT m GIVEN (1)").is_err());
+        assert!(db
+            .execute("CREATE MODEL m KIND LINEAR ON t (a) LABEL b")
+            .is_err());
+    }
+
+    #[test]
+    fn insert_with_column_list() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)").unwrap();
+        db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
+        let r = db.execute("SELECT a, b, c FROM t").unwrap();
+        let row = &r.rows()[0];
+        assert_eq!(row.get(0), &Value::Int(7));
+        assert_eq!(row.get(1), &Value::Null);
+        assert_eq!(row.get(2), &Value::Float(1.5));
+    }
+
+    #[test]
+    fn select_expression_only() {
+        let db = Database::new();
+        let r = db.execute("SELECT 1 + 2 AS three").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn error_statements_recorded() {
+        let db = Database::new();
+        let _ = db.execute("SELECT * FROM missing");
+        assert_eq!(db.kpis().errors, 1);
+    }
+}

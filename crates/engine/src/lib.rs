@@ -1,0 +1,36 @@
+//! # aimdb-engine
+//!
+//! The relational database kernel every AI4DB technique in this workspace
+//! optimizes: a catalog over slotted-page heap files, secondary B+tree
+//! indexes, equi-depth-histogram statistics, a cost-based optimizer with
+//! dynamic-programming join ordering, an operator-at-a-time executor with a
+//! per-operator metrics tap, WAL-backed transactions, and a live-tunable
+//! knob surface.
+//!
+//! Design hooks for the learned components:
+//! - [`CardEstimator`](optimizer::CardEstimator) lets a learned
+//!   cardinality model replace the histogram estimator (E5/E7);
+//! - hypothetical indexes in [`optimizer::what_if_cost`] support index
+//!   advisors without building anything (E2);
+//! - [`Knobs`](knobs::Knobs) exposes the tuning space (E1);
+//! - [`KpiSnapshot`](metrics::KpiSnapshot) is the monitoring surface
+//!   (E11/E12);
+//! - [`ModelHook`](db::ModelHook) lets the DB4AI crate plug model
+//!   training/inference into `CREATE MODEL` / `PREDICT` statements.
+
+pub mod catalog;
+pub mod db;
+pub mod exec;
+pub mod knobs;
+pub mod metrics;
+pub mod optimizer;
+pub mod plan;
+pub mod stats;
+pub mod txn;
+
+pub use catalog::{Catalog, Table};
+pub use db::{Database, ModelHook, QueryResult};
+pub use knobs::Knobs;
+pub use metrics::KpiSnapshot;
+pub use optimizer::CardEstimator;
+pub use plan::PhysicalPlan;

@@ -1,0 +1,219 @@
+//! The KPI surface consumed by monitoring and tuning components.
+//!
+//! Every query execution reports its cost units and outcome here; the
+//! health monitor (E11), activity monitor (E12) and knob tuner (E1) read
+//! [`KpiSnapshot`]s rather than scraping engine internals — the same
+//! architectural boundary external AI4DB tools have against a real DBMS.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// A point-in-time view of engine health metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KpiSnapshot {
+    pub queries_executed: u64,
+    pub rows_emitted: u64,
+    /// Cost units charged by the executor (proxy for latency).
+    pub total_cost_units: f64,
+    pub avg_cost_per_query: f64,
+    pub p95_cost_per_query: f64,
+    pub buffer_hit_rate: f64,
+    pub disk_reads: u64,
+    pub disk_writes: u64,
+    pub errors: u64,
+    pub txns_committed: u64,
+    pub txns_aborted: u64,
+}
+
+impl KpiSnapshot {
+    /// Flatten into the fixed feature vector monitors train on.
+    pub fn feature_vector(&self) -> Vec<f64> {
+        vec![
+            self.queries_executed as f64,
+            self.rows_emitted as f64,
+            self.total_cost_units,
+            self.avg_cost_per_query,
+            self.p95_cost_per_query,
+            self.buffer_hit_rate,
+            self.disk_reads as f64,
+            self.disk_writes as f64,
+            self.errors as f64,
+            self.txns_committed as f64,
+            self.txns_aborted as f64,
+        ]
+    }
+
+    /// Names aligned with [`feature_vector`](Self::feature_vector).
+    pub fn feature_names() -> &'static [&'static str] {
+        &[
+            "queries_executed",
+            "rows_emitted",
+            "total_cost_units",
+            "avg_cost_per_query",
+            "p95_cost_per_query",
+            "buffer_hit_rate",
+            "disk_reads",
+            "disk_writes",
+            "errors",
+            "txns_committed",
+            "txns_aborted",
+        ]
+    }
+}
+
+/// Sliding-window metrics collector.
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+struct MetricsInner {
+    queries: u64,
+    rows: u64,
+    cost_total: f64,
+    recent_costs: VecDeque<f64>,
+    errors: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+const WINDOW: usize = 512;
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            inner: Mutex::new(MetricsInner {
+                queries: 0,
+                rows: 0,
+                cost_total: 0.0,
+                recent_costs: VecDeque::with_capacity(WINDOW),
+                errors: 0,
+                committed: 0,
+                aborted: 0,
+            }),
+        }
+    }
+
+    pub fn record_query(&self, rows: u64, cost_units: f64) {
+        let mut m = self.inner.lock();
+        m.queries += 1;
+        m.rows += rows;
+        m.cost_total += cost_units;
+        if m.recent_costs.len() == WINDOW {
+            m.recent_costs.pop_front();
+        }
+        m.recent_costs.push_back(cost_units);
+    }
+
+    pub fn record_error(&self) {
+        self.inner.lock().errors += 1;
+    }
+
+    pub fn record_commit(&self) {
+        self.inner.lock().committed += 1;
+    }
+
+    pub fn record_abort(&self) {
+        self.inner.lock().aborted += 1;
+    }
+
+    /// Snapshot combining engine counters with storage counters supplied by
+    /// the caller (buffer hit rate, disk I/O).
+    pub fn snapshot(&self, buffer_hit_rate: f64, disk_reads: u64, disk_writes: u64) -> KpiSnapshot {
+        let m = self.inner.lock();
+        let avg = if m.queries > 0 {
+            m.cost_total / m.queries as f64
+        } else {
+            0.0
+        };
+        let p95 = if m.recent_costs.is_empty() {
+            0.0
+        } else {
+            let mut v: Vec<f64> = m.recent_costs.iter().copied().collect();
+            v.sort_by(|a, b| a.total_cmp(b));
+            v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)]
+        };
+        KpiSnapshot {
+            queries_executed: m.queries,
+            rows_emitted: m.rows,
+            total_cost_units: m.cost_total,
+            avg_cost_per_query: avg,
+            p95_cost_per_query: p95,
+            buffer_hit_rate,
+            disk_reads,
+            disk_writes,
+            errors: m.errors,
+            txns_committed: m.committed,
+            txns_aborted: m.aborted,
+        }
+    }
+
+    pub fn reset(&self) {
+        let mut m = self.inner.lock();
+        *m = MetricsInner {
+            queries: 0,
+            rows: 0,
+            cost_total: 0.0,
+            recent_costs: VecDeque::with_capacity(WINDOW),
+            errors: 0,
+            committed: 0,
+            aborted: 0,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let m = Metrics::new();
+        m.record_query(10, 5.0);
+        m.record_query(20, 15.0);
+        m.record_error();
+        m.record_commit();
+        let s = m.snapshot(0.9, 100, 50);
+        assert_eq!(s.queries_executed, 2);
+        assert_eq!(s.rows_emitted, 30);
+        assert_eq!(s.avg_cost_per_query, 10.0);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.txns_committed, 1);
+        assert_eq!(s.buffer_hit_rate, 0.9);
+    }
+
+    #[test]
+    fn p95_tracks_tail() {
+        let m = Metrics::new();
+        for _ in 0..95 {
+            m.record_query(1, 1.0);
+        }
+        for _ in 0..5 {
+            m.record_query(1, 100.0);
+        }
+        let s = m.snapshot(0.0, 0, 0);
+        assert!(s.p95_cost_per_query >= 1.0);
+        assert!(s.p95_cost_per_query <= 100.0);
+        assert!(s.p95_cost_per_query > s.avg_cost_per_query / 2.0);
+    }
+
+    #[test]
+    fn feature_vector_aligned_with_names() {
+        let s = KpiSnapshot::default();
+        assert_eq!(s.feature_vector().len(), KpiSnapshot::feature_names().len());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = Metrics::new();
+        m.record_query(1, 1.0);
+        m.reset();
+        assert_eq!(m.snapshot(0.0, 0, 0).queries_executed, 0);
+    }
+}

@@ -1,0 +1,1067 @@
+//! The cost-based optimizer: lowering, predicate pushdown, access-path
+//! selection, dynamic-programming join ordering, and aggregate planning.
+//!
+//! This is the *traditional empirical* optimizer of the reproduction — the
+//! baseline every learned component competes with. Two seams exist for the
+//! AI4DB crate:
+//!
+//! - [`CardEstimator`] abstracts cardinality estimation; the default
+//!   [`HistogramEstimator`] multiplies per-predicate selectivities under an
+//!   independence assumption (exactly the weakness the tutorial says
+//!   learned estimators fix);
+//! - hypothetical indexes make [`Planner`] usable as a *what-if* costing
+//!   service for index advisors (E2) without touching physical storage.
+
+use std::collections::{HashMap, HashSet};
+
+use aimdb_common::{AimError, Result, Row, Schema, Value};
+use aimdb_sql::ast::{AggFunc, OrderKey, Select, SelectItem};
+use aimdb_sql::expr::BinaryOp;
+use aimdb_sql::logical::AggExpr;
+use aimdb_sql::Expr;
+
+use crate::catalog::Catalog;
+use crate::plan::{bind_expr, default_output_name, qualify_schema, PhysOp, PhysicalPlan};
+use crate::stats::TableStats;
+
+/// Cost-model constants (cost units ≈ sequential page reads).
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    pub seq_page_cost: f64,
+    pub random_page_cost: f64,
+    pub cpu_tuple_cost: f64,
+    pub rows_per_page: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            seq_page_cost: 1.0,
+            random_page_cost: 4.0,
+            cpu_tuple_cost: 0.01,
+            rows_per_page: 64.0,
+        }
+    }
+}
+
+/// A conjunct on a single table, reduced to the shape estimators reason
+/// about. Column names are bare (unqualified).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplePred {
+    Eq { column: String, value: Value },
+    Range {
+        column: String,
+        lo: Option<f64>,
+        hi: Option<f64>,
+    },
+    /// Anything else (LIKE, IN, OR trees, expressions...).
+    Other,
+}
+
+/// Cardinality estimation seam. Implementations must be pure functions of
+/// their inputs so plans are reproducible.
+pub trait CardEstimator: Send + Sync {
+    /// Combined selectivity of the conjuncts applied to one table's scan.
+    fn scan_selectivity(
+        &self,
+        table: &str,
+        preds: &[SimplePred],
+        stats: Option<&TableStats>,
+    ) -> f64;
+
+    /// Selectivity of an equi-join edge `l.lc = r.rc`.
+    fn join_selectivity(
+        &self,
+        left: (&str, &str),
+        right: (&str, &str),
+        stats: &HashMap<String, TableStats>,
+    ) -> f64;
+}
+
+/// The classical estimator: histogram/distinct-count selectivities
+/// multiplied under attribute-independence.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HistogramEstimator;
+
+impl CardEstimator for HistogramEstimator {
+    fn scan_selectivity(
+        &self,
+        _table: &str,
+        preds: &[SimplePred],
+        stats: Option<&TableStats>,
+    ) -> f64 {
+        let mut sel = 1.0;
+        for p in preds {
+            let s = match (p, stats) {
+                (SimplePred::Eq { column, .. }, Some(st)) => st.eq_selectivity(column),
+                (SimplePred::Range { column, lo, hi }, Some(st)) => {
+                    st.range_selectivity(column, *lo, *hi)
+                }
+                (SimplePred::Eq { .. }, None) => 0.05,
+                (SimplePred::Range { .. }, None) => 0.33,
+                (SimplePred::Other, _) => 0.33,
+            };
+            sel *= s; // independence assumption
+        }
+        sel.clamp(1e-9, 1.0)
+    }
+
+    fn join_selectivity(
+        &self,
+        left: (&str, &str),
+        right: (&str, &str),
+        stats: &HashMap<String, TableStats>,
+    ) -> f64 {
+        let nd = |t: &str, c: &str| {
+            stats
+                .get(&t.to_ascii_lowercase())
+                .and_then(|s| s.column(c))
+                .map(|cs| cs.n_distinct)
+                .unwrap_or(10)
+        };
+        let d = nd(left.0, left.1).max(nd(right.0, right.1)).max(1);
+        (1.0 / d as f64).clamp(1e-9, 1.0)
+    }
+}
+
+/// One table reference in the query, with its qualified schema.
+#[derive(Debug, Clone)]
+struct AliasInfo {
+    alias: String,
+    table: String,
+    schema: Schema, // qualified: alias.col
+    base_rows: f64,
+}
+
+/// An equi-join edge between two aliases.
+#[derive(Debug, Clone)]
+struct JoinEdge {
+    left_alias: usize,
+    left_col: String, // bare
+    right_alias: usize,
+    right_col: String, // bare
+}
+
+/// The query planner. Construct one per statement (cheap).
+pub struct Planner<'a> {
+    pub catalog: &'a Catalog,
+    pub stats: &'a HashMap<String, TableStats>,
+    pub estimator: &'a dyn CardEstimator,
+    pub cost: CostParams,
+    /// `(table, column)` pairs treated as indexed during costing even if
+    /// no physical index exists (what-if mode for index advisors).
+    pub hypothetical_indexes: HashSet<(String, String)>,
+    /// When true, access-path selection ignores physical indexes and uses
+    /// only `hypothetical_indexes` (pure what-if costing).
+    pub hypothetical_only: bool,
+}
+
+impl<'a> Planner<'a> {
+    pub fn new(
+        catalog: &'a Catalog,
+        stats: &'a HashMap<String, TableStats>,
+        estimator: &'a dyn CardEstimator,
+    ) -> Self {
+        Planner {
+            catalog,
+            stats,
+            estimator,
+            cost: CostParams::default(),
+            hypothetical_indexes: HashSet::new(),
+            hypothetical_only: false,
+        }
+    }
+
+    fn table_stats(&self, table: &str) -> Option<&TableStats> {
+        self.stats.get(&table.to_ascii_lowercase())
+    }
+
+    fn has_index(&self, table: &str, column: &str) -> bool {
+        let key = (table.to_ascii_lowercase(), column.to_ascii_lowercase());
+        if self.hypothetical_indexes.contains(&key) {
+            return true;
+        }
+        if self.hypothetical_only {
+            return false;
+        }
+        self.catalog
+            .table(table)
+            .map(|t| t.index_on(column).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Plan a SELECT into a physical plan.
+    pub fn plan_select(&self, select: &Select) -> Result<PhysicalPlan> {
+        // 1. collect alias infos
+        let mut aliases: Vec<AliasInfo> = Vec::new();
+        let mut all_refs = select.from.clone();
+        all_refs.extend(select.joins.iter().map(|j| j.table.clone()));
+        for tref in &all_refs {
+            let table = self.catalog.table(&tref.name)?;
+            let alias = tref.effective_name().to_string();
+            if aliases.iter().any(|a| a.alias.eq_ignore_ascii_case(&alias)) {
+                return Err(AimError::Plan(format!("duplicate table alias {alias}")));
+            }
+            let base_rows = self
+                .table_stats(&tref.name)
+                .map(|s| s.row_count as f64)
+                .unwrap_or_else(|| table.row_count().map(|n| n as f64).unwrap_or(1000.0))
+                .max(1.0);
+            aliases.push(AliasInfo {
+                schema: qualify_schema(&table.schema, &alias),
+                alias,
+                table: tref.name.clone(),
+                base_rows,
+            });
+        }
+        if aliases.is_empty() {
+            // SELECT without FROM: single literal row
+            return self.plan_projection_only(select);
+        }
+
+        // 2. gather conjuncts from WHERE and JOIN ... ON
+        let mut conjuncts: Vec<Expr> = Vec::new();
+        if let Some(w) = &select.where_clause {
+            conjuncts.extend(w.conjuncts().into_iter().cloned());
+        }
+        for j in &select.joins {
+            conjuncts.extend(j.on.conjuncts().into_iter().cloned());
+        }
+
+        // 3. classify conjuncts
+        let mut per_alias: Vec<Vec<Expr>> = vec![Vec::new(); aliases.len()];
+        let mut edges: Vec<JoinEdge> = Vec::new();
+        let mut residual: Vec<Expr> = Vec::new();
+        for c in conjuncts {
+            match self.conjunct_aliases(&c, &aliases)? {
+                refs if refs.len() == 1 => {
+                    per_alias[*refs.iter().next().expect("one")].push(c);
+                }
+                refs if refs.len() == 2 => {
+                    if let Some(edge) = self.as_equi_edge(&c, &aliases)? {
+                        edges.push(edge);
+                    } else {
+                        residual.push(c);
+                    }
+                }
+                _ => residual.push(c),
+            }
+        }
+
+        // 4. base access paths
+        let scans: Vec<PhysicalPlan> = aliases
+            .iter()
+            .enumerate()
+            .map(|(i, a)| self.plan_scan(a, &per_alias[i]))
+            .collect::<Result<_>>()?;
+
+        // 5. join ordering
+        let mut plan = if aliases.len() == 1 {
+            scans.into_iter().next().expect("one scan")
+        } else if aliases.len() <= 10 {
+            self.dp_join(&aliases, scans, &edges)?
+        } else {
+            self.greedy_join(&aliases, scans, &edges)?
+        };
+
+        // 6. residual predicates
+        if let Some(pred) = Expr::conjunction(residual) {
+            let bound = bind_expr(&pred, &plan.schema)?;
+            plan = self.add_filter(plan, bound);
+        }
+
+        // 7. aggregation / projection
+        plan = self.plan_projection(select, plan)?;
+
+        // 8. order by, limit
+        if !select.order_by.is_empty() {
+            let keys: Vec<OrderKey> = select
+                .order_by
+                .iter()
+                .map(|k| {
+                    Ok(OrderKey {
+                        expr: bind_expr(&k.expr, &plan.schema)?,
+                        desc: k.desc,
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let rows = plan.est_rows;
+            let cost = plan.est_cost
+                + rows * (rows.max(2.0)).log2() * 0.005;
+            plan = PhysicalPlan {
+                schema: plan.schema.clone(),
+                op: PhysOp::Sort {
+                    input: Box::new(plan),
+                    keys,
+                },
+                est_rows: rows,
+                est_cost: cost,
+            };
+        }
+        if let Some(n) = select.limit {
+            let rows = plan.est_rows.min(n as f64);
+            let cost = plan.est_cost;
+            plan = PhysicalPlan {
+                schema: plan.schema.clone(),
+                op: PhysOp::Limit {
+                    input: Box::new(plan),
+                    n,
+                },
+                est_rows: rows,
+                est_cost: cost,
+            };
+        }
+        Ok(plan)
+    }
+
+    /// Which aliases a conjunct references.
+    fn conjunct_aliases(&self, e: &Expr, aliases: &[AliasInfo]) -> Result<HashSet<usize>> {
+        let mut out = HashSet::new();
+        for (q, name) in e.referenced_columns() {
+            out.insert(self.resolve_alias(q, name, aliases)?.0);
+        }
+        Ok(out)
+    }
+
+    /// Resolve a column reference to `(alias index, bare column name)`.
+    fn resolve_alias(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        aliases: &[AliasInfo],
+    ) -> Result<(usize, String)> {
+        match qualifier {
+            Some(q) => {
+                let idx = aliases
+                    .iter()
+                    .position(|a| a.alias.eq_ignore_ascii_case(q))
+                    .ok_or_else(|| AimError::NotFound(format!("table alias {q}")))?;
+                // verify the column exists
+                let table = self.catalog.table(&aliases[idx].table)?;
+                let ci = table.schema.index_of(name)?;
+                Ok((idx, table.schema.columns()[ci].name.clone()))
+            }
+            None => {
+                let mut found: Option<(usize, String)> = None;
+                for (i, a) in aliases.iter().enumerate() {
+                    let table = self.catalog.table(&a.table)?;
+                    if let Ok(ci) = table.schema.index_of(name) {
+                        if found.is_some() {
+                            return Err(AimError::Plan(format!("ambiguous column {name}")));
+                        }
+                        found = Some((i, table.schema.columns()[ci].name.clone()));
+                    }
+                }
+                found.ok_or_else(|| AimError::NotFound(format!("column {name}")))
+            }
+        }
+    }
+
+    /// Try to interpret a two-alias conjunct as an equi-join edge.
+    fn as_equi_edge(&self, e: &Expr, aliases: &[AliasInfo]) -> Result<Option<JoinEdge>> {
+        if let Expr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = e
+        {
+            if let (
+                Expr::Column { qualifier: ql, name: nl },
+                Expr::Column { qualifier: qr, name: nr },
+            ) = (left.as_ref(), right.as_ref())
+            {
+                let (la, lc) = self.resolve_alias(ql.as_deref(), nl, aliases)?;
+                let (ra, rc) = self.resolve_alias(qr.as_deref(), nr, aliases)?;
+                if la != ra {
+                    return Ok(Some(JoinEdge {
+                        left_alias: la,
+                        left_col: lc,
+                        right_alias: ra,
+                        right_col: rc,
+                    }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Classify single-table conjuncts into [`SimplePred`]s (bare column
+    /// names) for the estimator.
+    pub fn classify_preds(conjuncts: &[Expr]) -> Vec<SimplePred> {
+        conjuncts
+            .iter()
+            .map(|c| match c {
+                Expr::Binary { left, op, right } => {
+                    let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
+                        (Expr::Column { name, .. }, Expr::Literal(v)) => (name, v, *op),
+                        (Expr::Literal(v), Expr::Column { name, .. }) => {
+                            (name, v, flip(*op))
+                        }
+                        _ => return SimplePred::Other,
+                    };
+                    let bare = bare_name(col);
+                    match op {
+                        BinaryOp::Eq => SimplePred::Eq {
+                            column: bare,
+                            value: lit.clone(),
+                        },
+                        BinaryOp::Lt | BinaryOp::Lte => match lit.as_f64() {
+                            Ok(f) => SimplePred::Range {
+                                column: bare,
+                                lo: None,
+                                hi: Some(f),
+                            },
+                            Err(_) => SimplePred::Other,
+                        },
+                        BinaryOp::Gt | BinaryOp::Gte => match lit.as_f64() {
+                            Ok(f) => SimplePred::Range {
+                                column: bare,
+                                lo: Some(f),
+                                hi: None,
+                            },
+                            Err(_) => SimplePred::Other,
+                        },
+                        _ => SimplePred::Other,
+                    }
+                }
+                Expr::Between { expr, lo, hi } => {
+                    if let (Expr::Column { name, .. }, Expr::Literal(l), Expr::Literal(h)) =
+                        (expr.as_ref(), lo.as_ref(), hi.as_ref())
+                    {
+                        match (l.as_f64(), h.as_f64()) {
+                            (Ok(l), Ok(h)) => SimplePred::Range {
+                                column: bare_name(name),
+                                lo: Some(l),
+                                hi: Some(h),
+                            },
+                            _ => SimplePred::Other,
+                        }
+                    } else {
+                        SimplePred::Other
+                    }
+                }
+                _ => SimplePred::Other,
+            })
+            .collect()
+    }
+
+    /// Plan the access path for one table with its pushed-down conjuncts.
+    fn plan_scan(&self, a: &AliasInfo, conjuncts: &[Expr]) -> Result<PhysicalPlan> {
+        let preds = Self::classify_preds(conjuncts);
+        let stats = self.table_stats(&a.table);
+        let sel = self
+            .estimator
+            .scan_selectivity(&a.table, &preds, stats);
+        let est_rows = (a.base_rows * sel).max(0.0);
+        let filter = match Expr::conjunction(conjuncts.to_vec()) {
+            Some(p) => Some(bind_expr(&p, &a.schema)?),
+            None => None,
+        };
+
+        // candidate index predicates: Eq first, then the narrowest range
+        let mut best_index: Option<(String, Option<Value>, Option<Value>, f64)> = None;
+        for p in &preds {
+            match p {
+                SimplePred::Eq { column, value } if self.has_index(&a.table, column) => {
+                    let s = self
+                        .estimator
+                        .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
+                    if best_index.as_ref().map_or(true, |b| s < b.3) {
+                        best_index =
+                            Some((column.clone(), Some(value.clone()), Some(value.clone()), s));
+                    }
+                }
+                SimplePred::Range { column, lo, hi } if self.has_index(&a.table, column) => {
+                    let s = self
+                        .estimator
+                        .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
+                    if best_index.as_ref().map_or(true, |b| s < b.3) {
+                        best_index = Some((
+                            column.clone(),
+                            lo.map(Value::Float),
+                            hi.map(Value::Float),
+                            s,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let seq_cost = self.seq_scan_cost(a.base_rows);
+        if let Some((column, lo, hi, isel)) = best_index {
+            let matched = a.base_rows * isel;
+            let idx_cost = self.index_scan_cost(matched);
+            if idx_cost < seq_cost {
+                return Ok(PhysicalPlan {
+                    op: PhysOp::IndexScan {
+                        table: a.table.clone(),
+                        alias: a.alias.clone(),
+                        column,
+                        lo,
+                        hi,
+                        filter,
+                    },
+                    schema: a.schema.clone(),
+                    est_rows,
+                    est_cost: idx_cost,
+                });
+            }
+        }
+        Ok(PhysicalPlan {
+            op: PhysOp::SeqScan {
+                table: a.table.clone(),
+                alias: a.alias.clone(),
+                filter,
+            },
+            schema: a.schema.clone(),
+            est_rows,
+            est_cost: seq_cost + conjuncts.len() as f64 * a.base_rows * 0.002,
+        })
+    }
+
+    pub fn seq_scan_cost(&self, rows: f64) -> f64 {
+        (rows / self.cost.rows_per_page).ceil().max(1.0) * self.cost.seq_page_cost
+            + rows * self.cost.cpu_tuple_cost
+    }
+
+    pub fn index_scan_cost(&self, matched_rows: f64) -> f64 {
+        3.0 * self.cost.random_page_cost
+            + matched_rows * self.cost.random_page_cost * 0.3
+            + matched_rows * self.cost.cpu_tuple_cost
+    }
+
+    fn add_filter(&self, input: PhysicalPlan, predicate: Expr) -> PhysicalPlan {
+        let rows = (input.est_rows * 0.33).max(0.0);
+        let cost = input.est_cost + input.est_rows * 0.005;
+        PhysicalPlan {
+            schema: input.schema.clone(),
+            op: PhysOp::Filter {
+                input: Box::new(input),
+                predicate,
+            },
+            est_rows: rows,
+            est_cost: cost,
+        }
+    }
+
+    /// Build a join of two sub-plans, using the crossing equi edges.
+    fn make_join(
+        &self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        crossing: &[(&JoinEdge, bool)], // (edge, edge.left is in `left`)
+        aliases: &[AliasInfo],
+    ) -> Result<PhysicalPlan> {
+        let mut sel = 1.0;
+        for (e, _) in crossing {
+            sel *= self.estimator.join_selectivity(
+                (&aliases[e.left_alias].table, &e.left_col),
+                (&aliases[e.right_alias].table, &e.right_col),
+                self.stats,
+            );
+        }
+        let est_rows = (left.est_rows * right.est_rows * sel).max(0.0);
+        let schema = left.schema.join(&right.schema);
+        if let Some((first, first_left_in_left)) = crossing.first() {
+            let (lkey_alias, lkey_col, rkey_alias, rkey_col) = if *first_left_in_left {
+                (first.left_alias, &first.left_col, first.right_alias, &first.right_col)
+            } else {
+                (first.right_alias, &first.right_col, first.left_alias, &first.left_col)
+            };
+            let left_key = bind_expr(
+                &Expr::qcol(&aliases[lkey_alias].alias, lkey_col),
+                &left.schema,
+            )?;
+            let right_key = bind_expr(
+                &Expr::qcol(&aliases[rkey_alias].alias, rkey_col),
+                &right.schema,
+            )?;
+            let residual = if crossing.len() > 1 {
+                let preds: Vec<Expr> = crossing[1..]
+                    .iter()
+                    .map(|(e, _)| {
+                        bind_expr(
+                            &Expr::binary(
+                                Expr::qcol(&aliases[e.left_alias].alias, &e.left_col),
+                                BinaryOp::Eq,
+                                Expr::qcol(&aliases[e.right_alias].alias, &e.right_col),
+                            ),
+                            &schema,
+                        )
+                    })
+                    .collect::<Result<_>>()?;
+                Expr::conjunction(preds)
+            } else {
+                None
+            };
+            let cost = left.est_cost
+                + right.est_cost
+                + (left.est_rows + right.est_rows) * 0.015
+                + est_rows * self.cost.cpu_tuple_cost;
+            Ok(PhysicalPlan {
+                op: PhysOp::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_key,
+                    right_key,
+                    residual,
+                },
+                schema,
+                est_rows,
+                est_cost: cost,
+            })
+        } else {
+            // cross join
+            let est_rows = left.est_rows * right.est_rows;
+            let cost = left.est_cost
+                + right.est_cost
+                + left.est_rows * right.est_rows * self.cost.cpu_tuple_cost;
+            Ok(PhysicalPlan {
+                op: PhysOp::NestedLoopJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    on: None,
+                },
+                schema,
+                est_rows,
+                est_cost: cost,
+            })
+        }
+    }
+
+    fn crossing_edges<'e>(
+        edges: &'e [JoinEdge],
+        left_mask: u64,
+        right_mask: u64,
+    ) -> Vec<(&'e JoinEdge, bool)> {
+        edges
+            .iter()
+            .filter_map(|e| {
+                let lb = 1u64 << e.left_alias;
+                let rb = 1u64 << e.right_alias;
+                if lb & left_mask != 0 && rb & right_mask != 0 {
+                    Some((e, true))
+                } else if lb & right_mask != 0 && rb & left_mask != 0 {
+                    Some((e, false))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Exact DP over connected subsets (textbook DPsize).
+    fn dp_join(
+        &self,
+        aliases: &[AliasInfo],
+        scans: Vec<PhysicalPlan>,
+        edges: &[JoinEdge],
+    ) -> Result<PhysicalPlan> {
+        let n = aliases.len();
+        let full: u64 = (1 << n) - 1;
+        let mut best: HashMap<u64, PhysicalPlan> = HashMap::new();
+        for (i, s) in scans.into_iter().enumerate() {
+            best.insert(1 << i, s);
+        }
+        for mask in 1..=full {
+            if mask.count_ones() < 2 || best.contains_key(&mask) {
+                continue;
+            }
+            let mut candidate: Option<PhysicalPlan> = None;
+            // enumerate proper sub-splits
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let other = mask ^ sub;
+                if let (Some(l), Some(r)) = (best.get(&sub), best.get(&other)) {
+                    let crossing = Self::crossing_edges(edges, sub, other);
+                    // prefer joins with at least one edge unless forced
+                    if !crossing.is_empty() || mask == full || candidate.is_none() {
+                        let plan = self.make_join(l.clone(), r.clone(), &crossing, aliases)?;
+                        if candidate
+                            .as_ref()
+                            .map_or(true, |c| plan.est_cost < c.est_cost)
+                        {
+                            candidate = Some(plan);
+                        }
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+            if let Some(c) = candidate {
+                best.insert(mask, c);
+            }
+        }
+        best.remove(&full)
+            .ok_or_else(|| AimError::Plan("join DP failed to cover all tables".into()))
+    }
+
+    /// Greedy join ordering for wide queries (> 10 tables).
+    fn greedy_join(
+        &self,
+        aliases: &[AliasInfo],
+        scans: Vec<PhysicalPlan>,
+        edges: &[JoinEdge],
+    ) -> Result<PhysicalPlan> {
+        let mut remaining: Vec<(u64, PhysicalPlan)> = scans
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (1u64 << i, s))
+            .collect();
+        while remaining.len() > 1 {
+            let mut best: Option<(usize, usize, PhysicalPlan)> = None;
+            for i in 0..remaining.len() {
+                for j in i + 1..remaining.len() {
+                    let crossing =
+                        Self::crossing_edges(edges, remaining[i].0, remaining[j].0);
+                    if crossing.is_empty() && remaining.len() > 2 {
+                        continue; // defer cross joins
+                    }
+                    let plan = self.make_join(
+                        remaining[i].1.clone(),
+                        remaining[j].1.clone(),
+                        &crossing,
+                        aliases,
+                    )?;
+                    if best.as_ref().map_or(true, |(_, _, b)| plan.est_cost < b.est_cost) {
+                        best = Some((i, j, plan));
+                    }
+                }
+            }
+            let (i, j, plan) = match best {
+                Some(b) => b,
+                None => {
+                    // all pairs are cross joins; take the two smallest
+                    let crossing = Self::crossing_edges(edges, remaining[0].0, remaining[1].0);
+                    let plan = self.make_join(
+                        remaining[0].1.clone(),
+                        remaining[1].1.clone(),
+                        &crossing,
+                        aliases,
+                    )?;
+                    (0, 1, plan)
+                }
+            };
+            let mask = remaining[i].0 | remaining[j].0;
+            // remove j first (j > i)
+            remaining.remove(j);
+            remaining.remove(i);
+            remaining.push((mask, plan));
+        }
+        Ok(remaining
+            .pop()
+            .ok_or_else(|| AimError::Plan("no tables to join".into()))?
+            .1)
+    }
+
+    /// SELECT without FROM.
+    fn plan_projection_only(&self, select: &Select) -> Result<PhysicalPlan> {
+        let mut exprs = Vec::new();
+        let mut cols = Vec::new();
+        for (i, item) in select.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    return Err(AimError::Plan("SELECT * requires FROM".into()))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias
+                        .clone()
+                        .unwrap_or_else(|| default_output_name(expr, i));
+                    cols.push((name, expr.clone()));
+                    exprs.push(expr.clone());
+                }
+            }
+        }
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, _)| aimdb_common::Column::new(n.clone(), aimdb_common::DataType::Float))
+                .collect(),
+        );
+        let empty = Schema::default();
+        let values = PhysicalPlan {
+            op: PhysOp::Values {
+                rows: vec![Row::new(vec![])],
+            },
+            schema: empty,
+            est_rows: 1.0,
+            est_cost: 0.0,
+        };
+        Ok(PhysicalPlan {
+            op: PhysOp::Project {
+                input: Box::new(values),
+                exprs,
+            },
+            schema,
+            est_rows: 1.0,
+            est_cost: 0.01,
+        })
+    }
+
+    /// Plan aggregation + final projection over `input`.
+    fn plan_projection(&self, select: &Select, input: PhysicalPlan) -> Result<PhysicalPlan> {
+        // detect aggregates in select items
+        let mut agg_calls: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+        for item in &select.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                collect_aggs(expr, &mut agg_calls);
+            }
+        }
+        for k in &select.order_by {
+            collect_aggs(&k.expr, &mut agg_calls);
+        }
+        let has_agg = !agg_calls.is_empty() || !select.group_by.is_empty();
+
+        if !has_agg {
+            // simple projection
+            let mut exprs = Vec::new();
+            let mut columns = Vec::new();
+            for (i, item) in select.items.iter().enumerate() {
+                match item {
+                    SelectItem::Wildcard => {
+                        for c in input.schema.columns() {
+                            exprs.push(Expr::col(&c.name));
+                            let mut col = c.clone();
+                            col.name = bare_name(&c.name);
+                            columns.push(col);
+                        }
+                    }
+                    SelectItem::Expr { expr, alias } => {
+                        let bound = bind_expr(expr, &input.schema)?;
+                        let name = alias
+                            .clone()
+                            .unwrap_or_else(|| default_output_name(&bound, i));
+                        exprs.push(bound);
+                        columns.push(aimdb_common::Column::new(name, aimdb_common::DataType::Float));
+                    }
+                }
+            }
+            // de-duplicate bare output names from wildcard joins
+            dedup_names(&mut columns);
+            let rows = input.est_rows;
+            let cost = input.est_cost + rows * 0.005 * exprs.len() as f64;
+            return Ok(PhysicalPlan {
+                schema: Schema::new(columns),
+                op: PhysOp::Project {
+                    input: Box::new(input),
+                    exprs,
+                },
+                est_rows: rows,
+                est_cost: cost,
+            });
+        }
+
+        // aggregate plan: group exprs then agg exprs
+        let group_exprs: Vec<Expr> = select
+            .group_by
+            .iter()
+            .map(|g| bind_expr(g, &input.schema))
+            .collect::<Result<_>>()?;
+        // dedup agg calls structurally
+        let mut uniq: Vec<(AggFunc, Option<Expr>)> = Vec::new();
+        for (f, arg) in agg_calls {
+            let bound = match &arg {
+                Some(a) => Some(bind_expr(a, &input.schema)?),
+                None => None,
+            };
+            if !uniq.iter().any(|(uf, ua)| *uf == f && *ua == bound) {
+                uniq.push((f, bound));
+            }
+        }
+        let aggs: Vec<AggExpr> = uniq
+            .iter()
+            .enumerate()
+            .map(|(i, (f, arg))| AggExpr {
+                func: *f,
+                arg: arg.clone(),
+                name: format!("__agg{i}"),
+            })
+            .collect();
+
+        // aggregate output schema: __g0.. then __agg0..
+        let mut agg_cols = Vec::new();
+        for (i, _) in group_exprs.iter().enumerate() {
+            agg_cols.push(aimdb_common::Column::new(
+                format!("__g{i}"),
+                aimdb_common::DataType::Float,
+            ));
+        }
+        for a in &aggs {
+            agg_cols.push(aimdb_common::Column::new(
+                a.name.clone(),
+                aimdb_common::DataType::Float,
+            ));
+        }
+        let agg_schema = Schema::new(agg_cols);
+        let group_card = if group_exprs.is_empty() {
+            1.0
+        } else {
+            (input.est_rows / 10.0).max(1.0)
+        };
+        let agg_plan = PhysicalPlan {
+            op: PhysOp::Aggregate {
+                input: Box::new(input.clone()),
+                group_exprs: group_exprs.clone(),
+                aggs: aggs.clone(),
+            },
+            schema: agg_schema.clone(),
+            est_rows: group_card,
+            est_cost: input.est_cost + input.est_rows * 0.02,
+        };
+
+        // final projection: substitute agg calls and group exprs
+        let mut exprs = Vec::new();
+        let mut columns = Vec::new();
+        for (i, item) in select.items.iter().enumerate() {
+            let (expr, alias) = match item {
+                SelectItem::Wildcard => {
+                    return Err(AimError::Plan(
+                        "SELECT * cannot be combined with aggregation".into(),
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => (expr, alias),
+            };
+            let sub = substitute_agg(expr, &select.group_by, &group_exprs, &uniq, &input.schema)?;
+            let bound = bind_expr(&sub, &agg_schema)?;
+            let name = alias
+                .clone()
+                .unwrap_or_else(|| default_output_name(expr, i));
+            exprs.push(bound);
+            columns.push(aimdb_common::Column::new(name, aimdb_common::DataType::Float));
+        }
+        dedup_names(&mut columns);
+        let rows = agg_plan.est_rows;
+        let cost = agg_plan.est_cost + rows * 0.005;
+        Ok(PhysicalPlan {
+            schema: Schema::new(columns),
+            op: PhysOp::Project {
+                input: Box::new(agg_plan),
+                exprs,
+            },
+            est_rows: rows,
+            est_cost: cost,
+        })
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::Lte => BinaryOp::Gte,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::Gte => BinaryOp::Lte,
+        other => other,
+    }
+}
+
+fn bare_name(name: &str) -> String {
+    match name.rsplit_once('.') {
+        Some((_, b)) => b.to_string(),
+        None => name.to_string(),
+    }
+}
+
+fn dedup_names(columns: &mut [aimdb_common::Column]) {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for c in columns.iter_mut() {
+        let key = c.name.to_ascii_lowercase();
+        let n = seen.entry(key).or_insert(0);
+        if *n > 0 {
+            c.name = format!("{}_{}", c.name, n);
+        }
+        *n += 1;
+    }
+}
+
+/// Collect aggregate calls in an expression.
+fn collect_aggs(e: &Expr, out: &mut Vec<(AggFunc, Option<Expr>)>) {
+    match e {
+        Expr::Function { name, args } => {
+            if let Some(f) = AggFunc::parse(name) {
+                out.push((f, args.first().cloned()));
+            } else {
+                for a in args {
+                    collect_aggs(a, out);
+                }
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggs(left, out);
+            collect_aggs(right, out);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_aggs(expr, out),
+        Expr::Between { expr, lo, hi } => {
+            collect_aggs(expr, out);
+            collect_aggs(lo, out);
+            collect_aggs(hi, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggs(expr, out);
+            for a in list {
+                collect_aggs(a, out);
+            }
+        }
+        Expr::Like { expr, .. } => collect_aggs(expr, out),
+        Expr::Column { .. } | Expr::Literal(_) => {}
+    }
+}
+
+/// Rewrite a select item over the aggregate output schema: aggregate calls
+/// become `__aggN` refs, group-by expressions become `__gN` refs.
+fn substitute_agg(
+    e: &Expr,
+    group_raw: &[Expr],
+    group_bound: &[Expr],
+    aggs: &[(AggFunc, Option<Expr>)],
+    input_schema: &Schema,
+) -> Result<Expr> {
+    // whole expression equals a raw group-by expression?
+    for (i, g) in group_raw.iter().enumerate() {
+        if e == g {
+            return Ok(Expr::col(&format!("__g{i}")));
+        }
+    }
+    // also match against the bound form (qualified spellings)
+    if let Ok(bound) = bind_expr(e, input_schema) {
+        for (i, g) in group_bound.iter().enumerate() {
+            if &bound == g {
+                return Ok(Expr::col(&format!("__g{i}")));
+            }
+        }
+    }
+    match e {
+        Expr::Function { name, args } => {
+            if let Some(f) = AggFunc::parse(name) {
+                let bound_arg = match args.first() {
+                    Some(a) => Some(bind_expr(a, input_schema)?),
+                    None => None,
+                };
+                let idx = aggs
+                    .iter()
+                    .position(|(uf, ua)| *uf == f && *ua == bound_arg)
+                    .ok_or_else(|| AimError::Plan("aggregate not planned".into()))?;
+                Ok(Expr::col(&format!("__agg{idx}")))
+            } else {
+                Ok(Expr::Function {
+                    name: name.clone(),
+                    args: args
+                        .iter()
+                        .map(|a| substitute_agg(a, group_raw, group_bound, aggs, input_schema))
+                        .collect::<Result<_>>()?,
+                })
+            }
+        }
+        Expr::Binary { left, op, right } => Ok(Expr::Binary {
+            left: Box::new(substitute_agg(left, group_raw, group_bound, aggs, input_schema)?),
+            op: *op,
+            right: Box::new(substitute_agg(right, group_raw, group_bound, aggs, input_schema)?),
+        }),
+        Expr::Unary { op, expr } => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(substitute_agg(expr, group_raw, group_bound, aggs, input_schema)?),
+        }),
+        Expr::Literal(_) => Ok(e.clone()),
+        other => Err(AimError::Plan(format!(
+            "expression {other:?} must appear in GROUP BY or be an aggregate"
+        ))),
+    }
+}

@@ -1,0 +1,359 @@
+//! Physical plans and the name binder.
+//!
+//! Operator output schemas carry *qualified* column names (`alias.col`)
+//! below the final projection; the binder rewrites every column reference
+//! in every expression to the exact schema spelling so the executor does
+//! plain positional lookups at runtime.
+
+use std::fmt;
+
+use aimdb_common::{AimError, Column, Result, Row, Schema};
+use aimdb_sql::ast::OrderKey;
+use aimdb_sql::logical::AggExpr;
+use aimdb_sql::Expr;
+
+/// A physical plan node with its estimated cardinality and cost.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    pub op: PhysOp,
+    /// Output schema (qualified names below the final project).
+    pub schema: Schema,
+    pub est_rows: f64,
+    pub est_cost: f64,
+}
+
+/// Physical operators.
+#[derive(Debug, Clone)]
+pub enum PhysOp {
+    /// Full-table scan with an optional pushed-down predicate.
+    SeqScan {
+        table: String,
+        alias: String,
+        filter: Option<Expr>,
+    },
+    /// B+tree index scan: equality or inclusive range on one column, plus
+    /// an optional residual predicate.
+    IndexScan {
+        table: String,
+        alias: String,
+        column: String,
+        lo: Option<aimdb_common::Value>,
+        hi: Option<aimdb_common::Value>,
+        filter: Option<Expr>,
+    },
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<Expr>,
+    },
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        on: Option<Expr>,
+    },
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_key: Expr,
+        right_key: Expr,
+        residual: Option<Expr>,
+    },
+    Aggregate {
+        input: Box<PhysicalPlan>,
+        group_exprs: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+    },
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<OrderKey>,
+    },
+    Limit {
+        input: Box<PhysicalPlan>,
+        n: usize,
+    },
+    /// Pre-materialized literal rows.
+    Values {
+        rows: Vec<Row>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Human-readable plan tree (EXPLAIN output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        use fmt::Write;
+        let pad = "  ".repeat(depth);
+        let line = match &self.op {
+            PhysOp::SeqScan { table, filter, .. } => format!(
+                "SeqScan {table}{}",
+                filter.as_ref().map_or(String::new(), |f| format!(" filter={f:?}"))
+            ),
+            PhysOp::IndexScan { table, column, lo, hi, .. } => {
+                format!("IndexScan {table}.{column} [{lo:?}..{hi:?}]")
+            }
+            PhysOp::Filter { predicate, .. } => format!("Filter {predicate:?}"),
+            PhysOp::Project { .. } => {
+                let names: Vec<&str> = self.schema.columns().iter().map(|c| c.name.as_str()).collect();
+                format!("Project [{}]", names.join(", "))
+            }
+            PhysOp::NestedLoopJoin { on, .. } => match on {
+                Some(e) => format!("NestedLoopJoin on {e:?}"),
+                None => "NestedLoopJoin (cross)".to_string(),
+            },
+            PhysOp::HashJoin { left_key, right_key, .. } => {
+                format!("HashJoin {left_key:?} = {right_key:?}")
+            }
+            PhysOp::Aggregate { group_exprs, aggs, .. } => {
+                format!("Aggregate groups={} aggs={}", group_exprs.len(), aggs.len())
+            }
+            PhysOp::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
+            PhysOp::Limit { n, .. } => format!("Limit {n}"),
+            PhysOp::Values { rows } => format!("Values ({} rows)", rows.len()),
+        };
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (rows≈{:.0} cost≈{:.1})",
+            self.est_rows, self.est_cost
+        );
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// Child plans, left to right.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysOp::SeqScan { .. } | PhysOp::IndexScan { .. } | PhysOp::Values { .. } => vec![],
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::Aggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. } => vec![input],
+            PhysOp::NestedLoopJoin { left, right, .. }
+            | PhysOp::HashJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Total number of operators.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// Resolve every column reference in `expr` to the exact spelling used by
+/// `schema`, so the executor can evaluate by direct name lookup.
+///
+/// Resolution order for a bare name: exact match, then unique `*.name`
+/// suffix match (ambiguity is an error). Qualified names must match
+/// `qualifier.name` exactly.
+pub fn bind_expr(expr: &Expr, schema: &Schema) -> Result<Expr> {
+    let out = match expr {
+        Expr::Column { qualifier, name } => {
+            let spelling = resolve_column(schema, qualifier.as_deref(), name)?;
+            Expr::Column {
+                qualifier: None,
+                name: spelling,
+            }
+        }
+        Expr::Literal(v) => Expr::Literal(v.clone()),
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(bind_expr(left, schema)?),
+            op: *op,
+            right: Box::new(bind_expr(right, schema)?),
+        },
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bind_expr(expr, schema)?),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, schema)?),
+            negated: *negated,
+        },
+        Expr::Between { expr, lo, hi } => Expr::Between {
+            expr: Box::new(bind_expr(expr, schema)?),
+            lo: Box::new(bind_expr(lo, schema)?),
+            hi: Box::new(bind_expr(hi, schema)?),
+        },
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(bind_expr(expr, schema)?),
+            list: list.iter().map(|e| bind_expr(e, schema)).collect::<Result<_>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(bind_expr(expr, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Function { name, args } => {
+            // PREDICT's first argument is a model name, not a column
+            if name.eq_ignore_ascii_case("PREDICT") && !args.is_empty() {
+                let mut bound = Vec::with_capacity(args.len());
+                if let Expr::Column { name: model, .. } = &args[0] {
+                    bound.push(Expr::Literal(aimdb_common::Value::Text(model.clone())));
+                } else {
+                    bound.push(bind_expr(&args[0], schema)?);
+                }
+                for a in &args[1..] {
+                    bound.push(bind_expr(a, schema)?);
+                }
+                Expr::Function {
+                    name: name.clone(),
+                    args: bound,
+                }
+            } else {
+                Expr::Function {
+                    name: name.clone(),
+                    args: args.iter().map(|a| bind_expr(a, schema)).collect::<Result<_>>()?,
+                }
+            }
+        }
+    };
+    Ok(out)
+}
+
+/// Find the exact schema spelling of a (possibly qualified) column name.
+pub fn resolve_column(schema: &Schema, qualifier: Option<&str>, name: &str) -> Result<String> {
+    match qualifier {
+        Some(q) => {
+            let want = format!("{q}.{name}");
+            schema
+                .columns()
+                .iter()
+                .find(|c| c.name.eq_ignore_ascii_case(&want))
+                .map(|c| c.name.clone())
+                .ok_or_else(|| AimError::NotFound(format!("column {want}")))
+        }
+        None => {
+            if let Some(c) = schema
+                .columns()
+                .iter()
+                .find(|c| c.name.eq_ignore_ascii_case(name))
+            {
+                return Ok(c.name.clone());
+            }
+            let suffix = format!(".{}", name.to_ascii_lowercase());
+            let matches: Vec<&Column> = schema
+                .columns()
+                .iter()
+                .filter(|c| c.name.to_ascii_lowercase().ends_with(&suffix))
+                .collect();
+            match matches.len() {
+                1 => Ok(matches[0].name.clone()),
+                0 => Err(AimError::NotFound(format!("column {name}"))),
+                _ => Err(AimError::Plan(format!("ambiguous column {name}"))),
+            }
+        }
+    }
+}
+
+/// Qualify a table schema with an alias: `col` becomes `alias.col`.
+pub fn qualify_schema(schema: &Schema, alias: &str) -> Schema {
+    Schema::new(
+        schema
+            .columns()
+            .iter()
+            .map(|c| {
+                let mut c2 = c.clone();
+                c2.name = format!("{alias}.{}", c.name);
+                c2
+            })
+            .collect(),
+    )
+}
+
+/// A display name for a select item without an alias: bare column name for
+/// simple references, otherwise a positional name.
+pub fn default_output_name(expr: &Expr, position: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => match name.rsplit_once('.') {
+            Some((_, bare)) => bare.to_string(),
+            None => name.clone(),
+        },
+        Expr::Function { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("col{position}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::DataType;
+    use aimdb_sql::expr::BinaryOp;
+
+    fn joined_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("a.id", DataType::Int),
+            ("a.x", DataType::Int),
+            ("b.id", DataType::Int),
+            ("b.y", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn bind_qualified_and_bare() {
+        let s = joined_schema();
+        let e = bind_expr(&Expr::qcol("a", "x"), &s).unwrap();
+        assert_eq!(e, Expr::col("a.x"));
+        let e = bind_expr(&Expr::col("y"), &s).unwrap();
+        assert_eq!(e, Expr::col("b.y"));
+    }
+
+    #[test]
+    fn bind_detects_ambiguity_and_missing() {
+        let s = joined_schema();
+        assert!(matches!(
+            bind_expr(&Expr::col("id"), &s),
+            Err(AimError::Plan(_))
+        ));
+        assert!(matches!(
+            bind_expr(&Expr::col("zz"), &s),
+            Err(AimError::NotFound(_))
+        ));
+        assert!(bind_expr(&Expr::qcol("c", "id"), &s).is_err());
+    }
+
+    #[test]
+    fn bind_recurses_into_compound_exprs() {
+        let s = joined_schema();
+        let e = Expr::binary(Expr::col("x"), BinaryOp::Add, Expr::qcol("b", "y"));
+        let bound = bind_expr(&e, &s).unwrap();
+        assert_eq!(
+            bound,
+            Expr::binary(Expr::col("a.x"), BinaryOp::Add, Expr::col("b.y"))
+        );
+    }
+
+    #[test]
+    fn predict_model_arg_becomes_literal() {
+        let s = joined_schema();
+        let e = Expr::Function {
+            name: "PREDICT".into(),
+            args: vec![Expr::col("mymodel"), Expr::col("x")],
+        };
+        let bound = bind_expr(&e, &s).unwrap();
+        match bound {
+            Expr::Function { args, .. } => {
+                assert_eq!(args[0], Expr::lit("mymodel"));
+                assert_eq!(args[1], Expr::col("a.x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualify_and_output_names() {
+        let s = Schema::from_pairs(&[("id", DataType::Int)]);
+        let q = qualify_schema(&s, "t");
+        assert_eq!(q.columns()[0].name, "t.id");
+        assert_eq!(default_output_name(&Expr::col("t.id"), 0), "id");
+        assert_eq!(default_output_name(&Expr::lit(1i64), 3), "col3");
+    }
+}

@@ -1,0 +1,234 @@
+//! Optimizer statistics: row counts, per-column equi-depth histograms and
+//! distinct counts, plus the classical selectivity model built on them.
+//!
+//! This is the *traditional empirical* estimator the tutorial says learned
+//! estimators beat when columns are correlated: selectivities of multiple
+//! predicates are multiplied under an independence assumption.
+
+use std::collections::HashMap;
+
+use aimdb_common::{DataType, Result, Value};
+
+use crate::catalog::Table;
+
+/// Equi-depth histogram over a numeric column.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Bucket upper bounds (inclusive); ~equal row counts per bucket.
+    pub bounds: Vec<f64>,
+    pub min: f64,
+    pub max: f64,
+    pub n_buckets: usize,
+}
+
+impl Histogram {
+    /// Build from a sample of values with `n_buckets` buckets.
+    pub fn build(mut values: Vec<f64>, n_buckets: usize) -> Histogram {
+        values.retain(|v| v.is_finite());
+        if values.is_empty() {
+            return Histogram::default();
+        }
+        values.sort_by(|a, b| a.total_cmp(b));
+        let n_buckets = n_buckets.max(1).min(values.len());
+        let per = values.len() as f64 / n_buckets as f64;
+        let bounds: Vec<f64> = (1..=n_buckets)
+            .map(|b| values[((b as f64 * per).ceil() as usize - 1).min(values.len() - 1)])
+            .collect();
+        Histogram {
+            min: values[0],
+            max: *values.last().expect("nonempty"),
+            bounds,
+            n_buckets,
+        }
+    }
+
+    /// Estimated fraction of rows with value <= x.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.bounds.is_empty() {
+            return 0.5;
+        }
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        // find bucket containing x; interpolate within it
+        let b = self.bounds.partition_point(|&u| u < x);
+        let lo = if b == 0 { self.min } else { self.bounds[b - 1] };
+        let hi = self.bounds[b.min(self.bounds.len() - 1)];
+        let within = if hi > lo { (x - lo) / (hi - lo) } else { 1.0 };
+        (b as f64 + within) / self.n_buckets as f64
+    }
+
+    /// Estimated fraction of rows in `[lo, hi]`.
+    pub fn range_fraction(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let l = lo.map_or(0.0, |x| self.cdf(x));
+        let h = hi.map_or(1.0, |x| self.cdf(x));
+        (h - l).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub n_distinct: usize,
+    pub null_fraction: f64,
+    /// Present for numeric columns only.
+    pub histogram: Option<Histogram>,
+    /// Top value frequency (most-common-value fraction).
+    pub mcv_fraction: f64,
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    pub row_count: usize,
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+impl TableStats {
+    /// Compute stats by scanning the table (ANALYZE).
+    pub fn analyze(table: &Table, n_buckets: usize) -> Result<TableStats> {
+        let rows = table.scan()?;
+        let row_count = rows.len();
+        let mut columns = HashMap::new();
+        for (ci, col) in table.schema.columns().iter().enumerate() {
+            let mut numeric = Vec::new();
+            let mut distinct: HashMap<Value, usize> = HashMap::new();
+            let mut nulls = 0usize;
+            for (_, row) in &rows {
+                let v = row.get(ci);
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                *distinct.entry(v.clone()).or_default() += 1;
+                if matches!(col.data_type, DataType::Int | DataType::Float) {
+                    if let Ok(f) = v.as_f64() {
+                        numeric.push(f);
+                    }
+                }
+            }
+            let mcv = distinct.values().max().copied().unwrap_or(0);
+            let non_null = row_count - nulls;
+            columns.insert(
+                col.name.to_ascii_lowercase(),
+                ColumnStats {
+                    n_distinct: distinct.len().max(1),
+                    null_fraction: if row_count == 0 {
+                        0.0
+                    } else {
+                        nulls as f64 / row_count as f64
+                    },
+                    histogram: if numeric.is_empty() {
+                        None
+                    } else {
+                        Some(Histogram::build(numeric, n_buckets))
+                    },
+                    mcv_fraction: if non_null == 0 {
+                        0.0
+                    } else {
+                        mcv as f64 / non_null as f64
+                    },
+                },
+            );
+        }
+        Ok(TableStats { row_count, columns })
+    }
+
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(&name.to_ascii_lowercase())
+    }
+
+    /// Selectivity of `col = v`.
+    pub fn eq_selectivity(&self, col: &str) -> f64 {
+        match self.column(col) {
+            Some(c) => ((1.0 - c.null_fraction) / c.n_distinct as f64).clamp(1e-9, 1.0),
+            None => 0.1,
+        }
+    }
+
+    /// Selectivity of a numeric range predicate on `col`.
+    pub fn range_selectivity(&self, col: &str, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        match self.column(col).and_then(|c| c.histogram.as_ref()) {
+            Some(h) => h.range_fraction(lo, hi).clamp(1e-9, 1.0),
+            None => 0.33,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::Schema;
+    use aimdb_storage::{BufferPool, Disk};
+    use std::sync::Arc;
+
+    fn table_with(values: Vec<Vec<Value>>) -> Table {
+        let pool = Arc::new(BufferPool::new(Arc::new(Disk::new()), 64));
+        let t = Table::new(
+            "t".into(),
+            Schema::from_pairs(&[("a", DataType::Int), ("s", DataType::Text)]),
+            pool,
+        );
+        for v in values {
+            t.insert(v).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn histogram_cdf_uniform() {
+        let h = Histogram::build((0..1000).map(|i| i as f64).collect(), 20);
+        assert!((h.cdf(500.0) - 0.5).abs() < 0.03);
+        assert_eq!(h.cdf(-10.0), 0.0);
+        assert_eq!(h.cdf(2000.0), 1.0);
+        assert!((h.range_fraction(Some(250.0), Some(750.0)) - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn histogram_skewed_data() {
+        // 90% of mass at small values
+        let mut vals: Vec<f64> = (0..900).map(|i| (i % 10) as f64).collect();
+        vals.extend((0..100).map(|i| 1000.0 + i as f64));
+        let h = Histogram::build(vals, 10);
+        // values ≤ 9 cover ~90% of rows
+        assert!(h.cdf(9.5) > 0.85);
+    }
+
+    #[test]
+    fn analyze_computes_column_stats() {
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| vec![Value::Int(i % 10), Value::Text(format!("s{}", i % 4))])
+            .collect();
+        let t = table_with(rows);
+        let st = TableStats::analyze(&t, 10).unwrap();
+        assert_eq!(st.row_count, 200);
+        let a = st.column("a").unwrap();
+        assert_eq!(a.n_distinct, 10);
+        assert!((st.eq_selectivity("a") - 0.1).abs() < 1e-9);
+        let s = st.column("S").unwrap();
+        assert_eq!(s.n_distinct, 4);
+        assert!(s.histogram.is_none());
+        assert!((s.mcv_fraction - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_fraction_tracked() {
+        let mut rows: Vec<Vec<Value>> = (0..50).map(|i| vec![Value::Int(i), Value::Null]).collect();
+        rows.extend((0..50).map(|i| vec![Value::Int(i), Value::Text("x".into())]));
+        let t = table_with(rows);
+        let st = TableStats::analyze(&t, 10).unwrap();
+        assert!((st.column("s").unwrap().null_fraction - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_stats() {
+        let t = table_with(vec![]);
+        let st = TableStats::analyze(&t, 10).unwrap();
+        assert_eq!(st.row_count, 0);
+        assert!(st.eq_selectivity("a") > 0.0);
+        assert_eq!(st.range_selectivity("a", Some(0.0), Some(1.0)), 0.33);
+    }
+}

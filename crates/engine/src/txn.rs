@@ -1,0 +1,182 @@
+//! Transactions: WAL-logged DML with rollback by undo.
+//!
+//! One explicit transaction at a time per [`crate::db::Database`] (the
+//! interactive model of a single session); statements outside BEGIN/COMMIT
+//! are auto-committed. Learned transaction *scheduling* — the tutorial's
+//! §2.1 design topic — operates above this layer in `aimdb-ai4db`, where
+//! many client transactions are simulated and ordered before execution.
+
+use aimdb_common::{AimError, Result, Row};
+use aimdb_storage::wal::{LogRecord, TxnId, Wal};
+use aimdb_storage::RowId;
+
+use crate::catalog::Catalog;
+
+/// State of the current session transaction.
+#[derive(Debug, Default)]
+pub struct TxnManager {
+    next_id: TxnId,
+    /// Some(id) while an explicit transaction is open.
+    active: Option<TxnId>,
+}
+
+impl TxnManager {
+    pub fn new() -> Self {
+        TxnManager {
+            next_id: 1,
+            active: None,
+        }
+    }
+
+    pub fn in_txn(&self) -> bool {
+        self.active.is_some()
+    }
+
+    pub fn begin(&mut self, wal: &Wal) -> Result<TxnId> {
+        if self.active.is_some() {
+            return Err(AimError::TxnAborted("transaction already open".into()));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.active = Some(id);
+        wal.append(LogRecord::Begin { txn: id });
+        Ok(id)
+    }
+
+    /// The id to log DML under: the open transaction, or a fresh
+    /// auto-commit id.
+    pub fn current_or_auto(&mut self, wal: &Wal) -> (TxnId, bool) {
+        match self.active {
+            Some(id) => (id, false),
+            None => {
+                let id = self.next_id;
+                self.next_id += 1;
+                wal.append(LogRecord::Begin { txn: id });
+                (id, true)
+            }
+        }
+    }
+
+    pub fn commit(&mut self, wal: &Wal) -> Result<TxnId> {
+        let id = self
+            .active
+            .take()
+            .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
+        wal.append(LogRecord::Commit { txn: id });
+        Ok(id)
+    }
+
+    pub fn commit_auto(&self, wal: &Wal, id: TxnId) {
+        wal.append(LogRecord::Commit { txn: id });
+    }
+
+    /// Roll back the open transaction by undoing its WAL records.
+    pub fn rollback(&mut self, wal: &Wal, catalog: &Catalog) -> Result<TxnId> {
+        let id = self
+            .active
+            .take()
+            .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
+        undo(wal, catalog, id)?;
+        wal.append(LogRecord::Abort { txn: id });
+        Ok(id)
+    }
+}
+
+/// Undo every data record of `txn`, newest first.
+fn undo(wal: &Wal, catalog: &Catalog, txn: TxnId) -> Result<()> {
+    for rec in wal.undo_chain(txn) {
+        match rec {
+            LogRecord::Insert { table, rid, .. } => {
+                let t = catalog.table(&table)?;
+                t.delete(rid)?;
+            }
+            LogRecord::Delete { table, before, .. } => {
+                let t = catalog.table(&table)?;
+                t.reinsert(before)?;
+            }
+            LogRecord::Update {
+                table,
+                new_rid,
+                before,
+                ..
+            } => {
+                let t = catalog.table(&table)?;
+                t.delete(new_rid)?;
+                t.reinsert(before)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Log helpers used by the DML executor.
+pub fn log_insert(wal: &Wal, txn: TxnId, table: &str, rid: RowId) {
+    wal.append(LogRecord::Insert {
+        txn,
+        table: table.to_string(),
+        rid,
+    });
+}
+
+pub fn log_delete(wal: &Wal, txn: TxnId, table: &str, rid: RowId, before: Row) {
+    wal.append(LogRecord::Delete {
+        txn,
+        table: table.to_string(),
+        rid,
+        before,
+    });
+}
+
+pub fn log_update(
+    wal: &Wal,
+    txn: TxnId,
+    table: &str,
+    old_rid: RowId,
+    new_rid: RowId,
+    before: Row,
+) {
+    wal.append(LogRecord::Update {
+        txn,
+        table: table.to_string(),
+        old_rid,
+        new_rid,
+        before,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_lifecycle() {
+        let wal = Wal::new();
+        let mut tm = TxnManager::new();
+        assert!(!tm.in_txn());
+        let id = tm.begin(&wal).unwrap();
+        assert!(tm.in_txn());
+        assert!(tm.begin(&wal).is_err()); // no nesting
+        let cid = tm.commit(&wal).unwrap();
+        assert_eq!(id, cid);
+        assert!(!tm.in_txn());
+        assert!(tm.commit(&wal).is_err());
+        assert!(wal.is_finished(id));
+    }
+
+    #[test]
+    fn auto_commit_ids_are_fresh() {
+        let wal = Wal::new();
+        let mut tm = TxnManager::new();
+        let (a, auto_a) = tm.current_or_auto(&wal);
+        tm.commit_auto(&wal, a);
+        let (b, auto_b) = tm.current_or_auto(&wal);
+        assert!(auto_a && auto_b);
+        assert_ne!(a, b);
+        // inside an explicit txn, reuse the open id
+        let id = tm.begin(&wal).unwrap();
+        let (c, auto_c) = tm.current_or_auto(&wal);
+        assert_eq!(c, id);
+        assert!(!auto_c);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests: the engine's SELECT pipeline must agree with a naive
+//! in-memory oracle on randomly generated data and predicates, and the
+//! index path must agree with the sequential path.
+
+use proptest::prelude::*;
+
+use aimdb_common::Value;
+use aimdb_engine::{Database, QueryResult};
+
+/// Load `rows` of (a, b) into a fresh database.
+fn load(rows: &[(i64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (a INT, b INT)").expect("ddl");
+    if !rows.is_empty() {
+        let tuples: Vec<String> = rows.iter().map(|(a, b)| format!("({a}, {b})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).expect("load");
+    }
+    db
+}
+
+fn count(db: &Database, sql: &str) -> i64 {
+    match db.execute(sql).expect(sql) {
+        QueryResult::Rows { rows, .. } => rows[0].get(0).as_i64().expect("count"),
+        other => panic!("unexpected result {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn range_count_matches_oracle(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 0..120),
+        lo in 0i64..100,
+        hi in 0i64..100,
+        eq in 0i64..100,
+    ) {
+        let db = load(&rows);
+        let got = count(&db, &format!(
+            "SELECT COUNT(*) FROM t WHERE a >= {lo} AND a <= {hi} AND b = {eq}"
+        ));
+        let want = rows
+            .iter()
+            .filter(|(a, b)| *a >= lo && *a <= hi && *b == eq)
+            .count() as i64;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn or_and_not_match_oracle(
+        rows in prop::collection::vec((0i64..50, 0i64..50), 1..100),
+        x in 0i64..50,
+        y in 0i64..50,
+    ) {
+        let db = load(&rows);
+        let got = count(&db, &format!(
+            "SELECT COUNT(*) FROM t WHERE (a < {x} OR b > {y}) AND NOT a = {y}"
+        ));
+        let want = rows
+            .iter()
+            .filter(|(a, b)| (*a < x || *b > y) && *a != y)
+            .count() as i64;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn index_path_agrees_with_seq_path(
+        rows in prop::collection::vec((0i64..40, 0i64..40), 1..150),
+        key in 0i64..40,
+    ) {
+        let db = load(&rows);
+        let seq = count(&db, &format!("SELECT COUNT(*) FROM t WHERE a = {key}"));
+        db.execute("CREATE INDEX idx_a ON t (a)").expect("index");
+        db.execute("ANALYZE").expect("analyze");
+        let indexed = count(&db, &format!("SELECT COUNT(*) FROM t WHERE a = {key}"));
+        prop_assert_eq!(seq, indexed);
+    }
+
+    #[test]
+    fn group_by_sums_match_oracle(
+        rows in prop::collection::vec((0i64..10, 0i64..100), 1..100),
+    ) {
+        let db = load(&rows);
+        let r = db
+            .execute("SELECT a, SUM(b) AS s FROM t GROUP BY a ORDER BY a")
+            .expect("group");
+        let QueryResult::Rows { rows: got, .. } = r else { panic!() };
+        let mut want: std::collections::BTreeMap<i64, f64> = Default::default();
+        for (a, b) in &rows {
+            *want.entry(*a).or_default() += *b as f64;
+        }
+        prop_assert_eq!(got.len(), want.len());
+        for (row, (a, s)) in got.iter().zip(want) {
+            prop_assert_eq!(row.get(0), &Value::Int(a));
+            prop_assert_eq!(row.get(1), &Value::Float(s));
+        }
+    }
+
+    #[test]
+    fn order_limit_is_sorted_prefix(
+        rows in prop::collection::vec((0i64..1000, 0i64..10), 1..80),
+        k in 1usize..20,
+    ) {
+        let db = load(&rows);
+        let r = db
+            .execute(&format!("SELECT a FROM t ORDER BY a DESC LIMIT {k}"))
+            .expect("sort");
+        let QueryResult::Rows { rows: got, .. } = r else { panic!() };
+        let mut want: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        want.sort_unstable_by(|x, y| y.cmp(x));
+        want.truncate(k);
+        let got: Vec<i64> = got.iter().map(|r| r.get(0).as_i64().expect("int")).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn delete_then_count_consistent(
+        rows in prop::collection::vec((0i64..30, 0i64..30), 1..80),
+        cut in 0i64..30,
+    ) {
+        let db = load(&rows);
+        db.execute(&format!("DELETE FROM t WHERE a < {cut}")).expect("delete");
+        let got = count(&db, "SELECT COUNT(*) FROM t");
+        let want = rows.iter().filter(|(a, _)| *a >= cut).count() as i64;
+        prop_assert_eq!(got, want);
+    }
+}

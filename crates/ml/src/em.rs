@@ -1,0 +1,289 @@
+//! Dawid–Skene EM for crowd-label truth inference.
+//!
+//! The tutorial's data-labeling section (§2.2 DB4AI) describes labeling
+//! training data with crowdsourcing platforms; truth inference aggregates
+//! noisy worker votes. Majority vote is the baseline; Dawid–Skene jointly
+//! estimates per-worker confusion matrices and posterior true labels, and
+//! wins when worker quality is heterogeneous.
+
+
+use aimdb_common::{AimError, Result};
+
+/// One crowd vote: worker `w` labeled item `item` with class `label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vote {
+    pub item: usize,
+    pub worker: usize,
+    pub label: usize,
+}
+
+/// Majority vote per item (ties broken by smallest label id).
+pub fn majority_vote(votes: &[Vote], n_items: usize, n_classes: usize) -> Vec<usize> {
+    let mut counts = vec![vec![0usize; n_classes]; n_items];
+    for v in votes {
+        counts[v.item][v.label] += 1;
+    }
+    counts
+        .into_iter()
+        .map(|c| {
+            c.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .map(|(l, _)| l)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Result of Dawid–Skene inference.
+#[derive(Debug, Clone)]
+pub struct DawidSkene {
+    /// Posterior P(true label of item i = k).
+    pub posteriors: Vec<Vec<f64>>,
+    /// Estimated worker confusion matrices: `confusion[w][true][observed]`.
+    pub confusion: Vec<Vec<Vec<f64>>>,
+    pub iterations: usize,
+}
+
+impl DawidSkene {
+    /// Run EM until posteriors move less than `tol` or `max_iter`.
+    pub fn fit(
+        votes: &[Vote],
+        n_items: usize,
+        n_workers: usize,
+        n_classes: usize,
+        max_iter: usize,
+        tol: f64,
+    ) -> Result<Self> {
+        if votes.is_empty() || n_items == 0 || n_classes == 0 {
+            return Err(AimError::InvalidInput("empty crowd-label problem".into()));
+        }
+        if votes
+            .iter()
+            .any(|v| v.item >= n_items || v.worker >= n_workers || v.label >= n_classes)
+        {
+            return Err(AimError::InvalidInput("vote index out of range".into()));
+        }
+        let mut by_item: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_items];
+        for v in votes {
+            by_item[v.item].push((v.worker, v.label));
+        }
+
+        // init posteriors from vote shares
+        let mut post = vec![vec![1.0 / n_classes as f64; n_classes]; n_items];
+        for (i, iv) in by_item.iter().enumerate() {
+            if iv.is_empty() {
+                continue;
+            }
+            let mut p = vec![0.0; n_classes];
+            for &(_, l) in iv {
+                p[l] += 1.0;
+            }
+            let z: f64 = p.iter().sum();
+            for (pi, v) in post[i].iter_mut().zip(&p) {
+                *pi = v / z;
+            }
+        }
+
+        let smooth = 0.01;
+        let mut confusion = vec![vec![vec![0.0; n_classes]; n_classes]; n_workers];
+        let mut prior = vec![1.0 / n_classes as f64; n_classes];
+        let mut iterations = 0;
+
+        for it in 0..max_iter {
+            iterations = it + 1;
+            // M-step: class priors and worker confusion from posteriors
+            for p in prior.iter_mut() {
+                *p = 0.0;
+            }
+            for p in &post {
+                for (pr, pi) in prior.iter_mut().zip(p) {
+                    *pr += pi / n_items as f64;
+                }
+            }
+            for w in confusion.iter_mut() {
+                for row in w.iter_mut() {
+                    for c in row.iter_mut() {
+                        *c = smooth;
+                    }
+                }
+            }
+            for (i, iv) in by_item.iter().enumerate() {
+                for &(w, l) in iv {
+                    for k in 0..n_classes {
+                        confusion[w][k][l] += post[i][k];
+                    }
+                }
+            }
+            for w in confusion.iter_mut() {
+                for row in w.iter_mut() {
+                    let z: f64 = row.iter().sum();
+                    for c in row.iter_mut() {
+                        *c /= z;
+                    }
+                }
+            }
+            // E-step: recompute posteriors
+            let mut max_delta: f64 = 0.0;
+            for (i, iv) in by_item.iter().enumerate() {
+                let mut logp: Vec<f64> = prior.iter().map(|p| p.max(1e-12).ln()).collect();
+                for &(w, l) in iv {
+                    for (k, lp) in logp.iter_mut().enumerate() {
+                        *lp += confusion[w][k][l].max(1e-12).ln();
+                    }
+                }
+                let max = logp.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let exps: Vec<f64> = logp.iter().map(|l| (l - max).exp()).collect();
+                let z: f64 = exps.iter().sum();
+                for (k, e) in exps.iter().enumerate() {
+                    let newp = e / z;
+                    max_delta = max_delta.max((newp - post[i][k]).abs());
+                    post[i][k] = newp;
+                }
+            }
+            if max_delta < tol {
+                break;
+            }
+        }
+
+        Ok(DawidSkene {
+            posteriors: post,
+            confusion,
+            iterations,
+        })
+    }
+
+    /// MAP label per item.
+    pub fn labels(&self) -> Vec<usize> {
+        self.posteriors
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Estimated accuracy of a worker: mean of the confusion diagonal,
+    /// weighted by class prior mass it received.
+    pub fn worker_accuracy(&self, w: usize) -> f64 {
+        let m = &self.confusion[w];
+        let k = m.len() as f64;
+        m.iter().enumerate().map(|(i, row)| row[i]).sum::<f64>() / k
+    }
+}
+
+/// Simulate a noisy crowd: `n_workers` with given per-worker accuracies
+/// label `n_items` items of `n_classes` classes; errors are uniform over
+/// wrong classes. Returns (votes, true labels).
+pub fn simulate_crowd(
+    truth: &[usize],
+    worker_acc: &[f64],
+    n_classes: usize,
+    votes_per_item: usize,
+    seed: u64,
+) -> Vec<Vote> {
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut votes = Vec::new();
+    for (item, &t) in truth.iter().enumerate() {
+        // round-robin worker assignment with random offset
+        let start = rng.gen_range(0..worker_acc.len());
+        for k in 0..votes_per_item {
+            let worker = (start + k) % worker_acc.len();
+            let label = if rng.gen::<f64>() < worker_acc[worker] {
+                t
+            } else {
+                // uniformly wrong
+                let mut l = rng.gen_range(0..n_classes.max(2) - 1);
+                if l >= t {
+                    l += 1;
+                }
+                l.min(n_classes - 1)
+            };
+            votes.push(Vote {
+                item,
+                worker,
+                label,
+            });
+        }
+    }
+    votes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn setup(seed: u64) -> (Vec<usize>, Vec<Vote>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let truth: Vec<usize> = (0..300).map(|_| rng.gen_range(0..3)).collect();
+        // heterogeneous crowd: 2 experts, 6 mediocre, 2 adversarially bad
+        let acc = vec![0.95, 0.95, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.25, 0.25];
+        let votes = simulate_crowd(&truth, &acc, 3, 5, seed);
+        (truth, votes, acc)
+    }
+
+    fn agreement(a: &[usize], b: &[usize]) -> f64 {
+        a.iter().zip(b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64
+    }
+
+    #[test]
+    fn dawid_skene_beats_majority_on_heterogeneous_crowd() {
+        let (truth, votes, _) = setup(1);
+        let mv = majority_vote(&votes, truth.len(), 3);
+        let ds = DawidSkene::fit(&votes, truth.len(), 10, 3, 50, 1e-6).unwrap();
+        let ds_labels = ds.labels();
+        let acc_mv = agreement(&mv, &truth);
+        let acc_ds = agreement(&ds_labels, &truth);
+        assert!(
+            acc_ds >= acc_mv,
+            "DS {acc_ds} should be at least MV {acc_mv}"
+        );
+        assert!(acc_ds > 0.85);
+    }
+
+    #[test]
+    fn recovers_worker_quality_ordering() {
+        let (truth, votes, _) = setup(2);
+        let ds = DawidSkene::fit(&votes, truth.len(), 10, 3, 50, 1e-6).unwrap();
+        // experts (0,1) must be rated above the adversaries (8,9)
+        assert!(ds.worker_accuracy(0) > ds.worker_accuracy(8));
+        assert!(ds.worker_accuracy(1) > ds.worker_accuracy(9));
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let (truth, votes, _) = setup(3);
+        let ds = DawidSkene::fit(&votes, truth.len(), 10, 3, 50, 1e-6).unwrap();
+        for p in &ds.posteriors {
+            let z: f64 = p.iter().sum();
+            assert!((z - 1.0).abs() < 1e-9);
+        }
+        assert!(ds.iterations >= 1);
+    }
+
+    #[test]
+    fn majority_vote_simple() {
+        let votes = vec![
+            Vote { item: 0, worker: 0, label: 1 },
+            Vote { item: 0, worker: 1, label: 1 },
+            Vote { item: 0, worker: 2, label: 0 },
+            Vote { item: 1, worker: 0, label: 2 },
+        ];
+        assert_eq!(majority_vote(&votes, 2, 3), vec![1, 2]);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(DawidSkene::fit(&[], 0, 0, 0, 10, 1e-6).is_err());
+        let bad = vec![Vote { item: 5, worker: 0, label: 0 }];
+        assert!(DawidSkene::fit(&bad, 2, 1, 2, 10, 1e-6).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # aimdb-ml
+//!
+//! A from-scratch machine-learning substrate for the AI4DB/DB4AI
+//! reproduction. Every learner the tutorial's techniques rely on is
+//! implemented here on plain `f64` vectors, deterministically seeded:
+//!
+//! - supervised: linear & logistic regression, a multilayer perceptron,
+//!   decision trees and random forests, gaussian naive Bayes;
+//! - unsupervised: k-means (k-means++ init);
+//! - sequential decision making: multi-armed bandits (ε-greedy, UCB1,
+//!   Thompson), tabular Q-learning, Monte-Carlo tree search;
+//! - time series: EWMA, Holt linear trend, seasonal-naive, AR(p);
+//! - latent-variable: Dawid–Skene EM for crowd-label truth inference.
+//!
+//! The tutorial's deep architectures (CNN/RNN/LSTM/GCN) are represented by
+//! the MLP plus hand-built feature encoders in the consuming crates; the
+//! techniques' *claims* are about learning vs. heuristics, which these
+//! models reproduce on CPU without external frameworks.
+
+pub mod bandit;
+pub mod bayes;
+pub mod cluster;
+pub mod data;
+pub mod em;
+pub mod forecast;
+pub mod linear;
+pub mod matrix;
+pub mod mcts;
+pub mod metrics;
+pub mod mlp;
+pub mod qlearn;
+pub mod tree;
+
+pub use data::Dataset;
+pub use linear::{LinearRegression, LogisticRegression};
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use tree::{DecisionTree, RandomForest};

@@ -1,0 +1,245 @@
+//! Monte-Carlo tree search with UCT.
+//!
+//! Generic over an environment trait; used by the SkinnerDB-style join
+//! ordering (E6) and the learned SQL rewriter's rule-order search (E4).
+//! Rewards should be scaled roughly into [0, 1] for the default
+//! exploration constant to behave.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A deterministic environment searchable by MCTS.
+pub trait MctsEnv {
+    type State: Clone;
+    type Action: Clone + PartialEq;
+
+    /// Legal actions from a state; empty iff terminal.
+    fn actions(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Apply an action.
+    fn apply(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// Reward of a *terminal* state (higher is better).
+    fn terminal_reward(&self, state: &Self::State) -> f64;
+
+    /// Default rollout: take uniformly random actions to termination.
+    fn rollout(&self, state: &Self::State, rng: &mut StdRng) -> f64 {
+        let mut s = state.clone();
+        loop {
+            let acts = self.actions(&s);
+            if acts.is_empty() {
+                return self.terminal_reward(&s);
+            }
+            let a = &acts[rng.gen_range(0..acts.len())];
+            s = self.apply(&s, a);
+        }
+    }
+}
+
+struct NodeData<S, A> {
+    state: S,
+    /// Untried actions from this node.
+    untried: Vec<A>,
+    /// (action, child node index)
+    children: Vec<(A, usize)>,
+    visits: f64,
+    total: f64,
+}
+
+/// Run MCTS for `iterations` from `root_state`; returns the action at the
+/// root with the highest visit count, or `None` if the root is terminal.
+pub fn mcts_search<E: MctsEnv>(
+    env: &E,
+    root_state: E::State,
+    iterations: usize,
+    exploration: f64,
+    seed: u64,
+) -> Option<E::Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let root_actions = env.actions(&root_state);
+    if root_actions.is_empty() {
+        return None;
+    }
+    let mut nodes: Vec<NodeData<E::State, E::Action>> = vec![NodeData {
+        untried: root_actions,
+        state: root_state,
+        children: Vec::new(),
+        visits: 0.0,
+        total: 0.0,
+    }];
+
+    for _ in 0..iterations {
+        // selection
+        let mut path = vec![0usize];
+        loop {
+            let id = *path.last().expect("path nonempty");
+            if !nodes[id].untried.is_empty() || nodes[id].children.is_empty() {
+                break;
+            }
+            // UCT over children
+            let ln_n = nodes[id].visits.max(1.0).ln();
+            let best = nodes[id]
+                .children
+                .iter()
+                .map(|(_, c)| *c)
+                .max_by(|&a, &b| {
+                    let ua = uct(&nodes[a], ln_n, exploration);
+                    let ub = uct(&nodes[b], ln_n, exploration);
+                    ua.total_cmp(&ub)
+                })
+                .expect("children nonempty");
+            path.push(best);
+        }
+        // expansion
+        let leaf = *path.last().expect("path nonempty");
+        let expand_id = if !nodes[leaf].untried.is_empty() {
+            let k = rng.gen_range(0..nodes[leaf].untried.len());
+            let action = nodes[leaf].untried.swap_remove(k);
+            let state = env.apply(&nodes[leaf].state, &action);
+            let untried = env.actions(&state);
+            let new_id = nodes.len();
+            nodes.push(NodeData {
+                state,
+                untried,
+                children: Vec::new(),
+                visits: 0.0,
+                total: 0.0,
+            });
+            nodes[leaf].children.push((action, new_id));
+            path.push(new_id);
+            new_id
+        } else {
+            leaf
+        };
+        // simulation
+        let reward = env.rollout(&nodes[expand_id].state, &mut rng);
+        // backpropagation
+        for &id in &path {
+            nodes[id].visits += 1.0;
+            nodes[id].total += reward;
+        }
+    }
+
+    nodes[0]
+        .children
+        .iter()
+        .max_by(|a, b| nodes[a.1].visits.total_cmp(&nodes[b.1].visits))
+        .map(|(a, _)| a.clone())
+}
+
+fn uct<S, A>(node: &NodeData<S, A>, ln_parent: f64, c: f64) -> f64 {
+    if node.visits == 0.0 {
+        return f64::INFINITY;
+    }
+    node.total / node.visits + c * (ln_parent / node.visits).sqrt()
+}
+
+/// Run MCTS repeatedly to construct a full action sequence greedily
+/// (search, commit best action, re-search from the new state).
+pub fn mcts_plan<E: MctsEnv>(
+    env: &E,
+    mut state: E::State,
+    iters_per_step: usize,
+    exploration: f64,
+    seed: u64,
+) -> (Vec<E::Action>, E::State) {
+    let mut plan = Vec::new();
+    let mut step = 0u64;
+    while let Some(a) = mcts_search(env, state.clone(), iters_per_step, exploration, seed ^ step) {
+        state = env.apply(&state, &a);
+        plan.push(a);
+        step += 1;
+    }
+    (plan, state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pick digits left to right to form a 3-digit number; reward is the
+    /// number scaled to [0,1]. Optimum: 999.
+    struct DigitEnv;
+
+    impl MctsEnv for DigitEnv {
+        type State = Vec<u8>;
+        type Action = u8;
+
+        fn actions(&self, s: &Vec<u8>) -> Vec<u8> {
+            if s.len() >= 3 {
+                vec![]
+            } else {
+                (0..10).collect()
+            }
+        }
+
+        fn apply(&self, s: &Vec<u8>, a: &u8) -> Vec<u8> {
+            let mut t = s.clone();
+            t.push(*a);
+            t
+        }
+
+        fn terminal_reward(&self, s: &Vec<u8>) -> f64 {
+            let n = s.iter().fold(0u32, |acc, &d| acc * 10 + d as u32);
+            n as f64 / 999.0
+        }
+    }
+
+    #[test]
+    fn finds_best_first_digit() {
+        let a = mcts_search(&DigitEnv, vec![], 4000, 1.0, 7).unwrap();
+        assert_eq!(a, 9);
+    }
+
+    #[test]
+    fn plan_reaches_optimum() {
+        let (plan, state) = mcts_plan(&DigitEnv, vec![], 3000, 1.0, 3);
+        assert_eq!(plan.len(), 3);
+        assert_eq!(state, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn terminal_root_returns_none() {
+        assert_eq!(mcts_search(&DigitEnv, vec![1, 2, 3], 100, 1.0, 0), None);
+    }
+
+    /// A trap environment: immediate greedy action looks good but leads to
+    /// a poor terminal; MCTS must look ahead.
+    struct TrapEnv;
+
+    impl MctsEnv for TrapEnv {
+        type State = (u8, u8); // (depth, first_choice)
+        type Action = u8;
+
+        fn actions(&self, s: &(u8, u8)) -> Vec<u8> {
+            if s.0 >= 2 {
+                vec![]
+            } else {
+                vec![0, 1]
+            }
+        }
+
+        fn apply(&self, s: &(u8, u8), a: &u8) -> (u8, u8) {
+            if s.0 == 0 {
+                (1, *a)
+            } else {
+                (2, s.1)
+            }
+        }
+
+        fn terminal_reward(&self, s: &(u8, u8)) -> f64 {
+            // choosing 0 first yields 0.9 always; choosing 1 first yields 0.2
+            if s.1 == 0 {
+                0.9
+            } else {
+                0.2
+            }
+        }
+    }
+
+    #[test]
+    fn looks_ahead_past_traps() {
+        let a = mcts_search(&TrapEnv, (0, 0), 500, 1.0, 5).unwrap();
+        assert_eq!(a, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Multilayer perceptron with backpropagation.
+//!
+//! One or more fully-connected hidden layers with ReLU, a linear output
+//! for regression or a sigmoid output for binary classification. This is
+//! the stand-in for the tutorial's deep estimators (cost/cardinality
+//! models, query-aware tuning): small, exact, CPU-only, seeded.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::{AimError, Result};
+
+use crate::data::{Dataset, Scaler};
+
+/// Output head of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Head {
+    /// Linear output trained with squared loss.
+    Regression,
+    /// Sigmoid output trained with log loss; labels must be 0/1.
+    BinaryClassification,
+}
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpParams {
+    pub hidden: Vec<usize>,
+    pub epochs: usize,
+    pub lr: f64,
+    pub batch: usize,
+    pub seed: u64,
+    pub head: Head,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        MlpParams {
+            hidden: vec![32],
+            epochs: 200,
+            lr: 0.01,
+            batch: 32,
+            seed: 7,
+            head: Head::Regression,
+        }
+    }
+}
+
+struct Layer {
+    /// weights[j][i]: input i → unit j
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, units: usize, rng: &mut StdRng) -> Self {
+        // He initialization for ReLU layers
+        let scale = (2.0 / inputs.max(1) as f64).sqrt();
+        Layer {
+            w: (0..units)
+                .map(|_| (0..inputs).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect())
+                .collect(),
+            b: vec![0.0; units],
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(row, b)| row.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+/// A trained multilayer perceptron.
+pub struct Mlp {
+    layers: Vec<Layer>,
+    head: Head,
+    scaler: Scaler,
+}
+
+fn relu(z: f64) -> f64 {
+    z.max(0.0)
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Mlp {
+    /// Train on a dataset.
+    pub fn fit(ds: &Dataset, params: &MlpParams) -> Result<Self> {
+        if ds.is_empty() {
+            return Err(AimError::InvalidInput("empty training set".into()));
+        }
+        if params.head == Head::BinaryClassification
+            && ds.y.iter().any(|&y| y != 0.0 && y != 1.0)
+        {
+            return Err(AimError::InvalidInput(
+                "binary classification expects 0/1 labels".into(),
+            ));
+        }
+        let scaler = ds.fit_scaler();
+        let scaled = scaler.transform(ds);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let mut sizes = vec![scaled.dim()];
+        sizes.extend(&params.hidden);
+        sizes.push(1);
+        let mut layers: Vec<Layer> = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(params.batch.max(1)) {
+                // accumulate gradients over the batch
+                let mut gw: Vec<Vec<Vec<f64>>> = layers
+                    .iter()
+                    .map(|l| l.w.iter().map(|r| vec![0.0; r.len()]).collect())
+                    .collect();
+                let mut gb: Vec<Vec<f64>> =
+                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                for &i in chunk {
+                    let x = &scaled.x[i];
+                    // forward, remembering activations
+                    let mut acts: Vec<Vec<f64>> = vec![x.clone()];
+                    for (li, layer) in layers.iter().enumerate() {
+                        let z = layer.forward(acts.last().expect("nonempty"));
+                        let a = if li + 1 == layers.len() {
+                            match params.head {
+                                Head::Regression => z,
+                                Head::BinaryClassification => {
+                                    z.into_iter().map(sigmoid).collect()
+                                }
+                            }
+                        } else {
+                            z.into_iter().map(relu).collect()
+                        };
+                        acts.push(a);
+                    }
+                    // output delta: both heads reduce to (pred - y)
+                    let pred = acts.last().expect("output")[0];
+                    let mut delta = vec![pred - scaled.y[i]];
+                    // backward
+                    for li in (0..layers.len()).rev() {
+                        let a_in = &acts[li];
+                        for (j, d) in delta.iter().enumerate() {
+                            for (gi, ai) in gw[li][j].iter_mut().zip(a_in) {
+                                *gi += d * ai;
+                            }
+                            gb[li][j] += d;
+                        }
+                        if li > 0 {
+                            // propagate through weights then ReLU derivative
+                            let mut next = vec![0.0; layers[li].w[0].len()];
+                            for (j, d) in delta.iter().enumerate() {
+                                for (ni, w) in next.iter_mut().zip(&layers[li].w[j]) {
+                                    *ni += d * w;
+                                }
+                            }
+                            for (ni, a) in next.iter_mut().zip(&acts[li]) {
+                                if *a <= 0.0 {
+                                    *ni = 0.0;
+                                }
+                            }
+                            delta = next;
+                        }
+                    }
+                }
+                let k = chunk.len() as f64;
+                for (layer, (gwl, gbl)) in layers.iter_mut().zip(gw.iter().zip(&gb)) {
+                    for (row, grow) in layer.w.iter_mut().zip(gwl) {
+                        for (w, g) in row.iter_mut().zip(grow) {
+                            *w -= params.lr * g / k;
+                        }
+                    }
+                    for (b, g) in layer.b.iter_mut().zip(gbl) {
+                        *b -= params.lr * g / k;
+                    }
+                }
+            }
+        }
+        Ok(Mlp {
+            layers,
+            head: params.head,
+            scaler,
+        })
+    }
+
+    /// Raw model output (regression value, or probability for the
+    /// classification head).
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut a = self.scaler.transform_row(x);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(&a);
+            a = if li + 1 == self.layers.len() {
+                match self.head {
+                    Head::Regression => z,
+                    Head::BinaryClassification => z.into_iter().map(sigmoid).collect(),
+                }
+            } else {
+                z.into_iter().map(relu).collect()
+            };
+        }
+        a[0]
+    }
+
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Hard class for the classification head.
+    pub fn predict_class(&self, x: &[f64]) -> f64 {
+        if self.predict_one(x) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.b.len() + l.w.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{accuracy, r2};
+    use aimdb_common::synth::rng;
+    use rand::Rng;
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x0^2 + x1, not representable linearly
+        let mut r = rng(11);
+        let x: Vec<Vec<f64>> = (0..800)
+            .map(|_| vec![r.gen_range(-2.0..2.0), r.gen_range(-2.0..2.0)])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * v[0] + v[1]).collect();
+        let ds = Dataset::new(x.clone(), y.clone()).unwrap();
+        let m = Mlp::fit(
+            &ds,
+            &MlpParams {
+                hidden: vec![32, 16],
+                epochs: 300,
+                lr: 0.02,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pred = m.predict(&x);
+        assert!(r2(&pred, &y) > 0.95, "r2 = {}", r2(&pred, &y));
+    }
+
+    #[test]
+    fn learns_xor() {
+        // XOR: the canonical not-linearly-separable task
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|i| vec![(i % 2) as f64, ((i / 2) % 2) as f64])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| if (v[0] > 0.5) != (v[1] > 0.5) { 1.0 } else { 0.0 })
+            .collect();
+        let ds = Dataset::new(x.clone(), y.clone()).unwrap();
+        let m = Mlp::fit(
+            &ds,
+            &MlpParams {
+                hidden: vec![8],
+                epochs: 600,
+                lr: 0.3,
+                batch: 16,
+                seed: 3,
+                head: Head::BinaryClassification,
+            },
+        )
+        .unwrap();
+        let pred: Vec<f64> = x.iter().map(|v| m.predict_class(v)).collect();
+        assert!(accuracy(&pred, &y) > 0.99);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = Dataset::new(
+            (0..50).map(|i| vec![i as f64]).collect(),
+            (0..50).map(|i| (i * 2) as f64).collect(),
+        )
+        .unwrap();
+        let p = MlpParams {
+            epochs: 20,
+            ..Default::default()
+        };
+        let a = Mlp::fit(&ds, &p).unwrap().predict_one(&[25.0]);
+        let b = Mlp::fit(&ds, &p).unwrap().predict_one(&[25.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let ds = Dataset::new(vec![vec![1.0]], vec![3.0]).unwrap();
+        let p = MlpParams {
+            head: Head::BinaryClassification,
+            ..Default::default()
+        };
+        assert!(Mlp::fit(&ds, &p).is_err());
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let ds = Dataset::new(vec![vec![1.0, 2.0]], vec![0.5]).unwrap();
+        let m = Mlp::fit(
+            &ds,
+            &MlpParams {
+                hidden: vec![4],
+                epochs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // (2*4 + 4) + (4*1 + 1) = 17
+        assert_eq!(m.param_count(), 17);
+    }
+}

@@ -1,0 +1,228 @@
+//! Tabular Q-learning with an ε-greedy behaviour policy and linear ε decay.
+//!
+//! This is the workhorse behind the tutorial's reinforcement-learning
+//! techniques: knob tuning (CDBTune frames tuning as sequential decisions),
+//! index selection (Sadri et al.'s MDP), partition-key search, and join
+//! ordering. States and actions are dense `usize` ids; the consuming crate
+//! owns the encoding.
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Q-learning hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct QParams {
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Initial exploration rate.
+    pub epsilon: f64,
+    /// Exploration decays linearly to this floor.
+    pub epsilon_min: f64,
+    /// Multiplicative decay applied after each episode.
+    pub epsilon_decay: f64,
+}
+
+impl Default for QParams {
+    fn default() -> Self {
+        QParams {
+            alpha: 0.2,
+            gamma: 0.95,
+            epsilon: 1.0,
+            epsilon_min: 0.05,
+            epsilon_decay: 0.995,
+        }
+    }
+}
+
+/// A tabular Q-learner over `(state, action)` pairs.
+///
+/// ```
+/// use aimdb_ml::qlearn::{QLearner, QParams};
+///
+/// // one state, two actions; action 1 pays off
+/// let mut q = QLearner::new(2, QParams::default(), 7);
+/// for _ in 0..50 {
+///     let a = q.select(0, &[]);
+///     q.update(0, a, if a == 1 { 1.0 } else { 0.0 }, 0, &[], true);
+///     q.end_episode();
+/// }
+/// assert_eq!(q.greedy(0), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QLearner {
+    q: HashMap<(usize, usize), f64>,
+    n_actions: usize,
+    params: QParams,
+    epsilon: f64,
+    rng: StdRng,
+}
+
+impl QLearner {
+    pub fn new(n_actions: usize, params: QParams, seed: u64) -> Self {
+        QLearner {
+            q: HashMap::new(),
+            n_actions,
+            epsilon: params.epsilon,
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn q_value(&self, state: usize, action: usize) -> f64 {
+        *self.q.get(&(state, action)).unwrap_or(&0.0)
+    }
+
+    /// ε-greedy action selection, restricted to `legal` actions (all
+    /// actions if `legal` is empty).
+    pub fn select(&mut self, state: usize, legal: &[usize]) -> usize {
+        let candidates: Vec<usize> = if legal.is_empty() {
+            (0..self.n_actions).collect()
+        } else {
+            legal.to_vec()
+        };
+        if self.rng.gen::<f64>() < self.epsilon {
+            candidates[self.rng.gen_range(0..candidates.len())]
+        } else {
+            self.greedy_among(state, &candidates)
+        }
+    }
+
+    /// The greedy action among candidates (ties broken by lowest id for
+    /// determinism).
+    pub fn greedy_among(&self, state: usize, candidates: &[usize]) -> usize {
+        *candidates
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.q_value(state, a)
+                    .total_cmp(&self.q_value(state, b))
+                    .then(b.cmp(&a)) // prefer smaller id on ties
+            })
+            .expect("candidates nonempty")
+    }
+
+    /// Pure-greedy policy over all actions.
+    pub fn greedy(&self, state: usize) -> usize {
+        let all: Vec<usize> = (0..self.n_actions).collect();
+        self.greedy_among(state, &all)
+    }
+
+    /// One Q-learning backup. `next_legal` restricts the max in the target
+    /// (pass empty for all actions); `terminal` drops the bootstrap term.
+    pub fn update(
+        &mut self,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next_state: usize,
+        next_legal: &[usize],
+        terminal: bool,
+    ) {
+        let target = if terminal {
+            reward
+        } else {
+            let candidates: Vec<usize> = if next_legal.is_empty() {
+                (0..self.n_actions).collect()
+            } else {
+                next_legal.to_vec()
+            };
+            let max_next = candidates
+                .iter()
+                .map(|&a| self.q_value(next_state, a))
+                .fold(f64::NEG_INFINITY, f64::max);
+            reward + self.params.gamma * max_next
+        };
+        let q = self.q.entry((state, action)).or_insert(0.0);
+        *q += self.params.alpha * (target - *q);
+    }
+
+    /// Decay exploration after an episode.
+    pub fn end_episode(&mut self) {
+        self.epsilon = (self.epsilon * self.params.epsilon_decay).max(self.params.epsilon_min);
+    }
+
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of visited `(state, action)` entries.
+    pub fn table_size(&self) -> usize {
+        self.q.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D corridor: states 0..=N, start at 0, reward 1 at state N,
+    /// actions {0: left, 1: right}. Optimal policy: always right.
+    fn train_corridor(n: usize, episodes: usize) -> QLearner {
+        let mut q = QLearner::new(2, QParams::default(), 9);
+        for _ in 0..episodes {
+            let mut s = 0usize;
+            for _ in 0..(4 * n) {
+                let a = q.select(s, &[]);
+                let s2 = match a {
+                    1 => (s + 1).min(n),
+                    _ => s.saturating_sub(1),
+                };
+                let (r, done) = if s2 == n { (1.0, true) } else { (-0.01, false) };
+                q.update(s, a, r, s2, &[], done);
+                s = s2;
+                if done {
+                    break;
+                }
+            }
+            q.end_episode();
+        }
+        q
+    }
+
+    #[test]
+    fn learns_corridor_policy() {
+        let q = train_corridor(8, 500);
+        for s in 0..8 {
+            assert_eq!(q.greedy(s), 1, "state {s} should go right");
+        }
+        assert!(q.epsilon() < 0.2);
+        assert!(q.table_size() > 8);
+    }
+
+    #[test]
+    fn q_values_increase_toward_goal() {
+        let q = train_corridor(6, 500);
+        // value of the greedy action grows as we approach the reward
+        let v = |s: usize| q.q_value(s, 1);
+        assert!(v(5) > v(2));
+        assert!(v(2) > v(0));
+    }
+
+    #[test]
+    fn legal_action_masking() {
+        let mut q = QLearner::new(5, QParams::default(), 1);
+        q.update(0, 3, 10.0, 1, &[], true);
+        // even though 3 has the best Q, it is not legal here
+        let a = q.greedy_among(0, &[0, 1]);
+        assert!(a == 0 || a == 1);
+        let a = q.greedy_among(0, &[3, 4]);
+        assert_eq!(a, 3);
+        // select respects the mask too
+        for _ in 0..50 {
+            assert!([2usize, 4].contains(&q.select(0, &[2, 4])));
+        }
+    }
+
+    #[test]
+    fn terminal_update_ignores_bootstrap() {
+        let mut q = QLearner::new(2, QParams { alpha: 1.0, ..Default::default() }, 2);
+        q.update(7, 0, 5.0, 8, &[], true);
+        assert_eq!(q.q_value(7, 0), 5.0);
+        // non-terminal bootstraps from next state
+        q.update(6, 0, 0.0, 7, &[], false);
+        assert!((q.q_value(6, 0) - 0.95 * 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests over the ML substrate's invariants.
+
+use proptest::prelude::*;
+
+use aimdb_ml::bayes::GaussianNb;
+use aimdb_ml::cluster::KMeans;
+use aimdb_ml::data::Dataset;
+use aimdb_ml::forecast::{solve, ArModel, Ewma, Forecaster, Holt, LastValue};
+use aimdb_ml::linear::{GdParams, LinearRegression};
+use aimdb_ml::metrics::{percentile, q_error};
+use aimdb_ml::tree::{DecisionTree, TreeParams, TreeTask};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_classifier_predicts_only_seen_labels(
+        rows in prop::collection::vec((any::<f64>(), any::<f64>(), 0i64..4), 5..80)
+    ) {
+        let rows: Vec<(f64, f64, i64)> = rows
+            .into_iter()
+            .map(|(a, b, c)| (a.clamp(-1e6, 1e6), b.clamp(-1e6, 1e6), c))
+            .collect();
+        let x: Vec<Vec<f64>> = rows.iter().map(|(a, b, _)| vec![*a, *b]).collect();
+        let y: Vec<f64> = rows.iter().map(|(_, _, c)| *c as f64).collect();
+        let ds = Dataset::new(x.clone(), y.clone()).expect("dataset");
+        let t = DecisionTree::fit(&ds, TreeParams {
+            task: TreeTask::Classification,
+            ..Default::default()
+        }).expect("fit");
+        let labels: std::collections::HashSet<i64> = y.iter().map(|v| *v as i64).collect();
+        for probe in &x {
+            prop_assert!(labels.contains(&(t.predict_one(probe) as i64)));
+        }
+    }
+
+    #[test]
+    fn linear_regression_predictions_are_finite(
+        pts in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 5..60)
+    ) {
+        let x: Vec<Vec<f64>> = pts.iter().map(|(a, _)| vec![*a]).collect();
+        let y: Vec<f64> = pts.iter().map(|(_, b)| *b).collect();
+        let ds = Dataset::new(x.clone(), y).expect("dataset");
+        let m = LinearRegression::fit(&ds, GdParams { epochs: 50, ..Default::default() })
+            .expect("fit");
+        for probe in &x {
+            prop_assert!(m.predict_one(probe).is_finite());
+        }
+    }
+
+    #[test]
+    fn kmeans_assignments_are_in_range(
+        pts in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 6..80),
+        k in 1usize..5,
+    ) {
+        let points: Vec<Vec<f64>> = pts.iter().map(|(a, b)| vec![*a, *b]).collect();
+        prop_assume!(k <= points.len());
+        let km = KMeans::fit(&points, k, 30, 7).expect("fit");
+        prop_assert_eq!(km.assignments.len(), points.len());
+        prop_assert!(km.assignments.iter().all(|&a| a < k));
+        prop_assert!(km.inertia >= 0.0);
+        // assign() agrees with training assignment geometry
+        for (p, &a) in points.iter().zip(&km.assignments) {
+            prop_assert_eq!(km.assign(p), a);
+        }
+    }
+
+    #[test]
+    fn nb_is_scale_shift_consistent_on_split_data(
+        shift in -50.0f64..50.0,
+    ) {
+        // two classes separated on one axis stay separable after a shift
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i < 20 { 0.0 } else { 10.0 } + shift, 1.0])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 1.0 }).collect();
+        let ds = Dataset::new(x, y).expect("dataset");
+        let m = GaussianNb::fit(&ds).expect("fit");
+        prop_assert_eq!(m.predict_one(&[shift - 1.0, 1.0]), 0.0);
+        prop_assert_eq!(m.predict_one(&[shift + 11.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn forecasters_stay_finite_on_arbitrary_traces(
+        trace in prop::collection::vec(0.0f64..1e6, 2..200)
+    ) {
+        let mut fs: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::default()),
+            Box::new(Ewma::new(0.3)),
+            Box::new(Holt::new(0.5, 0.2)),
+            Box::new(ArModel::new(3, 20)),
+        ];
+        for f in fs.iter_mut() {
+            for &y in &trace {
+                f.observe(y);
+                prop_assert!(f.forecast().is_finite(), "{} diverged", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn q_error_at_least_one_and_symmetric(a in 0.0f64..1e9, b in 0.0f64..1e9) {
+        let q = q_error(a, b);
+        prop_assert!(q >= 1.0);
+        prop_assert!((q - q_error(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let p25 = percentile(&xs, 25.0);
+        let p50 = percentile(&xs, 50.0);
+        let p95 = percentile(&xs, 95.0);
+        prop_assert!(p25 <= p50 && p50 <= p95);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution(
+        x0 in -10.0f64..10.0,
+        x1 in -10.0f64..10.0,
+    ) {
+        // well-conditioned 2x2 system with known solution
+        let a = vec![vec![3.0, 1.0], vec![1.0, 2.0]];
+        let b = vec![3.0 * x0 + x1, x0 + 2.0 * x1];
+        let sol = solve(a, b).expect("solvable");
+        prop_assert!((sol[0] - x0).abs() < 1e-6);
+        prop_assert!((sol[1] - x1).abs() < 1e-6);
+    }
+}

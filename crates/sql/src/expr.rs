@@ -1,0 +1,674 @@
+//! Expression trees and SQL three-valued evaluation.
+//!
+//! Expressions are evaluated against a `(Schema, Row)` pair. Column
+//! references may be qualified (`t.a`) or bare (`a`); the engine rewrites
+//! qualified names into the flat output schema of each operator before
+//! evaluation. Scalar functions (including the AISQL `PREDICT`) are
+//! dispatched through the [`ScalarFns`] trait so the SQL crate stays free
+//! of engine/model dependencies.
+
+use std::fmt;
+
+use aimdb_common::{AimError, Result, Row, Schema, Value};
+
+/// Binary operators, in ascending precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Lte => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Gte => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference; `qualifier` is the table name/alias if written.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Literal(Value),
+    Binary {
+        left: Box<Expr>,
+        op: BinaryOp,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`
+    IsNull {
+        expr: Box<Expr>,
+        negated: bool,
+    },
+    /// `expr BETWEEN lo AND hi`
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+    },
+    /// `expr IN (v1, v2, ...)`
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `expr LIKE 'pat%'` — `%` multi-char, `_` single-char wildcards.
+    Like {
+        expr: Box<Expr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// Scalar function call, e.g. `ABS(x)`, `PREDICT(model, a, b)`.
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn qcol(q: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(q.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Conjunction of a list of predicates (`None` for the empty list).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Option<Expr> {
+        let first = if preds.is_empty() {
+            return None;
+        } else {
+            preds.remove(0)
+        };
+        Some(
+            preds
+                .into_iter()
+                .fold(first, |acc, p| Expr::binary(acc, BinaryOp::And, p)),
+        )
+    }
+
+    /// Split a predicate into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Column names referenced anywhere in this expression. The first
+    /// argument of `PREDICT(model, ...)` is a model name, not a column,
+    /// and is skipped.
+    pub fn referenced_columns(&self) -> Vec<(Option<&str>, &str)> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column { qualifier, name } = e {
+                out.push((qualifier.as_deref(), name.as_str()));
+            }
+        });
+        out
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        // PREDICT's model-name argument must not be visited as a column
+        if let Expr::Function { name, args } = self {
+            if name.eq_ignore_ascii_case("PREDICT") && !args.is_empty() {
+                f(self);
+                for a in &args[1..] {
+                    a.visit(f);
+                }
+                return;
+            }
+        }
+        f(self);
+        match self {
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr.visit(f),
+            Expr::Between { expr, lo, hi } => {
+                expr.visit(f);
+                lo.visit(f);
+                hi.visit(f);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit(f);
+                for e in list {
+                    e.visit(f);
+                }
+            }
+            Expr::Like { expr, .. } => expr.visit(f),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Column { .. } | Expr::Literal(_) => {}
+        }
+    }
+
+    /// Evaluate against a row. `fns` resolves scalar function calls.
+    pub fn eval(&self, schema: &Schema, row: &Row, fns: &dyn ScalarFns) -> Result<Value> {
+        match self {
+            Expr::Column { qualifier, name } => {
+                let full = match qualifier {
+                    Some(q) => format!("{q}.{name}"),
+                    None => name.clone(),
+                };
+                // Try the qualified spelling first, then the bare name —
+                // operator output schemas may carry either form.
+                let idx = schema
+                    .index_of(&full)
+                    .or_else(|_| schema.index_of(name))?;
+                Ok(row.get(idx).clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { left, op, right } => {
+                let l = left.eval(schema, row, fns)?;
+                let r = right.eval(schema, row, fns)?;
+                eval_binary(&l, *op, &r)
+            }
+            Expr::Unary { op, expr } => {
+                let v = expr.eval(schema, row, fns)?;
+                match (op, v) {
+                    (UnaryOp::Not, Value::Null) => Ok(Value::Null),
+                    (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnaryOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                    (UnaryOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+                    (UnaryOp::Neg, Value::Null) => Ok(Value::Null),
+                    (op, v) => Err(AimError::TypeMismatch(format!(
+                        "cannot apply {op:?} to {v}"
+                    ))),
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(schema, row, fns)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between { expr, lo, hi } => {
+                let v = expr.eval(schema, row, fns)?;
+                let l = lo.eval(schema, row, fns)?;
+                let h = hi.eval(schema, row, fns)?;
+                match (v.sql_cmp(&l), v.sql_cmp(&h)) {
+                    (Some(a), Some(b)) => Ok(Value::Bool(a != std::cmp::Ordering::Less
+                        && b != std::cmp::Ordering::Greater)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(schema, row, fns)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let w = item.eval(schema, row, fns)?;
+                    match v.sql_cmp(&w) {
+                        Some(std::cmp::Ordering::Equal) => {
+                            return Ok(Value::Bool(!*negated));
+                        }
+                        None => saw_null = true,
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(schema, row, fns)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let s = v.as_str()?;
+                Ok(Value::Bool(like_match(s, pattern) != *negated))
+            }
+            Expr::Function { name, args } => {
+                let vals: Vec<Value> = args
+                    .iter()
+                    .map(|a| a.eval(schema, row, fns))
+                    .collect::<Result<_>>()?;
+                fns.call(name, &vals)
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as false (SQL WHERE semantics).
+    pub fn eval_predicate(&self, schema: &Schema, row: &Row, fns: &dyn ScalarFns) -> Result<bool> {
+        match self.eval(schema, row, fns)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(AimError::TypeMismatch(format!(
+                "predicate evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        And => match (l, r) {
+            (Value::Bool(false), _) | (_, Value::Bool(false)) => Ok(Value::Bool(false)),
+            (Value::Bool(true), Value::Bool(true)) => Ok(Value::Bool(true)),
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            _ => Err(AimError::TypeMismatch("AND requires booleans".into())),
+        },
+        Or => match (l, r) {
+            (Value::Bool(true), _) | (_, Value::Bool(true)) => Ok(Value::Bool(true)),
+            (Value::Bool(false), Value::Bool(false)) => Ok(Value::Bool(false)),
+            (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+            _ => Err(AimError::TypeMismatch("OR requires booleans".into())),
+        },
+        Eq | Neq | Lt | Lte | Gt | Gte => {
+            let Some(ord) = l.sql_cmp(r) else {
+                return Ok(Value::Null);
+            };
+            use std::cmp::Ordering::*;
+            let b = match op {
+                Eq => ord == Equal,
+                Neq => ord != Equal,
+                Lt => ord == Less,
+                Lte => ord != Greater,
+                Gt => ord == Greater,
+                Gte => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // integer arithmetic stays integral; anything float widens
+            if let (Value::Int(a), Value::Int(b)) = (l, r) {
+                return match op {
+                    Add => Ok(Value::Int(a.wrapping_add(*b))),
+                    Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                    Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                    Div => {
+                        if *b == 0 {
+                            Err(AimError::Execution("division by zero".into()))
+                        } else {
+                            Ok(Value::Int(a / b))
+                        }
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            Err(AimError::Execution("division by zero".into()))
+                        } else {
+                            Ok(Value::Int(a % b))
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(AimError::Execution("division by zero".into()));
+                    }
+                    a / b
+                }
+                Mod => {
+                    if b == 0.0 {
+                        return Err(AimError::Execution("division by zero".into()));
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+/// SQL LIKE matching with `%` and `_` wildcards (case-sensitive).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (None, Some(_)) => false,
+            (Some('%'), _) => {
+                // match zero chars, or consume one input char
+                rec(s, &p[1..]) || (!s.is_empty() && rec(&s[1..], p))
+            }
+            (Some('_'), Some(_)) => rec(&s[1..], &p[1..]),
+            (Some(pc), Some(sc)) if pc == sc => rec(&s[1..], &p[1..]),
+            _ => false,
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+/// Registry of scalar functions available to expressions. The engine
+/// implements this; [`BuiltinFns`] covers the pure built-ins.
+pub trait ScalarFns {
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value>;
+}
+
+/// Pure built-in scalar functions: ABS, FLOOR, CEIL, ROUND, SQRT, LN, EXP,
+/// LOWER, UPPER, LENGTH.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuiltinFns;
+
+impl ScalarFns for BuiltinFns {
+    fn call(&self, name: &str, args: &[Value]) -> Result<Value> {
+        let argc = |n: usize| -> Result<()> {
+            if args.len() != n {
+                Err(AimError::TypeMismatch(format!(
+                    "{name} expects {n} argument(s), got {}",
+                    args.len()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        if args.iter().any(Value::is_null) {
+            return Ok(Value::Null);
+        }
+        match name.to_ascii_uppercase().as_str() {
+            "ABS" => {
+                argc(1)?;
+                Ok(match &args[0] {
+                    Value::Int(i) => Value::Int(i.abs()),
+                    v => Value::Float(v.as_f64()?.abs()),
+                })
+            }
+            "FLOOR" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.floor()))
+            }
+            "CEIL" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.ceil()))
+            }
+            "ROUND" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.round()))
+            }
+            "SQRT" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.sqrt()))
+            }
+            "LN" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.ln()))
+            }
+            "EXP" => {
+                argc(1)?;
+                Ok(Value::Float(args[0].as_f64()?.exp()))
+            }
+            "LOWER" => {
+                argc(1)?;
+                Ok(Value::Text(args[0].as_str()?.to_lowercase()))
+            }
+            "UPPER" => {
+                argc(1)?;
+                Ok(Value::Text(args[0].as_str()?.to_uppercase()))
+            }
+            "LENGTH" => {
+                argc(1)?;
+                Ok(Value::Int(args[0].as_str()?.chars().count() as i64))
+            }
+            other => Err(AimError::NotFound(format!("scalar function {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("s", DataType::Text),
+        ])
+    }
+
+    fn row() -> Row {
+        Row::new(vec![
+            Value::Int(10),
+            Value::Float(2.5),
+            Value::Text("hello".into()),
+        ])
+    }
+
+    fn eval(e: &Expr) -> Value {
+        e.eval(&schema(), &row(), &BuiltinFns).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Add, Expr::lit(5i64));
+        assert_eq!(eval(&e), Value::Int(15));
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Mul, Expr::col("b"));
+        assert_eq!(eval(&e), Value::Float(25.0));
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(9i64));
+        assert_eq!(eval(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let null = Expr::lit(Value::Null);
+        let t = Expr::lit(true);
+        let f = Expr::lit(false);
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL
+        assert_eq!(
+            eval(&Expr::binary(null.clone(), BinaryOp::And, f.clone())),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&Expr::binary(null.clone(), BinaryOp::And, t.clone())),
+            Value::Null
+        );
+        // NULL OR TRUE = TRUE
+        assert_eq!(
+            eval(&Expr::binary(null.clone(), BinaryOp::Or, t)),
+            Value::Bool(true)
+        );
+        // NULL = NULL is NULL
+        assert_eq!(
+            eval(&Expr::binary(null.clone(), BinaryOp::Eq, null)),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let e = Expr::binary(Expr::lit(Value::Null), BinaryOp::Eq, Expr::lit(1i64));
+        assert!(!e.eval_predicate(&schema(), &row(), &BuiltinFns).unwrap());
+    }
+
+    #[test]
+    fn between_and_in() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("a")),
+            lo: Box::new(Expr::lit(5i64)),
+            hi: Box::new(Expr::lit(15i64)),
+        };
+        assert_eq!(eval(&e), Value::Bool(true));
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Expr::lit(1i64), Expr::lit(10i64)],
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Bool(true));
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Expr::lit(1i64)],
+            negated: true,
+        };
+        assert_eq!(eval(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("hello", "h%"));
+        assert!(like_match("hello", "%llo"));
+        assert!(like_match("hello", "h_llo"));
+        assert!(like_match("hello", "%"));
+        assert!(!like_match("hello", "H%"));
+        assert!(!like_match("hello", "h_"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn is_null() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Bool(true));
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::col("a")),
+            negated: true,
+        };
+        assert_eq!(eval(&e), Value::Bool(true));
+    }
+
+    #[test]
+    fn builtin_functions() {
+        let e = Expr::Function {
+            name: "abs".into(),
+            args: vec![Expr::binary(Expr::lit(0i64), BinaryOp::Sub, Expr::col("a"))],
+        };
+        assert_eq!(eval(&e), Value::Int(10));
+        let e = Expr::Function {
+            name: "UPPER".into(),
+            args: vec![Expr::col("s")],
+        };
+        assert_eq!(eval(&e), Value::Text("HELLO".into()));
+        let e = Expr::Function {
+            name: "NOPE".into(),
+            args: vec![],
+        };
+        assert!(e.eval(&schema(), &row(), &BuiltinFns).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::binary(Expr::lit(1i64), BinaryOp::Div, Expr::lit(0i64));
+        assert!(e.eval(&schema(), &row(), &BuiltinFns).is_err());
+    }
+
+    #[test]
+    fn conjuncts_flatten() {
+        let p = Expr::conjunction(vec![
+            Expr::lit(true),
+            Expr::lit(false),
+            Expr::binary(Expr::col("a"), BinaryOp::Eq, Expr::lit(1i64)),
+        ])
+        .unwrap();
+        assert_eq!(p.conjuncts().len(), 3);
+        assert!(Expr::conjunction(vec![]).is_none());
+    }
+
+    #[test]
+    fn referenced_columns_collects() {
+        let e = Expr::binary(
+            Expr::qcol("t", "a"),
+            BinaryOp::Add,
+            Expr::Function {
+                name: "ABS".into(),
+                args: vec![Expr::col("b")],
+            },
+        );
+        let cols = e.referenced_columns();
+        assert_eq!(cols, vec![(Some("t"), "a"), (None, "b")]);
+    }
+
+    #[test]
+    fn qualified_column_falls_back_to_bare() {
+        let e = Expr::qcol("t", "a");
+        assert_eq!(eval(&e), Value::Int(10));
+    }
+}

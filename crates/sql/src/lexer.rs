@@ -1,0 +1,273 @@
+//! SQL lexer.
+//!
+//! Keywords are recognized case-insensitively; identifiers keep their
+//! original spelling (resolution is case-insensitive downstream). String
+//! literals use single quotes with `''` escaping.
+
+use aimdb_common::{AimError, Result};
+
+/// Lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier, uppercased for keywords at parse time.
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // punctuation / operators
+    Comma,
+    LParen,
+    RParen,
+    Semi,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    Dot,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::Neq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Lte);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Gte);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(AimError::Parse("unterminated string literal".into()));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // handle multibyte UTF-8 by slicing on char boundary
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len])
+                                .map_err(|_| AimError::Parse("invalid utf8 in string".into()))?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || (bytes[i] == b'.' && !is_float && {
+                            is_float = true;
+                            true
+                        }))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let f = text
+                        .parse::<f64>()
+                        .map_err(|_| AimError::Parse(format!("bad float literal {text}")))?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let n = text
+                        .parse::<i64>()
+                        .map_err(|_| AimError::Parse(format!("bad int literal {text}")))?;
+                    tokens.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(AimError::Parse(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let ts = tokenize("SELECT a, b FROM t WHERE a >= 10;").unwrap();
+        assert!(ts[0].is_kw("select"));
+        assert_eq!(ts[1], Token::Ident("a".into()));
+        assert!(ts.contains(&Token::Gte));
+        assert_eq!(*ts.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let ts = tokenize("42 3.25 'it''s'").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Str("it's".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ts = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(ts.len(), 4); // SELECT, 1, comma, 2
+        assert!(ts[0].is_kw("select"));
+        assert_eq!(ts[1], Token::Int(1));
+        assert_eq!(ts[2], Token::Comma);
+    }
+
+    #[test]
+    fn operators() {
+        let ts = tokenize("<> != <= >= < > = + - * / %").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Neq,
+                Token::Neq,
+                Token::Lte,
+                Token::Gte,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("SELECT #").is_err());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let ts = tokenize("'héllo wörld'").unwrap();
+        assert_eq!(ts, vec![Token::Str("héllo wörld".into())]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Logical query plans.
+//!
+//! The engine lowers a parsed [`crate::ast::Select`] into this tree, runs
+//! rewrite rules over it (the SQL-rewriter component operates here), then
+//! chooses a physical plan. The representation is deliberately close to a
+//! textbook algebra: Scan, Filter, Project, Join, Aggregate, Sort, Limit.
+
+use std::fmt;
+
+use crate::ast::{AggFunc, OrderKey};
+use crate::expr::Expr;
+
+/// One aggregate computation in an Aggregate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// `None` means `COUNT(*)`.
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// A relational logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Base-table scan. `alias` is the name the query refers to it by.
+    Scan { table: String, alias: String },
+    Filter {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<Expr>,
+        names: Vec<String>,
+    },
+    /// Inner join; `on` is the full join predicate.
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        on: Option<Expr>,
+    },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+    },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<OrderKey>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        n: usize,
+    },
+    /// Literal rows (INSERT ... VALUES, PREDICT result surface).
+    Values { rows: Vec<Vec<Expr>> },
+}
+
+impl LogicalPlan {
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    pub fn project(self, exprs: Vec<Expr>, names: Vec<String>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+            names,
+        }
+    }
+
+    pub fn join(self, right: LogicalPlan, on: Option<Expr>) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// All `(table, alias)` pairs scanned anywhere in the plan.
+    pub fn scans(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        self.walk(&mut |p| {
+            if let LogicalPlan::Scan { table, alias } = p {
+                out.push((table.as_str(), alias.as_str()));
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a LogicalPlan)) {
+        f(self);
+        match self {
+            LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {}
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.walk(f),
+            LogicalPlan::Join { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn node_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    fn fmt_indent(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            LogicalPlan::Scan { table, alias } => {
+                if table == alias {
+                    writeln!(f, "{pad}Scan {table}")
+                } else {
+                    writeln!(f, "{pad}Scan {table} AS {alias}")
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                writeln!(f, "{pad}Filter {predicate:?}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Project { input, names, .. } => {
+                writeln!(f, "{pad}Project [{}]", names.join(", "))?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Join { left, right, on } => {
+                match on {
+                    Some(e) => writeln!(f, "{pad}Join on {e:?}")?,
+                    None => writeln!(f, "{pad}CrossJoin")?,
+                }
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                writeln!(
+                    f,
+                    "{pad}Aggregate group_by={} aggs=[{}]",
+                    group_by.len(),
+                    names.join(", ")
+                )?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                writeln!(f, "{pad}Sort ({} keys)", keys.len())?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Limit { input, n } => {
+                writeln!(f, "{pad}Limit {n}")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            LogicalPlan::Values { rows } => writeln!(f, "{pad}Values ({} rows)", rows.len()),
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinaryOp, Expr};
+
+    fn scan(t: &str) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: t.into(),
+            alias: t.into(),
+        }
+    }
+
+    #[test]
+    fn builders_compose() {
+        let plan = scan("a")
+            .join(scan("b"), Some(Expr::binary(
+                Expr::qcol("a", "x"),
+                BinaryOp::Eq,
+                Expr::qcol("b", "x"),
+            )))
+            .filter(Expr::binary(Expr::col("y"), BinaryOp::Gt, Expr::lit(1i64)))
+            .project(vec![Expr::col("y")], vec!["y".into()])
+            .limit(5);
+        assert_eq!(plan.node_count(), 6);
+        assert_eq!(plan.scans(), vec![("a", "a"), ("b", "b")]);
+    }
+
+    #[test]
+    fn display_is_indented_tree() {
+        let plan = scan("t").filter(Expr::lit(true));
+        let s = plan.to_string();
+        assert!(s.starts_with("Filter"));
+        assert!(s.contains("\n  Scan t"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Binary row serialization.
+//!
+//! A compact tagged format: one type byte per value, little-endian payloads,
+//! length-prefixed text. Self-describing so heap tuples can be decoded
+//! without consulting the catalog (simplifies recovery and debugging).
+
+use bytes::{Buf, BufMut};
+
+use aimdb_common::{AimError, Result, Row, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+/// Encode a row to bytes.
+pub fn encode_row(row: &Row) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + row.len() * 9);
+    buf.put_u16_le(row.len() as u16);
+    for v in row.values() {
+        match v {
+            Value::Null => buf.put_u8(TAG_NULL),
+            Value::Int(i) => {
+                buf.put_u8(TAG_INT);
+                buf.put_i64_le(*i);
+            }
+            Value::Float(f) => {
+                buf.put_u8(TAG_FLOAT);
+                buf.put_f64_le(*f);
+            }
+            Value::Text(s) => {
+                buf.put_u8(TAG_TEXT);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
+            Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
+            Value::Bool(true) => buf.put_u8(TAG_BOOL_TRUE),
+        }
+    }
+    buf
+}
+
+/// Decode a row previously produced by [`encode_row`].
+pub fn decode_row(mut bytes: &[u8]) -> Result<Row> {
+    let corrupt = || AimError::Storage("corrupt row encoding".into());
+    if bytes.remaining() < 2 {
+        return Err(corrupt());
+    }
+    let n = bytes.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        if bytes.remaining() < 1 {
+            return Err(corrupt());
+        }
+        let tag = bytes.get_u8();
+        let v = match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                Value::Int(bytes.get_i64_le())
+            }
+            TAG_FLOAT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                Value::Float(bytes.get_f64_le())
+            }
+            TAG_TEXT => {
+                if bytes.remaining() < 4 {
+                    return Err(corrupt());
+                }
+                let len = bytes.get_u32_le() as usize;
+                if bytes.remaining() < len {
+                    return Err(corrupt());
+                }
+                let s = std::str::from_utf8(&bytes[..len])
+                    .map_err(|_| corrupt())?
+                    .to_string();
+                bytes.advance(len);
+                Value::Text(s)
+            }
+            TAG_BOOL_FALSE => Value::Bool(false),
+            TAG_BOOL_TRUE => Value::Bool(true),
+            _ => return Err(corrupt()),
+        };
+        values.push(v);
+    }
+    Ok(Row::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = Row::new(vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(3.5),
+            Value::Text("héllo".into()),
+            Value::Bool(true),
+            Value::Bool(false),
+        ]);
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let row = Row::new(vec![]);
+        assert_eq!(decode_row(&encode_row(&row)).unwrap(), row);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = encode_row(&Row::new(vec![Value::Int(7)]));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_row(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_errors() {
+        assert!(decode_row(&[1, 0, 99]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Heap files: unordered collections of rows on slotted pages.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use aimdb_common::{AimError, Result, Row};
+
+use crate::buffer::BufferPool;
+use crate::codec::{decode_row, encode_row};
+use crate::page::PageId;
+
+/// Physical address of a row: page + slot. Stable across deletions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+/// A heap file storing rows of one table. Pages are appended as needed;
+/// inserts go to the last page with room (first-fit from the tail).
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    pages: Mutex<Vec<PageId>>,
+}
+
+impl HeapFile {
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        HeapFile {
+            pool,
+            pages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Insert a row, returning its [`RowId`].
+    pub fn insert(&self, row: &Row) -> Result<RowId> {
+        let bytes = encode_row(row);
+        let mut pages = self.pages.lock();
+        if let Some(&last) = pages.last() {
+            let slot = self
+                .pool
+                .with_page_mut(last, |p| Ok(p.insert(&bytes)))?;
+            if let Some(slot) = slot {
+                return Ok(RowId { page: last, slot });
+            }
+        }
+        let page = self.pool.allocate()?;
+        pages.push(page);
+        let slot = self
+            .pool
+            .with_page_mut(page, |p| Ok(p.insert(&bytes)))?
+            .ok_or_else(|| AimError::Storage("row too large for a fresh page".into()))?;
+        Ok(RowId { page, slot })
+    }
+
+    /// Fetch one row by id; `None` if deleted.
+    pub fn get(&self, id: RowId) -> Result<Option<Row>> {
+        let page = self.pool.get(id.page)?;
+        match page.get(id.slot) {
+            Some(bytes) => Ok(Some(decode_row(bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Delete a row (tombstone).
+    pub fn delete(&self, id: RowId) -> Result<()> {
+        self.pool.with_page_mut(id.page, |p| p.delete(id.slot))
+    }
+
+    /// Replace the row at `id`. The new version may land at a new RowId if
+    /// it no longer fits in place; the returned id is authoritative.
+    pub fn update(&self, id: RowId, row: &Row) -> Result<RowId> {
+        self.delete(id)?;
+        self.insert(row)
+    }
+
+    /// Materialize all live rows with their ids, in page order.
+    pub fn scan(&self) -> Result<Vec<(RowId, Row)>> {
+        let pages: Vec<PageId> = self.pages.lock().clone();
+        let mut out = Vec::new();
+        for pid in pages {
+            let page = self.pool.get(pid)?;
+            for (slot, bytes) in page.iter() {
+                out.push((RowId { page: pid, slot }, decode_row(bytes)?));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of live rows (scans all pages).
+    pub fn len(&self) -> Result<usize> {
+        let pages: Vec<PageId> = self.pages.lock().clone();
+        let mut n = 0;
+        for pid in pages {
+            n += self.pool.get(pid)?.live_count();
+        }
+        Ok(n)
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    pub fn num_pages(&self) -> usize {
+        self.pages.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::Disk;
+    use aimdb_common::Value;
+
+    fn heap() -> HeapFile {
+        let disk = Arc::new(Disk::new());
+        let pool = Arc::new(BufferPool::new(disk, 16));
+        HeapFile::new(pool)
+    }
+
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::Text(format!("row-{i}"))])
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap();
+        let id = h.insert(&row(1)).unwrap();
+        assert_eq!(h.get(id).unwrap().unwrap(), row(1));
+    }
+
+    #[test]
+    fn scan_returns_all_in_order() {
+        let h = heap();
+        for i in 0..500 {
+            h.insert(&row(i)).unwrap();
+        }
+        let rows = h.scan().unwrap();
+        assert_eq!(rows.len(), 500);
+        assert!(h.num_pages() > 1, "should have spilled to multiple pages");
+        assert_eq!(rows[0].1, row(0));
+        assert_eq!(rows[499].1, row(499));
+    }
+
+    #[test]
+    fn delete_hides_row() {
+        let h = heap();
+        let a = h.insert(&row(1)).unwrap();
+        let b = h.insert(&row(2)).unwrap();
+        h.delete(a).unwrap();
+        assert!(h.get(a).unwrap().is_none());
+        assert_eq!(h.get(b).unwrap().unwrap(), row(2));
+        assert_eq!(h.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn update_moves_row() {
+        let h = heap();
+        let a = h.insert(&row(1)).unwrap();
+        let a2 = h.update(a, &row(99)).unwrap();
+        assert!(h.get(a).unwrap().is_none());
+        assert_eq!(h.get(a2).unwrap().unwrap(), row(99));
+    }
+
+    #[test]
+    fn empty_heap() {
+        let h = heap();
+        assert!(h.is_empty().unwrap());
+        assert_eq!(h.scan().unwrap().len(), 0);
+    }
+}

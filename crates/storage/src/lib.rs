@@ -1,0 +1,25 @@
+//! # aimdb-storage
+//!
+//! The physical storage substrate: a simulated disk with I/O accounting, a
+//! buffer pool with LRU eviction, slotted-page heap files, a B+tree index,
+//! row value serialization, and a write-ahead log sufficient for
+//! transaction rollback.
+//!
+//! Everything is in-process and deterministic. The simulated disk counts
+//! reads and writes so higher layers (cost models, knob tuning, the learned
+//! KV-design experiment) can reason about I/O without real hardware.
+
+pub mod btree;
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod wal;
+
+pub use btree::BTree;
+pub use buffer::{BufferPool, BufferStats};
+pub use disk::{Disk, DiskStats};
+pub use heap::{HeapFile, RowId};
+pub use page::{PageId, PAGE_SIZE};
+pub use wal::{LogRecord, Wal};

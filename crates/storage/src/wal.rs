@@ -1,0 +1,162 @@
+//! Write-ahead log, sufficient for transaction rollback and the
+//! fault-tolerant-learning discussion in the tutorial's challenges section.
+//!
+//! Records are kept in memory in append order. `undo_chain` walks a
+//! transaction's records newest-first so the transaction manager can undo
+//! them on abort.
+
+use parking_lot::Mutex;
+
+use aimdb_common::Row;
+
+use crate::heap::RowId;
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// One log record. Before-images carry enough to undo.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    Begin {
+        txn: TxnId,
+    },
+    Insert {
+        txn: TxnId,
+        table: String,
+        rid: RowId,
+    },
+    Delete {
+        txn: TxnId,
+        table: String,
+        rid: RowId,
+        before: Row,
+    },
+    Update {
+        txn: TxnId,
+        table: String,
+        old_rid: RowId,
+        new_rid: RowId,
+        before: Row,
+    },
+    Commit {
+        txn: TxnId,
+    },
+    Abort {
+        txn: TxnId,
+    },
+}
+
+impl LogRecord {
+    pub fn txn(&self) -> TxnId {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Insert { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => *txn,
+        }
+    }
+}
+
+/// Append-only in-memory WAL.
+#[derive(Default)]
+pub struct Wal {
+    records: Mutex<Vec<LogRecord>>,
+}
+
+impl Wal {
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    pub fn append(&self, rec: LogRecord) {
+        self.records.lock().push(rec);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All data records of `txn`, newest first — the undo order.
+    pub fn undo_chain(&self, txn: TxnId) -> Vec<LogRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| {
+                r.txn() == txn
+                    && !matches!(
+                        r,
+                        LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. }
+                    )
+            })
+            .rev()
+            .cloned()
+            .collect()
+    }
+
+    /// Whether `txn` reached a terminal record.
+    pub fn is_finished(&self, txn: TxnId) -> bool {
+        self.records.lock().iter().any(|r| {
+            matches!(r, LogRecord::Commit { txn: t } | LogRecord::Abort { txn: t } if *t == txn)
+        })
+    }
+
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageId;
+    use aimdb_common::Value;
+
+    fn rid(p: u64, s: u16) -> RowId {
+        RowId {
+            page: PageId(p),
+            slot: s,
+        }
+    }
+
+    #[test]
+    fn undo_chain_is_newest_first_and_scoped() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(LogRecord::Insert {
+            txn: 1,
+            table: "t".into(),
+            rid: rid(0, 0),
+        });
+        wal.append(LogRecord::Insert {
+            txn: 2,
+            table: "t".into(),
+            rid: rid(0, 1),
+        });
+        wal.append(LogRecord::Delete {
+            txn: 1,
+            table: "t".into(),
+            rid: rid(0, 2),
+            before: Row::new(vec![Value::Int(5)]),
+        });
+        let chain = wal.undo_chain(1);
+        assert_eq!(chain.len(), 2);
+        assert!(matches!(chain[0], LogRecord::Delete { .. }));
+        assert!(matches!(chain[1], LogRecord::Insert { txn: 1, .. }));
+    }
+
+    #[test]
+    fn finished_detection() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 7 });
+        assert!(!wal.is_finished(7));
+        wal.append(LogRecord::Commit { txn: 7 });
+        assert!(wal.is_finished(7));
+        assert!(!wal.is_finished(8));
+    }
+}

@@ -1,0 +1,107 @@
+//! DB4AI pipeline: governance → training → in-database inference.
+//!
+//! ```sh
+//! cargo run --example ml_pipeline --release
+//! ```
+//!
+//! The tutorial's DB4AI story end to end: discover related data with the
+//! EKG, clean the dirty training set with ActiveClean, label with a
+//! simulated crowd + Dawid–Skene, track lineage, train with parallel
+//! model selection, and serve predictions with batched inference and the
+//! hybrid pushdown.
+
+use aimdb_db4ai::cleaning::{run_cleaning, CleanPolicy, CleaningTask};
+use aimdb_db4ai::discovery::{generate_corpus, name_match_related, Ekg};
+use aimdb_db4ai::hybrid::run_hospital_query;
+use aimdb_db4ai::inference::{choose_strategy, distinct_ratio, feature_matrix, run_auto};
+use aimdb_db4ai::labeling::{cost_accuracy_frontier, Campaign};
+use aimdb_db4ai::lineage::{ArtifactKind, LineageGraph};
+use aimdb_db4ai::selection::{classification_problem, select_parallel, Config};
+use aimdb_engine::Database;
+use aimdb_ml::linear::LinearRegression;
+
+fn main() {
+    // --- 1. discovery ------------------------------------------------
+    println!("--- data discovery (EKG) ---");
+    let (nodes, truth) = generate_corpus(1);
+    let ekg = Ekg::build(nodes.clone(), 0.3, 0.6).expect("ekg");
+    let related = ekg.related_columns("customers", "cust_id");
+    println!("EKG found {} related columns (truth: {}):", related.len(), truth.len());
+    for (n, score) in &related {
+        println!("  {} (content overlap {score:.2})", n.id());
+    }
+    println!(
+        "name matching finds {} (and it's the wrong one)\n",
+        name_match_related(&nodes, "customers", "cust_id").len()
+    );
+
+    // --- 2. cleaning ---------------------------------------------------
+    println!("--- data cleaning (ActiveClean) ---");
+    let task = CleaningTask::generate(600, 200, 0.25, 7).expect("task");
+    let curve = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 6, 1).expect("clean");
+    for p in &curve {
+        println!("  cleaned {:>4} records → test R² {:.3}", p.cleaned, p.test_r2);
+    }
+
+    // --- 3. labeling ----------------------------------------------------
+    println!("\n--- crowd labeling (majority vote vs Dawid–Skene) ---");
+    let frontier =
+        cost_accuracy_frontier(&Campaign::typical(300), &[1, 3, 5], 5).expect("frontier");
+    for (mv, ds) in &frontier {
+        println!(
+            "  {} votes/item (${:.2}): MV {:.3} vs DS {:.3}",
+            mv.votes_per_item, mv.total_cost, mv.accuracy, ds.accuracy
+        );
+    }
+
+    // --- 4. lineage -----------------------------------------------------
+    println!("\n--- lineage ---");
+    let mut g = LineageGraph::new();
+    g.add_source("raw_patients").expect("src");
+    g.derive("cleaned", ArtifactKind::DerivedTable, "activeclean", &["raw_patients"])
+        .expect("derive");
+    g.derive("stay_model", ArtifactKind::Model, "train:linear", &["cleaned"])
+        .expect("derive");
+    let stale = g.source_changed("raw_patients").expect("change");
+    println!("  raw_patients changed → stale: {stale:?}");
+    println!(
+        "  refresh plan: {:?}",
+        g.refresh_plan().iter().map(|a| a.name.as_str()).collect::<Vec<_>>()
+    );
+
+    // --- 5. parallel model selection -------------------------------------
+    println!("\n--- model selection (task-parallel) ---");
+    let (train, valid) = classification_problem(800, 2).expect("problem");
+    let grid = Config::grid();
+    let report = select_parallel(&grid, &train, &valid, 4).expect("select");
+    println!(
+        "  {} configs in {:.2}s → best {:?} (val acc {:.3})",
+        report.configs_tested, report.wall_seconds, report.best_config, report.best_score
+    );
+
+    // --- 6. in-database inference + hybrid pushdown ----------------------
+    println!("\n--- inference + hybrid DB&AI ---");
+    let db = Database::new();
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").expect("ddl");
+    let tuples: Vec<String> = (0..5000)
+        .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
+        .collect();
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    let feats = feature_matrix(&db, "patients", &["age", "severity"]).expect("features");
+    let strategy = choose_strategy(feats.len() as f64, distinct_ratio(&feats));
+    let model_fn = |x: &[f64]| 0.05 * x[0] + 0.8 * x[1];
+    let inf = run_auto(&feats, &model_fn);
+    println!(
+        "  operator selection chose {strategy:?}: {} invocations, {:.0} cost units",
+        inf.model_invocations, inf.cost_units
+    );
+    let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
+    let (naive, pushed) =
+        run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0).expect("hybrid");
+    println!(
+        "  'stay > 3 days': predict-all {} invocations vs pushdown {} — same {} patients",
+        naive.model_invocations,
+        pushed.model_invocations,
+        pushed.qualifying.len()
+    );
+}

@@ -1,0 +1,87 @@
+//! Security audit: the learned database-security stack (E13) in action.
+//!
+//! ```sh
+//! cargo run --example security_audit --release
+//! ```
+//!
+//! Trains the three detectors of the tutorial's security section and runs
+//! them against fresh traffic: SQL-injection screening on incoming
+//! statements, sensitive-column discovery over a schema, and
+//! learned access-control decisions on an audit log.
+
+use aimdb_ai4db::security::*;
+use aimdb_ml::metrics::binary_prf;
+
+fn main() {
+    // --- SQL injection screening -------------------------------------
+    println!("--- SQL injection screening ---");
+    let train = generate_sql_corpus(600, 1);
+    let detector = SqliDetector::train_tree(&train, 3).expect("train");
+    let incoming = [
+        "SELECT name FROM users WHERE id = 42",
+        "SELECT * FROM users WHERE id = 7/**/OR/**/2>1",
+        "SELECT name FROM items WHERE id = 3 UNION SELECT password FROM users --",
+        "UPDATE users SET age = 31 WHERE id = 9",
+    ];
+    for sql in incoming {
+        let learned = detector.detect(sql);
+        let blacklist = blacklist_detect(sql);
+        println!(
+            "  [{}] blacklist={} learned={}  {sql}",
+            if learned { "BLOCK" } else { " ok  " },
+            blacklist,
+            learned
+        );
+    }
+    let test = generate_sql_corpus(300, 2);
+    let (p, r, f1) = detector_prf(&test, |s| detector.detect(s));
+    let (bp, br, bf1) = detector_prf(&test, blacklist_detect);
+    println!("  learned   P={p:.3} R={r:.3} F1={f1:.3}");
+    println!("  blacklist P={bp:.3} R={br:.3} F1={bf1:.3}");
+
+    // --- sensitive-data discovery ---------------------------------------
+    println!("\n--- sensitive-data discovery ---");
+    let train_cols = generate_columns(280, 1);
+    let clf = train_discovery(&train_cols, 3).expect("train");
+    let schema = generate_columns(21, 9);
+    for col in schema.iter().take(7) {
+        let flagged = clf.predict_one(&column_features(&col.values)) >= 0.5;
+        println!(
+            "  {:<12} sample='{}' → {}",
+            format!("{:?}", col.kind),
+            &col.values[0],
+            if flagged { "SENSITIVE" } else { "ok" }
+        );
+    }
+    let truth: Vec<f64> = schema
+        .iter()
+        .map(|c| if c.kind.is_sensitive() { 1.0 } else { 0.0 })
+        .collect();
+    let pred: Vec<f64> = schema
+        .iter()
+        .map(|c| clf.predict_one(&column_features(&c.values)))
+        .collect();
+    let (p, r, f1) = binary_prf(&pred, &truth);
+    println!("  discovery P={p:.3} R={r:.3} F1={f1:.3}");
+
+    // --- access control ---------------------------------------------------
+    println!("\n--- learned access control ---");
+    let log = generate_requests(1500, 0.02, 1);
+    let policy = train_access_model(&log, 3).expect("train");
+    let acl = static_acl(&log);
+    let probes = generate_requests(6, 0.0, 11);
+    for (req, legal) in &probes {
+        let decision = policy.predict_one(&req.features()) >= 0.5;
+        println!(
+            "  role={} sens={:.2} off_hours={} purpose={} rows={:>7.0} → {} (truth {}, static ACL {})",
+            req.role,
+            req.sensitivity,
+            req.off_hours,
+            req.purpose_declared,
+            req.rows_requested,
+            if decision { "ALLOW" } else { "DENY " },
+            legal,
+            acl[req.role.min(3)]
+        );
+    }
+}

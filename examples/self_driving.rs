@@ -1,0 +1,91 @@
+//! Self-driving session: the AI4DB components operating a live database.
+//!
+//! ```sh
+//! cargo run --example self_driving --release
+//! ```
+//!
+//! One engine instance; the advisors observe it, recommend, apply, and
+//! the monitors watch the KPIs — the tutorial's autonomous-database loop:
+//! knob tuning → index advice → learned cardinality for the optimizer →
+//! health monitoring.
+
+use aimdb_ai4db::cardinality::{CorrData, LearnedCard, LearnedEstimator};
+use aimdb_ai4db::index_advisor::{advise_greedy, advise_rl, apply_advice, workload_from_sql};
+use aimdb_ai4db::knob::{tune_rl, DbEnv, WorkloadType};
+use aimdb_ai4db::monitor::{generate_incidents, rule_accuracy, KpiDiagnoser};
+use aimdb_engine::Database;
+
+fn main() {
+    // --- a database with a real workload ----------------------------
+    let db = Database::new();
+    db.execute("CREATE TABLE events (id INT, kind INT, val INT)").expect("ddl");
+    let tuples: Vec<String> = (0..8000)
+        .map(|i| format!("({i}, {}, {})", i % 150, i % 37))
+        .collect();
+    db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(","))).expect("load");
+    db.execute("ANALYZE").expect("analyze");
+
+    // --- 1. knob tuning against the live engine ---------------------
+    println!("--- knob tuning (RL against the live engine) ---");
+    let queries = vec![
+        "SELECT COUNT(*) FROM events WHERE val < 10".to_string(),
+        "SELECT SUM(val) FROM events WHERE kind = 7".to_string(),
+    ];
+    let mut env = DbEnv::new(&db, queries, WorkloadType::Htap);
+    let report = tune_rl(&mut env, 6, 6, 42);
+    println!(
+        "tuned config {:?} → throughput {:.1} after {} evaluations",
+        report.best_config, report.best_throughput, report.evaluations
+    );
+    println!("applied knobs: {:?}\n", db.knobs.snapshot());
+
+    // --- 2. index advice (what-if costing, then apply) --------------
+    println!("--- index advisor ---");
+    let wl = workload_from_sql(&[
+        ("SELECT * FROM events WHERE id = 99", 50.0),
+        ("SELECT * FROM events WHERE kind = 3", 20.0),
+    ])
+    .expect("workload");
+    let greedy = advise_greedy(&db, &wl, 2).expect("greedy");
+    let rl = advise_rl(&db, &wl, 2, 40, 7).expect("rl");
+    println!("greedy advice: {:?} (cost {:.1})", greedy.indexes, greedy.workload_cost);
+    println!("rl advice    : {:?} (cost {:.1})", rl.indexes, rl.workload_cost);
+    let built = apply_advice(&db, &rl).expect("apply");
+    println!("built {built} index(es); EXPLAIN now shows:");
+    if let Ok(aimdb_engine::QueryResult::Text(plan)) =
+        db.execute("EXPLAIN SELECT * FROM events WHERE id = 99")
+    {
+        print!("{plan}");
+    }
+
+    // --- 3. a learned cardinality estimator for the optimizer -------
+    println!("\n--- learned cardinality estimator installed in the optimizer ---");
+    let data = CorrData::generate(10_000, 100, 0.9, 3);
+    let corr_db = data.load_into_db().expect("load");
+    let model =
+        LearnedCard::train(&data, &data.gen_queries(400, 21), 5).expect("train");
+    corr_db.set_estimator(std::sync::Arc::new(LearnedEstimator::new(model, "pairs")));
+    if let Ok(aimdb_engine::QueryResult::Text(plan)) = corr_db.execute(
+        "EXPLAIN SELECT * FROM pairs WHERE a BETWEEN 10 AND 30 AND b BETWEEN 10 AND 30",
+    ) {
+        println!("plan with learned estimates (row counts reflect the correlation):");
+        print!("{plan}");
+    }
+
+    // --- 4. health monitoring -----------------------------------------
+    println!("\n--- health monitor (iSQUAD-style root-cause diagnosis) ---");
+    let history = generate_incidents(400, 0.15, 1);
+    let diag = KpiDiagnoser::train(&history, 4, 7).expect("train");
+    let test = generate_incidents(200, 0.15, 2);
+    println!(
+        "root-cause accuracy: rules {:.2} vs KPI clustering {:.2}",
+        rule_accuracy(&test),
+        diag.accuracy(&test)
+    );
+    let kpis = db.kpis();
+    println!(
+        "current engine KPIs: {} queries, avg cost {:.1}, p95 {:.1}, hit rate {:.2}",
+        kpis.queries_executed, kpis.avg_cost_per_query, kpis.p95_cost_per_query,
+        kpis.buffer_hit_rate
+    );
+}

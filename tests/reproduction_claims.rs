@@ -1,0 +1,99 @@
+//! The reproduction's headline claims, one assertion per tutorial topic —
+//! a compact executable summary of EXPERIMENTS.md. Each test re-runs a
+//! scaled-down version of its experiment and asserts the *shape* (who
+//! wins) that the tutorial asserts.
+
+use aimdb::ai4db;
+use aimdb::db4ai;
+
+#[test]
+fn e5_claim_learned_cardinality_survives_correlation() {
+    use ai4db::cardinality::*;
+    let data = CorrData::generate(12_000, 100, 0.9, 11);
+    let db = data.load_into_db().expect("db");
+    let st = db.stats_snapshot().get("pairs").expect("stats").clone();
+    let model = LearnedCard::train(&data, &data.gen_queries(400, 21), 5).expect("train");
+    let test = data.gen_queries(100, 22);
+    let hist = evaluate("histogram", &data, &test, |q| histogram_estimate(&st, q));
+    let learned = evaluate("learned", &data, &test, |q| model.estimate(q));
+    assert!(hist.p95 > learned.p95 * 2.0, "hist {} vs learned {}", hist.p95, learned.p95);
+}
+
+#[test]
+fn e6_claim_budgeted_search_tracks_optimal() {
+    use ai4db::join_order::*;
+    let g = JoinGraph::generate(Topology::Clique, 9, 3);
+    let dp = order_dp(&g);
+    let mc = order_mcts(&g, 1500, 3);
+    assert!(mc.cost <= dp.cost * 1.5, "mcts {} vs dp {}", mc.cost, dp.cost);
+    // the scaling claim: DP's work explodes exponentially with n while the
+    // budgeted search stays flat
+    let wide = JoinGraph::generate(Topology::Chain, 14, 3);
+    let dp_wide = order_dp(&wide);
+    let mc_wide = order_mcts(&wide, 300, 3);
+    assert!(mc_wide.evaluations * 3 < dp_wide.evaluations);
+    assert!(mc_wide.cost <= dp_wide.cost * 100.0);
+}
+
+#[test]
+fn e8_claim_learned_index_is_smaller() {
+    use ai4db::learned_index::Rmi;
+    use aimdb::common::synth::uniform_keys;
+    use aimdb::storage::BTree;
+    let keys = uniform_keys(100_000, 2);
+    let rmi = Rmi::build(keys.clone(), 512).expect("rmi");
+    let bt = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).expect("bt");
+    assert!(rmi.size_bytes() * 10 < bt.size_bytes());
+    for &k in keys.iter().step_by(1009) {
+        assert!(rmi.get(k).is_some());
+    }
+}
+
+#[test]
+fn e9_claim_searched_design_dominates_fixed() {
+    use ai4db::kv_design::*;
+    for row in sweep(0.1, 1e7, 5).expect("sweep") {
+        let envelope = row.fixed.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        assert!(row.searched <= envelope + 1e-9, "read={}", row.read_frac);
+    }
+}
+
+#[test]
+fn e13_claim_learned_security_generalizes() {
+    use ai4db::security::*;
+    let train = generate_sql_corpus(600, 1);
+    let test = generate_sql_corpus(300, 2);
+    let tree = SqliDetector::train_tree(&train, 3).expect("train");
+    let (_, rec_rules, _) = detector_prf(&test, blacklist_detect);
+    let (_, rec_learned, _) = detector_prf(&test, |s| tree.detect(s));
+    assert!(rec_learned > rec_rules);
+}
+
+#[test]
+fn e14_claim_model_aware_cleaning_wins() {
+    use db4ai::cleaning::*;
+    let task = CleaningTask::generate(500, 150, 0.25, 7).expect("task");
+    let random = run_cleaning(&task, CleanPolicy::Random, 25, 5, 1).expect("rand");
+    let active = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 5, 1).expect("active");
+    assert!(
+        active.last().expect("curve").test_r2 > random.last().expect("curve").test_r2
+    );
+}
+
+#[test]
+fn e16_claim_pushdown_preserves_answers_and_saves_work() {
+    use aimdb::engine::Database;
+    use aimdb::ml::linear::LinearRegression;
+    use db4ai::hybrid::run_hospital_query;
+    let db = Database::new();
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").expect("ddl");
+    let tuples: Vec<String> = (0..3000)
+        .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
+        .collect();
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
+    let (naive, pushed) =
+        run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0).expect("run");
+    assert_eq!(naive.qualifying, pushed.qualifying);
+    assert!(pushed.model_invocations * 2 < naive.model_invocations);
+}
