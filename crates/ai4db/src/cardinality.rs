@@ -72,8 +72,7 @@ impl CorrData {
         let db = Database::new();
         db.execute("CREATE TABLE pairs (a INT, b INT)")?;
         for chunk in self.pairs.chunks(1000) {
-            let tuples: Vec<String> =
-                chunk.iter().map(|(a, b)| format!("({a}, {b})")).collect();
+            let tuples: Vec<String> = chunk.iter().map(|(a, b)| format!("({a}, {b})")).collect();
             db.execute(&format!("INSERT INTO pairs VALUES {}", tuples.join(",")))?;
         }
         db.execute("ANALYZE pairs")?;
@@ -84,9 +83,7 @@ impl CorrData {
     pub fn true_card(&self, q: &RangeQuery) -> f64 {
         self.pairs
             .iter()
-            .filter(|(a, b)| {
-                *a >= q.a_lo && *a <= q.a_hi && *b >= q.b_lo && *b <= q.b_hi
-            })
+            .filter(|(a, b)| *a >= q.a_lo && *a <= q.a_hi && *b >= q.b_lo && *b <= q.b_hi)
             .count() as f64
     }
 
@@ -386,10 +383,16 @@ mod tests {
             q.a_lo, q.a_hi, q.b_lo, q.b_hi
         ))
         .unwrap();
-        let aimdb_sql::Statement::Select(sel) = sel else { panic!() };
+        let aimdb_sql::Statement::Select(sel) = sel else {
+            panic!()
+        };
         let plan = db.plan(&sel).unwrap();
         let qe = q_error(plan.est_rows, truth);
-        assert!(qe < 3.0, "optimizer-visible q-error {qe} (est {} truth {truth})", plan.est_rows);
+        assert!(
+            qe < 3.0,
+            "optimizer-visible q-error {qe} (est {} truth {truth})",
+            plan.est_rows
+        );
     }
 
     #[test]

@@ -393,7 +393,8 @@ mod tests {
         let db = Database::new();
         db.execute("CREATE TABLE t (a INT, b INT)").unwrap();
         let tuples: Vec<String> = (0..4000).map(|i| format!("({}, {i})", i % 2)).collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+            .unwrap();
         db.execute("ANALYZE").unwrap();
         // column a is referenced often but has 2 distinct values (useless
         // index); b is rare but highly selective.

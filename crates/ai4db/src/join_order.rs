@@ -116,9 +116,7 @@ impl JoinGraph {
     pub fn connected_next(&self, mask: u64) -> Vec<usize> {
         let connected: Vec<usize> = (0..self.n())
             .filter(|&r| mask >> r & 1 == 0)
-            .filter(|&r| {
-                (0..self.n()).any(|i| mask >> i & 1 == 1 && self.edge(i, r).is_some())
-            })
+            .filter(|&r| (0..self.n()).any(|i| mask >> i & 1 == 1 && self.edge(i, r).is_some()))
             .collect();
         if connected.is_empty() {
             (0..self.n()).filter(|&r| mask >> r & 1 == 0).collect()
@@ -380,7 +378,12 @@ mod tests {
         permute(&mut perm, 0, &mut |p| {
             best = best.min(g.cost(p));
         });
-        assert!((dp.cost - best).abs() < best * 1e-9, "dp {} vs brute {}", dp.cost, best);
+        assert!(
+            (dp.cost - best).abs() < best * 1e-9,
+            "dp {} vs brute {}",
+            dp.cost,
+            best
+        );
     }
 
     fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
@@ -436,7 +439,10 @@ mod tests {
             mcts_ratio < greedy_ratio,
             "mcts ratio {mcts_ratio:.3} vs greedy ratio {greedy_ratio:.3}"
         );
-        assert!(mcts_ratio < 1.3, "mcts should stay near-optimal: {mcts_ratio:.3}");
+        assert!(
+            mcts_ratio < 1.3,
+            "mcts should stay near-optimal: {mcts_ratio:.3}"
+        );
     }
 
     #[test]

@@ -137,7 +137,11 @@ pub fn cost(d: &Design, w: &Workload) -> f64 {
 pub fn bottleneck(d: &Design, w: &Workload) -> (&'static str, f64) {
     let (point, write, scan, _) = components(d, w);
     let total = (point + write + scan).max(1e-12);
-    let mut parts = [("point_reads", point), ("writes", write), ("range_scans", scan)];
+    let mut parts = [
+        ("point_reads", point),
+        ("writes", write),
+        ("range_scans", scan),
+    ];
     parts.sort_by(|a, b| b.1.total_cmp(&a.1));
     (parts[0].0, parts[0].1 / total)
 }
@@ -146,7 +150,11 @@ pub fn bottleneck(d: &Design, w: &Workload) -> (&'static str, f64) {
 /// nudging one knob at a time in the direction that reduces total cost,
 /// with step-size halving — the "gradient descent procedure" of the
 /// data-structure-alchemy description.
-pub fn search_design(w: &Workload, start: Design, max_iters: usize) -> Result<(Design, f64, usize)> {
+pub fn search_design(
+    w: &Workload,
+    start: Design,
+    max_iters: usize,
+) -> Result<(Design, f64, usize)> {
     let mut d = start.clamp();
     let mut best = cost(&d, w);
     let mut evals = 1;
@@ -306,9 +314,7 @@ mod tests {
     #[test]
     fn sweep_shows_crossovers() {
         let rows = sweep(0.0, N, 11).unwrap();
-        let at = |row: &SweepRow, name: &str| {
-            row.fixed.iter().find(|(n, _)| *n == name).unwrap().1
-        };
+        let at = |row: &SweepRow, name: &str| row.fixed.iter().find(|(n, _)| *n == name).unwrap().1;
         // write end: lsm < hash; read end: hash < lsm → a crossover exists
         let first = &rows[0];
         let last = rows.last().unwrap();
@@ -329,17 +335,14 @@ mod tests {
     fn searched_knobs_move_with_the_workload() {
         // write-heavy → higher merge_levels than scan-heavy (scans pay
         // per-level merge amplification, so the search flattens the tree)
-        let (dw, _, _) =
-            search_design(&Workload::mix(0.05, 0.0, N), Design::btree(), 300).unwrap();
-        let (ds, _, _) =
-            search_design(&Workload::mix(0.1, 0.8, N), Design::lsm(), 300).unwrap();
+        let (dw, _, _) = search_design(&Workload::mix(0.05, 0.0, N), Design::btree(), 300).unwrap();
+        let (ds, _, _) = search_design(&Workload::mix(0.1, 0.8, N), Design::lsm(), 300).unwrap();
         assert!(
             dw.merge_levels > ds.merge_levels,
             "write-heavy {dw:?} vs scan-heavy {ds:?}"
         );
         // read-heavy point workload → the search reaches for the hash path
-        let (dr, _, _) =
-            search_design(&Workload::mix(0.95, 0.0, N), Design::btree(), 300).unwrap();
+        let (dr, _, _) = search_design(&Workload::mix(0.95, 0.0, N), Design::btree(), 300).unwrap();
         assert!(dr.hash_fraction > 0.5, "read-heavy {dr:?}");
     }
 }

@@ -146,8 +146,7 @@ impl Rmi {
     /// spent in the bounded local search (the comparison metric vs. the
     /// B+tree's nodes-visited).
     pub fn get_with_cost(&self, key: i64) -> (Option<usize>, usize) {
-        let leaf = (self.root.predict(key).floor().max(0.0) as usize)
-            .min(self.leaves.len() - 1);
+        let leaf = (self.root.predict(key).floor().max(0.0) as usize).min(self.leaves.len() - 1);
         let pred = self.leaves[leaf].predict(key);
         let err = self.errors[leaf];
         let center = pred.round().max(0.0) as usize;
@@ -252,8 +251,7 @@ impl UpdatableIndex {
         let (mut i, mut j) = (0, 0);
         let main = self.rmi.keys();
         while i < main.len() || j < self.delta.len() {
-            let take_main = j >= self.delta.len()
-                || (i < main.len() && main[i] <= self.delta[j]);
+            let take_main = j >= self.delta.len() || (i < main.len() && main[i] <= self.delta[j]);
             if take_main {
                 keys.push(main[i]);
                 i += 1;
@@ -335,8 +333,7 @@ mod tests {
     fn rmi_much_smaller_than_btree() {
         let keys = uniform_keys(100_000, 2);
         let rmi = Rmi::build(keys.clone(), 512).unwrap();
-        let btree =
-            BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
+        let btree = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
         assert!(
             rmi.size_bytes() * 10 < btree.size_bytes(),
             "rmi {} vs btree {}",
@@ -416,8 +413,7 @@ mod tests {
     fn lookup_cost_competitive_with_btree_on_uniform() {
         let keys = uniform_keys(100_000, 6);
         let rmi = Rmi::build(keys.clone(), 1024).unwrap();
-        let btree =
-            BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
+        let btree = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).unwrap();
         let mut rmi_cost = 0usize;
         let mut bt_cost = 0usize;
         for &k in keys.iter().step_by(97) {

@@ -192,7 +192,13 @@ pub fn stale_stats_db() -> Result<Database> {
     // phase 2: 20k more rows, almost all kind=7 → kind=7 now matches ~60%
     // of the table, so the index scan the stats still love is terrible
     let tuples: Vec<String> = (2000..22000)
-        .map(|i| format!("({i}, {}, {})", if i % 8 == 0 { i % 100 } else { 7 }, i % 37))
+        .map(|i| {
+            format!(
+                "({i}, {}, {})",
+                if i % 8 == 0 { i % 100 } else { 7 },
+                i % 37
+            )
+        })
         .collect();
     db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(",")))?;
     Ok(db)
@@ -200,15 +206,17 @@ pub fn stale_stats_db() -> Result<Database> {
 
 /// The workload whose plans the stale stats mislead.
 pub fn stale_workload() -> Result<Vec<Select>> {
-    ["SELECT COUNT(*) FROM events WHERE kind = 7 AND val < 30",
-     "SELECT SUM(val) FROM events WHERE kind = 7",
-     "SELECT COUNT(*) FROM events WHERE kind = 7 AND val > 5"]
-        .iter()
-        .map(|sql| match parse_one(sql)? {
-            Statement::Select(s) => Ok(s),
-            _ => unreachable!("workload is SELECTs"),
-        })
-        .collect()
+    [
+        "SELECT COUNT(*) FROM events WHERE kind = 7 AND val < 30",
+        "SELECT SUM(val) FROM events WHERE kind = 7",
+        "SELECT COUNT(*) FROM events WHERE kind = 7 AND val > 5",
+    ]
+    .iter()
+    .map(|sql| match parse_one(sql)? {
+        Statement::Select(s) => Ok(s),
+        _ => unreachable!("workload is SELECTs"),
+    })
+    .collect()
 }
 
 /// Run the full E7 loop: train NEO with latency feedback for `episodes`,

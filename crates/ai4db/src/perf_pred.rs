@@ -167,10 +167,7 @@ pub fn run_experiment(n_train: usize, n_test: usize, seed: u64) -> Result<(f64, 
         .collect();
     let base_pred: Vec<f64> = test_mixes.iter().map(baseline_predict).collect();
     let learned_pred: Vec<f64> = test_mixes.iter().map(|m| model.predict(m)).collect();
-    Ok((
-        mape(&base_pred, &test_lat),
-        mape(&learned_pred, &test_lat),
-    ))
+    Ok((mape(&base_pred, &test_lat), mape(&learned_pred, &test_lat)))
 }
 
 #[cfg(test)]
@@ -215,10 +212,26 @@ mod tests {
     #[test]
     fn graph_features_capture_edge_types() {
         let mix: Mix = vec![
-            QueryDesc { table: 0, isolated_cost: 10.0, is_writer: false },
-            QueryDesc { table: 0, isolated_cost: 20.0, is_writer: false },
-            QueryDesc { table: 0, isolated_cost: 30.0, is_writer: true },
-            QueryDesc { table: 1, isolated_cost: 40.0, is_writer: false },
+            QueryDesc {
+                table: 0,
+                isolated_cost: 10.0,
+                is_writer: false,
+            },
+            QueryDesc {
+                table: 0,
+                isolated_cost: 20.0,
+                is_writer: false,
+            },
+            QueryDesc {
+                table: 0,
+                isolated_cost: 30.0,
+                is_writer: true,
+            },
+            QueryDesc {
+                table: 1,
+                isolated_cost: 40.0,
+                is_writer: false,
+            },
         ];
         let f = graph_features(&mix);
         assert_eq!(f[0], 100.0); // total cost

@@ -133,7 +133,11 @@ fn fold(e: &Expr) -> Expr {
             }
         }
     }
-    if let Expr::Unary { op: UnaryOp::Neg, expr } = e {
+    if let Expr::Unary {
+        op: UnaryOp::Neg,
+        expr,
+    } = e
+    {
         if let Some(Value::Int(i)) = as_lit(expr) {
             return Expr::Literal(Value::Int(-i));
         }
@@ -469,7 +473,10 @@ mod tests {
         let e = Expr::binary(x.clone(), BinaryOp::And, Expr::lit(true));
         assert_eq!(apply_rule(&e, Rule::SimplifyLogic).unwrap(), x);
         let e = Expr::binary(x.clone(), BinaryOp::Or, Expr::lit(true));
-        assert_eq!(apply_rule(&e, Rule::SimplifyLogic).unwrap(), Expr::lit(true));
+        assert_eq!(
+            apply_rule(&e, Rule::SimplifyLogic).unwrap(),
+            Expr::lit(true)
+        );
         let e = Expr::Unary {
             op: UnaryOp::Not,
             expr: Box::new(Expr::Unary {
@@ -519,7 +526,10 @@ mod tests {
             mcts_total < fixed_total,
             "mcts {mcts_total} vs fixed {fixed_total}"
         );
-        assert!(mcts_total <= fixpoint_total + 2, "mcts near fixpoint quality");
+        assert!(
+            mcts_total <= fixpoint_total + 2,
+            "mcts near fixpoint quality"
+        );
     }
 
     #[test]
@@ -540,11 +550,13 @@ mod tests {
             ("x", DataType::Int),
         ]);
         let rows: Vec<Row> = (0..64)
-            .map(|i| Row::new(vec![
-                Value::Int(i % 8),
-                Value::Int(i % 3),
-                Value::Int(i - 32),
-            ]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i % 8),
+                    Value::Int(i % 3),
+                    Value::Int(i - 32),
+                ])
+            })
             .collect();
         for e in cascade_workload() {
             let rewritten = rewrite_fixpoint(&e).final_expr;

@@ -314,12 +314,18 @@ pub fn column_features(values: &[String]) -> Vec<f64> {
 pub fn regex_sensitive(values: &[String]) -> bool {
     let canonical_phone = |v: &str| {
         let b: Vec<&str> = v.split('-').collect();
-        b.len() == 3 && b[0].len() == 3 && b[1].len() == 3 && b[2].len() == 4
+        b.len() == 3
+            && b[0].len() == 3
+            && b[1].len() == 3
+            && b[2].len() == 4
             && b.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
     };
     let canonical_ssn = |v: &str| {
         let b: Vec<&str> = v.split('-').collect();
-        b.len() == 3 && b[0].len() == 3 && b[1].len() == 2 && b[2].len() == 4
+        b.len() == 3
+            && b[0].len() == 3
+            && b[1].len() == 2
+            && b[2].len() == 4
             && b.iter().all(|p| p.chars().all(|c| c.is_ascii_digit()))
     };
     let canonical_card = |v: &str| {
@@ -361,8 +367,8 @@ pub fn train_discovery(columns: &[ColumnSample], seed: u64) -> Result<DecisionTr
 /// An access request in the audit log.
 #[derive(Debug, Clone, Copy)]
 pub struct AccessRequest {
-    pub role: usize,       // 0=analyst 1=engineer 2=admin 3=contractor
-    pub sensitivity: f64,  // table sensitivity 0..1
+    pub role: usize,      // 0=analyst 1=engineer 2=admin 3=contractor
+    pub sensitivity: f64, // table sensitivity 0..1
     pub off_hours: bool,
     pub purpose_declared: bool,
     pub rows_requested: f64,
@@ -441,7 +447,9 @@ pub fn static_acl(log: &[(AccessRequest, bool)]) -> [bool; 4] {
 pub fn train_access_model(log: &[(AccessRequest, bool)], seed: u64) -> Result<DecisionTree> {
     let ds = Dataset::new(
         log.iter().map(|(r, _)| r.features()).collect(),
-        log.iter().map(|(_, l)| if *l { 1.0 } else { 0.0 }).collect(),
+        log.iter()
+            .map(|(_, l)| if *l { 1.0 } else { 0.0 })
+            .collect(),
     )?;
     DecisionTree::fit(
         &ds,
@@ -458,7 +466,9 @@ pub fn train_access_model(log: &[(AccessRequest, bool)], seed: u64) -> Result<De
 pub fn train_access_logreg(log: &[(AccessRequest, bool)], seed: u64) -> Result<LogisticRegression> {
     let ds = Dataset::new(
         log.iter().map(|(r, _)| r.features()).collect(),
-        log.iter().map(|(_, l)| if *l { 1.0 } else { 0.0 }).collect(),
+        log.iter()
+            .map(|(_, l)| if *l { 1.0 } else { 0.0 })
+            .collect(),
     )?;
     LogisticRegression::fit(
         &ds,
@@ -487,8 +497,14 @@ mod tests {
         // the blacklist misses obfuscated payloads
         assert!(rec_black < 0.8, "blacklist recall {rec_black}");
         assert!(rec_bayes > rec_black, "bayes recall {rec_bayes}");
-        assert!(f1_tree > f1_black, "tree f1 {f1_tree} vs blacklist {f1_black}");
-        assert!(f1_bayes > 0.9 || f1_tree > 0.9, "one learned detector must be strong");
+        assert!(
+            f1_tree > f1_black,
+            "tree f1 {f1_tree} vs blacklist {f1_black}"
+        );
+        assert!(
+            f1_bayes > 0.9 || f1_tree > 0.9,
+            "one learned detector must be strong"
+        );
     }
 
     #[test]
@@ -518,8 +534,14 @@ mod tests {
             .collect();
         let (_, regex_rec, regex_f1) = binary_prf(&regex_pred, &truth);
         let (_, tree_rec, tree_f1) = binary_prf(&tree_pred, &truth);
-        assert!(regex_rec < 0.95, "regex should miss reformatted PII: {regex_rec}");
-        assert!(tree_rec > regex_rec, "tree recall {tree_rec} vs regex {regex_rec}");
+        assert!(
+            regex_rec < 0.95,
+            "regex should miss reformatted PII: {regex_rec}"
+        );
+        assert!(
+            tree_rec > regex_rec,
+            "tree recall {tree_rec} vs regex {regex_rec}"
+        );
         assert!(tree_f1 > regex_f1, "tree f1 {tree_f1} vs regex {regex_f1}");
         assert!(tree_f1 > 0.9, "tree f1 {tree_f1}");
     }

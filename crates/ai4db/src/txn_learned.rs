@@ -68,9 +68,7 @@ pub fn generate_txns(n: usize, keyspace: usize, skew: f64, seed: u64) -> Vec<Txn
         .map(|id| {
             let n_reads = rng.gen_range(1..5);
             let n_writes = rng.gen_range(1..3);
-            let reads: HashSet<u64> = (0..n_reads)
-                .map(|_| zipf.sample(&mut rng) as u64)
-                .collect();
+            let reads: HashSet<u64> = (0..n_reads).map(|_| zipf.sample(&mut rng) as u64).collect();
             let writes: HashSet<u64> = (0..n_writes)
                 .map(|_| zipf.sample(&mut rng) as u64)
                 .collect();
@@ -91,8 +89,12 @@ pub struct ScheduleReport {
 
 /// Execute batches: within a batch, conflicting pairs abort the
 /// later-positioned transaction, which retries in a later batch.
-pub fn execute_batches(mut queue: Vec<Txn>, batch_size: usize, method: &str,
-    mut pack: impl FnMut(&[Txn], usize) -> Vec<usize>) -> ScheduleReport {
+pub fn execute_batches(
+    mut queue: Vec<Txn>,
+    batch_size: usize,
+    method: &str,
+    mut pack: impl FnMut(&[Txn], usize) -> Vec<usize>,
+) -> ScheduleReport {
     let total = queue.len();
     let mut aborts = 0usize;
     let mut batches = 0usize;

@@ -15,7 +15,9 @@ fn bench_join(c: &mut Criterion) {
     // where DP hurts and budgeted search shines
     group.sample_size(10);
     group.bench_function("dp/n13", |b| b.iter(|| order_dp(&large).cost));
-    group.bench_function("mcts400/n13", |b| b.iter(|| order_mcts(&large, 400, 7).cost));
+    group.bench_function("mcts400/n13", |b| {
+        b.iter(|| order_mcts(&large, 400, 7).cost)
+    });
     group.finish();
 }
 

@@ -83,7 +83,15 @@ pub fn e2() -> Report {
     db.execute("CREATE TABLE items (id INT, cat INT, price FLOAT, stock INT, vendor INT)")
         .expect("ddl");
     let tuples: Vec<String> = (0..4000)
-        .map(|i| format!("({i}, {}, {}, {}, {})", i % 500, (i % 97) as f64, i % 13, i % 211))
+        .map(|i| {
+            format!(
+                "({i}, {}, {}, {}, {})",
+                i % 500,
+                (i % 97) as f64,
+                i % 13,
+                i % 211
+            )
+        })
         .collect();
     db.execute(&format!("INSERT INTO items VALUES {}", tuples.join(",")))
         .expect("load");
@@ -94,7 +102,10 @@ pub fn e2() -> Report {
         ("SELECT * FROM items WHERE stock = 5", 1.0),
     ])
     .expect("workload");
-    r.row(format!("{:<12} {:>12} {:>8} {:>6}", "advisor", "cost", "evals", "#idx"));
+    r.row(format!(
+        "{:<12} {:>12} {:>8} {:>6}",
+        "advisor", "cost", "evals", "#idx"
+    ));
     for advice in [
         advise_none(&db, &wl).expect("none"),
         advise_all(&db, &wl).expect("all"),
@@ -114,7 +125,8 @@ pub fn e2() -> Report {
     let db2 = Database::new();
     db2.execute("CREATE TABLE t (a INT, b INT)").expect("ddl");
     let tuples: Vec<String> = (0..4000).map(|i| format!("({}, {i})", i % 2)).collect();
-    db2.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).expect("load");
+    db2.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+        .expect("load");
     db2.execute("ANALYZE").expect("analyze");
     let trap = workload_from_sql(&[
         ("SELECT * FROM t WHERE a = 1", 10.0), // hot but 2-distinct column
@@ -127,19 +139,28 @@ pub fn e2() -> Report {
         "frequency trap (budget 1): frequency picks {:?} (cost {:.0}) vs rl picks {:?} (cost {:.0})",
         freq.indexes, freq.workload_cost, rl2.indexes, rl2.workload_cost
     ));
-    r.row("expected shape: rl ≈ greedy < none; rl respects budget; rl dodges the frequency trap".into());
+    r.row(
+        "expected shape: rl ≈ greedy < none; rl respects budget; rl dodges the frequency trap"
+            .into(),
+    );
     r
 }
 
 /// E3 — learned view advisor.
 pub fn e3() -> Report {
     use aimdb_ai4db::view_advisor::*;
-    let mut r = Report::new("E3", "view advisor: realized net benefit under a storage budget");
+    let mut r = Report::new(
+        "E3",
+        "view advisor: realized net benefit under a storage budget",
+    );
     let history = generate_candidates(400, 5);
     let model = BenefitModel::train(&history, 5.0, 9).expect("train");
     let test = generate_candidates(120, 6);
     let budget = 80_000.0;
-    r.row(format!("{:<22} {:>12} {:>10}", "method", "benefit", "storage"));
+    r.row(format!(
+        "{:<22} {:>12} {:>10}",
+        "method", "benefit", "storage"
+    ));
     for sel in [
         select_none(),
         select_heuristic(&test, budget),
@@ -182,8 +203,12 @@ pub fn e4() -> Report {
         "rewriter (total expr size / rule applications over {} queries):",
         cascade_workload().len()
     ));
-    r.row(format!("  fixed-order: size {fixed_sz:>3}  apps {fixed_ap:>3}"));
-    r.row(format!("  mcts       : size {mcts_sz:>3}  apps {mcts_ap:>3}"));
+    r.row(format!(
+        "  fixed-order: size {fixed_sz:>3}  apps {fixed_ap:>3}"
+    ));
+    r.row(format!(
+        "  mcts       : size {mcts_sz:>3}  apps {mcts_ap:>3}"
+    ));
     r.row(format!("  fixpoint   : size {fp_sz:>3}  apps {fp_ap:>3}"));
     let s = PartitionScenario::skew_trap();
     r.row("partitioning (workload cost by key choice):".into());
@@ -198,14 +223,20 @@ pub fn e4() -> Report {
             c.method, c.key, c.cost, c.evaluations
         ));
     }
-    r.row("expected shape: mcts ≈ fixpoint quality at fewer apps; learned key ≈ oracle < heuristics".into());
+    r.row(
+        "expected shape: mcts ≈ fixpoint quality at fewer apps; learned key ≈ oracle < heuristics"
+            .into(),
+    );
     r
 }
 
 /// E5 — learned cardinality estimation vs histograms under correlation.
 pub fn e5() -> Report {
     use aimdb_ai4db::cardinality::*;
-    let mut r = Report::new("E5", "cardinality estimation: q-error vs column correlation");
+    let mut r = Report::new(
+        "E5",
+        "cardinality estimation: q-error vs column correlation",
+    );
     r.row(format!(
         "{:>5} | {:>12} {:>10} | {:>12} {:>10}",
         "corr", "hist median", "hist p95", "learn median", "learn p95"
@@ -224,7 +255,10 @@ pub fn e5() -> Report {
             hist.median, hist.p95, learned.median, learned.p95
         ));
     }
-    r.row("expected shape: comparable at corr=0; histograms blow up with corr, learned stays flat".into());
+    r.row(
+        "expected shape: comparable at corr=0; histograms blow up with corr, learned stays flat"
+            .into(),
+    );
     r
 }
 
@@ -271,7 +305,10 @@ pub fn e6() -> Report {
 /// E7 — NEO-style end-to-end learned optimizer under stale statistics.
 pub fn e7() -> Report {
     use aimdb_ai4db::neo::*;
-    let mut r = Report::new("E7", "end-to-end optimizer: measured workload latency (cost units)");
+    let mut r = Report::new(
+        "E7",
+        "end-to-end optimizer: measured workload latency (cost units)",
+    );
     let rep = run_experiment(6, 42).expect("neo");
     r.row(format!(
         "cost-model baseline (stale stats): {:.1}",
@@ -286,7 +323,10 @@ pub fn e7() -> Report {
         rep.candidates_per_query,
         rep.baseline_latency / rep.neo_latency.max(1e-9)
     ));
-    r.row("expected shape: NEO < baseline once stats are stale (latency feedback self-corrects)".into());
+    r.row(
+        "expected shape: NEO < baseline once stats are stale (latency feedback self-corrects)"
+            .into(),
+    );
     r
 }
 
@@ -340,7 +380,10 @@ pub fn e8() -> Report {
 /// E9 — learned KV design over the read/write mix.
 pub fn e9() -> Report {
     use aimdb_ai4db::kv_design::*;
-    let mut r = Report::new("E9", "data-structure design: cost vs read fraction (scan 10%)");
+    let mut r = Report::new(
+        "E9",
+        "data-structure design: cost vs read fraction (scan 10%)",
+    );
     r.row(format!(
         "{:>5} | {:>8} {:>8} {:>8} {:>8} | {:>9}",
         "read%", "btree", "lsm", "hash", "sorted", "searched"
@@ -371,11 +414,17 @@ pub fn e9() -> Report {
 pub fn e10() -> Report {
     use aimdb_ai4db::txn_learned::*;
     use aimdb_common::synth::seasonal_trace;
-    let mut r = Report::new("E10", "transactions: scheduling throughput + arrival forecasting");
+    let mut r = Report::new(
+        "E10",
+        "transactions: scheduling throughput + arrival forecasting",
+    );
     let history = generate_txns(800, 200, 1.1, 6);
     let model = ConflictModel::train(&history, 32, 4000, 7).expect("train");
     let txns = generate_txns(300, 200, 1.1, 8);
-    r.row(format!("{:<26} {:>10} {:>8} {:>8}", "scheduler", "thrpt/bat", "aborts", "batches"));
+    r.row(format!(
+        "{:<26} {:>10} {:>8} {:>8}",
+        "scheduler", "thrpt/bat", "aborts", "batches"
+    ));
     for rep in [
         schedule_fifo(txns.clone(), 8),
         model.schedule(txns.clone(), 8, 0.5),
@@ -391,7 +440,10 @@ pub fn e10() -> Report {
     for (name, m) in forecast_comparison(&trace, 24) {
         r.row(format!("  {name:<16} {:.4}", m));
     }
-    r.row("expected shape: learned scheduler between FIFO and oracle; AR/seasonal beat last-value".into());
+    r.row(
+        "expected shape: learned scheduler between FIFO and oracle; AR/seasonal beat last-value"
+            .into(),
+    );
     r
 }
 
@@ -399,7 +451,10 @@ pub fn e10() -> Report {
 pub fn e11() -> Report {
     use aimdb_ai4db::monitor::*;
     use aimdb_common::synth::seasonal_trace;
-    let mut r = Report::new("E11", "health monitor: root-cause accuracy + proactive detection");
+    let mut r = Report::new(
+        "E11",
+        "health monitor: root-cause accuracy + proactive detection",
+    );
     let history = generate_incidents(400, 0.15, 1);
     let test = generate_incidents(200, 0.15, 2);
     let diag = KpiDiagnoser::train(&history, 4, 7).expect("train");
@@ -413,7 +468,9 @@ pub fn e11() -> Report {
     r.row(format!(
         "proactive forecasting: {early} early warnings, {false_alarms} false alarms"
     ));
-    r.row("expected shape: clustering > rules under KPI noise; early warnings ≫ false alarms".into());
+    r.row(
+        "expected shape: clustering > rules under KPI noise; early warnings ≫ false alarms".into(),
+    );
     r
 }
 
@@ -421,7 +478,10 @@ pub fn e11() -> Report {
 pub fn e12() -> Report {
     use aimdb_ai4db::monitor::*;
     use aimdb_ai4db::perf_pred;
-    let mut r = Report::new("E12", "activity monitor (bandit) + concurrent perf prediction");
+    let mut r = Report::new(
+        "E12",
+        "activity monitor (bandit) + concurrent perf prediction",
+    );
     let steps = 400;
     let budget = 2;
     let random = monitor_random(&mut ActivityStream::typical(1), steps, budget, 9);
@@ -436,7 +496,10 @@ pub fn e12() -> Report {
         "concurrent-latency MAPE: plan-cost-sum {:.3} vs graph-feature MLP {:.3}",
         base_mape, learned_mape
     ));
-    r.row("expected shape: bandit ≈ oracle ≫ random; learned MAPE well under the cost-sum baseline".into());
+    r.row(
+        "expected shape: bandit ≈ oracle ≫ random; learned MAPE well under the cost-sum baseline"
+            .into(),
+    );
     r
 }
 
@@ -444,7 +507,10 @@ pub fn e12() -> Report {
 pub fn e13() -> Report {
     use aimdb_ai4db::security::*;
     use aimdb_ml::metrics::binary_prf;
-    let mut r = Report::new("E13", "security: precision/recall/F1 of learned vs rule-based");
+    let mut r = Report::new(
+        "E13",
+        "security: precision/recall/F1 of learned vs rule-based",
+    );
     let train = generate_sql_corpus(600, 1);
     let test = generate_sql_corpus(300, 2);
     let bayes = SqliDetector::train_bayes(&train).expect("bayes");
@@ -478,8 +544,14 @@ pub fn e13() -> Report {
     let rp = binary_prf(&regex_pred, &truth);
     let tp = binary_prf(&tree_pred, &truth);
     r.row("sensitive-data discovery:".into());
-    r.row(format!("  regex-rules        P={:.3} R={:.3} F1={:.3}", rp.0, rp.1, rp.2));
-    r.row(format!("  learned-profile    P={:.3} R={:.3} F1={:.3}", tp.0, tp.1, tp.2));
+    r.row(format!(
+        "  regex-rules        P={:.3} R={:.3} F1={:.3}",
+        rp.0, rp.1, rp.2
+    ));
+    r.row(format!(
+        "  learned-profile    P={:.3} R={:.3} F1={:.3}",
+        tp.0, tp.1, tp.2
+    ));
     let train_log = generate_requests(1500, 0.02, 1);
     let test_log = generate_requests(500, 0.0, 2);
     let acm = train_access_model(&train_log, 3).expect("access");
@@ -498,7 +570,10 @@ pub fn e13() -> Report {
         "access control accuracy: static ACL {:.3} vs learned policy {:.3}",
         acl_acc, tree_acc
     ));
-    r.row("expected shape: learned recall ≫ rules on obfuscated/reformatted inputs; policy > ACL".into());
+    r.row(
+        "expected shape: learned recall ≫ rules on obfuscated/reformatted inputs; policy > ACL"
+            .into(),
+    );
     r
 }
 
@@ -513,8 +588,7 @@ pub fn e14() -> Report {
     let (nodes, truth) = generate_corpus(1);
     let ekg = Ekg::build(nodes.clone(), 0.3, 0.6).expect("ekg");
     let related = ekg.related_columns("customers", "cust_id");
-    let found: std::collections::HashSet<String> =
-        related.iter().map(|(n, _)| n.id()).collect();
+    let found: std::collections::HashSet<String> = related.iter().map(|(n, _)| n.id()).collect();
     let recall = truth.intersection(&found).count() as f64 / truth.len() as f64;
     let by_name = name_match_related(&nodes, "customers", "cust_id");
     r.row(format!(
@@ -547,13 +621,18 @@ pub fn e14() -> Report {
     // lineage
     let mut g = LineageGraph::new();
     g.add_source("raw").expect("src");
-    g.derive("clean", ArtifactKind::DerivedTable, "activeclean", &["raw"]).expect("d");
-    g.derive("model", ArtifactKind::Model, "train", &["clean"]).expect("d");
+    g.derive("clean", ArtifactKind::DerivedTable, "activeclean", &["raw"])
+        .expect("d");
+    g.derive("model", ArtifactKind::Model, "train", &["clean"])
+        .expect("d");
     let stale = g.source_changed("raw").expect("change");
     r.row(format!(
         "lineage: raw change marks {} artifacts stale; refresh plan {:?}",
         stale.len(),
-        g.refresh_plan().iter().map(|a| a.name.as_str()).collect::<Vec<_>>()
+        g.refresh_plan()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
     ));
     r.row("expected shape: EKG ≫ name-match; activeclean > random; DS ≥ MV at every budget".into());
     r
@@ -576,7 +655,9 @@ pub fn e15() -> Report {
     let serial = select_serial(&grid, &train, &valid).expect("serial");
     let parallel = select_parallel(&grid, &train, &valid, 4).expect("parallel");
     let halving = select_halving(&grid, &train, &valid).expect("halving");
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     r.row(format!(
         "model selection ({cores} core(s)): serial {:.2}s vs parallel(x4) {:.2}s ({} configs, same best {:.3}); halving spends {} vs {} epochs",
         serial.wall_seconds,
@@ -635,11 +716,13 @@ pub fn e16() -> Report {
     ));
     // hybrid hospital query
     let db = Database::new();
-    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").expect("ddl");
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")
+        .expect("ddl");
     let tuples: Vec<String> = (0..5000)
         .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
+        .expect("load");
     let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
     let (naive, pushed) =
         run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0).expect("hybrid");
@@ -672,7 +755,11 @@ pub fn a1() -> Report {
         let deployed = if converged { rl_tp } else { default_tp };
         r.row(format!(
             "{label:<13}: rl {rl_tp:>6.1} vs default {default_tp:>6.1} → deploy {} ({:.1})",
-            if converged { "RL config" } else { "fallback default" },
+            if converged {
+                "RL config"
+            } else {
+                "fallback default"
+            },
             deployed
         ));
     }
@@ -685,15 +772,20 @@ pub fn a1() -> Report {
 /// challenge), vs. retraining.
 pub fn a2() -> Report {
     use aimdb_ai4db::cardinality::*;
-    let mut r = Report::new("A2", "ablation: estimator adaptability across data distributions");
+    let mut r = Report::new(
+        "A2",
+        "ablation: estimator adaptability across data distributions",
+    );
     let corr_data = CorrData::generate(20_000, 100, 0.9, 11);
     let indep_data = CorrData::generate(20_000, 100, 0.0, 12);
-    let model_corr = LearnedCard::train(&corr_data, &corr_data.gen_queries(600, 21), 5)
-        .expect("train");
-    let model_indep = LearnedCard::train(&indep_data, &indep_data.gen_queries(600, 23), 5)
-        .expect("train");
+    let model_corr =
+        LearnedCard::train(&corr_data, &corr_data.gen_queries(600, 21), 5).expect("train");
+    let model_indep =
+        LearnedCard::train(&indep_data, &indep_data.gen_queries(600, 23), 5).expect("train");
     let test = indep_data.gen_queries(150, 25);
-    let transferred = evaluate("transferred", &indep_data, &test, |q| model_corr.estimate(q));
+    let transferred = evaluate("transferred", &indep_data, &test, |q| {
+        model_corr.estimate(q)
+    });
     let retrained = evaluate("retrained", &indep_data, &test, |q| model_indep.estimate(q));
     r.row(format!(
         "model trained on corr=0.9, tested on corr=0.0: median q-error {:.2} (p95 {:.2})",
@@ -711,10 +803,16 @@ pub fn a2() -> Report {
 /// estimator need (the tutorial's training-data challenge)?
 pub fn a3() -> Report {
     use aimdb_ai4db::cardinality::*;
-    let mut r = Report::new("A3", "ablation: learned-estimator quality vs training-set size");
+    let mut r = Report::new(
+        "A3",
+        "ablation: learned-estimator quality vs training-set size",
+    );
     let data = CorrData::generate(20_000, 100, 0.9, 11);
     let test = data.gen_queries(150, 22);
-    r.row(format!("{:>8} {:>12} {:>10}", "queries", "median qerr", "p95 qerr"));
+    r.row(format!(
+        "{:>8} {:>12} {:>10}",
+        "queries", "median qerr", "p95 qerr"
+    ));
     for n in [50usize, 150, 400, 800] {
         let train = data.gen_queries(n, 21);
         let model = LearnedCard::train(&data, &train, 5).expect("train");
@@ -741,7 +839,8 @@ pub fn a4() -> Report {
             format!("({i}, {age}, {sev}, {})", 0.05 * age as f64 + 0.8 * sev)
         })
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
+        .expect("load");
     for sql in [
         "CREATE MODEL stay KIND LINEAR ON patients (age, severity) LABEL days WITH (epochs = 300)",
         "PREDICT stay GIVEN (63, 2.5)",
@@ -756,7 +855,10 @@ pub fn a4() -> Report {
         r.row(format!("sql> {sql}"));
         r.row(format!("     {rendered}"));
     }
-    r.row("expected shape: model trains in-database; PREDICT works standalone and inside WHERE".into());
+    r.row(
+        "expected shape: model trains in-database; PREDICT works standalone and inside WHERE"
+            .into(),
+    );
     r
 }
 
@@ -770,8 +872,8 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
 /// Look up one experiment by id (case-insensitive).
 pub fn experiment_by_id(id: &str) -> Option<fn() -> Report> {
     let ids = [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-        "e14", "e15", "e16", "a1", "a2", "a3", "a4",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15", "e16", "a1", "a2", "a3", "a4",
     ];
     ids.iter()
         .position(|x| x.eq_ignore_ascii_case(id))

@@ -10,6 +10,7 @@
 //! types.
 
 pub mod error;
+pub mod json;
 pub mod row;
 pub mod schema;
 pub mod synth;

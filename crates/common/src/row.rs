@@ -1,13 +1,11 @@
 //! Rows: the unit of data flowing through the executor.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::Result;
 use crate::schema::Schema;
 use crate::value::Value;
 
 /// A single tuple of values, positionally aligned with a [`Schema`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Row {
     values: Vec<Value>,
 }

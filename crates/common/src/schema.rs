@@ -1,12 +1,10 @@
 //! Table schemas: ordered, named, typed columns.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{AimError, Result};
 use crate::value::{DataType, Value};
 
 /// A single column definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Column {
     pub name: String,
     pub data_type: DataType,
@@ -29,7 +27,7 @@ impl Column {
 }
 
 /// An ordered set of columns describing a table or an operator's output.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -42,10 +40,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
+            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
         }
     }
 

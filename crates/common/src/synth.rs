@@ -117,6 +117,7 @@ pub fn correlated_pairs(n: usize, domain: i64, corr: f64, seed: u64) -> Vec<(i64
 /// A seasonal arrival-rate trace: `len` ticks of a sinusoidal daily pattern
 /// plus linear trend plus gaussian noise plus optional injected spikes.
 /// Used by the workload-forecasting and health-monitoring experiments.
+#[allow(clippy::too_many_arguments)]
 pub fn seasonal_trace(
     len: usize,
     period: usize,
@@ -196,9 +197,8 @@ mod tests {
     fn correlation_changes_joint_distribution() {
         let indep = correlated_pairs(10_000, 50, 0.0, 1);
         let dep = correlated_pairs(10_000, 50, 0.95, 1);
-        let match_rate = |ps: &[(i64, i64)]| {
-            ps.iter().filter(|(a, b)| a == b).count() as f64 / ps.len() as f64
-        };
+        let match_rate =
+            |ps: &[(i64, i64)]| ps.iter().filter(|(a, b)| a == b).count() as f64 / ps.len() as f64;
         assert!(match_rate(&indep) < 0.1);
         assert!(match_rate(&dep) > 0.9);
     }

@@ -9,12 +9,10 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::{AimError, Result};
 
 /// Logical column types supported by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Int,
     Float,
@@ -48,7 +46,7 @@ impl DataType {
 }
 
 /// A single SQL value.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     Null,
     Int(i64),
@@ -126,9 +124,7 @@ impl Value {
             (Value::Float(f), DataType::Int) => Ok(Value::Int(f as i64)),
             (v @ Value::Text(_), DataType::Text) => Ok(v),
             (v @ Value::Bool(_), DataType::Bool) => Ok(v),
-            (v, t) => Err(AimError::TypeMismatch(format!(
-                "cannot coerce {v} to {t}"
-            ))),
+            (v, t) => Err(AimError::TypeMismatch(format!("cannot coerce {v} to {t}"))),
         }
     }
 
@@ -273,10 +269,7 @@ mod tests {
     fn sql_cmp_null_is_unknown() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
-        assert_eq!(
-            Value::Int(1).sql_cmp(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]

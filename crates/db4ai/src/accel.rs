@@ -64,8 +64,7 @@ pub fn should_offload(
 /// The smallest square batch size at which offloading wins (the
 /// crossover point of the E15 sweep).
 pub fn crossover_batch(acc: &Accelerator, k: usize, host_threads: usize) -> Option<usize> {
-    (1..=4096)
-        .find(|&m| should_offload(acc, m, k, m, host_threads).0)
+    (1..=4096).find(|&m| should_offload(acc, m, k, m, host_threads).0)
 }
 
 /// Host matmul parallelized over row chunks with crossbeam — the

@@ -86,7 +86,9 @@ impl ModelRuntime {
             let Ok(feats) = feats else { continue };
             match lidx {
                 Some(li) => {
-                    let Ok(lv) = row.get(li).as_f64() else { continue };
+                    let Ok(lv) = row.get(li).as_f64() else {
+                        continue;
+                    };
                     x.push(feats);
                     y.push(lv);
                 }
@@ -231,8 +233,10 @@ mod tests {
     /// Patients table from the tutorial's hybrid-inference example.
     fn patients_db() -> Database {
         let db = Database::new();
-        db.execute("CREATE TABLE patients (id INT, name TEXT, age INT, severity FLOAT, days FLOAT)")
-            .unwrap();
+        db.execute(
+            "CREATE TABLE patients (id INT, name TEXT, age INT, severity FLOAT, days FLOAT)",
+        )
+        .unwrap();
         let tuples: Vec<String> = (0..500)
             .map(|i| {
                 let age = 20 + (i * 7) % 60;
@@ -260,7 +264,10 @@ mod tests {
         let r = db.execute("PREDICT stay GIVEN (40, 2.0)").unwrap();
         let v = r.scalar().unwrap().as_f64().unwrap();
         let expect = 0.05 * 40.0 + 0.8 * 2.0;
-        assert!((v - expect).abs() < 0.3, "predicted {v}, expected ≈{expect}");
+        assert!(
+            (v - expect).abs() < 0.3,
+            "predicted {v}, expected ≈{expect}"
+        );
     }
 
     #[test]
@@ -306,16 +313,22 @@ mod tests {
         let db = patients_db();
         ModelRuntime::install(&db);
         // binary label: long stay?
-        db.execute("CREATE TABLE flags (age INT, sev FLOAT, long INT)").unwrap();
+        db.execute("CREATE TABLE flags (age INT, sev FLOAT, long INT)")
+            .unwrap();
         let tuples: Vec<String> = (0..300)
             .map(|i| {
                 let age = 20 + i % 60;
                 let sev = (i % 10) as f64 / 2.0;
-                let long = if 0.05 * age as f64 + 0.8 * sev > 3.0 { 1 } else { 0 };
+                let long = if 0.05 * age as f64 + 0.8 * sev > 3.0 {
+                    1
+                } else {
+                    0
+                };
                 format!("({age}, {sev}, {long})")
             })
             .collect();
-        db.execute(&format!("INSERT INTO flags VALUES {}", tuples.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO flags VALUES {}", tuples.join(",")))
+            .unwrap();
         for kind in ["LOGISTIC", "TREE", "NB"] {
             db.execute(&format!(
                 "CREATE MODEL c_{kind} KIND {kind} ON flags (age, sev) LABEL long"

@@ -74,8 +74,7 @@ impl Ekg {
     pub fn build(nodes: Vec<ColumnNode>, content_thresh: f64, name_thresh: f64) -> Result<Self> {
         let value_sets: Vec<HashSet<&String>> =
             nodes.iter().map(|n| n.values.iter().collect()).collect();
-        let name_sets: Vec<HashSet<String>> =
-            nodes.iter().map(|n| trigrams(&n.column)).collect();
+        let name_sets: Vec<HashSet<String>> = nodes.iter().map(|n| trigrams(&n.column)).collect();
         let mut edges: HashMap<usize, Vec<(usize, EdgeKind)>> = HashMap::new();
         for i in 0..nodes.len() {
             for j in i + 1..nodes.len() {

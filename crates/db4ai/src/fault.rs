@@ -14,14 +14,13 @@
 //! training is bit-identical to an uninterrupted run because the
 //! optimizer state is fully captured.
 
-use serde::{Deserialize, Serialize};
-
+use aimdb_common::json::{num_array, parse_num_array, Json};
 use aimdb_common::{AimError, Result};
 use aimdb_ml::data::Dataset;
 
 /// Gradient-descent state for a linear regressor, fully serializable —
 /// everything needed to resume mid-training.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     pub weights: Vec<f64>,
     pub bias: f64,
@@ -32,13 +31,28 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| AimError::Execution(format!("checkpoint encode: {e}")))
+        Ok(Json::obj(vec![
+            ("weights", num_array(&self.weights)),
+            ("bias", Json::Num(self.bias)),
+            ("epoch", Json::Num(self.epoch as f64)),
+            ("lr", Json::Num(self.lr)),
+            ("total_epochs", Json::Num(self.total_epochs as f64)),
+        ])
+        .to_string_compact())
     }
 
     pub fn from_json(s: &str) -> Result<Checkpoint> {
-        serde_json::from_str(s)
-            .map_err(|e| AimError::InvalidInput(format!("checkpoint decode: {e}")))
+        let decode = |s: &str| -> Result<Checkpoint> {
+            let v = Json::parse(s)?;
+            Ok(Checkpoint {
+                weights: parse_num_array(v.field("weights")?)?,
+                bias: v.field("bias")?.as_f64()?,
+                epoch: v.field("epoch")?.as_u64()? as usize,
+                lr: v.field("lr")?.as_f64()?,
+                total_epochs: v.field("total_epochs")?.as_u64()? as usize,
+            })
+        };
+        decode(s).map_err(|e| AimError::InvalidInput(format!("checkpoint decode: {e}")))
     }
 }
 
@@ -77,7 +91,11 @@ impl<'a> CheckpointedTrainer<'a> {
     }
 
     /// Restore a trainer from a checkpoint (crash recovery path).
-    pub fn resume(data: &'a Dataset, checkpoint: Checkpoint, checkpoint_every: usize) -> Result<Self> {
+    pub fn resume(
+        data: &'a Dataset,
+        checkpoint: Checkpoint,
+        checkpoint_every: usize,
+    ) -> Result<Self> {
         if data.dim() != checkpoint.weights.len() {
             return Err(AimError::InvalidInput(format!(
                 "checkpoint has {} weights, data has {} features",
@@ -173,7 +191,10 @@ mod tests {
         let mut t = CheckpointedTrainer::new(&ds, 0.5, 400, 50).expect("trainer");
         let final_state = t.train(None).expect("train");
         assert_eq!(final_state.epoch, 400);
-        assert!((final_state.weights[0] - 3.0).abs() < 0.1, "{final_state:?}");
+        assert!(
+            (final_state.weights[0] - 3.0).abs() < 0.1,
+            "{final_state:?}"
+        );
         assert!((final_state.bias - 1.0).abs() < 0.1);
         assert_eq!(t.log.len(), 8); // every 50 of 400
     }
@@ -208,6 +229,70 @@ mod tests {
         let json = c.to_json().expect("encode");
         assert_eq!(Checkpoint::from_json(&json).expect("decode"), c);
         assert!(Checkpoint::from_json("{bad").is_err());
+    }
+
+    #[test]
+    fn corrupted_checkpoint_json_is_a_clean_error() {
+        let good = Checkpoint {
+            weights: vec![1.5, -2.0],
+            bias: 0.25,
+            epoch: 42,
+            lr: 0.1,
+            total_epochs: 100,
+        }
+        .to_json()
+        .expect("encode");
+        // truncated mid-document (torn write of the checkpoint file)
+        for cut in [1, good.len() / 3, good.len() - 1] {
+            let err = Checkpoint::from_json(&good[..cut]).expect_err("truncated must fail");
+            assert_eq!(err.category(), "invalid_input", "cut at {cut}: {err}");
+        }
+        // a required field is missing entirely
+        let missing = good.replace("\"epoch\"", "\"epoch_gone\"");
+        assert_eq!(
+            Checkpoint::from_json(&missing)
+                .expect_err("missing field")
+                .category(),
+            "invalid_input"
+        );
+        // a field has the wrong type (string where a number belongs)
+        let wrong_type = good.replace("\"bias\":0.25", "\"bias\":\"corrupt\"");
+        assert_ne!(wrong_type, good, "replacement must hit");
+        assert_eq!(
+            Checkpoint::from_json(&wrong_type)
+                .expect_err("wrong type")
+                .category(),
+            "invalid_input"
+        );
+        // bit-flip style corruption of the payload
+        let flipped = good.replacen('[', "<", 1);
+        assert_eq!(
+            Checkpoint::from_json(&flipped)
+                .expect_err("flipped byte")
+                .category(),
+            "invalid_input"
+        );
+    }
+
+    #[test]
+    fn resume_through_json_roundtrip_is_bit_identical() {
+        let ds = dataset();
+        let mut clean = CheckpointedTrainer::new(&ds, 0.5, 300, 25).expect("trainer");
+        let reference = clean.train(None).expect("train");
+        // crash, then resume from a checkpoint that has been serialized to
+        // JSON and parsed back — the full durability path, not a clone
+        let mut crashed = CheckpointedTrainer::new(&ds, 0.5, 300, 25).expect("trainer");
+        crashed.train(Some(201)).expect_err("must crash");
+        let (epoch, json) = crashed.log.last().cloned().expect("durable checkpoint");
+        assert_eq!(epoch, 200);
+        let ckpt = Checkpoint::from_json(&json).expect("decode");
+        let mut resumed = CheckpointedTrainer::resume(&ds, ckpt, 25).expect("resume");
+        let recovered = resumed.train(None).expect("finish");
+        assert_eq!(recovered, reference);
+        assert_eq!(
+            recovered.to_json().expect("encode"),
+            reference.to_json().expect("encode"),
+        );
     }
 
     #[test]

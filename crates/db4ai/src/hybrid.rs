@@ -242,11 +242,13 @@ mod tests {
     #[test]
     fn end_to_end_on_database() {
         let db = Database::new();
-        db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").unwrap();
+        db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")
+            .unwrap();
         let tuples: Vec<String> = (0..1000)
             .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
             .collect();
-        db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
+            .unwrap();
         let model = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
         let (naive, pushed) =
             run_hospital_query(&db, "patients", &["age", "severity"], &model, 5.0, 0).unwrap();

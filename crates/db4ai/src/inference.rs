@@ -128,8 +128,11 @@ pub fn choose_strategy(rows: f64, distinct_ratio: f64) -> Strategy {
     [Strategy::PerRowUdf, Strategy::Batched, Strategy::Cached]
         .into_iter()
         .min_by(|a, b| {
-            predicted_cost(*a, rows, distinct_ratio)
-                .total_cmp(&predicted_cost(*b, rows, distinct_ratio))
+            predicted_cost(*a, rows, distinct_ratio).total_cmp(&predicted_cost(
+                *b,
+                rows,
+                distinct_ratio,
+            ))
         })
         .expect("three strategies")
 }
@@ -156,7 +159,11 @@ pub fn run_auto(features: &[Vec<f64>], model: &PredictFn) -> InferenceReport {
 /// Assemble predictions back into SQL values (the operator's output
 /// column).
 pub fn to_values(report: &InferenceReport) -> Vec<Value> {
-    report.predictions.iter().map(|&p| Value::Float(p)).collect()
+    report
+        .predictions
+        .iter()
+        .map(|&p| Value::Float(p))
+        .collect()
 }
 
 /// Validate that two reports computed identical predictions.
@@ -241,8 +248,10 @@ mod tests {
     #[test]
     fn feature_matrix_reads_from_database() {
         let db = Database::new();
-        db.execute("CREATE TABLE pts (a INT, b FLOAT, note TEXT)").unwrap();
-        db.execute("INSERT INTO pts VALUES (1, 2.5, 'x'), (3, 4.5, 'y')").unwrap();
+        db.execute("CREATE TABLE pts (a INT, b FLOAT, note TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO pts VALUES (1, 2.5, 'x'), (3, 4.5, 'y')")
+            .unwrap();
         let m = feature_matrix(&db, "pts", &["a", "b"]).unwrap();
         assert_eq!(m, vec![vec![1.0, 2.5], vec![3.0, 4.5]]);
         assert!(feature_matrix(&db, "pts", &["nope"]).is_err());

@@ -55,7 +55,9 @@ pub fn run_campaign(
     seed: u64,
 ) -> Result<(LabelingOutcome, LabelingOutcome)> {
     if votes_per_item == 0 {
-        return Err(AimError::InvalidInput("need at least one vote per item".into()));
+        return Err(AimError::InvalidInput(
+            "need at least one vote per item".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let truth: Vec<usize> = (0..c.n_items)
@@ -139,7 +141,9 @@ mod tests {
         let c = Campaign::typical(300);
         let frontier = cost_accuracy_frontier(&c, &[1, 3, 5, 7], 3).unwrap();
         // cost strictly grows
-        assert!(frontier.windows(2).all(|w| w[1].0.total_cost > w[0].0.total_cost));
+        assert!(frontier
+            .windows(2)
+            .all(|w| w[1].0.total_cost > w[0].0.total_cost));
         // accuracy at 7 votes beats accuracy at 1 vote for both methods
         assert!(frontier[3].0.accuracy > frontier[0].0.accuracy);
         assert!(frontier[3].1.accuracy > frontier[0].1.accuracy);

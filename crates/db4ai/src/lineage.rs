@@ -257,8 +257,13 @@ mod tests {
         let mut g = LineageGraph::new();
         g.add_source("raw_events").unwrap();
         g.add_source("customer_master").unwrap();
-        g.derive("cleaned", ArtifactKind::DerivedTable, "activeclean", &["raw_events"])
-            .unwrap();
+        g.derive(
+            "cleaned",
+            ArtifactKind::DerivedTable,
+            "activeclean",
+            &["raw_events"],
+        )
+        .unwrap();
         g.derive(
             "features",
             ArtifactKind::FeatureSet,
@@ -266,10 +271,20 @@ mod tests {
             &["cleaned", "customer_master"],
         )
         .unwrap();
-        g.derive("churn_model", ArtifactKind::Model, "train:logreg", &["features"])
-            .unwrap();
-        g.derive("dashboard", ArtifactKind::Report, "aggregate", &["churn_model"])
-            .unwrap();
+        g.derive(
+            "churn_model",
+            ArtifactKind::Model,
+            "train:logreg",
+            &["features"],
+        )
+        .unwrap();
+        g.derive(
+            "dashboard",
+            ArtifactKind::Report,
+            "aggregate",
+            &["churn_model"],
+        )
+        .unwrap();
         g
     }
 
@@ -291,7 +306,10 @@ mod tests {
             .iter()
             .map(|a| a.name.as_str())
             .collect();
-        assert_eq!(desc, vec!["cleaned", "features", "churn_model", "dashboard"]);
+        assert_eq!(
+            desc,
+            vec!["cleaned", "features", "churn_model", "dashboard"]
+        );
     }
 
     #[test]

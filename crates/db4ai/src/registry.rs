@@ -13,8 +13,7 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
+use aimdb_common::json::Json;
 use aimdb_common::{AimError, Result, Value};
 use aimdb_ml::bayes::GaussianNb;
 use aimdb_ml::cluster::KMeans;
@@ -54,7 +53,7 @@ impl TrainedModel {
 }
 
 /// Searchable metadata for one model version.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelMeta {
     pub name: String,
     pub version: u32,
@@ -167,16 +166,21 @@ impl ModelRegistry {
 
     /// Export the catalog (metadata of every version) as JSON.
     pub fn export_catalog(&self) -> Result<String> {
-        let metas: Vec<&ModelMeta> = self.list();
-        serde_json::to_string_pretty(&metas)
-            .map_err(|e| AimError::Execution(format!("catalog export failed: {e}")))
+        let metas = Json::Arr(self.list().into_iter().map(meta_to_json).collect());
+        Ok(metas.to_string_pretty())
     }
 
     /// Import a catalog export (metadata only — weights are not shipped,
     /// as in ModelDB's lightweight mode). Returns the parsed entries.
     pub fn parse_catalog(json: &str) -> Result<Vec<ModelMeta>> {
-        serde_json::from_str(json)
-            .map_err(|e| AimError::InvalidInput(format!("bad catalog JSON: {e}")))
+        let decode = |json: &str| -> Result<Vec<ModelMeta>> {
+            Json::parse(json)?
+                .as_arr()?
+                .iter()
+                .map(meta_from_json)
+                .collect()
+        };
+        decode(json).map_err(|e| AimError::InvalidInput(format!("bad catalog JSON: {e}")))
     }
 
     pub fn len(&self) -> usize {
@@ -186,6 +190,70 @@ impl ModelRegistry {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+fn meta_to_json(m: &ModelMeta) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(m.name.clone())),
+        ("version", Json::Num(m.version as f64)),
+        ("kind", Json::Str(m.kind.clone())),
+        ("table", Json::Str(m.table.clone())),
+        (
+            "features",
+            Json::Arr(m.features.iter().map(|f| Json::Str(f.clone())).collect()),
+        ),
+        ("label", m.label.clone().map_or(Json::Null, Json::Str)),
+        (
+            "params",
+            Json::Arr(
+                m.params
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Str(v.clone())]))
+                    .collect(),
+            ),
+        ),
+        ("train_metric", Json::Num(m.train_metric)),
+        ("metric_name", Json::Str(m.metric_name.clone())),
+        ("created_at", Json::Num(m.created_at as f64)),
+    ])
+}
+
+fn meta_from_json(v: &Json) -> Result<ModelMeta> {
+    let label = match v.field("label")? {
+        Json::Null => None,
+        other => Some(other.as_str()?.to_string()),
+    };
+    let params = v
+        .field("params")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let kv = pair.as_arr()?;
+            match kv {
+                [k, val] => Ok((k.as_str()?.to_string(), val.as_str()?.to_string())),
+                _ => Err(AimError::InvalidInput(
+                    "json: param entry is not a [key, value] pair".into(),
+                )),
+            }
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ModelMeta {
+        name: v.field("name")?.as_str()?.to_string(),
+        version: v.field("version")?.as_u64()? as u32,
+        kind: v.field("kind")?.as_str()?.to_string(),
+        table: v.field("table")?.as_str()?.to_string(),
+        features: v
+            .field("features")?
+            .as_arr()?
+            .iter()
+            .map(|f| Ok(f.as_str()?.to_string()))
+            .collect::<Result<Vec<_>>>()?,
+        label,
+        params,
+        train_metric: v.field("train_metric")?.as_f64()?,
+        metric_name: v.field("metric_name")?.as_str()?.to_string(),
+        created_at: v.field("created_at")?.as_u64()?,
+    })
 }
 
 /// Convert model params from SQL values to display strings for metadata.

@@ -157,7 +157,9 @@ pub fn select_parallel(
     }
     let flat: Vec<(Config, f64)> = scores.into_iter().flatten().collect();
     if flat.len() != grid.len() {
-        return Err(AimError::Execution("a configuration failed to evaluate".into()));
+        return Err(AimError::Execution(
+            "a configuration failed to evaluate".into(),
+        ));
     }
     let (best_config, best_score) = argbest(&flat)?;
     Ok(SelectionReport {
@@ -217,13 +219,23 @@ pub fn classification_problem(n: usize, seed: u64) -> Result<(Dataset, Dataset)>
     use rand::rngs::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|_| vec![rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+        .map(|_| {
+            vec![
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            ]
+        })
         .collect();
     let y: Vec<f64> = x
         .iter()
         .map(|r| {
             let s = r[0] * r[0] + 0.8 * r[1] - 0.5 * r[2];
-            if s > 0.5 { 1.0 } else { 0.0 }
+            if s > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
         })
         .collect();
     let ds = Dataset::new(x, y)?;

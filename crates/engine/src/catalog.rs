@@ -170,7 +170,11 @@ impl Table {
     }
 
     pub fn indexed_columns(&self) -> Vec<String> {
-        self.indexes.read().values().map(|i| i.column.clone()).collect()
+        self.indexes
+            .read()
+            .values()
+            .map(|i| i.column.clone())
+            .collect()
     }
 }
 
@@ -226,7 +230,12 @@ impl Catalog {
     }
 
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().values().map(|t| t.name.clone()).collect();
+        let mut names: Vec<String> = self
+            .tables
+            .read()
+            .values()
+            .map(|t| t.name.clone())
+            .collect();
         names.sort();
         names
     }
@@ -242,6 +251,19 @@ impl Catalog {
             .write()
             .insert(key, (table.to_string(), column.to_string()));
         Ok(())
+    }
+
+    /// All secondary indexes as `(name, table, column)`, sorted by name —
+    /// the shape checkpoint snapshots persist.
+    pub fn indexes(&self) -> Vec<(String, String, String)> {
+        let mut out: Vec<(String, String, String)> = self
+            .index_names
+            .read()
+            .iter()
+            .map(|(name, (table, column))| (name.clone(), table.clone(), column.clone()))
+            .collect();
+        out.sort();
+        out
     }
 
     pub fn drop_index(&self, name: &str) -> Result<()> {
@@ -276,10 +298,18 @@ mod tests {
     fn create_insert_scan() {
         let (pool, cat) = setup();
         let t = cat.create_table("users", schema(), pool).unwrap();
-        t.insert(vec![Value::Int(1), Value::Text("ann".into())]).unwrap();
-        t.insert(vec![Value::Int(2), Value::Text("bob".into())]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Text("ann".into())])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Text("bob".into())])
+            .unwrap();
         assert_eq!(t.row_count().unwrap(), 2);
-        assert!(cat.create_table("USERS", schema(), Arc::new(BufferPool::new(Arc::new(Disk::new()), 4))).is_err());
+        assert!(cat
+            .create_table(
+                "USERS",
+                schema(),
+                Arc::new(BufferPool::new(Arc::new(Disk::new()), 4))
+            )
+            .is_err());
         assert!(cat.table("Users").is_ok());
     }
 
@@ -287,14 +317,20 @@ mod tests {
     fn index_maintained_through_dml() {
         let (pool, cat) = setup();
         let t = cat.create_table("u", schema(), pool).unwrap();
-        let r1 = t.insert(vec![Value::Int(1), Value::Text("a".into())]).unwrap();
+        let r1 = t
+            .insert(vec![Value::Int(1), Value::Text("a".into())])
+            .unwrap();
         cat.create_index("idx_id", "u", "id").unwrap();
-        let r2 = t.insert(vec![Value::Int(2), Value::Text("b".into())]).unwrap();
+        let r2 = t
+            .insert(vec![Value::Int(2), Value::Text("b".into())])
+            .unwrap();
         let idx = t.index_on("id").unwrap();
         assert_eq!(idx.lookup(&Value::Int(1)), vec![r1]);
         assert_eq!(idx.lookup(&Value::Int(2)), vec![r2]);
         // update moves the row
-        let (_, r2b) = t.update(r2, vec![Value::Int(3), Value::Text("b".into())]).unwrap();
+        let (_, r2b) = t
+            .update(r2, vec![Value::Int(3), Value::Text("b".into())])
+            .unwrap();
         assert!(idx.lookup(&Value::Int(2)).is_empty());
         assert_eq!(idx.lookup(&Value::Int(3)), vec![r2b]);
         // delete removes the entry
@@ -307,7 +343,8 @@ mod tests {
         let (pool, cat) = setup();
         let t = cat.create_table("u", schema(), pool).unwrap();
         for i in 0..100 {
-            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))]).unwrap();
+            t.insert(vec![Value::Int(i), Value::Text(format!("n{i}"))])
+                .unwrap();
         }
         cat.create_index("idx", "u", "id").unwrap();
         let idx = t.index_on("id").unwrap();
@@ -319,8 +356,12 @@ mod tests {
         let (pool, cat) = setup();
         let t = cat.create_table("u", schema(), pool).unwrap();
         cat.create_index("idx", "u", "id").unwrap();
-        let a = t.insert(vec![Value::Int(7), Value::Text("x".into())]).unwrap();
-        let b = t.insert(vec![Value::Int(7), Value::Text("y".into())]).unwrap();
+        let a = t
+            .insert(vec![Value::Int(7), Value::Text("x".into())])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(7), Value::Text("y".into())])
+            .unwrap();
         let idx = t.index_on("id").unwrap();
         let mut rids = idx.lookup(&Value::Int(7));
         rids.sort();

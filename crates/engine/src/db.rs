@@ -1,7 +1,8 @@
 //! The `Database` facade: parse → plan → execute, plus DDL, DML,
-//! transactions, knobs, statistics and the AISQL model hook.
+//! transactions, durability (WAL + checkpoints + crash recovery), knobs,
+//! statistics and the AISQL model hook.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -11,9 +12,10 @@ use aimdb_sql::ast::{ModelKind, Select, Statement};
 use aimdb_sql::expr::{BuiltinFns, ScalarFns};
 use aimdb_sql::parser::{parse, parse_one};
 use aimdb_sql::Expr;
-use aimdb_storage::{BufferPool, Disk, Wal};
+use aimdb_storage::wal::{CheckpointData, IndexSnapshot, LogRecord, TableSnapshot};
+use aimdb_storage::{scan_wal, BufferPool, Disk, DiskSink, PageStore, RowId, Wal};
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, Table};
 use crate::exec::{execute, ExecContext};
 use crate::knobs::Knobs;
 use crate::metrics::{KpiSnapshot, Metrics};
@@ -109,7 +111,7 @@ impl ScalarFns for EngineFns {
 /// assert_eq!(r.scalar().unwrap().as_i64().unwrap(), 1);
 /// ```
 pub struct Database {
-    disk: Arc<Disk>,
+    store: Arc<dyn PageStore>,
     pool: Arc<BufferPool>,
     pub catalog: Catalog,
     pub wal: Wal,
@@ -127,17 +129,46 @@ impl Default for Database {
     }
 }
 
+/// What [`Database::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records scanned from the durable log.
+    pub total_records: usize,
+    /// Records applied (DDL + committed DML after the checkpoint).
+    pub replayed: u64,
+    /// Whether a checkpoint bounded the replay.
+    pub from_checkpoint: bool,
+    /// Committed transactions whose effects were redone.
+    pub committed_txns: usize,
+    /// Transactions that had begun but never committed (discarded).
+    pub loser_txns: usize,
+    /// Bytes dropped off a torn/corrupt log tail.
+    pub corrupt_tail_bytes: usize,
+}
+
 impl Database {
+    /// A fresh database over its own private disk, WAL-durable to that
+    /// disk's log area.
     pub fn new() -> Self {
-        let disk = Arc::new(Disk::new());
+        Database::with_store(Arc::new(Disk::new()))
+    }
+
+    /// Open over an existing page store (possibly wrapped in a
+    /// [`aimdb_storage::FaultInjector`]). The WAL writes through to the
+    /// store's durable log area; this does NOT replay any existing log —
+    /// use [`Database::recover`] for that.
+    pub fn with_store(store: Arc<dyn PageStore>) -> Self {
         let knobs = Knobs::new();
-        let cap = knobs.get("buffer_pool_pages").expect("default knob") as usize;
-        let pool = Arc::new(BufferPool::new(Arc::clone(&disk), cap));
+        let cap = knobs.get("buffer_pool_pages").unwrap_or(64) as usize;
+        let pool = Arc::new(BufferPool::new(Arc::clone(&store), cap));
+        let wal = Wal::with_sink(Box::new(DiskSink::new(Arc::clone(&store))));
+        let sync = knobs.get("wal_sync").map(|v| v != 0).unwrap_or(true);
+        wal.set_sync_on_commit(sync);
         Database {
-            disk,
+            store,
             pool,
             catalog: Catalog::new(),
-            wal: Wal::new(),
+            wal,
             knobs,
             metrics: Metrics::new(),
             stats: RwLock::new(HashMap::new()),
@@ -145,6 +176,211 @@ impl Database {
             estimator: RwLock::new(Arc::new(HistogramEstimator)),
             hook: RwLock::new(None),
         }
+    }
+
+    /// ARIES-lite crash recovery: open a database over `store`, restoring
+    /// state from its durable WAL.
+    ///
+    /// The durable log is scanned with CRC validation (a torn or corrupt
+    /// tail is detected and dropped), state is restored from the last
+    /// intact checkpoint, then committed transactions after it are redone
+    /// in log order while uncommitted ones are discarded. Finally the log
+    /// is compacted to a single fresh checkpoint of the recovered state.
+    pub fn recover(store: Arc<dyn PageStore>) -> Result<(Database, RecoveryReport)> {
+        let bytes = store.wal_bytes()?;
+        let scan = scan_wal(&bytes);
+        let db = Database::with_store(Arc::clone(&store));
+
+        // Partition at the last intact checkpoint.
+        let mut base: Option<&CheckpointData> = None;
+        let mut tail_start = 0usize;
+        for (i, (_, rec)) in scan.records.iter().enumerate() {
+            if let LogRecord::Checkpoint(data) = rec {
+                base = Some(data);
+                tail_start = i + 1;
+            }
+        }
+        let tail = &scan.records[tail_start..];
+
+        // Winners: transactions with a durable Commit after the checkpoint.
+        let mut committed: HashSet<u64> = HashSet::new();
+        let mut begun: HashSet<u64> = HashSet::new();
+        for (_, rec) in tail {
+            match rec {
+                LogRecord::Begin { txn } => {
+                    begun.insert(*txn);
+                }
+                LogRecord::Commit { txn } => {
+                    committed.insert(*txn);
+                }
+                LogRecord::Abort { txn } => {
+                    begun.remove(txn);
+                }
+                _ => {}
+            }
+        }
+        let losers = begun.iter().filter(|t| !committed.contains(t)).count();
+
+        // Restore the checkpoint snapshot.
+        if let Some(cp) = base {
+            for t in &cp.tables {
+                let table =
+                    db.catalog
+                        .create_table(&t.name, t.schema.clone(), Arc::clone(&db.pool))?;
+                for row in &t.rows {
+                    table.insert(row.values().to_vec())?;
+                }
+            }
+            for idx in &cp.indexes {
+                db.catalog
+                    .create_index(&idx.name, &idx.table, &idx.column)?;
+            }
+        }
+
+        // Redo: DDL unconditionally, DML for winners only, in log order.
+        // Row ids were reassigned by the rebuild, so deletes/updates locate
+        // their victim by before-image value.
+        let mut replayed = 0u64;
+        for (_, rec) in tail {
+            match rec {
+                LogRecord::CreateTable { name, schema } => {
+                    match db
+                        .catalog
+                        .create_table(name, schema.clone(), Arc::clone(&db.pool))
+                    {
+                        Ok(_) => replayed += 1,
+                        Err(AimError::AlreadyExists(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                LogRecord::DropTable { name } => match db.catalog.drop_table(name) {
+                    Ok(()) => replayed += 1,
+                    Err(AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                LogRecord::CreateIndex {
+                    name,
+                    table,
+                    column,
+                } => match db.catalog.create_index(name, table, column) {
+                    Ok(()) => replayed += 1,
+                    Err(AimError::AlreadyExists(_) | AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                LogRecord::DropIndex { name } => match db.catalog.drop_index(name) {
+                    Ok(()) => replayed += 1,
+                    Err(AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                LogRecord::Insert {
+                    txn, table, row, ..
+                } if committed.contains(txn) => match db.catalog.table(table) {
+                    Ok(t) => {
+                        t.insert(row.values().to_vec())?;
+                        replayed += 1;
+                    }
+                    Err(AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                LogRecord::Delete {
+                    txn, table, before, ..
+                } if committed.contains(txn) => match db.catalog.table(table) {
+                    Ok(t) => {
+                        if let Some(rid) = find_row(&t, before)? {
+                            t.delete(rid)?;
+                        }
+                        replayed += 1;
+                    }
+                    Err(AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                LogRecord::Update {
+                    txn,
+                    table,
+                    before,
+                    after,
+                    ..
+                } if committed.contains(txn) => match db.catalog.table(table) {
+                    Ok(t) => {
+                        if let Some(rid) = find_row(&t, before)? {
+                            t.update(rid, after.values().to_vec())?;
+                        }
+                        replayed += 1;
+                    }
+                    Err(AimError::NotFound(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                _ => {}
+            }
+        }
+
+        // Never reuse a transaction id seen in the log.
+        let max_seen = scan.records.iter().map(|(_, r)| r.txn()).max().unwrap_or(0);
+        let floor = base.map_or(1, |cp| cp.next_txn).max(max_seen + 1);
+        db.txn.lock().set_next_id(floor);
+
+        // Compact: the old log (including any corrupt tail) is replaced by
+        // one checkpoint of the recovered state.
+        store.wal_truncate(0)?;
+        db.checkpoint_now()?;
+
+        db.metrics.record_recovery(replayed);
+        let report = RecoveryReport {
+            total_records: scan.records.len(),
+            replayed,
+            from_checkpoint: base.is_some(),
+            committed_txns: committed.len(),
+            loser_txns: losers,
+            corrupt_tail_bytes: scan.corrupt_tail_bytes,
+        };
+        Ok((db, report))
+    }
+
+    /// Write a checkpoint record now: full logical state, so recovery can
+    /// start from it instead of replaying the whole log.
+    pub fn checkpoint_now(&self) -> Result<u64> {
+        let data = self.snapshot_state()?;
+        self.wal.append(LogRecord::Checkpoint(Box::new(data)))
+    }
+
+    /// Checkpoint if the interval knob says so and no transaction is open
+    /// (checkpoints are quiescent: no transaction ever spans one).
+    pub fn maybe_checkpoint(&self) -> Result<bool> {
+        let interval = self.knobs.get("checkpoint_interval")? as u64;
+        if self.txn.lock().in_txn() || self.wal.records_since_checkpoint() < interval {
+            return Ok(false);
+        }
+        self.checkpoint_now()?;
+        Ok(true)
+    }
+
+    fn snapshot_state(&self) -> Result<CheckpointData> {
+        let next_txn = self.txn.lock().next_id();
+        let mut tables = Vec::new();
+        for name in self.catalog.table_names() {
+            let t = self.catalog.table(&name)?;
+            let rows = t.scan()?.into_iter().map(|(_, r)| r).collect();
+            tables.push(TableSnapshot {
+                name: t.name.clone(),
+                schema: t.schema.clone(),
+                rows,
+            });
+        }
+        let indexes = self
+            .catalog
+            .indexes()
+            .into_iter()
+            .map(|(name, table, column)| IndexSnapshot {
+                name,
+                table,
+                column,
+            })
+            .collect();
+        Ok(CheckpointData {
+            next_txn,
+            tables,
+            indexes,
+        })
     }
 
     /// Install a learned cardinality estimator (E5/E7); pass
@@ -162,8 +398,10 @@ impl Database {
         &self.pool
     }
 
-    pub fn disk(&self) -> &Arc<Disk> {
-        &self.disk
+    /// The page store backing this database (a plain [`Disk`] unless a
+    /// fault injector or other wrapper was supplied).
+    pub fn disk(&self) -> &Arc<dyn PageStore> {
+        &self.store
     }
 
     /// Current optimizer statistics (empty until ANALYZE).
@@ -174,7 +412,7 @@ impl Database {
     /// KPI snapshot for monitors/tuners.
     pub fn kpis(&self) -> KpiSnapshot {
         let b = self.pool.stats();
-        let d = self.disk.stats();
+        let d = self.store.stats();
         self.metrics.snapshot(b.hit_rate(), d.reads, d.writes)
     }
 
@@ -214,12 +452,18 @@ impl Database {
                         .collect(),
                 );
                 self.catalog
-                    .create_table(name, schema, Arc::clone(&self.pool))?;
+                    .create_table(name, schema.clone(), Arc::clone(&self.pool))?;
+                self.wal.append(LogRecord::CreateTable {
+                    name: name.clone(),
+                    schema,
+                })?;
                 Ok(QueryResult::Text(format!("created table {name}")))
             }
             Statement::DropTable { name } => {
                 self.catalog.drop_table(name)?;
                 self.stats.write().remove(&name.to_ascii_lowercase());
+                self.wal
+                    .append(LogRecord::DropTable { name: name.clone() })?;
                 Ok(QueryResult::Text(format!("dropped table {name}")))
             }
             Statement::CreateIndex {
@@ -228,12 +472,19 @@ impl Database {
                 column,
             } => {
                 self.catalog.create_index(name, table, column)?;
+                self.wal.append(LogRecord::CreateIndex {
+                    name: name.clone(),
+                    table: table.clone(),
+                    column: column.clone(),
+                })?;
                 Ok(QueryResult::Text(format!(
                     "created index {name} on {table}({column})"
                 )))
             }
             Statement::DropIndex { name } => {
                 self.catalog.drop_index(name)?;
+                self.wal
+                    .append(LogRecord::DropIndex { name: name.clone() })?;
                 Ok(QueryResult::Text(format!("dropped index {name}")))
             }
             Statement::Insert {
@@ -261,6 +512,9 @@ impl Database {
             Statement::Commit => {
                 self.txn.lock().commit(&self.wal)?;
                 self.metrics.record_commit();
+                // Best-effort: the commit is durable; a checkpoint failure
+                // surfaces on the next statement instead.
+                let _ = self.maybe_checkpoint();
                 Ok(QueryResult::Text("commit".into()))
             }
             Statement::Rollback => {
@@ -283,12 +537,18 @@ impl Database {
                 for n in &names {
                     self.analyze_table(n)?;
                 }
-                Ok(QueryResult::Text(format!("analyzed {} table(s)", names.len())))
+                Ok(QueryResult::Text(format!(
+                    "analyzed {} table(s)",
+                    names.len()
+                )))
             }
             Statement::Set { knob, value } => {
                 let applied = self.knobs.set(knob, value)?;
                 if knob.eq_ignore_ascii_case("buffer_pool_pages") {
                     self.pool.resize(applied as usize)?;
+                }
+                if knob.eq_ignore_ascii_case("wal_sync") {
+                    self.wal.set_sync_on_commit(applied != 0);
                 }
                 Ok(QueryResult::Text(format!("set {knob} = {applied}")))
             }
@@ -337,10 +597,7 @@ impl Database {
                     .collect::<Result<_>>()?;
                 let out = hook.predict(model, &vals)?;
                 Ok(QueryResult::Rows {
-                    schema: Schema::from_pairs(&[(
-                        "prediction",
-                        aimdb_common::DataType::Float,
-                    )]),
+                    schema: Schema::from_pairs(&[("prediction", aimdb_common::DataType::Float)]),
                     rows: vec![Row::new(vec![out])],
                 })
             }
@@ -411,38 +668,68 @@ impl Database {
         rows: &[Vec<Expr>],
     ) -> Result<QueryResult> {
         let t = self.catalog.table(table)?;
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
-        let mut n = 0;
-        for exprs in rows {
-            let vals: Vec<Value> = exprs
-                .iter()
-                .map(|e| e.eval(&Schema::default(), &Row::default(), &BuiltinFns))
-                .collect::<Result<_>>()?;
-            let full = match columns {
-                None => vals,
-                Some(cols) => {
-                    if cols.len() != vals.len() {
-                        return Err(AimError::Plan(format!(
-                            "INSERT column list has {} names but {} values",
-                            cols.len(),
-                            vals.len()
-                        )));
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let body = || -> Result<usize> {
+            let mut n = 0;
+            for exprs in rows {
+                let vals: Vec<Value> = exprs
+                    .iter()
+                    .map(|e| e.eval(&Schema::default(), &Row::default(), &BuiltinFns))
+                    .collect::<Result<_>>()?;
+                let full = match columns {
+                    None => vals,
+                    Some(cols) => {
+                        if cols.len() != vals.len() {
+                            return Err(AimError::Plan(format!(
+                                "INSERT column list has {} names but {} values",
+                                cols.len(),
+                                vals.len()
+                            )));
+                        }
+                        let mut full = vec![Value::Null; t.schema.len()];
+                        for (c, v) in cols.iter().zip(vals) {
+                            full[t.schema.index_of(c)?] = v;
+                        }
+                        full
                     }
-                    let mut full = vec![Value::Null; t.schema.len()];
-                    for (c, v) in cols.iter().zip(vals) {
-                        full[t.schema.index_of(c)?] = v;
-                    }
-                    full
+                };
+                let rid = t.insert(full)?;
+                // Log the stored row (the schema may have coerced values),
+                // so redo reproduces exactly what was persisted.
+                let stored = t.heap.get(rid)?.ok_or_else(|| {
+                    AimError::Storage(format!("row {rid:?} vanished after insert"))
+                })?;
+                log_insert(&self.wal, txn, table, rid, stored)?;
+                n += 1;
+            }
+            Ok(n)
+        };
+        self.finish_dml(txn, auto, body())
+    }
+
+    /// Close out a DML statement: auto-commit on success, or (for
+    /// auto-commit statements) undo the partial effects and abort on
+    /// failure so a mid-statement storage fault cannot leave half a
+    /// statement applied.
+    fn finish_dml(&self, txn: u64, auto: bool, out: Result<usize>) -> Result<QueryResult> {
+        match out {
+            Ok(n) => {
+                if auto {
+                    self.txn.lock().commit_auto(&self.wal, txn)?;
+                    let _ = self.maybe_checkpoint();
                 }
-            };
-            let rid = t.insert(full)?;
-            log_insert(&self.wal, txn, table, rid);
-            n += 1;
+                Ok(QueryResult::Affected(n))
+            }
+            Err(e) => {
+                if auto {
+                    // Best-effort: on an injected crash these fail too, and
+                    // recovery discards the unfinished transaction anyway.
+                    let _ = crate::txn::undo(&self.wal, &self.catalog, txn);
+                    let _ = self.wal.append(LogRecord::Abort { txn });
+                }
+                Err(e)
+            }
         }
-        if auto {
-            self.txn.lock().commit_auto(&self.wal, txn);
-        }
-        Ok(QueryResult::Affected(n))
     }
 
     fn exec_update(
@@ -463,28 +750,31 @@ impl Database {
             .iter()
             .map(|(c, e)| Ok((t.schema.index_of(c)?, bind_expr(e, &t.schema)?)))
             .collect::<Result<_>>()?;
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
-        let mut n = 0;
-        for (rid, row) in t.scan()? {
-            let keep = match &pred {
-                Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
-                None => true,
-            };
-            if !keep {
-                continue;
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let body = || -> Result<usize> {
+            let mut n = 0;
+            for (rid, row) in t.scan()? {
+                let keep = match &pred {
+                    Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
+                    None => true,
+                };
+                if !keep {
+                    continue;
+                }
+                let mut vals = row.values().to_vec();
+                for (ci, e) in &bound_assign {
+                    vals[*ci] = e.eval(&t.schema, &row, &fns)?;
+                }
+                let (before, new_rid) = t.update(rid, vals)?;
+                let after = t.heap.get(new_rid)?.ok_or_else(|| {
+                    AimError::Storage(format!("row {new_rid:?} vanished after update"))
+                })?;
+                log_update(&self.wal, txn, table, rid, new_rid, before, after)?;
+                n += 1;
             }
-            let mut vals = row.values().to_vec();
-            for (ci, e) in &bound_assign {
-                vals[*ci] = e.eval(&t.schema, &row, &fns)?;
-            }
-            let (before, new_rid) = t.update(rid, vals)?;
-            log_update(&self.wal, txn, table, rid, new_rid, before);
-            n += 1;
-        }
-        if auto {
-            self.txn.lock().commit_auto(&self.wal, txn);
-        }
-        Ok(QueryResult::Affected(n))
+            Ok(n)
+        };
+        self.finish_dml(txn, auto, body())
     }
 
     fn exec_delete(&self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
@@ -496,25 +786,37 @@ impl Database {
             Some(w) => Some(bind_expr(w, &t.schema)?),
             None => None,
         };
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal);
-        let mut n = 0;
-        for (rid, row) in t.scan()? {
-            let keep = match &pred {
-                Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
-                None => true,
-            };
-            if keep {
-                if let Some(before) = t.delete(rid)? {
-                    log_delete(&self.wal, txn, table, rid, before);
-                    n += 1;
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let body = || -> Result<usize> {
+            let mut n = 0;
+            for (rid, row) in t.scan()? {
+                let keep = match &pred {
+                    Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
+                    None => true,
+                };
+                if keep {
+                    if let Some(before) = t.delete(rid)? {
+                        log_delete(&self.wal, txn, table, rid, before)?;
+                        n += 1;
+                    }
                 }
             }
-        }
-        if auto {
-            self.txn.lock().commit_auto(&self.wal, txn);
-        }
-        Ok(QueryResult::Affected(n))
+            Ok(n)
+        };
+        self.finish_dml(txn, auto, body())
     }
+}
+
+/// Locate a row by value (multiset semantics: any one match). Recovery
+/// replays deletes/updates this way because row ids are reassigned when
+/// tables are rebuilt from a checkpoint.
+fn find_row(t: &Table, target: &Row) -> Result<Option<RowId>> {
+    for (rid, row) in t.scan()? {
+        if &row == target {
+            return Ok(Some(rid));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -596,7 +898,9 @@ mod tests {
             .execute("UPDATE users SET age = age + 100 WHERE id < 10")
             .unwrap();
         assert_eq!(r, QueryResult::Affected(10));
-        let r = db.execute("SELECT COUNT(*) FROM users WHERE age >= 120").unwrap();
+        let r = db
+            .execute("SELECT COUNT(*) FROM users WHERE age >= 120")
+            .unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Int(10));
         let r = db.execute("DELETE FROM users WHERE id >= 50").unwrap();
         assert_eq!(r, QueryResult::Affected(50));
@@ -609,14 +913,18 @@ mod tests {
         let db = db_with_users();
         db.execute("BEGIN").unwrap();
         db.execute("DELETE FROM users WHERE id < 50").unwrap();
-        db.execute("INSERT INTO users VALUES (1000, 'temp', 1)").unwrap();
-        db.execute("UPDATE users SET age = 0 WHERE id = 60").unwrap();
+        db.execute("INSERT INTO users VALUES (1000, 'temp', 1)")
+            .unwrap();
+        db.execute("UPDATE users SET age = 0 WHERE id = 60")
+            .unwrap();
         db.execute("ROLLBACK").unwrap();
         let r = db.execute("SELECT COUNT(*) FROM users").unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Int(100));
         let r = db.execute("SELECT age FROM users WHERE id = 60").unwrap();
         assert_ne!(r.rows()[0].get(0), &Value::Int(0));
-        let r = db.execute("SELECT COUNT(*) FROM users WHERE id = 1000").unwrap();
+        let r = db
+            .execute("SELECT COUNT(*) FROM users WHERE id = 1000")
+            .unwrap();
         assert_eq!(r.scalar().unwrap(), &Value::Int(0));
     }
 
@@ -635,10 +943,13 @@ mod tests {
         let db = Database::new();
         db.execute("CREATE TABLE big (id INT, v INT)").unwrap();
         let tuples: Vec<String> = (0..5000).map(|i| format!("({i}, {})", i % 7)).collect();
-        db.execute(&format!("INSERT INTO big VALUES {}", tuples.join(","))).unwrap();
+        db.execute(&format!("INSERT INTO big VALUES {}", tuples.join(",")))
+            .unwrap();
         db.execute("CREATE INDEX idx_id ON big (id)").unwrap();
         db.execute("ANALYZE big").unwrap();
-        let r = db.execute("EXPLAIN SELECT * FROM big WHERE id = 5").unwrap();
+        let r = db
+            .execute("EXPLAIN SELECT * FROM big WHERE id = 5")
+            .unwrap();
         let QueryResult::Text(plan) = r else { panic!() };
         assert!(plan.contains("IndexScan"), "plan: {plan}");
         // and still correct
@@ -662,7 +973,9 @@ mod tests {
         let db = db_with_users();
         db.execute("CREATE INDEX idx_age ON users (age)").unwrap();
         db.execute("ANALYZE").unwrap();
-        let r = db.execute("EXPLAIN SELECT * FROM users WHERE age >= 20").unwrap();
+        let r = db
+            .execute("EXPLAIN SELECT * FROM users WHERE age >= 20")
+            .unwrap();
         let QueryResult::Text(plan) = r else { panic!() };
         assert!(plan.contains("SeqScan"), "plan: {plan}");
     }
@@ -690,7 +1003,9 @@ mod tests {
     fn run_script_multiple() {
         let db = Database::new();
         let rs = db
-            .run_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t;")
+            .run_script(
+                "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t;",
+            )
             .unwrap();
         assert_eq!(rs.len(), 3);
         assert_eq!(rs[2].scalar().unwrap(), &Value::Int(2));
@@ -708,7 +1023,8 @@ mod tests {
     #[test]
     fn insert_with_column_list() {
         let db = Database::new();
-        db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)").unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT, c FLOAT)")
+            .unwrap();
         db.execute("INSERT INTO t (c, a) VALUES (1.5, 7)").unwrap();
         let r = db.execute("SELECT a, b, c FROM t").unwrap();
         let row = &r.rows()[0];

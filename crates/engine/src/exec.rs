@@ -104,11 +104,13 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
             let rows = execute(input, ctx)?;
             ctx.charge(rows.len() as f64 * 0.005);
             rows.into_iter()
-                .filter_map(|r| match predicate.eval_predicate(&input.schema, &r, ctx.fns) {
-                    Ok(true) => Some(Ok(r)),
-                    Ok(false) => None,
-                    Err(e) => Some(Err(e)),
-                })
+                .filter_map(
+                    |r| match predicate.eval_predicate(&input.schema, &r, ctx.fns) {
+                        Ok(true) => Some(Ok(r)),
+                        Ok(false) => None,
+                        Err(e) => Some(Err(e)),
+                    },
+                )
                 .collect()
         }
         PhysOp::Project { input, exprs } => {
@@ -154,12 +156,35 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
             let rrows = execute(right, ctx)?;
             ctx.charge((lrows.len() + rrows.len()) as f64 * 0.015);
             // build on the smaller side
-            let (build_rows, build_schema, build_key, probe_rows, probe_schema, probe_key, build_is_left) =
-                if lrows.len() <= rrows.len() {
-                    (&lrows, &left.schema, left_key, &rrows, &right.schema, right_key, true)
-                } else {
-                    (&rrows, &right.schema, right_key, &lrows, &left.schema, left_key, false)
-                };
+            let (
+                build_rows,
+                build_schema,
+                build_key,
+                probe_rows,
+                probe_schema,
+                probe_key,
+                build_is_left,
+            ) = if lrows.len() <= rrows.len() {
+                (
+                    &lrows,
+                    &left.schema,
+                    left_key,
+                    &rrows,
+                    &right.schema,
+                    right_key,
+                    true,
+                )
+            } else {
+                (
+                    &rrows,
+                    &right.schema,
+                    right_key,
+                    &lrows,
+                    &left.schema,
+                    left_key,
+                    false,
+                )
+            };
             let mut table: HashMap<Value, Vec<&Row>> = HashMap::new();
             for r in build_rows {
                 let k = build_key.eval(build_schema, r, ctx.fns)?;
@@ -282,14 +307,14 @@ impl AggState {
             }
             AggState::Min(m) => {
                 if let Some(val) = v {
-                    if !val.is_null() && m.as_ref().map_or(true, |cur| val < cur) {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val < cur) {
                         *m = Some(val.clone());
                     }
                 }
             }
             AggState::Max(m) => {
                 if let Some(val) = v {
-                    if !val.is_null() && m.as_ref().map_or(true, |cur| val > cur) {
+                    if !val.is_null() && m.as_ref().is_none_or(|cur| val > cur) {
                         *m = Some(val.clone());
                     }
                 }
@@ -354,7 +379,9 @@ fn aggregate(
     }
     let mut out = Vec::with_capacity(groups.len());
     for key in order {
-        let states = groups.remove(&key).expect("group recorded");
+        let states = groups
+            .remove(&key)
+            .ok_or_else(|| AimError::Execution("group key vanished during aggregation".into()))?;
         let mut vals = key;
         vals.extend(states.into_iter().map(AggState::finish));
         out.push(Row::new(vals));

@@ -101,19 +101,23 @@ impl Knobs {
     }
 
     pub fn spec(name: &str) -> Option<&'static KnobSpec> {
-        KNOB_SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+        KNOB_SPECS
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(name))
     }
 
     pub fn get(&self, name: &str) -> Result<i64> {
-        let spec = Self::spec(name)
-            .ok_or_else(|| AimError::NotFound(format!("knob {name}")))?;
-        Ok(*self.values.read().get(spec.name).expect("spec'd knob present"))
+        let spec = Self::spec(name).ok_or_else(|| AimError::NotFound(format!("knob {name}")))?;
+        self.values
+            .read()
+            .get(spec.name)
+            .copied()
+            .ok_or_else(|| AimError::NotFound(format!("knob {name} has no value")))
     }
 
     /// Set a knob, clamping into its legal range. Returns the applied value.
     pub fn set(&self, name: &str, value: &Value) -> Result<i64> {
-        let spec = Self::spec(name)
-            .ok_or_else(|| AimError::NotFound(format!("knob {name}")))?;
+        let spec = Self::spec(name).ok_or_else(|| AimError::NotFound(format!("knob {name}")))?;
         let v = value.as_i64()?.clamp(spec.min, spec.max);
         self.values.write().insert(spec.name, v);
         Ok(v)
@@ -148,7 +152,10 @@ mod tests {
     #[test]
     fn set_clamps_to_range() {
         let k = Knobs::new();
-        assert_eq!(k.set("buffer_pool_pages", &Value::Int(1_000_000)).unwrap(), 16384);
+        assert_eq!(
+            k.set("buffer_pool_pages", &Value::Int(1_000_000)).unwrap(),
+            16384
+        );
         assert_eq!(k.set("buffer_pool_pages", &Value::Int(-5)).unwrap(), 1);
         assert_eq!(k.get("buffer_pool_pages").unwrap(), 1);
         assert!(k.set("wal_sync", &Value::Text("yes".into())).is_err());

@@ -29,7 +29,7 @@ pub mod stats;
 pub mod txn;
 
 pub use catalog::{Catalog, Table};
-pub use db::{Database, ModelHook, QueryResult};
+pub use db::{Database, ModelHook, QueryResult, RecoveryReport};
 pub use knobs::Knobs;
 pub use metrics::KpiSnapshot;
 pub use optimizer::CardEstimator;

@@ -24,6 +24,10 @@ pub struct KpiSnapshot {
     pub errors: u64,
     pub txns_committed: u64,
     pub txns_aborted: u64,
+    /// Crash recoveries performed on this instance's store.
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_records_replayed: u64,
 }
 
 impl KpiSnapshot {
@@ -41,6 +45,8 @@ impl KpiSnapshot {
             self.errors as f64,
             self.txns_committed as f64,
             self.txns_aborted as f64,
+            self.recoveries as f64,
+            self.wal_records_replayed as f64,
         ]
     }
 
@@ -58,6 +64,8 @@ impl KpiSnapshot {
             "errors",
             "txns_committed",
             "txns_aborted",
+            "recoveries",
+            "wal_records_replayed",
         ]
     }
 }
@@ -75,6 +83,8 @@ struct MetricsInner {
     errors: u64,
     committed: u64,
     aborted: u64,
+    recoveries: u64,
+    replayed: u64,
 }
 
 const WINDOW: usize = 512;
@@ -96,6 +106,8 @@ impl Metrics {
                 errors: 0,
                 committed: 0,
                 aborted: 0,
+                recoveries: 0,
+                replayed: 0,
             }),
         }
     }
@@ -121,6 +133,14 @@ impl Metrics {
 
     pub fn record_abort(&self) {
         self.inner.lock().aborted += 1;
+    }
+
+    /// Record one completed crash recovery and how many WAL records it
+    /// replayed.
+    pub fn record_recovery(&self, records_replayed: u64) {
+        let mut m = self.inner.lock();
+        m.recoveries += 1;
+        m.replayed += records_replayed;
     }
 
     /// Snapshot combining engine counters with storage counters supplied by
@@ -151,6 +171,8 @@ impl Metrics {
             errors: m.errors,
             txns_committed: m.committed,
             txns_aborted: m.aborted,
+            recoveries: m.recoveries,
+            wal_records_replayed: m.replayed,
         }
     }
 
@@ -164,6 +186,8 @@ impl Metrics {
             errors: 0,
             committed: 0,
             aborted: 0,
+            recoveries: 0,
+            replayed: 0,
         };
     }
 }

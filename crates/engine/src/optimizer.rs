@@ -48,7 +48,10 @@ impl Default for CostParams {
 /// about. Column names are bare (unqualified).
 #[derive(Debug, Clone, PartialEq)]
 pub enum SimplePred {
-    Eq { column: String, value: Value },
+    Eq {
+        column: String,
+        value: Value,
+    },
     Range {
         column: String,
         lo: Option<f64>,
@@ -234,9 +237,10 @@ impl<'a> Planner<'a> {
         let mut residual: Vec<Expr> = Vec::new();
         for c in conjuncts {
             match self.conjunct_aliases(&c, &aliases)? {
-                refs if refs.len() == 1 => {
-                    per_alias[*refs.iter().next().expect("one")].push(c);
-                }
+                refs if refs.len() == 1 => match refs.iter().next() {
+                    Some(&i) => per_alias[i].push(c),
+                    None => residual.push(c),
+                },
                 refs if refs.len() == 2 => {
                     if let Some(edge) = self.as_equi_edge(&c, &aliases)? {
                         edges.push(edge);
@@ -257,7 +261,10 @@ impl<'a> Planner<'a> {
 
         // 5. join ordering
         let mut plan = if aliases.len() == 1 {
-            scans.into_iter().next().expect("one scan")
+            scans
+                .into_iter()
+                .next()
+                .ok_or_else(|| AimError::Plan("single-table query produced no scan".into()))?
         } else if aliases.len() <= 10 {
             self.dp_join(&aliases, scans, &edges)?
         } else {
@@ -286,8 +293,7 @@ impl<'a> Planner<'a> {
                 })
                 .collect::<Result<_>>()?;
             let rows = plan.est_rows;
-            let cost = plan.est_cost
-                + rows * (rows.max(2.0)).log2() * 0.005;
+            let cost = plan.est_cost + rows * (rows.max(2.0)).log2() * 0.005;
             plan = PhysicalPlan {
                 schema: plan.schema.clone(),
                 op: PhysOp::Sort {
@@ -366,8 +372,14 @@ impl<'a> Planner<'a> {
         } = e
         {
             if let (
-                Expr::Column { qualifier: ql, name: nl },
-                Expr::Column { qualifier: qr, name: nr },
+                Expr::Column {
+                    qualifier: ql,
+                    name: nl,
+                },
+                Expr::Column {
+                    qualifier: qr,
+                    name: nr,
+                },
             ) = (left.as_ref(), right.as_ref())
             {
                 let (la, lc) = self.resolve_alias(ql.as_deref(), nl, aliases)?;
@@ -394,9 +406,7 @@ impl<'a> Planner<'a> {
                 Expr::Binary { left, op, right } => {
                     let (col, lit, op) = match (left.as_ref(), right.as_ref()) {
                         (Expr::Column { name, .. }, Expr::Literal(v)) => (name, v, *op),
-                        (Expr::Literal(v), Expr::Column { name, .. }) => {
-                            (name, v, flip(*op))
-                        }
+                        (Expr::Literal(v), Expr::Column { name, .. }) => (name, v, flip(*op)),
                         _ => return SimplePred::Other,
                     };
                     let bare = bare_name(col);
@@ -449,9 +459,7 @@ impl<'a> Planner<'a> {
     fn plan_scan(&self, a: &AliasInfo, conjuncts: &[Expr]) -> Result<PhysicalPlan> {
         let preds = Self::classify_preds(conjuncts);
         let stats = self.table_stats(&a.table);
-        let sel = self
-            .estimator
-            .scan_selectivity(&a.table, &preds, stats);
+        let sel = self.estimator.scan_selectivity(&a.table, &preds, stats);
         let est_rows = (a.base_rows * sel).max(0.0);
         let filter = match Expr::conjunction(conjuncts.to_vec()) {
             Some(p) => Some(bind_expr(&p, &a.schema)?),
@@ -463,19 +471,19 @@ impl<'a> Planner<'a> {
         for p in &preds {
             match p {
                 SimplePred::Eq { column, value } if self.has_index(&a.table, column) => {
-                    let s = self
-                        .estimator
-                        .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
-                    if best_index.as_ref().map_or(true, |b| s < b.3) {
+                    let s =
+                        self.estimator
+                            .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
+                    if best_index.as_ref().is_none_or(|b| s < b.3) {
                         best_index =
                             Some((column.clone(), Some(value.clone()), Some(value.clone()), s));
                     }
                 }
                 SimplePred::Range { column, lo, hi } if self.has_index(&a.table, column) => {
-                    let s = self
-                        .estimator
-                        .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
-                    if best_index.as_ref().map_or(true, |b| s < b.3) {
+                    let s =
+                        self.estimator
+                            .scan_selectivity(&a.table, std::slice::from_ref(p), stats);
+                    if best_index.as_ref().is_none_or(|b| s < b.3) {
                         best_index = Some((
                             column.clone(),
                             lo.map(Value::Float),
@@ -565,9 +573,19 @@ impl<'a> Planner<'a> {
         let schema = left.schema.join(&right.schema);
         if let Some((first, first_left_in_left)) = crossing.first() {
             let (lkey_alias, lkey_col, rkey_alias, rkey_col) = if *first_left_in_left {
-                (first.left_alias, &first.left_col, first.right_alias, &first.right_col)
+                (
+                    first.left_alias,
+                    &first.left_col,
+                    first.right_alias,
+                    &first.right_col,
+                )
             } else {
-                (first.right_alias, &first.right_col, first.left_alias, &first.left_col)
+                (
+                    first.right_alias,
+                    &first.right_col,
+                    first.left_alias,
+                    &first.left_col,
+                )
             };
             let left_key = bind_expr(
                 &Expr::qcol(&aliases[lkey_alias].alias, lkey_col),
@@ -630,11 +648,11 @@ impl<'a> Planner<'a> {
         }
     }
 
-    fn crossing_edges<'e>(
-        edges: &'e [JoinEdge],
+    fn crossing_edges(
+        edges: &[JoinEdge],
         left_mask: u64,
         right_mask: u64,
-    ) -> Vec<(&'e JoinEdge, bool)> {
+    ) -> Vec<(&JoinEdge, bool)> {
         edges
             .iter()
             .filter_map(|e| {
@@ -680,7 +698,7 @@ impl<'a> Planner<'a> {
                         let plan = self.make_join(l.clone(), r.clone(), &crossing, aliases)?;
                         if candidate
                             .as_ref()
-                            .map_or(true, |c| plan.est_cost < c.est_cost)
+                            .is_none_or(|c| plan.est_cost < c.est_cost)
                         {
                             candidate = Some(plan);
                         }
@@ -712,8 +730,7 @@ impl<'a> Planner<'a> {
             let mut best: Option<(usize, usize, PhysicalPlan)> = None;
             for i in 0..remaining.len() {
                 for j in i + 1..remaining.len() {
-                    let crossing =
-                        Self::crossing_edges(edges, remaining[i].0, remaining[j].0);
+                    let crossing = Self::crossing_edges(edges, remaining[i].0, remaining[j].0);
                     if crossing.is_empty() && remaining.len() > 2 {
                         continue; // defer cross joins
                     }
@@ -723,7 +740,10 @@ impl<'a> Planner<'a> {
                         &crossing,
                         aliases,
                     )?;
-                    if best.as_ref().map_or(true, |(_, _, b)| plan.est_cost < b.est_cost) {
+                    if best
+                        .as_ref()
+                        .is_none_or(|(_, _, b)| plan.est_cost < b.est_cost)
+                    {
                         best = Some((i, j, plan));
                     }
                 }
@@ -831,7 +851,10 @@ impl<'a> Planner<'a> {
                             .clone()
                             .unwrap_or_else(|| default_output_name(&bound, i));
                         exprs.push(bound);
-                        columns.push(aimdb_common::Column::new(name, aimdb_common::DataType::Float));
+                        columns.push(aimdb_common::Column::new(
+                            name,
+                            aimdb_common::DataType::Float,
+                        ));
                     }
                 }
             }
@@ -926,7 +949,10 @@ impl<'a> Planner<'a> {
                 .clone()
                 .unwrap_or_else(|| default_output_name(expr, i));
             exprs.push(bound);
-            columns.push(aimdb_common::Column::new(name, aimdb_common::DataType::Float));
+            columns.push(aimdb_common::Column::new(
+                name,
+                aimdb_common::DataType::Float,
+            ));
         }
         dedup_names(&mut columns);
         let rows = agg_plan.est_rows;
@@ -1051,13 +1077,31 @@ fn substitute_agg(
             }
         }
         Expr::Binary { left, op, right } => Ok(Expr::Binary {
-            left: Box::new(substitute_agg(left, group_raw, group_bound, aggs, input_schema)?),
+            left: Box::new(substitute_agg(
+                left,
+                group_raw,
+                group_bound,
+                aggs,
+                input_schema,
+            )?),
             op: *op,
-            right: Box::new(substitute_agg(right, group_raw, group_bound, aggs, input_schema)?),
+            right: Box::new(substitute_agg(
+                right,
+                group_raw,
+                group_bound,
+                aggs,
+                input_schema,
+            )?),
         }),
         Expr::Unary { op, expr } => Ok(Expr::Unary {
             op: *op,
-            expr: Box::new(substitute_agg(expr, group_raw, group_bound, aggs, input_schema)?),
+            expr: Box::new(substitute_agg(
+                expr,
+                group_raw,
+                group_bound,
+                aggs,
+                input_schema,
+            )?),
         }),
         Expr::Literal(_) => Ok(e.clone()),
         other => Err(AimError::Plan(format!(

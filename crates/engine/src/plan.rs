@@ -94,24 +94,43 @@ impl PhysicalPlan {
         let line = match &self.op {
             PhysOp::SeqScan { table, filter, .. } => format!(
                 "SeqScan {table}{}",
-                filter.as_ref().map_or(String::new(), |f| format!(" filter={f:?}"))
+                filter
+                    .as_ref()
+                    .map_or(String::new(), |f| format!(" filter={f:?}"))
             ),
-            PhysOp::IndexScan { table, column, lo, hi, .. } => {
+            PhysOp::IndexScan {
+                table,
+                column,
+                lo,
+                hi,
+                ..
+            } => {
                 format!("IndexScan {table}.{column} [{lo:?}..{hi:?}]")
             }
             PhysOp::Filter { predicate, .. } => format!("Filter {predicate:?}"),
             PhysOp::Project { .. } => {
-                let names: Vec<&str> = self.schema.columns().iter().map(|c| c.name.as_str()).collect();
+                let names: Vec<&str> = self
+                    .schema
+                    .columns()
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect();
                 format!("Project [{}]", names.join(", "))
             }
             PhysOp::NestedLoopJoin { on, .. } => match on {
                 Some(e) => format!("NestedLoopJoin on {e:?}"),
                 None => "NestedLoopJoin (cross)".to_string(),
             },
-            PhysOp::HashJoin { left_key, right_key, .. } => {
+            PhysOp::HashJoin {
+                left_key,
+                right_key,
+                ..
+            } => {
                 format!("HashJoin {left_key:?} = {right_key:?}")
             }
-            PhysOp::Aggregate { group_exprs, aggs, .. } => {
+            PhysOp::Aggregate {
+                group_exprs, aggs, ..
+            } => {
                 format!("Aggregate groups={} aggs={}", group_exprs.len(), aggs.len())
             }
             PhysOp::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
@@ -137,14 +156,19 @@ impl PhysicalPlan {
             | PhysOp::Aggregate { input, .. }
             | PhysOp::Sort { input, .. }
             | PhysOp::Limit { input, .. } => vec![input],
-            PhysOp::NestedLoopJoin { left, right, .. }
-            | PhysOp::HashJoin { left, right, .. } => vec![left, right],
+            PhysOp::NestedLoopJoin { left, right, .. } | PhysOp::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
     /// Total number of operators.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 }
 
@@ -182,12 +206,23 @@ pub fn bind_expr(expr: &Expr, schema: &Schema) -> Result<Expr> {
             lo: Box::new(bind_expr(lo, schema)?),
             hi: Box::new(bind_expr(hi, schema)?),
         },
-        Expr::InList { expr, list, negated } => Expr::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
             expr: Box::new(bind_expr(expr, schema)?),
-            list: list.iter().map(|e| bind_expr(e, schema)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| bind_expr(e, schema))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Expr::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
             expr: Box::new(bind_expr(expr, schema)?),
             pattern: pattern.clone(),
             negated: *negated,
@@ -211,7 +246,10 @@ pub fn bind_expr(expr: &Expr, schema: &Schema) -> Result<Expr> {
             } else {
                 Expr::Function {
                     name: name.clone(),
-                    args: args.iter().map(|a| bind_expr(a, schema)).collect::<Result<_>>()?,
+                    args: args
+                        .iter()
+                        .map(|a| bind_expr(a, schema))
+                        .collect::<Result<_>>()?,
                 }
             }
         }

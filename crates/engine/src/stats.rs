@@ -36,7 +36,7 @@ impl Histogram {
             .collect();
         Histogram {
             min: values[0],
-            max: *values.last().expect("nonempty"),
+            max: values[values.len() - 1],
             bounds,
             n_buckets,
         }

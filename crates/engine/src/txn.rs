@@ -5,6 +5,10 @@
 //! are auto-committed. Learned transaction *scheduling* — the tutorial's
 //! §2.1 design topic — operates above this layer in `aimdb-ai4db`, where
 //! many client transactions are simulated and ordered before execution.
+//!
+//! Every append goes through the durable WAL and is fallible: an injected
+//! storage fault on a log write surfaces as `Err` from the statement, not
+//! a panic.
 
 use aimdb_common::{AimError, Result, Row};
 use aimdb_storage::wal::{LogRecord, TxnId, Wal};
@@ -32,6 +36,16 @@ impl TxnManager {
         self.active.is_some()
     }
 
+    /// First id that will be handed out next. Recovery bumps this past
+    /// every id seen in the durable log.
+    pub fn next_id(&self) -> TxnId {
+        self.next_id
+    }
+
+    pub fn set_next_id(&mut self, id: TxnId) {
+        self.next_id = self.next_id.max(id).max(1);
+    }
+
     pub fn begin(&mut self, wal: &Wal) -> Result<TxnId> {
         if self.active.is_some() {
             return Err(AimError::TxnAborted("transaction already open".into()));
@@ -39,20 +53,20 @@ impl TxnManager {
         let id = self.next_id;
         self.next_id += 1;
         self.active = Some(id);
-        wal.append(LogRecord::Begin { txn: id });
+        wal.append(LogRecord::Begin { txn: id })?;
         Ok(id)
     }
 
     /// The id to log DML under: the open transaction, or a fresh
     /// auto-commit id.
-    pub fn current_or_auto(&mut self, wal: &Wal) -> (TxnId, bool) {
+    pub fn current_or_auto(&mut self, wal: &Wal) -> Result<(TxnId, bool)> {
         match self.active {
-            Some(id) => (id, false),
+            Some(id) => Ok((id, false)),
             None => {
                 let id = self.next_id;
                 self.next_id += 1;
-                wal.append(LogRecord::Begin { txn: id });
-                (id, true)
+                wal.append(LogRecord::Begin { txn: id })?;
+                Ok((id, true))
             }
         }
     }
@@ -62,12 +76,13 @@ impl TxnManager {
             .active
             .take()
             .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
-        wal.append(LogRecord::Commit { txn: id });
+        wal.append(LogRecord::Commit { txn: id })?;
         Ok(id)
     }
 
-    pub fn commit_auto(&self, wal: &Wal, id: TxnId) {
-        wal.append(LogRecord::Commit { txn: id });
+    pub fn commit_auto(&self, wal: &Wal, id: TxnId) -> Result<()> {
+        wal.append(LogRecord::Commit { txn: id })?;
+        Ok(())
     }
 
     /// Roll back the open transaction by undoing its WAL records.
@@ -77,13 +92,26 @@ impl TxnManager {
             .take()
             .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
         undo(wal, catalog, id)?;
-        wal.append(LogRecord::Abort { txn: id });
+        wal.append(LogRecord::Abort { txn: id })?;
         Ok(id)
+    }
+
+    /// Abort-without-undo: used when a statement inside a transaction
+    /// failed partway and the undo chain has already been applied, or at
+    /// recovery for loser transactions (their effects never replayed).
+    pub fn abort_current(&mut self, wal: &Wal) -> Result<Option<TxnId>> {
+        match self.active.take() {
+            Some(id) => {
+                wal.append(LogRecord::Abort { txn: id })?;
+                Ok(Some(id))
+            }
+            None => Ok(None),
+        }
     }
 }
 
 /// Undo every data record of `txn`, newest first.
-fn undo(wal: &Wal, catalog: &Catalog, txn: TxnId) -> Result<()> {
+pub(crate) fn undo(wal: &Wal, catalog: &Catalog, txn: TxnId) -> Result<()> {
     for rec in wal.undo_chain(txn) {
         match rec {
             LogRecord::Insert { table, rid, .. } => {
@@ -110,24 +138,29 @@ fn undo(wal: &Wal, catalog: &Catalog, txn: TxnId) -> Result<()> {
     Ok(())
 }
 
-/// Log helpers used by the DML executor.
-pub fn log_insert(wal: &Wal, txn: TxnId, table: &str, rid: RowId) {
+/// Log helpers used by the DML executor. All carry full row images so the
+/// durable log supports both undo (before-image) and redo (after-image).
+pub fn log_insert(wal: &Wal, txn: TxnId, table: &str, rid: RowId, row: Row) -> Result<()> {
     wal.append(LogRecord::Insert {
         txn,
         table: table.to_string(),
         rid,
-    });
+        row,
+    })?;
+    Ok(())
 }
 
-pub fn log_delete(wal: &Wal, txn: TxnId, table: &str, rid: RowId, before: Row) {
+pub fn log_delete(wal: &Wal, txn: TxnId, table: &str, rid: RowId, before: Row) -> Result<()> {
     wal.append(LogRecord::Delete {
         txn,
         table: table.to_string(),
         rid,
         before,
-    });
+    })?;
+    Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 pub fn log_update(
     wal: &Wal,
     txn: TxnId,
@@ -135,14 +168,17 @@ pub fn log_update(
     old_rid: RowId,
     new_rid: RowId,
     before: Row,
-) {
+    after: Row,
+) -> Result<()> {
     wal.append(LogRecord::Update {
         txn,
         table: table.to_string(),
         old_rid,
         new_rid,
         before,
-    });
+        after,
+    })?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -168,15 +204,24 @@ mod tests {
     fn auto_commit_ids_are_fresh() {
         let wal = Wal::new();
         let mut tm = TxnManager::new();
-        let (a, auto_a) = tm.current_or_auto(&wal);
-        tm.commit_auto(&wal, a);
-        let (b, auto_b) = tm.current_or_auto(&wal);
+        let (a, auto_a) = tm.current_or_auto(&wal).unwrap();
+        tm.commit_auto(&wal, a).unwrap();
+        let (b, auto_b) = tm.current_or_auto(&wal).unwrap();
         assert!(auto_a && auto_b);
         assert_ne!(a, b);
         // inside an explicit txn, reuse the open id
         let id = tm.begin(&wal).unwrap();
-        let (c, auto_c) = tm.current_or_auto(&wal);
+        let (c, auto_c) = tm.current_or_auto(&wal).unwrap();
         assert_eq!(c, id);
         assert!(!auto_c);
+    }
+
+    #[test]
+    fn next_id_restore_is_monotone() {
+        let mut tm = TxnManager::new();
+        tm.set_next_id(40);
+        assert_eq!(tm.next_id(), 40);
+        tm.set_next_id(10); // never moves backward
+        assert_eq!(tm.next_id(), 40);
     }
 }

@@ -13,7 +13,8 @@ fn load(rows: &[(i64, i64)]) -> Database {
     db.execute("CREATE TABLE t (a INT, b INT)").expect("ddl");
     if !rows.is_empty() {
         let tuples: Vec<String> = rows.iter().map(|(a, b)| format!("({a}, {b})")).collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).expect("load");
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+            .expect("load");
     }
     db
 }

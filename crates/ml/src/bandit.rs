@@ -68,9 +68,7 @@ impl Bandit {
                 }
                 let ln_t = (self.t as f64).ln();
                 (0..self.counts.len())
-                    .max_by(|&a, &b| {
-                        self.ucb(a, c, ln_t).total_cmp(&self.ucb(b, c, ln_t))
-                    })
+                    .max_by(|&a, &b| self.ucb(a, c, ln_t).total_cmp(&self.ucb(b, c, ln_t)))
                     .expect("arms nonempty")
             }
             BanditPolicy::Thompson => (0..self.counts.len())
@@ -177,7 +175,11 @@ pub fn simulate_bernoulli(
     let mut total = 0.0;
     for _ in 0..steps {
         let arm = b.select();
-        let r = if env.gen::<f64>() < probs[arm] { 1.0 } else { 0.0 };
+        let r = if env.gen::<f64>() < probs[arm] {
+            1.0
+        } else {
+            0.0
+        };
         total += r;
         b.update(arm, r);
     }
@@ -238,8 +240,10 @@ mod tests {
             assert!((0.0..=1.0).contains(&s));
         }
         // mean of Beta(8, 2) ≈ 0.8
-        let mean: f64 =
-            (0..5000).map(|_| sample_beta(8.0, 2.0, &mut rng)).sum::<f64>() / 5000.0;
+        let mean: f64 = (0..5000)
+            .map(|_| sample_beta(8.0, 2.0, &mut rng))
+            .sum::<f64>()
+            / 5000.0;
         assert!((mean - 0.8).abs() < 0.05, "mean {mean}");
     }
 }

@@ -78,10 +78,7 @@ impl GaussianNb {
     pub fn predict_one(&self, x: &[f64]) -> f64 {
         self.classes
             .iter()
-            .max_by(|a, b| {
-                Self::log_post(a.1, x)
-                    .total_cmp(&Self::log_post(b.1, x))
-            })
+            .max_by(|a, b| Self::log_post(a.1, x).total_cmp(&Self::log_post(b.1, x)))
             .map(|(c, _)| *c as f64)
             .unwrap_or(0.0)
     }
@@ -97,7 +94,10 @@ impl GaussianNb {
             .iter()
             .map(|(c, s)| (*c, Self::log_post(s, x)))
             .collect();
-        let max = lps.iter().map(|(_, l)| *l).fold(f64::NEG_INFINITY, f64::max);
+        let max = lps
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<(i64, f64)> = lps.into_iter().map(|(c, l)| (c, (l - max).exp())).collect();
         let z: f64 = exps.iter().map(|(_, e)| e).sum();
         exps.into_iter().map(|(c, e)| (c, e / z)).collect()
@@ -146,7 +146,12 @@ mod tests {
     #[test]
     fn zero_variance_feature_is_floored() {
         let ds = Dataset::new(
-            vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.0], vec![2.0, 1.0]],
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 0.0],
+                vec![2.0, 1.0],
+            ],
             vec![0.0, 0.0, 1.0, 1.0],
         )
         .unwrap();

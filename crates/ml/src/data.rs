@@ -55,7 +55,10 @@ impl Dataset {
             x: ids.iter().map(|&i| self.x[i].clone()).collect(),
             y: ids.iter().map(|&i| self.y[i]).collect(),
         };
-        (take(&idx[..k.min(idx.len())]), take(&idx[k.min(idx.len())..]))
+        (
+            take(&idx[..k.min(idx.len())]),
+            take(&idx[k.min(idx.len())..]),
+        )
     }
 
     /// Per-feature mean/std for standardization. Std of a constant feature

@@ -58,8 +58,7 @@ impl LinearRegression {
                 let mut gw = vec![0.0; d];
                 let mut gb = 0.0;
                 for &i in chunk {
-                    let pred: f64 =
-                        w.iter().zip(&scaled.x[i]).map(|(w, x)| w * x).sum::<f64>() + b;
+                    let pred: f64 = w.iter().zip(&scaled.x[i]).map(|(w, x)| w * x).sum::<f64>() + b;
                     let err = pred - scaled.y[i];
                     for (g, x) in gw.iter_mut().zip(&scaled.x[i]) {
                         *g += err * x;
@@ -150,8 +149,7 @@ impl LogisticRegression {
                 let mut gw = vec![0.0; d];
                 let mut gb = 0.0;
                 for &i in chunk {
-                    let z: f64 =
-                        w.iter().zip(&scaled.x[i]).map(|(w, x)| w * x).sum::<f64>() + b;
+                    let z: f64 = w.iter().zip(&scaled.x[i]).map(|(w, x)| w * x).sum::<f64>() + b;
                     let err = sigmoid(z) - scaled.y[i];
                     for (g, x) in gw.iter_mut().zip(&scaled.x[i]) {
                         *g += err * x;

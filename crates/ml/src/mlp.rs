@@ -57,7 +57,11 @@ impl Layer {
         let scale = (2.0 / inputs.max(1) as f64).sqrt();
         Layer {
             w: (0..units)
-                .map(|_| (0..inputs).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect())
+                .map(|_| {
+                    (0..inputs)
+                        .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale)
+                        .collect()
+                })
                 .collect(),
             b: vec![0.0; units],
         }
@@ -98,9 +102,7 @@ impl Mlp {
         if ds.is_empty() {
             return Err(AimError::InvalidInput("empty training set".into()));
         }
-        if params.head == Head::BinaryClassification
-            && ds.y.iter().any(|&y| y != 0.0 && y != 1.0)
-        {
+        if params.head == Head::BinaryClassification && ds.y.iter().any(|&y| y != 0.0 && y != 1.0) {
             return Err(AimError::InvalidInput(
                 "binary classification expects 0/1 labels".into(),
             ));
@@ -126,8 +128,7 @@ impl Mlp {
                     .iter()
                     .map(|l| l.w.iter().map(|r| vec![0.0; r.len()]).collect())
                     .collect();
-                let mut gb: Vec<Vec<f64>> =
-                    layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+                let mut gb: Vec<Vec<f64>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
                 for &i in chunk {
                     let x = &scaled.x[i];
                     // forward, remembering activations
@@ -137,9 +138,7 @@ impl Mlp {
                         let a = if li + 1 == layers.len() {
                             match params.head {
                                 Head::Regression => z,
-                                Head::BinaryClassification => {
-                                    z.into_iter().map(sigmoid).collect()
-                                }
+                                Head::BinaryClassification => z.into_iter().map(sigmoid).collect(),
                             }
                         } else {
                             z.into_iter().map(relu).collect()
@@ -273,7 +272,13 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|v| if (v[0] > 0.5) != (v[1] > 0.5) { 1.0 } else { 0.0 })
+            .map(|v| {
+                if (v[0] > 0.5) != (v[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let ds = Dataset::new(x.clone(), y.clone()).unwrap();
         let m = Mlp::fit(

@@ -218,7 +218,14 @@ mod tests {
 
     #[test]
     fn terminal_update_ignores_bootstrap() {
-        let mut q = QLearner::new(2, QParams { alpha: 1.0, ..Default::default() }, 2);
+        let mut q = QLearner::new(
+            2,
+            QParams {
+                alpha: 1.0,
+                ..Default::default()
+            },
+            2,
+        );
         q.update(7, 0, 5.0, 8, &[], true);
         assert_eq!(q.q_value(7, 0), 5.0);
         // non-terminal bootstraps from next state

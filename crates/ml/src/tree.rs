@@ -85,7 +85,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -116,7 +120,8 @@ fn leaf_value(ds: &Dataset, idx: &[usize], task: TreeTask) -> f64 {
         TreeTask::Regression => idx.iter().map(|&i| ds.y[i]).sum::<f64>() / idx.len().max(1) as f64,
         TreeTask::Classification => {
             // majority class
-            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<i64, usize> =
+                std::collections::HashMap::new();
             for &i in idx {
                 *counts.entry(ds.y[i].round() as i64).or_default() += 1;
             }
@@ -140,7 +145,8 @@ fn impurity(ds: &Dataset, idx: &[usize], task: TreeTask) -> f64 {
             idx.iter().map(|&i| (ds.y[i] - mean).powi(2)).sum::<f64>() / n
         }
         TreeTask::Classification => {
-            let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<i64, usize> =
+                std::collections::HashMap::new();
             for &i in idx {
                 *counts.entry(ds.y[i].round() as i64).or_default() += 1;
             }
@@ -155,9 +161,7 @@ fn impurity(ds: &Dataset, idx: &[usize], task: TreeTask) -> f64 {
 
 fn build(ds: &Dataset, idx: &[usize], params: &TreeParams, depth: usize, rng: &mut StdRng) -> Node {
     let parent_impurity = impurity(ds, idx, params.task);
-    if depth >= params.max_depth
-        || idx.len() < params.min_samples_split
-        || parent_impurity < 1e-12
+    if depth >= params.max_depth || idx.len() < params.min_samples_split || parent_impurity < 1e-12
     {
         return Node::Leaf {
             value: leaf_value(ds, idx, params.task),
@@ -183,8 +187,7 @@ fn build(ds: &Dataset, idx: &[usize], params: &TreeParams, depth: usize, rng: &m
         let step = (vals.len() / 32).max(1);
         for w in vals.windows(2).step_by(step) {
             let thr = (w[0] + w[1]) / 2.0;
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| ds.x[i][f] <= thr);
+            let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| ds.x[i][f] <= thr);
             if l.is_empty() || r.is_empty() {
                 continue;
             }
@@ -290,7 +293,13 @@ mod tests {
             .collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|v| if v[0] * v[0] + v[1] * v[1] < 1.0 { 1.0 } else { 0.0 })
+            .map(|v| {
+                if v[0] * v[0] + v[1] * v[1] < 1.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         Dataset::new(x, y).unwrap()
     }

@@ -1,0 +1,141 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API subset the bench targets use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a plain
+//! wall-clock runner: each benchmark is warmed up briefly, then timed over
+//! enough iterations to smooth noise, and the mean per-iteration time is
+//! printed. No statistics engine, plots, or baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Times closures handed to `Bencher::iter`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up ~20ms to stabilize caches and lazy init.
+        let warm_until = Instant::now() + Duration::from_millis(20);
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warm_until {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Aim for ~200ms of measurement, at least 10 iterations.
+        let per_iter = Duration::from_millis(20).as_nanos() as f64 / warm_iters.max(1) as f64;
+        let target = (Duration::from_millis(200).as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let iters = target.clamp(10, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    let (value, unit) = humanize(b.mean_ns);
+    println!("{label:<40} {value:>10.3} {unit}/iter  ({} iters)", b.iters);
+}
+
+fn humanize(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert_eq!(humanize(5.0).1, "ns");
+        assert_eq!(humanize(5_000.0).1, "us");
+        assert_eq!(humanize(5_000_000.0).1, "ms");
+        assert_eq!(humanize(5e9).1, "s");
+    }
+}

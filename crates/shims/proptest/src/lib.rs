@@ -1,0 +1,239 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`, range
+//! and charset-regex strategies, tuple strategies, [`Just`],
+//! `prop_oneof!`, and `collection::{vec, btree_set}`.
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! each test runs `cases` deterministic iterations (seeded from the test
+//! name), and a failing case reports its seed and iteration index so it
+//! can be re-run exactly.
+
+use rand::prelude::*;
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration (`ProptestConfig` in the real crate).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec(...)` resolves.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod collection {
+    use super::strategy::{BTreeSetStrategy, Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Vectors of `elem`, length drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// Ordered sets of `elem`; up to `size` draws, deduplicated.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Stable FNV-1a so each test gets a reproducible seed from its name.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Everything the `proptest!` macro expansion needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::{any, prop, seed_for, ProptestConfig};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Run one test body over `cases` generated inputs.
+pub fn run_cases<F>(name: &str, cases: u32, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    let seed = seed_for(name);
+    for case in 0..cases {
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(msg) = f(&mut rng) {
+            panic!("property '{name}' failed at case {case} (seed {seed:#x}):\n    {msg}");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {l:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// A failed assumption skips the case (counts as passed, like proptest's
+/// rejection without the global rejection cap).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn generated_ints_in_range(v in 10i64..20, u in 0usize..5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!(u < 5);
+        }
+
+        #[test]
+        fn tuples_and_collections(
+            pairs in prop::collection::vec((0i64..100, 0i64..100), 0..50),
+            keys in prop::collection::btree_set(0i64..30, 0..40),
+        ) {
+            prop_assert!(pairs.len() < 50);
+            prop_assert!(keys.len() <= 30, "dedup bound: {}", keys.len());
+        }
+
+        #[test]
+        fn oneof_and_map_cover_variants(
+            v in prop_oneof![
+                Just(-1i64),
+                (0i64..10).prop_map(|x| x * 2),
+            ]
+        ) {
+            prop_assert!(v == -1 || (v % 2 == 0 && (0..20).contains(&v)));
+        }
+
+        #[test]
+        fn charset_strings_match_class(s in "[ab0-3 ]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| "ab0123 ".contains(c)), "bad char in {s:?}");
+        }
+    }
+
+    #[test]
+    fn assume_skips_case() {
+        crate::run_cases("assume_skips", 32, |rng| {
+            let v = crate::Strategy::generate(&(0i64..10), rng);
+            prop_assume!(v < 5);
+            prop_assert!(v < 5);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_seed() {
+        crate::run_cases("always_fails", 4, |_rng| Err("nope".into()));
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline shim for the `rand` crate (0.8 API surface used by this
+//! workspace): `StdRng` + `SeedableRng::seed_from_u64`, `Rng::{gen,
+//! gen_range, gen_bool}`, and `SliceRandom::{shuffle, choose}`.
+//!
+//! The generator is xoshiro256++ seeded via splitmix64 — deterministic,
+//! fast, and statistically solid enough for the learned-component
+//! experiments that consume it. Not cryptographically secure (neither is
+//! the code this replaces, which seeds everything explicitly).
+
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+pub mod seq {
+    pub use crate::SliceRandom;
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SeedableRng, SliceRandom, StdRng};
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Standard: Sized {
+    fn from_rng(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng(rng: &mut dyn RngCore) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Element types `gen_range` can draw uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform(lo: Self, hi: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: $t, hi: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range called with empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+                } else {
+                    assert!(lo < hi, "gen_range called with empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(lo: $t, hi: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                if !inclusive {
+                    assert!(lo < hi, "gen_range called with empty range");
+                }
+                let u = <$t as Standard>::from_rng(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Ranges usable with `Rng::gen_range`. Blanket impls over the element
+/// type, so integer-literal ranges infer their type from the call site
+/// (matching rand 0.8's inference behavior).
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_uniform(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// The user-facing RNG trait.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        <f64 as Standard>::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// xoshiro256++ — the default deterministic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A process-global, non-reproducible RNG (seeded from the system clock);
+/// code under test always prefers `StdRng::seed_from_u64`.
+pub fn thread_rng() -> StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+        .unwrap_or(0x5EED);
+    StdRng::seed_from_u64(nanos)
+}
+
+/// Random helpers on slices.
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        // Fisher-Yates
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((rng.next_u64() % self.len() as u64) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(10);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u = r.gen_range(0usize..=3);
+            assert!(u <= 3);
+            let f = r.gen_range(2.0f64..4.0);
+            assert!((2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_float_distribution_covers() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut lo = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            if f < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4000..6000).contains(&lo), "biased: {lo}/{n} below 0.5");
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut xs: Vec<u32> = (0..100).collect();
+        xs.shuffle(&mut r);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert!(xs.choose(&mut r).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

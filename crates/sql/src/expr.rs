@@ -224,9 +224,7 @@ impl Expr {
                 };
                 // Try the qualified spelling first, then the bare name —
                 // operator output schemas may carry either form.
-                let idx = schema
-                    .index_of(&full)
-                    .or_else(|_| schema.index_of(name))?;
+                let idx = schema.index_of(&full).or_else(|_| schema.index_of(name))?;
                 Ok(row.get(idx).clone())
             }
             Expr::Literal(v) => Ok(v.clone()),
@@ -257,8 +255,9 @@ impl Expr {
                 let l = lo.eval(schema, row, fns)?;
                 let h = hi.eval(schema, row, fns)?;
                 match (v.sql_cmp(&l), v.sql_cmp(&h)) {
-                    (Some(a), Some(b)) => Ok(Value::Bool(a != std::cmp::Ordering::Less
-                        && b != std::cmp::Ordering::Greater)),
+                    (Some(a), Some(b)) => Ok(Value::Bool(
+                        a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+                    )),
                     _ => Ok(Value::Null),
                 }
             }

@@ -24,7 +24,10 @@ pub struct AggExpr {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogicalPlan {
     /// Base-table scan. `alias` is the name the query refers to it by.
-    Scan { table: String, alias: String },
+    Scan {
+        table: String,
+        alias: String,
+    },
     Filter {
         input: Box<LogicalPlan>,
         predicate: Expr,
@@ -54,7 +57,9 @@ pub enum LogicalPlan {
         n: usize,
     },
     /// Literal rows (INSERT ... VALUES, PREDICT result surface).
-    Values { rows: Vec<Vec<Expr>> },
+    Values {
+        rows: Vec<Vec<Expr>>,
+    },
 }
 
 impl LogicalPlan {
@@ -197,11 +202,14 @@ mod tests {
     #[test]
     fn builders_compose() {
         let plan = scan("a")
-            .join(scan("b"), Some(Expr::binary(
-                Expr::qcol("a", "x"),
-                BinaryOp::Eq,
-                Expr::qcol("b", "x"),
-            )))
+            .join(
+                scan("b"),
+                Some(Expr::binary(
+                    Expr::qcol("a", "x"),
+                    BinaryOp::Eq,
+                    Expr::qcol("b", "x"),
+                )),
+            )
             .filter(Expr::binary(Expr::col("y"), BinaryOp::Gt, Expr::lit(1i64)))
             .project(vec![Expr::col("y")], vec!["y".into()])
             .limit(5);

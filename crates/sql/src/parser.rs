@@ -117,7 +117,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(AimError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(AimError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -272,11 +274,17 @@ impl Parser {
     fn drop(&mut self) -> Result<Statement> {
         self.expect_kw("DROP")?;
         if self.eat_kw("TABLE") {
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else if self.eat_kw("INDEX") {
-            Ok(Statement::DropIndex { name: self.ident()? })
+            Ok(Statement::DropIndex {
+                name: self.ident()?,
+            })
         } else if self.eat_kw("MODEL") {
-            Ok(Statement::DropModel { name: self.ident()? })
+            Ok(Statement::DropModel {
+                name: self.ident()?,
+            })
         } else {
             Err(AimError::Parse(
                 "DROP must be followed by TABLE, INDEX or MODEL".into(),
@@ -418,11 +426,7 @@ impl Parser {
             Some(self.ident()?)
         } else {
             match self.peek() {
-                Some(Token::Ident(s))
-                    if !is_clause_keyword(s) =>
-                {
-                    Some(self.ident()?)
-                }
+                Some(Token::Ident(s)) if !is_clause_keyword(s) => Some(self.ident()?),
                 _ => None,
             }
         };
@@ -720,8 +724,8 @@ const RESERVED: &[&str] = &[
 
 fn is_clause_keyword(s: &str) -> bool {
     const KW: &[&str] = &[
-        "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "SET", "VALUES", "AS",
-        "AND", "OR", "NOT", "LABEL", "WITH", "KIND", "GIVEN", "UNION",
+        "WHERE", "GROUP", "ORDER", "LIMIT", "JOIN", "INNER", "ON", "SET", "VALUES", "AS", "AND",
+        "OR", "NOT", "LABEL", "WITH", "KIND", "GIVEN", "UNION",
     ];
     KW.iter().any(|k| s.eq_ignore_ascii_case(k))
 }
@@ -749,7 +753,11 @@ mod tests {
     fn insert_multi_row() {
         let s = parse_one("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match s {
-            Statement::Insert { table, columns, rows } => {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(columns.unwrap(), vec!["a", "b"]);
                 assert_eq!(rows.len(), 2);
@@ -781,10 +789,7 @@ mod tests {
 
     #[test]
     fn joins_explicit_and_comma() {
-        let s = parse_one(
-            "SELECT * FROM a, b JOIN c ON a.x = c.x WHERE a.x = b.y",
-        )
-        .unwrap();
+        let s = parse_one("SELECT * FROM a, b JOIN c ON a.x = c.x WHERE a.x = b.y").unwrap();
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.from.len(), 2);
@@ -813,10 +818,28 @@ mod tests {
         let Statement::Select(sel) = s else { panic!() };
         let w = sel.where_clause.unwrap();
         match w {
-            Expr::Binary { op: BinaryOp::Or, left, .. } => match *left {
-                Expr::Binary { op: BinaryOp::Eq, left, .. } => match *left {
-                    Expr::Binary { op: BinaryOp::Add, right, .. } => {
-                        assert!(matches!(*right, Expr::Binary { op: BinaryOp::Mul, .. }));
+            Expr::Binary {
+                op: BinaryOp::Or,
+                left,
+                ..
+            } => match *left {
+                Expr::Binary {
+                    op: BinaryOp::Eq,
+                    left,
+                    ..
+                } => match *left {
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        right,
+                        ..
+                    } => {
+                        assert!(matches!(
+                            *right,
+                            Expr::Binary {
+                                op: BinaryOp::Mul,
+                                ..
+                            }
+                        ));
                     }
                     other => panic!("expected Add, got {other:?}"),
                 },
@@ -842,7 +865,10 @@ mod tests {
         let s = parse_one("SELECT COUNT(*) FROM t").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         match &sel.items[0] {
-            SelectItem::Expr { expr: Expr::Function { name, args }, .. } => {
+            SelectItem::Expr {
+                expr: Expr::Function { name, args },
+                ..
+            } => {
                 assert_eq!(name, "COUNT");
                 assert!(args.is_empty());
             }
@@ -864,7 +890,9 @@ mod tests {
         assert_eq!(parse_one("COMMIT").unwrap(), Statement::Commit);
         assert_eq!(parse_one("ROLLBACK").unwrap(), Statement::Rollback);
         let s = parse_one("SET work_mem = 4096").unwrap();
-        assert!(matches!(s, Statement::Set { ref knob, value: Value::Int(4096) } if knob == "work_mem"));
+        assert!(
+            matches!(s, Statement::Set { ref knob, value: Value::Int(4096) } if knob == "work_mem")
+        );
         let s = parse_one("ANALYZE t").unwrap();
         assert!(matches!(s, Statement::Analyze { table: Some(ref t) } if t == "t"));
         let s = parse_one("EXPLAIN SELECT * FROM t").unwrap();
@@ -901,16 +929,20 @@ mod tests {
     #[test]
     fn predict_statement_and_scalar() {
         let s = parse_one("PREDICT stay GIVEN (63, 2.5)").unwrap();
-        assert!(matches!(s, Statement::Predict { ref model, ref inputs } if model == "stay" && inputs.len() == 2));
+        assert!(
+            matches!(s, Statement::Predict { ref model, ref inputs } if model == "stay" && inputs.len() == 2)
+        );
         // PREDICT as a scalar function inside a query (hybrid DB&AI)
-        let s = parse_one("SELECT name FROM patients WHERE PREDICT(stay, age, severity) > 3").unwrap();
+        let s =
+            parse_one("SELECT name FROM patients WHERE PREDICT(stay, age, severity) > 3").unwrap();
         let Statement::Select(sel) = s else { panic!() };
         assert!(sel.where_clause.is_some());
     }
 
     #[test]
     fn multiple_statements() {
-        let stmts = parse("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;").unwrap();
+        let stmts =
+            parse("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;").unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

@@ -294,11 +294,8 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         let mut out = Vec::with_capacity(self.len);
         let mut node = self.root;
         // walk to leftmost leaf
-        loop {
-            match &self.nodes[node] {
-                Node::Internal { children, .. } => node = children[0],
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
         }
         loop {
             let (keys, vals, next) = match &self.nodes[node] {

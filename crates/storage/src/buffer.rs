@@ -5,12 +5,13 @@
 //! counters feed the KPI surface consumed by the monitoring components.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::Result;
+use aimdb_common::{AimError, Result};
 
-use crate::disk::Disk;
+use crate::disk::PageStore;
 use crate::page::{Page, PageId};
 
 /// Cumulative buffer-pool counters.
@@ -47,14 +48,14 @@ struct PoolInner {
     stats: BufferStats,
 }
 
-/// LRU buffer pool in front of a [`Disk`].
+/// LRU buffer pool in front of a [`PageStore`].
 pub struct BufferPool {
-    disk: std::sync::Arc<Disk>,
+    disk: Arc<dyn PageStore>,
     inner: Mutex<PoolInner>,
 }
 
 impl BufferPool {
-    pub fn new(disk: std::sync::Arc<Disk>, capacity: usize) -> Self {
+    pub fn new(disk: Arc<dyn PageStore>, capacity: usize) -> Self {
         BufferPool {
             disk,
             inner: Mutex::new(PoolInner {
@@ -66,7 +67,7 @@ impl BufferPool {
         }
     }
 
-    pub fn disk(&self) -> &Disk {
+    pub fn disk(&self) -> &Arc<dyn PageStore> {
         &self.disk
     }
 
@@ -80,19 +81,22 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         inner.capacity = capacity.max(1);
         while inner.frames.len() > inner.capacity {
-            Self::evict_lru(&self.disk, &mut inner)?;
+            Self::evict_lru(self.disk.as_ref(), &mut inner)?;
         }
         Ok(())
     }
 
-    fn evict_lru(disk: &Disk, inner: &mut PoolInner) -> Result<()> {
+    fn evict_lru(disk: &dyn PageStore, inner: &mut PoolInner) -> Result<()> {
         if let Some(&victim) = inner
             .frames
             .iter()
             .min_by_key(|(_, f)| f.last_used)
             .map(|(id, _)| id)
         {
-            let frame = inner.frames.remove(&victim).expect("victim present");
+            let frame = inner
+                .frames
+                .remove(&victim)
+                .ok_or_else(|| AimError::Storage("buffer pool lost its eviction victim".into()))?;
             inner.stats.evictions += 1;
             if frame.dirty {
                 disk.write(victim, &frame.page)?;
@@ -110,7 +114,7 @@ impl BufferPool {
         } else {
             inner.stats.misses += 1;
             if inner.frames.len() >= inner.capacity {
-                Self::evict_lru(&self.disk, inner)?;
+                Self::evict_lru(self.disk.as_ref(), inner)?;
             }
             let page = self.disk.read(id)?;
             inner.frames.insert(
@@ -122,7 +126,10 @@ impl BufferPool {
                 },
             );
         }
-        let frame = inner.frames.get_mut(&id).expect("frame just ensured");
+        let frame = inner
+            .frames
+            .get_mut(&id)
+            .ok_or_else(|| AimError::Storage(format!("page {id:?} missing after load")))?;
         frame.last_used = tick;
         Ok(frame)
     }
@@ -148,7 +155,7 @@ impl BufferPool {
 
     /// Allocate a new page on disk and cache it.
     pub fn allocate(&self) -> Result<PageId> {
-        let id = self.disk.allocate();
+        let id = self.disk.allocate()?;
         let mut inner = self.inner.lock();
         // Touch it so it is resident.
         self.load(&mut inner, id)?;
@@ -160,7 +167,9 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         let ids: Vec<PageId> = inner.frames.keys().copied().collect();
         for id in ids {
-            let frame = inner.frames.get_mut(&id).expect("listed frame");
+            let Some(frame) = inner.frames.get_mut(&id) else {
+                continue;
+            };
             if frame.dirty {
                 self.disk.write(id, &frame.page)?;
                 frame.dirty = false;
@@ -186,11 +195,11 @@ impl BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::disk::Disk;
 
     fn pool(cap: usize) -> (Arc<Disk>, BufferPool) {
         let disk = Arc::new(Disk::new());
-        let pool = BufferPool::new(Arc::clone(&disk), cap);
+        let pool = BufferPool::new(disk.clone(), cap);
         (disk, pool)
     }
 

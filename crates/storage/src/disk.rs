@@ -1,9 +1,15 @@
-//! Simulated disk: a page store with I/O accounting.
+//! Simulated disk: a page store with I/O accounting and a durable WAL
+//! byte area.
 //!
 //! The tutorial's AI4DB techniques (knob tuning, index advice, KV design)
 //! all reason about I/O cost. Rather than stubbing "assume a disk exists",
 //! this is a real page store — just backed by memory — whose read/write
 //! counters are the ground-truth signal those components learn from.
+//!
+//! [`PageStore`] is the boundary the buffer pool and WAL sit on. [`Disk`]
+//! is the plain implementation; [`crate::fault::FaultInjector`] wraps any
+//! `PageStore` to inject torn writes, I/O errors, and crash points for the
+//! recovery harness.
 
 use std::collections::HashMap;
 
@@ -13,12 +19,39 @@ use aimdb_common::{AimError, Result};
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 
+/// The storage boundary: page I/O plus an append-only durable log area.
+///
+/// A `wal_append` models a synchronous log write (the bytes are durable
+/// once the call returns `Ok`); `wal_bytes` models reading the log back at
+/// recovery time and returns only what survived.
+pub trait PageStore: Send + Sync {
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate(&self) -> Result<PageId>;
+    fn read(&self, id: PageId) -> Result<Page>;
+    fn write(&self, id: PageId, page: &Page) -> Result<()>;
+    fn num_pages(&self) -> usize;
+    fn stats(&self) -> DiskStats;
+    /// Reset counters (between experiment phases).
+    fn reset_stats(&self);
+    /// Durably append bytes to the log area (an fsync'd write).
+    fn wal_append(&self, bytes: &[u8]) -> Result<()>;
+    /// The durable log byte stream, for recovery.
+    fn wal_bytes(&self) -> Result<Vec<u8>>;
+    /// Durable log length in bytes.
+    fn wal_len(&self) -> usize;
+    /// Truncate the log area to `len` bytes (discard a corrupt tail, or
+    /// reset after a recovery checkpoint). No-op if already shorter.
+    fn wal_truncate(&self, len: usize) -> Result<()>;
+}
+
 /// Cumulative I/O counters for a [`Disk`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
     pub reads: u64,
     pub writes: u64,
     pub allocations: u64,
+    /// Durable log writes (WAL flushes reaching the disk).
+    pub wal_appends: u64,
 }
 
 impl DiskStats {
@@ -31,6 +64,7 @@ impl DiskStats {
 
 struct DiskInner {
     pages: HashMap<PageId, Box<[u8; PAGE_SIZE]>>,
+    wal: Vec<u8>,
     next_id: u64,
     stats: DiskStats,
 }
@@ -51,6 +85,7 @@ impl Disk {
         Disk {
             inner: Mutex::new(DiskInner {
                 pages: HashMap::new(),
+                wal: Vec::new(),
                 next_id: 0,
                 stats: DiskStats::default(),
             }),
@@ -58,15 +93,18 @@ impl Disk {
     }
 
     /// Allocate a fresh zeroed page and return its id.
-    pub fn allocate(&self) -> PageId {
+    pub fn allocate(&self) -> Result<PageId> {
         let mut inner = self.inner.lock();
         let id = PageId(inner.next_id);
         inner.next_id += 1;
         inner.stats.allocations += 1;
-        inner
-            .pages
-            .insert(id, Box::new(*Page::new().as_bytes().first_chunk().unwrap()));
-        id
+        let bytes: Box<[u8; PAGE_SIZE]> = Page::new()
+            .as_bytes()
+            .try_into()
+            .map(Box::new)
+            .map_err(|_| AimError::Storage("page buffer has wrong length".into()))?;
+        inner.pages.insert(id, bytes);
+        Ok(id)
     }
 
     pub fn read(&self, id: PageId) -> Result<Page> {
@@ -102,6 +140,72 @@ impl Disk {
     pub fn reset_stats(&self) {
         self.inner.lock().stats = DiskStats::default();
     }
+
+    /// Durably append bytes to the WAL area.
+    pub fn wal_append(&self, bytes: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.stats.wal_appends += 1;
+        inner.wal.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    /// The durable WAL byte stream.
+    pub fn wal_bytes(&self) -> Result<Vec<u8>> {
+        Ok(self.inner.lock().wal.clone())
+    }
+
+    pub fn wal_len(&self) -> usize {
+        self.inner.lock().wal.len()
+    }
+
+    /// Truncate the WAL area to `len` bytes.
+    pub fn wal_truncate(&self, len: usize) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner.wal.truncate(len);
+        Ok(())
+    }
+}
+
+impl PageStore for Disk {
+    fn allocate(&self) -> Result<PageId> {
+        Disk::allocate(self)
+    }
+
+    fn read(&self, id: PageId) -> Result<Page> {
+        Disk::read(self, id)
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        Disk::write(self, id, page)
+    }
+
+    fn num_pages(&self) -> usize {
+        Disk::num_pages(self)
+    }
+
+    fn stats(&self) -> DiskStats {
+        Disk::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        Disk::reset_stats(self)
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> Result<()> {
+        Disk::wal_append(self, bytes)
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>> {
+        Disk::wal_bytes(self)
+    }
+
+    fn wal_len(&self) -> usize {
+        Disk::wal_len(self)
+    }
+
+    fn wal_truncate(&self, len: usize) -> Result<()> {
+        Disk::wal_truncate(self, len)
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +215,7 @@ mod tests {
     #[test]
     fn allocate_read_write_roundtrip() {
         let d = Disk::new();
-        let id = d.allocate();
+        let id = d.allocate().unwrap();
         let mut p = d.read(id).unwrap();
         p.insert(b"abc").unwrap();
         d.write(id, &p).unwrap();
@@ -129,7 +233,7 @@ mod tests {
     #[test]
     fn stats_count_ios() {
         let d = Disk::new();
-        let id = d.allocate();
+        let id = d.allocate().unwrap();
         let _ = d.read(id).unwrap();
         let _ = d.read(id).unwrap();
         d.write(id, &Page::new()).unwrap();
@@ -145,9 +249,20 @@ mod tests {
     #[test]
     fn page_ids_are_unique() {
         let d = Disk::new();
-        let a = d.allocate();
-        let b = d.allocate();
+        let a = d.allocate().unwrap();
+        let b = d.allocate().unwrap();
         assert_ne!(a, b);
         assert_eq!(d.num_pages(), 2);
+    }
+
+    #[test]
+    fn wal_area_appends_durably() {
+        let d = Disk::new();
+        assert_eq!(d.wal_len(), 0);
+        d.wal_append(b"abc").unwrap();
+        d.wal_append(b"def").unwrap();
+        assert_eq!(d.wal_bytes().unwrap(), b"abcdef");
+        assert_eq!(d.wal_len(), 6);
+        assert_eq!(d.stats().wal_appends, 2);
     }
 }

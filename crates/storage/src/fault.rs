@@ -1,0 +1,286 @@
+//! Storage fault injection for the crash-recovery harness.
+//!
+//! [`FaultInjector`] wraps a real [`Disk`] behind the [`PageStore`]
+//! boundary and misbehaves on cue: it can kill the store after a chosen
+//! number of mutating operations (simulating a process crash), tear the
+//! WAL write that was in flight at the crash, or fail individual
+//! operations with transient I/O errors.
+//!
+//! Semantics of a crash: the triggering operation and everything after it
+//! return `Err`, and nothing from the triggering operation onward reaches
+//! the underlying disk — except a torn WAL append, which may persist a
+//! corrupt prefix of its payload (that is the point: recovery must detect
+//! it via CRC). Recovery bypasses the injector entirely by reopening the
+//! [`Disk`] returned from [`FaultInjector::underlying`], the way a restart
+//! reopens the real device after the faulty process is gone.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use aimdb_common::{AimError, Result};
+
+use crate::disk::{Disk, DiskStats, PageStore};
+use crate::page::{Page, PageId};
+
+/// What happens to the WAL append that is in flight when the crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TornMode {
+    /// The append vanishes entirely (kernel never saw the write).
+    #[default]
+    DropAll,
+    /// A prefix (about two thirds) of the payload reaches the disk —
+    /// a torn multi-sector write.
+    Prefix,
+    /// The whole payload lands but its last byte is flipped — bit rot
+    /// or a misdirected sector tail.
+    CorruptLast,
+}
+
+/// A scripted failure. Operation numbers are 1-based and count mutating
+/// calls only (`allocate`, `write`, `wal_append`).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Crash on the Nth mutating operation (that operation fails and the
+    /// store is dead from then on).
+    pub crash_after_ops: Option<u64>,
+    /// How the in-flight WAL append is mangled if the crashing operation
+    /// is a `wal_append`.
+    pub torn_tail: TornMode,
+    /// Mutating operations that fail once with a transient I/O error but
+    /// leave the store alive.
+    pub io_error_at: Vec<u64>,
+}
+
+impl FaultPlan {
+    pub fn crash_after(n: u64) -> Self {
+        FaultPlan {
+            crash_after_ops: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    pub fn with_torn_tail(mut self, mode: TornMode) -> Self {
+        self.torn_tail = mode;
+        self
+    }
+
+    pub fn with_io_error_at(mut self, ops: Vec<u64>) -> Self {
+        self.io_error_at = ops;
+        self
+    }
+}
+
+struct InjectorState {
+    plan: FaultPlan,
+    ops: u64,
+    crashed: bool,
+}
+
+/// A [`PageStore`] that injects faults per a [`FaultPlan`], forwarding
+/// healthy operations to a wrapped [`Disk`].
+pub struct FaultInjector {
+    disk: Arc<Disk>,
+    state: Mutex<InjectorState>,
+}
+
+enum Verdict {
+    Proceed,
+    Transient,
+    Crash,
+}
+
+impl FaultInjector {
+    pub fn new(disk: Arc<Disk>, plan: FaultPlan) -> Self {
+        FaultInjector {
+            disk,
+            state: Mutex::new(InjectorState {
+                plan,
+                ops: 0,
+                crashed: false,
+            }),
+        }
+    }
+
+    /// The wrapped disk — what survives the crash. Recovery reopens this
+    /// directly, without the injector in the path.
+    pub fn underlying(&self) -> Arc<Disk> {
+        Arc::clone(&self.disk)
+    }
+
+    /// Whether the scripted crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Mutating operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Count a mutating operation and decide its fate.
+    fn mutating_op(&self) -> (Verdict, TornMode) {
+        let mut st = self.state.lock();
+        if st.crashed {
+            return (Verdict::Crash, st.plan.torn_tail);
+        }
+        st.ops += 1;
+        let ops = st.ops;
+        if st.plan.crash_after_ops == Some(ops) {
+            st.crashed = true;
+            return (Verdict::Crash, st.plan.torn_tail);
+        }
+        if st.plan.io_error_at.contains(&ops) {
+            return (Verdict::Transient, st.plan.torn_tail);
+        }
+        (Verdict::Proceed, st.plan.torn_tail)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.state.lock().crashed {
+            Err(AimError::Storage("storage crashed (injected)".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl PageStore for FaultInjector {
+    fn allocate(&self) -> Result<PageId> {
+        match self.mutating_op().0 {
+            Verdict::Proceed => self.disk.allocate(),
+            Verdict::Transient => Err(AimError::Storage("transient I/O error (injected)".into())),
+            Verdict::Crash => Err(AimError::Storage("storage crashed (injected)".into())),
+        }
+    }
+
+    fn read(&self, id: PageId) -> Result<Page> {
+        self.check_alive()?;
+        self.disk.read(id)
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        match self.mutating_op().0 {
+            Verdict::Proceed => self.disk.write(id, page),
+            Verdict::Transient => Err(AimError::Storage("transient I/O error (injected)".into())),
+            Verdict::Crash => Err(AimError::Storage("storage crashed (injected)".into())),
+        }
+    }
+
+    fn num_pages(&self) -> usize {
+        self.disk.num_pages()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.disk.reset_stats()
+    }
+
+    fn wal_append(&self, bytes: &[u8]) -> Result<()> {
+        let (verdict, torn) = self.mutating_op();
+        match verdict {
+            Verdict::Proceed => self.disk.wal_append(bytes),
+            Verdict::Transient => Err(AimError::Storage("transient I/O error (injected)".into())),
+            Verdict::Crash => {
+                // The write was in flight: persist whatever the torn mode
+                // dictates, then report failure. Recovery's CRC check must
+                // reject the damaged tail.
+                match torn {
+                    TornMode::DropAll => {}
+                    TornMode::Prefix => {
+                        let keep = bytes.len() * 2 / 3;
+                        if keep > 0 {
+                            self.disk.wal_append(&bytes[..keep])?;
+                        }
+                    }
+                    TornMode::CorruptLast => {
+                        if !bytes.is_empty() {
+                            let mut mangled = bytes.to_vec();
+                            let last = mangled.len() - 1;
+                            mangled[last] ^= 0xFF;
+                            self.disk.wal_append(&mangled)?;
+                        }
+                    }
+                }
+                Err(AimError::Storage("storage crashed (injected)".into()))
+            }
+        }
+    }
+
+    fn wal_bytes(&self) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        self.disk.wal_bytes()
+    }
+
+    fn wal_len(&self) -> usize {
+        self.disk.wal_len()
+    }
+
+    fn wal_truncate(&self, len: usize) -> Result<()> {
+        self.check_alive()?;
+        self.disk.wal_truncate(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_kills_the_store_permanently() {
+        let inj = FaultInjector::new(Arc::new(Disk::new()), FaultPlan::crash_after(2));
+        let id = inj.allocate().unwrap(); // op 1
+        assert!(inj.write(id, &Page::new()).is_err()); // op 2: crash
+        assert!(inj.crashed());
+        assert!(inj.allocate().is_err());
+        assert!(inj.read(id).is_err());
+        assert!(inj.wal_append(b"x").is_err());
+        // the triggering write never reached the disk
+        assert_eq!(inj.underlying().stats().writes, 0);
+    }
+
+    #[test]
+    fn transient_error_leaves_store_alive() {
+        let inj = FaultInjector::new(
+            Arc::new(Disk::new()),
+            FaultPlan::default().with_io_error_at(vec![2]),
+        );
+        let id = inj.allocate().unwrap(); // op 1
+        assert!(inj.write(id, &Page::new()).is_err()); // op 2: transient
+        assert!(!inj.crashed());
+        inj.write(id, &Page::new()).unwrap(); // op 3: healthy again
+    }
+
+    #[test]
+    fn torn_prefix_persists_partial_wal_write() {
+        let inj = FaultInjector::new(
+            Arc::new(Disk::new()),
+            FaultPlan::crash_after(1).with_torn_tail(TornMode::Prefix),
+        );
+        let payload = vec![7u8; 30];
+        assert!(inj.wal_append(&payload).is_err());
+        let disk = inj.underlying();
+        assert_eq!(disk.wal_len(), 20, "two thirds of the payload landed");
+        assert_eq!(disk.wal_bytes().unwrap(), vec![7u8; 20]);
+    }
+
+    #[test]
+    fn corrupt_last_flips_final_byte() {
+        let inj = FaultInjector::new(
+            Arc::new(Disk::new()),
+            FaultPlan::crash_after(1).with_torn_tail(TornMode::CorruptLast),
+        );
+        assert!(inj.wal_append(&[1, 2, 3]).is_err());
+        assert_eq!(inj.underlying().wal_bytes().unwrap(), vec![1, 2, 3 ^ 0xFF]);
+    }
+
+    #[test]
+    fn drop_all_persists_nothing() {
+        let inj = FaultInjector::new(Arc::new(Disk::new()), FaultPlan::crash_after(1));
+        assert!(inj.wal_append(&[1, 2, 3]).is_err());
+        assert_eq!(inj.underlying().wal_len(), 0);
+    }
+}

@@ -36,9 +36,7 @@ impl HeapFile {
         let bytes = encode_row(row);
         let mut pages = self.pages.lock();
         if let Some(&last) = pages.last() {
-            let slot = self
-                .pool
-                .with_page_mut(last, |p| Ok(p.insert(&bytes)))?;
+            let slot = self.pool.with_page_mut(last, |p| Ok(p.insert(&bytes)))?;
             if let Some(slot) = slot {
                 return Ok(RowId { page: last, slot });
             }

@@ -1,20 +1,70 @@
-//! Write-ahead log, sufficient for transaction rollback and the
-//! fault-tolerant-learning discussion in the tutorial's challenges section.
+//! Durable write-ahead log with LSNs, CRC-checked framing, and a
+//! pluggable sink.
 //!
-//! Records are kept in memory in append order. `undo_chain` walks a
-//! transaction's records newest-first so the transaction manager can undo
-//! them on abort.
+//! Every record is serialized as `[len:u32][crc:u32][lsn:u64][payload]`
+//! (little-endian), where the CRC-32 covers the LSN and the payload. The
+//! framing makes torn tails detectable at recovery: parsing stops at the
+//! first record whose length runs past the stream or whose checksum fails,
+//! and everything before it is trusted.
+//!
+//! Records flow through a [`WalSink`]. [`MemSink`] is instantly durable
+//! (the pre-durability behavior, used by unit tests); [`DiskSink`] buffers
+//! appends and pushes them to a [`PageStore`]'s log area on [`Wal::flush`]
+//! — the fsync barrier. Unflushed bytes are what a crash loses. Commit
+//! records trigger a flush when `sync_on_commit` is set (the `wal_sync`
+//! knob); checkpoint and DDL records always flush.
+//!
+//! An in-memory mirror of appended records serves live rollback
+//! (`undo_chain`) exactly as before; recovery instead re-parses the
+//! durable byte stream.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut};
 use parking_lot::Mutex;
 
-use aimdb_common::Row;
+use aimdb_common::{AimError, Result, Row, Schema};
 
+use crate::codec::{decode_row, encode_row};
+use crate::disk::PageStore;
 use crate::heap::RowId;
+use crate::page::PageId;
 
-/// Transaction identifier.
+/// Transaction identifier. Id 0 is reserved for non-transactional records
+/// (DDL, checkpoints), which recovery treats as always committed.
 pub type TxnId = u64;
 
-/// One log record. Before-images carry enough to undo.
+/// Logical snapshot of one table inside a checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSnapshot {
+    pub name: String,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+/// Logical description of one secondary index inside a checkpoint record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSnapshot {
+    pub name: String,
+    pub table: String,
+    pub column: String,
+}
+
+/// A quiescent checkpoint: the full logical database state at a moment
+/// when no transaction was open. Recovery restores the latest intact
+/// checkpoint and replays only the records after it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointData {
+    /// First transaction id safe to hand out after recovery.
+    pub next_txn: TxnId,
+    pub tables: Vec<TableSnapshot>,
+    pub indexes: Vec<IndexSnapshot>,
+}
+
+/// One log record. Data records carry full images: before-images drive
+/// undo, after-images drive redo (redo is value-based because row ids are
+/// reassigned when tables are rebuilt at recovery).
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
     Begin {
@@ -24,6 +74,7 @@ pub enum LogRecord {
         txn: TxnId,
         table: String,
         rid: RowId,
+        row: Row,
     },
     Delete {
         txn: TxnId,
@@ -37,6 +88,7 @@ pub enum LogRecord {
         old_rid: RowId,
         new_rid: RowId,
         before: Row,
+        after: Row,
     },
     Commit {
         txn: TxnId,
@@ -44,9 +96,26 @@ pub enum LogRecord {
     Abort {
         txn: TxnId,
     },
+    CreateTable {
+        name: String,
+        schema: Schema,
+    },
+    DropTable {
+        name: String,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        column: String,
+    },
+    DropIndex {
+        name: String,
+    },
+    Checkpoint(Box<CheckpointData>),
 }
 
 impl LogRecord {
+    /// The owning transaction; 0 for non-transactional records.
     pub fn txn(&self) -> TxnId {
         match self {
             LogRecord::Begin { txn }
@@ -55,27 +124,613 @@ impl LogRecord {
             | LogRecord::Update { txn, .. }
             | LogRecord::Commit { txn }
             | LogRecord::Abort { txn } => *txn,
+            _ => 0,
+        }
+    }
+
+    /// Whether this record must reach durable storage as soon as it is
+    /// appended regardless of the `wal_sync` setting (DDL, checkpoints).
+    fn always_flush(&self) -> bool {
+        matches!(
+            self,
+            LogRecord::CreateTable { .. }
+                | LogRecord::DropTable { .. }
+                | LogRecord::CreateIndex { .. }
+                | LogRecord::DropIndex { .. }
+                | LogRecord::Checkpoint(_)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — bitwise, no lookup table.
+
+/// CRC-32 checksum over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Record payload codec.
+
+const KIND_BEGIN: u8 = 0;
+const KIND_INSERT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+const KIND_UPDATE: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+const KIND_ABORT: u8 = 5;
+const KIND_CREATE_TABLE: u8 = 6;
+const KIND_DROP_TABLE: u8 = 7;
+const KIND_CREATE_INDEX: u8 = 8;
+const KIND_DROP_INDEX: u8 = 9;
+const KIND_CHECKPOINT: u8 = 10;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(AimError::Storage("wal: truncated string".into()));
+    }
+    let s = String::from_utf8(buf[..n].to_vec())
+        .map_err(|_| AimError::Storage("wal: invalid utf-8".into()))?;
+    buf.advance(n);
+    Ok(s)
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(AimError::Storage("wal: truncated u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(AimError::Storage("wal: truncated u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(AimError::Storage("wal: truncated byte".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn put_rid(out: &mut Vec<u8>, rid: RowId) {
+    out.put_u64_le(rid.page.0);
+    out.put_u32_le(rid.slot as u32);
+}
+
+fn get_rid(buf: &mut &[u8]) -> Result<RowId> {
+    let page = PageId(get_u64(buf)?);
+    let slot = get_u32(buf)? as u16;
+    Ok(RowId { page, slot })
+}
+
+fn put_row(out: &mut Vec<u8>, row: &Row) {
+    let bytes = encode_row(row);
+    out.put_u32_le(bytes.len() as u32);
+    out.put_slice(&bytes);
+}
+
+fn get_row(buf: &mut &[u8]) -> Result<Row> {
+    let n = get_u32(buf)? as usize;
+    if buf.remaining() < n {
+        return Err(AimError::Storage("wal: truncated row".into()));
+    }
+    let row = decode_row(&buf[..n])?;
+    buf.advance(n);
+    Ok(row)
+}
+
+fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    out.put_u32_le(schema.len() as u32);
+    for col in schema.columns() {
+        put_str(out, &col.name);
+        out.put_u8(match col.data_type {
+            aimdb_common::DataType::Int => 0,
+            aimdb_common::DataType::Float => 1,
+            aimdb_common::DataType::Text => 2,
+            aimdb_common::DataType::Bool => 3,
+        });
+        out.put_u8(col.nullable as u8);
+    }
+}
+
+fn get_schema(buf: &mut &[u8]) -> Result<Schema> {
+    let n = get_u32(buf)? as usize;
+    let mut cols = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        let dt = match get_u8(buf)? {
+            0 => aimdb_common::DataType::Int,
+            1 => aimdb_common::DataType::Float,
+            2 => aimdb_common::DataType::Text,
+            3 => aimdb_common::DataType::Bool,
+            other => {
+                return Err(AimError::Storage(format!("wal: bad data type tag {other}")));
+            }
+        };
+        let mut col = aimdb_common::Column::new(name, dt);
+        if get_u8(buf)? == 0 {
+            col = col.not_null();
+        }
+        cols.push(col);
+    }
+    Ok(Schema::new(cols))
+}
+
+/// Serialize a record's payload (kind byte + body, no framing).
+pub fn encode_record(rec: &LogRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    match rec {
+        LogRecord::Begin { txn } => {
+            out.put_u8(KIND_BEGIN);
+            out.put_u64_le(*txn);
+        }
+        LogRecord::Insert {
+            txn,
+            table,
+            rid,
+            row,
+        } => {
+            out.put_u8(KIND_INSERT);
+            out.put_u64_le(*txn);
+            put_str(&mut out, table);
+            put_rid(&mut out, *rid);
+            put_row(&mut out, row);
+        }
+        LogRecord::Delete {
+            txn,
+            table,
+            rid,
+            before,
+        } => {
+            out.put_u8(KIND_DELETE);
+            out.put_u64_le(*txn);
+            put_str(&mut out, table);
+            put_rid(&mut out, *rid);
+            put_row(&mut out, before);
+        }
+        LogRecord::Update {
+            txn,
+            table,
+            old_rid,
+            new_rid,
+            before,
+            after,
+        } => {
+            out.put_u8(KIND_UPDATE);
+            out.put_u64_le(*txn);
+            put_str(&mut out, table);
+            put_rid(&mut out, *old_rid);
+            put_rid(&mut out, *new_rid);
+            put_row(&mut out, before);
+            put_row(&mut out, after);
+        }
+        LogRecord::Commit { txn } => {
+            out.put_u8(KIND_COMMIT);
+            out.put_u64_le(*txn);
+        }
+        LogRecord::Abort { txn } => {
+            out.put_u8(KIND_ABORT);
+            out.put_u64_le(*txn);
+        }
+        LogRecord::CreateTable { name, schema } => {
+            out.put_u8(KIND_CREATE_TABLE);
+            put_str(&mut out, name);
+            put_schema(&mut out, schema);
+        }
+        LogRecord::DropTable { name } => {
+            out.put_u8(KIND_DROP_TABLE);
+            put_str(&mut out, name);
+        }
+        LogRecord::CreateIndex {
+            name,
+            table,
+            column,
+        } => {
+            out.put_u8(KIND_CREATE_INDEX);
+            put_str(&mut out, name);
+            put_str(&mut out, table);
+            put_str(&mut out, column);
+        }
+        LogRecord::DropIndex { name } => {
+            out.put_u8(KIND_DROP_INDEX);
+            put_str(&mut out, name);
+        }
+        LogRecord::Checkpoint(data) => {
+            out.put_u8(KIND_CHECKPOINT);
+            out.put_u64_le(data.next_txn);
+            out.put_u32_le(data.tables.len() as u32);
+            for t in &data.tables {
+                put_str(&mut out, &t.name);
+                put_schema(&mut out, &t.schema);
+                out.put_u32_le(t.rows.len() as u32);
+                for row in &t.rows {
+                    put_row(&mut out, row);
+                }
+            }
+            out.put_u32_le(data.indexes.len() as u32);
+            for idx in &data.indexes {
+                put_str(&mut out, &idx.name);
+                put_str(&mut out, &idx.table);
+                put_str(&mut out, &idx.column);
+            }
+        }
+    }
+    out
+}
+
+/// Parse one record payload (the inverse of [`encode_record`]).
+pub fn decode_record(payload: &[u8]) -> Result<LogRecord> {
+    let mut buf = payload;
+    let rec = match get_u8(&mut buf)? {
+        KIND_BEGIN => LogRecord::Begin {
+            txn: get_u64(&mut buf)?,
+        },
+        KIND_INSERT => LogRecord::Insert {
+            txn: get_u64(&mut buf)?,
+            table: get_str(&mut buf)?,
+            rid: get_rid(&mut buf)?,
+            row: get_row(&mut buf)?,
+        },
+        KIND_DELETE => LogRecord::Delete {
+            txn: get_u64(&mut buf)?,
+            table: get_str(&mut buf)?,
+            rid: get_rid(&mut buf)?,
+            before: get_row(&mut buf)?,
+        },
+        KIND_UPDATE => LogRecord::Update {
+            txn: get_u64(&mut buf)?,
+            table: get_str(&mut buf)?,
+            old_rid: get_rid(&mut buf)?,
+            new_rid: get_rid(&mut buf)?,
+            before: get_row(&mut buf)?,
+            after: get_row(&mut buf)?,
+        },
+        KIND_COMMIT => LogRecord::Commit {
+            txn: get_u64(&mut buf)?,
+        },
+        KIND_ABORT => LogRecord::Abort {
+            txn: get_u64(&mut buf)?,
+        },
+        KIND_CREATE_TABLE => LogRecord::CreateTable {
+            name: get_str(&mut buf)?,
+            schema: get_schema(&mut buf)?,
+        },
+        KIND_DROP_TABLE => LogRecord::DropTable {
+            name: get_str(&mut buf)?,
+        },
+        KIND_CREATE_INDEX => LogRecord::CreateIndex {
+            name: get_str(&mut buf)?,
+            table: get_str(&mut buf)?,
+            column: get_str(&mut buf)?,
+        },
+        KIND_DROP_INDEX => LogRecord::DropIndex {
+            name: get_str(&mut buf)?,
+        },
+        KIND_CHECKPOINT => {
+            let next_txn = get_u64(&mut buf)?;
+            let ntables = get_u32(&mut buf)? as usize;
+            let mut tables = Vec::with_capacity(ntables.min(1024));
+            for _ in 0..ntables {
+                let name = get_str(&mut buf)?;
+                let schema = get_schema(&mut buf)?;
+                let nrows = get_u32(&mut buf)? as usize;
+                let mut rows = Vec::with_capacity(nrows.min(65536));
+                for _ in 0..nrows {
+                    rows.push(get_row(&mut buf)?);
+                }
+                tables.push(TableSnapshot { name, schema, rows });
+            }
+            let nidx = get_u32(&mut buf)? as usize;
+            let mut indexes = Vec::with_capacity(nidx.min(1024));
+            for _ in 0..nidx {
+                indexes.push(IndexSnapshot {
+                    name: get_str(&mut buf)?,
+                    table: get_str(&mut buf)?,
+                    column: get_str(&mut buf)?,
+                });
+            }
+            LogRecord::Checkpoint(Box::new(CheckpointData {
+                next_txn,
+                tables,
+                indexes,
+            }))
+        }
+        other => {
+            return Err(AimError::Storage(format!(
+                "wal: unknown record kind {other}"
+            )))
+        }
+    };
+    if buf.remaining() != 0 {
+        return Err(AimError::Storage(format!(
+            "wal: {} trailing bytes after record",
+            buf.remaining()
+        )));
+    }
+    Ok(rec)
+}
+
+/// Frame a record for the byte stream: `[len][crc][lsn][payload]`.
+pub fn frame_record(lsn: u64, rec: &LogRecord) -> Vec<u8> {
+    let payload = encode_record(rec);
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.put_u64_le(lsn);
+    crc_input.put_slice(&payload);
+    let mut out = Vec::with_capacity(16 + payload.len());
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(crc32(&crc_input));
+    out.put_u64_le(lsn);
+    out.put_slice(&payload);
+    out
+}
+
+/// Result of scanning a durable WAL byte stream.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Intact records in log order, with their LSNs.
+    pub records: Vec<(u64, LogRecord)>,
+    /// Bytes dropped at the tail (torn/corrupt final write), 0 if clean.
+    pub corrupt_tail_bytes: usize,
+}
+
+/// Parse a durable WAL byte stream, stopping at the first torn or corrupt
+/// record. Everything before the corruption is returned; the damaged tail
+/// is counted, not trusted.
+pub fn scan_wal(bytes: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < 16 {
+            break; // torn header
+        }
+        let mut hdr = rest;
+        let len = hdr.get_u32_le() as usize;
+        let crc = hdr.get_u32_le();
+        let lsn = hdr.get_u64_le();
+        if rest.len() < 16 + len {
+            break; // torn payload
+        }
+        let payload = &rest[16..16 + len];
+        let mut crc_input = Vec::with_capacity(8 + len);
+        crc_input.put_u64_le(lsn);
+        crc_input.put_slice(payload);
+        if crc32(&crc_input) != crc {
+            break; // bit rot / torn write inside the frame
+        }
+        match decode_record(payload) {
+            Ok(rec) => records.push((lsn, rec)),
+            Err(_) => break,
+        }
+        pos += 16 + len;
+    }
+    WalScan {
+        records,
+        corrupt_tail_bytes: bytes.len() - pos,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+
+/// Where framed WAL bytes go. `append` may buffer; `flush` is the
+/// durability barrier. `durable_bytes` returns only what would survive a
+/// crash right now.
+pub trait WalSink: Send + Sync {
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+    fn flush(&self) -> Result<()>;
+    /// Bytes appended but not yet flushed (lost by a crash).
+    fn buffered(&self) -> usize;
+    fn durable_bytes(&self) -> Result<Vec<u8>>;
+}
+
+/// Instantly durable in-memory sink (unit tests, ephemeral databases).
+#[derive(Default)]
+pub struct MemSink {
+    bytes: Mutex<Vec<u8>>,
+}
+
+impl MemSink {
+    pub fn new() -> Self {
+        MemSink::default()
+    }
+}
+
+impl WalSink for MemSink {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.bytes.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn buffered(&self) -> usize {
+        0
+    }
+
+    fn durable_bytes(&self) -> Result<Vec<u8>> {
+        Ok(self.bytes.lock().clone())
+    }
+}
+
+/// Sink backed by a [`PageStore`]'s log area. Appends buffer in memory;
+/// `flush` performs one durable `wal_append` with everything buffered —
+/// the unit a fault injector can tear.
+pub struct DiskSink {
+    store: Arc<dyn PageStore>,
+    buf: Mutex<Vec<u8>>,
+}
+
+impl DiskSink {
+    pub fn new(store: Arc<dyn PageStore>) -> Self {
+        DiskSink {
+            store,
+            buf: Mutex::new(Vec::new()),
         }
     }
 }
 
-/// Append-only in-memory WAL.
-#[derive(Default)]
+impl WalSink for DiskSink {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.buf.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<()> {
+        let mut buf = self.buf.lock();
+        if buf.is_empty() {
+            return Ok(());
+        }
+        self.store.wal_append(&buf)?;
+        buf.clear();
+        Ok(())
+    }
+
+    fn buffered(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    fn durable_bytes(&self) -> Result<Vec<u8>> {
+        self.store.wal_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log itself.
+
+struct WalInner {
+    /// In-memory mirror of every appended record (live rollback, tests).
+    records: Vec<LogRecord>,
+    next_lsn: u64,
+    since_checkpoint: u64,
+}
+
+/// The write-ahead log: serializes records through a sink and mirrors
+/// them in memory for rollback.
 pub struct Wal {
-    records: Mutex<Vec<LogRecord>>,
+    sink: Box<dyn WalSink>,
+    sync_on_commit: AtomicBool,
+    inner: Mutex<WalInner>,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Wal::new()
+    }
 }
 
 impl Wal {
+    /// An instantly-durable in-memory WAL.
     pub fn new() -> Self {
-        Wal::default()
+        Wal::with_sink(Box::new(MemSink::new()))
     }
 
-    pub fn append(&self, rec: LogRecord) {
-        self.records.lock().push(rec);
+    pub fn with_sink(sink: Box<dyn WalSink>) -> Self {
+        Wal {
+            sink,
+            sync_on_commit: AtomicBool::new(true),
+            inner: Mutex::new(WalInner {
+                records: Vec::new(),
+                next_lsn: 1,
+                since_checkpoint: 0,
+            }),
+        }
+    }
+
+    /// Adopt state recovered from a durable log: the mirror records, and
+    /// the next LSN to hand out. Used by crash recovery only.
+    pub fn adopt_state(&self, records: Vec<LogRecord>, next_lsn: u64) {
+        let mut inner = self.inner.lock();
+        let since = records
+            .iter()
+            .rev()
+            .take_while(|r| !matches!(r, LogRecord::Checkpoint(_)))
+            .count() as u64;
+        inner.since_checkpoint = since;
+        inner.records = records;
+        inner.next_lsn = next_lsn;
+    }
+
+    /// Whether commit records force a flush (the `wal_sync` knob).
+    pub fn set_sync_on_commit(&self, on: bool) {
+        self.sync_on_commit.store(on, Ordering::Relaxed);
+    }
+
+    pub fn sync_on_commit(&self) -> bool {
+        self.sync_on_commit.load(Ordering::Relaxed)
+    }
+
+    /// Append a record, returning its LSN. Commit records flush when
+    /// `sync_on_commit` is set; DDL and checkpoint records always flush.
+    pub fn append(&self, rec: LogRecord) -> Result<u64> {
+        let flush = rec.always_flush()
+            || (matches!(rec, LogRecord::Commit { .. })
+                && self.sync_on_commit.load(Ordering::Relaxed));
+        let lsn;
+        {
+            let mut inner = self.inner.lock();
+            lsn = inner.next_lsn;
+            inner.next_lsn += 1;
+            self.sink.append(&frame_record(lsn, &rec))?;
+            if matches!(rec, LogRecord::Checkpoint(_)) {
+                inner.since_checkpoint = 0;
+            } else {
+                inner.since_checkpoint += 1;
+            }
+            inner.records.push(rec);
+        }
+        if flush {
+            self.sink.flush()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Durability barrier: push buffered bytes to the sink's backing store.
+    pub fn flush(&self) -> Result<()> {
+        self.sink.flush()
+    }
+
+    /// Bytes appended but not yet durable.
+    pub fn buffered(&self) -> usize {
+        self.sink.buffered()
+    }
+
+    /// The durable byte stream (what recovery would see).
+    pub fn durable_bytes(&self) -> Result<Vec<u8>> {
+        self.sink.durable_bytes()
+    }
+
+    /// Records appended since the last checkpoint record.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.inner.lock().since_checkpoint
+    }
+
+    pub fn next_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn
     }
 
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.inner.lock().records.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -84,14 +739,17 @@ impl Wal {
 
     /// All data records of `txn`, newest first — the undo order.
     pub fn undo_chain(&self, txn: TxnId) -> Vec<LogRecord> {
-        self.records
+        self.inner
             .lock()
+            .records
             .iter()
             .filter(|r| {
                 r.txn() == txn
-                    && !matches!(
+                    && matches!(
                         r,
-                        LogRecord::Begin { .. } | LogRecord::Commit { .. } | LogRecord::Abort { .. }
+                        LogRecord::Insert { .. }
+                            | LogRecord::Delete { .. }
+                            | LogRecord::Update { .. }
                     )
             })
             .rev()
@@ -101,21 +759,20 @@ impl Wal {
 
     /// Whether `txn` reached a terminal record.
     pub fn is_finished(&self, txn: TxnId) -> bool {
-        self.records.lock().iter().any(|r| {
+        self.inner.lock().records.iter().any(|r| {
             matches!(r, LogRecord::Commit { txn: t } | LogRecord::Abort { txn: t } if *t == txn)
         })
     }
 
     pub fn snapshot(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+        self.inner.lock().records.clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::page::PageId;
-    use aimdb_common::Value;
+    use aimdb_common::{DataType, Value};
 
     fn rid(p: u64, s: u16) -> RowId {
         RowId {
@@ -124,26 +781,35 @@ mod tests {
         }
     }
 
+    fn row(i: i64) -> Row {
+        Row::new(vec![Value::Int(i), Value::Text(format!("r{i}"))])
+    }
+
     #[test]
     fn undo_chain_is_newest_first_and_scoped() {
         let wal = Wal::new();
-        wal.append(LogRecord::Begin { txn: 1 });
+        wal.append(LogRecord::Begin { txn: 1 }).unwrap();
         wal.append(LogRecord::Insert {
             txn: 1,
             table: "t".into(),
             rid: rid(0, 0),
-        });
+            row: row(1),
+        })
+        .unwrap();
         wal.append(LogRecord::Insert {
             txn: 2,
             table: "t".into(),
             rid: rid(0, 1),
-        });
+            row: row(2),
+        })
+        .unwrap();
         wal.append(LogRecord::Delete {
             txn: 1,
             table: "t".into(),
             rid: rid(0, 2),
             before: Row::new(vec![Value::Int(5)]),
-        });
+        })
+        .unwrap();
         let chain = wal.undo_chain(1);
         assert_eq!(chain.len(), 2);
         assert!(matches!(chain[0], LogRecord::Delete { .. }));
@@ -153,10 +819,152 @@ mod tests {
     #[test]
     fn finished_detection() {
         let wal = Wal::new();
-        wal.append(LogRecord::Begin { txn: 7 });
+        wal.append(LogRecord::Begin { txn: 7 }).unwrap();
         assert!(!wal.is_finished(7));
-        wal.append(LogRecord::Commit { txn: 7 });
+        wal.append(LogRecord::Commit { txn: 7 }).unwrap();
         assert!(wal.is_finished(7));
         assert!(!wal.is_finished(8));
+    }
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::CreateTable {
+                name: "t".into(),
+                schema: Schema::new(vec![
+                    aimdb_common::Column::new("id", DataType::Int).not_null(),
+                    aimdb_common::Column::new("name", DataType::Text),
+                ]),
+            },
+            LogRecord::Begin { txn: 3 },
+            LogRecord::Insert {
+                txn: 3,
+                table: "t".into(),
+                rid: rid(1, 4),
+                row: row(42),
+            },
+            LogRecord::Update {
+                txn: 3,
+                table: "t".into(),
+                old_rid: rid(1, 4),
+                new_rid: rid(1, 5),
+                before: row(42),
+                after: row(43),
+            },
+            LogRecord::Delete {
+                txn: 3,
+                table: "t".into(),
+                rid: rid(1, 5),
+                before: row(43),
+            },
+            LogRecord::Commit { txn: 3 },
+            LogRecord::CreateIndex {
+                name: "idx".into(),
+                table: "t".into(),
+                column: "id".into(),
+            },
+            LogRecord::DropIndex { name: "idx".into() },
+            LogRecord::DropTable { name: "t".into() },
+            LogRecord::Abort { txn: 9 },
+            LogRecord::Checkpoint(Box::new(CheckpointData {
+                next_txn: 10,
+                tables: vec![TableSnapshot {
+                    name: "t".into(),
+                    schema: Schema::from_pairs(&[("id", DataType::Int)]),
+                    rows: vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Null])],
+                }],
+                indexes: vec![IndexSnapshot {
+                    name: "idx".into(),
+                    table: "t".into(),
+                    column: "id".into(),
+                }],
+            })),
+        ]
+    }
+
+    #[test]
+    fn record_codec_roundtrips_every_kind() {
+        for rec in sample_records() {
+            let payload = encode_record(&rec);
+            assert_eq!(decode_record(&payload).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn framed_stream_roundtrips() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for (i, rec) in recs.iter().enumerate() {
+            bytes.extend_from_slice(&frame_record(i as u64 + 1, rec));
+        }
+        let scan = scan_wal(&bytes);
+        assert_eq!(scan.corrupt_tail_bytes, 0);
+        assert_eq!(scan.records.len(), recs.len());
+        for (i, (lsn, rec)) in scan.records.iter().enumerate() {
+            assert_eq!(*lsn, i as u64 + 1);
+            assert_eq!(rec, &recs[i]);
+        }
+    }
+
+    #[test]
+    fn crc_detects_torn_and_corrupt_tails() {
+        let recs = sample_records();
+        let mut bytes = Vec::new();
+        for (i, rec) in recs.iter().enumerate() {
+            bytes.extend_from_slice(&frame_record(i as u64 + 1, rec));
+        }
+        // torn tail: drop the last 5 bytes
+        let torn = &bytes[..bytes.len() - 5];
+        let scan = scan_wal(torn);
+        assert_eq!(scan.records.len(), recs.len() - 1);
+        assert!(scan.corrupt_tail_bytes > 0);
+        // bit flip inside the last record's payload
+        let mut flipped = bytes.clone();
+        let n = flipped.len();
+        flipped[n - 1] ^= 0xFF;
+        let scan = scan_wal(&flipped);
+        assert_eq!(scan.records.len(), recs.len() - 1);
+        assert!(scan.corrupt_tail_bytes > 0);
+        // records before the damage are untouched
+        assert_eq!(scan.records[0].1, recs[0]);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789"
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn disk_sink_buffers_until_flush() {
+        use crate::disk::Disk;
+        let disk = Arc::new(Disk::new());
+        let wal = Wal::with_sink(Box::new(DiskSink::new(disk.clone())));
+        wal.set_sync_on_commit(false);
+        wal.append(LogRecord::Begin { txn: 1 }).unwrap();
+        wal.append(LogRecord::Commit { txn: 1 }).unwrap();
+        assert!(wal.buffered() > 0);
+        assert_eq!(disk.wal_len(), 0, "nothing durable before the barrier");
+        wal.flush().unwrap();
+        assert_eq!(wal.buffered(), 0);
+        let scan = scan_wal(&disk.wal_bytes().unwrap());
+        assert_eq!(scan.records.len(), 2);
+        // sync mode: commit flushes on its own
+        wal.set_sync_on_commit(true);
+        wal.append(LogRecord::Begin { txn: 2 }).unwrap();
+        wal.append(LogRecord::Commit { txn: 2 }).unwrap();
+        assert_eq!(wal.buffered(), 0);
+        assert_eq!(scan_wal(&disk.wal_bytes().unwrap()).records.len(), 4);
+    }
+
+    #[test]
+    fn checkpoint_resets_interval_counter() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 1 }).unwrap();
+        wal.append(LogRecord::Commit { txn: 1 }).unwrap();
+        assert_eq!(wal.records_since_checkpoint(), 2);
+        wal.append(LogRecord::Checkpoint(Box::default())).unwrap();
+        assert_eq!(wal.records_since_checkpoint(), 0);
+        wal.append(LogRecord::Begin { txn: 2 }).unwrap();
+        assert_eq!(wal.records_since_checkpoint(), 1);
     }
 }

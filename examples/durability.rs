@@ -1,0 +1,74 @@
+//! Durability walkthrough: a workload dies mid-flight against a faulty
+//! disk, and `Database::recover` rebuilds exactly the committed state.
+//!
+//! Run with `cargo run --example durability`.
+
+use std::sync::Arc;
+
+use aimdb::common::Result;
+use aimdb::engine::Database;
+use aimdb::storage::{Disk, FaultInjector, FaultPlan, TornMode};
+
+fn main() -> Result<()> {
+    // 1. A database over a disk wrapped in a fault injector: the disk will
+    //    "crash" after 40 mutating operations, tearing the in-flight WAL
+    //    write so only a prefix of its bytes survives.
+    let disk = Arc::new(Disk::new());
+    let inj = Arc::new(FaultInjector::new(
+        disk.clone(),
+        FaultPlan {
+            crash_after_ops: Some(40),
+            torn_tail: TornMode::Prefix,
+            ..FaultPlan::default()
+        },
+    ));
+    let db = Database::with_store(inj.clone());
+
+    println!("--- workload until the disk dies ---");
+    db.execute("CREATE TABLE accounts (id INT, balance INT)")?;
+    let mut committed = 0usize;
+    for i in 0..1000 {
+        let stmt = format!("INSERT INTO accounts VALUES ({i}, {})", 100 * i);
+        match db.execute(&stmt) {
+            Ok(_) => committed += 1,
+            Err(e) => {
+                println!("insert #{i} failed: {e}");
+                break;
+            }
+        }
+    }
+    println!("committed {committed} inserts before the crash");
+    assert!(inj.crashed(), "the injector should have pulled the plug");
+
+    // 2. Recover from whatever bytes actually reached the (healthy)
+    //    underlying disk. The torn tail record fails its CRC and is
+    //    discarded; every durably committed transaction is replayed.
+    println!("\n--- recovery ---");
+    let (db2, report) = Database::recover(inj.underlying())?;
+    println!(
+        "replayed {} of {} records ({} committed txns, {} losers, {} corrupt tail bytes)",
+        report.replayed,
+        report.total_records,
+        report.committed_txns,
+        report.loser_txns,
+        report.corrupt_tail_bytes
+    );
+    let rows = db2.execute("SELECT COUNT(*) FROM accounts")?;
+    println!("rows after recovery: {:?}", rows.rows()[0]);
+
+    // 3. The recovered database is fully usable — and durable again.
+    db2.execute("INSERT INTO accounts VALUES (9999, 1)")?;
+    let rows = db2.execute("SELECT COUNT(*) FROM accounts")?;
+    println!("rows after post-recovery insert: {:?}", rows.rows()[0]);
+
+    // 4. Recovery is idempotent: recover the same store again and the
+    //    state carries over (including the post-recovery insert).
+    let (db3, report2) = Database::recover(inj.underlying())?;
+    let rows = db3.execute("SELECT COUNT(*) FROM accounts")?;
+    println!(
+        "second recovery: {:?} rows, {} corrupt tail bytes",
+        rows.rows()[0],
+        report2.corrupt_tail_bytes
+    );
+    Ok(())
+}

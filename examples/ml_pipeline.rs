@@ -26,7 +26,11 @@ fn main() {
     let (nodes, truth) = generate_corpus(1);
     let ekg = Ekg::build(nodes.clone(), 0.3, 0.6).expect("ekg");
     let related = ekg.related_columns("customers", "cust_id");
-    println!("EKG found {} related columns (truth: {}):", related.len(), truth.len());
+    println!(
+        "EKG found {} related columns (truth: {}):",
+        related.len(),
+        truth.len()
+    );
     for (n, score) in &related {
         println!("  {} (content overlap {score:.2})", n.id());
     }
@@ -40,7 +44,10 @@ fn main() {
     let task = CleaningTask::generate(600, 200, 0.25, 7).expect("task");
     let curve = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 6, 1).expect("clean");
     for p in &curve {
-        println!("  cleaned {:>4} records → test R² {:.3}", p.cleaned, p.test_r2);
+        println!(
+            "  cleaned {:>4} records → test R² {:.3}",
+            p.cleaned, p.test_r2
+        );
     }
 
     // --- 3. labeling ----------------------------------------------------
@@ -58,15 +65,28 @@ fn main() {
     println!("\n--- lineage ---");
     let mut g = LineageGraph::new();
     g.add_source("raw_patients").expect("src");
-    g.derive("cleaned", ArtifactKind::DerivedTable, "activeclean", &["raw_patients"])
-        .expect("derive");
-    g.derive("stay_model", ArtifactKind::Model, "train:linear", &["cleaned"])
-        .expect("derive");
+    g.derive(
+        "cleaned",
+        ArtifactKind::DerivedTable,
+        "activeclean",
+        &["raw_patients"],
+    )
+    .expect("derive");
+    g.derive(
+        "stay_model",
+        ArtifactKind::Model,
+        "train:linear",
+        &["cleaned"],
+    )
+    .expect("derive");
     let stale = g.source_changed("raw_patients").expect("change");
     println!("  raw_patients changed → stale: {stale:?}");
     println!(
         "  refresh plan: {:?}",
-        g.refresh_plan().iter().map(|a| a.name.as_str()).collect::<Vec<_>>()
+        g.refresh_plan()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     // --- 5. parallel model selection -------------------------------------
@@ -82,11 +102,13 @@ fn main() {
     // --- 6. in-database inference + hybrid pushdown ----------------------
     println!("\n--- inference + hybrid DB&AI ---");
     let db = Database::new();
-    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").expect("ddl");
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")
+        .expect("ddl");
     let tuples: Vec<String> = (0..5000)
         .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
+        .expect("load");
     let feats = feature_matrix(&db, "patients", &["age", "severity"]).expect("features");
     let strategy = choose_strategy(feats.len() as f64, distinct_ratio(&feats));
     let model_fn = |x: &[f64]| 0.05 * x[0] + 0.8 * x[1];

@@ -35,12 +35,21 @@ fn main() {
     ModelRuntime::install(&db);
 
     println!("--- plain SQL ---");
-    show(&db, "CREATE TABLE users (id INT NOT NULL, name TEXT, age INT)");
-    show(&db, "CREATE TABLE orders (oid INT, user_id INT, amount FLOAT)");
+    show(
+        &db,
+        "CREATE TABLE users (id INT NOT NULL, name TEXT, age INT)",
+    );
+    show(
+        &db,
+        "CREATE TABLE orders (oid INT, user_id INT, amount FLOAT)",
+    );
     let users: Vec<String> = (0..200)
         .map(|i| format!("({i}, 'user{i}', {})", 18 + (i * 13) % 60))
         .collect();
-    show(&db, &format!("INSERT INTO users VALUES {}", users.join(",")));
+    show(
+        &db,
+        &format!("INSERT INTO users VALUES {}", users.join(",")),
+    );
     // spend grows with customer id, so the learned model has real signal
     let orders: Vec<String> = (0..600)
         .map(|i| {
@@ -48,7 +57,10 @@ fn main() {
             format!("({i}, {user}, {})", user as f64 * 0.3 + (i % 7) as f64)
         })
         .collect();
-    show(&db, &format!("INSERT INTO orders VALUES {}", orders.join(",")));
+    show(
+        &db,
+        &format!("INSERT INTO orders VALUES {}", orders.join(",")),
+    );
     show(&db, "ANALYZE");
     show(
         &db,

@@ -18,11 +18,13 @@ use aimdb_engine::Database;
 fn main() {
     // --- a database with a real workload ----------------------------
     let db = Database::new();
-    db.execute("CREATE TABLE events (id INT, kind INT, val INT)").expect("ddl");
+    db.execute("CREATE TABLE events (id INT, kind INT, val INT)")
+        .expect("ddl");
     let tuples: Vec<String> = (0..8000)
         .map(|i| format!("({i}, {}, {})", i % 150, i % 37))
         .collect();
-    db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO events VALUES {}", tuples.join(",")))
+        .expect("load");
     db.execute("ANALYZE").expect("analyze");
 
     // --- 1. knob tuning against the live engine ---------------------
@@ -48,8 +50,14 @@ fn main() {
     .expect("workload");
     let greedy = advise_greedy(&db, &wl, 2).expect("greedy");
     let rl = advise_rl(&db, &wl, 2, 40, 7).expect("rl");
-    println!("greedy advice: {:?} (cost {:.1})", greedy.indexes, greedy.workload_cost);
-    println!("rl advice    : {:?} (cost {:.1})", rl.indexes, rl.workload_cost);
+    println!(
+        "greedy advice: {:?} (cost {:.1})",
+        greedy.indexes, greedy.workload_cost
+    );
+    println!(
+        "rl advice    : {:?} (cost {:.1})",
+        rl.indexes, rl.workload_cost
+    );
     let built = apply_advice(&db, &rl).expect("apply");
     println!("built {built} index(es); EXPLAIN now shows:");
     if let Ok(aimdb_engine::QueryResult::Text(plan)) =
@@ -62,12 +70,11 @@ fn main() {
     println!("\n--- learned cardinality estimator installed in the optimizer ---");
     let data = CorrData::generate(10_000, 100, 0.9, 3);
     let corr_db = data.load_into_db().expect("load");
-    let model =
-        LearnedCard::train(&data, &data.gen_queries(400, 21), 5).expect("train");
+    let model = LearnedCard::train(&data, &data.gen_queries(400, 21), 5).expect("train");
     corr_db.set_estimator(std::sync::Arc::new(LearnedEstimator::new(model, "pairs")));
-    if let Ok(aimdb_engine::QueryResult::Text(plan)) = corr_db.execute(
-        "EXPLAIN SELECT * FROM pairs WHERE a BETWEEN 10 AND 30 AND b BETWEEN 10 AND 30",
-    ) {
+    if let Ok(aimdb_engine::QueryResult::Text(plan)) = corr_db
+        .execute("EXPLAIN SELECT * FROM pairs WHERE a BETWEEN 10 AND 30 AND b BETWEEN 10 AND 30")
+    {
         println!("plan with learned estimates (row counts reflect the correlation):");
         print!("{plan}");
     }
@@ -85,7 +92,9 @@ fn main() {
     let kpis = db.kpis();
     println!(
         "current engine KPIs: {} queries, avg cost {:.1}, p95 {:.1}, hit rate {:.2}",
-        kpis.queries_executed, kpis.avg_cost_per_query, kpis.p95_cost_per_query,
+        kpis.queries_executed,
+        kpis.avg_cost_per_query,
+        kpis.p95_cost_per_query,
         kpis.buffer_hit_rate
     );
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate. Run from anywhere; exits non-zero on the first
+# failure. Pass --crash-loop to also run the long randomized
+# crash/recovery soak (500 iterations via the fault-injection feature).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy -p aimdb-storage -p aimdb-engine --all-targets -- -D warnings
+run cargo test -q --workspace
+
+if [[ "${1:-}" == "--crash-loop" ]]; then
+    run cargo test -q --test crash_recovery --features fault-injection
+fi
+
+echo "All checks passed."

@@ -18,11 +18,13 @@ fn measured_cost(db: &Database, sql: &str) -> f64 {
 #[test]
 fn index_advice_improves_measured_latency() {
     let db = Database::new();
-    db.execute("CREATE TABLE t (id INT, grp INT, val FLOAT)").expect("ddl");
+    db.execute("CREATE TABLE t (id INT, grp INT, val FLOAT)")
+        .expect("ddl");
     let tuples: Vec<String> = (0..10_000)
         .map(|i| format!("({i}, {}, {})", i % 40, (i % 997) as f64))
         .collect();
-    db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+        .expect("load");
     db.execute("ANALYZE").expect("analyze");
 
     let probe = "SELECT val FROM t WHERE id = 4321";
@@ -46,7 +48,8 @@ fn knob_tuning_reduces_measured_workload_cost() {
     let db = Database::new();
     db.execute("CREATE TABLE t (a INT, b INT)").expect("ddl");
     let tuples: Vec<String> = (0..15_000).map(|i| format!("({i}, {})", i % 100)).collect();
-    db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+        .expect("load");
     db.execute("ANALYZE").expect("analyze");
     let queries = vec!["SELECT COUNT(*) FROM t WHERE a < 8000".to_string()];
 
@@ -56,10 +59,7 @@ fn knob_tuning_reduces_measured_workload_cost() {
     let report = tune_random(&mut env, 10, 3);
     assert!(report.best_throughput > 0.0);
     // tuner must have moved the pool well above the floor
-    let chosen = aimdb::ai4db::knob::level_value(
-        "buffer_pool_pages",
-        report.best_config[0],
-    );
+    let chosen = aimdb::ai4db::knob::level_value("buffer_pool_pages", report.best_config[0]);
     assert!(chosen > 1, "tuner stuck at the floor: {chosen}");
 }
 

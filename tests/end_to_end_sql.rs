@@ -23,11 +23,19 @@ fn full_relational_session() {
     )
     .expect("ddl");
     let depts: Vec<String> = (0..10).map(|d| format!("({d}, 'dept{d}')")).collect();
-    db.execute(&format!("INSERT INTO dept VALUES {}", depts.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO dept VALUES {}", depts.join(",")))
+        .expect("load");
     let emps: Vec<String> = (0..1000)
-        .map(|e| format!("({e}, {}, {}, 'emp{e}')", e % 10, 1000.0 + (e % 97) as f64 * 10.0))
+        .map(|e| {
+            format!(
+                "({e}, {}, {}, 'emp{e}')",
+                e % 10,
+                1000.0 + (e % 97) as f64 * 10.0
+            )
+        })
         .collect();
-    db.execute(&format!("INSERT INTO emp VALUES {}", emps.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO emp VALUES {}", emps.join(",")))
+        .expect("load");
     db.execute("ANALYZE").expect("analyze");
 
     // join + aggregate + order + limit
@@ -41,19 +49,29 @@ fn full_relational_session() {
     assert_eq!(r.rows()[0].get(1), &Value::Int(100));
 
     // secondary index + correctness of the indexed path
-    db.execute("CREATE INDEX idx_eid ON emp (eid)").expect("index");
+    db.execute("CREATE INDEX idx_eid ON emp (eid)")
+        .expect("index");
     db.execute("ANALYZE").expect("analyze");
-    let QueryResult::Text(plan) = db.execute("EXPLAIN SELECT * FROM emp WHERE eid = 77").expect("explain")
+    let QueryResult::Text(plan) = db
+        .execute("EXPLAIN SELECT * FROM emp WHERE eid = 77")
+        .expect("explain")
     else {
         panic!("explain returns text")
     };
     assert!(plan.contains("IndexScan"), "{plan}");
-    assert_eq!(scalar_i64(&db, "SELECT COUNT(*) FROM emp WHERE eid = 77"), 1);
+    assert_eq!(
+        scalar_i64(&db, "SELECT COUNT(*) FROM emp WHERE eid = 77"),
+        1
+    );
 
     // update/delete with predicates
-    db.execute("UPDATE emp SET salary = salary * 2 WHERE did = 3").expect("update");
+    db.execute("UPDATE emp SET salary = salary * 2 WHERE did = 3")
+        .expect("update");
     assert_eq!(
-        scalar_i64(&db, "SELECT COUNT(*) FROM emp WHERE salary >= 2000 AND did = 3"),
+        scalar_i64(
+            &db,
+            "SELECT COUNT(*) FROM emp WHERE salary >= 2000 AND did = 3"
+        ),
         100
     );
     db.execute("DELETE FROM emp WHERE did = 9").expect("delete");
@@ -61,11 +79,15 @@ fn full_relational_session() {
 
     // transaction rollback across statement kinds
     db.execute("BEGIN").expect("begin");
-    db.execute("DELETE FROM emp WHERE did = 0").expect("txn delete");
-    db.execute("UPDATE emp SET name = 'zz' WHERE eid = 500").expect("txn update");
+    db.execute("DELETE FROM emp WHERE did = 0")
+        .expect("txn delete");
+    db.execute("UPDATE emp SET name = 'zz' WHERE eid = 500")
+        .expect("txn update");
     db.execute("ROLLBACK").expect("rollback");
     assert_eq!(scalar_i64(&db, "SELECT COUNT(*) FROM emp"), 900);
-    let r = db.execute("SELECT name FROM emp WHERE eid = 500").expect("select");
+    let r = db
+        .execute("SELECT name FROM emp WHERE eid = 500")
+        .expect("select");
     assert_eq!(r.rows()[0].get(0), &Value::Text("emp500".into()));
 }
 
@@ -83,7 +105,8 @@ fn aisql_lifecycle_end_to_end() {
             format!("({t}, {temp}, {humid}, {fail})")
         })
         .collect();
-    db.execute(&format!("INSERT INTO sensor VALUES {}", rows.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO sensor VALUES {}", rows.join(",")))
+        .expect("load");
 
     // train, predict, use inside a query
     db.execute("CREATE MODEL failing KIND TREE ON sensor (temp, humid) LABEL fail")
@@ -101,14 +124,21 @@ fn aisql_lifecycle_end_to_end() {
         "SELECT COUNT(*) FROM sensor WHERE PREDICT(failing, temp, humid) = 1",
     );
     let truth = scalar_i64(&db, "SELECT COUNT(*) FROM sensor WHERE fail = 1");
-    assert!((flagged - truth).abs() <= truth / 10 + 2, "{flagged} vs {truth}");
+    assert!(
+        (flagged - truth).abs() <= truth / 10 + 2,
+        "{flagged} vs {truth}"
+    );
 
     // registry metadata reachable through the runtime handle
     rt.with_registry(|reg| {
         let (meta, _) = reg.latest("failing").expect("registered");
         assert_eq!(meta.kind, "tree");
         assert_eq!(meta.features, vec!["temp", "humid"]);
-        assert!(meta.train_metric > 0.9, "train accuracy {}", meta.train_metric);
+        assert!(
+            meta.train_metric > 0.9,
+            "train accuracy {}",
+            meta.train_metric
+        );
         assert!(reg.export_catalog().expect("export").contains("failing"));
     });
 
@@ -125,7 +155,8 @@ fn knobs_affect_real_io() {
     let db = Database::new();
     db.execute("CREATE TABLE big (a INT, b INT)").expect("ddl");
     let tuples: Vec<String> = (0..20_000).map(|i| format!("({i}, {})", i % 7)).collect();
-    db.execute(&format!("INSERT INTO big VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO big VALUES {}", tuples.join(",")))
+        .expect("load");
 
     // tiny buffer pool → repeated scans must miss
     db.execute("SET buffer_pool_pages = 2").expect("set");

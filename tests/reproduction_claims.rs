@@ -16,7 +16,12 @@ fn e5_claim_learned_cardinality_survives_correlation() {
     let test = data.gen_queries(100, 22);
     let hist = evaluate("histogram", &data, &test, |q| histogram_estimate(&st, q));
     let learned = evaluate("learned", &data, &test, |q| model.estimate(q));
-    assert!(hist.p95 > learned.p95 * 2.0, "hist {} vs learned {}", hist.p95, learned.p95);
+    assert!(
+        hist.p95 > learned.p95 * 2.0,
+        "hist {} vs learned {}",
+        hist.p95,
+        learned.p95
+    );
 }
 
 #[test]
@@ -25,7 +30,12 @@ fn e6_claim_budgeted_search_tracks_optimal() {
     let g = JoinGraph::generate(Topology::Clique, 9, 3);
     let dp = order_dp(&g);
     let mc = order_mcts(&g, 1500, 3);
-    assert!(mc.cost <= dp.cost * 1.5, "mcts {} vs dp {}", mc.cost, dp.cost);
+    assert!(
+        mc.cost <= dp.cost * 1.5,
+        "mcts {} vs dp {}",
+        mc.cost,
+        dp.cost
+    );
     // the scaling claim: DP's work explodes exponentially with n while the
     // budgeted search stays flat
     let wide = JoinGraph::generate(Topology::Chain, 14, 3);
@@ -53,7 +63,11 @@ fn e8_claim_learned_index_is_smaller() {
 fn e9_claim_searched_design_dominates_fixed() {
     use ai4db::kv_design::*;
     for row in sweep(0.1, 1e7, 5).expect("sweep") {
-        let envelope = row.fixed.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let envelope = row
+            .fixed
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
         assert!(row.searched <= envelope + 1e-9, "read={}", row.read_frac);
     }
 }
@@ -75,9 +89,7 @@ fn e14_claim_model_aware_cleaning_wins() {
     let task = CleaningTask::generate(500, 150, 0.25, 7).expect("task");
     let random = run_cleaning(&task, CleanPolicy::Random, 25, 5, 1).expect("rand");
     let active = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 5, 1).expect("active");
-    assert!(
-        active.last().expect("curve").test_r2 > random.last().expect("curve").test_r2
-    );
+    assert!(active.last().expect("curve").test_r2 > random.last().expect("curve").test_r2);
 }
 
 #[test]
@@ -86,11 +98,13 @@ fn e16_claim_pushdown_preserves_answers_and_saves_work() {
     use aimdb::ml::linear::LinearRegression;
     use db4ai::hybrid::run_hospital_query;
     let db = Database::new();
-    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)").expect("ddl");
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")
+        .expect("ddl");
     let tuples: Vec<String> = (0..3000)
         .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(","))).expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
+        .expect("load");
     let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
     let (naive, pushed) =
         run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0).expect("run");
