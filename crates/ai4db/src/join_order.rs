@@ -170,7 +170,11 @@ pub fn order_dp(g: &JoinGraph) -> OrderResult {
             best.insert(mask, c);
         }
     }
-    let (cost, order) = best.remove(&full).expect("full mask reachable");
+    // every singleton mask is seeded above, so `full` is always reachable;
+    // the degenerate fallback keeps this panic-free regardless
+    let (cost, order) = best
+        .remove(&full)
+        .unwrap_or_else(|| (f64::INFINITY, (0..n).collect()));
     OrderResult {
         method: "dp(optimal)".into(),
         order,
@@ -183,21 +187,27 @@ pub fn order_dp(g: &JoinGraph) -> OrderResult {
 /// connected relation minimizing the next intermediate cardinality.
 pub fn order_greedy(g: &JoinGraph) -> OrderResult {
     let n = g.n();
-    let first = (0..n)
-        .min_by(|&a, &b| g.sizes[a].total_cmp(&g.sizes[b]))
-        .expect("nonempty");
+    let mut first = 0;
+    for r in 1..n {
+        if g.sizes[r] < g.sizes[first] {
+            first = r;
+        }
+    }
     let mut order = vec![first];
     let mut mask = 1u64 << first;
     let mut evals = 0;
     while order.len() < n {
-        let next = g
-            .connected_next(mask)
-            .into_iter()
-            .min_by(|&a, &b| {
-                evals += 2;
-                g.card(mask | (1 << a)).total_cmp(&g.card(mask | (1 << b)))
-            })
-            .expect("remaining relations");
+        let mut next = None;
+        for a in g.connected_next(mask) {
+            evals += 1;
+            let c = g.card(mask | (1 << a));
+            if next.map_or(true, |(_, bc)| c < bc) {
+                next = Some((a, c));
+            }
+        }
+        let Some((next, _)) = next else {
+            break; // disconnected graph: no relation left to add
+        };
         order.push(next);
         mask |= 1 << next;
     }
@@ -267,7 +277,7 @@ pub fn order_qlearn(g: &JoinGraph, episodes: usize, seed: u64) -> OrderResult {
         }
         q.end_episode();
     }
-    let (cost, order) = best.expect("at least one episode");
+    let (cost, order) = best.unwrap_or_else(|| (f64::INFINITY, (0..n).collect()));
     OrderResult {
         method: "q-learning".into(),
         order,
@@ -319,14 +329,13 @@ impl MctsEnv for JoinEnv<'_> {
             let a = if rng.gen::<f64>() < 0.3 {
                 acts[rng.gen_range(0..acts.len())]
             } else {
-                acts.iter()
-                    .copied()
-                    .min_by(|&x, &y| {
-                        self.g
-                            .card(s.0 | (1 << x))
-                            .total_cmp(&self.g.card(s.0 | (1 << y)))
-                    })
-                    .expect("acts nonempty")
+                let mut pick = acts[0];
+                for &x in &acts[1..] {
+                    if self.g.card(s.0 | (1 << x)) < self.g.card(s.0 | (1 << pick)) {
+                        pick = x;
+                    }
+                }
+                pick
             };
             s = self.apply(&s, &a);
         }

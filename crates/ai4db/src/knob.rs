@@ -36,10 +36,10 @@ pub type Config = Vec<usize>;
 
 /// Map a level index to a concrete knob value (log-spaced).
 pub fn level_value(knob: &str, level: usize) -> i64 {
-    let spec = KNOB_SPECS
-        .iter()
-        .find(|s| s.name == knob)
-        .expect("tuned knob exists");
+    let Some(spec) = KNOB_SPECS.iter().find(|s| s.name == knob) else {
+        // callers pass TUNED_KNOBS names; identity-map anything else
+        return level as i64;
+    };
     if spec.max - spec.min <= LEVELS as i64 {
         // small domains (booleans): clamp
         return (spec.min + level as i64).min(spec.max);
@@ -55,10 +55,17 @@ pub fn default_config() -> Config {
     TUNED_KNOBS
         .iter()
         .map(|k| {
-            let spec = KNOB_SPECS.iter().find(|s| s.name == *k).expect("knob");
-            (0..LEVELS)
-                .min_by_key(|&l| (level_value(k, l) - spec.default).abs())
-                .expect("levels nonempty")
+            let default = KNOB_SPECS
+                .iter()
+                .find(|s| s.name == *k)
+                .map_or(0, |s| s.default);
+            let mut best = 0;
+            for l in 1..LEVELS {
+                if (level_value(k, l) - default).abs() < (level_value(k, best) - default).abs() {
+                    best = l;
+                }
+            }
+            best
         })
         .collect()
 }
@@ -374,25 +381,23 @@ impl QueryAwareTuner {
     /// Recommend a configuration for a workload (nearest by features).
     pub fn recommend(&self, w: WorkloadType) -> &Config {
         let target = w.features();
-        self.per_workload
-            .iter()
-            .min_by(|a, b| {
-                let da: f64 =
-                    a.0.features()
-                        .iter()
-                        .zip(&target)
-                        .map(|(x, y)| (x - y).powi(2))
-                        .sum();
-                let db: f64 =
-                    b.0.features()
-                        .iter()
-                        .zip(&target)
-                        .map(|(x, y)| (x - y).powi(2))
-                        .sum();
-                da.total_cmp(&db)
-            })
-            .map(|(_, c)| c)
-            .expect("trained on all workloads")
+        let dist = |entry: &(WorkloadType, Config)| -> f64 {
+            entry
+                .0
+                .features()
+                .iter()
+                .zip(&target)
+                .map(|(x, y)| (x - y).powi(2))
+                .sum()
+        };
+        // trained over WorkloadType::ALL, so per_workload is nonempty
+        let mut best = &self.per_workload[0];
+        for entry in &self.per_workload[1..] {
+            if dist(entry) < dist(best) {
+                best = entry;
+            }
+        }
+        &best.1
     }
 }
 

@@ -15,7 +15,7 @@
 //! and shows the searched design matching or beating every fixed design
 //! everywhere, with crossovers where the literature puts them.
 
-use aimdb_common::Result;
+use aimdb_common::{AimError, Result};
 
 /// A point in the storage design space.
 ///
@@ -230,7 +230,8 @@ pub fn sweep(scan_frac: f64, n_keys: f64, points: usize) -> Result<Vec<SweepRow>
                     best = Some((d, c));
                 }
             }
-            let (searched_design, searched) = best.expect("at least one start");
+            let (searched_design, searched) = best
+                .ok_or_else(|| AimError::InvalidInput("no fixed designs to start from".into()))?;
             Ok(SweepRow {
                 read_frac,
                 fixed,

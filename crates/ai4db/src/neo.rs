@@ -89,12 +89,13 @@ pub fn enumerate_candidates(db: &Database, sel: &Select) -> Result<Vec<PhysicalP
 
 /// The classical choice: minimum estimated cost under current statistics.
 pub fn baseline_pick(candidates: &[PhysicalPlan]) -> usize {
-    candidates
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.est_cost.total_cmp(&b.1.est_cost))
-        .map(|(i, _)| i)
-        .expect("candidates nonempty")
+    let mut best = 0;
+    for i in 1..candidates.len() {
+        if candidates[i].est_cost < candidates[best].est_cost {
+            best = i;
+        }
+    }
+    best
 }
 
 /// NEO-style learned optimizer: a plan value network plus its experience.
@@ -121,15 +122,18 @@ impl Neo {
             return self.rng.gen_range(0..candidates.len());
         }
         match &self.model {
-            Some(m) => candidates
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    m.predict_one(&featurize(a.1))
-                        .total_cmp(&m.predict_one(&featurize(b.1)))
-                })
-                .map(|(i, _)| i)
-                .expect("candidates nonempty"),
+            Some(m) => {
+                let mut best = 0;
+                let mut best_pred = f64::INFINITY;
+                for (i, c) in candidates.iter().enumerate() {
+                    let pred = m.predict_one(&featurize(c));
+                    if pred < best_pred {
+                        best = i;
+                        best_pred = pred;
+                    }
+                }
+                best
+            }
             None => baseline_pick(candidates), // cold start: cost model
         }
     }

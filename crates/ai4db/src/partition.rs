@@ -79,7 +79,7 @@ impl PartitionScenario {
             let h = (v.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % self.partitions;
             counts[h] += 1;
         }
-        let max = *counts.iter().max().expect("partitions > 0") as f64;
+        let max = counts.iter().copied().fold(0, usize::max) as f64;
         let avg = samples as f64 / self.partitions as f64;
         (max / avg).max(1.0)
     }
@@ -122,6 +122,17 @@ pub struct PartitionChoice {
 }
 
 /// Baseline: partition on the first column of the table.
+/// Index in `0..n` maximizing `score` (0 for empty ranges).
+fn argbest(n: usize, score: impl Fn(usize) -> f64) -> usize {
+    let mut best = 0;
+    for i in 1..n {
+        if score(i) > score(best) {
+            best = i;
+        }
+    }
+    best
+}
+
 pub fn choose_first(s: &PartitionScenario) -> PartitionChoice {
     PartitionChoice {
         method: "first-column".into(),
@@ -134,13 +145,7 @@ pub fn choose_first(s: &PartitionScenario) -> PartitionChoice {
 /// Baseline: partition on the most-queried column (access frequency
 /// heuristic, ignores skew).
 pub fn choose_most_queried(s: &PartitionScenario) -> PartitionChoice {
-    let idx = (0..s.columns.len())
-        .max_by(|&a, &b| {
-            s.columns[a]
-                .query_fraction
-                .total_cmp(&s.columns[b].query_fraction)
-        })
-        .expect("columns nonempty");
+    let idx = argbest(s.columns.len(), |i| s.columns[i].query_fraction);
     PartitionChoice {
         method: "most-queried".into(),
         key: s.columns[idx].name.clone(),
@@ -169,9 +174,7 @@ pub fn choose_learned(
         let c = s.observed_cost(arm, noise, &mut rng);
         bandit.update(arm, (1.0 - c / worst).clamp(0.0, 1.0));
     }
-    let best = (0..s.columns.len())
-        .max_by(|&a, &b| bandit.mean(a).total_cmp(&bandit.mean(b)))
-        .expect("columns nonempty");
+    let best = argbest(s.columns.len(), |i| bandit.mean(i));
     PartitionChoice {
         method: "learned(bandit)".into(),
         key: s.columns[best].name.clone(),
@@ -182,9 +185,7 @@ pub fn choose_learned(
 
 /// Oracle: exhaustive true-cost evaluation.
 pub fn choose_oracle(s: &PartitionScenario) -> PartitionChoice {
-    let idx = (0..s.columns.len())
-        .min_by(|&a, &b| s.true_cost(a, 99).total_cmp(&s.true_cost(b, 99)))
-        .expect("columns nonempty");
+    let idx = argbest(s.columns.len(), |i| -s.true_cost(i, 99));
     PartitionChoice {
         method: "oracle".into(),
         key: s.columns[idx].name.clone(),

@@ -1,0 +1,316 @@
+//! Plan-verifier corpus sweep: generate a large batch of random but
+//! well-formed SELECTs, plan each one, and require the static verifier
+//! (`aimdb_engine::verify`) to accept every plan that the executor can
+//! run. Any rejection of an executable query is a verifier false
+//! positive and fails the sweep — this is the release-mode counterpart
+//! of the debug-build verify gate.
+//!
+//! ```text
+//! verify_corpus            # sweep 1000 queries (seed 42)
+//! verify_corpus --n 5000   # bigger sweep
+//! ```
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::Result;
+use aimdb_engine::verify::verify;
+use aimdb_engine::Database;
+use aimdb_sql::{parse, Statement};
+
+/// (table, numeric columns, text columns)
+const TABLES: [(&str, &[&str], &[&str]); 3] = [
+    (
+        "users",
+        &["users.id", "users.age", "users.score"],
+        &["users.name"],
+    ),
+    (
+        "orders",
+        &["orders.oid", "orders.user_id", "orders.amount"],
+        &["orders.tag"],
+    ),
+    (
+        "items",
+        &["items.iid", "items.oid", "items.qty", "items.price"],
+        &["items.label"],
+    ),
+];
+
+/// Join keys known to be type-compatible across tables.
+const JOINS: [(&str, &str, &str, &str); 2] = [
+    ("users", "orders", "users.id", "orders.user_id"),
+    ("orders", "items", "orders.oid", "items.oid"),
+];
+
+fn setup(db: &Database, rng: &mut StdRng) -> Result<()> {
+    db.execute("CREATE TABLE users (id INT, age INT, name TEXT, score FLOAT)")?;
+    db.execute("CREATE TABLE orders (oid INT, user_id INT, amount FLOAT, tag TEXT)")?;
+    db.execute("CREATE TABLE items (iid INT, oid INT, qty INT, price FLOAT, label TEXT)")?;
+    db.execute("CREATE INDEX idx_age ON users (age)")?;
+    db.execute("CREATE INDEX idx_uid ON orders (user_id)")?;
+
+    let names = ["ann", "bob", "cal", "dee", "eli"];
+    let tags = ["new", "ship", "done", "hold"];
+    for chunk in (0..200).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, '{}', {:.2})",
+                    rng.gen_range(18..80),
+                    names[rng.gen_range(0..names.len())],
+                    rng.gen_range(0.0..100.0)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO users VALUES {}", rows.join(",")))?;
+    }
+    for chunk in (0..400).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, {:.2}, '{}')",
+                    rng.gen_range(0..200),
+                    rng.gen_range(1.0..500.0),
+                    tags[rng.gen_range(0..tags.len())]
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO orders VALUES {}", rows.join(",")))?;
+    }
+    for chunk in (0..400).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, {}, {:.2}, 'sku{}')",
+                    rng.gen_range(0..400),
+                    rng.gen_range(1..10),
+                    rng.gen_range(0.5..50.0),
+                    i % 7
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO items VALUES {}", rows.join(",")))?;
+    }
+    db.execute("ANALYZE")?;
+    Ok(())
+}
+
+fn numeric_col(rng: &mut StdRng, ti: usize) -> String {
+    let cols = TABLES[ti].1;
+    cols[rng.gen_range(0..cols.len())].to_string()
+}
+
+fn text_col(rng: &mut StdRng, ti: usize) -> String {
+    let cols = TABLES[ti].2;
+    cols[rng.gen_range(0..cols.len())].to_string()
+}
+
+/// A random predicate over one table's columns.
+fn predicate(rng: &mut StdRng, ti: usize) -> String {
+    match rng.gen_range(0..7) {
+        0 => format!(
+            "{} {} {}",
+            numeric_col(rng, ti),
+            ["<", "<=", ">", ">=", "=", "<>"][rng.gen_range(0..6)],
+            rng.gen_range(0..120)
+        ),
+        1 => format!(
+            "{} BETWEEN {} AND {}",
+            numeric_col(rng, ti),
+            rng.gen_range(0..50),
+            rng.gen_range(50..200)
+        ),
+        2 => format!(
+            "{} IN ({}, {}, {})",
+            numeric_col(rng, ti),
+            rng.gen_range(0..40),
+            rng.gen_range(40..80),
+            rng.gen_range(80..120)
+        ),
+        3 => format!(
+            "{} LIKE '%{}%'",
+            text_col(rng, ti),
+            ['a', 'e', 'o', 's'][rng.gen_range(0..4)]
+        ),
+        4 => format!("{} IS NOT NULL", numeric_col(rng, ti)),
+        5 => format!(
+            "{} > {} AND {} IS NOT NULL",
+            numeric_col(rng, ti),
+            rng.gen_range(0..60),
+            text_col(rng, ti)
+        ),
+        _ => format!(
+            "ABS({}) >= {} OR {} < {}",
+            numeric_col(rng, ti),
+            rng.gen_range(0..30),
+            numeric_col(rng, ti),
+            rng.gen_range(0..100)
+        ),
+    }
+}
+
+/// A random well-formed SELECT.
+fn gen_query(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..5) {
+        // single-table projection + filter (+ order/limit)
+        0 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            let nc = numeric_col(rng, ti);
+            let tc = text_col(rng, ti);
+            // ORDER BY binds against the projection output, so the key
+            // must be a column the projection keeps
+            let bare = nc
+                .rsplit_once('.')
+                .map_or(nc.as_str(), |(_, b)| b)
+                .to_string();
+            let (proj, sort_key) = match rng.gen_range(0..3) {
+                0 => ("*".to_string(), bare),
+                1 => (format!("{nc}, {tc}"), bare),
+                _ => (format!("{nc} + 1, UPPER({tc})"), "col0".to_string()),
+            };
+            let mut q = format!("SELECT {proj} FROM {t} WHERE {}", predicate(rng, ti));
+            if rng.gen_bool(0.5) {
+                q.push_str(&format!(" ORDER BY {sort_key}"));
+                if rng.gen_bool(0.5) {
+                    q.push_str(" DESC");
+                }
+            }
+            if rng.gen_bool(0.4) {
+                q.push_str(&format!(" LIMIT {}", rng.gen_range(1..40)));
+            }
+            q
+        }
+        // two-table join on compatible keys
+        1 => {
+            let (lt, rt, lk, rk) = JOINS[rng.gen_range(0..JOINS.len())];
+            let ti = TABLES.iter().position(|(n, _, _)| *n == lt).unwrap_or(0);
+            format!(
+                "SELECT {lk}, {rk} FROM {lt} JOIN {rt} ON {lk} = {rk} WHERE {}",
+                predicate(rng, ti)
+            )
+        }
+        // aggregate + group by (+ order by group key)
+        2 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            let g = text_col(rng, ti);
+            let a = numeric_col(rng, ti);
+            let agg = ["COUNT(*)", "SUM", "AVG", "MIN", "MAX"][rng.gen_range(0..5)];
+            let agg = if agg == "COUNT(*)" {
+                agg.to_string()
+            } else {
+                format!("{agg}({a})")
+            };
+            let mut q = format!("SELECT {g}, {agg} FROM {t} GROUP BY {g}");
+            if rng.gen_bool(0.5) {
+                // the aggregate projection renames outputs to bare names
+                let bare = g.rsplit_once('.').map_or(g.as_str(), |(_, b)| b);
+                q.push_str(&format!(" ORDER BY {bare}"));
+            }
+            q
+        }
+        // global aggregate with filter
+        3 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            format!(
+                "SELECT COUNT(*), AVG({}) FROM {t} WHERE {}",
+                numeric_col(rng, ti),
+                predicate(rng, ti)
+            )
+        }
+        // scalar expressions, no FROM
+        _ => format!(
+            "SELECT ABS({}), LENGTH('corpus'), {} * {}",
+            -rng.gen_range(1..50i64),
+            rng.gen_range(1..9),
+            rng.gen_range(1..9)
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 1000usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                n = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--n needs a number");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown flag {other} (want: --n <count>)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let db = Database::new();
+    if let Err(e) = setup(&db, &mut rng) {
+        eprintln!("corpus setup failed: {e}");
+        std::process::exit(2);
+    }
+
+    let mut false_positives = 0usize;
+    let mut executed = 0usize;
+    let mut rows_total = 0usize;
+    for qi in 0..n {
+        let sql = gen_query(&mut rng);
+        let stmts = parse(&sql).unwrap_or_else(|e| {
+            eprintln!("[{qi}] generator produced unparseable SQL ({e}): {sql}");
+            std::process::exit(2);
+        });
+        let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+            eprintln!("[{qi}] generator produced a non-SELECT: {sql}");
+            std::process::exit(2);
+        };
+        let plan = db.plan(&sel).unwrap_or_else(|e| {
+            eprintln!("[{qi}] planner failed ({e}): {sql}");
+            std::process::exit(2);
+        });
+        let verdict = verify(&plan, &db.catalog);
+        let run = db.run_plan(&plan);
+        match (verdict, run) {
+            (Ok(()), Ok(res)) => {
+                executed += 1;
+                if let aimdb_engine::QueryResult::Rows { rows, .. } = res {
+                    rows_total += rows.len();
+                }
+            }
+            (Err(e), Ok(_)) => {
+                false_positives += 1;
+                eprintln!("FALSE POSITIVE [{qi}]: verifier rejected an executable query");
+                eprintln!("  sql:  {sql}");
+                eprintln!("  err:  {e}");
+            }
+            (Ok(()), Err(e)) => {
+                // the verifier is allowed to miss dynamic-only failures,
+                // but the corpus generator should not produce any
+                eprintln!("note [{qi}]: verified plan failed at runtime ({e}): {sql}");
+            }
+            (Err(ve), Err(re)) => {
+                // true positive: both agree the plan is bad — the
+                // generator should not produce these either
+                eprintln!("note [{qi}]: verifier and executor both rejected ({ve} / {re}): {sql}");
+            }
+        }
+    }
+
+    println!(
+        "verify_corpus: {n} queries, {executed} executed ({rows_total} rows), {false_positives} false positive(s)"
+    );
+    if false_positives > 0 {
+        std::process::exit(1);
+    }
+}

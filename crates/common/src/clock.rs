@@ -1,0 +1,98 @@
+//! Injectable time source.
+//!
+//! Anything plan-affecting (adaptive selection, tuning budgets, cost
+//! feedback) must not read the wall clock directly — two runs of the same
+//! workload would diverge, and the learned components' comparisons against
+//! their baselines stop being reproducible (lint rule L002). Algorithms
+//! take a `&dyn Clock` instead; production call sites pass [`WallClock`],
+//! tests and experiments pass a [`ManualClock`] they advance by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic time source measured in seconds from an arbitrary origin.
+pub trait Clock: Send + Sync {
+    /// Seconds elapsed since the clock's origin.
+    fn now_secs(&self) -> f64;
+}
+
+/// Real monotonic time. This is the single sanctioned wall-clock read in
+/// the workspace; everything else must take a `&dyn Clock`.
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> Self {
+        WallClock {
+            // aimdb-lint: allow(L002, the one sanctioned wall-clock source)
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_secs(&self) -> f64 {
+        // aimdb-lint: allow(L002, the one sanctioned wall-clock source)
+        Instant::now().duration_since(self.origin).as_secs_f64()
+    }
+}
+
+/// A deterministic clock advanced explicitly. Stores nanoseconds in an
+/// atomic so shared references can advance it from worker threads.
+#[derive(Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `secs` seconds.
+    pub fn advance_secs(&self, secs: f64) {
+        let add = (secs * 1e9) as u64;
+        self.nanos.fetch_add(add, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute time in seconds.
+    pub fn set_secs(&self, secs: f64) {
+        self.nanos.store((secs * 1e9) as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_secs(&self) -> f64 {
+        self.nanos.load(Ordering::SeqCst) as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_deterministically() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_secs(), 0.0);
+        c.advance_secs(1.5);
+        assert!((c.now_secs() - 1.5).abs() < 1e-9);
+        c.set_secs(10.0);
+        assert!((c.now_secs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_secs();
+        let b = c.now_secs();
+        assert!(b >= a);
+    }
+}

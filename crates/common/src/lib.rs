@@ -9,6 +9,7 @@
 //! SQL front end, ML library and the learned components all speak these
 //! types.
 
+pub mod clock;
 pub mod error;
 pub mod json;
 pub mod row;
@@ -16,6 +17,7 @@ pub mod schema;
 pub mod synth;
 pub mod value;
 
+pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{AimError, Result};
 pub use row::Row;
 pub use schema::{Column, Schema};

@@ -100,16 +100,20 @@ pub fn parallel_matmul(a: &Matrix, b: &Matrix, threads: usize) -> Result<Matrix>
                             *r += av * b.get(k, j);
                         }
                     }
-                    let mut guard = out.lock().expect("no poison");
-                    for (j, v) in row.into_iter().enumerate() {
-                        guard.set(i, j, v);
+                    // a poisoned lock means a sibling panicked; the scope
+                    // join below surfaces that as an Execution error
+                    if let Ok(mut guard) = out.lock() {
+                        for (j, v) in row.into_iter().enumerate() {
+                            guard.set(i, j, v);
+                        }
                     }
                 }
             });
         }
     })
     .map_err(|_| AimError::Execution("matmul worker panicked".into()))?;
-    Ok(out.into_inner().expect("threads joined"))
+    out.into_inner()
+        .map_err(|_| AimError::Execution("matmul result lock poisoned".into()))
 }
 
 /// One row of the E15 accelerator sweep.

@@ -125,16 +125,13 @@ pub fn predicted_cost(strategy: Strategy, rows: f64, distinct_ratio: f64) -> f64
 
 /// Operator selection: the cost-based choice an optimizer would make.
 pub fn choose_strategy(rows: f64, distinct_ratio: f64) -> Strategy {
-    [Strategy::PerRowUdf, Strategy::Batched, Strategy::Cached]
-        .into_iter()
-        .min_by(|a, b| {
-            predicted_cost(*a, rows, distinct_ratio).total_cmp(&predicted_cost(
-                *b,
-                rows,
-                distinct_ratio,
-            ))
-        })
-        .expect("three strategies")
+    let mut best = Strategy::PerRowUdf;
+    for s in [Strategy::Batched, Strategy::Cached] {
+        if predicted_cost(s, rows, distinct_ratio) < predicted_cost(best, rows, distinct_ratio) {
+            best = s;
+        }
+    }
+    best
 }
 
 /// Distinct-tuple ratio of a feature matrix (the statistic the selector

@@ -10,9 +10,7 @@
 //! Successive halving is implemented on top: it spends a fraction of the
 //! full grid's epoch budget to reach a comparable winner.
 
-use std::time::Instant;
-
-use aimdb_common::{AimError, Result};
+use aimdb_common::{AimError, Clock, Result, WallClock};
 use aimdb_ml::data::Dataset;
 use aimdb_ml::linear::{GdParams, LogisticRegression};
 use aimdb_ml::metrics::accuracy;
@@ -102,7 +100,19 @@ fn argbest(scores: &[(Config, f64)]) -> Result<(Config, f64)> {
 
 /// Serial full-grid evaluation.
 pub fn select_serial(grid: &[Config], train: &Dataset, valid: &Dataset) -> Result<SelectionReport> {
-    let t0 = Instant::now();
+    select_serial_with_clock(grid, train, valid, &WallClock::new())
+}
+
+/// Serial full-grid evaluation against an injected clock (the
+/// `wall_seconds` in the report come from `clock`, so deterministic runs
+/// can pass a `ManualClock`).
+pub fn select_serial_with_clock(
+    grid: &[Config],
+    train: &Dataset,
+    valid: &Dataset,
+    clock: &dyn Clock,
+) -> Result<SelectionReport> {
+    let t0 = clock.now_secs();
     let scores: Vec<(Config, f64)> = grid
         .iter()
         .map(|c| Ok((c.clone(), c.evaluate(train, valid, 1.0)?)))
@@ -113,7 +123,7 @@ pub fn select_serial(grid: &[Config], train: &Dataset, valid: &Dataset) -> Resul
         best_config,
         best_score,
         configs_tested: grid.len(),
-        wall_seconds: t0.elapsed().as_secs_f64(),
+        wall_seconds: clock.now_secs() - t0,
         epochs_spent: grid.iter().map(Config::budget).sum(),
     })
 }
@@ -125,7 +135,18 @@ pub fn select_parallel(
     valid: &Dataset,
     workers: usize,
 ) -> Result<SelectionReport> {
-    let t0 = Instant::now();
+    select_parallel_with_clock(grid, train, valid, workers, &WallClock::new())
+}
+
+/// Task-parallel evaluation against an injected clock.
+pub fn select_parallel_with_clock(
+    grid: &[Config],
+    train: &Dataset,
+    valid: &Dataset,
+    workers: usize,
+    clock: &dyn Clock,
+) -> Result<SelectionReport> {
+    let t0 = clock.now_secs();
     let workers = workers.max(1);
     let mut scores: Vec<Option<(Config, f64)>> = vec![None; grid.len()];
     // work-stealing over an atomic cursor: configs have very unequal
@@ -143,16 +164,20 @@ pub fn select_parallel(
                     break;
                 }
                 if let Ok(score) = grid[i].evaluate(train, valid, 1.0) {
-                    results
-                        .lock()
-                        .expect("no poisoned lock")
-                        .push((i, grid[i].clone(), score));
+                    // a poisoned lock means a sibling panicked; drop the
+                    // result and let the completeness check below fail
+                    if let Ok(mut guard) = results.lock() {
+                        guard.push((i, grid[i].clone(), score));
+                    }
                 }
             });
         }
     })
     .map_err(|_| AimError::Execution("worker thread panicked".into()))?;
-    for (i, c, s) in results.into_inner().expect("threads joined") {
+    let collected = results
+        .into_inner()
+        .map_err(|_| AimError::Execution("result lock poisoned by worker panic".into()))?;
+    for (i, c, s) in collected {
         scores[i] = Some((c, s));
     }
     let flat: Vec<(Config, f64)> = scores.into_iter().flatten().collect();
@@ -167,7 +192,7 @@ pub fn select_parallel(
         best_config,
         best_score,
         configs_tested: grid.len(),
-        wall_seconds: t0.elapsed().as_secs_f64(),
+        wall_seconds: clock.now_secs() - t0,
         epochs_spent: grid.iter().map(Config::budget).sum(),
     })
 }
@@ -179,7 +204,17 @@ pub fn select_halving(
     train: &Dataset,
     valid: &Dataset,
 ) -> Result<SelectionReport> {
-    let t0 = Instant::now();
+    select_halving_with_clock(grid, train, valid, &WallClock::new())
+}
+
+/// Successive halving against an injected clock.
+pub fn select_halving_with_clock(
+    grid: &[Config],
+    train: &Dataset,
+    valid: &Dataset,
+    clock: &dyn Clock,
+) -> Result<SelectionReport> {
+    let t0 = clock.now_secs();
     let mut survivors: Vec<Config> = grid.to_vec();
     let mut scale = 0.25;
     let mut epochs_spent = 0usize;
@@ -208,7 +243,7 @@ pub fn select_halving(
         best_config,
         best_score,
         configs_tested: grid.len(),
-        wall_seconds: t0.elapsed().as_secs_f64(),
+        wall_seconds: clock.now_secs() - t0,
         epochs_spent,
     })
 }
@@ -294,6 +329,19 @@ mod tests {
             halving.best_score,
             full.best_score
         );
+    }
+
+    #[test]
+    fn manual_clock_makes_reports_deterministic() {
+        use aimdb_common::ManualClock;
+        let (train, valid) = classification_problem(200, 5).unwrap();
+        let grid = Config::grid();
+        let clock = ManualClock::new();
+        let a = select_serial_with_clock(&grid, &train, &valid, &clock).unwrap();
+        let b = select_serial_with_clock(&grid, &train, &valid, &clock).unwrap();
+        assert_eq!(a.wall_seconds, 0.0);
+        assert_eq!(a.wall_seconds, b.wall_seconds);
+        assert_eq!(a.best_score, b.best_score);
     }
 
     #[test]

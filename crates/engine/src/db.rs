@@ -614,6 +614,10 @@ impl Database {
 
     /// Execute a physical plan, recording metrics. Returns rows + schema.
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
+        // Debug builds statically verify every plan before running it, so
+        // the whole test suite doubles as a verifier soak test.
+        #[cfg(debug_assertions)]
+        crate::verify::verify(plan, &self.catalog)?;
         let fns = EngineFns {
             hook: self.hook.read().clone(),
         };
@@ -631,6 +635,8 @@ impl Database {
     /// signal learned optimizers train on.
     pub fn execute_select_measured(&self, sel: &Select) -> Result<(Vec<Row>, f64)> {
         let plan = self.plan(sel)?;
+        #[cfg(debug_assertions)]
+        crate::verify::verify(&plan, &self.catalog)?;
         let fns = EngineFns {
             hook: self.hook.read().clone(),
         };
@@ -644,6 +650,8 @@ impl Database {
     /// Execute an externally built physical plan and return measured cost
     /// units (used by learned join-ordering / NEO experiments).
     pub fn run_plan_measured(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
+        #[cfg(debug_assertions)]
+        crate::verify::verify(plan, &self.catalog)?;
         let fns = EngineFns {
             hook: self.hook.read().clone(),
         };

@@ -27,6 +27,7 @@ pub mod optimizer;
 pub mod plan;
 pub mod stats;
 pub mod txn;
+pub mod verify;
 
 pub use catalog::{Catalog, Table};
 pub use db::{Database, ModelHook, QueryResult, RecoveryReport};

@@ -1,0 +1,230 @@
+//! `aimdb-lint` — run the workspace invariant lints (L001/L002/L003)
+//! against every non-test source file and enforce the L001 ratchet
+//! baseline.
+//!
+//! Usage:
+//!   aimdb-lint [--update-baseline] [--root <dir>]
+//!
+//! Exit codes: 0 clean, 1 violations, 2 usage / I/O error.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lint::{
+    crate_key_of, l001_zero_tolerance, lint_source, parse_baseline, render_baseline, Finding, Rule,
+};
+
+const BASELINE_FILE: &str = "lint-baseline.txt";
+
+fn main() -> ExitCode {
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("aimdb-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: aimdb-lint [--update-baseline] [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("aimdb-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("aimdb-lint: could not find workspace root (Cargo.toml with [workspace])");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = collect_source_files(&root);
+    let mut findings: Vec<Finding> = Vec::new();
+    for rel in &files {
+        let Some(key) = crate_key_of(rel) else {
+            continue;
+        };
+        let src = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("aimdb-lint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(lint_source(&key, rel, &src));
+    }
+
+    // L001 is ratcheted: per-file counts compared against the baseline,
+    // except in zero-tolerance crates where every hit is a hard error.
+    let mut l001_counts: HashMap<String, usize> = HashMap::new();
+    for f in findings.iter().filter(|f| f.rule == Rule::L001) {
+        *l001_counts.entry(f.file.clone()).or_default() += 1;
+    }
+
+    if update_baseline {
+        let ratcheted: HashMap<String, usize> = l001_counts
+            .iter()
+            .filter(|(file, _)| crate_key_of(file).is_some_and(|k| !l001_zero_tolerance(&k)))
+            .map(|(f, n)| (f.clone(), *n))
+            .collect();
+        let text = render_baseline(&ratcheted);
+        if let Err(e) = fs::write(root.join(BASELINE_FILE), &text) {
+            eprintln!("aimdb-lint: cannot write {BASELINE_FILE}: {e}");
+            return ExitCode::from(2);
+        }
+        let total: usize = ratcheted.values().sum();
+        println!(
+            "aimdb-lint: baseline updated — {total} L001 sites across {} files",
+            ratcheted.len()
+        );
+        // still report hard errors so --update-baseline can't mask them
+        let hard = hard_errors(&findings, &l001_counts, &HashMap::new(), true);
+        return report(hard, files.len());
+    }
+
+    let baseline_text = fs::read_to_string(root.join(BASELINE_FILE)).unwrap_or_default();
+    let baseline = parse_baseline(&baseline_text);
+    let hard = hard_errors(&findings, &l001_counts, &baseline, false);
+
+    // Stale baseline entries (debt paid down but baseline not regenerated):
+    // warn so the ratchet actually ratchets.
+    for (file, &allowed) in &baseline {
+        let now = l001_counts.get(file).copied().unwrap_or(0);
+        if now < allowed {
+            eprintln!(
+                "aimdb-lint: note: {file} has {now} L001 sites, baseline allows {allowed} — \
+                 run `cargo run -p lint -- --update-baseline` to ratchet down"
+            );
+        }
+    }
+
+    report(hard, files.len())
+}
+
+/// Findings that fail the run: all L002/L003, L001 in zero-tolerance
+/// crates, and L001 in files whose count exceeds their baseline
+/// allowance. With `skip_ratchet` (used by `--update-baseline`) the
+/// baseline comparison is skipped.
+fn hard_errors(
+    findings: &[Finding],
+    l001_counts: &HashMap<String, usize>,
+    baseline: &HashMap<String, usize>,
+    skip_ratchet: bool,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in findings {
+        match f.rule {
+            Rule::L002 | Rule::L003 => out.push(f.clone()),
+            Rule::L001 => {
+                let zero = crate_key_of(&f.file).is_some_and(|k| l001_zero_tolerance(&k));
+                if zero {
+                    out.push(f.clone());
+                } else if !skip_ratchet {
+                    let allowed = baseline.get(&f.file).copied().unwrap_or(0);
+                    let now = l001_counts.get(&f.file).copied().unwrap_or(0);
+                    if now > allowed {
+                        out.push(f.clone());
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+fn report(hard: Vec<Finding>, n_files: usize) -> ExitCode {
+    if hard.is_empty() {
+        println!("aimdb-lint: clean ({n_files} files checked)");
+        ExitCode::SUCCESS
+    } else {
+        for f in &hard {
+            println!("{f}");
+        }
+        println!(
+            "aimdb-lint: {} violation(s) across {n_files} files",
+            hard.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to a `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Workspace-relative paths of all lintable `.rs` files: `src/` trees of
+/// the root package and every crate, excluding integration-test,
+/// benchmark, and example directories (those are test code by
+/// definition).
+fn collect_source_files(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src")];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "shims") {
+                    // vendored third-party shims are out of scope
+                    continue;
+                }
+                roots.push(p.join("src"));
+            }
+        }
+    }
+    for r in roots {
+        walk(&r, &mut out);
+    }
+    let mut rels: Vec<String> = out
+        .iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rels.sort();
+    rels
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+}

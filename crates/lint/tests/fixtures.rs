@@ -1,0 +1,230 @@
+//! Fixture tests for the aimdb-lint rules: known-bad snippets must fire,
+//! allow-directives and test regions must suppress.
+
+use lint::{crate_key_of, l001_zero_tolerance, lint_source, parse_baseline, Rule};
+
+fn rules(found: &[lint::Finding]) -> Vec<(Rule, usize)> {
+    found.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+// --- L001: panic-freedom ---------------------------------------------------
+
+#[test]
+fn l001_fires_on_unwrap_expect_panic() {
+    let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a == 0 { panic!("zero"); }
+    a + b
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    assert_eq!(
+        rules(&found),
+        vec![(Rule::L001, 3), (Rule::L001, 4), (Rule::L001, 5)]
+    );
+}
+
+#[test]
+fn l001_ignores_lookalike_identifiers() {
+    let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let c = x.unwrap_or_default();
+    a + b + c
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l001_ignores_strings_and_comments() {
+    let src = r#"
+// this comment mentions unwrap() and panic!
+fn f() -> &'static str {
+    "call .unwrap() and panic!(now)"
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l001_skips_test_modules_and_test_fns() {
+    let src = r#"
+fn live() -> u32 { 1 }
+
+#[test]
+fn a_test() {
+    Some(1).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inner() {
+        Some(2).unwrap();
+        panic!("fine in tests");
+    }
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l001_allow_directive_suppresses_same_and_next_line() {
+    let src = r#"
+fn f(x: Option<u32>) -> u32 {
+    let a = x.unwrap(); // aimdb-lint: allow(L001, startup invariant)
+    // aimdb-lint: allow(L001, second invariant)
+    let b = x.unwrap();
+    let c = x.unwrap();
+    a + b + c
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    assert_eq!(rules(&found), vec![(Rule::L001, 6)]);
+}
+
+#[test]
+fn l001_self_expect_is_a_domain_method() {
+    // a parser's own `expect` helper is not Option/Result::expect
+    let src = r#"
+impl P {
+    fn string(&mut self) -> Result<()> {
+        self.expect(b'"')?;
+        Ok(())
+    }
+}
+"#;
+    assert!(lint_source("common", "crates/common/src/fake.rs", src).is_empty());
+}
+
+// --- L002: determinism -----------------------------------------------------
+
+#[test]
+fn l002_fires_on_entropy_and_wall_clock() {
+    let src = r#"
+fn f() {
+    let mut rng = rand::thread_rng();
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let r: f64 = rand::random();
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    let l002: Vec<usize> = found
+        .iter()
+        .filter(|f| f.rule == Rule::L002)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(l002, vec![3, 4, 5, 6]);
+}
+
+#[test]
+fn l002_accepts_seeded_rng() {
+    let src = r#"
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+fn f() {
+    let mut rng = StdRng::seed_from_u64(42);
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l002_not_applied_outside_plan_affecting_crates() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    // the lint crate itself is out of scope
+    assert!(lint_source("lint", "crates/lint/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l002_allow_directive_suppresses() {
+    let src = r#"
+fn f() {
+    // aimdb-lint: allow(L002, the one sanctioned wall-clock source)
+    let t = std::time::Instant::now();
+}
+"#;
+    assert!(lint_source("common", "crates/common/src/fake.rs", src).is_empty());
+}
+
+// --- L003: error hygiene ---------------------------------------------------
+
+#[test]
+fn l003_fires_on_string_and_boxed_errors() {
+    let src = r#"
+pub fn bad_string() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub fn bad_boxed() -> Result<u32, Box<dyn std::error::Error>> {
+    Ok(1)
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    assert_eq!(rules(&found), vec![(Rule::L003, 2), (Rule::L003, 6)]);
+}
+
+#[test]
+fn l003_accepts_aim_error_and_private_fns() {
+    let src = r#"
+use aimdb_common::Result;
+
+pub fn good(x: u32) -> Result<u32> {
+    Ok(x)
+}
+
+pub fn explicit() -> Result<u32, AimError> {
+    Ok(1)
+}
+
+fn private_is_fine() -> Result<u32, String> {
+    Ok(1)
+}
+
+pub(crate) fn crate_private_is_fine() -> Result<u32, String> {
+    Ok(1)
+}
+"#;
+    assert!(lint_source("storage", "crates/storage/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l003_only_engine_and_storage() {
+    let src = "pub fn f() -> Result<u32, String> { Ok(1) }\n";
+    assert!(lint_source("bench", "crates/bench/src/fake.rs", src).is_empty());
+    assert!(!lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+// --- plumbing --------------------------------------------------------------
+
+#[test]
+fn crate_keys_and_zero_tolerance() {
+    assert_eq!(
+        crate_key_of("crates/engine/src/db.rs").as_deref(),
+        Some("engine")
+    );
+    assert_eq!(crate_key_of("src/lib.rs").as_deref(), Some("aimdb"));
+    assert_eq!(
+        crate_key_of("crates/shims/rand/src/lib.rs").as_deref(),
+        Some("shims")
+    );
+    assert!(l001_zero_tolerance("engine"));
+    assert!(l001_zero_tolerance("sql"));
+    assert!(!l001_zero_tolerance("bench"));
+}
+
+#[test]
+fn baseline_roundtrip() {
+    let text = "# comment\ncrates/bench/src/lib.rs 60\n\ncrates/x/src/y.rs 2\n";
+    let parsed = parse_baseline(text);
+    assert_eq!(parsed.get("crates/bench/src/lib.rs"), Some(&60));
+    assert_eq!(parsed.get("crates/x/src/y.rs"), Some(&2));
+    let rendered = lint::render_baseline(&parsed);
+    let reparsed = parse_baseline(&rendered);
+    assert_eq!(parsed, reparsed);
+}

@@ -67,15 +67,14 @@ impl Bandit {
                     return unplayed;
                 }
                 let ln_t = (self.t as f64).ln();
-                (0..self.counts.len())
-                    .max_by(|&a, &b| self.ucb(a, c, ln_t).total_cmp(&self.ucb(b, c, ln_t)))
-                    .expect("arms nonempty")
+                argmax(self.counts.len(), |a| self.ucb(a, c, ln_t))
             }
-            BanditPolicy::Thompson => (0..self.counts.len())
-                .map(|i| (i, sample_beta(self.alpha[i], self.beta[i], &mut self.rng)))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(i, _)| i)
-                .expect("arms nonempty"),
+            BanditPolicy::Thompson => {
+                let samples: Vec<f64> = (0..self.counts.len())
+                    .map(|i| sample_beta(self.alpha[i], self.beta[i], &mut self.rng))
+                    .collect();
+                argmax(samples.len(), |i| samples[i])
+            }
         }
     }
 
@@ -85,21 +84,13 @@ impl Bandit {
     }
 
     fn best_mean(&self) -> usize {
-        (0..self.counts.len())
-            .max_by(|&a, &b| {
-                let ma = if self.counts[a] == 0 {
-                    f64::INFINITY // force initial exploration
-                } else {
-                    self.sums[a] / self.counts[a] as f64
-                };
-                let mb = if self.counts[b] == 0 {
-                    f64::INFINITY
-                } else {
-                    self.sums[b] / self.counts[b] as f64
-                };
-                ma.total_cmp(&mb)
-            })
-            .expect("arms nonempty")
+        argmax(self.counts.len(), |a| {
+            if self.counts[a] == 0 {
+                f64::INFINITY // force initial exploration
+            } else {
+                self.sums[a] / self.counts[a] as f64
+            }
+        })
     }
 
     /// Report the observed reward for an arm.
@@ -126,6 +117,18 @@ impl Bandit {
 }
 
 /// Sample Beta(a, b) via two Gamma draws (Marsaglia–Tsang).
+/// Index in `0..n` maximizing `score`; ties and empty ranges resolve to
+/// the lowest index.
+fn argmax(n: usize, score: impl Fn(usize) -> f64) -> usize {
+    let mut best = 0;
+    for i in 1..n {
+        if score(i) > score(best) {
+            best = i;
+        }
+    }
+    best
+}
+
 fn sample_beta(a: f64, b: f64, rng: &mut StdRng) -> f64 {
     let x = sample_gamma(a, rng);
     let y = sample_gamma(b, rng);

@@ -71,9 +71,12 @@ impl KMeans {
             // assign
             let mut changed = false;
             for (i, p) in points.iter().enumerate() {
-                let best = (0..k)
-                    .min_by(|&a, &b| dist2(p, &centroids[a]).total_cmp(&dist2(p, &centroids[b])))
-                    .expect("k >= 1");
+                let mut best = 0;
+                for c in 1..k {
+                    if dist2(p, &centroids[c]) < dist2(p, &centroids[best]) {
+                        best = c;
+                    }
+                }
                 if assignments[i] != best {
                     assignments[i] = best;
                     changed = true;

@@ -233,9 +233,12 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     }
     for col in 0..n {
         // pivot
-        let pivot = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
-            .expect("nonempty range");
+        let mut pivot = col;
+        for i in col + 1..n {
+            if a[i][col].abs() > a[pivot][col].abs() {
+                pivot = i;
+            }
+        }
         if a[pivot][col].abs() < 1e-12 {
             return Err(AimError::InvalidInput("singular system".into()));
         }

@@ -72,26 +72,22 @@ pub fn mcts_search<E: MctsEnv>(
         // selection
         let mut path = vec![0usize];
         loop {
-            let id = *path.last().expect("path nonempty");
+            let id = path[path.len() - 1];
             if !nodes[id].untried.is_empty() || nodes[id].children.is_empty() {
                 break;
             }
-            // UCT over children
+            // UCT over children (nonempty per the break above)
             let ln_n = nodes[id].visits.max(1.0).ln();
-            let best = nodes[id]
-                .children
-                .iter()
-                .map(|(_, c)| *c)
-                .max_by(|&a, &b| {
-                    let ua = uct(&nodes[a], ln_n, exploration);
-                    let ub = uct(&nodes[b], ln_n, exploration);
-                    ua.total_cmp(&ub)
-                })
-                .expect("children nonempty");
+            let mut best = nodes[id].children[0].1;
+            for &(_, c) in &nodes[id].children[1..] {
+                if uct(&nodes[c], ln_n, exploration) > uct(&nodes[best], ln_n, exploration) {
+                    best = c;
+                }
+            }
             path.push(best);
         }
         // expansion
-        let leaf = *path.last().expect("path nonempty");
+        let leaf = path[path.len() - 1];
         let expand_id = if !nodes[leaf].untried.is_empty() {
             let k = rng.gen_range(0..nodes[leaf].untried.len());
             let action = nodes[leaf].untried.swap_remove(k);

@@ -134,7 +134,7 @@ impl Mlp {
                     // forward, remembering activations
                     let mut acts: Vec<Vec<f64>> = vec![x.clone()];
                     for (li, layer) in layers.iter().enumerate() {
-                        let z = layer.forward(acts.last().expect("nonempty"));
+                        let z = layer.forward(&acts[acts.len() - 1]);
                         let a = if li + 1 == layers.len() {
                             match params.head {
                                 Head::Regression => z,
@@ -146,7 +146,7 @@ impl Mlp {
                         acts.push(a);
                     }
                     // output delta: both heads reduce to (pred - y)
-                    let pred = acts.last().expect("output")[0];
+                    let pred = acts[acts.len() - 1][0];
                     let mut delta = vec![pred - scaled.y[i]];
                     // backward
                     for li in (0..layers.len()).rev() {

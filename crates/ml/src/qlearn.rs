@@ -94,14 +94,16 @@ impl QLearner {
     /// The greedy action among candidates (ties broken by lowest id for
     /// determinism).
     pub fn greedy_among(&self, state: usize, candidates: &[usize]) -> usize {
-        *candidates
-            .iter()
-            .max_by(|&&a, &&b| {
-                self.q_value(state, a)
-                    .total_cmp(&self.q_value(state, b))
-                    .then(b.cmp(&a)) // prefer smaller id on ties
-            })
-            .expect("candidates nonempty")
+        let mut best = candidates[0];
+        for &c in &candidates[1..] {
+            let qc = self.q_value(state, c);
+            let qb = self.q_value(state, best);
+            // prefer smaller id on ties
+            if qc > qb || (qc == qb && c < best) {
+                best = c;
+            }
+        }
+        best
     }
 
     /// Pure-greedy policy over all actions.

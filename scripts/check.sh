@@ -12,7 +12,13 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy -p aimdb-storage -p aimdb-engine --all-targets -- -D warnings
+# workspace invariant linter: L001 panic-freedom (ratcheted baseline),
+# L002 determinism, L003 error hygiene
+run cargo run -q -p lint --release
 run cargo test -q --workspace
+# static plan verifier must accept every executable query in a 1k-query
+# random corpus (debug builds also verify every plan inline)
+run cargo run -q --release -p aimdb-bench --bin verify_corpus
 
 if [[ "${1:-}" == "--crash-loop" ]]; then
     run cargo test -q --test crash_recovery --features fault-injection
