@@ -1,0 +1,158 @@
+//! Batch-vs-row executor micro-benchmark.
+//!
+//! Seeds a scan-heavy `events` table, plans a small aggregate workload
+//! once, then times each physical plan through the row executor and the
+//! vectorized executor on a single core. Prints per-query and overall
+//! speedups and exits nonzero if the overall speedup falls below the 2×
+//! floor the vectorized executor is meant to guarantee.
+//!
+//! ```text
+//! exec_bench            # 60k rows, 10 timed iterations per executor
+//! exec_bench --smoke    # 20k rows, 3 iterations (CI gate)
+//! ```
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::{Clock, Result, WallClock};
+use aimdb_engine::exec::{execute, ExecContext};
+use aimdb_engine::exec_batch::execute_batched;
+use aimdb_engine::{Database, PhysicalPlan};
+use aimdb_sql::expr::BuiltinFns;
+use aimdb_sql::{parse, Statement};
+
+const BATCH_SIZE: usize = 1024;
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn setup(db: &Database, n_rows: usize, rng: &mut StdRng) -> Result<()> {
+    db.execute("CREATE TABLE events (id INT, grp INT, cat TEXT, amt FLOAT, qty INT)")?;
+    let cats = ["alpha", "beta", "gamma", "delta", "omega"];
+    let ids: Vec<usize> = (0..n_rows).collect();
+    for chunk in ids.chunks(500) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, '{}', {:.2}, {})",
+                    rng.gen_range(0..100),
+                    cats[rng.gen_range(0..cats.len())],
+                    rng.gen_range(0.0..500.0),
+                    rng.gen_range(1..9)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO events VALUES {}", rows.join(",")))?;
+    }
+    db.execute("ANALYZE")?;
+    Ok(())
+}
+
+/// The scan-heavy aggregate workload: every query reads the whole table
+/// (or most of it) and funnels it through expression + aggregate kernels.
+const WORKLOAD: [&str; 5] = [
+    "SELECT COUNT(*) FROM events",
+    "SELECT grp, COUNT(*), SUM(amt), AVG(qty) FROM events GROUP BY grp",
+    "SELECT COUNT(*), AVG(amt) FROM events WHERE qty > 2 AND amt < 400.0",
+    "SELECT cat, MIN(amt), MAX(amt) FROM events WHERE grp < 40 GROUP BY cat",
+    "SELECT id, amt * 2 + qty FROM events WHERE amt > 250.0 AND cat LIKE '%a%'",
+];
+
+fn plan_query(db: &Database, sql: &str) -> PhysicalPlan {
+    let stmts = parse(sql).unwrap_or_else(|e| {
+        eprintln!("bad workload SQL ({e}): {sql}");
+        std::process::exit(2);
+    });
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        eprintln!("workload entry is not a SELECT: {sql}");
+        std::process::exit(2);
+    };
+    db.plan(&sel).unwrap_or_else(|e| {
+        eprintln!("planner failed ({e}): {sql}");
+        std::process::exit(2);
+    })
+}
+
+/// Run `iters` timed executions and return (total seconds, rows per run).
+fn time_runs<F: FnMut() -> Result<usize>>(
+    clock: &WallClock,
+    iters: usize,
+    mut run: F,
+) -> (f64, usize) {
+    let mut rows = 0usize;
+    let t0 = clock.now_secs();
+    for _ in 0..iters {
+        rows = run().unwrap_or_else(|e| {
+            eprintln!("execution failed: {e}");
+            std::process::exit(2);
+        });
+    }
+    (clock.now_secs() - t0, rows)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_rows, iters) = if smoke { (20_000, 3) } else { (60_000, 10) };
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let db = Database::new();
+    if let Err(e) = setup(&db, n_rows, &mut rng) {
+        eprintln!("bench setup failed: {e}");
+        std::process::exit(2);
+    }
+
+    let clock = WallClock::new();
+    let fns = BuiltinFns;
+    let mut total_row = 0.0f64;
+    let mut total_batch = 0.0f64;
+    println!(
+        "exec_bench: {n_rows} rows, {iters} iteration(s)/executor, batch_size={BATCH_SIZE}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    for sql in WORKLOAD {
+        let plan = plan_query(&db, sql);
+        // one warmup run per executor so page decoding is cache-warm
+        let ctx = ExecContext::new(&db.catalog, &fns);
+        let warm_rows = execute(&plan, &ctx).map(|r| r.len());
+        let ctx = ExecContext::new(&db.catalog, &fns);
+        let warm_batch = execute_batched(&plan, &ctx, BATCH_SIZE).map(|r| r.len());
+        match (warm_rows, warm_batch) {
+            (Ok(a), Ok(b)) if a == b => {}
+            (Ok(a), Ok(b)) => {
+                eprintln!("executors disagree ({a} vs {b} rows): {sql}");
+                std::process::exit(1);
+            }
+            (r, b) => {
+                eprintln!("warmup failed ({r:?} / {b:?}): {sql}");
+                std::process::exit(2);
+            }
+        }
+
+        let (row_secs, out_rows) = time_runs(&clock, iters, || {
+            let ctx = ExecContext::new(&db.catalog, &fns);
+            execute(&plan, &ctx).map(|r| r.len())
+        });
+        let (batch_secs, _) = time_runs(&clock, iters, || {
+            let ctx = ExecContext::new(&db.catalog, &fns);
+            execute_batched(&plan, &ctx, BATCH_SIZE).map(|r| r.len())
+        });
+        total_row += row_secs;
+        total_batch += batch_secs;
+        println!(
+            "  {:7.2}ms row | {:7.2}ms batch | {:5.2}x | {out_rows} rows | {sql}",
+            row_secs * 1e3 / iters as f64,
+            batch_secs * 1e3 / iters as f64,
+            row_secs / batch_secs.max(1e-9),
+        );
+    }
+
+    let speedup = total_row / total_batch.max(1e-9);
+    println!(
+        "exec_bench: overall speedup {speedup:.2}x (row {:.1}ms, batch {:.1}ms per pass)",
+        total_row * 1e3 / iters as f64,
+        total_batch * 1e3 / iters as f64
+    );
+    if speedup < SPEEDUP_FLOOR {
+        eprintln!("FAIL: speedup {speedup:.2}x is below the {SPEEDUP_FLOOR:.1}x floor");
+        std::process::exit(1);
+    }
+}

@@ -76,12 +76,19 @@ pub fn e1() -> Report {
 
 /// E2 — learned index advisor vs what-if baselines.
 pub fn e2() -> Report {
+    try_e2().unwrap_or_else(|e| {
+        let mut r = Report::new("E2", "index advisor: what-if workload cost by advisor");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e2() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::index_advisor::*;
     use aimdb_engine::Database;
     let mut r = Report::new("E2", "index advisor: what-if workload cost by advisor");
     let db = Database::new();
-    db.execute("CREATE TABLE items (id INT, cat INT, price FLOAT, stock INT, vendor INT)")
-        .expect("ddl");
+    db.execute("CREATE TABLE items (id INT, cat INT, price FLOAT, stock INT, vendor INT)")?;
     let tuples: Vec<String> = (0..4000)
         .map(|i| {
             format!(
@@ -93,25 +100,23 @@ pub fn e2() -> Report {
             )
         })
         .collect();
-    db.execute(&format!("INSERT INTO items VALUES {}", tuples.join(",")))
-        .expect("load");
-    db.execute("ANALYZE").expect("analyze");
+    db.execute(&format!("INSERT INTO items VALUES {}", tuples.join(",")))?;
+    db.execute("ANALYZE")?;
     let wl = workload_from_sql(&[
         ("SELECT * FROM items WHERE id = 17", 100.0),
         ("SELECT * FROM items WHERE cat = 3", 50.0),
         ("SELECT * FROM items WHERE stock = 5", 1.0),
-    ])
-    .expect("workload");
+    ])?;
     r.row(format!(
         "{:<12} {:>12} {:>8} {:>6}",
         "advisor", "cost", "evals", "#idx"
     ));
     for advice in [
-        advise_none(&db, &wl).expect("none"),
-        advise_all(&db, &wl).expect("all"),
-        advise_frequency(&db, &wl, 2).expect("freq"),
-        advise_greedy(&db, &wl, 2).expect("greedy"),
-        advise_rl(&db, &wl, 2, 60, 3).expect("rl"),
+        advise_none(&db, &wl)?,
+        advise_all(&db, &wl)?,
+        advise_frequency(&db, &wl, 2)?,
+        advise_greedy(&db, &wl, 2)?,
+        advise_rl(&db, &wl, 2, 60, 3)?,
     ] {
         r.row(format!(
             "{:<12} {:>12.1} {:>8} {:>6}",
@@ -123,18 +128,16 @@ pub fn e2() -> Report {
     }
     // the frequency trap: the hottest column is useless to index
     let db2 = Database::new();
-    db2.execute("CREATE TABLE t (a INT, b INT)").expect("ddl");
+    db2.execute("CREATE TABLE t (a INT, b INT)")?;
     let tuples: Vec<String> = (0..4000).map(|i| format!("({}, {i})", i % 2)).collect();
-    db2.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
-        .expect("load");
-    db2.execute("ANALYZE").expect("analyze");
+    db2.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))?;
+    db2.execute("ANALYZE")?;
     let trap = workload_from_sql(&[
         ("SELECT * FROM t WHERE a = 1", 10.0), // hot but 2-distinct column
         ("SELECT * FROM t WHERE b = 7", 8.0),  // colder, highly selective
-    ])
-    .expect("workload");
-    let freq = advise_frequency(&db2, &trap, 1).expect("freq");
-    let rl2 = advise_rl(&db2, &trap, 1, 40, 1).expect("rl");
+    ])?;
+    let freq = advise_frequency(&db2, &trap, 1)?;
+    let rl2 = advise_rl(&db2, &trap, 1, 40, 1)?;
     r.row(format!(
         "frequency trap (budget 1): frequency picks {:?} (cost {:.0}) vs rl picks {:?} (cost {:.0})",
         freq.indexes, freq.workload_cost, rl2.indexes, rl2.workload_cost
@@ -143,7 +146,7 @@ pub fn e2() -> Report {
         "expected shape: rl ≈ greedy < none; rl respects budget; rl dodges the frequency trap"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E3 — learned view advisor.

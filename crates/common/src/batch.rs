@@ -1,0 +1,559 @@
+//! Columnar batches: the unit of data flowing through the vectorized
+//! executor.
+//!
+//! A [`Batch`] is a fixed-capacity slice of rows stored column-wise.
+//! Each column is a [`ColVec`]: a typed vector (`i64`/`f64`/`bool`/
+//! `String`) plus a null bitmap, or a `Mixed` vector of [`Value`]s when
+//! the column's contents don't fit a single machine type. Predicates
+//! produce *selection vectors* (`Vec<u32>` of row indices into the
+//! batch); operators apply them with [`Batch::gather`] so downstream
+//! operators always see dense batches.
+
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::{DataType, Value};
+
+/// Default number of rows per batch pulled through the vectorized
+/// pipeline. Tunable per-engine via the `exec_batch_size` knob.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// One column of a [`Batch`]: typed values + null bitmap, or a fallback
+/// vector of dynamic [`Value`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColVec {
+    Int {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    Float {
+        vals: Vec<f64>,
+        nulls: Vec<bool>,
+    },
+    Bool {
+        vals: Vec<bool>,
+        nulls: Vec<bool>,
+    },
+    Text {
+        vals: Vec<String>,
+        nulls: Vec<bool>,
+    },
+    /// Heterogeneous or untyped column; `Value::Null` marks nulls.
+    Mixed(Vec<Value>),
+}
+
+impl ColVec {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColVec::Int { vals, .. } => vals.len(),
+            ColVec::Float { vals, .. } => vals.len(),
+            ColVec::Bool { vals, .. } => vals.len(),
+            ColVec::Text { vals, .. } => vals.len(),
+            ColVec::Mixed(vals) => vals.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is row `i` NULL?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColVec::Int { nulls, .. }
+            | ColVec::Float { nulls, .. }
+            | ColVec::Bool { nulls, .. }
+            | ColVec::Text { nulls, .. } => nulls[i],
+            ColVec::Mixed(vals) => matches!(vals[i], Value::Null),
+        }
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            ColVec::Float { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Float(vals[i])
+                }
+            }
+            ColVec::Bool { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Bool(vals[i])
+                }
+            }
+            ColVec::Text { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Text(vals[i].clone())
+                }
+            }
+            ColVec::Mixed(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Build a column from dynamic values, sniffing a uniform machine
+    /// type so downstream kernels get a fast path. Falls back to
+    /// `Mixed` on heterogeneous input.
+    pub fn from_values(values: Vec<Value>) -> ColVec {
+        let mut ty: Option<DataType> = None;
+        for v in &values {
+            match v.data_type() {
+                None => {}
+                Some(t) => match ty {
+                    None => ty = Some(t),
+                    Some(prev) if prev == t => {}
+                    Some(_) => return ColVec::Mixed(values),
+                },
+            }
+        }
+        match ty {
+            Some(t) => Self::typed_from_values(t, values).unwrap_or_else(ColVec::Mixed),
+            // all-NULL column: keep it Mixed (no type information)
+            None => ColVec::Mixed(values),
+        }
+    }
+
+    /// Build a typed column from values that must all be `ty` or NULL.
+    /// Returns the input back on any mismatch so the caller can fall
+    /// back to `Mixed`.
+    fn typed_from_values(ty: DataType, values: Vec<Value>) -> Result<ColVec, Vec<Value>> {
+        let n = values.len();
+        match ty {
+            DataType::Int => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Int(x) => {
+                            vals.push(*x);
+                            nulls.push(false);
+                        }
+                        Value::Null => {
+                            vals.push(0);
+                            nulls.push(true);
+                        }
+                        _ => return Err(values),
+                    }
+                }
+                Ok(ColVec::Int { vals, nulls })
+            }
+            DataType::Float => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Float(x) => {
+                            vals.push(*x);
+                            nulls.push(false);
+                        }
+                        Value::Null => {
+                            vals.push(0.0);
+                            nulls.push(true);
+                        }
+                        _ => return Err(values),
+                    }
+                }
+                Ok(ColVec::Float { vals, nulls })
+            }
+            DataType::Bool => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for v in &values {
+                    match v {
+                        Value::Bool(x) => {
+                            vals.push(*x);
+                            nulls.push(false);
+                        }
+                        Value::Null => {
+                            vals.push(false);
+                            nulls.push(true);
+                        }
+                        _ => return Err(values),
+                    }
+                }
+                Ok(ColVec::Bool { vals, nulls })
+            }
+            DataType::Text => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for v in values.iter() {
+                    match v {
+                        Value::Text(s) => {
+                            vals.push(s.clone());
+                            nulls.push(false);
+                        }
+                        Value::Null => {
+                            vals.push(String::new());
+                            nulls.push(true);
+                        }
+                        _ => return Err(values),
+                    }
+                }
+                Ok(ColVec::Text { vals, nulls })
+            }
+        }
+    }
+
+    /// An empty typed column with room for `cap` rows. Used by scan
+    /// decoders that append values straight into column storage.
+    pub fn with_capacity(ty: DataType, cap: usize) -> ColVec {
+        match ty {
+            DataType::Int => ColVec::Int {
+                vals: Vec::with_capacity(cap),
+                nulls: Vec::with_capacity(cap),
+            },
+            DataType::Float => ColVec::Float {
+                vals: Vec::with_capacity(cap),
+                nulls: Vec::with_capacity(cap),
+            },
+            DataType::Bool => ColVec::Bool {
+                vals: Vec::with_capacity(cap),
+                nulls: Vec::with_capacity(cap),
+            },
+            DataType::Text => ColVec::Text {
+                vals: Vec::with_capacity(cap),
+                nulls: Vec::with_capacity(cap),
+            },
+        }
+    }
+
+    /// Rewrite `self` as a `Mixed` column (materializing current lanes)
+    /// and return its value vector. Called when a pushed value doesn't
+    /// match the column's machine type.
+    fn demote(&mut self) -> &mut Vec<Value> {
+        if !matches!(self, ColVec::Mixed(_)) {
+            let vals: Vec<Value> = (0..self.len()).map(|i| self.value(i)).collect();
+            *self = ColVec::Mixed(vals);
+        }
+        match self {
+            ColVec::Mixed(vals) => vals,
+            _ => unreachable!("demote just rewrote self as Mixed"),
+        }
+    }
+
+    /// Append a NULL row.
+    pub fn push_null(&mut self) {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                vals.push(0);
+                nulls.push(true);
+            }
+            ColVec::Float { vals, nulls } => {
+                vals.push(0.0);
+                nulls.push(true);
+            }
+            ColVec::Bool { vals, nulls } => {
+                vals.push(false);
+                nulls.push(true);
+            }
+            ColVec::Text { vals, nulls } => {
+                vals.push(String::new());
+                nulls.push(true);
+            }
+            ColVec::Mixed(vals) => vals.push(Value::Null),
+        }
+    }
+
+    /// Append an integer; demotes to `Mixed` if the column is a
+    /// different machine type.
+    pub fn push_int(&mut self, x: i64) {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                vals.push(x);
+                nulls.push(false);
+            }
+            ColVec::Mixed(vals) => vals.push(Value::Int(x)),
+            other => other.demote().push(Value::Int(x)),
+        }
+    }
+
+    /// Append a float; demotes to `Mixed` on type mismatch.
+    pub fn push_float(&mut self, x: f64) {
+        match self {
+            ColVec::Float { vals, nulls } => {
+                vals.push(x);
+                nulls.push(false);
+            }
+            ColVec::Mixed(vals) => vals.push(Value::Float(x)),
+            other => other.demote().push(Value::Float(x)),
+        }
+    }
+
+    /// Append a bool; demotes to `Mixed` on type mismatch.
+    pub fn push_bool(&mut self, x: bool) {
+        match self {
+            ColVec::Bool { vals, nulls } => {
+                vals.push(x);
+                nulls.push(false);
+            }
+            ColVec::Mixed(vals) => vals.push(Value::Bool(x)),
+            other => other.demote().push(Value::Bool(x)),
+        }
+    }
+
+    /// Append a text value; demotes to `Mixed` on type mismatch.
+    pub fn push_text(&mut self, s: String) {
+        match self {
+            ColVec::Text { vals, nulls } => {
+                vals.push(s);
+                nulls.push(false);
+            }
+            ColVec::Mixed(vals) => vals.push(Value::Text(s)),
+            other => other.demote().push(Value::Text(s)),
+        }
+    }
+
+    /// Remove all rows, keeping the column's type and capacity.
+    pub fn clear(&mut self) {
+        match self {
+            ColVec::Int { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColVec::Float { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColVec::Bool { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColVec::Text { vals, nulls } => {
+                vals.clear();
+                nulls.clear();
+            }
+            ColVec::Mixed(vals) => vals.clear(),
+        }
+    }
+
+    /// Copy out the rows named by a selection vector, in order.
+    pub fn gather(&self, sel: &[u32]) -> ColVec {
+        match self {
+            ColVec::Int { vals, nulls } => ColVec::Int {
+                vals: sel.iter().map(|&i| vals[i as usize]).collect(),
+                nulls: sel.iter().map(|&i| nulls[i as usize]).collect(),
+            },
+            ColVec::Float { vals, nulls } => ColVec::Float {
+                vals: sel.iter().map(|&i| vals[i as usize]).collect(),
+                nulls: sel.iter().map(|&i| nulls[i as usize]).collect(),
+            },
+            ColVec::Bool { vals, nulls } => ColVec::Bool {
+                vals: sel.iter().map(|&i| vals[i as usize]).collect(),
+                nulls: sel.iter().map(|&i| nulls[i as usize]).collect(),
+            },
+            ColVec::Text { vals, nulls } => ColVec::Text {
+                vals: sel.iter().map(|&i| vals[i as usize].clone()).collect(),
+                nulls: sel.iter().map(|&i| nulls[i as usize]).collect(),
+            },
+            ColVec::Mixed(vals) => {
+                ColVec::Mixed(sel.iter().map(|&i| vals[i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// A column-oriented slice of rows flowing between vectorized
+/// operators. All columns have the same length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    cols: Vec<ColVec>,
+    len: usize,
+}
+
+impl Batch {
+    /// Build an empty batch with `ncols` zero-length columns.
+    pub fn empty(ncols: usize) -> Batch {
+        Batch {
+            cols: (0..ncols).map(|_| ColVec::Mixed(Vec::new())).collect(),
+            len: 0,
+        }
+    }
+
+    /// Assemble a batch from pre-built columns. All columns must share
+    /// `len` — callers construct columns from the same row set, so this
+    /// is a wiring invariant, not a data-dependent condition.
+    pub fn from_cols(cols: Vec<ColVec>, len: usize) -> Batch {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        Batch { cols, len }
+    }
+
+    /// Columnarize a row slice, using the schema's declared types to
+    /// pick typed vectors (mixed fallback per column on mismatch).
+    pub fn from_rows(schema: &Schema, rows: &[Row]) -> Batch {
+        let ncols = schema.columns().len();
+        let mut cols = Vec::with_capacity(ncols);
+        for (ci, col) in schema.columns().iter().enumerate() {
+            let values: Vec<Value> = rows.iter().map(|r| r.get(ci).clone()).collect();
+            let cv = ColVec::typed_from_values(col.data_type, values).unwrap_or_else(ColVec::Mixed);
+            cols.push(cv);
+        }
+        Batch {
+            cols,
+            len: rows.len(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn col(&self, i: usize) -> &ColVec {
+        &self.cols[i]
+    }
+
+    pub fn cols(&self) -> &[ColVec] {
+        &self.cols
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        Row::new(self.cols.iter().map(|c| c.value(i)).collect())
+    }
+
+    /// Materialize every row, in order.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the rows named by a selection vector, in order.
+    pub fn gather(&self, sel: &[u32]) -> Batch {
+        Batch {
+            cols: self.cols.iter().map(|c| c.gather(sel)).collect(),
+            len: sel.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Text)])
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Text("x".into())]),
+            Row::new(vec![Value::Null, Value::Text("y".into())]),
+            Row::new(vec![Value::Int(3), Value::Null]),
+        ];
+        let b = Batch::from_rows(&schema(), &rows);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.num_cols(), 2);
+        assert!(matches!(b.col(0), ColVec::Int { .. }));
+        assert!(matches!(b.col(1), ColVec::Text { .. }));
+        assert!(b.col(0).is_null(1));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn mismatched_column_falls_back_to_mixed() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Text("x".into())]),
+            Row::new(vec![Value::Float(2.5), Value::Text("y".into())]),
+        ];
+        let b = Batch::from_rows(&schema(), &rows);
+        assert!(matches!(b.col(0), ColVec::Mixed(_)));
+        assert_eq!(b.to_rows(), rows);
+    }
+
+    #[test]
+    fn gather_applies_selection() {
+        let rows = vec![
+            Row::new(vec![Value::Int(10), Value::Text("a".into())]),
+            Row::new(vec![Value::Int(20), Value::Text("b".into())]),
+            Row::new(vec![Value::Int(30), Value::Text("c".into())]),
+        ];
+        let b = Batch::from_rows(&schema(), &rows);
+        let g = b.gather(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.row(0), rows[2]);
+        assert_eq!(g.row(1), rows[0]);
+    }
+
+    #[test]
+    fn push_builds_typed_columns() {
+        let mut c = ColVec::with_capacity(DataType::Int, 4);
+        c.push_int(1);
+        c.push_null();
+        c.push_int(3);
+        assert!(matches!(c, ColVec::Int { .. }));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert!(c.is_null(1));
+        assert_eq!(c.value(2), Value::Int(3));
+        c.clear();
+        assert!(c.is_empty());
+        assert!(matches!(c, ColVec::Int { .. }), "clear keeps the type");
+    }
+
+    #[test]
+    fn push_mismatch_demotes_to_mixed() {
+        let mut c = ColVec::with_capacity(DataType::Int, 4);
+        c.push_int(1);
+        c.push_null();
+        c.push_float(2.5); // wrong machine type: demote, keep data
+        c.push_text("x".into());
+        assert!(matches!(c, ColVec::Mixed(_)));
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Float(2.5));
+        assert_eq!(c.value(3), Value::Text("x".into()));
+    }
+
+    #[test]
+    fn pushed_column_matches_from_rows() {
+        // the scan decoder's push path and the row-set columnarizer must
+        // produce interchangeable columns
+        let rows = vec![
+            Row::new(vec![Value::Int(1), Value::Text("x".into())]),
+            Row::new(vec![Value::Null, Value::Null]),
+            Row::new(vec![Value::Int(3), Value::Text("z".into())]),
+        ];
+        let via_rows = Batch::from_rows(&schema(), &rows);
+        let mut a = ColVec::with_capacity(DataType::Int, 3);
+        let mut b = ColVec::with_capacity(DataType::Text, 3);
+        a.push_int(1);
+        a.push_null();
+        a.push_int(3);
+        b.push_text("x".into());
+        b.push_null();
+        b.push_text("z".into());
+        let via_push = Batch::from_cols(vec![a, b], 3);
+        assert_eq!(via_push, via_rows);
+    }
+
+    #[test]
+    fn from_values_sniffs_types() {
+        let c = ColVec::from_values(vec![Value::Int(1), Value::Null, Value::Int(2)]);
+        assert!(matches!(c, ColVec::Int { .. }));
+        let c = ColVec::from_values(vec![Value::Int(1), Value::Float(2.0)]);
+        assert!(matches!(c, ColVec::Mixed(_)));
+        let c = ColVec::from_values(vec![Value::Null, Value::Null]);
+        assert!(matches!(c, ColVec::Mixed(_)));
+        assert!(c.is_null(0));
+    }
+}

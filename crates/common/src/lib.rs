@@ -9,6 +9,7 @@
 //! SQL front end, ML library and the learned components all speak these
 //! types.
 
+pub mod batch;
 pub mod clock;
 pub mod error;
 pub mod json;
@@ -17,6 +18,7 @@ pub mod schema;
 pub mod synth;
 pub mod value;
 
+pub use batch::{Batch, ColVec, DEFAULT_BATCH_SIZE};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{AimError, Result};
 pub use row::Row;

@@ -32,6 +32,25 @@ impl Index {
             .collect()
     }
 
+    /// Same result as [`range`], but pulled through the B+tree's
+    /// chunked leaf-chain cursor in `chunk`-key steps — the batched
+    /// scan path used by the vectorized executor.
+    ///
+    /// [`range`]: Index::range
+    pub fn range_batched(&self, lo: &Value, hi: &Value, chunk: usize) -> Vec<RowId> {
+        let tree = self.tree.read();
+        let mut cur = tree.range_cursor(lo, hi);
+        let mut pairs: Vec<(Value, Vec<RowId>)> = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            pairs.clear();
+            if cur.next_chunk(chunk.max(1), &mut pairs) == 0 {
+                return out;
+            }
+            out.extend(pairs.drain(..).flat_map(|(_, rids)| rids));
+        }
+    }
+
     fn insert_entry(&self, v: Value, rid: RowId) {
         let mut tree = self.tree.write();
         match tree.get(&v).cloned() {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use aimdb_common::{AimError, Column, Result, Row, Schema, Value};
+use aimdb_common::{AimError, Column, Result, Row, Schema, Value, WallClock};
 use aimdb_sql::ast::{ModelKind, Select, Statement};
 use aimdb_sql::expr::{BuiltinFns, ScalarFns};
 use aimdb_sql::parser::{parse, parse_one};
@@ -17,6 +17,7 @@ use aimdb_storage::{scan_wal, BufferPool, Disk, DiskSink, PageStore, RowId, Wal}
 
 use crate::catalog::{Catalog, Table};
 use crate::exec::{execute, ExecContext};
+use crate::exec_batch::execute_batched;
 use crate::knobs::Knobs;
 use crate::metrics::{KpiSnapshot, Metrics};
 use crate::optimizer::{CardEstimator, HistogramEstimator, Planner};
@@ -614,17 +615,7 @@ impl Database {
 
     /// Execute a physical plan, recording metrics. Returns rows + schema.
     pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<QueryResult> {
-        // Debug builds statically verify every plan before running it, so
-        // the whole test suite doubles as a verifier soak test.
-        #[cfg(debug_assertions)]
-        crate::verify::verify(plan, &self.catalog)?;
-        let fns = EngineFns {
-            hook: self.hook.read().clone(),
-        };
-        let ctx = ExecContext::new(&self.catalog, &fns);
-        let rows = execute(plan, &ctx)?;
-        self.metrics
-            .record_query(rows.len() as u64, ctx.cost_units());
+        let (rows, _) = self.exec_plan(plan)?;
         Ok(QueryResult::Rows {
             schema: plan.schema.clone(),
             rows,
@@ -635,29 +626,43 @@ impl Database {
     /// signal learned optimizers train on.
     pub fn execute_select_measured(&self, sel: &Select) -> Result<(Vec<Row>, f64)> {
         let plan = self.plan(sel)?;
-        #[cfg(debug_assertions)]
-        crate::verify::verify(&plan, &self.catalog)?;
-        let fns = EngineFns {
-            hook: self.hook.read().clone(),
-        };
-        let ctx = ExecContext::new(&self.catalog, &fns);
-        let rows = execute(&plan, &ctx)?;
-        let cost = ctx.cost_units();
-        self.metrics.record_query(rows.len() as u64, cost);
-        Ok((rows, cost))
+        self.exec_plan(&plan)
     }
 
     /// Execute an externally built physical plan and return measured cost
     /// units (used by learned join-ordering / NEO experiments).
     pub fn run_plan_measured(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
+        self.exec_plan(plan)
+    }
+
+    /// The single plan-execution path: verify (debug builds), dispatch to
+    /// the vectorized or row executor per the `vectorized_exec` knob, and
+    /// flush per-operator and per-query metrics.
+    fn exec_plan(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
+        // Debug builds statically verify every plan before running it, so
+        // the whole test suite doubles as a verifier soak test.
         #[cfg(debug_assertions)]
         crate::verify::verify(plan, &self.catalog)?;
         let fns = EngineFns {
             hook: self.hook.read().clone(),
         };
-        let ctx = ExecContext::new(&self.catalog, &fns);
-        let rows = execute(plan, &ctx)?;
-        let cost = ctx.cost_units();
+        let vectorized = self.knobs.get("vectorized_exec").unwrap_or(1) != 0;
+        let clock = WallClock::new();
+        let (rows, cost) = if vectorized {
+            let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
+            let ctx = ExecContext::with_clock(&self.catalog, &fns, &clock);
+            let rows = execute_batched(plan, &ctx, bs)?;
+            for (name, stats) in ctx.take_op_stats() {
+                self.metrics.record_operator(name, stats);
+            }
+            let cost = ctx.cost_units();
+            (rows, cost)
+        } else {
+            let ctx = ExecContext::new(&self.catalog, &fns);
+            let rows = execute(plan, &ctx)?;
+            let cost = ctx.cost_units();
+            (rows, cost)
+        };
         self.metrics.record_query(rows.len() as u64, cost);
         Ok((rows, cost))
     }

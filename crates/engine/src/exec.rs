@@ -6,10 +6,10 @@
 //! learned optimizer (E7) and the performance predictors (E12) train on —
 //! the analogue of NEO's execution-latency feedback loop.
 
-use std::cell::Cell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 
-use aimdb_common::{AimError, Result, Row, Schema, Value};
+use aimdb_common::{AimError, Clock, Result, Row, Schema, Value};
 use aimdb_sql::ast::AggFunc;
 use aimdb_sql::expr::ScalarFns;
 use aimdb_sql::logical::AggExpr;
@@ -17,12 +17,25 @@ use aimdb_sql::logical::AggExpr;
 use crate::catalog::Catalog;
 use crate::plan::{PhysOp, PhysicalPlan};
 
+/// Per-operator execution counters accumulated by the vectorized
+/// executor: output rows, non-empty output batches, and wall time spent
+/// in the operator subtree (inclusive of children; 0 when the context
+/// has no clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    pub rows: u64,
+    pub batches: u64,
+    pub ns: u64,
+}
+
 /// Execution context: catalog access, scalar-function registry, and the
 /// actual-cost accumulator.
 pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub fns: &'a dyn ScalarFns,
     cost_units: Cell<f64>,
+    clock: Option<&'a dyn Clock>,
+    op_stats: RefCell<BTreeMap<&'static str, OpStats>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -31,16 +44,52 @@ impl<'a> ExecContext<'a> {
             catalog,
             fns,
             cost_units: Cell::new(0.0),
+            clock: None,
+            op_stats: RefCell::new(BTreeMap::new()),
         }
     }
 
-    fn charge(&self, units: f64) {
+    /// A context that also timestamps per-operator work (used by the
+    /// vectorized executor to fill the engine's operator metrics).
+    pub fn with_clock(catalog: &'a Catalog, fns: &'a dyn ScalarFns, clock: &'a dyn Clock) -> Self {
+        ExecContext {
+            clock: Some(clock),
+            ..Self::new(catalog, fns)
+        }
+    }
+
+    pub(crate) fn charge(&self, units: f64) {
         self.cost_units.set(self.cost_units.get() + units);
     }
 
     /// Actual cost units charged so far (the measured "latency").
     pub fn cost_units(&self) -> f64 {
         self.cost_units.get()
+    }
+
+    /// Current clock reading in nanoseconds (0 without a clock).
+    pub(crate) fn clock_ns(&self) -> u64 {
+        match self.clock {
+            Some(c) => (c.now_secs() * 1e9) as u64,
+            None => 0,
+        }
+    }
+
+    /// Fold one operator observation into the per-operator counters.
+    pub(crate) fn record_op(&self, name: &'static str, rows: u64, batches: u64, ns: u64) {
+        let mut stats = self.op_stats.borrow_mut();
+        let e = stats.entry(name).or_default();
+        e.rows += rows;
+        e.batches += batches;
+        e.ns += ns;
+    }
+
+    /// Drain the per-operator counters (the engine flushes them into
+    /// [`crate::metrics::Metrics`] after each query).
+    pub fn take_op_stats(&self) -> Vec<(&'static str, OpStats)> {
+        std::mem::take(&mut *self.op_stats.borrow_mut())
+            .into_iter()
+            .collect()
     }
 }
 
@@ -261,7 +310,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
 }
 
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(u64),
     Sum(f64),
     /// (sum, count) for AVG
@@ -271,7 +320,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(f: AggFunc) -> AggState {
+    pub(crate) fn new(f: AggFunc) -> AggState {
         match f {
             AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum(0.0),
@@ -281,7 +330,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+    pub(crate) fn update(&mut self, v: Option<&Value>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) counts rows (v=None); COUNT(x) skips NULLs
@@ -323,7 +372,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n as i64),
             AggState::Sum(s) => Value::Float(s),

@@ -1,0 +1,918 @@
+//! Streaming vectorized executor.
+//!
+//! The batch pipeline mirrors the row executor operator for operator,
+//! but operators *pull* fixed-size column batches ([`Batch`]) instead of
+//! materializing whole row sets: scans fill batches straight from the
+//! storage cursors, predicates produce selection vectors that are
+//! applied with `gather`, and expressions run through the compiled
+//! kernels in `aimdb_sql::vexpr`. Pipeline-breaking operators (hash
+//! join build, aggregate, sort) still drain their inputs — exactly like
+//! the row executor — but consume them batch-wise and stream their
+//! output back out in batches.
+//!
+//! Result equivalence with [`crate::exec::execute`] is enforced by the
+//! differential oracle (`tests/exec_differential.rs`); output *order*
+//! matches the row executor on every operator so ORDER BY queries can
+//! be compared positionally:
+//! - scans emit heap page order / index key order,
+//! - hash join builds on the smaller input and emits probe order ×
+//!   build-insertion order,
+//! - aggregation emits first-seen group order,
+//! - sort is stable over the same precomputed keys.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use aimdb_common::{AimError, Batch, ColVec, Result, Row, Schema, Value};
+use aimdb_sql::logical::AggExpr;
+use aimdb_sql::vexpr::{self, VExpr};
+
+use crate::catalog::Table;
+use crate::exec::{AggState, ExecContext};
+use crate::plan::{PhysOp, PhysicalPlan};
+use aimdb_storage::{HeapScanCursor, RowId};
+
+/// Execute a physical plan to completion through the batch pipeline,
+/// pulling `batch_size`-row batches through the operator tree.
+pub fn execute_batched(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    batch_size: usize,
+) -> Result<Vec<Row>> {
+    let bs = batch_size.max(1);
+    let mut root = build(plan, ctx, bs)?;
+    let mut out = Vec::new();
+    while let Some(b) = root.next()? {
+        out.extend(b.to_rows());
+    }
+    Ok(out)
+}
+
+/// A pull-based vectorized operator. `next` returns the next non-empty
+/// output batch, or `None` once exhausted.
+trait BatchOp {
+    fn next(&mut self) -> Result<Option<Batch>>;
+}
+
+/// Build the operator tree for a plan, wrapping each node with the
+/// per-operator instrumentation that feeds `Metrics::operator_stats`.
+fn build<'p>(
+    plan: &'p PhysicalPlan,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+) -> Result<Box<dyn BatchOp + 'p>> {
+    let (name, op): (&'static str, Box<dyn BatchOp + 'p>) = match &plan.op {
+        PhysOp::SeqScan { table, filter, .. } => {
+            let t = ctx.catalog.table(table)?;
+            let filter = filter
+                .as_ref()
+                .map(|f| vexpr::compile(f, &plan.schema))
+                .transpose()?;
+            (
+                "seq_scan",
+                Box::new(SeqScanOp {
+                    cursor: t.heap.scan_cursor(),
+                    schema: &plan.schema,
+                    filter,
+                    ctx,
+                    bs,
+                    done: false,
+                }),
+            )
+        }
+        PhysOp::IndexScan {
+            table,
+            column,
+            lo,
+            hi,
+            filter,
+            ..
+        } => {
+            let t = ctx.catalog.table(table)?;
+            let idx = t.index_on(column).ok_or_else(|| {
+                AimError::Execution(format!("planned index on {table}.{column} missing"))
+            })?;
+            let rids = match (lo, hi) {
+                (Some(l), Some(h)) if l == h => idx.lookup(l),
+                (l, h) => {
+                    let lo_v = l.clone().unwrap_or(Value::Float(f64::NEG_INFINITY));
+                    let hi_v = h.clone().unwrap_or(Value::Float(f64::INFINITY));
+                    idx.range_batched(&lo_v, &hi_v, bs)
+                }
+            };
+            ctx.charge(3.0 + rids.len() as f64 * 0.06);
+            let filter = filter
+                .as_ref()
+                .map(|f| vexpr::compile(f, &plan.schema))
+                .transpose()?;
+            (
+                "index_scan",
+                Box::new(IndexScanOp {
+                    table: t,
+                    rids,
+                    pos: 0,
+                    schema: &plan.schema,
+                    filter,
+                    ctx,
+                    bs,
+                }),
+            )
+        }
+        PhysOp::Filter { input, predicate } => {
+            let pred = vexpr::compile(predicate, &input.schema)?;
+            (
+                "filter",
+                Box::new(FilterOp {
+                    input: build(input, ctx, bs)?,
+                    pred,
+                    ctx,
+                }),
+            )
+        }
+        PhysOp::Project { input, exprs } => {
+            let compiled = exprs
+                .iter()
+                .map(|e| vexpr::compile(e, &input.schema))
+                .collect::<Result<Vec<_>>>()?;
+            (
+                "project",
+                Box::new(ProjectOp {
+                    input: build(input, ctx, bs)?,
+                    exprs: compiled,
+                    ctx,
+                }),
+            )
+        }
+        PhysOp::NestedLoopJoin { left, right, on } => {
+            let on = on
+                .as_ref()
+                .map(|p| vexpr::compile(p, &plan.schema))
+                .transpose()?;
+            (
+                "nested_loop_join",
+                Box::new(NestedLoopJoinOp {
+                    left: Some(build(left, ctx, bs)?),
+                    right: Some(build(right, ctx, bs)?),
+                    on,
+                    out_schema: &plan.schema,
+                    ctx,
+                    bs,
+                    lrows: Vec::new(),
+                    rrows: Vec::new(),
+                    li: 0,
+                    ri: 0,
+                }),
+            )
+        }
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => {
+            let lkey = vexpr::compile(left_key, &left.schema)?;
+            let rkey = vexpr::compile(right_key, &right.schema)?;
+            let residual = residual
+                .as_ref()
+                .map(|r| vexpr::compile(r, &plan.schema))
+                .transpose()?;
+            (
+                "hash_join",
+                Box::new(HashJoinOp {
+                    left: Some(build(left, ctx, bs)?),
+                    right: Some(build(right, ctx, bs)?),
+                    lkey,
+                    rkey,
+                    residual,
+                    out_schema: &plan.schema,
+                    ctx,
+                    bs,
+                    build_rows: Vec::new(),
+                    table: HashMap::new(),
+                    probe_rows: Vec::new(),
+                    probe_keys: Vec::new(),
+                    build_is_left: true,
+                    probe_pos: 0,
+                }),
+            )
+        }
+        PhysOp::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => {
+            let group = group_exprs
+                .iter()
+                .map(|g| vexpr::compile(g, &input.schema))
+                .collect::<Result<Vec<_>>>()?;
+            let args = aggs
+                .iter()
+                .map(|a| {
+                    a.arg
+                        .as_ref()
+                        .map(|e| vexpr::compile(e, &input.schema))
+                        .transpose()
+                })
+                .collect::<Result<Vec<_>>>()?;
+            (
+                "aggregate",
+                Box::new(AggregateOp {
+                    input: Some(build(input, ctx, bs)?),
+                    group,
+                    args,
+                    aggs,
+                    out_schema: &plan.schema,
+                    ctx,
+                    bs,
+                    out: Vec::new(),
+                    pos: 0,
+                }),
+            )
+        }
+        PhysOp::Sort { input, keys } => {
+            let compiled = keys
+                .iter()
+                .map(|k| Ok((vexpr::compile(&k.expr, &input.schema)?, k.desc)))
+                .collect::<Result<Vec<_>>>()?;
+            (
+                "sort",
+                Box::new(SortOp {
+                    input: Some(build(input, ctx, bs)?),
+                    keys: compiled,
+                    out_schema: &plan.schema,
+                    ctx,
+                    bs,
+                    out: Vec::new(),
+                    pos: 0,
+                }),
+            )
+        }
+        PhysOp::Limit { input, n } => (
+            "limit",
+            Box::new(LimitOp {
+                input: build(input, ctx, bs)?,
+                remaining: *n,
+            }),
+        ),
+        PhysOp::Values { rows } => (
+            "values",
+            Box::new(ValuesOp {
+                rows,
+                schema: &plan.schema,
+                pos: 0,
+                bs,
+            }),
+        ),
+    };
+    Ok(Box::new(Instrumented {
+        name,
+        ctx,
+        inner: op,
+    }))
+}
+
+/// Wraps an operator to account rows / batches / wall-time into the
+/// execution context. Timing is inclusive of the operator's subtree.
+struct Instrumented<'p> {
+    name: &'static str,
+    ctx: &'p ExecContext<'p>,
+    inner: Box<dyn BatchOp + 'p>,
+}
+
+impl BatchOp for Instrumented<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let t0 = self.ctx.clock_ns();
+        let r = self.inner.next();
+        let ns = self.ctx.clock_ns().saturating_sub(t0);
+        match &r {
+            Ok(Some(b)) => self.ctx.record_op(self.name, b.len() as u64, 1, ns),
+            _ => self.ctx.record_op(self.name, 0, 0, ns),
+        }
+        r
+    }
+}
+
+struct SeqScanOp<'p> {
+    cursor: HeapScanCursor,
+    schema: &'p Schema,
+    filter: Option<VExpr>,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    done: bool,
+}
+
+impl BatchOp for SeqScanOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        while !self.done {
+            // decode pages straight into typed column builders — the
+            // row-at-a-time decode + columnarize double pass is the
+            // single biggest cost the batch pipeline can avoid
+            let mut cols: Vec<ColVec> = self
+                .schema
+                .columns()
+                .iter()
+                .map(|c| ColVec::with_capacity(c.data_type, self.bs))
+                .collect();
+            let (n, more) = self.cursor.fill_batch(self.bs, &mut cols)?;
+            if !more {
+                self.done = true;
+            }
+            if n == 0 {
+                continue;
+            }
+            let nf = n as f64;
+            self.ctx.charge(nf * 0.01 + (nf / 64.0).ceil());
+            let batch = Batch::from_cols(cols, n);
+            let batch = match &self.filter {
+                Some(f) => {
+                    let sel = vexpr::eval_filter(f, &batch, self.ctx.fns)?;
+                    if sel.len() == batch.len() {
+                        batch
+                    } else {
+                        batch.gather(&sel)
+                    }
+                }
+                None => batch,
+            };
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct IndexScanOp<'p> {
+    table: Arc<Table>,
+    rids: Vec<RowId>,
+    pos: usize,
+    schema: &'p Schema,
+    filter: Option<VExpr>,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+}
+
+impl BatchOp for IndexScanOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        while self.pos < self.rids.len() {
+            let end = (self.pos + self.bs).min(self.rids.len());
+            let mut rows = Vec::with_capacity(end - self.pos);
+            for &rid in &self.rids[self.pos..end] {
+                if let Some(row) = self.table.heap.get(rid)? {
+                    rows.push(row);
+                }
+            }
+            self.pos = end;
+            if rows.is_empty() {
+                continue;
+            }
+            let batch = Batch::from_rows(self.schema, &rows);
+            let batch = match &self.filter {
+                Some(f) => {
+                    let sel = vexpr::eval_filter(f, &batch, self.ctx.fns)?;
+                    if sel.len() == batch.len() {
+                        batch
+                    } else {
+                        batch.gather(&sel)
+                    }
+                }
+                None => batch,
+            };
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct FilterOp<'p> {
+    input: Box<dyn BatchOp + 'p>,
+    pred: VExpr,
+    ctx: &'p ExecContext<'p>,
+}
+
+impl BatchOp for FilterOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        while let Some(b) = self.input.next()? {
+            self.ctx.charge(b.len() as f64 * 0.005);
+            let sel = vexpr::eval_filter(&self.pred, &b, self.ctx.fns)?;
+            if sel.is_empty() {
+                continue;
+            }
+            return Ok(Some(if sel.len() == b.len() {
+                b
+            } else {
+                b.gather(&sel)
+            }));
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp<'p> {
+    input: Box<dyn BatchOp + 'p>,
+    exprs: Vec<VExpr>,
+    ctx: &'p ExecContext<'p>,
+}
+
+impl BatchOp for ProjectOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        match self.input.next()? {
+            Some(b) => {
+                self.ctx
+                    .charge(b.len() as f64 * 0.005 * self.exprs.len().max(1) as f64);
+                let cols = self
+                    .exprs
+                    .iter()
+                    .map(|e| vexpr::eval(e, &b, self.ctx.fns))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(Batch::from_cols(cols, b.len())))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct NestedLoopJoinOp<'p> {
+    left: Option<Box<dyn BatchOp + 'p>>,
+    right: Option<Box<dyn BatchOp + 'p>>,
+    on: Option<VExpr>,
+    out_schema: &'p Schema,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    lrows: Vec<Row>,
+    rrows: Vec<Row>,
+    li: usize,
+    ri: usize,
+}
+
+impl BatchOp for NestedLoopJoinOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if let (Some(mut l), Some(mut r)) = (self.left.take(), self.right.take()) {
+            self.lrows = drain(&mut l)?;
+            self.rrows = drain(&mut r)?;
+            self.ctx
+                .charge(self.lrows.len() as f64 * self.rrows.len() as f64 * 0.01);
+        }
+        loop {
+            let mut pending = Vec::with_capacity(self.bs);
+            while pending.len() < self.bs && self.li < self.lrows.len() {
+                if self.rrows.is_empty() {
+                    break;
+                }
+                pending.push(self.lrows[self.li].join(&self.rrows[self.ri]));
+                self.ri += 1;
+                if self.ri == self.rrows.len() {
+                    self.ri = 0;
+                    self.li += 1;
+                }
+            }
+            if pending.is_empty() {
+                return Ok(None);
+            }
+            let batch = Batch::from_rows(self.out_schema, &pending);
+            let batch = match &self.on {
+                Some(p) => {
+                    let sel = vexpr::eval_filter(p, &batch, self.ctx.fns)?;
+                    batch.gather(&sel)
+                }
+                None => batch,
+            };
+            if !batch.is_empty() {
+                return Ok(Some(batch));
+            }
+        }
+    }
+}
+
+struct HashJoinOp<'p> {
+    left: Option<Box<dyn BatchOp + 'p>>,
+    right: Option<Box<dyn BatchOp + 'p>>,
+    lkey: VExpr,
+    rkey: VExpr,
+    residual: Option<VExpr>,
+    out_schema: &'p Schema,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    build_rows: Vec<Row>,
+    /// key → build-row indices in insertion order
+    table: HashMap<Value, Vec<usize>>,
+    probe_rows: Vec<Row>,
+    probe_keys: Vec<Value>,
+    build_is_left: bool,
+    probe_pos: usize,
+}
+
+impl HashJoinOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        let (Some(mut l), Some(mut r)) = (self.left.take(), self.right.take()) else {
+            return Ok(());
+        };
+        // drain both inputs batch-wise, computing join keys with the
+        // vectorized kernels as batches arrive
+        let (lrows, lkeys) = drain_keyed(&mut l, &self.lkey, self.ctx)?;
+        let (rrows, rkeys) = drain_keyed(&mut r, &self.rkey, self.ctx)?;
+        self.ctx.charge((lrows.len() + rrows.len()) as f64 * 0.015);
+        // build on the smaller side, like the row executor, so output
+        // order (probe order × build-insertion order) matches exactly
+        let (build_rows, build_keys, probe_rows, probe_keys, build_is_left) =
+            if lrows.len() <= rrows.len() {
+                (lrows, lkeys, rrows, rkeys, true)
+            } else {
+                (rrows, rkeys, lrows, lkeys, false)
+            };
+        for (i, k) in build_keys.into_iter().enumerate() {
+            if k.is_null() {
+                continue; // NULL never joins
+            }
+            self.table.entry(k).or_default().push(i);
+        }
+        self.build_rows = build_rows;
+        self.probe_rows = probe_rows;
+        self.probe_keys = probe_keys;
+        self.build_is_left = build_is_left;
+        Ok(())
+    }
+}
+
+impl BatchOp for HashJoinOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.open()?;
+        loop {
+            let mut pending: Vec<Row> = Vec::with_capacity(self.bs);
+            while pending.len() < self.bs && self.probe_pos < self.probe_rows.len() {
+                let k = &self.probe_keys[self.probe_pos];
+                let p = &self.probe_rows[self.probe_pos];
+                if !k.is_null() {
+                    if let Some(matches) = self.table.get(k) {
+                        for &bi in matches {
+                            let b = &self.build_rows[bi];
+                            pending.push(if self.build_is_left {
+                                b.join(p)
+                            } else {
+                                p.join(b)
+                            });
+                        }
+                    }
+                }
+                self.probe_pos += 1;
+            }
+            if pending.is_empty() {
+                return Ok(None);
+            }
+            let batch = Batch::from_rows(self.out_schema, &pending);
+            let batch = match &self.residual {
+                Some(r) => {
+                    let sel = vexpr::eval_filter(r, &batch, self.ctx.fns)?;
+                    batch.gather(&sel)
+                }
+                None => batch,
+            };
+            if !batch.is_empty() {
+                self.ctx.charge(batch.len() as f64 * 0.01);
+                return Ok(Some(batch));
+            }
+        }
+    }
+}
+
+struct AggregateOp<'p> {
+    input: Option<Box<dyn BatchOp + 'p>>,
+    group: Vec<VExpr>,
+    args: Vec<Option<VExpr>>,
+    aggs: &'p [AggExpr],
+    out_schema: &'p Schema,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    out: Vec<Row>,
+    pos: usize,
+}
+
+impl AggregateOp<'_> {
+    fn eval_args(&self, b: &Batch) -> Result<Vec<Option<ColVec>>> {
+        self.args
+            .iter()
+            .map(|a| {
+                a.as_ref()
+                    .map(|e| vexpr::eval(e, b, self.ctx.fns))
+                    .transpose()
+            })
+            .collect()
+    }
+
+    /// No GROUP BY: one state set updated column-at-a-time — no per-row
+    /// hash probe, no per-row `Value` materialization for typed lanes.
+    fn drain_global(&mut self, input: &mut Box<dyn BatchOp + '_>) -> Result<()> {
+        let mut states: Vec<AggState> = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+        while let Some(b) = input.next()? {
+            self.ctx.charge(b.len() as f64 * 0.02);
+            let arg_cols = self.eval_args(&b)?;
+            for (st, col) in states.iter_mut().zip(&arg_cols) {
+                update_state_col(st, col.as_ref(), b.len())?;
+            }
+        }
+        // a global aggregate yields exactly one row, even over zero rows
+        self.out
+            .push(Row::new(states.into_iter().map(AggState::finish).collect()));
+        Ok(())
+    }
+
+    fn drain_grouped(&mut self, input: &mut Box<dyn BatchOp + '_>) -> Result<()> {
+        // single-column keys probe on a bare `Value` (no per-row Vec)
+        let mut index1: HashMap<Value, usize> = HashMap::new();
+        let mut indexn: HashMap<Vec<Value>, usize> = HashMap::new();
+        // first-seen group order, like the row executor
+        let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+        let single = self.group.len() == 1;
+        while let Some(b) = input.next()? {
+            self.ctx.charge(b.len() as f64 * 0.02);
+            let key_cols = self
+                .group
+                .iter()
+                .map(|g| vexpr::eval(g, &b, self.ctx.fns))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_cols = self.eval_args(&b)?;
+            for i in 0..b.len() {
+                let gi = if single {
+                    let k = key_cols[0].value(i);
+                    match index1.get(&k) {
+                        Some(&gi) => gi,
+                        None => {
+                            index1.insert(k.clone(), groups.len());
+                            groups.push((
+                                vec![k],
+                                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                            ));
+                            groups.len() - 1
+                        }
+                    }
+                } else {
+                    let key: Vec<Value> = key_cols.iter().map(|c| c.value(i)).collect();
+                    match indexn.get(&key) {
+                        Some(&gi) => gi,
+                        None => {
+                            indexn.insert(key.clone(), groups.len());
+                            groups.push((
+                                key,
+                                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                            ));
+                            groups.len() - 1
+                        }
+                    }
+                };
+                for (st, col) in groups[gi].1.iter_mut().zip(&arg_cols) {
+                    update_state_lane(st, col.as_ref(), i)?;
+                }
+            }
+        }
+        for (key, states) in groups {
+            let mut vals = key;
+            vals.extend(states.into_iter().map(AggState::finish));
+            self.out.push(Row::new(vals));
+        }
+        Ok(())
+    }
+}
+
+impl BatchOp for AggregateOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if let Some(mut input) = self.input.take() {
+            if self.group.is_empty() {
+                self.drain_global(&mut input)?;
+            } else {
+                self.drain_grouped(&mut input)?;
+            }
+        }
+        emit_chunk(&mut self.pos, &self.out, self.out_schema, self.bs)
+    }
+}
+
+/// Update one aggregate state from lane `i` of an argument column.
+/// Typed Int/Float lanes feed SUM/AVG without materializing a `Value`;
+/// everything else defers to [`AggState::update`] so NULL handling and
+/// type-error behavior stay identical to the row executor.
+fn update_state_lane(st: &mut AggState, col: Option<&ColVec>, i: usize) -> Result<()> {
+    match (st, col) {
+        (st, None) => st.update(None),
+        (AggState::Sum(s), Some(ColVec::Float { vals, nulls })) => {
+            if !nulls[i] {
+                *s += vals[i];
+            }
+            Ok(())
+        }
+        (AggState::Sum(s), Some(ColVec::Int { vals, nulls })) => {
+            if !nulls[i] {
+                *s += vals[i] as f64;
+            }
+            Ok(())
+        }
+        (AggState::Avg(s, n), Some(ColVec::Float { vals, nulls })) => {
+            if !nulls[i] {
+                *s += vals[i];
+                *n += 1;
+            }
+            Ok(())
+        }
+        (AggState::Avg(s, n), Some(ColVec::Int { vals, nulls })) => {
+            if !nulls[i] {
+                *s += vals[i] as f64;
+                *n += 1;
+            }
+            Ok(())
+        }
+        (AggState::Count(n), Some(c)) => {
+            if !c.is_null(i) {
+                *n += 1;
+            }
+            Ok(())
+        }
+        (st, Some(c)) => st.update(Some(&c.value(i))),
+    }
+}
+
+/// Update one aggregate state from a whole argument column (the global,
+/// no-GROUP-BY path). Addition order is lane order — the same row order
+/// the scalar executor folds in — so float results are bit-identical.
+fn update_state_col(st: &mut AggState, col: Option<&ColVec>, n: usize) -> Result<()> {
+    match (st, col) {
+        // COUNT(*) counts rows outright
+        (AggState::Count(c), None) => {
+            *c += n as u64;
+            Ok(())
+        }
+        (AggState::Sum(s), Some(ColVec::Float { vals, nulls })) => {
+            for i in 0..n {
+                if !nulls[i] {
+                    *s += vals[i];
+                }
+            }
+            Ok(())
+        }
+        (AggState::Sum(s), Some(ColVec::Int { vals, nulls })) => {
+            for i in 0..n {
+                if !nulls[i] {
+                    *s += vals[i] as f64;
+                }
+            }
+            Ok(())
+        }
+        (AggState::Avg(s, cnt), Some(ColVec::Float { vals, nulls })) => {
+            for i in 0..n {
+                if !nulls[i] {
+                    *s += vals[i];
+                    *cnt += 1;
+                }
+            }
+            Ok(())
+        }
+        (AggState::Avg(s, cnt), Some(ColVec::Int { vals, nulls })) => {
+            for i in 0..n {
+                if !nulls[i] {
+                    *s += vals[i] as f64;
+                    *cnt += 1;
+                }
+            }
+            Ok(())
+        }
+        (AggState::Count(c), Some(col)) => {
+            for i in 0..n {
+                if !col.is_null(i) {
+                    *c += 1;
+                }
+            }
+            Ok(())
+        }
+        (st, col) => {
+            for i in 0..n {
+                let v = col.map(|c| c.value(i));
+                st.update(v.as_ref())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+struct SortOp<'p> {
+    input: Option<Box<dyn BatchOp + 'p>>,
+    keys: Vec<(VExpr, bool)>,
+    out_schema: &'p Schema,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    out: Vec<Row>,
+    pos: usize,
+}
+
+impl BatchOp for SortOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if let Some(mut input) = self.input.take() {
+            // drain, computing sort keys vectorized per input batch
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::new();
+            while let Some(b) = input.next()? {
+                let key_cols = self
+                    .keys
+                    .iter()
+                    .map(|(e, _)| vexpr::eval(e, &b, self.ctx.fns))
+                    .collect::<Result<Vec<_>>>()?;
+                for i in 0..b.len() {
+                    let ks: Vec<Value> = key_cols.iter().map(|c| c.value(i)).collect();
+                    keyed.push((ks, b.row(i)));
+                }
+            }
+            let n = keyed.len() as f64;
+            self.ctx.charge(n * n.max(2.0).log2() * 0.005);
+            // stable sort with the same comparator as the row executor
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, (_, desc)) in self.keys.iter().enumerate() {
+                    let ord = a[i].cmp(&b[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.out = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+        emit_chunk(&mut self.pos, &self.out, self.out_schema, self.bs)
+    }
+}
+
+struct LimitOp<'p> {
+    input: Box<dyn BatchOp + 'p>,
+    remaining: usize,
+}
+
+impl BatchOp for LimitOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next()? {
+            Some(b) => {
+                if b.len() <= self.remaining {
+                    self.remaining -= b.len();
+                    Ok(Some(b))
+                } else {
+                    let sel: Vec<u32> = (0..self.remaining as u32).collect();
+                    self.remaining = 0;
+                    Ok(Some(b.gather(&sel)))
+                }
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+struct ValuesOp<'p> {
+    rows: &'p [Row],
+    schema: &'p Schema,
+    pos: usize,
+    bs: usize,
+}
+
+impl BatchOp for ValuesOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        emit_chunk(&mut self.pos, self.rows, self.schema, self.bs)
+    }
+}
+
+/// Emit the next `bs`-row chunk of a materialized row set as a batch.
+fn emit_chunk(pos: &mut usize, rows: &[Row], schema: &Schema, bs: usize) -> Result<Option<Batch>> {
+    if *pos >= rows.len() {
+        return Ok(None);
+    }
+    let end = (*pos + bs).min(rows.len());
+    let b = Batch::from_rows(schema, &rows[*pos..end]);
+    *pos = end;
+    Ok(Some(b))
+}
+
+/// Drain an operator into a materialized row vector.
+fn drain(op: &mut Box<dyn BatchOp + '_>) -> Result<Vec<Row>> {
+    let mut rows = Vec::new();
+    while let Some(b) = op.next()? {
+        rows.extend(b.to_rows());
+    }
+    Ok(rows)
+}
+
+/// Drain an operator, evaluating a compiled key expression over each
+/// batch; returns rows and their keys, positionally aligned.
+fn drain_keyed(
+    op: &mut Box<dyn BatchOp + '_>,
+    key: &VExpr,
+    ctx: &ExecContext<'_>,
+) -> Result<(Vec<Row>, Vec<Value>)> {
+    let mut rows = Vec::new();
+    let mut keys = Vec::new();
+    while let Some(b) = op.next()? {
+        let kc = vexpr::eval(key, &b, ctx.fns)?;
+        for i in 0..b.len() {
+            keys.push(kc.value(i));
+            rows.push(b.row(i));
+        }
+    }
+    Ok((rows, keys))
+}

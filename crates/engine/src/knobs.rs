@@ -80,6 +80,20 @@ pub const KNOB_SPECS: &[KnobSpec] = &[
         default: 10000,
         description: "rows sampled by ANALYZE",
     },
+    KnobSpec {
+        name: "vectorized_exec",
+        min: 0,
+        max: 1,
+        default: 1,
+        description: "execute queries through the batch pipeline (0 = row-at-a-time)",
+    },
+    KnobSpec {
+        name: "exec_batch_size",
+        min: 64,
+        max: 65536,
+        default: 1024,
+        description: "rows per column batch in the vectorized executor",
+    },
 ];
 
 /// Live knob values.

@@ -21,6 +21,7 @@
 pub mod catalog;
 pub mod db;
 pub mod exec;
+pub mod exec_batch;
 pub mod knobs;
 pub mod metrics;
 pub mod optimizer;
@@ -31,6 +32,7 @@ pub mod verify;
 
 pub use catalog::{Catalog, Table};
 pub use db::{Database, ModelHook, QueryResult, RecoveryReport};
+pub use exec_batch::execute_batched;
 pub use knobs::Knobs;
 pub use metrics::KpiSnapshot;
 pub use optimizer::CardEstimator;

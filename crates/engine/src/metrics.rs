@@ -5,9 +5,11 @@
 //! [`KpiSnapshot`]s rather than scraping engine internals — the same
 //! architectural boundary external AI4DB tools have against a real DBMS.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use parking_lot::Mutex;
+
+use crate::exec::OpStats;
 
 /// A point-in-time view of engine health metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -85,6 +87,8 @@ struct MetricsInner {
     aborted: u64,
     recoveries: u64,
     replayed: u64,
+    /// Per-operator rows / batches / wall-time, keyed by operator name.
+    operators: BTreeMap<&'static str, OpStats>,
 }
 
 const WINDOW: usize = 512;
@@ -108,6 +112,7 @@ impl Metrics {
                 aborted: 0,
                 recoveries: 0,
                 replayed: 0,
+                operators: BTreeMap::new(),
             }),
         }
     }
@@ -133,6 +138,27 @@ impl Metrics {
 
     pub fn record_abort(&self) {
         self.inner.lock().aborted += 1;
+    }
+
+    /// Accumulate per-operator execution stats (rows, batches, wall-time)
+    /// reported by the vectorized executor.
+    pub fn record_operator(&self, name: &'static str, stats: OpStats) {
+        let mut m = self.inner.lock();
+        let e = m.operators.entry(name).or_default();
+        e.rows += stats.rows;
+        e.batches += stats.batches;
+        e.ns += stats.ns;
+    }
+
+    /// Per-operator counters accumulated since the last reset, in stable
+    /// (operator-name) order.
+    pub fn operator_stats(&self) -> Vec<(&'static str, OpStats)> {
+        self.inner
+            .lock()
+            .operators
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
     }
 
     /// Record one completed crash recovery and how many WAL records it
@@ -188,6 +214,7 @@ impl Metrics {
             aborted: 0,
             recoveries: 0,
             replayed: 0,
+            operators: BTreeMap::new(),
         };
     }
 }
@@ -239,5 +266,42 @@ mod tests {
         m.record_query(1, 1.0);
         m.reset();
         assert_eq!(m.snapshot(0.0, 0, 0).queries_executed, 0);
+    }
+
+    #[test]
+    fn operator_stats_accumulate_and_reset() {
+        let m = Metrics::new();
+        m.record_operator(
+            "seq_scan",
+            OpStats {
+                rows: 10,
+                batches: 2,
+                ns: 100,
+            },
+        );
+        m.record_operator(
+            "seq_scan",
+            OpStats {
+                rows: 5,
+                batches: 1,
+                ns: 50,
+            },
+        );
+        m.record_operator(
+            "filter",
+            OpStats {
+                rows: 3,
+                batches: 1,
+                ns: 10,
+            },
+        );
+        let stats = m.operator_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, "filter");
+        assert_eq!(stats[1].1.rows, 15);
+        assert_eq!(stats[1].1.batches, 3);
+        assert_eq!(stats[1].1.ns, 150);
+        m.reset();
+        assert!(m.operator_stats().is_empty());
     }
 }

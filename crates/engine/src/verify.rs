@@ -116,7 +116,11 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
             }
             exprs
                 .iter()
-                .map(|e| infer_expr("Project", e, &input.schema, &in_types))
+                .map(|e| {
+                    let t = infer_expr("Project", e, &input.schema, &in_types)?;
+                    check_batch_compile("Project", e, &input.schema)?;
+                    Ok(t)
+                })
                 .collect()
         }
         PhysOp::NestedLoopJoin { left, right, on } => {
@@ -139,6 +143,8 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
             let rt = check_node(right, catalog)?;
             let lk = infer_expr("HashJoin left key", left_key, &left.schema, &lt)?;
             let rk = infer_expr("HashJoin right key", right_key, &right.schema, &rt)?;
+            check_batch_compile("HashJoin left key", left_key, &left.schema)?;
+            check_batch_compile("HashJoin right key", right_key, &right.schema)?;
             if let (Some(a), Some(b)) = (lk, rk) {
                 if !comparable(a, b) {
                     return Err(err(
@@ -175,12 +181,9 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
             }
             let mut out = Vec::with_capacity(expected);
             for g in group_exprs {
-                out.push(infer_expr(
-                    "Aggregate group key",
-                    g,
-                    &input.schema,
-                    &in_types,
-                )?);
+                let t = infer_expr("Aggregate group key", g, &input.schema, &in_types)?;
+                check_batch_compile("Aggregate group key", g, &input.schema)?;
+                out.push(t);
             }
             for a in aggs {
                 let arg_type = match (&a.arg, a.func) {
@@ -191,7 +194,11 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
                             format!("{f:?} requires an argument (only COUNT may take *)"),
                         ))
                     }
-                    (Some(e), _) => infer_expr("Aggregate argument", e, &input.schema, &in_types)?,
+                    (Some(e), _) => {
+                        let t = infer_expr("Aggregate argument", e, &input.schema, &in_types)?;
+                        check_batch_compile("Aggregate argument", e, &input.schema)?;
+                        t
+                    }
                 };
                 if matches!(a.func, AggFunc::Sum | AggFunc::Avg) && arg_type == Some(DataType::Text)
                 {
@@ -217,6 +224,7 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
             for k in keys {
                 // every value type is sortable; keys just need to resolve
                 infer_expr("Sort key", &k.expr, &input.schema, &types)?;
+                check_batch_compile("Sort key", &k.expr, &input.schema)?;
             }
             Ok(types)
         }
@@ -329,13 +337,27 @@ fn check_join_schema(
 
 /// A predicate expression must type to Bool (or unknown).
 fn check_predicate(op: &str, pred: &Expr, schema: &Schema, types: &ColTypes) -> Result<()> {
-    match infer_expr(op, pred, schema, types)? {
+    // infer first: its diagnostics are richer when a column is unresolved
+    let inferred = infer_expr(op, pred, schema, types)?;
+    check_batch_compile(op, pred, schema)?;
+    match inferred {
         Some(DataType::Bool) | None => Ok(()),
         Some(other) => Err(err(
             op,
             format!("predicate {pred:?} has type {other:?}, expected Bool"),
         )),
     }
+}
+
+/// The vectorized executor compiles every expression to positional column
+/// kernels against its operator's input schema before running. Run the
+/// same compilation here so a plan that passes verification is guaranteed
+/// to wire into the batch pipeline too (compile fails exactly when a
+/// column reference does not resolve in the input schema).
+fn check_batch_compile(op: &str, expr: &Expr, schema: &Schema) -> Result<()> {
+    aimdb_sql::vexpr::compile(expr, schema)
+        .map(|_| ())
+        .map_err(|e| err(op, format!("does not compile for batch execution: {e}")))
 }
 
 fn names(schema: &Schema) -> Vec<&str> {

@@ -1,0 +1,406 @@
+//! Differential oracle: the vectorized executor must produce exactly the
+//! same results as the row executor on every query.
+//!
+//! A seeded generator produces well-formed SELECTs over four tables — two
+//! dense, one NULL-heavy (~40% NULLs in every column, so three-valued
+//! logic, NULL join keys and NULL-skipping aggregates are exercised
+//! constantly) and one empty — then every query is planned once and run
+//! through both executors. Results must match: positionally when the
+//! query has an ORDER BY, as multisets otherwise. Batch sizes cycle
+//! through {1, 7, 64, 1024} so chunk-boundary bugs can't hide behind a
+//! batch larger than the tables.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::{Result, Row};
+use aimdb_engine::exec::{execute, ExecContext};
+use aimdb_engine::exec_batch::execute_batched;
+use aimdb_engine::Database;
+use aimdb_sql::expr::BuiltinFns;
+use aimdb_sql::{parse, Statement};
+
+/// (table, numeric columns, text columns)
+const TABLES: [(&str, &[&str], &[&str]); 3] = [
+    (
+        "users",
+        &["users.id", "users.age", "users.score"],
+        &["users.name"],
+    ),
+    (
+        "orders",
+        &["orders.oid", "orders.user_id", "orders.amount"],
+        &["orders.tag"],
+    ),
+    (
+        "sparse",
+        &["sparse.k", "sparse.v", "sparse.w"],
+        &["sparse.s"],
+    ),
+];
+
+fn setup(db: &Database, rng: &mut StdRng) -> Result<()> {
+    db.execute("CREATE TABLE users (id INT, age INT, name TEXT, score FLOAT)")?;
+    db.execute("CREATE TABLE orders (oid INT, user_id INT, amount FLOAT, tag TEXT)")?;
+    db.execute("CREATE TABLE sparse (k INT, v INT, w FLOAT, s TEXT)")?;
+    db.execute("CREATE TABLE void (a INT, b TEXT, c FLOAT)")?;
+    db.execute("CREATE INDEX idx_age ON users (age)")?;
+    db.execute("CREATE INDEX idx_k ON sparse (k)")?;
+
+    let names = ["ann", "bob", "cal", "dee", "eli"];
+    let tags = ["new", "ship", "done", "hold"];
+    for chunk in (0..200).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, '{}', {:.2})",
+                    rng.gen_range(18..80),
+                    names[rng.gen_range(0..names.len())],
+                    rng.gen_range(0.0..100.0)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO users VALUES {}", rows.join(",")))?;
+    }
+    for chunk in (0..300).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, {:.2}, '{}')",
+                    rng.gen_range(0..200),
+                    rng.gen_range(1.0..500.0),
+                    tags[rng.gen_range(0..tags.len())]
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO orders VALUES {}", rows.join(",")))?;
+    }
+    // NULL-heavy: every column independently NULL with p = 0.4
+    for chunk in (0..150).collect::<Vec<i64>>().chunks(50) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                let k = if rng.gen_bool(0.4) {
+                    "NULL".to_string()
+                } else {
+                    format!("{}", i % 40)
+                };
+                let v = if rng.gen_bool(0.4) {
+                    "NULL".to_string()
+                } else {
+                    format!("{}", rng.gen_range(-20..20))
+                };
+                let w = if rng.gen_bool(0.4) {
+                    "NULL".to_string()
+                } else {
+                    format!("{:.2}", rng.gen_range(-5.0..5.0))
+                };
+                let s = if rng.gen_bool(0.4) {
+                    "NULL".to_string()
+                } else {
+                    format!("'s{}'", i % 6)
+                };
+                format!("({k}, {v}, {w}, {s})")
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO sparse VALUES {}", rows.join(",")))?;
+    }
+    db.execute("ANALYZE")?;
+    Ok(())
+}
+
+fn numeric_col(rng: &mut StdRng, ti: usize) -> String {
+    let cols = TABLES[ti].1;
+    cols[rng.gen_range(0..cols.len())].to_string()
+}
+
+fn text_col(rng: &mut StdRng, ti: usize) -> String {
+    let cols = TABLES[ti].2;
+    cols[rng.gen_range(0..cols.len())].to_string()
+}
+
+fn predicate(rng: &mut StdRng, ti: usize) -> String {
+    match rng.gen_range(0..8) {
+        0 => format!(
+            "{} {} {}",
+            numeric_col(rng, ti),
+            ["<", "<=", ">", ">=", "=", "<>"][rng.gen_range(0..6)],
+            rng.gen_range(-10..120)
+        ),
+        1 => format!(
+            "{} BETWEEN {} AND {}",
+            numeric_col(rng, ti),
+            rng.gen_range(-10..50),
+            rng.gen_range(50..200)
+        ),
+        2 => format!(
+            "{} IN ({}, {}, {})",
+            numeric_col(rng, ti),
+            rng.gen_range(0..40),
+            rng.gen_range(40..80),
+            rng.gen_range(80..120)
+        ),
+        3 => format!(
+            "{} LIKE '%{}%'",
+            text_col(rng, ti),
+            ['a', 'e', 'o', 's'][rng.gen_range(0..4)]
+        ),
+        4 => format!(
+            "{} IS {}NULL",
+            numeric_col(rng, ti),
+            ["", "NOT "][rng.gen_range(0..2)]
+        ),
+        5 => format!(
+            "{} > {} AND {} IS NOT NULL",
+            numeric_col(rng, ti),
+            rng.gen_range(0..60),
+            text_col(rng, ti)
+        ),
+        6 => format!(
+            "ABS({}) >= {} OR {} < {}",
+            numeric_col(rng, ti),
+            rng.gen_range(0..30),
+            numeric_col(rng, ti),
+            rng.gen_range(0..100)
+        ),
+        _ => format!("NOT ({} > {})", numeric_col(rng, ti), rng.gen_range(0..80)),
+    }
+}
+
+/// A random well-formed SELECT; the NULL-heavy table participates in
+/// every shape, and two shapes target the empty table directly.
+fn gen_query(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..8) {
+        // single-table projection + filter (+ order/limit)
+        0 | 1 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            let nc = numeric_col(rng, ti);
+            let tc = text_col(rng, ti);
+            let bare = nc
+                .rsplit_once('.')
+                .map_or(nc.as_str(), |(_, b)| b)
+                .to_string();
+            let (proj, sort_key) = match rng.gen_range(0..3) {
+                0 => ("*".to_string(), bare),
+                1 => (format!("{nc}, {tc}"), bare),
+                _ => (format!("{nc} + 1, UPPER({tc})"), "col0".to_string()),
+            };
+            let mut q = format!("SELECT {proj} FROM {t} WHERE {}", predicate(rng, ti));
+            if rng.gen_bool(0.5) {
+                q.push_str(&format!(" ORDER BY {sort_key}"));
+                if rng.gen_bool(0.5) {
+                    q.push_str(" DESC");
+                }
+            }
+            if rng.gen_bool(0.4) {
+                q.push_str(&format!(" LIMIT {}", rng.gen_range(1..40)));
+            }
+            q
+        }
+        // two-table join; sparse.k as a key exercises NULL join keys
+        2 => {
+            let (lt, rt, lk, rk) = [
+                ("users", "orders", "users.id", "orders.user_id"),
+                ("users", "sparse", "users.id", "sparse.k"),
+                ("orders", "sparse", "orders.user_id", "sparse.k"),
+            ][rng.gen_range(0..3)];
+            let ti = TABLES
+                .iter()
+                .position(|(n, _, _)| *n == lt)
+                .unwrap_or_default();
+            format!(
+                "SELECT {lk}, {rk} FROM {lt} JOIN {rt} ON {lk} = {rk} WHERE {}",
+                predicate(rng, ti)
+            )
+        }
+        // aggregate + group by (NULL group keys group together)
+        3 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            let g = text_col(rng, ti);
+            let a = numeric_col(rng, ti);
+            let agg = ["COUNT(*)", "SUM", "AVG", "MIN", "MAX"][rng.gen_range(0..5)];
+            let agg = if agg == "COUNT(*)" {
+                agg.to_string()
+            } else {
+                format!("{agg}({a})")
+            };
+            let mut q = format!("SELECT {g}, {agg} FROM {t} GROUP BY {g}");
+            if rng.gen_bool(0.5) {
+                let bare = g.rsplit_once('.').map_or(g.as_str(), |(_, b)| b);
+                q.push_str(&format!(" ORDER BY {bare}"));
+            }
+            q
+        }
+        // global aggregate with filter (COUNT(col) skips NULLs)
+        4 => {
+            let ti = rng.gen_range(0..TABLES.len());
+            let (t, _, _) = TABLES[ti];
+            let a = numeric_col(rng, ti);
+            format!(
+                "SELECT COUNT(*), COUNT({a}), AVG({a}) FROM {t} WHERE {}",
+                predicate(rng, ti)
+            )
+        }
+        // empty table: scans, sorts and limits over zero rows
+        5 => {
+            let mut q = format!(
+                "SELECT a, c FROM void WHERE {}",
+                ["a > 5", "b LIKE '%x%'", "c IS NULL", "a IN (1, 2, 3)"][rng.gen_range(0..4)]
+            );
+            if rng.gen_bool(0.5) {
+                q.push_str(" ORDER BY a");
+            }
+            if rng.gen_bool(0.5) {
+                q.push_str(" LIMIT 5");
+            }
+            q
+        }
+        // empty table: global aggregate still yields one row; grouped
+        // aggregate yields none; joins against it yield none
+        6 => match rng.gen_range(0..3) {
+            0 => "SELECT COUNT(*), SUM(a), MIN(c) FROM void".to_string(),
+            1 => "SELECT b, COUNT(*) FROM void GROUP BY b".to_string(),
+            _ => "SELECT users.id, void.a FROM users JOIN void ON users.id = void.a".to_string(),
+        },
+        // scalar expressions, no FROM
+        _ => format!(
+            "SELECT ABS({}), LENGTH('oracle'), {} * {}",
+            -rng.gen_range(1..50i64),
+            rng.gen_range(1..9),
+            rng.gen_range(1..9)
+        ),
+    }
+}
+
+/// Plan once, run through both executors.
+#[allow(clippy::type_complexity)]
+fn run_both(db: &Database, sql: &str, bs: usize) -> (Result<Vec<Row>>, Result<Vec<Row>>) {
+    let stmts = parse(sql).unwrap_or_else(|e| panic!("unparseable SQL ({e}): {sql}"));
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("generator produced a non-SELECT: {sql}");
+    };
+    let plan = db
+        .plan(&sel)
+        .unwrap_or_else(|e| panic!("planner failed ({e}): {sql}"));
+    let fns = BuiltinFns;
+    let row_ctx = ExecContext::new(&db.catalog, &fns);
+    let row_result = execute(&plan, &row_ctx);
+    let batch_ctx = ExecContext::new(&db.catalog, &fns);
+    let batch_result = execute_batched(&plan, &batch_ctx, bs);
+    (row_result, batch_result)
+}
+
+/// Multiset canonicalization: sort rows lexicographically by value.
+fn canon(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort_by(|a, b| a.values().cmp(b.values()));
+    rows
+}
+
+#[test]
+fn differential_oracle_over_generated_corpus() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let db = Database::new();
+    setup(&db, &mut rng).expect("corpus setup");
+
+    const N: usize = 1200;
+    let batch_sizes = [1usize, 7, 64, 1024];
+    let mut mismatches = 0usize;
+    let mut executed = 0usize;
+    for qi in 0..N {
+        let sql = gen_query(&mut rng);
+        let bs = batch_sizes[qi % batch_sizes.len()];
+        match run_both(&db, &sql, bs) {
+            (Ok(rr), Ok(br)) => {
+                executed += 1;
+                let same = if sql.contains(" ORDER BY ") {
+                    rr == br
+                } else {
+                    canon(rr.clone()) == canon(br.clone())
+                };
+                if !same {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH [{qi}] bs={bs}: row={} rows, batch={} rows\n  sql: {sql}",
+                        rr.len(),
+                        br.len()
+                    );
+                }
+            }
+            // both failing is agreement; the generator shouldn't produce
+            // these, but if it does the executors still concur
+            (Err(_), Err(_)) => {}
+            (Ok(_), Err(e)) => {
+                mismatches += 1;
+                eprintln!("MISMATCH [{qi}] bs={bs}: row ok, batch err ({e})\n  sql: {sql}");
+            }
+            (Err(e), Ok(_)) => {
+                mismatches += 1;
+                eprintln!("MISMATCH [{qi}] bs={bs}: batch ok, row err ({e})\n  sql: {sql}");
+            }
+        }
+    }
+    assert!(
+        executed >= N * 9 / 10,
+        "generator produced too many failing queries: {executed}/{N} executed"
+    );
+    assert_eq!(mismatches, 0, "{mismatches} differential mismatches");
+}
+
+/// Hand-picked edge queries the random generator could plausibly miss:
+/// NULL arithmetic in projections, all-NULL aggregates, NULL sort keys.
+#[test]
+fn null_heavy_edges_match() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let db = Database::new();
+    setup(&db, &mut rng).expect("corpus setup");
+    let queries = [
+        "SELECT k + v, w * 2 FROM sparse",
+        "SELECT SUM(v), AVG(v), MIN(v), MAX(v), COUNT(v) FROM sparse WHERE k IS NULL",
+        "SELECT s, SUM(w) FROM sparse GROUP BY s ORDER BY s",
+        "SELECT v, k FROM sparse ORDER BY v, k LIMIT 20",
+        "SELECT COUNT(*) FROM sparse WHERE v > 0 OR v <= 0",
+        "SELECT k, v FROM sparse WHERE v BETWEEN -5 AND 5 ORDER BY k DESC",
+        "SELECT users.id, sparse.v FROM users JOIN sparse ON users.id = sparse.k \
+         WHERE sparse.v IS NOT NULL",
+    ];
+    for sql in queries {
+        for bs in [1usize, 3, 1024] {
+            let (rr, br) = run_both(&db, sql, bs);
+            let rr = rr.unwrap_or_else(|e| panic!("row executor failed ({e}): {sql}"));
+            let br = br.unwrap_or_else(|e| panic!("batch executor failed ({e}): {sql}"));
+            let same = if sql.contains(" ORDER BY ") {
+                rr == br
+            } else {
+                canon(rr) == canon(br)
+            };
+            assert!(same, "bs={bs}: {sql}");
+        }
+    }
+}
+
+#[test]
+fn empty_table_edges_match() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let db = Database::new();
+    setup(&db, &mut rng).expect("corpus setup");
+    let queries = [
+        "SELECT * FROM void",
+        "SELECT a + 1 FROM void WHERE b LIKE 'x%' ORDER BY col0 LIMIT 3",
+        "SELECT COUNT(*), SUM(a), AVG(c), MIN(b), MAX(a) FROM void",
+        "SELECT b, COUNT(*) FROM void GROUP BY b",
+        "SELECT void.a, users.id FROM void JOIN users ON void.a = users.id",
+        "SELECT users.id, void.a FROM users JOIN void ON users.id = void.a",
+    ];
+    for sql in queries {
+        for bs in [1usize, 1024] {
+            let (rr, br) = run_both(&db, sql, bs);
+            let rr = rr.unwrap_or_else(|e| panic!("row executor failed ({e}): {sql}"));
+            let br = br.unwrap_or_else(|e| panic!("batch executor failed ({e}): {sql}"));
+            assert_eq!(canon(rr), canon(br), "bs={bs}: {sql}");
+        }
+    }
+}

@@ -238,7 +238,7 @@ impl Expr {
                 match (op, v) {
                     (UnaryOp::Not, Value::Null) => Ok(Value::Null),
                     (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-                    (UnaryOp::Neg, Value::Int(i)) => Ok(Value::Int(-i)),
+                    (UnaryOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
                     (UnaryOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
                     (UnaryOp::Neg, Value::Null) => Ok(Value::Null),
                     (op, v) => Err(AimError::TypeMismatch(format!(
@@ -321,7 +321,7 @@ impl Expr {
     }
 }
 
-fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
+pub(crate) fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
     use BinaryOp::*;
     match op {
         And => match (l, r) {

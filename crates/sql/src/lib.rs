@@ -17,9 +17,11 @@ pub mod expr;
 pub mod lexer;
 pub mod logical;
 pub mod parser;
+pub mod vexpr;
 
 pub use ast::Statement;
 pub use expr::{BinaryOp, Expr, ScalarFns, UnaryOp};
 pub use lexer::{tokenize, Token};
 pub use logical::LogicalPlan;
 pub use parser::parse;
+pub use vexpr::VExpr;

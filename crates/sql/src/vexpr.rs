@@ -1,0 +1,786 @@
+//! Vectorized expression kernels for the batch executor.
+//!
+//! [`compile`] resolves an [`Expr`]'s column references against an
+//! operator's input schema once, producing a [`VExpr`] whose leaves are
+//! column *indices*. [`eval`] then evaluates a `VExpr` over a whole
+//! [`Batch`] at a time: typed column pairs (Int/Float arithmetic and
+//! comparisons, Bool three-valued AND/OR) run as tight loops over the
+//! typed vectors, everything else falls back to a per-lane interpreter
+//! that mirrors [`Expr::eval`] exactly.
+//!
+//! Equivalence with the scalar path is load-bearing (the differential
+//! oracle in `aimdb-engine` diffs the two executors), and rests on one
+//! property of `Expr::eval`: it never short-circuits a subtree — both
+//! operands of every `Binary` are evaluated for every row, as are all
+//! `Between`/`Function` children. Whole-column evaluation therefore
+//! errors exactly when the scalar path errors (possibly reporting a
+//! different site, which is why the oracle treats any `Err` pair as
+//! agreement). The only lazy construct, `IN (...)`, keeps its lazy
+//! per-lane loop here.
+
+use std::cmp::Ordering;
+
+use aimdb_common::{AimError, Batch, ColVec, Result, Schema, Value};
+
+use crate::expr::{eval_binary, like_match, BinaryOp, Expr, ScalarFns, UnaryOp};
+
+/// An expression compiled against a fixed input schema: column
+/// references are resolved to positional indices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VExpr {
+    /// Input column by position.
+    Col(usize),
+    Literal(Value),
+    Binary {
+        left: Box<VExpr>,
+        op: BinaryOp,
+        right: Box<VExpr>,
+    },
+    Unary {
+        op: UnaryOp,
+        expr: Box<VExpr>,
+    },
+    IsNull {
+        expr: Box<VExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<VExpr>,
+        lo: Box<VExpr>,
+        hi: Box<VExpr>,
+    },
+    InList {
+        expr: Box<VExpr>,
+        list: Vec<VExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<VExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    Function {
+        name: String,
+        args: Vec<VExpr>,
+    },
+}
+
+/// Resolve every column reference in `expr` against `schema`, using the
+/// same lookup rule as [`Expr::eval`]: the qualified spelling first,
+/// then the bare name. Fails iff scalar evaluation would fail to
+/// resolve the column.
+pub fn compile(expr: &Expr, schema: &Schema) -> Result<VExpr> {
+    match expr {
+        Expr::Column { qualifier, name } => {
+            let full = match qualifier {
+                Some(q) => format!("{q}.{name}"),
+                None => name.clone(),
+            };
+            let idx = schema.index_of(&full).or_else(|_| schema.index_of(name))?;
+            Ok(VExpr::Col(idx))
+        }
+        Expr::Literal(v) => Ok(VExpr::Literal(v.clone())),
+        Expr::Binary { left, op, right } => Ok(VExpr::Binary {
+            left: Box::new(compile(left, schema)?),
+            op: *op,
+            right: Box::new(compile(right, schema)?),
+        }),
+        Expr::Unary { op, expr } => Ok(VExpr::Unary {
+            op: *op,
+            expr: Box::new(compile(expr, schema)?),
+        }),
+        Expr::IsNull { expr, negated } => Ok(VExpr::IsNull {
+            expr: Box::new(compile(expr, schema)?),
+            negated: *negated,
+        }),
+        Expr::Between { expr, lo, hi } => Ok(VExpr::Between {
+            expr: Box::new(compile(expr, schema)?),
+            lo: Box::new(compile(lo, schema)?),
+            hi: Box::new(compile(hi, schema)?),
+        }),
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Ok(VExpr::InList {
+            expr: Box::new(compile(expr, schema)?),
+            list: list
+                .iter()
+                .map(|e| compile(e, schema))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        }),
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Ok(VExpr::Like {
+            expr: Box::new(compile(expr, schema)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        }),
+        Expr::Function { name, args } => Ok(VExpr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| compile(a, schema))
+                .collect::<Result<_>>()?,
+        }),
+    }
+}
+
+/// Evaluate a compiled expression over every row of `batch`, producing
+/// a dense output column of `batch.len()` values.
+pub fn eval(v: &VExpr, batch: &Batch, fns: &dyn ScalarFns) -> Result<ColVec> {
+    let n = batch.len();
+    match v {
+        VExpr::Col(i) => Ok(batch.col(*i).clone()),
+        VExpr::Literal(val) => Ok(broadcast(val, n)),
+        VExpr::Binary { left, op, right } => {
+            let l = eval(left, batch, fns)?;
+            let r = eval(right, batch, fns)?;
+            binary_cols(&l, *op, &r, n)
+        }
+        VExpr::Unary { op, expr } => {
+            let c = eval(expr, batch, fns)?;
+            unary_col(*op, &c, n)
+        }
+        VExpr::IsNull { expr, negated } => {
+            let c = eval(expr, batch, fns)?;
+            let mut vals = Vec::with_capacity(n);
+            for i in 0..n {
+                vals.push(c.is_null(i) != *negated);
+            }
+            Ok(ColVec::Bool {
+                vals,
+                nulls: vec![false; n],
+            })
+        }
+        VExpr::Between { expr, lo, hi } => {
+            // scalar eval always evaluates all three children
+            let c = eval(expr, batch, fns)?;
+            let l = eval(lo, batch, fns)?;
+            let h = eval(hi, batch, fns)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let v = c.value(i);
+                match (v.sql_cmp(&l.value(i)), v.sql_cmp(&h.value(i))) {
+                    (Some(a), Some(b)) => {
+                        out.push(Value::Bool(a != Ordering::Less && b != Ordering::Greater))
+                    }
+                    _ => out.push(Value::Null),
+                }
+            }
+            Ok(ColVec::from_values(out))
+        }
+        VExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // IN is the one lazy construct in Expr::eval: list items
+            // after the first match (and for NULL probes) are never
+            // evaluated, so the lane loop must stay lazy too.
+            let c = eval(expr, batch, fns)?;
+            let mut out = Vec::with_capacity(n);
+            'lane: for i in 0..n {
+                let v = c.value(i);
+                if v.is_null() {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let w = eval_lane(item, batch, i, fns)?;
+                    match v.sql_cmp(&w) {
+                        Some(Ordering::Equal) => {
+                            out.push(Value::Bool(!*negated));
+                            continue 'lane;
+                        }
+                        None => saw_null = true,
+                        _ => {}
+                    }
+                }
+                out.push(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                });
+            }
+            Ok(ColVec::from_values(out))
+        }
+        VExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let c = eval(expr, batch, fns)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let v = c.value(i);
+                if v.is_null() {
+                    out.push(Value::Null);
+                } else {
+                    out.push(Value::Bool(like_match(v.as_str()?, pattern) != *negated));
+                }
+            }
+            Ok(ColVec::from_values(out))
+        }
+        VExpr::Function { name, args } => {
+            let cols: Vec<ColVec> = args
+                .iter()
+                .map(|a| eval(a, batch, fns))
+                .collect::<Result<_>>()?;
+            let mut out = Vec::with_capacity(n);
+            let mut argv: Vec<Value> = Vec::with_capacity(cols.len());
+            for i in 0..n {
+                argv.clear();
+                argv.extend(cols.iter().map(|c| c.value(i)));
+                out.push(fns.call(name, &argv)?);
+            }
+            Ok(ColVec::from_values(out))
+        }
+    }
+}
+
+/// Evaluate a compiled predicate over `batch`, returning the selection
+/// vector of rows where it is TRUE (SQL WHERE semantics: NULL drops the
+/// row; a non-boolean result is a type error, as in
+/// [`Expr::eval_predicate`]).
+pub fn eval_filter(v: &VExpr, batch: &Batch, fns: &dyn ScalarFns) -> Result<Vec<u32>> {
+    let c = eval(v, batch, fns)?;
+    let mut sel = Vec::new();
+    match &c {
+        ColVec::Bool { vals, nulls } => {
+            for (i, (b, null)) in vals.iter().zip(nulls).enumerate() {
+                if *b && !*null {
+                    sel.push(i as u32);
+                }
+            }
+        }
+        other => {
+            for i in 0..batch.len() {
+                match other.value(i) {
+                    Value::Bool(true) => sel.push(i as u32),
+                    Value::Bool(false) | Value::Null => {}
+                    v => {
+                        return Err(AimError::TypeMismatch(format!(
+                            "predicate evaluated to non-boolean {v}"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    Ok(sel)
+}
+
+/// Per-lane interpreter: evaluate one row of a compiled expression,
+/// mirroring [`Expr::eval`] node for node (used for lazy `IN` items).
+fn eval_lane(v: &VExpr, batch: &Batch, i: usize, fns: &dyn ScalarFns) -> Result<Value> {
+    match v {
+        VExpr::Col(c) => Ok(batch.col(*c).value(i)),
+        VExpr::Literal(val) => Ok(val.clone()),
+        VExpr::Binary { left, op, right } => {
+            let l = eval_lane(left, batch, i, fns)?;
+            let r = eval_lane(right, batch, i, fns)?;
+            eval_binary(&l, *op, &r)
+        }
+        VExpr::Unary { op, expr } => {
+            let val = eval_lane(expr, batch, i, fns)?;
+            unary_value(*op, val)
+        }
+        VExpr::IsNull { expr, negated } => {
+            let val = eval_lane(expr, batch, i, fns)?;
+            Ok(Value::Bool(val.is_null() != *negated))
+        }
+        VExpr::Between { expr, lo, hi } => {
+            let val = eval_lane(expr, batch, i, fns)?;
+            let l = eval_lane(lo, batch, i, fns)?;
+            let h = eval_lane(hi, batch, i, fns)?;
+            match (val.sql_cmp(&l), val.sql_cmp(&h)) {
+                (Some(a), Some(b)) => {
+                    Ok(Value::Bool(a != Ordering::Less && b != Ordering::Greater))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        VExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let val = eval_lane(expr, batch, i, fns)?;
+            if val.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for item in list {
+                let w = eval_lane(item, batch, i, fns)?;
+                match val.sql_cmp(&w) {
+                    Some(Ordering::Equal) => return Ok(Value::Bool(!*negated)),
+                    None => saw_null = true,
+                    _ => {}
+                }
+            }
+            Ok(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            })
+        }
+        VExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let val = eval_lane(expr, batch, i, fns)?;
+            if val.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(like_match(val.as_str()?, pattern) != *negated))
+        }
+        VExpr::Function { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_lane(a, batch, i, fns))
+                .collect::<Result<_>>()?;
+            fns.call(name, &vals)
+        }
+    }
+}
+
+fn unary_value(op: UnaryOp, v: Value) -> Result<Value> {
+    match (op, v) {
+        (UnaryOp::Not, Value::Null) => Ok(Value::Null),
+        (UnaryOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+        (UnaryOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
+        (UnaryOp::Neg, Value::Float(f)) => Ok(Value::Float(-f)),
+        (UnaryOp::Neg, Value::Null) => Ok(Value::Null),
+        (op, v) => Err(AimError::TypeMismatch(format!(
+            "cannot apply {op:?} to {v}"
+        ))),
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> ColVec {
+    match v {
+        Value::Int(x) => ColVec::Int {
+            vals: vec![*x; n],
+            nulls: vec![false; n],
+        },
+        Value::Float(x) => ColVec::Float {
+            vals: vec![*x; n],
+            nulls: vec![false; n],
+        },
+        Value::Bool(x) => ColVec::Bool {
+            vals: vec![*x; n],
+            nulls: vec![false; n],
+        },
+        Value::Text(s) => ColVec::Text {
+            vals: vec![s.clone(); n],
+            nulls: vec![false; n],
+        },
+        Value::Null => ColVec::Mixed(vec![Value::Null; n]),
+    }
+}
+
+/// Vectorized binary kernel: typed fast paths with a per-lane
+/// `eval_binary` fallback for mixed/text/other combinations.
+fn binary_cols(l: &ColVec, op: BinaryOp, r: &ColVec, n: usize) -> Result<ColVec> {
+    use BinaryOp::*;
+    match (l, r, op) {
+        // Int × Int: exact integer compare / wrapping arithmetic
+        (
+            ColVec::Int {
+                vals: lv,
+                nulls: ln,
+            },
+            ColVec::Int {
+                vals: rv,
+                nulls: rn,
+            },
+            _,
+        ) => match op {
+            Eq | Neq | Lt | Lte | Gt | Gte => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for i in 0..n {
+                    if ln[i] || rn[i] {
+                        vals.push(false);
+                        nulls.push(true);
+                    } else {
+                        vals.push(cmp_holds(op, lv[i].cmp(&rv[i])));
+                        nulls.push(false);
+                    }
+                }
+                Ok(ColVec::Bool { vals, nulls })
+            }
+            Add | Sub | Mul => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for i in 0..n {
+                    if ln[i] || rn[i] {
+                        vals.push(0);
+                        nulls.push(true);
+                    } else {
+                        vals.push(match op {
+                            Add => lv[i].wrapping_add(rv[i]),
+                            Sub => lv[i].wrapping_sub(rv[i]),
+                            _ => lv[i].wrapping_mul(rv[i]),
+                        });
+                        nulls.push(false);
+                    }
+                }
+                Ok(ColVec::Int { vals, nulls })
+            }
+            Div | Mod => {
+                let mut vals = Vec::with_capacity(n);
+                let mut nulls = Vec::with_capacity(n);
+                for i in 0..n {
+                    if ln[i] || rn[i] {
+                        vals.push(0);
+                        nulls.push(true);
+                    } else if rv[i] == 0 {
+                        return Err(AimError::Execution("division by zero".into()));
+                    } else {
+                        vals.push(if op == Div {
+                            lv[i] / rv[i]
+                        } else {
+                            lv[i] % rv[i]
+                        });
+                        nulls.push(false);
+                    }
+                }
+                Ok(ColVec::Int { vals, nulls })
+            }
+            And | Or => lanewise(l, op, r, n),
+        },
+        // Float × Float / Float × Int: total_cmp compare, f64 arithmetic
+        (
+            ColVec::Float { .. } | ColVec::Int { .. },
+            ColVec::Float { .. } | ColVec::Int { .. },
+            _,
+        ) => {
+            let (lf, ln) = as_f64_lanes(l, n);
+            let (rf, rn) = as_f64_lanes(r, n);
+            match op {
+                Eq | Neq | Lt | Lte | Gt | Gte => {
+                    let mut vals = Vec::with_capacity(n);
+                    let mut nulls = Vec::with_capacity(n);
+                    for i in 0..n {
+                        if ln[i] || rn[i] {
+                            vals.push(false);
+                            nulls.push(true);
+                        } else {
+                            vals.push(cmp_holds(op, lf[i].total_cmp(&rf[i])));
+                            nulls.push(false);
+                        }
+                    }
+                    Ok(ColVec::Bool { vals, nulls })
+                }
+                Add | Sub | Mul => {
+                    let mut vals = Vec::with_capacity(n);
+                    let mut nulls = Vec::with_capacity(n);
+                    for i in 0..n {
+                        if ln[i] || rn[i] {
+                            vals.push(0.0);
+                            nulls.push(true);
+                        } else {
+                            vals.push(match op {
+                                Add => lf[i] + rf[i],
+                                Sub => lf[i] - rf[i],
+                                _ => lf[i] * rf[i],
+                            });
+                            nulls.push(false);
+                        }
+                    }
+                    Ok(ColVec::Float { vals, nulls })
+                }
+                Div | Mod => {
+                    let mut vals = Vec::with_capacity(n);
+                    let mut nulls = Vec::with_capacity(n);
+                    for i in 0..n {
+                        if ln[i] || rn[i] {
+                            vals.push(0.0);
+                            nulls.push(true);
+                        } else if rf[i] == 0.0 {
+                            return Err(AimError::Execution("division by zero".into()));
+                        } else {
+                            vals.push(if op == Div {
+                                lf[i] / rf[i]
+                            } else {
+                                lf[i] % rf[i]
+                            });
+                            nulls.push(false);
+                        }
+                    }
+                    Ok(ColVec::Float { vals, nulls })
+                }
+                And | Or => lanewise(l, op, r, n),
+            }
+        }
+        // Bool × Bool three-valued AND/OR with false/true absorption
+        (
+            ColVec::Bool {
+                vals: lv,
+                nulls: ln,
+            },
+            ColVec::Bool {
+                vals: rv,
+                nulls: rn,
+            },
+            And | Or,
+        ) => {
+            let mut vals = Vec::with_capacity(n);
+            let mut nulls = Vec::with_capacity(n);
+            for i in 0..n {
+                let lb = if ln[i] { None } else { Some(lv[i]) };
+                let rb = if rn[i] { None } else { Some(rv[i]) };
+                let out = match op {
+                    And => match (lb, rb) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    },
+                    _ => match (lb, rb) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                };
+                match out {
+                    Some(b) => {
+                        vals.push(b);
+                        nulls.push(false);
+                    }
+                    None => {
+                        vals.push(false);
+                        nulls.push(true);
+                    }
+                }
+            }
+            Ok(ColVec::Bool { vals, nulls })
+        }
+        // Text × Text comparisons
+        (
+            ColVec::Text {
+                vals: lv,
+                nulls: ln,
+            },
+            ColVec::Text {
+                vals: rv,
+                nulls: rn,
+            },
+            Eq | Neq | Lt | Lte | Gt | Gte,
+        ) => {
+            let mut vals = Vec::with_capacity(n);
+            let mut nulls = Vec::with_capacity(n);
+            for i in 0..n {
+                if ln[i] || rn[i] {
+                    vals.push(false);
+                    nulls.push(true);
+                } else {
+                    vals.push(cmp_holds(op, lv[i].cmp(&rv[i])));
+                    nulls.push(false);
+                }
+            }
+            Ok(ColVec::Bool { vals, nulls })
+        }
+        // everything else: per-lane scalar semantics
+        _ => lanewise(l, op, r, n),
+    }
+}
+
+/// Per-lane fallback for [`binary_cols`]: exactly `eval_binary` per row.
+fn lanewise(l: &ColVec, op: BinaryOp, r: &ColVec, n: usize) -> Result<ColVec> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(eval_binary(&l.value(i), op, &r.value(i))?);
+    }
+    Ok(ColVec::from_values(out))
+}
+
+/// Widen a numeric column to f64 lanes (Int/Float only — callers
+/// guarantee the variant).
+fn as_f64_lanes(c: &ColVec, _n: usize) -> (Vec<f64>, Vec<bool>) {
+    match c {
+        ColVec::Int { vals, nulls } => (vals.iter().map(|&v| v as f64).collect(), nulls.clone()),
+        ColVec::Float { vals, nulls } => (vals.clone(), nulls.clone()),
+        _ => unreachable!("as_f64_lanes on non-numeric column"),
+    }
+}
+
+fn cmp_holds(op: BinaryOp, ord: Ordering) -> bool {
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::Neq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::Lte => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::Gte => ord != Ordering::Less,
+        _ => unreachable!("cmp_holds on non-comparison"),
+    }
+}
+
+fn unary_col(op: UnaryOp, c: &ColVec, n: usize) -> Result<ColVec> {
+    match (op, c) {
+        (UnaryOp::Neg, ColVec::Int { vals, nulls }) => Ok(ColVec::Int {
+            vals: vals.iter().map(|v| v.wrapping_neg()).collect(),
+            nulls: nulls.clone(),
+        }),
+        (UnaryOp::Neg, ColVec::Float { vals, nulls }) => Ok(ColVec::Float {
+            vals: vals.iter().map(|v| -v).collect(),
+            nulls: nulls.clone(),
+        }),
+        (UnaryOp::Not, ColVec::Bool { vals, nulls }) => Ok(ColVec::Bool {
+            vals: vals.iter().map(|v| !v).collect(),
+            nulls: nulls.clone(),
+        }),
+        _ => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(unary_value(op, c.value(i))?);
+            }
+            Ok(ColVec::from_values(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BuiltinFns;
+    use aimdb_common::{DataType, Row};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("s", DataType::Text),
+        ])
+    }
+
+    fn batch() -> Batch {
+        let rows = vec![
+            Row::new(vec![
+                Value::Int(10),
+                Value::Float(2.5),
+                Value::Text("hello".into()),
+            ]),
+            Row::new(vec![Value::Null, Value::Float(-1.0), Value::Null]),
+            Row::new(vec![
+                Value::Int(-3),
+                Value::Null,
+                Value::Text("world".into()),
+            ]),
+        ];
+        Batch::from_rows(&schema(), &rows)
+    }
+
+    /// Batch evaluation must agree with scalar evaluation row by row.
+    fn assert_matches_scalar(e: &Expr) {
+        let s = schema();
+        let b = batch();
+        let v = compile(e, &s).expect("compile");
+        let col = eval(&v, &b, &BuiltinFns).expect("batch eval");
+        for i in 0..b.len() {
+            let want = e.eval(&s, &b.row(i), &BuiltinFns).expect("scalar eval");
+            assert_eq!(col.value(i), want, "row {i} of {e:?}");
+        }
+    }
+
+    #[test]
+    fn typed_kernels_match_scalar() {
+        use BinaryOp::*;
+        for op in [Add, Sub, Mul, Eq, Neq, Lt, Lte, Gt, Gte] {
+            assert_matches_scalar(&Expr::binary(Expr::col("a"), op, Expr::lit(4i64)));
+            assert_matches_scalar(&Expr::binary(Expr::col("a"), op, Expr::col("b")));
+            assert_matches_scalar(&Expr::binary(Expr::col("b"), op, Expr::lit(0.5f64)));
+        }
+        assert_matches_scalar(&Expr::binary(Expr::col("s"), Eq, Expr::lit("hello")));
+    }
+
+    #[test]
+    fn fallback_constructs_match_scalar() {
+        assert_matches_scalar(&Expr::Between {
+            expr: Box::new(Expr::col("a")),
+            lo: Box::new(Expr::lit(-5i64)),
+            hi: Box::new(Expr::lit(5i64)),
+        });
+        assert_matches_scalar(&Expr::InList {
+            expr: Box::new(Expr::col("a")),
+            list: vec![Expr::lit(10i64), Expr::lit(Value::Null)],
+            negated: false,
+        });
+        assert_matches_scalar(&Expr::Like {
+            expr: Box::new(Expr::col("s")),
+            pattern: "h%".into(),
+            negated: false,
+        });
+        assert_matches_scalar(&Expr::IsNull {
+            expr: Box::new(Expr::col("b")),
+            negated: true,
+        });
+        assert_matches_scalar(&Expr::Function {
+            name: "ABS".into(),
+            args: vec![Expr::col("a")],
+        });
+        assert_matches_scalar(&Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::col("a")),
+        });
+    }
+
+    #[test]
+    fn filter_selects_true_lanes() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(0i64));
+        let v = compile(&e, &schema()).unwrap();
+        // row 0: 10 > 0 → keep; row 1: NULL → drop; row 2: -3 → drop
+        assert_eq!(eval_filter(&v, &batch(), &BuiltinFns).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn filter_rejects_non_boolean() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Add, Expr::lit(1i64));
+        let v = compile(&e, &schema()).unwrap();
+        assert!(eval_filter(&v, &batch(), &BuiltinFns).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_errors_like_scalar() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Div, Expr::lit(0i64));
+        let v = compile(&e, &schema()).unwrap();
+        assert!(eval(&v, &batch(), &BuiltinFns).is_err());
+    }
+
+    #[test]
+    fn wrapping_arithmetic_matches_scalar() {
+        let s = Schema::from_pairs(&[("x", DataType::Int)]);
+        let rows = vec![Row::new(vec![Value::Int(i64::MAX)])];
+        let b = Batch::from_rows(&s, &rows);
+        let e = Expr::binary(Expr::col("x"), BinaryOp::Add, Expr::lit(1i64));
+        let v = compile(&e, &s).unwrap();
+        let got = eval(&v, &b, &BuiltinFns).unwrap().value(0);
+        let want = e.eval(&s, &rows[0], &BuiltinFns).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(got, Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn compile_unknown_column_fails() {
+        assert!(compile(&Expr::col("zzz"), &schema()).is_err());
+    }
+
+    #[test]
+    fn three_valued_and_or_match_scalar() {
+        use BinaryOp::*;
+        let gt = Expr::binary(Expr::col("a"), Gt, Expr::lit(0i64));
+        let isn = Expr::IsNull {
+            expr: Box::new(Expr::col("b")),
+            negated: false,
+        };
+        assert_matches_scalar(&Expr::binary(gt.clone(), And, isn.clone()));
+        assert_matches_scalar(&Expr::binary(gt, Or, isn));
+    }
+}

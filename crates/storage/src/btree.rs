@@ -289,6 +289,32 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
         }
     }
 
+    /// Open a streaming cursor over `lo <= key <= hi` that yields pairs
+    /// in key-order chunks (for the vectorized executor's batched index
+    /// scans). The cursor borrows the tree, so the tree cannot be
+    /// mutated while a cursor is live.
+    pub fn range_cursor<'a>(&'a self, lo: &K, hi: &K) -> RangeCursor<'a, K, V> {
+        if lo > hi {
+            return RangeCursor {
+                tree: self,
+                hi: hi.clone(),
+                leaf: None,
+                idx: 0,
+            };
+        }
+        let (leaf, _) = self.descend(lo);
+        let idx = match &self.nodes[leaf] {
+            Node::Leaf { keys, .. } => keys.partition_point(|k| k < lo),
+            _ => unreachable!("descend always ends at a leaf"),
+        };
+        RangeCursor {
+            tree: self,
+            hi: hi.clone(),
+            leaf: Some(leaf),
+            idx,
+        }
+    }
+
     /// Every pair in key order (full scan via the leaf chain).
     pub fn iter_all(&self) -> Vec<(K, V)> {
         let mut out = Vec::with_capacity(self.len);
@@ -343,6 +369,52 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             t.insert(k, v);
         }
         Ok(t)
+    }
+}
+
+/// Streaming range-scan cursor walking the leaf chain in chunks.
+/// Produced by [`BTree::range_cursor`]; yields the same pairs as
+/// [`BTree::range`] but lets the caller pull a bounded number at a time.
+pub struct RangeCursor<'a, K, V> {
+    tree: &'a BTree<K, V>,
+    hi: K,
+    leaf: Option<usize>,
+    idx: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> RangeCursor<'_, K, V> {
+    /// Append up to `max` in-range pairs to `out`, in key order.
+    /// Returns the number appended; `0` means the cursor is exhausted.
+    pub fn next_chunk(&mut self, max: usize, out: &mut Vec<(K, V)>) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(leaf) = self.leaf else {
+                return n;
+            };
+            let (keys, vals, next) = match &self.tree.nodes[leaf] {
+                Node::Leaf { keys, vals, next } => (keys, vals, next),
+                _ => unreachable!("leaf chain contains internal node"),
+            };
+            if self.idx >= keys.len() {
+                self.leaf = *next;
+                self.idx = 0;
+                continue;
+            }
+            let k = &keys[self.idx];
+            if *k > self.hi {
+                self.leaf = None;
+                return n;
+            }
+            out.push((k.clone(), vals[self.idx].clone()));
+            self.idx += 1;
+            n += 1;
+        }
+        n
+    }
+
+    /// True once every in-range pair has been yielded.
+    pub fn is_exhausted(&self) -> bool {
+        self.leaf.is_none()
     }
 }
 
@@ -445,6 +517,32 @@ mod tests {
         assert_eq!(ok.len(), 3);
         assert!(BTree::bulk_load(vec![(2, 2), (1, 1)], 4).is_err());
         assert!(BTree::bulk_load(vec![(1, 1), (1, 2)], 4).is_err());
+    }
+
+    #[test]
+    fn range_cursor_matches_range() {
+        let mut t = BTree::with_fanout(6);
+        for i in (0..1000i64).step_by(2) {
+            t.insert(i, i * 3);
+        }
+        for (lo, hi) in [(10, 20), (-5, 3), (999, 2000), (500, 499), (0, 998)] {
+            let want = t.range(&lo, &hi);
+            let mut cur = t.range_cursor(&lo, &hi);
+            let mut got = Vec::new();
+            // odd chunk size to exercise mid-leaf resumption
+            while cur.next_chunk(7, &mut got) > 0 {}
+            assert!(cur.is_exhausted() || got.len() == want.len());
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn range_cursor_on_empty_tree() {
+        let t: BTree<i64, i64> = BTree::new();
+        let mut cur = t.range_cursor(&0, &100);
+        let mut got = Vec::new();
+        assert_eq!(cur.next_chunk(16, &mut got), 0);
+        assert!(got.is_empty());
     }
 
     #[test]

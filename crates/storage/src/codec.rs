@@ -6,7 +6,7 @@
 
 use bytes::{Buf, BufMut};
 
-use aimdb_common::{AimError, Result, Row, Value};
+use aimdb_common::{AimError, ColVec, Result, Row, Value};
 
 const TAG_NULL: u8 = 0;
 const TAG_INT: u8 = 1;
@@ -92,6 +92,62 @@ pub fn decode_row(mut bytes: &[u8]) -> Result<Row> {
     Ok(Row::new(values))
 }
 
+/// Decode a row directly into column builders, one value per column,
+/// skipping the intermediate [`Row`] allocation. The vectorized scan
+/// uses this to columnarize pages in a single decode pass. The row's
+/// arity must match `cols.len()` — heap tuples are always written from
+/// the owning table's schema, so a mismatch means corruption.
+pub fn decode_row_into(mut bytes: &[u8], cols: &mut [ColVec]) -> Result<()> {
+    let corrupt = || AimError::Storage("corrupt row encoding".into());
+    if bytes.remaining() < 2 {
+        return Err(corrupt());
+    }
+    let n = bytes.get_u16_le() as usize;
+    if n != cols.len() {
+        return Err(AimError::Storage(format!(
+            "row arity {n} does not match schema width {}",
+            cols.len()
+        )));
+    }
+    for col in cols.iter_mut() {
+        if bytes.remaining() < 1 {
+            return Err(corrupt());
+        }
+        let tag = bytes.get_u8();
+        match tag {
+            TAG_NULL => col.push_null(),
+            TAG_INT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                col.push_int(bytes.get_i64_le());
+            }
+            TAG_FLOAT => {
+                if bytes.remaining() < 8 {
+                    return Err(corrupt());
+                }
+                col.push_float(bytes.get_f64_le());
+            }
+            TAG_TEXT => {
+                if bytes.remaining() < 4 {
+                    return Err(corrupt());
+                }
+                let len = bytes.get_u32_le() as usize;
+                if bytes.remaining() < len {
+                    return Err(corrupt());
+                }
+                let s = std::str::from_utf8(&bytes[..len]).map_err(|_| corrupt())?;
+                col.push_text(s.to_string());
+                bytes.advance(len);
+            }
+            TAG_BOOL_FALSE => col.push_bool(false),
+            TAG_BOOL_TRUE => col.push_bool(true),
+            _ => return Err(corrupt()),
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,5 +185,44 @@ mod tests {
     #[test]
     fn bad_tag_errors() {
         assert!(decode_row(&[1, 0, 99]).is_err());
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        use aimdb_common::DataType;
+        let row = Row::new(vec![
+            Value::Int(7),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+            Value::Text("abc".into()),
+        ]);
+        let bytes = encode_row(&row);
+        let mut cols = vec![
+            ColVec::with_capacity(DataType::Int, 1),
+            ColVec::with_capacity(DataType::Int, 1),
+            ColVec::with_capacity(DataType::Float, 1),
+            ColVec::with_capacity(DataType::Bool, 1),
+            ColVec::with_capacity(DataType::Text, 1),
+        ];
+        decode_row_into(&bytes, &mut cols).unwrap();
+        let got: Vec<Value> = cols.iter().map(|c| c.value(0)).collect();
+        assert_eq!(got, row.values());
+    }
+
+    #[test]
+    fn decode_into_rejects_arity_mismatch() {
+        use aimdb_common::DataType;
+        let bytes = encode_row(&Row::new(vec![Value::Int(1), Value::Int(2)]));
+        let mut cols = vec![ColVec::with_capacity(DataType::Int, 1)];
+        assert!(decode_row_into(&bytes, &mut cols).is_err());
+    }
+
+    #[test]
+    fn decode_into_truncated_errors() {
+        use aimdb_common::DataType;
+        let bytes = encode_row(&Row::new(vec![Value::Int(7)]));
+        let mut cols = vec![ColVec::with_capacity(DataType::Int, 1)];
+        assert!(decode_row_into(&bytes[..bytes.len() - 1], &mut cols).is_err());
     }
 }

@@ -3,10 +3,10 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-use aimdb_common::{AimError, Result, Row};
+use aimdb_common::{AimError, ColVec, Result, Row};
 
 use crate::buffer::BufferPool;
-use crate::codec::{decode_row, encode_row};
+use crate::codec::{decode_row, decode_row_into, encode_row};
 use crate::page::PageId;
 
 /// Physical address of a row: page + slot. Stable across deletions.
@@ -101,6 +101,74 @@ impl HeapFile {
     pub fn num_pages(&self) -> usize {
         self.pages.lock().len()
     }
+
+    /// Open a streaming cursor over the heap for batched scans. The
+    /// cursor snapshots the page list at open time; rows inserted after
+    /// that may or may not be observed (same guarantee as [`scan`]).
+    ///
+    /// [`scan`]: HeapFile::scan
+    pub fn scan_cursor(&self) -> HeapScanCursor {
+        HeapScanCursor {
+            pool: Arc::clone(&self.pool),
+            pages: self.pages.lock().clone(),
+            pos: 0,
+        }
+    }
+}
+
+/// Streaming heap-scan cursor: decodes whole pages at a time into the
+/// caller's buffer so the vectorized executor can fill column batches
+/// without per-row dispatch.
+pub struct HeapScanCursor {
+    pool: Arc<BufferPool>,
+    pages: Vec<PageId>,
+    pos: usize,
+}
+
+impl HeapScanCursor {
+    /// Decode live rows into `out` until at least `min_rows` have been
+    /// appended or the heap is exhausted. Pages are always decoded
+    /// whole, so the call may overshoot `min_rows` by up to one page's
+    /// worth of rows. Returns `false` once the cursor is exhausted.
+    pub fn fill(&mut self, min_rows: usize, out: &mut Vec<(RowId, Row)>) -> Result<bool> {
+        let start = out.len();
+        while self.pos < self.pages.len() {
+            if out.len() - start >= min_rows {
+                return Ok(true);
+            }
+            let pid = self.pages[self.pos];
+            self.pos += 1;
+            let page = self.pool.get(pid)?;
+            for (slot, bytes) in page.iter() {
+                out.push((RowId { page: pid, slot }, decode_row(bytes)?));
+            }
+        }
+        Ok(false)
+    }
+
+    /// Like [`fill`], but decode straight into column builders — no
+    /// per-row [`Row`] allocation. Appends at least `min_rows` rows to
+    /// every column in `cols` (whole pages at a time, so it may
+    /// overshoot) and returns `(rows_appended, more)` where `more` is
+    /// `false` once the cursor is exhausted.
+    ///
+    /// [`fill`]: HeapScanCursor::fill
+    pub fn fill_batch(&mut self, min_rows: usize, cols: &mut [ColVec]) -> Result<(usize, bool)> {
+        let mut appended = 0usize;
+        while self.pos < self.pages.len() {
+            if appended >= min_rows {
+                return Ok((appended, true));
+            }
+            let pid = self.pages[self.pos];
+            self.pos += 1;
+            let page = self.pool.get(pid)?;
+            for (_slot, bytes) in page.iter() {
+                decode_row_into(bytes, cols)?;
+                appended += 1;
+            }
+        }
+        Ok((appended, false))
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +225,80 @@ mod tests {
         let a2 = h.update(a, &row(99)).unwrap();
         assert!(h.get(a).unwrap().is_none());
         assert_eq!(h.get(a2).unwrap().unwrap(), row(99));
+    }
+
+    #[test]
+    fn scan_cursor_matches_scan() {
+        let h = heap();
+        for i in 0..500 {
+            h.insert(&row(i)).unwrap();
+        }
+        h.delete(RowId {
+            page: h.scan().unwrap()[3].0.page,
+            slot: h.scan().unwrap()[3].0.slot,
+        })
+        .unwrap();
+        let want = h.scan().unwrap();
+        let mut cur = h.scan_cursor();
+        let mut got = Vec::new();
+        loop {
+            let before = got.len();
+            let more = cur.fill(64, &mut got).unwrap();
+            if !more && got.len() == before {
+                break;
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fill_batch_matches_scan() {
+        use aimdb_common::DataType;
+        let h = heap();
+        for i in 0..500 {
+            h.insert(&row(i)).unwrap();
+        }
+        let ids: Vec<RowId> = h.scan().unwrap().iter().map(|(id, _)| *id).collect();
+        h.delete(ids[3]).unwrap();
+        h.delete(ids[499]).unwrap();
+        let want = h.scan().unwrap();
+        let mut cur = h.scan_cursor();
+        let mut cols = vec![
+            ColVec::with_capacity(DataType::Int, 64),
+            ColVec::with_capacity(DataType::Text, 64),
+        ];
+        let mut total = 0;
+        loop {
+            let (n, more) = cur.fill_batch(64, &mut cols).unwrap();
+            total += n;
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(total, want.len());
+        for (i, (_, r)) in want.iter().enumerate() {
+            assert_eq!(&cols[0].value(i), r.get(0));
+            assert_eq!(&cols[1].value(i), r.get(1));
+        }
+    }
+
+    #[test]
+    fn fill_batch_on_empty_heap() {
+        use aimdb_common::DataType;
+        let h = heap();
+        let mut cur = h.scan_cursor();
+        let mut cols = vec![ColVec::with_capacity(DataType::Int, 8)];
+        assert_eq!(cur.fill_batch(8, &mut cols).unwrap(), (0, false));
+        assert!(cols[0].is_empty());
+    }
+
+    #[test]
+    fn scan_cursor_on_empty_heap() {
+        let h = heap();
+        let mut cur = h.scan_cursor();
+        let mut got = Vec::new();
+        assert!(!cur.fill(16, &mut got).unwrap());
+        assert!(got.is_empty());
     }
 
     #[test]

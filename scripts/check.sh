@@ -16,9 +16,20 @@ run cargo clippy -p aimdb-storage -p aimdb-engine --all-targets -- -D warnings
 # L002 determinism, L003 error hygiene
 run cargo run -q -p lint --release
 run cargo test -q --workspace
+# executor equivalence: 1200 generated queries through both the row and
+# the vectorized executor (plus the NULL-heavy / empty-table edge suites)
+run cargo test -q -p aimdb-engine --test exec_differential
+# property suites: storage cursors vs model, batch-vs-scalar expression
+# kernels, crash-recovery with an index model
+run cargo test -q -p aimdb-storage --test proptests
+run cargo test -q -p aimdb-sql --test vexpr_proptests
+run cargo test -q --test index_model_recovery
 # static plan verifier must accept every executable query in a 1k-query
 # random corpus (debug builds also verify every plan inline)
 run cargo run -q --release -p aimdb-bench --bin verify_corpus
+# vectorized-executor micro-bench: prints batch-vs-row speedup and fails
+# below the 2x floor (release build, reduced --smoke workload)
+run cargo run -q --release -p aimdb-bench --bin exec_bench -- --smoke
 
 if [[ "${1:-}" == "--crash-loop" ]]; then
     run cargo test -q --test crash_recovery --features fault-injection

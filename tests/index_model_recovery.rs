@@ -1,0 +1,138 @@
+//! Property test: random insert/delete interleavings on an indexed table
+//! must track a `BTreeMap` model — and keep tracking it across a crash
+//! and recovery injected mid-sequence.
+//!
+//! The model shadows committed state only (every statement here
+//! auto-commits, and `wal_sync` defaults to on, so an `Ok` statement is
+//! durable). After recovery the B+tree index is rebuilt from the log;
+//! both the full-table scan and index-driven range queries must agree
+//! with the model, and the table must keep accepting the rest of the
+//! operation sequence.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use aimdb::engine::Database;
+use aimdb::storage::Disk;
+
+/// One step of the interleaving: insert or delete a key.
+fn apply(db: &Database, model: &mut BTreeMap<i64, i64>, op: u8, key: i64) {
+    match op % 3 {
+        0 | 1 => {
+            let v = key * 7 + 1;
+            // keep keys unique so the model stays a map: replace = delete+insert
+            db.execute(&format!("DELETE FROM t WHERE id = {key}"))
+                .expect("delete before insert");
+            db.execute(&format!("INSERT INTO t VALUES ({key}, {v})"))
+                .expect("insert");
+            model.insert(key, v);
+        }
+        _ => {
+            db.execute(&format!("DELETE FROM t WHERE id = {key}"))
+                .expect("delete");
+            model.remove(&key);
+        }
+    }
+}
+
+/// The table contents as a sorted (id, v) list.
+fn table_state(db: &Database) -> Vec<(i64, i64)> {
+    let r = db.execute("SELECT id, v FROM t ORDER BY id").expect("scan");
+    r.rows()
+        .iter()
+        .map(|row| {
+            (
+                row.get(0).as_i64().expect("id"),
+                row.get(1).as_i64().expect("v"),
+            )
+        })
+        .collect()
+}
+
+/// An index-driven range query (the planner picks the B+tree for a
+/// selective range once the table is analyzed).
+fn range_state(db: &Database, lo: i64, hi: i64) -> Vec<(i64, i64)> {
+    let r = db
+        .execute(&format!(
+            "SELECT id, v FROM t WHERE id >= {lo} AND id <= {hi} ORDER BY id"
+        ))
+        .expect("range query");
+    r.rows()
+        .iter()
+        .map(|row| {
+            (
+                row.get(0).as_i64().expect("id"),
+                row.get(1).as_i64().expect("v"),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case builds a database and runs a full crash/recover cycle, so
+    // keep the case count modest; the sequences themselves are long.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn indexed_table_tracks_model_across_crash_recovery(
+        ops in prop::collection::vec((any::<u8>(), 0i64..80), 10..60),
+        crash_at_frac in 0.2f64..0.8,
+        lo in 0i64..80,
+        hi in 0i64..80,
+    ) {
+        let disk: Arc<Disk> = Arc::new(Disk::new());
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        let crash_at = ((ops.len() as f64 * crash_at_frac) as usize).max(1);
+
+        let db = Database::with_store(disk.clone());
+        db.execute("CREATE TABLE t (id INT, v INT)").expect("ddl");
+        db.execute("CREATE INDEX idx_t_id ON t (id)").expect("index");
+        for &(op, key) in &ops[..crash_at] {
+            apply(&db, &mut model, op, key);
+        }
+        // crash: drop the instance with no shutdown ceremony
+        drop(db);
+
+        let (db, report) = Database::recover(disk).expect("recover");
+        prop_assert_eq!(report.loser_txns, 0);
+        // the index must have come back with the table
+        let t = db.catalog.table("t").expect("table after recovery");
+        prop_assert!(t.index_on("id").is_some());
+
+        // committed pre-crash state survived
+        let expect: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(table_state(&db), expect);
+
+        // the recovered instance keeps tracking the model
+        for &(op, key) in &ops[crash_at..] {
+            apply(&db, &mut model, op, key);
+        }
+        db.execute("ANALYZE t").expect("analyze");
+        let expect: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(table_state(&db), expect);
+
+        // index-driven range agrees with the model's range
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let expect_range: Vec<(i64, i64)> =
+            model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(range_state(&db, lo, hi), expect_range);
+
+        // spot-check point lookups through SQL against the model
+        for key in [lo, hi, 0, 79] {
+            let r = db
+                .execute(&format!("SELECT v FROM t WHERE id = {key}"))
+                .expect("point query");
+            let got: Vec<i64> = r
+                .rows()
+                .iter()
+                .map(|row| row.get(0).as_i64().expect("v"))
+                .collect();
+            match model.get(&key) {
+                Some(v) => prop_assert_eq!(got, vec![*v]),
+                None => prop_assert!(got.is_empty()),
+            }
+        }
+    }
+}
