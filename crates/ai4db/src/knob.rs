@@ -170,6 +170,10 @@ pub struct DbEnv<'a> {
     pub queries: Vec<String>,
     pub workload: WorkloadType,
     pub evals: usize,
+    /// Weight on the engine's p99 cost-per-query quantile: > 0 makes the
+    /// tuner optimize tail latency alongside total cost, the signal the
+    /// histogram-backed KPI snapshot now exposes.
+    pub tail_cost_weight: f64,
 }
 
 impl<'a> DbEnv<'a> {
@@ -179,7 +183,15 @@ impl<'a> DbEnv<'a> {
             queries,
             workload,
             evals: 0,
+            tail_cost_weight: 0.0,
         }
+    }
+
+    /// Penalize tail latency: add `weight * p99_cost_per_query` (from the
+    /// engine's cost histogram) to the measured cost of each evaluation.
+    pub fn with_tail_penalty(mut self, weight: f64) -> Self {
+        self.tail_cost_weight = weight.max(0.0);
+        self
     }
 }
 
@@ -211,6 +223,10 @@ impl TuningEnv for DbEnv<'_> {
         // wal_sync adds a simulated durability cost per write query
         let wal = level_value("wal_sync", config[2]) as f64;
         cost += wal * 5.0;
+        // optional tail-latency objective from the cost histogram
+        if self.tail_cost_weight > 0.0 {
+            cost += self.tail_cost_weight * self.db.kpis().p99_cost_per_query;
+        }
         1e4 / cost.max(1.0)
     }
 
@@ -492,6 +508,30 @@ mod tests {
         // knobs really applied
         let applied = db.knobs.get("buffer_pool_pages").unwrap();
         assert!(applied >= 1);
+    }
+
+    #[test]
+    fn tail_penalty_lowers_throughput() {
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let tuples: Vec<String> = (0..500).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+            .unwrap();
+        db.execute("ANALYZE").unwrap();
+        let queries = vec!["SELECT COUNT(*) FROM t".to_string()];
+        // prime the cost histogram so p99 is nonzero
+        db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert!(db.kpis().p99_cost_per_query > 0.0);
+        let cfg = default_config();
+        let mut plain = DbEnv::new(&db, queries.clone(), WorkloadType::Olap);
+        let tp_plain = plain.throughput(&cfg);
+        let mut penalized = DbEnv::new(&db, queries, WorkloadType::Olap).with_tail_penalty(10.0);
+        assert_eq!(penalized.tail_cost_weight, 10.0);
+        let tp_pen = penalized.throughput(&cfg);
+        assert!(
+            tp_pen < tp_plain,
+            "tail penalty should reduce throughput: {tp_pen} vs {tp_plain}"
+        );
     }
 
     #[test]

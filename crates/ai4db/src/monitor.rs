@@ -22,6 +22,8 @@ use rand::rngs::StdRng;
 
 use aimdb_common::synth::gaussian;
 use aimdb_common::{AimError, Result};
+use aimdb_engine::trace::QueryTrace;
+use aimdb_engine::KpiSnapshot;
 use aimdb_ml::bandit::{Bandit, BanditPolicy};
 use aimdb_ml::cluster::KMeans;
 use aimdb_ml::forecast::{Forecaster, SeasonalNaive};
@@ -102,6 +104,111 @@ pub fn rule_based_diagnosis(kpis: &[f64]) -> RootCause {
         RootCause::LockContention
     } else {
         RootCause::SlowDisk
+    }
+}
+
+/// Bridge a live engine [`KpiSnapshot`] into the diagnoser's 5-dim
+/// incident space `[cpu, buffer_hit_rate, disk_reads, lock_waits,
+/// latency_p95]`, each squashed into [0, 1] so live vectors are
+/// comparable with the synthetic incident history. The latency signal
+/// uses the histogram-backed p95 cost quantile the snapshot now carries.
+pub fn live_kpi_vector(k: &KpiSnapshot) -> Vec<f64> {
+    let squash = |x: f64| x / (1.0 + x);
+    let txns = (k.txns_committed + k.txns_aborted) as f64;
+    let abort_rate = if txns > 0.0 {
+        k.txns_aborted as f64 / txns
+    } else {
+        0.0
+    };
+    vec![
+        squash(k.avg_cost_per_query / 100.0),
+        k.buffer_hit_rate.clamp(0.0, 1.0),
+        squash(k.disk_reads as f64 / 1000.0),
+        abort_rate,
+        squash(k.p95_cost_per_query / 1000.0),
+    ]
+}
+
+/// Aggregate view over a window of completed query traces — the stream
+/// the engine's tracer publishes. Phase fractions tell a monitor *where*
+/// latency is going (optimizer-bound vs executor-bound workloads look
+/// completely different here at identical mean latency).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceProfile {
+    pub queries: usize,
+    /// Fraction of total traced wall time spent in each lifecycle phase.
+    pub parse_frac: f64,
+    pub optimize_frac: f64,
+    pub execute_frac: f64,
+    pub mean_rows: f64,
+    pub mean_cost: f64,
+    /// Buffer miss rate across traced executions (misses / accesses).
+    pub buffer_miss_rate: f64,
+}
+
+impl TraceProfile {
+    /// Fixed feature vector for monitors that consume the trace stream.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.queries as f64,
+            self.parse_frac,
+            self.optimize_frac,
+            self.execute_frac,
+            self.mean_rows,
+            self.mean_cost,
+            self.buffer_miss_rate,
+        ]
+    }
+}
+
+/// Summarize a window of query traces (accepts `&[Arc<QueryTrace>]`
+/// straight from `Database::recent_traces`).
+pub fn summarize_traces<T: AsRef<QueryTrace>>(traces: &[T]) -> TraceProfile {
+    if traces.is_empty() {
+        return TraceProfile::default();
+    }
+    let mut total_ns = 0u64;
+    let mut phase_ns = [0u64; 3];
+    let mut rows = 0u64;
+    let mut cost = 0.0;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for t in traces {
+        let t = t.as_ref();
+        total_ns += t.duration_ns();
+        for (i, phase) in ["parse", "optimize", "execute"].iter().enumerate() {
+            if let Some(s) = t.span(phase) {
+                phase_ns[i] += s.duration_ns();
+            }
+        }
+        rows += t.total_rows();
+        cost += t.total_cost();
+        for s in &t.spans {
+            hits += s.buffer_hits;
+            misses += s.buffer_misses;
+        }
+    }
+    let n = traces.len() as f64;
+    let frac = |ns: u64| {
+        if total_ns > 0 {
+            ns as f64 / total_ns as f64
+        } else {
+            0.0
+        }
+    };
+    let accesses = hits + misses;
+    TraceProfile {
+        queries: traces.len(),
+        parse_frac: frac(phase_ns[0]),
+        optimize_frac: frac(phase_ns[1]),
+        execute_frac: frac(phase_ns[2]),
+        mean_rows: rows as f64 / n,
+        mean_cost: cost / n,
+        buffer_miss_rate: if accesses > 0 {
+            misses as f64 / accesses as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -341,6 +448,56 @@ pub fn monitor_oracle(stream: &mut ActivityStream, steps: usize, budget: usize) 
 mod tests {
     use super::*;
     use aimdb_common::synth::seasonal_trace;
+
+    #[test]
+    fn live_kpi_vector_is_bounded_and_ordered() {
+        let mut k = KpiSnapshot::default();
+        let v = live_kpi_vector(&k);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)), "{v:?}");
+        // a hotter snapshot moves every dimension monotonically
+        k.avg_cost_per_query = 500.0;
+        k.buffer_hit_rate = 0.4;
+        k.disk_reads = 5000;
+        k.txns_committed = 10;
+        k.txns_aborted = 30;
+        k.p95_cost_per_query = 8000.0;
+        let hot = live_kpi_vector(&k);
+        assert!(hot.iter().all(|&x| (0.0..=1.0).contains(&x)), "{hot:?}");
+        assert!(hot[0] > v[0] && hot[2] > v[2] && hot[3] > v[3] && hot[4] > v[4]);
+        // live vectors are diagnosable by the trained pipeline
+        let history = generate_incidents(200, 0.1, 9);
+        let diag = KpiDiagnoser::train(&history, 4, 7).unwrap();
+        let _ = diag.diagnose(&hot);
+    }
+
+    #[test]
+    fn summarize_traces_profiles_the_stream() {
+        use aimdb_engine::Database;
+        assert_eq!(
+            summarize_traces::<std::sync::Arc<QueryTrace>>(&[]).queries,
+            0
+        );
+        let db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let tuples: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
+        db.execute(&format!("INSERT INTO t VALUES {}", tuples.join(",")))
+            .unwrap();
+        for _ in 0..4 {
+            db.execute("SELECT COUNT(*) FROM t WHERE a < 100").unwrap();
+        }
+        let traces = db.recent_traces();
+        assert!(!traces.is_empty());
+        let p = summarize_traces(&traces);
+        assert_eq!(p.queries, traces.len());
+        let fracs = p.parse_frac + p.optimize_frac + p.execute_frac;
+        assert!(
+            (0.0..=1.0 + 1e-9).contains(&fracs),
+            "phase fractions {fracs}"
+        );
+        assert!(p.mean_cost > 0.0);
+        assert_eq!(p.features().len(), 7);
+    }
 
     #[test]
     fn diagnoser_beats_rules_under_noise() {

@@ -9,7 +9,12 @@
 //! ```text
 //! exec_bench            # 60k rows, 10 timed iterations per executor
 //! exec_bench --smoke    # 20k rows, 3 iterations (CI gate)
+//! exec_bench --trace    # tracing-overhead check: traced vs untraced
 //! ```
+//!
+//! `--trace` times the full query lifecycle (`Database::execute`) over
+//! the same workload with `query_tracing` on vs off, interleaved
+//! min-of-N, and exits nonzero if tracing costs more than 5%.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -23,6 +28,8 @@ use aimdb_sql::{parse, Statement};
 
 const BATCH_SIZE: usize = 1024;
 const SPEEDUP_FLOOR: f64 = 2.0;
+/// Tracing must cost less than 5% of end-to-end query latency.
+const TRACE_OVERHEAD_CEILING: f64 = 1.05;
 
 fn setup(db: &Database, n_rows: usize, rng: &mut StdRng) -> Result<()> {
     db.execute("CREATE TABLE events (id INT, grp INT, cat TEXT, amt FLOAT, qty INT)")?;
@@ -89,8 +96,70 @@ fn time_runs<F: FnMut() -> Result<usize>>(
     (clock.now_secs() - t0, rows)
 }
 
+/// One timed pass of the full workload through `Database::execute`
+/// (parse → optimize → execute, tracing per the current knob setting).
+fn workload_pass(db: &Database, clock: &WallClock) -> f64 {
+    let t0 = clock.now_secs();
+    for sql in WORKLOAD {
+        if let Err(e) = db.execute(sql) {
+            eprintln!("workload execution failed ({e}): {sql}");
+            std::process::exit(2);
+        }
+    }
+    clock.now_secs() - t0
+}
+
+/// Tracing-overhead check: interleave traced / untraced passes of the
+/// full workload, compare the minimum pass time of each mode (min-of-N
+/// is robust to scheduler noise), and fail if tracing costs > 5%.
+fn trace_overhead(db: &Database, clock: &WallClock, smoke: bool) {
+    let passes = if smoke { 5 } else { 9 };
+    let set_tracing = |on: bool| {
+        let v = i64::from(on);
+        if let Err(e) = db.execute(&format!("SET query_tracing = {v}")) {
+            eprintln!("SET query_tracing failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    // warm both paths (plan caches, buffer pool, lazily-built stats)
+    set_tracing(true);
+    workload_pass(db, clock);
+    set_tracing(false);
+    workload_pass(db, clock);
+
+    let (mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..passes {
+        set_tracing(true);
+        best_on = best_on.min(workload_pass(db, clock));
+        set_tracing(false);
+        best_off = best_off.min(workload_pass(db, clock));
+    }
+    let ratio = best_on / best_off.max(1e-9);
+    println!(
+        "exec_bench --trace: traced {:.2}ms vs untraced {:.2}ms per pass ({:+.2}% overhead, {passes} passes)",
+        best_on * 1e3,
+        best_off * 1e3,
+        (ratio - 1.0) * 100.0
+    );
+    let traces = db.recent_traces().len();
+    println!("exec_bench --trace: {traces} trace(s) in the ring");
+    if traces == 0 {
+        eprintln!("FAIL: tracing produced no traces");
+        std::process::exit(1);
+    }
+    if ratio > TRACE_OVERHEAD_CEILING {
+        eprintln!(
+            "FAIL: tracing overhead {:.2}% exceeds the {:.0}% ceiling",
+            (ratio - 1.0) * 100.0,
+            (TRACE_OVERHEAD_CEILING - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let trace = std::env::args().any(|a| a == "--trace");
     let (n_rows, iters) = if smoke { (20_000, 3) } else { (60_000, 10) };
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -101,6 +170,10 @@ fn main() {
     }
 
     let clock = WallClock::new();
+    if trace {
+        trace_overhead(&db, &clock, smoke);
+        return;
+    }
     let fns = BuiltinFns;
     let mut total_row = 0.0f64;
     let mut total_batch = 0.0f64;

@@ -1,0 +1,171 @@
+//! Experiment A6: estimate-vs-actual cardinality Q-error distribution.
+//!
+//! Seeds the A5 `events` table, generates a corpus of filter / group-by /
+//! join queries with varying selectivities, runs each through
+//! `EXPLAIN ANALYZE` (the instrumented vectorized pipeline), and prints
+//! the distribution of per-node `QEvalError` — the signal a learned
+//! cardinality estimator (E3) would train on.
+//!
+//! ```text
+//! qerr_corpus            # 400 queries
+//! qerr_corpus --smoke    # 80 queries (CI-sized)
+//! ```
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use aimdb_common::Result;
+use aimdb_engine::Database;
+use aimdb_sql::{parse, Statement};
+
+fn setup(db: &Database, n_rows: usize, rng: &mut StdRng) -> Result<()> {
+    db.execute("CREATE TABLE events (id INT, grp INT, cat TEXT, amt FLOAT, qty INT)")?;
+    db.execute("CREATE TABLE grps (g INT, region TEXT)")?;
+    let cats = ["alpha", "beta", "gamma", "delta", "omega"];
+    let ids: Vec<usize> = (0..n_rows).collect();
+    for chunk in ids.chunks(500) {
+        let rows: Vec<String> = chunk
+            .iter()
+            .map(|&i| {
+                format!(
+                    "({i}, {}, '{}', {:.2}, {})",
+                    rng.gen_range(0..100),
+                    cats[rng.gen_range(0..cats.len())],
+                    rng.gen_range(0.0..500.0),
+                    rng.gen_range(1..9)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO events VALUES {}", rows.join(",")))?;
+    }
+    let regions = ["north", "south", "east", "west"];
+    let grows: Vec<String> = (0..100)
+        .map(|g| format!("({g}, '{}')", regions[g % regions.len()]))
+        .collect();
+    db.execute(&format!("INSERT INTO grps VALUES {}", grows.join(",")))?;
+    db.execute("ANALYZE")?;
+    Ok(())
+}
+
+/// One random query from the A6 corpus families.
+fn gen_query(rng: &mut StdRng) -> String {
+    let cats = ["alpha", "beta", "gamma", "delta", "omega"];
+    match rng.gen_range(0..5) {
+        // range filter with random selectivity
+        0 => format!(
+            "SELECT COUNT(*) FROM events WHERE amt < {:.1}",
+            rng.gen_range(5.0..500.0)
+        ),
+        // conjunctive filter (independence assumption stressor)
+        1 => format!(
+            "SELECT COUNT(*), AVG(amt) FROM events WHERE qty > {} AND grp < {}",
+            rng.gen_range(0..8),
+            rng.gen_range(5..100)
+        ),
+        // equality on a text column + group-by
+        2 => format!(
+            "SELECT grp, COUNT(*) FROM events WHERE cat = '{}' GROUP BY grp",
+            cats[rng.gen_range(0..cats.len())]
+        ),
+        // join with a filtered build side
+        3 => format!(
+            "SELECT COUNT(*) FROM events, grps WHERE grp = g AND g < {}",
+            rng.gen_range(5..100)
+        ),
+        // projection over a filtered scan with LIMIT
+        _ => format!(
+            "SELECT id, amt * 2 FROM events WHERE amt > {:.1} LIMIT {}",
+            rng.gen_range(100.0..480.0),
+            rng.gen_range(1..200)
+        ),
+    }
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64) as usize).min(sorted.len() - 1);
+    sorted[idx]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_queries = if smoke { 80 } else { 400 };
+    let n_rows = if smoke { 10_000 } else { 30_000 };
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let db = Database::new();
+    if let Err(e) = setup(&db, n_rows, &mut rng) {
+        eprintln!("qerr_corpus setup failed: {e}");
+        std::process::exit(2);
+    }
+
+    let mut node_qerrs: Vec<f64> = Vec::new();
+    let mut plan_qerrs: Vec<f64> = Vec::new();
+    let mut per_op: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
+    for _ in 0..n_queries {
+        let sql = gen_query(&mut rng);
+        let stmts = parse(&sql).unwrap_or_else(|e| {
+            eprintln!("bad corpus SQL ({e}): {sql}");
+            std::process::exit(2);
+        });
+        let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+            eprintln!("corpus entry is not a SELECT: {sql}");
+            std::process::exit(2);
+        };
+        let report = db.explain_analyze(&sel).unwrap_or_else(|e| {
+            eprintln!("EXPLAIN ANALYZE failed ({e}): {sql}");
+            std::process::exit(2);
+        });
+        plan_qerrs.push(report.max_q_error());
+        for n in &report.nodes {
+            node_qerrs.push(n.q_error);
+            per_op.entry(n.name).or_default().push(n.q_error);
+        }
+    }
+
+    node_qerrs.sort_by(|a, b| a.total_cmp(b));
+    plan_qerrs.sort_by(|a, b| a.total_cmp(b));
+    let within = |v: &[f64], bound: f64| {
+        100.0 * v.iter().filter(|&&q| q <= bound).count() as f64 / v.len().max(1) as f64
+    };
+    println!(
+        "qerr_corpus: {n_queries} queries, {} plan nodes ({n_rows} rows{})",
+        node_qerrs.len(),
+        if smoke { ", smoke" } else { "" }
+    );
+    println!(
+        "  per-node QEvalError: p50={:.2} p90={:.2} p99={:.2} max={:.1}  (<=2: {:.1}%, <=10: {:.1}%)",
+        quantile(&node_qerrs, 0.50),
+        quantile(&node_qerrs, 0.90),
+        quantile(&node_qerrs, 0.99),
+        node_qerrs.last().copied().unwrap_or(0.0),
+        within(&node_qerrs, 2.0),
+        within(&node_qerrs, 10.0),
+    );
+    println!(
+        "  per-plan max QEvalError: p50={:.2} p90={:.2} p99={:.2} max={:.1}",
+        quantile(&plan_qerrs, 0.50),
+        quantile(&plan_qerrs, 0.90),
+        quantile(&plan_qerrs, 0.99),
+        plan_qerrs.last().copied().unwrap_or(0.0),
+    );
+    for (op, mut v) in per_op {
+        v.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "  {op:<17} n={:<5} p50={:.2} p90={:.2} max={:.1}",
+            v.len(),
+            quantile(&v, 0.50),
+            quantile(&v, 0.90),
+            v.last().copied().unwrap_or(0.0),
+        );
+    }
+    // sanity gate: scans are exact, so the p50 node must be near-perfect
+    if quantile(&node_qerrs, 0.50) > 2.0 {
+        eprintln!("FAIL: median per-node QEvalError above 2");
+        std::process::exit(1);
+    }
+}

@@ -582,6 +582,14 @@ pub fn e13() -> Report {
 
 /// E14 — data governance: discovery, cleaning, labeling, lineage.
 pub fn e14() -> Report {
+    try_e14().unwrap_or_else(|e| {
+        let mut r = Report::new("E14", "data governance for AI");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e14() -> aimdb_common::Result<Report> {
     use aimdb_db4ai::cleaning::*;
     use aimdb_db4ai::discovery::*;
     use aimdb_db4ai::labeling::*;
@@ -589,7 +597,7 @@ pub fn e14() -> Report {
     let mut r = Report::new("E14", "data governance for AI");
     // discovery
     let (nodes, truth) = generate_corpus(1);
-    let ekg = Ekg::build(nodes.clone(), 0.3, 0.6).expect("ekg");
+    let ekg = Ekg::build(nodes.clone(), 0.3, 0.6)?;
     let related = ekg.related_columns("customers", "cust_id");
     let found: std::collections::HashSet<String> = related.iter().map(|(n, _)| n.id()).collect();
     let recall = truth.intersection(&found).count() as f64 / truth.len() as f64;
@@ -600,20 +608,20 @@ pub fn e14() -> Report {
         by_name.len()
     ));
     // cleaning
-    let task = CleaningTask::generate(600, 200, 0.25, 7).expect("task");
-    let rand_c = run_cleaning(&task, CleanPolicy::Random, 25, 6, 1).expect("rand");
-    let act_c = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 6, 1).expect("active");
-    let ora_c = run_cleaning(&task, CleanPolicy::Oracle, 25, 6, 1).expect("oracle");
+    let task = CleaningTask::generate(600, 200, 0.25, 7)?;
+    let rand_c = run_cleaning(&task, CleanPolicy::Random, 25, 6, 1)?;
+    let act_c = run_cleaning(&task, CleanPolicy::ActiveClean, 25, 6, 1)?;
+    let ora_c = run_cleaning(&task, CleanPolicy::Oracle, 25, 6, 1)?;
     r.row(format!(
         "cleaning (150 records): R² none {:.3} → random {:.3}, activeclean {:.3}, oracle {:.3}",
         rand_c[0].test_r2,
-        rand_c.last().expect("curve").test_r2,
-        act_c.last().expect("curve").test_r2,
-        ora_c.last().expect("curve").test_r2
+        last_r2(&rand_c)?,
+        last_r2(&act_c)?,
+        last_r2(&ora_c)?
     ));
     // labeling
     let c = Campaign::typical(400);
-    let frontier = cost_accuracy_frontier(&c, &[1, 3, 5, 7], 5).expect("frontier");
+    let frontier = cost_accuracy_frontier(&c, &[1, 3, 5, 7], 5)?;
     r.row("labeling (votes → MV acc / DS acc / cost):".into());
     for (mv, ds) in &frontier {
         r.row(format!(
@@ -623,12 +631,10 @@ pub fn e14() -> Report {
     }
     // lineage
     let mut g = LineageGraph::new();
-    g.add_source("raw").expect("src");
-    g.derive("clean", ArtifactKind::DerivedTable, "activeclean", &["raw"])
-        .expect("d");
-    g.derive("model", ArtifactKind::Model, "train", &["clean"])
-        .expect("d");
-    let stale = g.source_changed("raw").expect("change");
+    g.add_source("raw")?;
+    g.derive("clean", ArtifactKind::DerivedTable, "activeclean", &["raw"])?;
+    g.derive("model", ArtifactKind::Model, "train", &["clean"])?;
+    let stale = g.source_changed("raw")?;
     r.row(format!(
         "lineage: raw change marks {} artifacts stale; refresh plan {:?}",
         stale.len(),
@@ -638,26 +644,43 @@ pub fn e14() -> Report {
             .collect::<Vec<_>>()
     ));
     r.row("expected shape: EKG ≫ name-match; activeclean > random; DS ≥ MV at every budget".into());
-    r
+    Ok(r)
+}
+
+/// Final test-R² of a cleaning curve (errors instead of panicking on an
+/// empty curve so the harness reports rather than aborts).
+fn last_r2(curve: &[aimdb_db4ai::cleaning::CleanPoint]) -> aimdb_common::Result<f64> {
+    curve
+        .last()
+        .map(|p| p.test_r2)
+        .ok_or_else(|| aimdb_common::AimError::Execution("empty cleaning curve".into()))
 }
 
 /// E15 — training acceleration: features, model selection, accelerator.
 pub fn e15() -> Report {
+    try_e15().unwrap_or_else(|e| {
+        let mut r = Report::new("E15", "training acceleration");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e15() -> aimdb_common::Result<Report> {
     use aimdb_db4ai::accel::*;
     use aimdb_db4ai::features::*;
     use aimdb_db4ai::selection::*;
     let mut r = Report::new("E15", "training acceleration");
     let (x, y) = nonlinear_problem(300, 4, 2);
-    let (_, score_n, ops_naive) = forward_select(x.clone(), &y, 3, false, 7).expect("naive");
-    let (_, score_m, ops_mat) = forward_select(x, &y, 3, true, 7).expect("mat");
+    let (_, score_n, ops_naive) = forward_select(x.clone(), &y, 3, false, 7)?;
+    let (_, score_m, ops_mat) = forward_select(x, &y, 3, true, 7)?;
     r.row(format!(
         "feature selection: naive {ops_naive} compute-ops vs materialized {ops_mat} (same R² {score_n:.3}/{score_m:.3})"
     ));
-    let (train, valid) = classification_problem(6000, 2).expect("problem");
+    let (train, valid) = classification_problem(6000, 2)?;
     let grid = Config::grid();
-    let serial = select_serial(&grid, &train, &valid).expect("serial");
-    let parallel = select_parallel(&grid, &train, &valid, 4).expect("parallel");
-    let halving = select_halving(&grid, &train, &valid).expect("halving");
+    let serial = select_serial(&grid, &train, &valid)?;
+    let parallel = select_parallel(&grid, &train, &valid, 4)?;
+    let halving = select_halving(&grid, &train, &valid)?;
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -685,7 +708,7 @@ pub fn e15() -> Report {
         r.row(format!("crossover batch size (4 host threads): {x}"));
     }
     r.row("expected shape: materialization halves ops; parallel scales with cores; offload flips at the crossover".into());
-    r
+    Ok(r)
 }
 
 /// E16 — in-database inference + hybrid DB&AI pushdown.

@@ -1,0 +1,209 @@
+//! `EXPLAIN ANALYZE`: render a physical plan annotated with the actual
+//! rows / batches / wall time / cost units each operator produced,
+//! next to the optimizer's estimates.
+//!
+//! The estimate-vs-actual gap per node is surfaced as `QEvalError` — the
+//! Q-error `max(est, actual) / min(est, actual)` (both clamped to ≥ 1) —
+//! which is exactly the training signal learned cardinality estimation
+//! (E3) consumes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use aimdb_trace::OpProfile;
+
+use crate::exec::{OpKey, OpStats};
+use crate::plan::{PhysOp, PhysicalPlan};
+
+/// Estimates, actuals and the Q-error for one plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeActuals {
+    /// Preorder plan-node id (root = 0), matching `EXPLAIN` line order.
+    pub node: usize,
+    /// Preorder id of the parent node; `None` for the root.
+    pub parent: Option<usize>,
+    /// Executor operator name (e.g. `hash_join`).
+    pub name: &'static str,
+    pub est_rows: f64,
+    pub est_cost: f64,
+    pub rows: u64,
+    pub batches: u64,
+    /// Inclusive wall time spent in this node's subtree.
+    pub ns: u64,
+    /// Inclusive cost units charged in this node's subtree.
+    pub cost_units: f64,
+    /// `QEvalError`: Q-error between estimated and actual cardinality.
+    pub q_error: f64,
+}
+
+/// The result of `EXPLAIN ANALYZE`: the annotated plan text plus the
+/// per-node actuals in preorder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzeReport {
+    pub text: String,
+    pub nodes: Vec<NodeActuals>,
+    /// Rows the query returned.
+    pub result_rows: u64,
+    /// Total cost units charged by the execution.
+    pub total_cost: f64,
+}
+
+impl AnalyzeReport {
+    /// The root node's actuals.
+    pub fn root(&self) -> Option<&NodeActuals> {
+        self.nodes.first()
+    }
+
+    /// Worst per-node cardinality Q-error in the plan.
+    pub fn max_q_error(&self) -> f64 {
+        self.nodes.iter().map(|n| n.q_error).fold(1.0, f64::max)
+    }
+}
+
+/// Q-error between an estimated and an actual cardinality, both clamped
+/// to ≥ 1 so empty results don't divide by zero: `max(e,a) / min(e,a)`.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let e = est.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
+
+/// Executor operator name for a plan node — must match the names the
+/// vectorized executor records (`exec_batch::build`); checked by the
+/// `explain_analyze_names_match_executor` test in `db.rs`.
+pub(crate) fn op_name(op: &PhysOp) -> &'static str {
+    match op {
+        PhysOp::SeqScan { .. } => "seq_scan",
+        PhysOp::IndexScan { .. } => "index_scan",
+        PhysOp::Filter { .. } => "filter",
+        PhysOp::Project { .. } => "project",
+        PhysOp::NestedLoopJoin { .. } => "nested_loop_join",
+        PhysOp::HashJoin { .. } => "hash_join",
+        PhysOp::Aggregate { .. } => "aggregate",
+        PhysOp::Sort { .. } => "sort",
+        PhysOp::Limit { .. } => "limit",
+        PhysOp::Values { .. } => "values",
+    }
+}
+
+/// Per-node actuals in preorder, from the executor's (operator, node)
+/// keyed counters. Nodes the executor never pulled report zeros.
+pub(crate) fn node_actuals(plan: &PhysicalPlan, ops: &[(OpKey, OpStats)]) -> Vec<NodeActuals> {
+    let by_node: BTreeMap<usize, OpStats> = ops.iter().map(|&((_, node), st)| (node, st)).collect();
+    let mut out = Vec::with_capacity(plan.node_count());
+    walk(plan, None, &mut 0, &by_node, &mut out);
+    out
+}
+
+fn walk(
+    plan: &PhysicalPlan,
+    parent: Option<usize>,
+    next_id: &mut usize,
+    by_node: &BTreeMap<usize, OpStats>,
+    out: &mut Vec<NodeActuals>,
+) {
+    let node = *next_id;
+    *next_id += 1;
+    let st = by_node.get(&node).copied().unwrap_or_default();
+    out.push(NodeActuals {
+        node,
+        parent,
+        name: op_name(&plan.op),
+        est_rows: plan.est_rows,
+        est_cost: plan.est_cost,
+        rows: st.rows,
+        batches: st.batches,
+        ns: st.ns,
+        cost_units: st.cost_units,
+        q_error: q_error(plan.est_rows, st.rows as f64),
+    });
+    for child in plan.children() {
+        walk(child, Some(node), next_id, by_node, out);
+    }
+}
+
+/// The operator profile attached to query traces: same preorder walk,
+/// without estimates.
+pub(crate) fn op_profiles(plan: &PhysicalPlan, ops: &[(OpKey, OpStats)]) -> Vec<OpProfile> {
+    node_actuals(plan, ops)
+        .into_iter()
+        .map(|n| OpProfile {
+            node: n.node,
+            parent: n.parent,
+            name: n.name,
+            rows: n.rows,
+            batches: n.batches,
+            ns: n.ns,
+            cost_units: n.cost_units,
+        })
+        .collect()
+}
+
+/// Assemble the report: annotated plan tree + per-node actuals.
+pub(crate) fn build_report(
+    plan: &PhysicalPlan,
+    ops: &[(OpKey, OpStats)],
+    result_rows: u64,
+    total_cost: f64,
+) -> AnalyzeReport {
+    let nodes = node_actuals(plan, ops);
+    let mut text = String::new();
+    render(plan, &nodes, &mut 0, 0, &mut text);
+    let max_q = nodes.iter().map(|n| n.q_error).fold(1.0, f64::max);
+    let _ = writeln!(
+        text,
+        "Total: rows={result_rows} cost={total_cost:.1} max QEvalError={max_q:.2}"
+    );
+    AnalyzeReport {
+        text,
+        nodes,
+        result_rows,
+        total_cost,
+    }
+}
+
+fn render(
+    plan: &PhysicalPlan,
+    nodes: &[NodeActuals],
+    next_id: &mut usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let node = *next_id;
+    *next_id += 1;
+    let pad = "  ".repeat(depth);
+    let line = plan.describe();
+    if let Some(n) = nodes.get(node) {
+        let ms = n.ns as f64 / 1e6;
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (rows≈{:.0} cost≈{:.1}) (actual rows={} batches={} time={ms:.3}ms cost={:.1}) QEvalError={:.2}",
+            n.est_rows, n.est_cost, n.rows, n.batches, n.cost_units, n.q_error
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (rows≈{:.0} cost≈{:.1})",
+            plan.est_rows, plan.est_cost
+        );
+    }
+    for child in plan.children() {
+        render(child, nodes, next_id, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q_error_is_symmetric_and_clamped() {
+        assert_eq!(q_error(10.0, 10.0), 1.0);
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        // both sides clamp to >= 1: empty estimates/results are finite
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+        assert_eq!(q_error(0.0, 5.0), 5.0);
+        assert_eq!(q_error(5.0, 0.0), 5.0);
+    }
+}

@@ -7,16 +7,18 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use aimdb_common::{AimError, Column, Result, Row, Schema, Value, WallClock};
+use aimdb_common::{AimError, Clock, Column, Result, Row, Schema, Value, WallClock};
 use aimdb_sql::ast::{ModelKind, Select, Statement};
 use aimdb_sql::expr::{BuiltinFns, ScalarFns};
 use aimdb_sql::parser::{parse, parse_one};
 use aimdb_sql::Expr;
 use aimdb_storage::wal::{CheckpointData, IndexSnapshot, LogRecord, TableSnapshot};
 use aimdb_storage::{scan_wal, BufferPool, Disk, DiskSink, PageStore, RowId, Wal};
+use aimdb_trace::{validate_exposition, QueryTrace, TraceBuilder, Tracer};
 
+use crate::analyze::AnalyzeReport;
 use crate::catalog::{Catalog, Table};
-use crate::exec::{execute, ExecContext};
+use crate::exec::{execute, ExecContext, OpKey, OpStats};
 use crate::exec_batch::execute_batched;
 use crate::knobs::Knobs;
 use crate::metrics::{KpiSnapshot, Metrics};
@@ -100,6 +102,44 @@ impl ScalarFns for EngineFns {
     }
 }
 
+/// Truncate raw SQL to a short trace label (whole chars, max 120).
+fn trim_label(sql: &str) -> String {
+    let trimmed = sql.trim();
+    match trimmed.char_indices().nth(120) {
+        Some((i, _)) => format!("{}…", &trimmed[..i]),
+        None => trimmed.to_string(),
+    }
+}
+
+/// Statement-kind label for traces entering through `execute_stmt`.
+fn stmt_label(stmt: &Statement) -> &'static str {
+    match stmt {
+        Statement::CreateTable { .. } => "CREATE TABLE",
+        Statement::DropTable { .. } => "DROP TABLE",
+        Statement::CreateIndex { .. } => "CREATE INDEX",
+        Statement::DropIndex { .. } => "DROP INDEX",
+        Statement::Insert { .. } => "INSERT",
+        Statement::Select(_) => "SELECT",
+        Statement::Update { .. } => "UPDATE",
+        Statement::Delete { .. } => "DELETE",
+        Statement::Begin => "BEGIN",
+        Statement::Commit => "COMMIT",
+        Statement::Rollback => "ROLLBACK",
+        Statement::Explain(_) => "EXPLAIN",
+        Statement::ExplainAnalyze(_) => "EXPLAIN ANALYZE",
+        Statement::Analyze { .. } => "ANALYZE",
+        Statement::Set { .. } => "SET",
+        Statement::CreateModel { .. } => "CREATE MODEL",
+        Statement::DropModel { .. } => "DROP MODEL",
+        Statement::Predict { .. } => "PREDICT",
+    }
+}
+
+/// Label for plans executed directly (no SQL text available).
+fn plan_label(plan: &PhysicalPlan) -> String {
+    format!("plan: {}", plan.describe())
+}
+
 /// An in-process database instance.
 ///
 /// ```
@@ -118,6 +158,10 @@ pub struct Database {
     pub wal: Wal,
     pub knobs: Knobs,
     pub metrics: Metrics,
+    /// Completed-query trace ring + slow-query log.
+    pub tracer: Tracer,
+    /// Clock used to time spans and operators (swappable for tests).
+    clock: RwLock<Arc<dyn Clock>>,
     stats: RwLock<HashMap<String, TableStats>>,
     txn: Mutex<TxnManager>,
     estimator: RwLock<Arc<dyn CardEstimator>>,
@@ -165,6 +209,10 @@ impl Database {
         let wal = Wal::with_sink(Box::new(DiskSink::new(Arc::clone(&store))));
         let sync = knobs.get("wal_sync").map(|v| v != 0).unwrap_or(true);
         wal.set_sync_on_commit(sync);
+        let tracer = Tracer::default();
+        if let Ok(threshold) = knobs.get("slow_query_cost_threshold") {
+            tracer.set_slow_threshold(threshold as f64);
+        }
         Database {
             store,
             pool,
@@ -172,6 +220,8 @@ impl Database {
             wal,
             knobs,
             metrics: Metrics::new(),
+            tracer,
+            clock: RwLock::new(Arc::new(WallClock::new())),
             stats: RwLock::new(HashMap::new()),
             txn: Mutex::new(TxnManager::new()),
             estimator: RwLock::new(Arc::new(HistogramEstimator)),
@@ -417,10 +467,38 @@ impl Database {
         self.metrics.snapshot(b.hit_rate(), d.reads, d.writes)
     }
 
-    /// Execute one SQL statement.
+    /// Execute one SQL statement. With `query_tracing` on (the default)
+    /// the whole lifecycle — parse, optimize, verify, execute — runs
+    /// under a trace recorded into [`Database::tracer`].
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_one(sql)?;
-        self.execute_stmt(&stmt)
+        if !self.tracing_enabled() {
+            let stmt = parse_one(sql)?;
+            let out = self.dispatch(&stmt, None);
+            if out.is_err() {
+                self.metrics.record_error();
+            }
+            return out;
+        }
+        let clock = self.clock();
+        let mut tb = TraceBuilder::new(clock.as_ref(), trim_label(sql));
+        let pid = tb.open("parse");
+        let parsed = parse_one(sql);
+        tb.close(pid);
+        let stmt = match parsed {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                self.tracer.record(tb.finish());
+                return Err(e);
+            }
+        };
+        let out = self.dispatch(&stmt, Some(&mut tb));
+        if out.is_err() {
+            self.metrics.record_error();
+        }
+        if self.tracing_enabled() {
+            self.tracer.record(tb.finish());
+        }
+        out
     }
 
     /// Execute a `;`-separated script, returning each statement's result.
@@ -428,16 +506,48 @@ impl Database {
         parse(sql)?.iter().map(|s| self.execute_stmt(s)).collect()
     }
 
-    /// Execute a parsed statement.
+    /// Execute a parsed statement (traced like [`Database::execute`],
+    /// minus the parse span).
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
-        let out = self.dispatch(stmt);
+        if !self.tracing_enabled() {
+            let out = self.dispatch(stmt, None);
+            if out.is_err() {
+                self.metrics.record_error();
+            }
+            return out;
+        }
+        let clock = self.clock();
+        let mut tb = TraceBuilder::new(clock.as_ref(), stmt_label(stmt));
+        let out = self.dispatch(stmt, Some(&mut tb));
         if out.is_err() {
             self.metrics.record_error();
+        }
+        if self.tracing_enabled() {
+            self.tracer.record(tb.finish());
         }
         out
     }
 
-    fn dispatch(&self, stmt: &Statement) -> Result<QueryResult> {
+    fn tracing_enabled(&self) -> bool {
+        self.knobs.get("query_tracing").unwrap_or(1) != 0
+    }
+
+    /// The injected clock used for span and operator timing.
+    fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock.read())
+    }
+
+    /// Swap the timing clock (a `ManualClock` makes traces deterministic
+    /// in tests).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write() = clock;
+    }
+
+    fn dispatch(
+        &self,
+        stmt: &Statement,
+        mut tb: Option<&mut TraceBuilder<'_>>,
+    ) -> Result<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
@@ -494,8 +604,19 @@ impl Database {
                 rows,
             } => self.exec_insert(table, columns.as_deref(), rows),
             Statement::Select(sel) => {
-                let plan = self.plan(sel)?;
-                self.run_plan(&plan)
+                let plan = {
+                    let oid = tb.as_deref_mut().map(|t| t.open("optimize"));
+                    let plan = self.plan(sel);
+                    if let (Some(t), Some(id)) = (tb.as_deref_mut(), oid) {
+                        t.close(id);
+                    }
+                    plan?
+                };
+                let (rows, _) = self.exec_plan_traced(&plan, tb)?;
+                Ok(QueryResult::Rows {
+                    schema: plan.schema.clone(),
+                    rows,
+                })
             }
             Statement::Update {
                 table,
@@ -530,6 +651,15 @@ impl Database {
                 }
                 other => Ok(QueryResult::Text(format!("{other:?}"))),
             },
+            Statement::ExplainAnalyze(inner) => match inner.as_ref() {
+                Statement::Select(sel) => {
+                    let report = self.explain_analyze_traced(sel, tb)?;
+                    Ok(QueryResult::Text(report.text))
+                }
+                other => Err(AimError::Plan(format!(
+                    "EXPLAIN ANALYZE supports SELECT statements, got {other:?}"
+                ))),
+            },
             Statement::Analyze { table } => {
                 let names = match table {
                     Some(t) => vec![t.clone()],
@@ -550,6 +680,9 @@ impl Database {
                 }
                 if knob.eq_ignore_ascii_case("wal_sync") {
                     self.wal.set_sync_on_commit(applied != 0);
+                }
+                if knob.eq_ignore_ascii_case("slow_query_cost_threshold") {
+                    self.tracer.set_slow_threshold(applied as f64);
                 }
                 Ok(QueryResult::Text(format!("set {knob} = {applied}")))
             }
@@ -635,36 +768,183 @@ impl Database {
         self.exec_plan(plan)
     }
 
-    /// The single plan-execution path: verify (debug builds), dispatch to
-    /// the vectorized or row executor per the `vectorized_exec` knob, and
-    /// flush per-operator and per-query metrics.
+    /// The single plan-execution path. Entry point for callers that hold
+    /// a plan but no statement-level trace (tuners, learned-optimizer
+    /// experiments): starts its own trace when tracing is enabled.
     fn exec_plan(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
+        if !self.tracing_enabled() {
+            return self.exec_plan_traced(plan, None);
+        }
+        let clock = self.clock();
+        let mut tb = TraceBuilder::new(clock.as_ref(), plan_label(plan));
+        let out = self.exec_plan_traced(plan, Some(&mut tb));
+        self.tracer.record(tb.finish());
+        out
+    }
+
+    /// Verify (debug builds), dispatch to the vectorized or row executor
+    /// per the `vectorized_exec` knob, flush per-operator and per-query
+    /// metrics, and — when a trace is active — record verify/execute
+    /// spans, buffer-pool deltas and the operator profile.
+    fn exec_plan_traced(
+        &self,
+        plan: &PhysicalPlan,
+        mut tb: Option<&mut TraceBuilder<'_>>,
+    ) -> Result<(Vec<Row>, f64)> {
         // Debug builds statically verify every plan before running it, so
         // the whole test suite doubles as a verifier soak test.
         #[cfg(debug_assertions)]
-        crate::verify::verify(plan, &self.catalog)?;
+        {
+            let vid = tb.as_deref_mut().map(|t| t.open("verify"));
+            crate::verify::verify(plan, &self.catalog)?;
+            if let (Some(t), Some(id)) = (tb.as_deref_mut(), vid) {
+                t.close(id);
+            }
+        }
         let fns = EngineFns {
             hook: self.hook.read().clone(),
         };
         let vectorized = self.knobs.get("vectorized_exec").unwrap_or(1) != 0;
-        let clock = WallClock::new();
-        let (rows, cost) = if vectorized {
+        let clock = self.clock();
+        let eid = tb.as_deref_mut().map(|t| t.open("execute"));
+        let pool_before = tb.is_some().then(|| self.pool.stats());
+        let (rows, cost, ops) = if vectorized {
             let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
-            let ctx = ExecContext::with_clock(&self.catalog, &fns, &clock);
+            let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
             let rows = execute_batched(plan, &ctx, bs)?;
-            for (name, stats) in ctx.take_op_stats() {
-                self.metrics.record_operator(name, stats);
-            }
+            let ops = ctx.take_op_stats();
+            self.flush_op_stats(&ops);
             let cost = ctx.cost_units();
-            (rows, cost)
+            (rows, cost, ops)
         } else {
             let ctx = ExecContext::new(&self.catalog, &fns);
             let rows = execute(plan, &ctx)?;
             let cost = ctx.cost_units();
-            (rows, cost)
+            (rows, cost, Vec::new())
         };
+        if let Some(t) = tb {
+            t.add_rows(rows.len() as u64);
+            t.add_batches(ops.iter().map(|(_, st)| st.batches).max().unwrap_or(0));
+            t.add_cost(cost);
+            if let Some(before) = pool_before {
+                let after = self.pool.stats();
+                t.add_buffer(
+                    after.hits.saturating_sub(before.hits),
+                    after.misses.saturating_sub(before.misses),
+                );
+            }
+            if let Some(id) = eid {
+                t.close(id);
+            }
+            t.set_ops(crate::analyze::op_profiles(plan, &ops));
+        }
         self.metrics.record_query(rows.len() as u64, cost);
         Ok((rows, cost))
+    }
+
+    fn flush_op_stats(&self, ops: &[(OpKey, OpStats)]) {
+        for &((name, node), stats) in ops {
+            self.metrics.record_operator(name, node, stats);
+        }
+    }
+
+    /// `EXPLAIN ANALYZE` as an API: execute `sel` through the
+    /// instrumented vectorized pipeline and return the plan annotated
+    /// with per-node actuals and `QEvalError`s. Metrics are recorded as
+    /// for a normal execution.
+    pub fn explain_analyze(&self, sel: &Select) -> Result<AnalyzeReport> {
+        self.explain_analyze_traced(sel, None)
+    }
+
+    fn explain_analyze_traced(
+        &self,
+        sel: &Select,
+        mut tb: Option<&mut TraceBuilder<'_>>,
+    ) -> Result<AnalyzeReport> {
+        let plan = {
+            let oid = tb.as_deref_mut().map(|t| t.open("optimize"));
+            let plan = self.plan(sel);
+            if let (Some(t), Some(id)) = (tb.as_deref_mut(), oid) {
+                t.close(id);
+            }
+            plan?
+        };
+        #[cfg(debug_assertions)]
+        crate::verify::verify(&plan, &self.catalog)?;
+        let fns = EngineFns {
+            hook: self.hook.read().clone(),
+        };
+        // Always the instrumented vectorized pipeline: the per-operator
+        // actuals are the point, whatever `vectorized_exec` says.
+        let clock = self.clock();
+        let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
+        let eid = tb.as_deref_mut().map(|t| t.open("execute"));
+        let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
+        let rows = execute_batched(&plan, &ctx, bs)?;
+        let ops = ctx.take_op_stats();
+        self.flush_op_stats(&ops);
+        let cost = ctx.cost_units();
+        if let Some(t) = tb {
+            t.add_rows(rows.len() as u64);
+            t.add_cost(cost);
+            if let Some(id) = eid {
+                t.close(id);
+            }
+            t.set_ops(crate::analyze::op_profiles(&plan, &ops));
+        }
+        self.metrics.record_query(rows.len() as u64, cost);
+        Ok(crate::analyze::build_report(
+            &plan,
+            &ops,
+            rows.len() as u64,
+            cost,
+        ))
+    }
+
+    /// Prometheus-style text exposition of every engine metric: query /
+    /// txn / recovery counters, the cost histogram with p50/p95/p99,
+    /// buffer and disk gauges, and per-operator counters labelled by
+    /// operator name and plan-node id. The output always passes
+    /// [`aimdb_trace::validate_exposition`].
+    pub fn metrics_text(&self) -> String {
+        let b = self.pool.stats();
+        let d = self.store.stats();
+        let reg = self.metrics.registry();
+        reg.set_gauge("aimdb_buffer_hit_rate", b.hit_rate());
+        reg.set_gauge("aimdb_disk_reads", d.reads as f64);
+        reg.set_gauge("aimdb_disk_writes", d.writes as f64);
+        let mut out = reg.render();
+        let ops = self.metrics.operator_stats();
+        if !ops.is_empty() {
+            for (family, pick) in [
+                ("aimdb_operator_rows_total", 0usize),
+                ("aimdb_operator_batches_total", 1),
+                ("aimdb_operator_ns_total", 2),
+            ] {
+                out.push_str(&format!("# TYPE {family} counter\n"));
+                for &((name, node), st) in &ops {
+                    let v = match pick {
+                        0 => st.rows,
+                        1 => st.batches,
+                        _ => st.ns,
+                    };
+                    out.push_str(&format!("{family}{{op=\"{name}\",node=\"{node}\"}} {v}\n"));
+                }
+            }
+        }
+        debug_assert!(validate_exposition(&out).is_ok());
+        out
+    }
+
+    /// Recently completed query traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.tracer.recent()
+    }
+
+    /// Structured JSON slow-query log lines, oldest first (queries whose
+    /// cost crossed `slow_query_cost_threshold`).
+    pub fn slow_query_log(&self) -> Vec<String> {
+        self.tracer.slow_query_log()
     }
 
     fn analyze_table(&self, name: &str) -> Result<()> {
@@ -1058,5 +1338,182 @@ mod tests {
         let db = Database::new();
         let _ = db.execute("SELECT * FROM missing");
         assert_eq!(db.kpis().errors, 1);
+    }
+
+    fn observability_fixture() -> Database {
+        let db = Database::new();
+        db.execute("CREATE TABLE ev (id INT, grp INT, amt FLOAT)")
+            .unwrap();
+        let rows: Vec<String> = (0..500)
+            .map(|i| format!("({i}, {}, {:.1})", i % 5, (i % 90) as f64))
+            .collect();
+        db.execute(&format!("INSERT INTO ev VALUES {}", rows.join(",")))
+            .unwrap();
+        db.execute("ANALYZE").unwrap();
+        db
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_node() {
+        let db = observability_fixture();
+        let r = db
+            .execute(
+                "EXPLAIN ANALYZE SELECT grp, COUNT(*) FROM ev WHERE amt > 10.0 GROUP BY grp ORDER BY grp",
+            )
+            .unwrap();
+        let text = match r {
+            QueryResult::Text(t) => t,
+            other => panic!("expected text, got {other:?}"),
+        };
+        // a 3+-operator plan where every node line carries estimates,
+        // actuals and the per-node QEvalError
+        let node_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.contains("actual rows="))
+            .collect();
+        assert!(node_lines.len() >= 3, "plan too small:\n{text}");
+        for line in &node_lines {
+            assert!(line.contains("rows≈"), "missing estimate: {line}");
+            assert!(line.contains("actual rows="), "missing actuals: {line}");
+            assert!(line.contains("time="), "missing timing: {line}");
+            assert!(line.contains("cost="), "missing cost: {line}");
+        }
+        assert!(text.contains("Total: rows=5"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_api_reports_exact_row_counts() {
+        let db = observability_fixture();
+        let sel = match parse_one("SELECT id FROM ev WHERE grp = 3").unwrap() {
+            Statement::Select(sel) => sel,
+            other => panic!("{other:?}"),
+        };
+        let expected = db.execute("SELECT id FROM ev WHERE grp = 3").unwrap();
+        let report = db.explain_analyze(&sel).unwrap();
+        assert_eq!(report.result_rows, expected.rows().len() as u64);
+        let root = report.root().unwrap();
+        assert_eq!(root.rows, report.result_rows);
+        assert_eq!(root.node, 0);
+        assert!(root.q_error >= 1.0);
+        // node ids are preorder and parents precede children
+        for n in &report.nodes {
+            if let Some(p) = n.parent {
+                assert!(p < n.node);
+            }
+        }
+    }
+
+    #[test]
+    fn explain_analyze_names_match_executor() {
+        // analyze::op_name must agree with the names exec_batch records
+        let db = observability_fixture();
+        db.execute("CREATE INDEX idx_grp ON ev(grp)").unwrap();
+        for sql in [
+            "SELECT * FROM ev",
+            "SELECT id FROM ev WHERE grp = 2 ORDER BY id DESC LIMIT 3",
+            "SELECT a.id FROM ev a, ev b WHERE a.id = b.id AND a.amt > 80.0",
+            "SELECT grp, SUM(amt) FROM ev GROUP BY grp",
+        ] {
+            let sel = match parse_one(sql).unwrap() {
+                Statement::Select(sel) => sel,
+                other => panic!("{other:?}"),
+            };
+            let report = db.explain_analyze(&sel).unwrap();
+            for node in &report.nodes {
+                if node.batches > 0 {
+                    // an executed node matched a recorded (name, node) key,
+                    // so the mapping agrees
+                    continue;
+                }
+                // unexecuted nodes are allowed only zeros
+                assert_eq!(node.rows, 0, "{sql}: {node:?}");
+            }
+            assert!(report.max_q_error() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn metrics_text_parses_and_exposes_quantiles() {
+        let db = observability_fixture();
+        for _ in 0..20 {
+            db.execute("SELECT COUNT(*) FROM ev WHERE amt > 50.0")
+                .unwrap();
+        }
+        let page = db.metrics_text();
+        let samples = aimdb_trace::validate_exposition(&page).expect("page parses");
+        assert!(samples > 10, "only {samples} samples:\n{page}");
+        assert!(page.contains("aimdb_queries_total"));
+        assert!(page.contains("aimdb_query_cost_units{quantile=\"0.95\"}"));
+        assert!(page.contains("aimdb_buffer_hit_rate"));
+        assert!(page.contains("aimdb_operator_rows_total{op=\"seq_scan\",node="));
+        assert!(page.contains("aimdb_operator_ns_total{op=\"project\",node=\"0\"}"));
+        let kpis = db.kpis();
+        assert!(kpis.p50_cost_per_query > 0.0);
+        assert!(kpis.p50_cost_per_query <= kpis.p99_cost_per_query);
+    }
+
+    #[test]
+    fn traces_record_lifecycle_spans() {
+        let db = observability_fixture();
+        db.set_clock(Arc::new(aimdb_common::ManualClock::new()));
+        db.execute("SELECT COUNT(*) FROM ev").unwrap();
+        let trace = db.tracer.last().expect("trace recorded");
+        assert!(trace.label.starts_with("SELECT COUNT(*)"));
+        for phase in ["parse", "optimize", "execute"] {
+            assert!(trace.span(phase).is_some(), "missing {phase} span");
+        }
+        let exec = trace.span("execute").unwrap();
+        assert_eq!(exec.rows, 1);
+        assert!(exec.cost_units > 0.0);
+        assert!(!trace.ops.is_empty());
+        assert_eq!(trace.ops[0].node, 0);
+    }
+
+    #[test]
+    fn query_tracing_knob_disables_tracing() {
+        let db = observability_fixture();
+        db.tracer.clear();
+        db.execute("SET query_tracing = 0").unwrap();
+        db.execute("SELECT COUNT(*) FROM ev").unwrap();
+        assert!(db.tracer.is_empty());
+        db.execute("SET query_tracing = 1").unwrap();
+        db.execute("SELECT COUNT(*) FROM ev").unwrap();
+        assert_eq!(db.tracer.len(), 1);
+    }
+
+    #[test]
+    fn slow_query_log_honours_threshold_knob() {
+        let db = observability_fixture();
+        assert!(db.slow_query_log().is_empty());
+        db.execute("SET slow_query_cost_threshold = 1").unwrap();
+        db.execute("SELECT COUNT(*) FROM ev").unwrap();
+        let log = db.slow_query_log();
+        assert_eq!(log.len(), 1);
+        let event = aimdb_common::json::Json::parse(&log[0]).expect("valid json");
+        assert!(event
+            .field("label")
+            .and_then(aimdb_common::json::Json::as_str)
+            .unwrap()
+            .contains("SELECT COUNT(*)"));
+        assert!(event.field("cost_units").unwrap().as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn two_filters_in_one_plan_keep_separate_counters() {
+        let db = observability_fixture();
+        // self-join where both sides carry a filter: two seq_scan nodes
+        // with embedded predicates at distinct node ids
+        db.execute("SELECT a.id FROM ev a, ev b WHERE a.id = b.id AND a.amt > 10.0 AND b.grp = 1")
+            .unwrap();
+        let scans: Vec<_> = db
+            .metrics
+            .operator_stats()
+            .into_iter()
+            .filter(|((name, _), _)| *name == "seq_scan")
+            .collect();
+        assert!(scans.len() >= 2, "scans merged: {scans:?}");
+        let nodes: std::collections::HashSet<usize> =
+            scans.iter().map(|((_, node), _)| *node).collect();
+        assert_eq!(nodes.len(), scans.len(), "node ids collide");
     }
 }

@@ -18,15 +18,21 @@ use crate::catalog::Catalog;
 use crate::plan::{PhysOp, PhysicalPlan};
 
 /// Per-operator execution counters accumulated by the vectorized
-/// executor: output rows, non-empty output batches, and wall time spent
-/// in the operator subtree (inclusive of children; 0 when the context
-/// has no clock).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// executor: output rows, non-empty output batches, wall time and cost
+/// units spent in the operator subtree (both inclusive of children; ns
+/// is 0 when the context has no clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OpStats {
     pub rows: u64,
     pub batches: u64,
     pub ns: u64,
+    pub cost_units: f64,
 }
+
+/// Key for per-operator counters: operator name plus the preorder
+/// plan-node id (root = 0, matching `EXPLAIN` line order), so two
+/// filters in one plan keep separate counters.
+pub type OpKey = (&'static str, usize);
 
 /// Execution context: catalog access, scalar-function registry, and the
 /// actual-cost accumulator.
@@ -35,7 +41,7 @@ pub struct ExecContext<'a> {
     pub fns: &'a dyn ScalarFns,
     cost_units: Cell<f64>,
     clock: Option<&'a dyn Clock>,
-    op_stats: RefCell<BTreeMap<&'static str, OpStats>>,
+    op_stats: RefCell<BTreeMap<OpKey, OpStats>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -75,18 +81,28 @@ impl<'a> ExecContext<'a> {
         }
     }
 
-    /// Fold one operator observation into the per-operator counters.
-    pub(crate) fn record_op(&self, name: &'static str, rows: u64, batches: u64, ns: u64) {
+    /// Fold one operator observation into the per-operator counters,
+    /// keyed by (operator name, plan-node id).
+    pub(crate) fn record_op(
+        &self,
+        name: &'static str,
+        node: usize,
+        rows: u64,
+        batches: u64,
+        ns: u64,
+        cost_units: f64,
+    ) {
         let mut stats = self.op_stats.borrow_mut();
-        let e = stats.entry(name).or_default();
+        let e = stats.entry((name, node)).or_default();
         e.rows += rows;
         e.batches += batches;
         e.ns += ns;
+        e.cost_units += cost_units;
     }
 
     /// Drain the per-operator counters (the engine flushes them into
     /// [`crate::metrics::Metrics`] after each query).
-    pub fn take_op_stats(&self) -> Vec<(&'static str, OpStats)> {
+    pub fn take_op_stats(&self) -> Vec<(OpKey, OpStats)> {
         std::mem::take(&mut *self.op_stats.borrow_mut())
             .into_iter()
             .collect()

@@ -40,7 +40,8 @@ pub fn execute_batched(
     batch_size: usize,
 ) -> Result<Vec<Row>> {
     let bs = batch_size.max(1);
-    let mut root = build(plan, ctx, bs)?;
+    let mut next_id = 0;
+    let mut root = build(plan, ctx, bs, &mut next_id)?;
     let mut out = Vec::new();
     while let Some(b) = root.next()? {
         out.extend(b.to_rows());
@@ -56,11 +57,16 @@ trait BatchOp {
 
 /// Build the operator tree for a plan, wrapping each node with the
 /// per-operator instrumentation that feeds `Metrics::operator_stats`.
+/// Nodes are numbered preorder (root = 0, children left to right) via
+/// `next_id`, matching the line order of `PhysicalPlan::explain`.
 fn build<'p>(
     plan: &'p PhysicalPlan,
     ctx: &'p ExecContext<'p>,
     bs: usize,
+    next_id: &mut usize,
 ) -> Result<Box<dyn BatchOp + 'p>> {
+    let node = *next_id;
+    *next_id += 1;
     let (name, op): (&'static str, Box<dyn BatchOp + 'p>) = match &plan.op {
         PhysOp::SeqScan { table, filter, .. } => {
             let t = ctx.catalog.table(table)?;
@@ -123,7 +129,7 @@ fn build<'p>(
             (
                 "filter",
                 Box::new(FilterOp {
-                    input: build(input, ctx, bs)?,
+                    input: build(input, ctx, bs, next_id)?,
                     pred,
                     ctx,
                 }),
@@ -137,7 +143,7 @@ fn build<'p>(
             (
                 "project",
                 Box::new(ProjectOp {
-                    input: build(input, ctx, bs)?,
+                    input: build(input, ctx, bs, next_id)?,
                     exprs: compiled,
                     ctx,
                 }),
@@ -151,8 +157,8 @@ fn build<'p>(
             (
                 "nested_loop_join",
                 Box::new(NestedLoopJoinOp {
-                    left: Some(build(left, ctx, bs)?),
-                    right: Some(build(right, ctx, bs)?),
+                    left: Some(build(left, ctx, bs, next_id)?),
+                    right: Some(build(right, ctx, bs, next_id)?),
                     on,
                     out_schema: &plan.schema,
                     ctx,
@@ -180,8 +186,8 @@ fn build<'p>(
             (
                 "hash_join",
                 Box::new(HashJoinOp {
-                    left: Some(build(left, ctx, bs)?),
-                    right: Some(build(right, ctx, bs)?),
+                    left: Some(build(left, ctx, bs, next_id)?),
+                    right: Some(build(right, ctx, bs, next_id)?),
                     lkey,
                     rkey,
                     residual,
@@ -218,7 +224,7 @@ fn build<'p>(
             (
                 "aggregate",
                 Box::new(AggregateOp {
-                    input: Some(build(input, ctx, bs)?),
+                    input: Some(build(input, ctx, bs, next_id)?),
                     group,
                     args,
                     aggs,
@@ -238,7 +244,7 @@ fn build<'p>(
             (
                 "sort",
                 Box::new(SortOp {
-                    input: Some(build(input, ctx, bs)?),
+                    input: Some(build(input, ctx, bs, next_id)?),
                     keys: compiled,
                     out_schema: &plan.schema,
                     ctx,
@@ -251,7 +257,7 @@ fn build<'p>(
         PhysOp::Limit { input, n } => (
             "limit",
             Box::new(LimitOp {
-                input: build(input, ctx, bs)?,
+                input: build(input, ctx, bs, next_id)?,
                 remaining: *n,
             }),
         ),
@@ -267,15 +273,18 @@ fn build<'p>(
     };
     Ok(Box::new(Instrumented {
         name,
+        node,
         ctx,
         inner: op,
     }))
 }
 
-/// Wraps an operator to account rows / batches / wall-time into the
-/// execution context. Timing is inclusive of the operator's subtree.
+/// Wraps an operator to account rows / batches / wall-time / cost units
+/// into the execution context, keyed by (operator, plan-node id). Timing
+/// and cost are inclusive of the operator's subtree.
 struct Instrumented<'p> {
     name: &'static str,
+    node: usize,
     ctx: &'p ExecContext<'p>,
     inner: Box<dyn BatchOp + 'p>,
 }
@@ -283,11 +292,15 @@ struct Instrumented<'p> {
 impl BatchOp for Instrumented<'_> {
     fn next(&mut self) -> Result<Option<Batch>> {
         let t0 = self.ctx.clock_ns();
+        let c0 = self.ctx.cost_units();
         let r = self.inner.next();
         let ns = self.ctx.clock_ns().saturating_sub(t0);
+        let cost = self.ctx.cost_units() - c0;
         match &r {
-            Ok(Some(b)) => self.ctx.record_op(self.name, b.len() as u64, 1, ns),
-            _ => self.ctx.record_op(self.name, 0, 0, ns),
+            Ok(Some(b)) => self
+                .ctx
+                .record_op(self.name, self.node, b.len() as u64, 1, ns, cost),
+            _ => self.ctx.record_op(self.name, self.node, 0, 0, ns, cost),
         }
         r
     }

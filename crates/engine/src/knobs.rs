@@ -94,6 +94,20 @@ pub const KNOB_SPECS: &[KnobSpec] = &[
         default: 1024,
         description: "rows per column batch in the vectorized executor",
     },
+    KnobSpec {
+        name: "query_tracing",
+        min: 0,
+        max: 1,
+        default: 1,
+        description: "record per-query lifecycle traces and operator profiles (0 = off)",
+    },
+    KnobSpec {
+        name: "slow_query_cost_threshold",
+        min: 1,
+        max: 1_000_000_000,
+        default: 100_000,
+        description: "cost units at which a traced query is written to the slow-query log",
+    },
 ];
 
 /// Live knob values.

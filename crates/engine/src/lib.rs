@@ -14,10 +14,17 @@
 //!   advisors without building anything (E2);
 //! - [`Knobs`](knobs::Knobs) exposes the tuning space (E1);
 //! - [`KpiSnapshot`](metrics::KpiSnapshot) is the monitoring surface
-//!   (E11/E12);
+//!   (E11/E12), extended with histogram quantiles from the
+//!   [`aimdb_trace`] registry;
+//! - [`Database::tracer`](db::Database) streams completed
+//!   [`QueryTrace`](aimdb_trace::QueryTrace)s (parse → verify →
+//!   optimize → execute spans plus per-operator profiles) to learners,
+//!   and [`Database::explain_analyze`](db::Database) surfaces the
+//!   estimate-vs-actual `QEvalError` signal per plan node (E3);
 //! - [`ModelHook`](db::ModelHook) lets the DB4AI crate plug model
 //!   training/inference into `CREATE MODEL` / `PREDICT` statements.
 
+pub mod analyze;
 pub mod catalog;
 pub mod db;
 pub mod exec;
@@ -30,6 +37,9 @@ pub mod stats;
 pub mod txn;
 pub mod verify;
 
+pub use aimdb_trace as trace;
+
+pub use analyze::{q_error, AnalyzeReport, NodeActuals};
 pub use catalog::{Catalog, Table};
 pub use db::{Database, ModelHook, QueryResult, RecoveryReport};
 pub use exec_batch::execute_batched;

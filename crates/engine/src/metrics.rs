@@ -4,12 +4,31 @@
 //! health monitor (E11), activity monitor (E12) and knob tuner (E1) read
 //! [`KpiSnapshot`]s rather than scraping engine internals — the same
 //! architectural boundary external AI4DB tools have against a real DBMS.
+//!
+//! Storage is an [`aimdb_trace::MetricsRegistry`]: monotonic counters
+//! plus a log-linear cost histogram, which replaces the previous
+//! 512-sample sliding window — quantiles (p50/p95/p99) now cover the
+//! whole run in O(1) memory instead of the last 512 queries, and the
+//! same registry renders the Prometheus-style `Database::metrics_text()`
+//! page.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
-use crate::exec::OpStats;
+use aimdb_trace::MetricsRegistry;
+
+use crate::exec::{OpKey, OpStats};
+
+// Registry metric names (exposition page identifiers).
+pub const QUERIES_TOTAL: &str = "aimdb_queries_total";
+pub const ROWS_EMITTED_TOTAL: &str = "aimdb_rows_emitted_total";
+pub const ERRORS_TOTAL: &str = "aimdb_errors_total";
+pub const TXN_COMMITS_TOTAL: &str = "aimdb_txn_commits_total";
+pub const TXN_ABORTS_TOTAL: &str = "aimdb_txn_aborts_total";
+pub const RECOVERIES_TOTAL: &str = "aimdb_recoveries_total";
+pub const WAL_REPLAYED_TOTAL: &str = "aimdb_wal_records_replayed_total";
+pub const QUERY_COST_UNITS: &str = "aimdb_query_cost_units";
 
 /// A point-in-time view of engine health metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -19,7 +38,9 @@ pub struct KpiSnapshot {
     /// Cost units charged by the executor (proxy for latency).
     pub total_cost_units: f64,
     pub avg_cost_per_query: f64,
+    pub p50_cost_per_query: f64,
     pub p95_cost_per_query: f64,
+    pub p99_cost_per_query: f64,
     pub buffer_hit_rate: f64,
     pub disk_reads: u64,
     pub disk_writes: u64,
@@ -40,7 +61,9 @@ impl KpiSnapshot {
             self.rows_emitted as f64,
             self.total_cost_units,
             self.avg_cost_per_query,
+            self.p50_cost_per_query,
             self.p95_cost_per_query,
+            self.p99_cost_per_query,
             self.buffer_hit_rate,
             self.disk_reads as f64,
             self.disk_writes as f64,
@@ -59,7 +82,9 @@ impl KpiSnapshot {
             "rows_emitted",
             "total_cost_units",
             "avg_cost_per_query",
+            "p50_cost_per_query",
             "p95_cost_per_query",
+            "p99_cost_per_query",
             "buffer_hit_rate",
             "disk_reads",
             "disk_writes",
@@ -72,90 +97,61 @@ impl KpiSnapshot {
     }
 }
 
-/// Sliding-window metrics collector.
+/// Engine metrics collector over a [`MetricsRegistry`], plus the
+/// per-operator counter table keyed by (operator, plan-node id).
+#[derive(Default)]
 pub struct Metrics {
-    inner: Mutex<MetricsInner>,
-}
-
-struct MetricsInner {
-    queries: u64,
-    rows: u64,
-    cost_total: f64,
-    recent_costs: VecDeque<f64>,
-    errors: u64,
-    committed: u64,
-    aborted: u64,
-    recoveries: u64,
-    replayed: u64,
-    /// Per-operator rows / batches / wall-time, keyed by operator name.
-    operators: BTreeMap<&'static str, OpStats>,
-}
-
-const WINDOW: usize = 512;
-
-impl Default for Metrics {
-    fn default() -> Self {
-        Metrics::new()
-    }
+    registry: MetricsRegistry,
+    /// Per-operator rows / batches / wall-time / cost, keyed by operator
+    /// name and preorder plan-node id so two instances of one operator
+    /// in the same plan shape keep separate counters.
+    operators: Mutex<BTreeMap<OpKey, OpStats>>,
 }
 
 impl Metrics {
     pub fn new() -> Self {
-        Metrics {
-            inner: Mutex::new(MetricsInner {
-                queries: 0,
-                rows: 0,
-                cost_total: 0.0,
-                recent_costs: VecDeque::with_capacity(WINDOW),
-                errors: 0,
-                committed: 0,
-                aborted: 0,
-                recoveries: 0,
-                replayed: 0,
-                operators: BTreeMap::new(),
-            }),
-        }
+        Metrics::default()
+    }
+
+    /// The underlying registry (shared with the exposition page).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     pub fn record_query(&self, rows: u64, cost_units: f64) {
-        let mut m = self.inner.lock();
-        m.queries += 1;
-        m.rows += rows;
-        m.cost_total += cost_units;
-        if m.recent_costs.len() == WINDOW {
-            m.recent_costs.pop_front();
-        }
-        m.recent_costs.push_back(cost_units);
+        self.registry.inc_counter(QUERIES_TOTAL, 1);
+        self.registry.inc_counter(ROWS_EMITTED_TOTAL, rows);
+        self.registry.observe(QUERY_COST_UNITS, cost_units);
     }
 
     pub fn record_error(&self) {
-        self.inner.lock().errors += 1;
+        self.registry.inc_counter(ERRORS_TOTAL, 1);
     }
 
     pub fn record_commit(&self) {
-        self.inner.lock().committed += 1;
+        self.registry.inc_counter(TXN_COMMITS_TOTAL, 1);
     }
 
     pub fn record_abort(&self) {
-        self.inner.lock().aborted += 1;
+        self.registry.inc_counter(TXN_ABORTS_TOTAL, 1);
     }
 
-    /// Accumulate per-operator execution stats (rows, batches, wall-time)
-    /// reported by the vectorized executor.
-    pub fn record_operator(&self, name: &'static str, stats: OpStats) {
-        let mut m = self.inner.lock();
-        let e = m.operators.entry(name).or_default();
+    /// Accumulate per-operator execution stats (rows, batches, wall-time,
+    /// cost units) reported by the vectorized executor for one plan node.
+    pub fn record_operator(&self, name: &'static str, node: usize, stats: OpStats) {
+        let mut ops = self.operators.lock();
+        let e = ops.entry((name, node)).or_default();
         e.rows += stats.rows;
         e.batches += stats.batches;
         e.ns += stats.ns;
+        e.cost_units += stats.cost_units;
     }
 
     /// Per-operator counters accumulated since the last reset, in stable
-    /// (operator-name) order.
-    pub fn operator_stats(&self) -> Vec<(&'static str, OpStats)> {
-        self.inner
+    /// (operator name, plan-node id) order.
+    pub fn operator_stats(&self) -> Vec<(OpKey, OpStats)> {
+        self.operators
             .lock()
-            .operators
             .iter()
             .map(|(k, v)| (*k, *v))
             .collect()
@@ -164,58 +160,45 @@ impl Metrics {
     /// Record one completed crash recovery and how many WAL records it
     /// replayed.
     pub fn record_recovery(&self, records_replayed: u64) {
-        let mut m = self.inner.lock();
-        m.recoveries += 1;
-        m.replayed += records_replayed;
+        self.registry.inc_counter(RECOVERIES_TOTAL, 1);
+        self.registry
+            .inc_counter(WAL_REPLAYED_TOTAL, records_replayed);
     }
 
     /// Snapshot combining engine counters with storage counters supplied by
     /// the caller (buffer hit rate, disk I/O).
     pub fn snapshot(&self, buffer_hit_rate: f64, disk_reads: u64, disk_writes: u64) -> KpiSnapshot {
-        let m = self.inner.lock();
-        let avg = if m.queries > 0 {
-            m.cost_total / m.queries as f64
+        let cost = self
+            .registry
+            .histogram(QUERY_COST_UNITS)
+            .unwrap_or_default();
+        let avg = if cost.count > 0 {
+            cost.sum / cost.count as f64
         } else {
             0.0
-        };
-        let p95 = if m.recent_costs.is_empty() {
-            0.0
-        } else {
-            let mut v: Vec<f64> = m.recent_costs.iter().copied().collect();
-            v.sort_by(|a, b| a.total_cmp(b));
-            v[((v.len() as f64 * 0.95) as usize).min(v.len() - 1)]
         };
         KpiSnapshot {
-            queries_executed: m.queries,
-            rows_emitted: m.rows,
-            total_cost_units: m.cost_total,
+            queries_executed: self.registry.counter(QUERIES_TOTAL),
+            rows_emitted: self.registry.counter(ROWS_EMITTED_TOTAL),
+            total_cost_units: cost.sum,
             avg_cost_per_query: avg,
-            p95_cost_per_query: p95,
+            p50_cost_per_query: cost.p50,
+            p95_cost_per_query: cost.p95,
+            p99_cost_per_query: cost.p99,
             buffer_hit_rate,
             disk_reads,
             disk_writes,
-            errors: m.errors,
-            txns_committed: m.committed,
-            txns_aborted: m.aborted,
-            recoveries: m.recoveries,
-            wal_records_replayed: m.replayed,
+            errors: self.registry.counter(ERRORS_TOTAL),
+            txns_committed: self.registry.counter(TXN_COMMITS_TOTAL),
+            txns_aborted: self.registry.counter(TXN_ABORTS_TOTAL),
+            recoveries: self.registry.counter(RECOVERIES_TOTAL),
+            wal_records_replayed: self.registry.counter(WAL_REPLAYED_TOTAL),
         }
     }
 
     pub fn reset(&self) {
-        let mut m = self.inner.lock();
-        *m = MetricsInner {
-            queries: 0,
-            rows: 0,
-            cost_total: 0.0,
-            recent_costs: VecDeque::with_capacity(WINDOW),
-            errors: 0,
-            committed: 0,
-            aborted: 0,
-            recoveries: 0,
-            replayed: 0,
-            operators: BTreeMap::new(),
-        };
+        self.registry.reset();
+        self.operators.lock().clear();
     }
 }
 
@@ -252,6 +235,9 @@ mod tests {
         assert!(s.p95_cost_per_query >= 1.0);
         assert!(s.p95_cost_per_query <= 100.0);
         assert!(s.p95_cost_per_query > s.avg_cost_per_query / 2.0);
+        // quantiles are ordered
+        assert!(s.p50_cost_per_query <= s.p95_cost_per_query);
+        assert!(s.p95_cost_per_query <= s.p99_cost_per_query);
     }
 
     #[test]
@@ -269,39 +255,59 @@ mod tests {
     }
 
     #[test]
-    fn operator_stats_accumulate_and_reset() {
+    fn operator_stats_key_on_operator_and_node() {
         let m = Metrics::new();
+        // two filters in one plan (nodes 1 and 3) no longer merge
         m.record_operator(
-            "seq_scan",
+            "filter",
+            1,
             OpStats {
                 rows: 10,
                 batches: 2,
                 ns: 100,
-            },
-        );
-        m.record_operator(
-            "seq_scan",
-            OpStats {
-                rows: 5,
-                batches: 1,
-                ns: 50,
+                cost_units: 1.0,
             },
         );
         m.record_operator(
             "filter",
+            3,
             OpStats {
-                rows: 3,
+                rows: 5,
+                batches: 1,
+                ns: 50,
+                cost_units: 0.5,
+            },
+        );
+        // same (operator, node) accumulates across queries
+        m.record_operator(
+            "filter",
+            1,
+            OpStats {
+                rows: 2,
                 batches: 1,
                 ns: 10,
+                cost_units: 0.2,
             },
         );
         let stats = m.operator_stats();
         assert_eq!(stats.len(), 2);
-        assert_eq!(stats[0].0, "filter");
-        assert_eq!(stats[1].1.rows, 15);
-        assert_eq!(stats[1].1.batches, 3);
-        assert_eq!(stats[1].1.ns, 150);
+        assert_eq!(stats[0].0, ("filter", 1));
+        assert_eq!(stats[0].1.rows, 12);
+        assert_eq!(stats[0].1.batches, 3);
+        assert_eq!(stats[0].1.ns, 110);
+        assert_eq!(stats[1].0, ("filter", 3));
+        assert_eq!(stats[1].1.rows, 5);
         m.reset();
         assert!(m.operator_stats().is_empty());
+    }
+
+    #[test]
+    fn registry_exposes_counters_and_quantiles() {
+        let m = Metrics::new();
+        m.record_query(3, 10.0);
+        assert_eq!(m.registry().counter(QUERIES_TOTAL), 1);
+        assert!(m.registry().quantile(QUERY_COST_UNITS, 0.5) >= 10.0);
+        let page = m.registry().render();
+        assert!(page.contains("aimdb_query_cost_units{quantile=\"0.95\"}"));
     }
 }

@@ -91,7 +91,21 @@ impl PhysicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         use fmt::Write;
         let pad = "  ".repeat(depth);
-        let line = match &self.op {
+        let line = self.describe();
+        let _ = writeln!(
+            out,
+            "{pad}{line}  (rows≈{:.0} cost≈{:.1})",
+            self.est_rows, self.est_cost
+        );
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// One-line description of this node's operator (no estimates, no
+    /// children) — shared by `EXPLAIN` and `EXPLAIN ANALYZE` rendering.
+    pub fn describe(&self) -> String {
+        match &self.op {
             PhysOp::SeqScan { table, filter, .. } => format!(
                 "SeqScan {table}{}",
                 filter
@@ -136,14 +150,6 @@ impl PhysicalPlan {
             PhysOp::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
             PhysOp::Limit { n, .. } => format!("Limit {n}"),
             PhysOp::Values { rows } => format!("Values ({} rows)", rows.len()),
-        };
-        let _ = writeln!(
-            out,
-            "{pad}{line}  (rows≈{:.0} cost≈{:.1})",
-            self.est_rows, self.est_cost
-        );
-        for child in self.children() {
-            child.explain_into(out, depth + 1);
         }
     }
 

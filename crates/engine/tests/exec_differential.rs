@@ -300,6 +300,31 @@ fn canon(mut rows: Vec<Row>) -> Vec<Row> {
     rows
 }
 
+/// EXPLAIN ANALYZE's per-node actuals come from the instrumented
+/// vectorized pipeline; the result row count it reports — both the
+/// report total and the root node's actual rows — must equal what the
+/// differential oracle produced for the same query.
+fn check_analyze_row_counts(db: &Database, sql: &str, oracle_rows: u64, qi: usize) {
+    let stmts = parse(sql).unwrap_or_else(|e| panic!("unparseable SQL ({e}): {sql}"));
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("generator produced a non-SELECT: {sql}");
+    };
+    let report = db
+        .explain_analyze(&sel)
+        .unwrap_or_else(|e| panic!("EXPLAIN ANALYZE failed [{qi}] ({e}): {sql}"));
+    assert_eq!(
+        report.result_rows, oracle_rows,
+        "[{qi}] EXPLAIN ANALYZE result_rows vs oracle: {sql}"
+    );
+    let root = report
+        .root()
+        .unwrap_or_else(|| panic!("[{qi}] EXPLAIN ANALYZE report has no nodes: {sql}"));
+    assert_eq!(
+        root.rows, oracle_rows,
+        "[{qi}] root node actual rows vs oracle: {sql}"
+    );
+}
+
 #[test]
 fn differential_oracle_over_generated_corpus() {
     let mut rng = StdRng::seed_from_u64(0xD1FF);
@@ -328,6 +353,11 @@ fn differential_oracle_over_generated_corpus() {
                         rr.len(),
                         br.len()
                     );
+                }
+                // EXPLAIN ANALYZE runs the same instrumented pipeline;
+                // its reported root actuals must agree with the oracle.
+                if qi % 25 == 0 {
+                    check_analyze_row_counts(&db, &sql, rr.len() as u64, qi);
                 }
             }
             // both failing is agreement; the generator shouldn't produce

@@ -101,7 +101,16 @@ pub fn rules_for_crate(crate_key: &str) -> Vec<Rule> {
     // L002: every crate whose output feeds plans, costs or experiments.
     if matches!(
         crate_key,
-        "engine" | "storage" | "sql" | "common" | "ml" | "ai4db" | "db4ai" | "bench" | "aimdb"
+        "engine"
+            | "storage"
+            | "sql"
+            | "common"
+            | "ml"
+            | "ai4db"
+            | "db4ai"
+            | "bench"
+            | "aimdb"
+            | "trace"
     ) {
         rules.push(Rule::L002);
     }
@@ -115,7 +124,7 @@ pub fn rules_for_crate(crate_key: &str) -> Vec<Rule> {
 /// Core crates where L001 debt is forbidden outright (no baseline entries
 /// are honoured for their files).
 pub fn l001_zero_tolerance(crate_key: &str) -> bool {
-    matches!(crate_key, "engine" | "storage" | "sql")
+    matches!(crate_key, "engine" | "storage" | "sql" | "trace")
 }
 
 // ---------------------------------------------------------------------------

@@ -164,6 +164,9 @@ pub enum Statement {
     Rollback,
     /// `EXPLAIN <select>` — returns the chosen physical plan as text rows.
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE <select>` — execute the statement under a trace
+    /// and return the plan annotated with actual rows/time/cost per node.
+    ExplainAnalyze(Box<Statement>),
     /// `ANALYZE [table]` — (re)build optimizer statistics.
     Analyze {
         table: Option<String>,

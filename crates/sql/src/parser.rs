@@ -155,8 +155,19 @@ impl Parser {
             }
             t if t.is_kw("EXPLAIN") => {
                 self.pos += 1;
-                let inner = self.statement()?;
-                Ok(Statement::Explain(Box::new(inner)))
+                // `EXPLAIN ANALYZE SELECT ...` executes under a trace;
+                // `EXPLAIN ANALYZE [table]` keeps its old meaning (explain
+                // the stats-rebuild statement).
+                let analyze_select = matches!(self.peek(), Some(t) if t.is_kw("ANALYZE"))
+                    && matches!(self.peek2(), Some(t) if t.is_kw("SELECT"));
+                if analyze_select {
+                    self.pos += 1;
+                    let inner = self.statement()?;
+                    Ok(Statement::ExplainAnalyze(Box::new(inner)))
+                } else {
+                    let inner = self.statement()?;
+                    Ok(Statement::Explain(Box::new(inner)))
+                }
             }
             t if t.is_kw("ANALYZE") => {
                 self.pos += 1;
@@ -897,6 +908,29 @@ mod tests {
         assert!(matches!(s, Statement::Analyze { table: Some(ref t) } if t == "t"));
         let s = parse_one("EXPLAIN SELECT * FROM t").unwrap();
         assert!(matches!(s, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn explain_analyze_forms() {
+        let s = parse_one("EXPLAIN ANALYZE SELECT a FROM t WHERE a > 1").unwrap();
+        match s {
+            Statement::ExplainAnalyze(inner) => {
+                assert!(matches!(*inner, Statement::Select(_)))
+            }
+            other => panic!("expected ExplainAnalyze, got {other:?}"),
+        }
+        // bare EXPLAIN ANALYZE keeps its old meaning: explain the
+        // stats-rebuild statement
+        let s = parse_one("EXPLAIN ANALYZE t").unwrap();
+        match s {
+            Statement::Explain(inner) => {
+                assert!(matches!(*inner, Statement::Analyze { table: Some(ref t) } if t == "t"))
+            }
+            other => panic!("expected Explain(Analyze), got {other:?}"),
+        }
+        let s = parse_one("EXPLAIN ANALYZE").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+        assert!(parse_one("EXPLAIN ANALYZE SELECT").is_err());
     }
 
     #[test]

@@ -1,0 +1,156 @@
+//! A tiny validator for the Prometheus text exposition format subset the
+//! registry emits. CI runs the observability demo and asserts
+//! `Database::metrics_text()` passes this check, so a formatting
+//! regression fails fast instead of silently breaking scrapers.
+
+use aimdb_common::{AimError, Result};
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+fn is_label_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn err(line_no: usize, line: &str, what: &str) -> AimError {
+    AimError::InvalidInput(format!("exposition line {line_no}: {what}: {line:?}"))
+}
+
+/// Parse one `{k="v",...}` label block, returning the rest of the line.
+fn parse_labels<'a>(rest: &'a str, line_no: usize, line: &str) -> Result<&'a str> {
+    let mut chars = rest.char_indices().peekable();
+    // skip '{'
+    chars.next();
+    loop {
+        // label name
+        match chars.next() {
+            Some((_, c)) if is_label_start(c) => {}
+            Some((_, '}')) => {
+                // empty or trailing-comma label set: accept `{}` close
+                let consumed = chars.peek().map(|&(i, _)| i).unwrap_or(rest.len());
+                return Ok(&rest[consumed..]);
+            }
+            _ => return Err(err(line_no, line, "bad label name")),
+        }
+        for (_, c) in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            if !is_name_char(c) {
+                return Err(err(line_no, line, "bad label name char"));
+            }
+        }
+        // opening quote
+        if !matches!(chars.next(), Some((_, '"'))) {
+            return Err(err(line_no, line, "label value must be quoted"));
+        }
+        // value until closing quote, allowing backslash escapes
+        let mut escaped = false;
+        let mut closed = false;
+        for (_, c) in chars.by_ref() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                closed = true;
+                break;
+            }
+        }
+        if !closed {
+            return Err(err(line_no, line, "unterminated label value"));
+        }
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((i, '}')) => return Ok(&rest[i + 1..]),
+            _ => return Err(err(line_no, line, "expected ',' or '}' after label")),
+        }
+    }
+}
+
+/// Validate a text exposition page; returns the number of samples.
+///
+/// Accepts `#`-prefixed comment/metadata lines, blank lines, and sample
+/// lines of the form `name[{labels}] value`, where `value` parses as a
+/// finite-or-special f64 (`NaN`, `+Inf`, `-Inf` included, as Prometheus
+/// allows).
+pub fn validate_exposition(text: &str) -> Result<usize> {
+    let mut samples = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        let mut name_end = 0;
+        for (j, c) in line.char_indices() {
+            let ok = if j == 0 {
+                is_name_start(c)
+            } else {
+                is_name_char(c)
+            };
+            if !ok {
+                break;
+            }
+            name_end = j + c.len_utf8();
+        }
+        if name_end == 0 {
+            return Err(err(line_no, line, "missing metric name"));
+        }
+        let mut rest = &line[name_end..];
+        if rest.starts_with('{') {
+            rest = parse_labels(rest, line_no, line)?;
+        }
+        let value = rest.trim();
+        if value.is_empty() {
+            return Err(err(line_no, line, "missing value"));
+        }
+        // Prometheus allows NaN/±Inf; reject anything f64 can't parse.
+        let ok = match value {
+            "NaN" | "+Inf" | "-Inf" => true,
+            v => v.parse::<f64>().is_ok(),
+        };
+        if !ok {
+            return Err(err(line_no, line, "bad sample value"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_page() {
+        let page = "# TYPE a counter\na 1\n\nb{x=\"1\",y=\"two\"} 2.5\nc{quantile=\"0.99\"} +Inf\nd_sum 10\n";
+        assert_eq!(validate_exposition(page).expect("valid"), 4);
+    }
+
+    #[test]
+    fn accepts_escaped_quotes_in_label_values() {
+        let page = "m{msg=\"he said \\\"hi\\\"\"} 1\n";
+        assert_eq!(validate_exposition(page).expect("valid"), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "1name 2",            // name starts with digit
+            "m",                  // missing value
+            "m{x=1} 2",           // unquoted label value
+            "m{x=\"1\"",          // unterminated label block
+            "m{x=\"1} 2",         // unterminated value
+            "m notanumber",       // bad value
+            "m{x=\"1\"} 2 extra", // trailing garbage
+        ] {
+            assert!(validate_exposition(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Log-linear histogram: quantile estimates with bounded relative error
+//! and O(1) memory, in the spirit of HDR histograms.
+//!
+//! Values ≥ 1 land in bucket `(e, s)` where `e = floor(log2(v))` and `s`
+//! splits the octave `[2^e, 2^(e+1))` into [`SUBBUCKETS`] equal linear
+//! sub-buckets. A quantile query returns the upper bound of the bucket
+//! holding the ranked sample, so for values ≥ 1 the estimate `h` of an
+//! exact sample quantile `x` satisfies `x ≤ h ≤ x * (1 + 1/SUBBUCKETS)`
+//! (before clamping to the observed min/max, which only tightens it).
+//! Values in `[0, 1)` share a single underflow bucket — cost units and
+//! nanosecond latencies, the two things we histogram, are ≥ 1 whenever
+//! they are interesting.
+
+/// Linear sub-buckets per power-of-two octave; bounds relative error by
+/// `1/SUBBUCKETS` = 6.25%.
+pub const SUBBUCKETS: usize = 16;
+
+/// Largest representable exponent; values above `2^63` saturate.
+const MAX_EXP: usize = 63;
+
+/// A fixed-shape log-linear histogram over non-negative `f64` samples.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Samples in `[0, 1)` (upper bound 1.0).
+    under: u64,
+    /// Lazily grown bucket counts, indexed `e * SUBBUCKETS + s`.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A point-in-time summary of a histogram, cheap to copy out of a lock.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a finite value ≥ 1, or `None` for the underflow
+    /// bucket.
+    fn index(v: f64) -> Option<usize> {
+        if v < 1.0 {
+            return None;
+        }
+        let e = (v.log2().floor() as usize).min(MAX_EXP);
+        let frac = v / (e as f64).exp2();
+        let s = (((frac - 1.0) * SUBBUCKETS as f64) as usize).min(SUBBUCKETS - 1);
+        Some(e * SUBBUCKETS + s)
+    }
+
+    /// Upper bound of bucket `idx`.
+    fn upper(idx: usize) -> f64 {
+        let e = idx / SUBBUCKETS;
+        let s = idx % SUBBUCKETS;
+        (e as f64).exp2() * (1.0 + (s + 1) as f64 / SUBBUCKETS as f64)
+    }
+
+    /// Record one sample. Negative values clamp to 0; non-finite values
+    /// are dropped (they carry no rank information).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let v = v.max(0.0);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+        match Self::index(v) {
+            None => self.under += 1,
+            Some(idx) => {
+                if idx >= self.buckets.len() {
+                    self.buckets.resize(idx + 1, 0);
+                }
+                self.buckets[idx] += 1;
+            }
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// samples. Uses the same rank convention as indexing a sorted
+    /// sample vector at `floor(q * n)`, so it agrees with the exact
+    /// quantile the engine previously computed over a sample window.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the sample a sorted vector would yield at
+        // index floor(q * n).
+        let rank = ((q * self.count as f64) as u64).min(self.count - 1) + 1;
+        let mut cum = self.under;
+        if rank <= cum {
+            return 1.0_f64.clamp(self.min, self.max);
+        }
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if rank <= cum {
+                return Self::upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_the_sample() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.5, 0.95, 1.0] {
+            let est = h.quantile(q);
+            assert!((42.0..=42.0 * (1.0 + 1.0 / 16.0)).contains(&est), "{est}");
+        }
+        // clamped to observed max, so actually exact here
+        assert_eq!(h.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn quantile_brackets_exact_on_known_set() {
+        let mut h = Histogram::new();
+        let mut xs: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = xs[((q * xs.len() as f64) as usize).min(xs.len() - 1)];
+            let est = h.quantile(q);
+            assert!(
+                est >= exact && est <= exact * (1.0 + 1.0 / SUBBUCKETS as f64),
+                "q={q} exact={exact} est={est}"
+            );
+        }
+    }
+
+    #[test]
+    fn p95_tracks_tail_like_sorted_window() {
+        let mut h = Histogram::new();
+        for _ in 0..95 {
+            h.record(1.0);
+        }
+        for _ in 0..5 {
+            h.record(100.0);
+        }
+        // sorted[floor(0.95*100)] = sorted[95] = 100.0
+        let p95 = h.quantile(0.95);
+        assert!((100.0..=106.25).contains(&p95), "{p95}");
+        assert!(h.quantile(0.5) < 2.0);
+    }
+
+    #[test]
+    fn underflow_and_saturation_are_contained() {
+        let mut h = Histogram::new();
+        h.record(0.25);
+        h.record(-3.0); // clamps to 0
+        h.record(f64::NAN); // dropped
+        h.record(f64::INFINITY); // dropped
+        h.record(1e300); // deep bucket, saturated exponent
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.0) <= 1.0);
+        // beyond 2^64 the bucket upper bound saturates; the estimate is
+        // still at least the saturated octave
+        assert!(h.quantile(1.0) >= 63.0_f64.exp2());
+        assert_eq!(h.max(), 1e300);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Query-lifecycle observability for aimdb.
+//!
+//! The paper's AI4DB components (knob tuning E1, monitoring E11, diagnosis
+//! E12) learn from runtime telemetry; this crate is the instrumentation
+//! boundary that produces it without coupling learners to engine internals:
+//!
+//! - [`TraceBuilder`] / [`QueryTrace`]: hierarchical spans over the query
+//!   lifecycle (`parse → verify → optimize → execute`) plus a per-operator
+//!   profile tree, timed through an injected [`aimdb_common::clock::Clock`].
+//! - [`Tracer`]: a bounded ring buffer of completed traces and a structured
+//!   JSON slow-query log gated by a cost threshold.
+//! - [`Histogram`]: log-linear buckets giving p50/p95/p99 with bounded
+//!   relative error and O(1) memory — no samples stored.
+//! - [`MetricsRegistry`]: named counters / gauges / histograms with a
+//!   Prometheus-style text exposition, validated by
+//!   [`exposition::validate_exposition`].
+//!
+//! Everything here is panic-free (no `unwrap`/`expect` outside tests) and
+//! deterministic under a [`aimdb_common::clock::ManualClock`].
+
+pub mod exposition;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+pub mod tracer;
+
+pub use exposition::validate_exposition;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::MetricsRegistry;
+pub use span::{OpProfile, QueryTrace, Span, TraceBuilder};
+pub use tracer::Tracer;

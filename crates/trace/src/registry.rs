@@ -1,0 +1,186 @@
+//! A process-wide metrics registry: named counters, gauges, and
+//! log-linear histograms behind one lock, rendered as a Prometheus-style
+//! text exposition page.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use parking_lot::Mutex;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named metrics. Names are sanitized to the
+/// exposition alphabet (`[a-zA-Z0-9_:]`, non-digit first byte) on entry
+/// so `render()` always emits a parseable page.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+/// Replace characters outside the metric-name alphabet with `_`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name`, creating it at zero if absent.
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        let mut g = self.inner.lock();
+        *g.counters.entry(sanitize(name)).or_insert(0) += by;
+    }
+
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut g = self.inner.lock();
+        g.gauges.insert(sanitize(name), value);
+    }
+
+    /// Record one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut g = self.inner.lock();
+        g.histograms
+            .entry(sanitize(name))
+            .or_default()
+            .record(value);
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value (0.0 if never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.inner.lock().gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Quantile estimate from histogram `name` (0.0 if absent).
+    pub fn quantile(&self, name: &str, q: f64) -> f64 {
+        self.inner
+            .lock()
+            .histograms
+            .get(name)
+            .map(|h| h.quantile(q))
+            .unwrap_or(0.0)
+    }
+
+    /// Snapshot of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.inner
+            .lock()
+            .histograms
+            .get(name)
+            .map(Histogram::snapshot)
+    }
+
+    /// Render every metric as Prometheus text exposition. Histograms use
+    /// the summary form: `name{quantile="0.5"} v`, `name_sum`,
+    /// `name_count`.
+    pub fn render(&self) -> String {
+        let g = self.inner.lock();
+        let mut out = String::new();
+        for (name, v) in &g.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &g.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &g.histograms {
+            let s = h.snapshot();
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.95\"}} {}", s.p95);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+            let _ = writeln!(out, "{name}_sum {}", s.sum);
+            let _ = writeln!(out, "{name}_count {}", s.count);
+        }
+        out
+    }
+
+    /// Drop every metric (counters, gauges, and histograms).
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        g.counters.clear();
+        g.gauges.clear();
+        g.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exposition::validate_exposition;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let r = MetricsRegistry::new();
+        r.inc_counter("aimdb_queries_total", 3);
+        r.inc_counter("aimdb_queries_total", 2);
+        r.set_gauge("aimdb_buffer_hit_rate", 0.75);
+        for i in 1..=100 {
+            r.observe("aimdb_query_cost_units", i as f64);
+        }
+        assert_eq!(r.counter("aimdb_queries_total"), 5);
+        assert_eq!(r.gauge("aimdb_buffer_hit_rate"), 0.75);
+        let p95 = r.quantile("aimdb_query_cost_units", 0.95);
+        assert!((96.0..=103.0).contains(&p95), "{p95}");
+        let snap = r.histogram("aimdb_query_cost_units").expect("snapshot");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050.0);
+    }
+
+    #[test]
+    fn render_is_valid_exposition() {
+        let r = MetricsRegistry::new();
+        r.inc_counter("c_total", 1);
+        r.set_gauge("g", -2.5);
+        r.observe("h", 10.0);
+        let page = r.render();
+        let samples = validate_exposition(&page).expect("valid page");
+        // 1 counter + 1 gauge + 3 quantiles + sum + count
+        assert_eq!(samples, 7);
+        assert!(page.contains("h{quantile=\"0.95\"}"));
+    }
+
+    #[test]
+    fn hostile_names_are_sanitized() {
+        let r = MetricsRegistry::new();
+        r.inc_counter("bad name{x=\"1\"}\n", 1);
+        r.inc_counter("7starts_with_digit", 1);
+        let page = r.render();
+        validate_exposition(&page).expect("sanitized page parses");
+        assert_eq!(r.counter("bad_name_x__1___"), 1);
+        assert_eq!(r.counter("_starts_with_digit"), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = MetricsRegistry::new();
+        r.inc_counter("c", 1);
+        r.observe("h", 1.0);
+        r.reset();
+        assert_eq!(r.counter("c"), 0);
+        assert!(r.histogram("h").is_none());
+        assert_eq!(r.render(), "");
+    }
+}

@@ -1,0 +1,360 @@
+//! Hierarchical query-lifecycle spans and completed-query traces.
+//!
+//! A [`TraceBuilder`] follows one query through its lifecycle: it opens a
+//! root `query` span at construction and nests child spans (`parse`,
+//! `verify`, `optimize`, `execute`, …) using strict stack discipline, so
+//! every child interval lies inside its parent and sibling intervals never
+//! overlap (given a monotone clock). Per-operator runtime data is *not*
+//! modeled as fake sibling spans — operators in a pull-based pipeline
+//! interleave, so their exclusive times are not intervals. Instead a
+//! finished [`QueryTrace`] carries a separate [`OpProfile`] tree keyed by
+//! plan-node id (preorder, matching `EXPLAIN` rendering order).
+
+use aimdb_common::clock::Clock;
+use aimdb_common::json::Json;
+
+/// One timed phase of a query's lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Index of this span inside its trace's `spans` vector.
+    pub id: usize,
+    /// Parent span index; `None` only for the root `query` span.
+    pub parent: Option<usize>,
+    pub name: String,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    /// Rows produced by the phase (result rows for `execute`).
+    pub rows: u64,
+    /// Batches pulled through the pipeline root during the phase.
+    pub batches: u64,
+    /// Optimizer cost units charged during the phase.
+    pub cost_units: f64,
+    pub buffer_hits: u64,
+    pub buffer_misses: u64,
+}
+
+impl Span {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Actuals for one physical plan node, keyed by its preorder id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// Preorder plan-node id (root = 0), matching `EXPLAIN` line order.
+    pub node: usize,
+    /// Preorder id of the parent plan node; `None` for the root.
+    pub parent: Option<usize>,
+    /// Operator name as reported by the executor (e.g. `hash_join`).
+    pub name: &'static str,
+    pub rows: u64,
+    pub batches: u64,
+    /// Inclusive wall time spent pulling from this node's subtree.
+    pub ns: u64,
+    /// Inclusive cost units charged while pulling from this subtree.
+    pub cost_units: f64,
+}
+
+/// A completed query trace: the span tree plus the operator profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryTrace {
+    /// Short human label (truncated SQL or statement kind).
+    pub label: String,
+    /// Span 0 is always the root `query` span.
+    pub spans: Vec<Span>,
+    pub ops: Vec<OpProfile>,
+}
+
+impl QueryTrace {
+    pub fn root(&self) -> Option<&Span> {
+        self.spans.first()
+    }
+
+    /// Total wall time of the query (root span duration).
+    pub fn duration_ns(&self) -> u64 {
+        self.root().map(Span::duration_ns).unwrap_or(0)
+    }
+
+    /// First span with the given name, if any.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Direct children of span `id`, in open order.
+    pub fn children(&self, id: usize) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Cost units charged over the whole query (sum over spans; phases
+    /// charge disjoint work so the sum is not double-counted).
+    pub fn total_cost(&self) -> f64 {
+        self.spans.iter().map(|s| s.cost_units).sum()
+    }
+
+    /// Rows produced by the query.
+    pub fn total_rows(&self) -> u64 {
+        self.spans.iter().map(|s| s.rows).sum()
+    }
+
+    /// Structured JSON event for the slow-query log.
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("name", Json::Str(s.name.clone())),
+                    ("ns", Json::Num(s.duration_ns() as f64)),
+                    ("rows", Json::Num(s.rows as f64)),
+                    ("cost_units", Json::Num(s.cost_units)),
+                    ("buffer_hits", Json::Num(s.buffer_hits as f64)),
+                    ("buffer_misses", Json::Num(s.buffer_misses as f64)),
+                ])
+            })
+            .collect();
+        let ops = self
+            .ops
+            .iter()
+            .map(|o| {
+                Json::obj(vec![
+                    ("node", Json::Num(o.node as f64)),
+                    ("op", Json::Str(o.name.to_string())),
+                    ("rows", Json::Num(o.rows as f64)),
+                    ("batches", Json::Num(o.batches as f64)),
+                    ("ns", Json::Num(o.ns as f64)),
+                    ("cost_units", Json::Num(o.cost_units)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("duration_ns", Json::Num(self.duration_ns() as f64)),
+            ("cost_units", Json::Num(self.total_cost())),
+            ("rows", Json::Num(self.total_rows() as f64)),
+            ("spans", Json::Arr(spans)),
+            ("ops", Json::Arr(ops)),
+        ])
+    }
+}
+
+/// Builds one [`QueryTrace`] with stack-disciplined span nesting.
+pub struct TraceBuilder<'c> {
+    clock: &'c dyn Clock,
+    label: String,
+    spans: Vec<Span>,
+    /// Indices of currently open spans, root first.
+    stack: Vec<usize>,
+    ops: Vec<OpProfile>,
+}
+
+impl<'c> TraceBuilder<'c> {
+    /// Start a trace; opens the root `query` span immediately.
+    pub fn new(clock: &'c dyn Clock, label: impl Into<String>) -> Self {
+        let mut tb = Self {
+            clock,
+            label: label.into(),
+            spans: Vec::new(),
+            stack: Vec::new(),
+            ops: Vec::new(),
+        };
+        tb.push_span("query", None);
+        tb
+    }
+
+    fn now_ns(&self) -> u64 {
+        let secs = self.clock.now_secs();
+        if secs <= 0.0 {
+            0
+        } else {
+            (secs * 1e9) as u64
+        }
+    }
+
+    fn push_span(&mut self, name: &str, parent: Option<usize>) -> usize {
+        let id = self.spans.len();
+        let now = self.now_ns();
+        self.spans.push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns: now,
+            end_ns: now,
+            rows: 0,
+            batches: 0,
+            cost_units: 0.0,
+            buffer_hits: 0,
+            buffer_misses: 0,
+        });
+        self.stack.push(id);
+        id
+    }
+
+    /// Open a child span under the innermost open span.
+    pub fn open(&mut self, name: &str) -> usize {
+        let parent = self.stack.last().copied();
+        self.push_span(name, parent)
+    }
+
+    /// Close span `id`, closing any still-open descendants first. Closing
+    /// an id that is not open is a no-op.
+    pub fn close(&mut self, id: usize) {
+        if !self.stack.contains(&id) {
+            return;
+        }
+        let now = self.now_ns();
+        while let Some(top) = self.stack.pop() {
+            if let Some(s) = self.spans.get_mut(top) {
+                s.end_ns = now;
+            }
+            if top == id {
+                break;
+            }
+        }
+    }
+
+    /// Innermost open span (the root is always open until `finish`).
+    fn current(&mut self) -> Option<&mut Span> {
+        let id = self.stack.last().copied()?;
+        self.spans.get_mut(id)
+    }
+
+    pub fn add_rows(&mut self, rows: u64) {
+        if let Some(s) = self.current() {
+            s.rows += rows;
+        }
+    }
+
+    pub fn add_batches(&mut self, batches: u64) {
+        if let Some(s) = self.current() {
+            s.batches += batches;
+        }
+    }
+
+    pub fn add_cost(&mut self, units: f64) {
+        if let Some(s) = self.current() {
+            s.cost_units += units;
+        }
+    }
+
+    pub fn add_buffer(&mut self, hits: u64, misses: u64) {
+        if let Some(s) = self.current() {
+            s.buffer_hits += hits;
+            s.buffer_misses += misses;
+        }
+    }
+
+    /// Attach the per-operator profile (replacing any previous one).
+    pub fn set_ops(&mut self, ops: Vec<OpProfile>) {
+        self.ops = ops;
+    }
+
+    /// Close every open span (root last) and return the finished trace.
+    pub fn finish(mut self) -> QueryTrace {
+        let now = self.now_ns();
+        while let Some(top) = self.stack.pop() {
+            if let Some(s) = self.spans.get_mut(top) {
+                s.end_ns = now;
+            }
+        }
+        QueryTrace {
+            label: self.label,
+            spans: self.spans,
+            ops: self.ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::clock::ManualClock;
+
+    #[test]
+    fn spans_nest_and_do_not_overlap() {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, "SELECT 1");
+        clock.advance_secs(0.001);
+        let parse = tb.open("parse");
+        clock.advance_secs(0.002);
+        tb.close(parse);
+        let exec = tb.open("execute");
+        clock.advance_secs(0.005);
+        tb.add_rows(7);
+        tb.add_cost(12.5);
+        tb.close(exec);
+        clock.advance_secs(0.001);
+        let t = tb.finish();
+
+        let root = t.root().map(|s| (s.start_ns, s.end_ns));
+        assert_eq!(root, Some((0, 9_000_000)));
+        let p = t.span("parse").cloned();
+        let e = t.span("execute").cloned();
+        let (p, e) = (p.expect("parse span"), e.expect("execute span"));
+        assert_eq!(p.parent, Some(0));
+        assert_eq!(e.parent, Some(0));
+        // nested inside root, siblings ordered without overlap
+        assert!(p.start_ns >= 1_000_000 && p.end_ns <= 9_000_000);
+        assert!(p.end_ns <= e.start_ns);
+        assert_eq!(e.rows, 7);
+        assert_eq!(e.cost_units, 12.5);
+        assert_eq!(t.total_rows(), 7);
+    }
+
+    #[test]
+    fn close_closes_open_descendants() {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, "q");
+        let outer = tb.open("outer");
+        let inner = tb.open("inner");
+        clock.advance_secs(0.001);
+        tb.close(outer); // inner still open: gets closed too
+        let t = tb.finish();
+        let inner_span = &t.spans[inner];
+        assert_eq!(inner_span.end_ns, 1_000_000);
+        assert_eq!(inner_span.parent, Some(outer));
+        // closing an unknown id is a no-op
+        let mut tb2 = TraceBuilder::new(&clock, "q2");
+        tb2.close(99);
+        assert_eq!(tb2.finish().spans.len(), 1);
+    }
+
+    #[test]
+    fn json_event_round_trips_through_parser() {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, "SELECT * FROM t");
+        let e = tb.open("execute");
+        clock.advance_secs(0.25);
+        tb.add_cost(99.0);
+        tb.close(e);
+        let mut t = tb.finish();
+        t.ops.push(OpProfile {
+            node: 0,
+            parent: None,
+            name: "seq_scan",
+            rows: 10,
+            batches: 1,
+            ns: 42,
+            cost_units: 99.0,
+        });
+        let text = t.to_json().to_string_compact();
+        let parsed = Json::parse(&text).expect("valid json");
+        assert_eq!(
+            parsed.field("label").and_then(Json::as_str).ok(),
+            Some("SELECT * FROM t")
+        );
+        assert_eq!(
+            parsed.field("cost_units").and_then(Json::as_f64).ok(),
+            Some(99.0)
+        );
+        let ops = parsed
+            .field("ops")
+            .and_then(Json::as_arr)
+            .expect("ops array");
+        assert_eq!(ops.len(), 1);
+        assert_eq!(
+            ops[0].field("op").and_then(Json::as_str).ok(),
+            Some("seq_scan")
+        );
+    }
+}

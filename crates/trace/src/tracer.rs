@@ -1,0 +1,167 @@
+//! The [`Tracer`] collects completed [`QueryTrace`]s into a bounded ring
+//! buffer and mirrors traces whose total cost crosses a threshold into a
+//! structured JSON slow-query log. Learners (the AI4DB monitor) read the
+//! ring; operators read the log.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::span::QueryTrace;
+
+/// Default capacity of the completed-trace ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// Bounded length of the slow-query log.
+const SLOW_LOG_CAPACITY: usize = 256;
+
+struct TracerInner {
+    ring: VecDeque<Arc<QueryTrace>>,
+    capacity: usize,
+    slow_threshold: f64,
+    slow_log: VecDeque<String>,
+}
+
+/// Thread-safe sink for completed query traces.
+pub struct Tracer {
+    inner: Mutex<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer keeping at most `capacity` recent traces. The slow-query
+    /// threshold starts at infinity (log disabled) until a knob sets it.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(TracerInner {
+                ring: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+                capacity: capacity.max(1),
+                slow_threshold: f64::INFINITY,
+                slow_log: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Queries whose total cost units reach `threshold` get a JSON event
+    /// in the slow-query log.
+    pub fn set_slow_threshold(&self, threshold: f64) {
+        self.inner.lock().slow_threshold = threshold;
+    }
+
+    pub fn slow_threshold(&self) -> f64 {
+        self.inner.lock().slow_threshold
+    }
+
+    /// Record a completed trace; returns the shared handle it is stored
+    /// under so callers can keep reading it without cloning.
+    pub fn record(&self, trace: QueryTrace) -> Arc<QueryTrace> {
+        let trace = Arc::new(trace);
+        let mut g = self.inner.lock();
+        if trace.total_cost() >= g.slow_threshold {
+            if g.slow_log.len() == SLOW_LOG_CAPACITY {
+                g.slow_log.pop_front();
+            }
+            g.slow_log.push_back(trace.to_json().to_string_compact());
+        }
+        if g.ring.len() == g.capacity {
+            g.ring.pop_front();
+        }
+        g.ring.push_back(Arc::clone(&trace));
+        trace
+    }
+
+    /// Recent completed traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<QueryTrace>> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// The most recently completed trace, if any.
+    pub fn last(&self) -> Option<Arc<QueryTrace>> {
+        self.inner.lock().ring.back().cloned()
+    }
+
+    /// Slow-query JSON event lines, oldest first.
+    pub fn slow_query_log(&self) -> Vec<String> {
+        self.inner.lock().slow_log.iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().ring.is_empty()
+    }
+
+    /// Drop all retained traces and slow-query events.
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        g.ring.clear();
+        g.slow_log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceBuilder;
+    use aimdb_common::clock::ManualClock;
+    use aimdb_common::json::Json;
+
+    fn trace_with_cost(cost: f64, label: &str) -> QueryTrace {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, label);
+        let e = tb.open("execute");
+        clock.advance_secs(0.001);
+        tb.add_cost(cost);
+        tb.close(e);
+        tb.finish()
+    }
+
+    #[test]
+    fn ring_is_bounded_and_ordered() {
+        let t = Tracer::new(3);
+        for i in 0..5 {
+            t.record(trace_with_cost(i as f64, &format!("q{i}")));
+        }
+        let recent = t.recent();
+        let labels: Vec<&str> = recent.iter().map(|t| t.label.as_str()).collect();
+        assert_eq!(labels, ["q2", "q3", "q4"]);
+        assert_eq!(t.last().map(|t| t.label.clone()).as_deref(), Some("q4"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn slow_log_gates_on_threshold_and_parses() {
+        let t = Tracer::new(8);
+        t.set_slow_threshold(50.0);
+        t.record(trace_with_cost(10.0, "fast"));
+        t.record(trace_with_cost(99.0, "slow"));
+        let log = t.slow_query_log();
+        assert_eq!(log.len(), 1);
+        let event = Json::parse(&log[0]).expect("valid json event");
+        assert_eq!(
+            event.field("label").and_then(Json::as_str).ok(),
+            Some("slow")
+        );
+        assert_eq!(
+            event.field("cost_units").and_then(Json::as_f64).ok(),
+            Some(99.0)
+        );
+    }
+
+    #[test]
+    fn threshold_infinity_disables_log() {
+        let t = Tracer::new(8);
+        t.record(trace_with_cost(1e12, "huge"));
+        assert!(t.slow_query_log().is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

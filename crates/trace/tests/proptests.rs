@@ -1,0 +1,149 @@
+//! Property suites for the observability layer:
+//! - histogram quantile estimates bracket the exact sorted-sample
+//!   quantiles within the structural error bound `1/SUBBUCKETS`;
+//! - span trees built from arbitrary open/close/advance sequences are
+//!   well-formed under a `ManualClock` (children nested in parents, no
+//!   sibling interval overlap, monotone non-negative durations).
+
+use aimdb_common::clock::ManualClock;
+use aimdb_trace::histogram::SUBBUCKETS;
+use aimdb_trace::{Histogram, QueryTrace, TraceBuilder};
+use proptest::prelude::*;
+
+const QS: [f64; 8] = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+
+/// Exact quantile with the same convention the histogram documents:
+/// index `floor(q * n)` into the sorted samples.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)]
+}
+
+fn check_well_formed(t: &QueryTrace) -> Result<(), String> {
+    if t.spans.is_empty() {
+        return Err("trace has no root span".into());
+    }
+    for s in &t.spans {
+        if s.end_ns < s.start_ns {
+            return Err(format!("span {} ends before it starts", s.id));
+        }
+        if let Some(p) = s.parent {
+            let parent = t
+                .spans
+                .get(p)
+                .ok_or_else(|| format!("span {} has dangling parent {p}", s.id))?;
+            if s.start_ns < parent.start_ns || s.end_ns > parent.end_ns {
+                return Err(format!(
+                    "child {} [{}, {}] escapes parent {} [{}, {}]",
+                    s.id, s.start_ns, s.end_ns, p, parent.start_ns, parent.end_ns
+                ));
+            }
+        } else if s.id != 0 {
+            return Err(format!("non-root span {} has no parent", s.id));
+        }
+    }
+    // siblings must be disjoint (stack discipline: earlier sibling closed
+    // before the later one opened)
+    for a in &t.spans {
+        for b in &t.spans {
+            if a.id < b.id && a.parent == b.parent && a.parent.is_some() {
+                let disjoint = a.end_ns <= b.start_ns || b.end_ns <= a.start_ns;
+                if !disjoint {
+                    return Err(format!(
+                        "siblings {} and {} overlap: [{}, {}] vs [{}, {}]",
+                        a.id, b.id, a.start_ns, a.end_ns, b.start_ns, b.end_ns
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_quantiles_bracket_exact(
+        samples in prop::collection::vec(1.0f64..1_000_000.0, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in QS {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            let bound = exact * (1.0 + 1.0 / SUBBUCKETS as f64) * (1.0 + 1e-9);
+            prop_assert!(
+                est >= exact && est <= bound,
+                "q={} exact={} est={} bound={}",
+                q, exact, est, bound
+            );
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let total: f64 = samples.iter().sum();
+        prop_assert!((h.sum() - total).abs() <= total * 1e-9);
+    }
+
+    #[test]
+    fn histogram_window_replacement_matches_exact_p95(
+        costs in prop::collection::vec(1.0f64..10_000.0, 20..200),
+    ) {
+        // the engine replaced an exact 512-sample window p95 with the
+        // histogram: the estimate must stay within the structural bound
+        let mut h = Histogram::new();
+        for &c in &costs {
+            h.record(c);
+        }
+        let mut sorted = costs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let exact = exact_quantile(&sorted, 0.95);
+        let est = h.quantile(0.95);
+        prop_assert!(est >= exact);
+        prop_assert!(est <= exact * 1.0626);
+    }
+
+    #[test]
+    fn span_trees_are_well_formed(
+        cmds in prop::collection::vec(0u8..10, 0..60),
+    ) {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, "prop");
+        // mirror of the builder's open-span stack (ids we may close)
+        let mut open: Vec<usize> = Vec::new();
+        for &cmd in &cmds {
+            match cmd {
+                0..=3 => {
+                    let names = ["parse", "verify", "optimize", "execute"];
+                    let id = tb.open(names[cmd as usize]);
+                    open.push(id);
+                }
+                4..=5 => {
+                    if let Some(id) = open.pop() {
+                        tb.close(id);
+                    }
+                }
+                6 => {
+                    // close an outer span: everything above it must close too
+                    if !open.is_empty() {
+                        let id = open.remove(0);
+                        open.clear();
+                        tb.close(id);
+                    }
+                }
+                7 => {
+                    tb.add_rows(3);
+                    tb.add_cost(1.5);
+                }
+                _ => clock.advance_secs(0.0005 * cmd as f64),
+            }
+        }
+        let trace = tb.finish();
+        if let Err(msg) = check_well_formed(&trace) {
+            prop_assert!(false, "{}", msg);
+        }
+        prop_assert_eq!(trace.spans[0].parent, None);
+    }
+}

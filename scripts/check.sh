@@ -30,6 +30,13 @@ run cargo run -q --release -p aimdb-bench --bin verify_corpus
 # vectorized-executor micro-bench: prints batch-vs-row speedup and fails
 # below the 2x floor (release build, reduced --smoke workload)
 run cargo run -q --release -p aimdb-bench --bin exec_bench -- --smoke
+# tracing overhead: full-lifecycle passes with query_tracing on vs off
+# must stay within 5% (min-of-N interleaved, release build)
+run cargo run -q --release -p aimdb-bench --bin exec_bench -- --trace --smoke
+# observability demo: EXPLAIN ANALYZE tree, metrics page (asserts the
+# exposition format parses via validate_exposition), trace ring,
+# slow-query log — fails on any assertion
+run cargo run -q --release --example observability
 
 if [[ "${1:-}" == "--crash-loop" ]]; then
     run cargo test -q --test crash_recovery --features fault-injection
