@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 
 use aimdb_common::synth::gaussian;
 use aimdb_common::{AimError, Result};
-use aimdb_engine::trace::QueryTrace;
+use aimdb_engine::trace::{QueryTrace, Span};
 use aimdb_engine::KpiSnapshot;
 use aimdb_ml::bandit::{Bandit, BanditPolicy};
 use aimdb_ml::cluster::KMeans;
@@ -144,6 +144,13 @@ pub struct TraceProfile {
     pub mean_cost: f64,
     /// Buffer miss rate across traced executions (misses / accesses).
     pub buffer_miss_rate: f64,
+    /// Mean utilization of morsel workers across traced parallel
+    /// executions: Σ worker-span time / (workers × execute window),
+    /// summed over traces that ran parallel pipelines. 0 when the
+    /// window held no parallel queries; near 1 when workers stayed
+    /// busy wall-to-wall; low values flag skew — morsels starving all
+    /// but one worker looks exactly like a low ratio here.
+    pub worker_busy_ratio: f64,
 }
 
 impl TraceProfile {
@@ -157,6 +164,7 @@ impl TraceProfile {
             self.mean_rows,
             self.mean_cost,
             self.buffer_miss_rate,
+            self.worker_busy_ratio,
         ]
     }
 }
@@ -173,6 +181,8 @@ pub fn summarize_traces<T: AsRef<QueryTrace>>(traces: &[T]) -> TraceProfile {
     let mut cost = 0.0;
     let mut hits = 0u64;
     let mut misses = 0u64;
+    let mut worker_busy_ns = 0u64;
+    let mut worker_window_ns = 0u64;
     for t in traces {
         let t = t.as_ref();
         total_ns += t.duration_ns();
@@ -186,6 +196,24 @@ pub fn summarize_traces<T: AsRef<QueryTrace>>(traces: &[T]) -> TraceProfile {
         for s in &t.spans {
             hits += s.buffer_hits;
             misses += s.buffer_misses;
+        }
+        // Parallel pipelines leave one "worker-N" child span per morsel
+        // worker; utilization is their combined time over the execute
+        // window they ran inside (workers × window = perfect scaling).
+        let workers = t
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("worker-"))
+            .count() as u64;
+        if workers > 0 {
+            worker_busy_ns += t
+                .spans
+                .iter()
+                .filter(|s| s.name.starts_with("worker-"))
+                .map(Span::duration_ns)
+                .sum::<u64>();
+            let window = t.span("execute").map_or(t.duration_ns(), Span::duration_ns);
+            worker_window_ns += workers * window;
         }
     }
     let n = traces.len() as f64;
@@ -206,6 +234,11 @@ pub fn summarize_traces<T: AsRef<QueryTrace>>(traces: &[T]) -> TraceProfile {
         mean_cost: cost / n,
         buffer_miss_rate: if accesses > 0 {
             misses as f64 / accesses as f64
+        } else {
+            0.0
+        },
+        worker_busy_ratio: if worker_window_ns > 0 {
+            (worker_busy_ns as f64 / worker_window_ns as f64).min(1.0)
         } else {
             0.0
         },
@@ -496,7 +529,22 @@ mod tests {
             "phase fractions {fracs}"
         );
         assert!(p.mean_cost > 0.0);
-        assert_eq!(p.features().len(), 7);
+        // serial window: no worker spans, so no utilization signal
+        assert_eq!(p.worker_busy_ratio, 0.0);
+        assert_eq!(p.features().len(), 8);
+
+        // parallel window: morsel workers leave "worker-N" child spans,
+        // and the profile turns them into a bounded utilization signal
+        db.execute("SET exec_parallelism = 2").unwrap();
+        for _ in 0..4 {
+            db.execute("SELECT COUNT(*) FROM t WHERE a < 100").unwrap();
+        }
+        let p = summarize_traces(&db.recent_traces());
+        assert!(
+            p.worker_busy_ratio > 0.0 && p.worker_busy_ratio <= 1.0,
+            "worker_busy_ratio {}",
+            p.worker_busy_ratio
+        );
     }
 
     #[test]

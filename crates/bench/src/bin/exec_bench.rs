@@ -10,18 +10,26 @@
 //! exec_bench            # 60k rows, 10 timed iterations per executor
 //! exec_bench --smoke    # 20k rows, 3 iterations (CI gate)
 //! exec_bench --trace    # tracing-overhead check: traced vs untraced
+//! exec_bench --parallel # morsel-driven scaling curve at 1/2/4/8 workers
 //! ```
 //!
 //! `--trace` times the full query lifecycle (`Database::execute`) over
 //! the same workload with `query_tracing` on vs off, interleaved
 //! min-of-N, and exits nonzero if tracing costs more than 5%.
+//!
+//! `--parallel` times the batch executor at 1, 2, 4 and 8 morsel
+//! workers, checks every worker count reproduces the serial rows
+//! bit-for-bit, and — on machines with at least 4 cores — exits nonzero
+//! if 4 workers fall short of a 2× speedup over 1. On smaller machines
+//! the curve is printed and the gate reports SKIPPED: extra workers
+//! time-slice one core, so the floor would only measure the scheduler.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use aimdb_common::{Clock, Result, WallClock};
 use aimdb_engine::exec::{execute, ExecContext};
-use aimdb_engine::exec_batch::execute_batched;
+use aimdb_engine::exec_batch::{execute_batched, execute_batched_parallel};
 use aimdb_engine::{Database, PhysicalPlan};
 use aimdb_sql::expr::BuiltinFns;
 use aimdb_sql::{parse, Statement};
@@ -157,9 +165,99 @@ fn trace_overhead(db: &Database, clock: &WallClock, smoke: bool) {
     }
 }
 
+/// Morsel-driven scaling curve: the same planned workload through the
+/// batch executor at 1, 2, 4 and 8 workers. Every worker count must
+/// reproduce the 1-worker rows exactly (the determinism contract the
+/// differential suite checks in depth); timing is whole-workload,
+/// `iters` passes per worker count. The ≥2× gate at 4 workers only
+/// binds when the machine actually has 4 cores to scale onto.
+fn parallel_scaling(db: &Database, clock: &WallClock, iters: usize) {
+    const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+    let fns = BuiltinFns;
+    let plans: Vec<(&str, PhysicalPlan)> = WORKLOAD
+        .iter()
+        .map(|sql| (*sql, plan_query(db, sql)))
+        .collect();
+
+    // Correctness before timing: thread count must be unobservable.
+    for (sql, plan) in &plans {
+        let ctx = ExecContext::new(&db.catalog, &fns);
+        let serial = match execute_batched_parallel(plan, &ctx, BATCH_SIZE, 1) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("serial run failed ({e}): {sql}");
+                std::process::exit(2);
+            }
+        };
+        for &w in &WORKER_COUNTS[1..] {
+            let ctx = ExecContext::new(&db.catalog, &fns);
+            match execute_batched_parallel(plan, &ctx, BATCH_SIZE, w) {
+                Ok(rows) if rows == serial => {}
+                Ok(rows) => {
+                    eprintln!(
+                        "FAIL: workers={w} diverged from serial ({} vs {} rows): {sql}",
+                        rows.len(),
+                        serial.len()
+                    );
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("workers={w} failed ({e}): {sql}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "exec_bench --parallel: {iters} pass(es)/worker count, batch_size={BATCH_SIZE}, {cores} core(s)"
+    );
+    let mut pass_secs = Vec::with_capacity(WORKER_COUNTS.len());
+    for &w in &WORKER_COUNTS {
+        let mut total = 0.0f64;
+        for (_, plan) in &plans {
+            // warmup so page decoding and thread start-up are off the clock
+            let ctx = ExecContext::new(&db.catalog, &fns);
+            if let Err(e) = execute_batched_parallel(plan, &ctx, BATCH_SIZE, w) {
+                eprintln!("warmup failed ({e})");
+                std::process::exit(2);
+            }
+            let (secs, _) = time_runs(clock, iters, || {
+                let ctx = ExecContext::new(&db.catalog, &fns);
+                execute_batched_parallel(plan, &ctx, BATCH_SIZE, w).map(|r| r.len())
+            });
+            total += secs;
+        }
+        pass_secs.push(total);
+        println!(
+            "  workers={w}: {:7.2}ms per pass | {:5.2}x vs 1 worker",
+            total * 1e3 / iters as f64,
+            pass_secs[0] / total.max(1e-9)
+        );
+    }
+
+    let speedup4 = pass_secs[0] / pass_secs[2].max(1e-9);
+    if cores >= 4 {
+        println!("exec_bench --parallel: speedup at 4 workers {speedup4:.2}x (floor {SPEEDUP_FLOOR:.1}x)");
+        if speedup4 < SPEEDUP_FLOOR {
+            eprintln!(
+                "FAIL: 4-worker speedup {speedup4:.2}x is below the {SPEEDUP_FLOOR:.1}x floor"
+            );
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "exec_bench --parallel: speedup at 4 workers {speedup4:.2}x — \
+             gate SKIPPED ({cores} core(s) < 4, nothing to scale onto)"
+        );
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let trace = std::env::args().any(|a| a == "--trace");
+    let parallel = std::env::args().any(|a| a == "--parallel");
     let (n_rows, iters) = if smoke { (20_000, 3) } else { (60_000, 10) };
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -172,6 +270,10 @@ fn main() {
     let clock = WallClock::new();
     if trace {
         trace_overhead(&db, &clock, smoke);
+        return;
+    }
+    if parallel {
+        parallel_scaling(&db, &clock, iters);
         return;
     }
     let fns = BuiltinFns;

@@ -235,6 +235,17 @@ pub fn e4() -> Report {
 
 /// E5 — learned cardinality estimation vs histograms under correlation.
 pub fn e5() -> Report {
+    try_e5().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E5",
+            "cardinality estimation: q-error vs column correlation",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e5() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::cardinality::*;
     let mut r = Report::new(
         "E5",
@@ -246,11 +257,15 @@ pub fn e5() -> Report {
     ));
     for corr in [0.0, 0.5, 0.9] {
         let data = CorrData::generate(20_000, 100, corr, 11);
-        let db = data.load_into_db().expect("db");
-        let st = db.stats_snapshot().get("pairs").expect("stats").clone();
+        let db = data.load_into_db()?;
+        let st = db
+            .stats_snapshot()
+            .get("pairs")
+            .cloned()
+            .ok_or_else(|| aimdb_common::AimError::Plan("pairs stats missing".into()))?;
         let train = data.gen_queries(600, 21);
         let test = data.gen_queries(150, 22);
-        let model = LearnedCard::train(&data, &train, 5).expect("train");
+        let model = LearnedCard::train(&data, &train, 5)?;
         let hist = evaluate("histogram", &data, &test, |q| histogram_estimate(&st, q));
         let learned = evaluate("learned", &data, &test, |q| model.estimate(q));
         r.row(format!(
@@ -262,7 +277,7 @@ pub fn e5() -> Report {
         "expected shape: comparable at corr=0; histograms blow up with corr, learned stays flat"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E6 — join order selection across topologies and sizes.
@@ -508,6 +523,17 @@ pub fn e12() -> Report {
 
 /// E13 — learned security: SQLi, PII discovery, access control.
 pub fn e13() -> Report {
+    try_e13().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E13",
+            "security: precision/recall/F1 of learned vs rule-based",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e13() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::security::*;
     use aimdb_ml::metrics::binary_prf;
     let mut r = Report::new(
@@ -516,8 +542,8 @@ pub fn e13() -> Report {
     );
     let train = generate_sql_corpus(600, 1);
     let test = generate_sql_corpus(300, 2);
-    let bayes = SqliDetector::train_bayes(&train).expect("bayes");
-    let tree = SqliDetector::train_tree(&train, 3).expect("tree");
+    let bayes = SqliDetector::train_bayes(&train)?;
+    let tree = SqliDetector::train_tree(&train, 3)?;
     r.row("SQL injection:".into());
     for (name, prf) in [
         ("keyword-blacklist", detector_prf(&test, blacklist_detect)),
@@ -531,7 +557,7 @@ pub fn e13() -> Report {
     }
     let train_cols = generate_columns(280, 1);
     let test_cols = generate_columns(140, 2);
-    let disc = train_discovery(&train_cols, 3).expect("discovery");
+    let disc = train_discovery(&train_cols, 3)?;
     let truth: Vec<f64> = test_cols
         .iter()
         .map(|c| if c.kind.is_sensitive() { 1.0 } else { 0.0 })
@@ -557,7 +583,7 @@ pub fn e13() -> Report {
     ));
     let train_log = generate_requests(1500, 0.02, 1);
     let test_log = generate_requests(500, 0.0, 2);
-    let acm = train_access_model(&train_log, 3).expect("access");
+    let acm = train_access_model(&train_log, 3)?;
     let acl = static_acl(&train_log);
     let tree_acc = test_log
         .iter()
@@ -577,7 +603,7 @@ pub fn e13() -> Report {
         "expected shape: learned recall ≫ rules on obfuscated/reformatted inputs; policy > ACL"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E14 — data governance: discovery, cleaning, labeling, lineage.
@@ -713,6 +739,14 @@ fn try_e15() -> aimdb_common::Result<Report> {
 
 /// E16 — in-database inference + hybrid DB&AI pushdown.
 pub fn e16() -> Report {
+    try_e16().unwrap_or_else(|e| {
+        let mut r = Report::new("E16", "inference execution + hybrid DB&AI pushdown");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e16() -> aimdb_common::Result<Report> {
     use aimdb_db4ai::hybrid::*;
     use aimdb_db4ai::inference::*;
     use aimdb_engine::Database;
@@ -742,16 +776,13 @@ pub fn e16() -> Report {
     ));
     // hybrid hospital query
     let db = Database::new();
-    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")
-        .expect("ddl");
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT)")?;
     let tuples: Vec<String> = (0..5000)
         .map(|i| format!("({i}, {}, {})", 20 + (i * 7) % 60, (i % 10) as f64 / 2.0))
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
-        .expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))?;
     let lin = LinearRegression::from_weights(vec![0.05, 0.8], 0.0);
-    let (naive, pushed) =
-        run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0).expect("hybrid");
+    let (naive, pushed) = run_hospital_query(&db, "patients", &["age", "severity"], &lin, 6.5, 0)?;
     r.row(format!(
         "hybrid 'stay > 3 days' query: predict-all {} invocations ({:.0} units) vs pushdown {} ({:.0} units); same {} rows",
         naive.model_invocations,
@@ -761,7 +792,7 @@ pub fn e16() -> Report {
         naive.qualifying.len()
     ));
     r.row("expected shape: batched ≫ per-row UDF; cache wins on duplicates; pushdown cuts invocations".into());
-    r
+    Ok(r)
 }
 
 /// A1 — model-convergence guard: fall back to heuristics when the learned

@@ -83,13 +83,23 @@ pub(crate) fn op_name(op: &PhysOp) -> &'static str {
         PhysOp::Sort { .. } => "sort",
         PhysOp::Limit { .. } => "limit",
         PhysOp::Values { .. } => "values",
+        PhysOp::Exchange { .. } => "exchange",
     }
 }
 
-/// Per-node actuals in preorder, from the executor's (operator, node)
-/// keyed counters. Nodes the executor never pulled report zeros.
+/// Per-node actuals in preorder, from the executor's (operator, node,
+/// worker) keyed counters. A node run by several morsel workers reports
+/// the *sum* across workers; nodes the executor never pulled report
+/// zeros.
 pub(crate) fn node_actuals(plan: &PhysicalPlan, ops: &[(OpKey, OpStats)]) -> Vec<NodeActuals> {
-    let by_node: BTreeMap<usize, OpStats> = ops.iter().map(|&((_, node), st)| (node, st)).collect();
+    let mut by_node: BTreeMap<usize, OpStats> = BTreeMap::new();
+    for &((_, node, _worker), st) in ops {
+        let e = by_node.entry(node).or_default();
+        e.rows += st.rows;
+        e.batches += st.batches;
+        e.ns += st.ns;
+        e.cost_units += st.cost_units;
+    }
     let mut out = Vec::with_capacity(plan.node_count());
     walk(plan, None, &mut 0, &by_node, &mut out);
     out

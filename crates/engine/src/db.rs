@@ -18,8 +18,8 @@ use aimdb_trace::{validate_exposition, QueryTrace, TraceBuilder, Tracer};
 
 use crate::analyze::AnalyzeReport;
 use crate::catalog::{Catalog, Table};
-use crate::exec::{execute, ExecContext, OpKey, OpStats};
-use crate::exec_batch::execute_batched;
+use crate::exec::{execute, ExecContext, OpKey, OpStats, WorkerSpan};
+use crate::exec_batch::execute_batched_parallel;
 use crate::knobs::Knobs;
 use crate::metrics::{KpiSnapshot, Metrics};
 use crate::optimizer::{CardEstimator, HistogramEstimator, Planner};
@@ -810,10 +810,12 @@ impl Database {
         let pool_before = tb.is_some().then(|| self.pool.stats());
         let (rows, cost, ops) = if vectorized {
             let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
+            let workers = self.exec_workers();
             let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
-            let rows = execute_batched(plan, &ctx, bs)?;
+            let rows = execute_batched_parallel(plan, &ctx, bs, workers)?;
             let ops = ctx.take_op_stats();
             self.flush_op_stats(&ops);
+            self.note_worker_spans(ctx.take_worker_spans(), tb.as_deref_mut());
             let cost = ctx.cost_units();
             (rows, cost, ops)
         } else {
@@ -843,8 +845,50 @@ impl Database {
     }
 
     fn flush_op_stats(&self, ops: &[(OpKey, OpStats)]) {
-        for &((name, node), stats) in ops {
-            self.metrics.record_operator(name, node, stats);
+        for &((name, node, worker), stats) in ops {
+            self.metrics.record_operator(name, node, worker, stats);
+        }
+    }
+
+    /// Resolve the `exec_parallelism` knob to a morsel worker count:
+    /// 0 means one worker per available core (capped at the knob max).
+    fn exec_workers(&self) -> usize {
+        let n = self.knobs.get("exec_parallelism").unwrap_or(0);
+        if n > 0 {
+            n as usize
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(64)
+        }
+    }
+
+    /// Attach morsel-worker wall-clock footprints to the active trace —
+    /// as pre-timed (and mutually overlapping) children of the open
+    /// `execute` span — and refresh the `aimdb_worker_busy_ratio` gauge:
+    /// the fraction of the workers' combined wall-clock window spent
+    /// processing morsels rather than waiting on the dispenser.
+    fn note_worker_spans(&self, spans: Vec<WorkerSpan>, tb: Option<&mut TraceBuilder<'_>>) {
+        if spans.is_empty() {
+            return;
+        }
+        if let Some(t) = tb {
+            for s in &spans {
+                t.push_span_at(&format!("worker-{}", s.worker), s.start_ns, s.end_ns, 0);
+            }
+        }
+        let mut window = 0u64;
+        let mut busy = 0u64;
+        for s in &spans {
+            window += s.end_ns.saturating_sub(s.start_ns);
+            busy += s.busy_ns;
+        }
+        if window > 0 {
+            self.metrics.registry().set_gauge(
+                "aimdb_worker_busy_ratio",
+                (busy as f64 / window as f64).min(1.0),
+            );
         }
     }
 
@@ -879,10 +923,12 @@ impl Database {
         let clock = self.clock();
         let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
         let eid = tb.as_deref_mut().map(|t| t.open("execute"));
+        let workers = self.exec_workers();
         let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
-        let rows = execute_batched(&plan, &ctx, bs)?;
+        let rows = execute_batched_parallel(&plan, &ctx, bs, workers)?;
         let ops = ctx.take_op_stats();
         self.flush_op_stats(&ops);
+        self.note_worker_spans(ctx.take_worker_spans(), tb.as_deref_mut());
         let cost = ctx.cost_units();
         if let Some(t) = tb {
             t.add_rows(rows.len() as u64);
@@ -922,13 +968,15 @@ impl Database {
                 ("aimdb_operator_ns_total", 2),
             ] {
                 out.push_str(&format!("# TYPE {family} counter\n"));
-                for &((name, node), st) in &ops {
+                for &((name, node, worker), st) in &ops {
                     let v = match pick {
                         0 => st.rows,
                         1 => st.batches,
                         _ => st.ns,
                     };
-                    out.push_str(&format!("{family}{{op=\"{name}\",node=\"{node}\"}} {v}\n"));
+                    out.push_str(&format!(
+                        "{family}{{op=\"{name}\",node=\"{node}\",worker=\"{worker}\"}} {v}\n"
+                    ));
                 }
             }
         }
@@ -1446,7 +1494,7 @@ mod tests {
         assert!(page.contains("aimdb_query_cost_units{quantile=\"0.95\"}"));
         assert!(page.contains("aimdb_buffer_hit_rate"));
         assert!(page.contains("aimdb_operator_rows_total{op=\"seq_scan\",node="));
-        assert!(page.contains("aimdb_operator_ns_total{op=\"project\",node=\"0\"}"));
+        assert!(page.contains("aimdb_operator_ns_total{op=\"project\",node=\"0\",worker=\"0\"}"));
         let kpis = db.kpis();
         assert!(kpis.p50_cost_per_query > 0.0);
         assert!(kpis.p50_cost_per_query <= kpis.p99_cost_per_query);
@@ -1509,11 +1557,11 @@ mod tests {
             .metrics
             .operator_stats()
             .into_iter()
-            .filter(|((name, _), _)| *name == "seq_scan")
+            .filter(|((name, _, _), _)| *name == "seq_scan")
             .collect();
         assert!(scans.len() >= 2, "scans merged: {scans:?}");
         let nodes: std::collections::HashSet<usize> =
-            scans.iter().map(|((_, node), _)| *node).collect();
+            scans.iter().map(|((_, node, _), _)| *node).collect();
         assert_eq!(nodes.len(), scans.len(), "node ids collide");
     }
 }

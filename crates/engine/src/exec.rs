@@ -29,10 +29,30 @@ pub struct OpStats {
     pub cost_units: f64,
 }
 
-/// Key for per-operator counters: operator name plus the preorder
-/// plan-node id (root = 0, matching `EXPLAIN` line order), so two
-/// filters in one plan keep separate counters.
-pub type OpKey = (&'static str, usize);
+/// Key for per-operator counters: operator name, the preorder plan-node
+/// id (root = 0, matching `EXPLAIN` line order), and the worker id that
+/// did the work (0 = the main thread / serial pipeline; morsel workers
+/// are numbered from 1). Two filters in one plan — or two workers
+/// running the same plan node — keep separate counters.
+pub type OpKey = (&'static str, usize, usize);
+
+/// The worker id the serial pipeline (and every main-thread operator)
+/// reports under.
+pub const MAIN_WORKER: usize = 0;
+
+/// Wall-clock footprint of one morsel worker inside a parallel region:
+/// when it started and stopped (context clock, ns), and how much of that
+/// window it spent processing morsels (`busy_ns`) rather than waiting on
+/// the dispenser. Feeds the per-worker trace spans and the
+/// `worker_busy_ratio` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSpan {
+    /// 1-based worker id (matching the `OpKey` worker dimension).
+    pub worker: usize,
+    pub start_ns: u64,
+    pub end_ns: u64,
+    pub busy_ns: u64,
+}
 
 /// Execution context: catalog access, scalar-function registry, and the
 /// actual-cost accumulator.
@@ -42,6 +62,7 @@ pub struct ExecContext<'a> {
     cost_units: Cell<f64>,
     clock: Option<&'a dyn Clock>,
     op_stats: RefCell<BTreeMap<OpKey, OpStats>>,
+    worker_spans: RefCell<Vec<WorkerSpan>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -52,6 +73,7 @@ impl<'a> ExecContext<'a> {
             cost_units: Cell::new(0.0),
             clock: None,
             op_stats: RefCell::new(BTreeMap::new()),
+            worker_spans: RefCell::new(Vec::new()),
         }
     }
 
@@ -81,23 +103,29 @@ impl<'a> ExecContext<'a> {
         }
     }
 
+    /// The injected clock, if any. `Clock` is `Send + Sync`, so the
+    /// reference can be shared with scoped morsel workers.
+    pub(crate) fn clock(&self) -> Option<&'a dyn Clock> {
+        self.clock
+    }
+
     /// Fold one operator observation into the per-operator counters,
-    /// keyed by (operator name, plan-node id).
-    pub(crate) fn record_op(
-        &self,
-        name: &'static str,
-        node: usize,
-        rows: u64,
-        batches: u64,
-        ns: u64,
-        cost_units: f64,
-    ) {
+    /// keyed by (operator name, plan-node id, worker id). Also merges
+    /// worker-accumulated bundles on the main thread after a parallel
+    /// region's workers joined — the merge order (and thus the counter
+    /// state) stays deterministic.
+    pub(crate) fn record_op_stats(&self, key: OpKey, st: OpStats) {
         let mut stats = self.op_stats.borrow_mut();
-        let e = stats.entry((name, node)).or_default();
-        e.rows += rows;
-        e.batches += batches;
-        e.ns += ns;
-        e.cost_units += cost_units;
+        let e = stats.entry(key).or_default();
+        e.rows += st.rows;
+        e.batches += st.batches;
+        e.ns += st.ns;
+        e.cost_units += st.cost_units;
+    }
+
+    /// Record one morsel worker's wall-clock footprint.
+    pub(crate) fn note_worker_span(&self, span: WorkerSpan) {
+        self.worker_spans.borrow_mut().push(span);
     }
 
     /// Drain the per-operator counters (the engine flushes them into
@@ -106,6 +134,12 @@ impl<'a> ExecContext<'a> {
         std::mem::take(&mut *self.op_stats.borrow_mut())
             .into_iter()
             .collect()
+    }
+
+    /// Drain the per-worker spans recorded by parallel regions (the
+    /// engine turns them into child trace spans and the busy gauge).
+    pub fn take_worker_spans(&self) -> Vec<WorkerSpan> {
+        std::mem::take(&mut *self.worker_spans.borrow_mut())
     }
 }
 
@@ -322,6 +356,10 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
             Ok(rows)
         }
         PhysOp::Values { rows } => Ok(rows.clone()),
+        // a pure passthrough for the row executor: parallelism is a
+        // batch-pipeline concern, and the region below emits the same
+        // rows in the same order either way
+        PhysOp::Exchange { input } => execute(input, ctx),
     }
 }
 
@@ -383,6 +421,45 @@ impl AggState {
                         *m = Some(val.clone());
                     }
                 }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold a partial state — computed over a *later* contiguous run of
+    /// rows — into `self`. Exact for COUNT / MIN / MAX (order-free) and
+    /// for SUM / AVG whose partial sums are exactly representable (Int
+    /// arguments below 2^53); the parallel executor only partial-
+    /// aggregates in those cases, feeding everything else through the
+    /// serial fold so float results stay bit-identical.
+    pub(crate) fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Avg(s, n), AggState::Avg(s2, n2)) => {
+                *s += s2;
+                *n += n2;
+            }
+            (AggState::Min(m), AggState::Min(o)) => {
+                // strict `<` keeps the earlier-seen value on ties, like
+                // the serial fold (merges run in morsel order)
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v < *cur) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(m), AggState::Max(o)) => {
+                if let Some(v) = o {
+                    if m.as_ref().is_none_or(|cur| v > *cur) {
+                        *m = Some(v);
+                    }
+                }
+            }
+            _ => {
+                return Err(AimError::Execution(
+                    "mismatched aggregate states in partial-aggregate merge".into(),
+                ))
             }
         }
         Ok(())

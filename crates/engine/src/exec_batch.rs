@@ -19,29 +19,60 @@
 //!   build-insertion order,
 //! - aggregation emits first-seen group order,
 //! - sort is stable over the same precomputed keys.
+//!
+//! # Morsel-driven parallelism
+//!
+//! [`PhysOp::Exchange`] nodes (inserted by the optimizer over maximal
+//! scan→filter→project regions) become a scoped worker pool when
+//! `workers > 1`: workers pull fixed page-range *morsels* from a shared
+//! atomic [`MorselDispenser`] and run the compiled region pipeline on
+//! each. Per-morsel outputs are merged on the main thread *in morsel
+//! order*, which reproduces the serial scan's row order exactly — so
+//! results are bit-identical at any thread count. Aggregates directly
+//! above an exchange are fused into the workers (partial aggregation)
+//! only when merging partial states is exact: COUNT/MIN/MAX always,
+//! SUM/AVG only over base-table Int columns (exact in f64); float sums
+//! stay on the serial fold path, whose element-wise row order does not
+//! depend on batch or morsel boundaries.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use aimdb_common::{AimError, Batch, ColVec, Result, Row, Schema, Value};
+use aimdb_common::{AimError, Batch, Clock, ColVec, DataType, Result, Row, Schema, Value};
+use aimdb_sql::ast::AggFunc;
+use aimdb_sql::expr::{Expr, ScalarFns};
 use aimdb_sql::logical::AggExpr;
 use aimdb_sql::vexpr::{self, VExpr};
 
 use crate::catalog::Table;
-use crate::exec::{AggState, ExecContext};
+use crate::exec::{AggState, ExecContext, OpStats, WorkerSpan, MAIN_WORKER};
 use crate::plan::{PhysOp, PhysicalPlan};
-use aimdb_storage::{HeapScanCursor, RowId};
+use aimdb_storage::{HeapScanCursor, Morsel, MorselDispenser, MorselSource, RowId};
 
 /// Execute a physical plan to completion through the batch pipeline,
-/// pulling `batch_size`-row batches through the operator tree.
+/// pulling `batch_size`-row batches through the operator tree. Serial:
+/// exchange nodes degenerate to pass-throughs.
 pub fn execute_batched(
     plan: &PhysicalPlan,
     ctx: &ExecContext,
     batch_size: usize,
 ) -> Result<Vec<Row>> {
+    execute_batched_parallel(plan, ctx, batch_size, 1)
+}
+
+/// Execute a physical plan with up to `workers` morsel threads inside
+/// each exchange region. `workers <= 1` is exactly [`execute_batched`];
+/// any worker count produces identical results.
+pub fn execute_batched_parallel(
+    plan: &PhysicalPlan,
+    ctx: &ExecContext,
+    batch_size: usize,
+    workers: usize,
+) -> Result<Vec<Row>> {
     let bs = batch_size.max(1);
+    let workers = workers.clamp(1, 64);
     let mut next_id = 0;
-    let mut root = build(plan, ctx, bs, &mut next_id)?;
+    let mut root = build(plan, ctx, bs, workers, &mut next_id)?;
     let mut out = Vec::new();
     while let Some(b) = root.next()? {
         out.extend(b.to_rows());
@@ -63,6 +94,7 @@ fn build<'p>(
     plan: &'p PhysicalPlan,
     ctx: &'p ExecContext<'p>,
     bs: usize,
+    workers: usize,
     next_id: &mut usize,
 ) -> Result<Box<dyn BatchOp + 'p>> {
     let node = *next_id;
@@ -129,7 +161,7 @@ fn build<'p>(
             (
                 "filter",
                 Box::new(FilterOp {
-                    input: build(input, ctx, bs, next_id)?,
+                    input: build(input, ctx, bs, workers, next_id)?,
                     pred,
                     ctx,
                 }),
@@ -143,7 +175,7 @@ fn build<'p>(
             (
                 "project",
                 Box::new(ProjectOp {
-                    input: build(input, ctx, bs, next_id)?,
+                    input: build(input, ctx, bs, workers, next_id)?,
                     exprs: compiled,
                     ctx,
                 }),
@@ -157,8 +189,8 @@ fn build<'p>(
             (
                 "nested_loop_join",
                 Box::new(NestedLoopJoinOp {
-                    left: Some(build(left, ctx, bs, next_id)?),
-                    right: Some(build(right, ctx, bs, next_id)?),
+                    left: Some(build(left, ctx, bs, workers, next_id)?),
+                    right: Some(build(right, ctx, bs, workers, next_id)?),
                     on,
                     out_schema: &plan.schema,
                     ctx,
@@ -186,8 +218,8 @@ fn build<'p>(
             (
                 "hash_join",
                 Box::new(HashJoinOp {
-                    left: Some(build(left, ctx, bs, next_id)?),
-                    right: Some(build(right, ctx, bs, next_id)?),
+                    left: Some(build(left, ctx, bs, workers, next_id)?),
+                    right: Some(build(right, ctx, bs, workers, next_id)?),
                     lkey,
                     rkey,
                     residual,
@@ -221,20 +253,55 @@ fn build<'p>(
                         .transpose()
                 })
                 .collect::<Result<Vec<_>>>()?;
-            (
-                "aggregate",
-                Box::new(AggregateOp {
-                    input: Some(build(input, ctx, bs, next_id)?),
-                    group,
-                    args,
-                    aggs,
-                    out_schema: &plan.schema,
-                    ctx,
-                    bs,
-                    out: Vec::new(),
-                    pos: 0,
-                }),
-            )
+            // fuse the aggregate into the exchange's morsel workers when
+            // partial-state merging is provably exact (see module doc)
+            let fused = match &input.op {
+                PhysOp::Exchange { input: region } if workers > 1 && mergeable(aggs, region) => {
+                    Some(region)
+                }
+                _ => None,
+            };
+            match fused {
+                Some(region_plan) => {
+                    let exchange_node = *next_id;
+                    *next_id += 1;
+                    let region = compile_region(region_plan, ctx, next_id)?;
+                    (
+                        "aggregate",
+                        Box::new(ParallelAggOp {
+                            region,
+                            spec: PartialAggSpec {
+                                group,
+                                args,
+                                aggs,
+                                agg_node: node,
+                                exchange_node,
+                            },
+                            out_schema: &plan.schema,
+                            ctx,
+                            bs,
+                            workers,
+                            out: Vec::new(),
+                            pos: 0,
+                            opened: false,
+                        }),
+                    )
+                }
+                None => (
+                    "aggregate",
+                    Box::new(AggregateOp {
+                        input: Some(build(input, ctx, bs, workers, next_id)?),
+                        group,
+                        args,
+                        aggs,
+                        out_schema: &plan.schema,
+                        ctx,
+                        bs,
+                        out: Vec::new(),
+                        pos: 0,
+                    }),
+                ),
+            }
         }
         PhysOp::Sort { input, keys } => {
             let compiled = keys
@@ -244,7 +311,7 @@ fn build<'p>(
             (
                 "sort",
                 Box::new(SortOp {
-                    input: Some(build(input, ctx, bs, next_id)?),
+                    input: Some(build(input, ctx, bs, workers, next_id)?),
                     keys: compiled,
                     out_schema: &plan.schema,
                     ctx,
@@ -257,7 +324,7 @@ fn build<'p>(
         PhysOp::Limit { input, n } => (
             "limit",
             Box::new(LimitOp {
-                input: build(input, ctx, bs, next_id)?,
+                input: build(input, ctx, bs, workers, next_id)?,
                 remaining: *n,
             }),
         ),
@@ -270,6 +337,29 @@ fn build<'p>(
                 bs,
             }),
         ),
+        PhysOp::Exchange { input } => {
+            if workers <= 1 {
+                (
+                    "exchange",
+                    Box::new(PassthroughOp {
+                        input: build(input, ctx, bs, workers, next_id)?,
+                    }),
+                )
+            } else {
+                let region = compile_region(input, ctx, next_id)?;
+                (
+                    "exchange",
+                    Box::new(ExchangeOp {
+                        region,
+                        ctx,
+                        bs,
+                        workers,
+                        out: Vec::new(),
+                        opened: false,
+                    }),
+                )
+            }
+        }
     };
     Ok(Box::new(Instrumented {
         name,
@@ -296,12 +386,19 @@ impl BatchOp for Instrumented<'_> {
         let r = self.inner.next();
         let ns = self.ctx.clock_ns().saturating_sub(t0);
         let cost = self.ctx.cost_units() - c0;
-        match &r {
-            Ok(Some(b)) => self
-                .ctx
-                .record_op(self.name, self.node, b.len() as u64, 1, ns, cost),
-            _ => self.ctx.record_op(self.name, self.node, 0, 0, ns, cost),
-        }
+        let (rows, batches) = match &r {
+            Ok(Some(b)) => (b.len() as u64, 1),
+            _ => (0, 0),
+        };
+        self.ctx.record_op_stats(
+            (self.name, self.node, MAIN_WORKER),
+            OpStats {
+                rows,
+                batches,
+                ns,
+                cost_units: cost,
+            },
+        );
         r
     }
 }
@@ -928,4 +1025,585 @@ fn drain_keyed(
         }
     }
     Ok((rows, keys))
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel regions
+// ---------------------------------------------------------------------------
+
+/// `Exchange` with one worker: the parallelism boundary is a no-op.
+struct PassthroughOp<'p> {
+    input: Box<dyn BatchOp + 'p>,
+}
+
+impl BatchOp for PassthroughOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.input.next()
+    }
+}
+
+/// One pipeline stage above the scan inside an exchange region.
+enum StageKind {
+    Filter(VExpr),
+    Project(Vec<VExpr>),
+}
+
+struct RegionStage {
+    kind: StageKind,
+    node: usize,
+}
+
+impl RegionStage {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            StageKind::Filter(_) => "filter",
+            StageKind::Project(_) => "project",
+        }
+    }
+}
+
+/// A compiled scan→filter→project pipeline under an `Exchange`:
+/// everything a morsel worker needs, with no reference back into the
+/// (single-threaded) execution context, so it can be shared across the
+/// scoped worker pool.
+struct RegionSpec<'p> {
+    source: MorselSource,
+    scan_schema: &'p Schema,
+    scan_filter: Option<VExpr>,
+    scan_node: usize,
+    /// Stages above the scan, in application (scan-upwards) order.
+    stages: Vec<RegionStage>,
+}
+
+/// Compile the plan subtree under an exchange into a [`RegionSpec`],
+/// consuming preorder node ids exactly like `build` would so the ids in
+/// worker-side counters line up with `EXPLAIN` / `EXPLAIN ANALYZE`.
+fn compile_region<'p>(
+    plan: &'p PhysicalPlan,
+    ctx: &ExecContext<'p>,
+    next_id: &mut usize,
+) -> Result<RegionSpec<'p>> {
+    let mut stages: Vec<RegionStage> = Vec::new();
+    let mut cur = plan;
+    loop {
+        let node = *next_id;
+        *next_id += 1;
+        match &cur.op {
+            PhysOp::Filter { input, predicate } => {
+                stages.push(RegionStage {
+                    kind: StageKind::Filter(vexpr::compile(predicate, &input.schema)?),
+                    node,
+                });
+                cur = input;
+            }
+            PhysOp::Project { input, exprs } => {
+                let compiled = exprs
+                    .iter()
+                    .map(|e| vexpr::compile(e, &input.schema))
+                    .collect::<Result<Vec<_>>>()?;
+                stages.push(RegionStage {
+                    kind: StageKind::Project(compiled),
+                    node,
+                });
+                cur = input;
+            }
+            PhysOp::SeqScan { table, filter, .. } => {
+                let t = ctx.catalog.table(table)?;
+                let scan_filter = filter
+                    .as_ref()
+                    .map(|f| vexpr::compile(f, &cur.schema))
+                    .transpose()?;
+                // collected top-down; workers apply them scan-upwards
+                stages.reverse();
+                return Ok(RegionSpec {
+                    source: t.heap.morsel_source(),
+                    scan_schema: &cur.schema,
+                    scan_filter,
+                    scan_node: node,
+                    stages,
+                });
+            }
+            _ => {
+                return Err(AimError::Execution(
+                    "Exchange region contains a non-parallelizable operator".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Aggregate fused into an exchange's workers: each morsel folds into
+/// its own state set; the main thread merges states in morsel order.
+struct PartialAggSpec<'p> {
+    group: Vec<VExpr>,
+    args: Vec<Option<VExpr>>,
+    aggs: &'p [AggExpr],
+    agg_node: usize,
+    exchange_node: usize,
+}
+
+/// Is partial aggregation *exact* for these aggregates over this region?
+/// COUNT/MIN/MAX states merge exactly for any input. SUM/AVG fold in
+/// f64, where addition only reassociates losslessly when every addend is
+/// an integer (exact below 2^53) — so the argument must be a bare
+/// base-table Int column, traced through the region's projections.
+fn mergeable(aggs: &[AggExpr], region: &PhysicalPlan) -> bool {
+    aggs.iter().all(|a| match a.func {
+        AggFunc::Count | AggFunc::Min | AggFunc::Max => true,
+        AggFunc::Sum | AggFunc::Avg => a
+            .arg
+            .as_ref()
+            .is_some_and(|e| traces_to_int_column(region, e)),
+    })
+}
+
+/// Resolve a column the way `vexpr::compile` does: qualified spelling
+/// first, then the bare name.
+fn resolve_col(schema: &Schema, qualifier: &Option<String>, name: &str) -> Option<usize> {
+    let full = match qualifier {
+        Some(q) => format!("{q}.{name}"),
+        None => name.to_string(),
+    };
+    schema
+        .index_of(&full)
+        .or_else(|_| schema.index_of(name))
+        .ok()
+}
+
+/// Does `expr`, evaluated against `region`'s output, reduce to a plain
+/// base-table Int column? Follows pure column passthroughs in Project
+/// stages down to the scan, where the catalog type is authoritative.
+fn traces_to_int_column(region: &PhysicalPlan, expr: &Expr) -> bool {
+    let Expr::Column { qualifier, name } = expr else {
+        return false;
+    };
+    let Some(idx) = resolve_col(&region.schema, qualifier, name) else {
+        return false;
+    };
+    match &region.op {
+        PhysOp::SeqScan { .. } => region.schema.columns()[idx].data_type == DataType::Int,
+        PhysOp::Filter { input, .. } => traces_to_int_column(input, expr),
+        PhysOp::Project { input, exprs } => traces_to_int_column(input, &exprs[idx]),
+        _ => false,
+    }
+}
+
+/// What one morsel produced: region output batches, or partial
+/// aggregate states when the aggregate is fused into the workers.
+enum MorselOut {
+    Batches(Vec<Batch>),
+    Global(Vec<AggState>),
+    Grouped(Vec<(Vec<Value>, Vec<AggState>)>),
+}
+
+/// Per-worker counters accumulated off-thread (the context's cells are
+/// not `Sync`) and merged into the context after the pool joins.
+#[derive(Default)]
+struct WorkerAcc {
+    stats: BTreeMap<(&'static str, usize), OpStats>,
+    cost: f64,
+}
+
+impl WorkerAcc {
+    /// Record a non-empty output batch for one region node.
+    fn bump(&mut self, name: &'static str, node: usize, rows: u64) {
+        let e = self.stats.entry((name, node)).or_default();
+        e.rows += rows;
+        e.batches += 1;
+    }
+
+    /// Charge cost units to one region node (and the region total).
+    fn charge(&mut self, name: &'static str, node: usize, units: f64) {
+        self.cost += units;
+        self.stats.entry((name, node)).or_default().cost_units += units;
+    }
+
+    fn add_ns(&mut self, name: &'static str, node: usize, ns: u64) {
+        self.stats.entry((name, node)).or_default().ns += ns;
+    }
+}
+
+struct WorkerOut {
+    pieces: Vec<(usize, MorselOut)>,
+    stats: BTreeMap<(&'static str, usize), OpStats>,
+    cost: f64,
+    span: WorkerSpan,
+}
+
+/// Pages per morsel: aim for ~8 morsels per worker so the dispenser can
+/// load-balance, clamped to [1, 16]. Purely a scheduling choice —
+/// results are merged in morsel order, so any size yields identical
+/// output.
+fn morsel_pages_for(page_count: usize, workers: usize) -> usize {
+    (page_count / (workers * 8).max(1)).clamp(1, 16)
+}
+
+fn region_now(clock: Option<&dyn Clock>) -> u64 {
+    match clock {
+        Some(c) => (c.now_secs() * 1e9) as u64,
+        None => 0,
+    }
+}
+
+/// Run an exchange region on a scoped morsel worker pool and return the
+/// per-morsel outputs sorted by morsel index — i.e. in the exact row
+/// order the serial scan would produce. Worker counters, cost and spans
+/// are folded into the context here, on the main thread, in worker
+/// order, so the merge itself is deterministic too.
+fn run_region<'p>(
+    region: &RegionSpec<'p>,
+    spec: Option<&PartialAggSpec<'p>>,
+    ctx: &ExecContext<'p>,
+    bs: usize,
+    workers: usize,
+) -> Result<Vec<MorselOut>> {
+    let dispenser = region
+        .source
+        .dispenser(morsel_pages_for(region.source.page_count(), workers));
+    let fns = ctx.fns;
+    let clock = ctx.clock();
+    let outs: Vec<Result<WorkerOut>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (1..=workers)
+            .map(|w| {
+                let dispenser = &dispenser;
+                s.spawn(move |_| run_worker(region, dispenser, spec, fns, clock, bs, w))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(AimError::Execution("morsel worker panicked".into())),
+            })
+            .collect()
+    })
+    .map_err(|_| AimError::Execution("parallel exchange region panicked".into()))?;
+    let mut pieces = Vec::new();
+    for out in outs {
+        let out = out?;
+        for ((name, node), st) in out.stats {
+            ctx.record_op_stats((name, node, out.span.worker), st);
+        }
+        ctx.charge(out.cost);
+        ctx.note_worker_span(out.span);
+        pieces.extend(out.pieces);
+    }
+    pieces.sort_by_key(|&(idx, _)| idx);
+    Ok(pieces.into_iter().map(|(_, p)| p).collect())
+}
+
+/// One morsel worker: claim morsels until the dispenser runs dry,
+/// running the region pipeline (and any fused partial aggregate) on
+/// each.
+fn run_worker<'p>(
+    region: &RegionSpec<'p>,
+    dispenser: &MorselDispenser,
+    spec: Option<&PartialAggSpec<'p>>,
+    fns: &dyn ScalarFns,
+    clock: Option<&dyn Clock>,
+    bs: usize,
+    worker: usize,
+) -> Result<WorkerOut> {
+    let start_ns = region_now(clock);
+    let mut busy_ns = 0u64;
+    let mut acc = WorkerAcc::default();
+    let mut pieces = Vec::new();
+    while let Some(m) = dispenser.claim() {
+        let t0 = region_now(clock);
+        let out = process_morsel(region, m, spec, fns, bs, &mut acc)?;
+        let dt = region_now(clock).saturating_sub(t0);
+        busy_ns += dt;
+        // approximate the serial executor's inclusive-time semantics:
+        // every region node's subtree covers the whole morsel pipeline
+        acc.add_ns("seq_scan", region.scan_node, dt);
+        for st in &region.stages {
+            acc.add_ns(st.name(), st.node, dt);
+        }
+        if let Some(sp) = spec {
+            acc.add_ns("exchange", sp.exchange_node, dt);
+        }
+        pieces.push((m.index, out));
+    }
+    let end_ns = region_now(clock);
+    Ok(WorkerOut {
+        pieces,
+        stats: acc.stats,
+        cost: acc.cost,
+        span: WorkerSpan {
+            worker,
+            start_ns,
+            end_ns,
+            busy_ns,
+        },
+    })
+}
+
+/// Run the region pipeline over one morsel's page range. Output rows are
+/// either collected as batches, or folded into fresh per-morsel partial
+/// aggregate states (`spec` present).
+fn process_morsel<'p>(
+    region: &RegionSpec<'p>,
+    m: Morsel,
+    spec: Option<&PartialAggSpec<'p>>,
+    fns: &dyn ScalarFns,
+    bs: usize,
+    acc: &mut WorkerAcc,
+) -> Result<MorselOut> {
+    let mut out = match spec {
+        None => MorselOut::Batches(Vec::new()),
+        Some(sp) if sp.group.is_empty() => {
+            MorselOut::Global(sp.aggs.iter().map(|a| AggState::new(a.func)).collect())
+        }
+        Some(_) => MorselOut::Grouped(Vec::new()),
+    };
+    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut cursor = region.source.cursor(m.start, m.end);
+    loop {
+        let mut cols: Vec<ColVec> = region
+            .scan_schema
+            .columns()
+            .iter()
+            .map(|c| ColVec::with_capacity(c.data_type, bs))
+            .collect();
+        let (n, more) = cursor.fill_batch(bs, &mut cols)?;
+        if n > 0 {
+            let nf = n as f64;
+            acc.charge("seq_scan", region.scan_node, nf * 0.01 + (nf / 64.0).ceil());
+            let mut batch = Batch::from_cols(cols, n);
+            if let Some(f) = &region.scan_filter {
+                let sel = vexpr::eval_filter(f, &batch, fns)?;
+                if sel.len() != batch.len() {
+                    batch = batch.gather(&sel);
+                }
+            }
+            if !batch.is_empty() {
+                acc.bump("seq_scan", region.scan_node, batch.len() as u64);
+                if let Some(b) = run_stages(region, batch, fns, acc)? {
+                    fold_or_collect(&mut out, &mut group_index, spec, b, fns, acc)?;
+                }
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// Apply the region's filter/project stages to one batch; `None` once
+/// the batch filters down to empty.
+fn run_stages(
+    region: &RegionSpec<'_>,
+    mut batch: Batch,
+    fns: &dyn ScalarFns,
+    acc: &mut WorkerAcc,
+) -> Result<Option<Batch>> {
+    for stage in &region.stages {
+        match &stage.kind {
+            StageKind::Filter(pred) => {
+                acc.charge("filter", stage.node, batch.len() as f64 * 0.005);
+                let sel = vexpr::eval_filter(pred, &batch, fns)?;
+                if sel.is_empty() {
+                    return Ok(None);
+                }
+                if sel.len() != batch.len() {
+                    batch = batch.gather(&sel);
+                }
+            }
+            StageKind::Project(exprs) => {
+                acc.charge(
+                    "project",
+                    stage.node,
+                    batch.len() as f64 * 0.005 * exprs.len().max(1) as f64,
+                );
+                let cols = exprs
+                    .iter()
+                    .map(|e| vexpr::eval(e, &batch, fns))
+                    .collect::<Result<Vec<_>>>()?;
+                batch = Batch::from_cols(cols, batch.len());
+            }
+        }
+        acc.bump(stage.name(), stage.node, batch.len() as u64);
+    }
+    Ok(Some(batch))
+}
+
+/// Collect one post-stage batch into the morsel's output — or fold it
+/// into the fused partial aggregate states.
+fn fold_or_collect<'p>(
+    out: &mut MorselOut,
+    group_index: &mut HashMap<Vec<Value>, usize>,
+    spec: Option<&PartialAggSpec<'p>>,
+    batch: Batch,
+    fns: &dyn ScalarFns,
+    acc: &mut WorkerAcc,
+) -> Result<()> {
+    match (out, spec) {
+        (MorselOut::Batches(v), _) => v.push(batch),
+        (MorselOut::Global(states), Some(sp)) => {
+            acc.bump("exchange", sp.exchange_node, batch.len() as u64);
+            acc.charge("aggregate", sp.agg_node, batch.len() as f64 * 0.02);
+            let arg_cols = eval_agg_args(&sp.args, &batch, fns)?;
+            for (st, col) in states.iter_mut().zip(&arg_cols) {
+                update_state_col(st, col.as_ref(), batch.len())?;
+            }
+        }
+        (MorselOut::Grouped(groups), Some(sp)) => {
+            acc.bump("exchange", sp.exchange_node, batch.len() as u64);
+            acc.charge("aggregate", sp.agg_node, batch.len() as f64 * 0.02);
+            let key_cols = sp
+                .group
+                .iter()
+                .map(|g| vexpr::eval(g, &batch, fns))
+                .collect::<Result<Vec<_>>>()?;
+            let arg_cols = eval_agg_args(&sp.args, &batch, fns)?;
+            for i in 0..batch.len() {
+                let key: Vec<Value> = key_cols.iter().map(|c| c.value(i)).collect();
+                let gi = match group_index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        group_index.insert(key.clone(), groups.len());
+                        groups.push((key, sp.aggs.iter().map(|a| AggState::new(a.func)).collect()));
+                        groups.len() - 1
+                    }
+                };
+                for (st, col) in groups[gi].1.iter_mut().zip(&arg_cols) {
+                    update_state_lane(st, col.as_ref(), i)?;
+                }
+            }
+        }
+        _ => {
+            return Err(AimError::Execution(
+                "fused partial aggregate lost its spec".into(),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn eval_agg_args(
+    args: &[Option<VExpr>],
+    b: &Batch,
+    fns: &dyn ScalarFns,
+) -> Result<Vec<Option<ColVec>>> {
+    args.iter()
+        .map(|a| a.as_ref().map(|e| vexpr::eval(e, b, fns)).transpose())
+        .collect()
+}
+
+/// The parallelism boundary: runs its compiled region on the morsel
+/// worker pool and streams the merged (morsel-ordered) batches out.
+struct ExchangeOp<'p> {
+    region: RegionSpec<'p>,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    workers: usize,
+    /// Region output, reversed so `pop()` yields morsel order.
+    out: Vec<Batch>,
+    opened: bool,
+}
+
+impl BatchOp for ExchangeOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        if !self.opened {
+            self.opened = true;
+            let pieces = run_region(&self.region, None, self.ctx, self.bs, self.workers)?;
+            for piece in pieces {
+                if let MorselOut::Batches(bats) = piece {
+                    self.out.extend(bats);
+                }
+            }
+            self.out.reverse();
+        }
+        Ok(self.out.pop())
+    }
+}
+
+/// Aggregate fused into an exchange: runs the worker pool, then merges
+/// the per-morsel partial states in morsel order — group order is the
+/// serial first-seen order, and every state merge is exact (enforced by
+/// [`mergeable`] at build time).
+struct ParallelAggOp<'p> {
+    region: RegionSpec<'p>,
+    spec: PartialAggSpec<'p>,
+    out_schema: &'p Schema,
+    ctx: &'p ExecContext<'p>,
+    bs: usize,
+    workers: usize,
+    out: Vec<Row>,
+    pos: usize,
+    opened: bool,
+}
+
+impl ParallelAggOp<'_> {
+    fn open(&mut self) -> Result<()> {
+        if self.opened {
+            return Ok(());
+        }
+        self.opened = true;
+        let pieces = run_region(
+            &self.region,
+            Some(&self.spec),
+            self.ctx,
+            self.bs,
+            self.workers,
+        )?;
+        if self.spec.group.is_empty() {
+            let mut total: Vec<AggState> = self
+                .spec
+                .aggs
+                .iter()
+                .map(|a| AggState::new(a.func))
+                .collect();
+            for piece in pieces {
+                let MorselOut::Global(states) = piece else {
+                    return Err(AimError::Execution(
+                        "mixed morsel outputs in fused aggregate".into(),
+                    ));
+                };
+                for (t, s) in total.iter_mut().zip(states) {
+                    t.merge(s)?;
+                }
+            }
+            // a global aggregate yields exactly one row, even over zero
+            self.out
+                .push(Row::new(total.into_iter().map(AggState::finish).collect()));
+        } else {
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let mut groups: Vec<(Vec<Value>, Vec<AggState>)> = Vec::new();
+            for piece in pieces {
+                let MorselOut::Grouped(gs) = piece else {
+                    return Err(AimError::Execution(
+                        "mixed morsel outputs in fused aggregate".into(),
+                    ));
+                };
+                for (key, states) in gs {
+                    match index.get(&key) {
+                        Some(&gi) => {
+                            for (t, s) in groups[gi].1.iter_mut().zip(states) {
+                                t.merge(s)?;
+                            }
+                        }
+                        None => {
+                            index.insert(key.clone(), groups.len());
+                            groups.push((key, states));
+                        }
+                    }
+                }
+            }
+            for (key, states) in groups {
+                let mut vals = key;
+                vals.extend(states.into_iter().map(AggState::finish));
+                self.out.push(Row::new(vals));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BatchOp for ParallelAggOp<'_> {
+    fn next(&mut self) -> Result<Option<Batch>> {
+        self.open()?;
+        emit_chunk(&mut self.pos, &self.out, self.out_schema, self.bs)
+    }
 }

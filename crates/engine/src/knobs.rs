@@ -95,6 +95,14 @@ pub const KNOB_SPECS: &[KnobSpec] = &[
         description: "rows per column batch in the vectorized executor",
     },
     KnobSpec {
+        name: "exec_parallelism",
+        min: 0,
+        max: 64,
+        default: 0,
+        description:
+            "morsel worker threads for parallel scans (0 = all available cores, 1 = serial)",
+    },
+    KnobSpec {
         name: "query_tracing",
         min: 0,
         max: 1,

@@ -42,7 +42,7 @@ pub use aimdb_trace as trace;
 pub use analyze::{q_error, AnalyzeReport, NodeActuals};
 pub use catalog::{Catalog, Table};
 pub use db::{Database, ModelHook, QueryResult, RecoveryReport};
-pub use exec_batch::execute_batched;
+pub use exec_batch::{execute_batched, execute_batched_parallel};
 pub use knobs::Knobs;
 pub use metrics::KpiSnapshot;
 pub use optimizer::CardEstimator;

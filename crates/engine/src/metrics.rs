@@ -137,10 +137,13 @@ impl Metrics {
     }
 
     /// Accumulate per-operator execution stats (rows, batches, wall-time,
-    /// cost units) reported by the vectorized executor for one plan node.
-    pub fn record_operator(&self, name: &'static str, node: usize, stats: OpStats) {
+    /// cost units) reported by the vectorized executor for one plan node
+    /// as observed by one worker. The serial pipeline reports under
+    /// worker 0; morsel workers report under their 1-based worker id, so
+    /// two workers running the same plan node never merge.
+    pub fn record_operator(&self, name: &'static str, node: usize, worker: usize, stats: OpStats) {
         let mut ops = self.operators.lock();
-        let e = ops.entry((name, node)).or_default();
+        let e = ops.entry((name, node, worker)).or_default();
         e.rows += stats.rows;
         e.batches += stats.batches;
         e.ns += stats.ns;
@@ -148,7 +151,7 @@ impl Metrics {
     }
 
     /// Per-operator counters accumulated since the last reset, in stable
-    /// (operator name, plan-node id) order.
+    /// (operator name, plan-node id, worker id) order.
     pub fn operator_stats(&self) -> Vec<(OpKey, OpStats)> {
         self.operators
             .lock()
@@ -261,6 +264,7 @@ mod tests {
         m.record_operator(
             "filter",
             1,
+            0,
             OpStats {
                 rows: 10,
                 batches: 2,
@@ -271,6 +275,7 @@ mod tests {
         m.record_operator(
             "filter",
             3,
+            0,
             OpStats {
                 rows: 5,
                 batches: 1,
@@ -278,10 +283,11 @@ mod tests {
                 cost_units: 0.5,
             },
         );
-        // same (operator, node) accumulates across queries
+        // same (operator, node, worker) accumulates across queries
         m.record_operator(
             "filter",
             1,
+            0,
             OpStats {
                 rows: 2,
                 batches: 1,
@@ -291,14 +297,57 @@ mod tests {
         );
         let stats = m.operator_stats();
         assert_eq!(stats.len(), 2);
-        assert_eq!(stats[0].0, ("filter", 1));
+        assert_eq!(stats[0].0, ("filter", 1, 0));
         assert_eq!(stats[0].1.rows, 12);
         assert_eq!(stats[0].1.batches, 3);
         assert_eq!(stats[0].1.ns, 110);
-        assert_eq!(stats[1].0, ("filter", 3));
+        assert_eq!(stats[1].0, ("filter", 3, 0));
         assert_eq!(stats[1].1.rows, 5);
         m.reset();
         assert!(m.operator_stats().is_empty());
+    }
+
+    #[test]
+    fn operator_stats_keep_workers_separate() {
+        // regression: two morsel workers reporting the same plan node
+        // used to silently merge into one counter — the worker dimension
+        // must keep them apart while stable ordering groups them by node
+        let m = Metrics::new();
+        m.record_operator(
+            "seq_scan",
+            2,
+            1,
+            OpStats {
+                rows: 30,
+                batches: 3,
+                ns: 300,
+                cost_units: 3.0,
+            },
+        );
+        m.record_operator(
+            "seq_scan",
+            2,
+            2,
+            OpStats {
+                rows: 12,
+                batches: 2,
+                ns: 120,
+                cost_units: 1.2,
+            },
+        );
+        let stats = m.operator_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].0, ("seq_scan", 2, 1));
+        assert_eq!(stats[0].1.rows, 30);
+        assert_eq!(stats[1].0, ("seq_scan", 2, 2));
+        assert_eq!(stats[1].1.rows, 12);
+        // per-worker counters still roll up to the node total
+        let total: u64 = stats
+            .iter()
+            .filter(|((_, node, _), _)| *node == 2)
+            .map(|(_, s)| s.rows)
+            .sum();
+        assert_eq!(total, 42);
     }
 
     #[test]

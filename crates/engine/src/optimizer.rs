@@ -317,7 +317,8 @@ impl<'a> Planner<'a> {
                 est_cost: cost,
             };
         }
-        Ok(plan)
+        // 9. mark parallelizable scan regions with Exchange boundaries
+        Ok(insert_exchanges(plan))
     }
 
     /// Which aliases a conjunct references.
@@ -983,6 +984,98 @@ fn bare_name(name: &str) -> String {
     match name.rsplit_once('.') {
         Some((_, b)) => b.to_string(),
         None => name.to_string(),
+    }
+}
+
+/// Is this subtree a parallelizable morsel region — a (possibly empty)
+/// chain of Filter / Project nodes over a SeqScan? Index scans stay
+/// serial (their row order comes from the index, not heap pages), as do
+/// joins and pipeline breakers, which instead consume a region's
+/// morsel-ordered output.
+fn is_parallel_region(plan: &PhysicalPlan) -> bool {
+    match &plan.op {
+        PhysOp::SeqScan { .. } => true,
+        PhysOp::Filter { input, .. } | PhysOp::Project { input, .. } => is_parallel_region(input),
+        _ => false,
+    }
+}
+
+/// Wrap every maximal parallelizable region in an [`PhysOp::Exchange`]
+/// boundary. The executor decides the worker count at run time (the
+/// `exec_parallelism` knob); with one worker the exchange is a pure
+/// passthrough, so inserting the node is free for serial execution.
+fn insert_exchanges(plan: PhysicalPlan) -> PhysicalPlan {
+    if is_parallel_region(&plan) {
+        let (est_rows, est_cost) = (plan.est_rows, plan.est_cost);
+        return PhysicalPlan {
+            schema: plan.schema.clone(),
+            op: PhysOp::Exchange {
+                input: Box::new(plan),
+            },
+            est_rows,
+            est_cost,
+        };
+    }
+    let PhysicalPlan {
+        op,
+        schema,
+        est_rows,
+        est_cost,
+    } = plan;
+    let op = match op {
+        PhysOp::Filter { input, predicate } => PhysOp::Filter {
+            input: Box::new(insert_exchanges(*input)),
+            predicate,
+        },
+        PhysOp::Project { input, exprs } => PhysOp::Project {
+            input: Box::new(insert_exchanges(*input)),
+            exprs,
+        },
+        PhysOp::NestedLoopJoin { left, right, on } => PhysOp::NestedLoopJoin {
+            left: Box::new(insert_exchanges(*left)),
+            right: Box::new(insert_exchanges(*right)),
+            on,
+        },
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => PhysOp::HashJoin {
+            left: Box::new(insert_exchanges(*left)),
+            right: Box::new(insert_exchanges(*right)),
+            left_key,
+            right_key,
+            residual,
+        },
+        PhysOp::Aggregate {
+            input,
+            group_exprs,
+            aggs,
+        } => PhysOp::Aggregate {
+            input: Box::new(insert_exchanges(*input)),
+            group_exprs,
+            aggs,
+        },
+        PhysOp::Sort { input, keys } => PhysOp::Sort {
+            input: Box::new(insert_exchanges(*input)),
+            keys,
+        },
+        PhysOp::Limit { input, n } => PhysOp::Limit {
+            input: Box::new(insert_exchanges(*input)),
+            n,
+        },
+        leaf @ (PhysOp::SeqScan { .. }
+        | PhysOp::IndexScan { .. }
+        | PhysOp::Values { .. }
+        | PhysOp::Exchange { .. }) => leaf,
+    };
+    PhysicalPlan {
+        op,
+        schema,
+        est_rows,
+        est_cost,
     }
 }
 

@@ -78,6 +78,14 @@ pub enum PhysOp {
     Values {
         rows: Vec<Row>,
     },
+    /// Parallelism boundary: the subtree below (a scan → filter →
+    /// project region) may be executed by a pool of morsel-driven
+    /// workers whose outputs are merged back in morsel order, so the
+    /// emitted row order is identical to serial execution at any worker
+    /// count. Schema and row set are a pure passthrough of the input.
+    Exchange {
+        input: Box<PhysicalPlan>,
+    },
 }
 
 impl PhysicalPlan {
@@ -150,6 +158,7 @@ impl PhysicalPlan {
             PhysOp::Sort { keys, .. } => format!("Sort ({} keys)", keys.len()),
             PhysOp::Limit { n, .. } => format!("Limit {n}"),
             PhysOp::Values { rows } => format!("Values ({} rows)", rows.len()),
+            PhysOp::Exchange { .. } => "Exchange".to_string(),
         }
     }
 
@@ -161,7 +170,8 @@ impl PhysicalPlan {
             | PhysOp::Project { input, .. }
             | PhysOp::Aggregate { input, .. }
             | PhysOp::Sort { input, .. }
-            | PhysOp::Limit { input, .. } => vec![input],
+            | PhysOp::Limit { input, .. }
+            | PhysOp::Exchange { input } => vec![input],
             PhysOp::NestedLoopJoin { left, right, .. } | PhysOp::HashJoin { left, right, .. } => {
                 vec![left, right]
             }

@@ -266,7 +266,37 @@ fn check_node(plan: &PhysicalPlan, catalog: &Catalog) -> Result<ColTypes> {
             }
             Ok(declared)
         }
+        PhysOp::Exchange { input } => {
+            let types = check_node(input, catalog)?;
+            check_schema_passthrough("Exchange", &plan.schema, &input.schema)?;
+            check_exchange_region(input)?;
+            Ok(types)
+        }
     }
+}
+
+/// An Exchange must sit over a morsel-parallelizable region: a chain of
+/// Filter / Project nodes bottoming out in a SeqScan, with no nested
+/// Exchange, no pipeline breaker, and no index scan (whose order comes
+/// from the index, not heap pages) inside the region.
+fn check_exchange_region(plan: &PhysicalPlan) -> Result<()> {
+    match &plan.op {
+        PhysOp::SeqScan { .. } => Ok(()),
+        PhysOp::Filter { input, .. } | PhysOp::Project { input, .. } => {
+            check_exchange_region(input)
+        }
+        other => Err(err(
+            "Exchange",
+            format!(
+                "region contains a non-parallelizable operator: {}",
+                op_label(other)
+            ),
+        )),
+    }
+}
+
+fn op_label(op: &PhysOp) -> &'static str {
+    crate::analyze::op_name(op)
 }
 
 /// A scan's output schema must be the table schema qualified by the alias.

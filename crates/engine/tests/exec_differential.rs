@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 
 use aimdb_common::{Result, Row};
 use aimdb_engine::exec::{execute, ExecContext};
-use aimdb_engine::exec_batch::execute_batched;
+use aimdb_engine::exec_batch::{execute_batched, execute_batched_parallel};
 use aimdb_engine::Database;
 use aimdb_sql::expr::BuiltinFns;
 use aimdb_sql::{parse, Statement};
@@ -294,6 +294,35 @@ fn run_both(db: &Database, sql: &str, bs: usize) -> (Result<Vec<Row>>, Result<Ve
     (row_result, batch_result)
 }
 
+/// Plan once, run the row oracle, then the morsel-parallel batch
+/// executor at each requested worker count.
+#[allow(clippy::type_complexity)]
+fn run_matrix(
+    db: &Database,
+    sql: &str,
+    bs: usize,
+    worker_counts: &[usize],
+) -> (Result<Vec<Row>>, Vec<Result<Vec<Row>>>) {
+    let stmts = parse(sql).unwrap_or_else(|e| panic!("unparseable SQL ({e}): {sql}"));
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("generator produced a non-SELECT: {sql}");
+    };
+    let plan = db
+        .plan(&sel)
+        .unwrap_or_else(|e| panic!("planner failed ({e}): {sql}"));
+    let fns = BuiltinFns;
+    let row_ctx = ExecContext::new(&db.catalog, &fns);
+    let row_result = execute(&plan, &row_ctx);
+    let parallel_results = worker_counts
+        .iter()
+        .map(|&w| {
+            let ctx = ExecContext::new(&db.catalog, &fns);
+            execute_batched_parallel(&plan, &ctx, bs, w)
+        })
+        .collect();
+    (row_result, parallel_results)
+}
+
 /// Multiset canonicalization: sort rows lexicographically by value.
 fn canon(mut rows: Vec<Row>) -> Vec<Row> {
     rows.sort_by(|a, b| a.values().cmp(b.values()));
@@ -378,6 +407,125 @@ fn differential_oracle_over_generated_corpus() {
         "generator produced too many failing queries: {executed}/{N} executed"
     );
     assert_eq!(mismatches, 0, "{mismatches} differential mismatches");
+}
+
+/// Thread-count differential matrix: the morsel-parallel executor must
+/// agree with the row-executor oracle at every worker count, and the
+/// parallel results themselves must be bit-identical across worker
+/// counts — morsel-ordered merging makes thread count unobservable.
+///
+/// Worker counts {1, 2, 4, 8} all run on every query; batch sizes
+/// cycle through {1, 64, 1024} so each (workers, batch size) cell of
+/// the matrix sees hundreds of queries.
+#[test]
+fn thread_count_differential_matrix() {
+    let mut rng = StdRng::seed_from_u64(0x30A5E1);
+    let db = Database::new();
+    setup(&db, &mut rng).expect("corpus setup");
+
+    const N: usize = 1200;
+    const WORKERS: [usize; 4] = [1, 2, 4, 8];
+    let batch_sizes = [1usize, 64, 1024];
+    let mut mismatches = 0usize;
+    let mut executed = 0usize;
+    for qi in 0..N {
+        let sql = gen_query(&mut rng);
+        let bs = batch_sizes[qi % batch_sizes.len()];
+        let (row_result, parallel_results) = run_matrix(&db, &sql, bs, &WORKERS);
+        let rr = match row_result {
+            Ok(rr) => rr,
+            // both sides failing is agreement; verify every worker
+            // count concurs and move on
+            Err(_) => {
+                for (w, pr) in WORKERS.iter().zip(&parallel_results) {
+                    if pr.is_ok() {
+                        mismatches += 1;
+                        eprintln!(
+                            "MISMATCH [{qi}] w={w} bs={bs}: row err, parallel ok\n  sql: {sql}"
+                        );
+                    }
+                }
+                continue;
+            }
+        };
+        executed += 1;
+        let ordered = sql.contains(" ORDER BY ");
+        let rr_canon = canon(rr.clone());
+        let mut first_parallel: Option<Vec<Row>> = None;
+        for (w, pr) in WORKERS.iter().zip(&parallel_results) {
+            let br = match pr {
+                Ok(br) => br.clone(),
+                Err(e) => {
+                    mismatches += 1;
+                    eprintln!(
+                        "MISMATCH [{qi}] w={w} bs={bs}: row ok, parallel err ({e})\n  sql: {sql}"
+                    );
+                    continue;
+                }
+            };
+            let same = if ordered {
+                rr == br
+            } else {
+                rr_canon == canon(br.clone())
+            };
+            if !same {
+                mismatches += 1;
+                eprintln!(
+                    "MISMATCH [{qi}] w={w} bs={bs}: row={} rows, parallel={} rows\n  sql: {sql}",
+                    rr.len(),
+                    br.len()
+                );
+            }
+            // determinism across thread counts: positional, bitwise
+            match &first_parallel {
+                None => first_parallel = Some(br),
+                Some(base) => {
+                    if *base != br {
+                        mismatches += 1;
+                        eprintln!(
+                            "NONDETERMINISM [{qi}] w={w} bs={bs}: differs from w={}\n  sql: {sql}",
+                            WORKERS[0]
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        executed >= N * 9 / 10,
+        "generator produced too many failing queries: {executed}/{N} executed"
+    );
+    assert_eq!(mismatches, 0, "{mismatches} thread-matrix mismatches");
+}
+
+/// The knob path end-to-end: `SET exec_parallelism = N` must be
+/// invisible in query results served through `Database::execute`.
+#[test]
+fn exec_parallelism_knob_is_result_invisible() {
+    let mut rng = StdRng::seed_from_u64(0xCAB);
+    let db = Database::new();
+    setup(&db, &mut rng).expect("corpus setup");
+    let workload = [
+        "SELECT users.age, COUNT(*), MIN(users.id), MAX(users.id) FROM users \
+         GROUP BY users.age ORDER BY age",
+        "SELECT COUNT(*), COUNT(sparse.v), SUM(sparse.v) FROM sparse",
+        "SELECT users.id, users.score FROM users WHERE users.age > 40 ORDER BY id DESC LIMIT 17",
+        "SELECT sparse.s, COUNT(*) FROM sparse WHERE sparse.v IS NOT NULL GROUP BY sparse.s",
+        "SELECT AVG(orders.amount), MIN(orders.tag) FROM orders WHERE orders.user_id < 120",
+    ];
+    db.execute("SET exec_parallelism = 1").expect("knob");
+    let baseline: Vec<Vec<Row>> = workload
+        .iter()
+        .map(|sql| db.execute(sql).expect("serial run").rows().to_vec())
+        .collect();
+    for w in [2usize, 4, 8] {
+        db.execute(&format!("SET exec_parallelism = {w}"))
+            .expect("knob");
+        for (sql, expect) in workload.iter().zip(&baseline) {
+            let got = db.execute(sql).expect("parallel run").rows().to_vec();
+            assert_eq!(&got, expect, "workers={w}: {sql}");
+        }
+    }
 }
 
 /// Hand-picked edge queries the random generator could plausibly miss:

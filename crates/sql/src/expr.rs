@@ -426,7 +426,9 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 
 /// Registry of scalar functions available to expressions. The engine
 /// implements this; [`BuiltinFns`] covers the pure built-ins.
-pub trait ScalarFns {
+/// `Send + Sync` so compiled expressions can be evaluated from morsel
+/// worker threads sharing one registry reference.
+pub trait ScalarFns: Send + Sync {
     fn call(&self, name: &str, args: &[Value]) -> Result<Value>;
 }
 

@@ -23,7 +23,7 @@ pub use btree::{BTree, RangeCursor};
 pub use buffer::{BufferPool, BufferStats};
 pub use disk::{Disk, DiskStats, PageStore};
 pub use fault::{FaultInjector, FaultPlan, TornMode};
-pub use heap::{HeapFile, HeapScanCursor, RowId};
+pub use heap::{HeapFile, HeapScanCursor, Morsel, MorselDispenser, MorselSource, RowId};
 pub use page::{PageId, PAGE_SIZE};
 pub use wal::{
     scan_wal, CheckpointData, DiskSink, IndexSnapshot, LogRecord, MemSink, TableSnapshot, TxnId,

@@ -198,3 +198,73 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The morsel dispenser must partition any (page_count, morsel_pages)
+    // into morsels that cover every page exactly once, in order, with no
+    // overlap — including the degenerate 0-page and 1-page heaps and
+    // oversized / zero morsel sizes.
+    #[test]
+    fn morsel_dispenser_partitions_exactly_once(
+        page_count in 0usize..600,
+        morsel_pages in 0usize..40,
+    ) {
+        use aimdb_storage::MorselDispenser;
+        let d = MorselDispenser::new(page_count, morsel_pages);
+        let mut morsels = Vec::new();
+        while let Some(m) = d.claim() {
+            morsels.push(m);
+        }
+        prop_assert!(d.claim().is_none());
+        prop_assert_eq!(morsels.len(), d.morsel_count());
+        let size = morsel_pages.max(1);
+        let mut next_page = 0usize;
+        for (i, m) in morsels.iter().enumerate() {
+            prop_assert_eq!(m.index, i);
+            // contiguous: each morsel starts where the previous ended
+            prop_assert_eq!(m.start, next_page);
+            prop_assert!(m.end > m.start, "empty morsel {m:?}");
+            prop_assert!(m.end - m.start <= size);
+            next_page = m.end;
+        }
+        // exact cover: the final morsel ends at page_count
+        prop_assert_eq!(next_page, page_count.min(morsels.len() * size));
+        prop_assert_eq!(next_page, page_count);
+    }
+
+    // Concurrent claims partition exactly like serial claims: union of
+    // per-thread claims covers every page once with dense indices.
+    #[test]
+    fn morsel_dispenser_threaded_cover(
+        page_count in 0usize..400,
+        morsel_pages in 1usize..16,
+        threads in 1usize..6,
+    ) {
+        use aimdb_storage::{Morsel, MorselDispenser};
+        use std::sync::Mutex;
+        let d = MorselDispenser::new(page_count, morsel_pages);
+        let all: Mutex<Vec<Morsel>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    while let Some(m) = d.claim() {
+                        if let Ok(mut v) = all.lock() {
+                            v.push(m);
+                        }
+                    }
+                });
+            }
+        });
+        let mut got = all.into_inner().unwrap_or_default();
+        got.sort_by_key(|m| m.start);
+        let mut covered = vec![false; page_count];
+        for (i, m) in got.iter().enumerate() {
+            prop_assert_eq!(m.index, i);
+            for (p, c) in covered.iter_mut().enumerate().take(m.end).skip(m.start) {
+                prop_assert!(!*c, "page {} claimed twice", p);
+                *c = true;
+            }
+        }
+        prop_assert!(covered.into_iter().all(|c| c));
+    }
+}

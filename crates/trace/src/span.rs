@@ -249,6 +249,30 @@ impl<'c> TraceBuilder<'c> {
         self.ops = ops;
     }
 
+    /// Record an already-timed child span under the innermost open span —
+    /// used for intervals measured off the builder's stack discipline,
+    /// like morsel workers that ran concurrently inside `execute` (their
+    /// intervals overlap each other, so they cannot be opened/closed via
+    /// the stack). The span carries `rows` as a payload counter and is
+    /// closed on insertion; it never joins the open stack.
+    pub fn push_span_at(&mut self, name: &str, start_ns: u64, end_ns: u64, rows: u64) -> usize {
+        let id = self.spans.len();
+        let parent = self.stack.last().copied();
+        self.spans.push(Span {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+            rows,
+            batches: 0,
+            cost_units: 0.0,
+            buffer_hits: 0,
+            buffer_misses: 0,
+        });
+        id
+    }
+
     /// Close every open span (root last) and return the finished trace.
     pub fn finish(mut self) -> QueryTrace {
         let now = self.now_ns();
@@ -317,6 +341,33 @@ mod tests {
         let mut tb2 = TraceBuilder::new(&clock, "q2");
         tb2.close(99);
         assert_eq!(tb2.finish().spans.len(), 1);
+    }
+
+    #[test]
+    fn pre_timed_spans_attach_without_joining_the_stack() {
+        let clock = ManualClock::new();
+        let mut tb = TraceBuilder::new(&clock, "q");
+        let exec = tb.open("execute");
+        clock.advance_secs(0.01);
+        // two overlapping worker intervals — impossible via open/close
+        tb.push_span_at("worker-1", 1_000_000, 6_000_000, 40);
+        tb.push_span_at("worker-2", 2_000_000, 5_000_000, 30);
+        tb.add_rows(70); // still lands on `execute`, not a worker span
+        tb.close(exec);
+        let t = tb.finish();
+        let w1 = t.span("worker-1").cloned().expect("worker-1 span");
+        let w2 = t.span("worker-2").cloned().expect("worker-2 span");
+        assert_eq!(w1.parent, Some(exec));
+        assert_eq!(w2.parent, Some(exec));
+        assert_eq!(w1.duration_ns(), 5_000_000);
+        assert_eq!(w1.rows, 40);
+        // siblings overlap: that's the point
+        assert!(w2.start_ns < w1.end_ns);
+        assert_eq!(t.span("execute").map(|s| s.rows), Some(70));
+        // end clamps to start rather than going backwards
+        let mut tb2 = TraceBuilder::new(&clock, "q2");
+        let id = tb2.push_span_at("w", 10, 5, 0);
+        assert_eq!(tb2.finish().spans[id].duration_ns(), 0);
     }
 
     #[test]

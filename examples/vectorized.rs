@@ -41,9 +41,9 @@ fn main() {
     }
 
     println!("-- per-operator metrics recorded by the batch pipeline --");
-    for ((name, node), st) in db.metrics.operator_stats() {
+    for ((name, node, worker), st) in db.metrics.operator_stats() {
         println!(
-            "  {name:<17} node {node:<3} {:>6} rows {:>4} batches {:>9} ns",
+            "  {name:<17} node {node:<3} worker {worker:<3} {:>6} rows {:>4} batches {:>9} ns",
             st.rows, st.batches, st.ns
         );
     }

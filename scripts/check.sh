@@ -17,8 +17,13 @@ run cargo clippy -p aimdb-storage -p aimdb-engine --all-targets -- -D warnings
 run cargo run -q -p lint --release
 run cargo test -q --workspace
 # executor equivalence: 1200 generated queries through both the row and
-# the vectorized executor (plus the NULL-heavy / empty-table edge suites)
+# the vectorized executor (plus the NULL-heavy / empty-table edge suites),
+# and the thread-count differential matrix — the same corpus through the
+# morsel-parallel executor at 1/2/4/8 workers, bit-identical required
 run cargo test -q -p aimdb-engine --test exec_differential
+# concurrency stress: reader threads running parallel scans against a
+# writer doing inserts + checkpoints, healthy and through crash/recovery
+run cargo test -q --test concurrent_scan_recovery
 # property suites: storage cursors vs model, batch-vs-scalar expression
 # kernels, crash-recovery with an index model
 run cargo test -q -p aimdb-storage --test proptests
@@ -33,6 +38,10 @@ run cargo run -q --release -p aimdb-bench --bin exec_bench -- --smoke
 # tracing overhead: full-lifecycle passes with query_tracing on vs off
 # must stay within 5% (min-of-N interleaved, release build)
 run cargo run -q --release -p aimdb-bench --bin exec_bench -- --trace --smoke
+# morsel-driven scaling curve at 1/2/4/8 workers; the >=2x gate at 4
+# workers binds only on hosts with >=4 cores (SKIPPED otherwise), but
+# the serial-equivalence check always runs
+run cargo run -q --release -p aimdb-bench --bin exec_bench -- --parallel --smoke
 # observability demo: EXPLAIN ANALYZE tree, metrics page (asserts the
 # exposition format parses via validate_exposition), trace ring,
 # slow-query log — fails on any assertion
