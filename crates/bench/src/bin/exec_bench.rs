@@ -11,6 +11,7 @@
 //! exec_bench --smoke    # 20k rows, 3 iterations (CI gate)
 //! exec_bench --trace    # tracing-overhead check: traced vs untraced
 //! exec_bench --parallel # morsel-driven scaling curve at 1/2/4/8 workers
+//! exec_bench --txn      # group-commit throughput vs fsync-per-txn
 //! ```
 //!
 //! `--trace` times the full query lifecycle (`Database::execute`) over
@@ -254,11 +255,105 @@ fn parallel_scaling(db: &Database, clock: &WallClock, iters: usize) {
     }
 }
 
+/// Commit-throughput comparison (experiment A8): disjoint-row writer
+/// transactions with group commit off (`group_commit_window = 0`, one
+/// fsync per commit) vs on. Everything measured comes from the engine's
+/// own counters: `wal_flush_count` for fsyncs, the txn KPI for commits,
+/// and the `aimdb_group_commit_batch` histogram for the per-flush batch
+/// size. With the window on, the bench fails unless fsyncs < commits and
+/// the median batch exceeds one — i.e. group commit genuinely amortized
+/// durability across concurrent committers.
+fn txn_throughput(clock: &WallClock, smoke: bool) {
+    const TXN_WRITERS: usize = 4;
+    let ops = if smoke { 60 } else { 250 };
+    println!(
+        "exec_bench --txn: {TXN_WRITERS} writers x {ops} disjoint-row txns per window setting"
+    );
+    let mut gated: Option<(u64, u64, f64)> = None;
+    for window in [0u64, 200] {
+        let db = Database::new();
+        let setup = [
+            "CREATE TABLE accts (id INT, v INT)".to_string(),
+            format!(
+                "INSERT INTO accts VALUES {}",
+                (0..TXN_WRITERS)
+                    .map(|id| format!("({id}, 0)"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+            format!("SET group_commit_window = {window}"),
+        ];
+        for sql in &setup {
+            if let Err(e) = db.execute(sql) {
+                eprintln!("txn setup failed ({e}): {sql}");
+                std::process::exit(2);
+            }
+        }
+        let flushes0 = db.wal_flush_count();
+        let commits0 = db.kpis().txns_committed;
+        let t0 = clock.now_secs();
+        let dbr = &db;
+        std::thread::scope(|s| {
+            for w in 0..TXN_WRITERS {
+                s.spawn(move || {
+                    for op in 0..ops {
+                        let run = dbr.begin_txn().and_then(|h| {
+                            dbr.execute_in(
+                                &h,
+                                &format!("UPDATE accts SET v = {op} WHERE id = {w}"),
+                            )?;
+                            dbr.commit_txn(&h)
+                        });
+                        if let Err(e) = run {
+                            eprintln!("writer {w} txn {op} failed: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                });
+            }
+        });
+        let secs = clock.now_secs() - t0;
+        let commits = db.kpis().txns_committed - commits0;
+        let fsyncs = db.wal_flush_count() - flushes0;
+        let p50 = db.metric_quantile(aimdb_engine::metrics::GROUP_COMMIT_BATCH, 0.5);
+        println!(
+            "  window={window:>3}us: {commits} commits | {fsyncs} fsyncs | batch p50 {p50:.1} | {:8.0} commits/s",
+            commits as f64 / secs.max(1e-9)
+        );
+        if window > 0 {
+            gated = Some((commits, fsyncs, p50));
+        }
+    }
+    let Some((commits, fsyncs, p50)) = gated else {
+        eprintln!("FAIL: no windowed run recorded");
+        std::process::exit(1);
+    };
+    if fsyncs >= commits {
+        eprintln!("FAIL: group commit never batched: {fsyncs} fsyncs for {commits} commits");
+        std::process::exit(1);
+    }
+    if p50 <= 1.0 {
+        eprintln!("FAIL: median group-commit batch {p50:.2} did not exceed 1");
+        std::process::exit(1);
+    }
+    println!(
+        "exec_bench --txn: PASS — fsyncs/commit {:.2}, median batch {p50:.1}",
+        fsyncs as f64 / commits as f64
+    );
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let trace = std::env::args().any(|a| a == "--trace");
     let parallel = std::env::args().any(|a| a == "--parallel");
+    let txn = std::env::args().any(|a| a == "--txn");
     let (n_rows, iters) = if smoke { (20_000, 3) } else { (60_000, 10) };
+
+    if txn {
+        let clock = WallClock::new();
+        txn_throughput(&clock, smoke);
+        return;
+    }
 
     let mut rng = StdRng::seed_from_u64(42);
     let db = Database::new();

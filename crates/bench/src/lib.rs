@@ -151,13 +151,24 @@ fn try_e2() -> aimdb_common::Result<Report> {
 
 /// E3 — learned view advisor.
 pub fn e3() -> Report {
+    try_e3().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E3",
+            "view advisor: realized net benefit under a storage budget",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e3() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::view_advisor::*;
     let mut r = Report::new(
         "E3",
         "view advisor: realized net benefit under a storage budget",
     );
     let history = generate_candidates(400, 5);
-    let model = BenefitModel::train(&history, 5.0, 9).expect("train");
+    let model = BenefitModel::train(&history, 5.0, 9)?;
     let test = generate_candidates(120, 6);
     let budget = 80_000.0;
     r.row(format!(
@@ -181,7 +192,7 @@ pub fn e3() -> Report {
         "dynamic workload (10 epochs): learned {learned:.0} vs static heuristic {heuristic:.0} (oracle {oracle:.0})"
     ));
     r.row("expected shape: none < heuristic < learned ≤ oracle; gap widens under drift".into());
-    r
+    Ok(r)
 }
 
 /// E4 — SQL rewriter (MCTS rule ordering) + learned partitioning.
@@ -322,12 +333,23 @@ pub fn e6() -> Report {
 
 /// E7 — NEO-style end-to-end learned optimizer under stale statistics.
 pub fn e7() -> Report {
+    try_e7().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E7",
+            "end-to-end optimizer: measured workload latency (cost units)",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e7() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::neo::*;
     let mut r = Report::new(
         "E7",
         "end-to-end optimizer: measured workload latency (cost units)",
     );
-    let rep = run_experiment(6, 42).expect("neo");
+    let rep = run_experiment(6, 42)?;
     r.row(format!(
         "cost-model baseline (stale stats): {:.1}",
         rep.baseline_latency
@@ -345,11 +367,19 @@ pub fn e7() -> Report {
         "expected shape: NEO < baseline once stats are stale (latency feedback self-corrects)"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E8 — learned index vs B+tree.
 pub fn e8() -> Report {
+    try_e8().unwrap_or_else(|e| {
+        let mut r = Report::new("E8", "learned index (RMI) vs B+tree: size and lookup cost");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e8() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::learned_index::*;
     use aimdb_common::synth::*;
     use aimdb_storage::BTree;
@@ -363,8 +393,8 @@ pub fn e8() -> Report {
         ("lognormal", lognormal_keys(200_000, 12.0, 1.5, 1)),
         ("steps", step_keys(200_000, 16, 1)),
     ] {
-        let rmi = Rmi::build(keys.clone(), 1024).expect("rmi");
-        let bt = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64).expect("bt");
+        let rmi = Rmi::build(keys.clone(), 1024)?;
+        let bt = BTree::bulk_load(keys.iter().map(|&k| (k, ())).collect(), 64)?;
         let (mut rc, mut bc) = (0usize, 0usize);
         let probes: Vec<i64> = keys.iter().step_by(199).copied().collect();
         for &k in &probes {
@@ -381,10 +411,9 @@ pub fn e8() -> Report {
             bc as f64 / probes.len() as f64
         ));
     }
-    let mut upd = UpdatableIndex::build((0..100_000).map(|i| i * 10).collect(), 512, 0.05)
-        .expect("updatable");
+    let mut upd = UpdatableIndex::build((0..100_000).map(|i| i * 10).collect(), 512, 0.05)?;
     for i in 0..20_000 {
-        upd.insert(i * 50 + 7).expect("insert");
+        upd.insert(i * 50 + 7)?;
     }
     r.row(format!(
         "updatable (ALEX-style): 20k inserts → {} rebuilds, {} keys",
@@ -392,11 +421,22 @@ pub fn e8() -> Report {
         upd.len()
     ));
     r.row("expected shape: RMI 10-100x smaller; lookup cost competitive; distribution affects RMI error".into());
-    r
+    Ok(r)
 }
 
 /// E9 — learned KV design over the read/write mix.
 pub fn e9() -> Report {
+    try_e9().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E9",
+            "data-structure design: cost vs read fraction (scan 10%)",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e9() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::kv_design::*;
     let mut r = Report::new(
         "E9",
@@ -406,7 +446,7 @@ pub fn e9() -> Report {
         "{:>5} | {:>8} {:>8} {:>8} {:>8} | {:>9}",
         "read%", "btree", "lsm", "hash", "sorted", "searched"
     ));
-    for row in sweep(0.1, 1e7, 7).expect("sweep") {
+    for row in sweep(0.1, 1e7, 7)? {
         let f = |name: &str| {
             row.fixed
                 .iter()
@@ -425,11 +465,22 @@ pub fn e9() -> Report {
         ));
     }
     r.row("expected shape: lsm wins write end, hash wins read end, crossover between; searched ≤ min everywhere".into());
-    r
+    Ok(r)
 }
 
 /// E10 — learned transaction scheduling + workload forecasting.
 pub fn e10() -> Report {
+    try_e10().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E10",
+            "transactions: scheduling throughput + arrival forecasting",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e10() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::txn_learned::*;
     use aimdb_common::synth::seasonal_trace;
     let mut r = Report::new(
@@ -437,7 +488,7 @@ pub fn e10() -> Report {
         "transactions: scheduling throughput + arrival forecasting",
     );
     let history = generate_txns(800, 200, 1.1, 6);
-    let model = ConflictModel::train(&history, 32, 4000, 7).expect("train");
+    let model = ConflictModel::train(&history, 32, 4000, 7)?;
     let txns = generate_txns(300, 200, 1.1, 8);
     r.row(format!(
         "{:<26} {:>10} {:>8} {:>8}",
@@ -462,11 +513,22 @@ pub fn e10() -> Report {
         "expected shape: learned scheduler between FIFO and oracle; AR/seasonal beat last-value"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E11 — health monitoring: root-cause diagnosis + proactive alerts.
 pub fn e11() -> Report {
+    try_e11().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E11",
+            "health monitor: root-cause accuracy + proactive detection",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e11() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::monitor::*;
     use aimdb_common::synth::seasonal_trace;
     let mut r = Report::new(
@@ -475,7 +537,7 @@ pub fn e11() -> Report {
     );
     let history = generate_incidents(400, 0.15, 1);
     let test = generate_incidents(200, 0.15, 2);
-    let diag = KpiDiagnoser::train(&history, 4, 7).expect("train");
+    let diag = KpiDiagnoser::train(&history, 4, 7)?;
     r.row(format!(
         "root-cause accuracy: threshold rules {:.3} vs KPI clustering (iSQUAD) {:.3}",
         rule_accuracy(&test),
@@ -489,11 +551,22 @@ pub fn e11() -> Report {
     r.row(
         "expected shape: clustering > rules under KPI noise; early warnings ≫ false alarms".into(),
     );
-    r
+    Ok(r)
 }
 
 /// E12 — activity monitoring (MAB) + concurrent performance prediction.
 pub fn e12() -> Report {
+    try_e12().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "E12",
+            "activity monitor (bandit) + concurrent perf prediction",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_e12() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::monitor::*;
     use aimdb_ai4db::perf_pred;
     let mut r = Report::new(
@@ -509,7 +582,7 @@ pub fn e12() -> Report {
         "risk captured ({} steps, budget {}): random {:.0}, bandit {:.0}, oracle {:.0}",
         steps, budget, random, bandit, oracle
     ));
-    let (base_mape, learned_mape) = perf_pred::run_experiment(800, 200, 7).expect("perf");
+    let (base_mape, learned_mape) = perf_pred::run_experiment(800, 200, 7)?;
     r.row(format!(
         "concurrent-latency MAPE: plan-cost-sum {:.3} vs graph-feature MLP {:.3}",
         base_mape, learned_mape
@@ -518,7 +591,7 @@ pub fn e12() -> Report {
         "expected shape: bandit ≈ oracle ≫ random; learned MAPE well under the cost-sum baseline"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// E13 — learned security: SQLi, PII discovery, access control.
@@ -828,6 +901,17 @@ pub fn a1() -> Report {
 /// distribution, evaluated on another (the tutorial's adaptation
 /// challenge), vs. retraining.
 pub fn a2() -> Report {
+    try_a2().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "A2",
+            "ablation: estimator adaptability across data distributions",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_a2() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::cardinality::*;
     let mut r = Report::new(
         "A2",
@@ -835,10 +919,8 @@ pub fn a2() -> Report {
     );
     let corr_data = CorrData::generate(20_000, 100, 0.9, 11);
     let indep_data = CorrData::generate(20_000, 100, 0.0, 12);
-    let model_corr =
-        LearnedCard::train(&corr_data, &corr_data.gen_queries(600, 21), 5).expect("train");
-    let model_indep =
-        LearnedCard::train(&indep_data, &indep_data.gen_queries(600, 23), 5).expect("train");
+    let model_corr = LearnedCard::train(&corr_data, &corr_data.gen_queries(600, 21), 5)?;
+    let model_indep = LearnedCard::train(&indep_data, &indep_data.gen_queries(600, 23), 5)?;
     let test = indep_data.gen_queries(150, 25);
     let transferred = evaluate("transferred", &indep_data, &test, |q| {
         model_corr.estimate(q)
@@ -853,12 +935,23 @@ pub fn a2() -> Report {
         retrained.median, retrained.p95
     ));
     r.row("expected shape: transfer degrades accuracy; retraining restores it".into());
-    r
+    Ok(r)
 }
 
 /// A3 — training-data volume: how much workload does the learned
 /// estimator need (the tutorial's training-data challenge)?
 pub fn a3() -> Report {
+    try_a3().unwrap_or_else(|e| {
+        let mut r = Report::new(
+            "A3",
+            "ablation: learned-estimator quality vs training-set size",
+        );
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_a3() -> aimdb_common::Result<Report> {
     use aimdb_ai4db::cardinality::*;
     let mut r = Report::new(
         "A3",
@@ -872,23 +965,30 @@ pub fn a3() -> Report {
     ));
     for n in [50usize, 150, 400, 800] {
         let train = data.gen_queries(n, 21);
-        let model = LearnedCard::train(&data, &train, 5).expect("train");
+        let model = LearnedCard::train(&data, &train, 5)?;
         let rep = evaluate("learned", &data, &test, |q| model.estimate(q));
         r.row(format!("{n:>8} {:>12.2} {:>10.2}", rep.median, rep.p95));
     }
     r.row("expected shape: q-error shrinks with data and saturates".into());
-    r
+    Ok(r)
 }
 
 /// A4 — AISQL end to end: the declarative surface in one session.
 pub fn a4() -> Report {
+    try_a4().unwrap_or_else(|e| {
+        let mut r = Report::new("A4", "ablation: declarative AISQL session");
+        r.row(format!("error: {e}"));
+        r
+    })
+}
+
+fn try_a4() -> aimdb_common::Result<Report> {
     use aimdb_db4ai::ModelRuntime;
     use aimdb_engine::Database;
     let mut r = Report::new("A4", "ablation: declarative AISQL session");
     let db = Database::new();
     ModelRuntime::install(&db);
-    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT, days FLOAT)")
-        .expect("ddl");
+    db.execute("CREATE TABLE patients (id INT, age INT, severity FLOAT, days FLOAT)")?;
     let tuples: Vec<String> = (0..500)
         .map(|i| {
             let age = 20 + (i * 7) % 60;
@@ -896,14 +996,13 @@ pub fn a4() -> Report {
             format!("({i}, {age}, {sev}, {})", 0.05 * age as f64 + 0.8 * sev)
         })
         .collect();
-    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))
-        .expect("load");
+    db.execute(&format!("INSERT INTO patients VALUES {}", tuples.join(",")))?;
     for sql in [
         "CREATE MODEL stay KIND LINEAR ON patients (age, severity) LABEL days WITH (epochs = 300)",
         "PREDICT stay GIVEN (63, 2.5)",
         "SELECT COUNT(*) AS long_stays FROM patients WHERE PREDICT(stay, age, severity) > 3",
     ] {
-        let res = db.execute(sql).expect("aisql");
+        let res = db.execute(sql)?;
         let rendered = match res {
             aimdb_engine::QueryResult::Text(t) => t,
             aimdb_engine::QueryResult::Rows { rows, .. } => format!("{:?}", rows),
@@ -916,7 +1015,7 @@ pub fn a4() -> Report {
         "expected shape: model trains in-database; PREDICT works standalone and inside WHERE"
             .into(),
     );
-    r
+    Ok(r)
 }
 
 /// All experiments in order.

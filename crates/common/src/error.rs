@@ -29,6 +29,11 @@ pub enum AimError {
     Storage(String),
     /// Transaction aborted (conflict, deadlock avoidance, explicit).
     TxnAborted(String),
+    /// First-updater-wins write conflict under snapshot isolation. The
+    /// statement (or transaction) can be retried on a fresh snapshot.
+    WriteConflict(String),
+    /// `BEGIN` issued while this session already has an open transaction.
+    NestedTxn(String),
     /// An ML model was asked to do something inconsistent with its state
     /// (e.g. predict before training, dimension mismatch).
     Model(String),
@@ -37,6 +42,12 @@ pub enum AimError {
 }
 
 impl AimError {
+    /// Whether retrying the failed operation on a fresh snapshot may
+    /// succeed (the error is a concurrency artifact, not a logic error).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, AimError::WriteConflict(_))
+    }
+
     /// Short machine-friendly category tag, used by monitoring components.
     pub fn category(&self) -> &'static str {
         match self {
@@ -48,6 +59,8 @@ impl AimError {
             AimError::Execution(_) => "execution",
             AimError::Storage(_) => "storage",
             AimError::TxnAborted(_) => "txn_aborted",
+            AimError::WriteConflict(_) => "write_conflict",
+            AimError::NestedTxn(_) => "nested_txn",
             AimError::Model(_) => "model",
             AimError::InvalidInput(_) => "invalid_input",
         }
@@ -65,6 +78,8 @@ impl fmt::Display for AimError {
             AimError::Execution(m) => write!(f, "execution error: {m}"),
             AimError::Storage(m) => write!(f, "storage error: {m}"),
             AimError::TxnAborted(m) => write!(f, "transaction aborted: {m}"),
+            AimError::WriteConflict(m) => write!(f, "write conflict: {m}"),
+            AimError::NestedTxn(m) => write!(f, "nested transaction: {m}"),
             AimError::Model(m) => write!(f, "model error: {m}"),
             AimError::InvalidInput(m) => write!(f, "invalid input: {m}"),
         }
@@ -87,6 +102,19 @@ mod tests {
     fn category_is_stable() {
         assert_eq!(AimError::Parse("x".into()).category(), "parse");
         assert_eq!(AimError::TxnAborted("c".into()).category(), "txn_aborted");
+        assert_eq!(
+            AimError::WriteConflict("row 3".into()).category(),
+            "write_conflict"
+        );
+        assert_eq!(AimError::NestedTxn("open".into()).category(), "nested_txn");
+    }
+
+    #[test]
+    fn only_write_conflicts_are_retryable() {
+        assert!(AimError::WriteConflict("row".into()).is_retryable());
+        assert!(!AimError::TxnAborted("x".into()).is_retryable());
+        assert!(!AimError::NestedTxn("x".into()).is_retryable());
+        assert!(!AimError::Storage("x".into()).is_retryable());
     }
 
     #[test]

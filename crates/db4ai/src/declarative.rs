@@ -80,7 +80,7 @@ impl ModelRuntime {
         };
         let mut x = Vec::new();
         let mut y = Vec::new();
-        for (_, row) in t.scan()? {
+        for (_, row) in t.scan_visible(None)? {
             // skip rows with NULLs in any used column
             let feats: Result<Vec<f64>> = fidx.iter().map(|&i| row.get(i).as_f64()).collect();
             let Ok(feats) = feats else { continue };

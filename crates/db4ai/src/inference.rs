@@ -52,7 +52,7 @@ pub fn feature_matrix(db: &Database, table: &str, columns: &[&str]) -> Result<Ve
         .iter()
         .map(|c| t.schema.index_of(c))
         .collect::<Result<_>>()?;
-    t.scan()?
+    t.scan_visible(None)?
         .into_iter()
         .map(|(_, row)| idx.iter().map(|&i| row.get(i).as_f64()).collect())
         .collect()

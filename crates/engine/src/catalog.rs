@@ -3,10 +3,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use aimdb_common::{AimError, Result, Row, Schema, Value};
 use aimdb_storage::{BTree, BufferPool, HeapFile, RowId};
+
+use crate::mvcc::{RowVis, Snapshot, VersionMeta};
 
 /// A secondary index: one column, B+tree from value to row ids.
 pub struct Index {
@@ -84,6 +86,10 @@ pub struct Table {
     pub heap: HeapFile,
     /// column name (lowercase) → index
     indexes: RwLock<HashMap<String, Arc<Index>>>,
+    /// Live MVCC version metadata. Rows absent from this map are
+    /// legacy-committed (recovery rebuilds, vacuumed versions) and
+    /// visible to every reader.
+    versions: Mutex<HashMap<RowId, VersionMeta>>,
 }
 
 impl Table {
@@ -93,6 +99,7 @@ impl Table {
             schema,
             heap: HeapFile::new(pool),
             indexes: RwLock::new(HashMap::new()),
+            versions: Mutex::new(HashMap::new()),
         }
     }
 
@@ -141,8 +148,168 @@ impl Table {
         Ok(rid)
     }
 
+    /// Raw heap scan: every physical row, including versions invisible
+    /// to the caller. Readers should use [`Table::scan_visible`].
     pub fn scan(&self) -> Result<Vec<(RowId, Row)>> {
         self.heap.scan()
+    }
+
+    /// Scan through a visibility filter: the caller's snapshot, or the
+    /// latest-committed view when no transaction is open.
+    pub fn scan_visible(&self, snap: Option<Snapshot>) -> Result<Vec<(RowId, Row)>> {
+        let vis = self.visibility(snap)?;
+        Ok(self
+            .heap
+            .scan()?
+            .into_iter()
+            .filter(|(rid, _)| vis.allows(*rid))
+            .collect())
+    }
+
+    /// Resolve a row-visibility filter for one scan: clone the live
+    /// version metas and capture the heap insertion watermark, both
+    /// under the versions lock. [`Table::mvcc_insert`] holds the same
+    /// lock across heap insert + meta registration, so every row below
+    /// the watermark has its meta in the clone — per-row checks then
+    /// take no lock at all.
+    pub fn visibility(&self, snap: Option<Snapshot>) -> Result<RowVis> {
+        let vs = self.versions.lock();
+        let wm = self.heap.watermark()?;
+        Ok(RowVis::new(vs.clone(), wm, snap))
+    }
+
+    /// Insert a new, uncommitted version owned by `txn`. The versions
+    /// lock is held across the heap insert so the row and its meta
+    /// appear atomically to [`Table::visibility`] — a scan never
+    /// observes the row as meta-less (which would read as committed).
+    pub fn mvcc_insert(&self, values: Vec<Value>, txn: u64) -> Result<RowId> {
+        let mut vs = self.versions.lock();
+        let rid = self.insert(values)?;
+        vs.insert(rid, VersionMeta::created_by(txn));
+        Ok(rid)
+    }
+
+    /// Claim the version at `rid` as superseded by the snapshot's
+    /// transaction, under first-updater-wins: any competing claim or any
+    /// version committed after the snapshot's `read_ts` is a
+    /// [`AimError::WriteConflict`]. Rows without a meta are legacy
+    /// committed and acquire one on first claim.
+    pub fn mvcc_claim(&self, rid: RowId, snap: &Snapshot) -> Result<()> {
+        let mut vs = self.versions.lock();
+        let meta = vs.entry(rid).or_insert_with(VersionMeta::legacy);
+        if meta.end_ts.is_some() {
+            return Err(AimError::WriteConflict(format!(
+                "row {rid:?} in {} superseded by a committed transaction",
+                self.name
+            )));
+        }
+        if let Some(owner) = meta.end_txn {
+            if owner == snap.txn {
+                return Ok(()); // already claimed by us
+            }
+            return Err(AimError::WriteConflict(format!(
+                "row {rid:?} in {} claimed by concurrent transaction {owner}",
+                self.name
+            )));
+        }
+        match meta.begin_ts {
+            None if meta.begin_txn != snap.txn => Err(AimError::WriteConflict(format!(
+                "row {rid:?} in {} is an uncommitted insert of transaction {}",
+                self.name, meta.begin_txn
+            ))),
+            Some(ts) if ts > snap.read_ts => Err(AimError::WriteConflict(format!(
+                "row {rid:?} in {} committed at ts {ts}, after snapshot ts {}",
+                self.name, snap.read_ts
+            ))),
+            _ => {
+                meta.end_txn = Some(snap.txn);
+                Ok(())
+            }
+        }
+    }
+
+    /// Release `txn`'s uncommitted claim on `rid` (rollback).
+    pub fn mvcc_unclaim(&self, rid: RowId, txn: u64) {
+        let mut vs = self.versions.lock();
+        if let Some(meta) = vs.get_mut(&rid) {
+            if meta.end_txn == Some(txn) && meta.end_ts.is_none() {
+                meta.end_txn = None;
+                // a legacy meta with no remaining claim carries no info
+                if *meta == VersionMeta::legacy() {
+                    vs.remove(&rid);
+                }
+            }
+        }
+    }
+
+    /// Physically remove an uncommitted version created by a rolled-back
+    /// transaction, along with its meta and index entries.
+    ///
+    /// The heap delete comes *first*: a concurrent scan that resolved its
+    /// visibility before the delete holds the uncommitted meta (row
+    /// hidden), and one resolving after no longer finds the row at all.
+    /// Removing the meta first would open a window where the live row
+    /// reads as meta-less — i.e. legacy-committed — to a fresh scan.
+    pub fn mvcc_drop_created(&self, rid: RowId) -> Result<()> {
+        self.delete(rid)?;
+        self.versions.lock().remove(&rid);
+        Ok(())
+    }
+
+    /// Stamp the commit timestamp onto a version created by the
+    /// committing transaction.
+    pub fn mvcc_stamp_begin(&self, rid: RowId, cts: u64) {
+        if let Some(meta) = self.versions.lock().get_mut(&rid) {
+            meta.begin_ts = Some(cts);
+        }
+    }
+
+    /// Stamp the commit timestamp onto a version superseded by the
+    /// committing transaction.
+    pub fn mvcc_stamp_end(&self, rid: RowId, cts: u64) {
+        if let Some(meta) = self.versions.lock().get_mut(&rid) {
+            meta.end_ts = Some(cts);
+        }
+    }
+
+    /// Garbage-collect at a quiescent point (no active transactions):
+    /// physically delete versions whose superseding transaction
+    /// committed, and fold surviving committed metas back into the
+    /// implicit legacy state. Returns the number of dead versions
+    /// removed.
+    /// `horizon` is the oldest read timestamp any live or future
+    /// snapshot can hold ([`crate::mvcc::TxnRuntime::vacuum_horizon`]):
+    /// versions superseded at or before it are invisible to everyone.
+    pub fn vacuum(&self, horizon: u64) -> Result<usize> {
+        let dead: Vec<RowId> = {
+            let vs = self.versions.lock();
+            vs.iter()
+                .filter(|(_, m)| m.end_ts.map(|e| e <= horizon).unwrap_or(false))
+                .map(|(rid, _)| *rid)
+                .collect()
+        };
+        // Heap deletes happen *before* the metas go: a reader entering
+        // mid-vacuum (its read timestamp is the latest commit, at or
+        // above every dead version's end timestamp) either finds a dead
+        // row together with the meta that hides it, or no row at all —
+        // never a meta-less dead row masquerading as legacy-committed.
+        for rid in &dead {
+            self.delete(*rid)?;
+        }
+        let mut vs = self.versions.lock();
+        for rid in &dead {
+            vs.remove(rid);
+        }
+        // Fold committed metas visible to every live snapshot back into
+        // the implicit legacy state; keep uncommitted creations, claimed
+        // or superseded versions, and commits newer than the horizon.
+        vs.retain(|_, m| {
+            let uncommitted = m.begin_ts.is_none();
+            let claimed = m.end_txn.is_some() || m.end_ts.is_some();
+            let young = m.begin_ts.map(|b| b > horizon).unwrap_or(false);
+            uncommitted || claimed || young
+        });
+        Ok(dead.len())
     }
 
     pub fn row_count(&self) -> Result<usize> {

@@ -21,7 +21,8 @@ use crate::catalog::{Catalog, Table};
 use crate::exec::{execute, ExecContext, OpKey, OpStats, WorkerSpan};
 use crate::exec_batch::execute_batched_parallel;
 use crate::knobs::Knobs;
-use crate::metrics::{KpiSnapshot, Metrics};
+use crate::metrics::{KpiSnapshot, Metrics, GROUP_COMMIT_BATCH};
+use crate::mvcc::{CommitTs, Snapshot, TxnRuntime, WriteOp};
 use crate::optimizer::{CardEstimator, HistogramEstimator, Planner};
 use crate::plan::{bind_expr, PhysicalPlan};
 use crate::stats::TableStats;
@@ -164,8 +165,48 @@ pub struct Database {
     clock: RwLock<Arc<dyn Clock>>,
     stats: RwLock<HashMap<String, TableStats>>,
     txn: Mutex<TxnManager>,
+    /// Shared MVCC state: commit-timestamp counter, commit/checkpoint
+    /// lock, active-transaction snapshots and write-sets.
+    runtime: TxnRuntime,
     estimator: RwLock<Arc<dyn CardEstimator>>,
     hook: RwLock<Option<Arc<dyn ModelHook>>>,
+}
+
+/// A concurrent transaction handle from [`Database::begin_txn`]: many
+/// handles run at once under snapshot isolation, independent of the
+/// session-level `BEGIN`/`COMMIT` statements. Reads through the handle
+/// see the database as of `read_ts` plus the handle's own writes;
+/// conflicting writes surface as retryable
+/// [`AimError::WriteConflict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnHandle {
+    /// Transaction id (also the id under which WAL records are logged).
+    pub id: u64,
+    /// The frozen read timestamp of this transaction's snapshot.
+    pub read_ts: CommitTs,
+}
+
+impl TxnHandle {
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            txn: self.id,
+            read_ts: self.read_ts,
+        }
+    }
+}
+
+/// RAII token for a plain-statement reader: while alive, the checkpoint
+/// vacuum horizon stays at or below `ts`, so no row version this
+/// reader's frozen snapshot may still need is removed.
+struct ReadGuard<'a> {
+    runtime: &'a TxnRuntime,
+    ts: CommitTs,
+}
+
+impl Drop for ReadGuard<'_> {
+    fn drop(&mut self) {
+        self.runtime.reader_exit(self.ts);
+    }
 }
 
 impl Default for Database {
@@ -209,6 +250,16 @@ impl Database {
         let wal = Wal::with_sink(Box::new(DiskSink::new(Arc::clone(&store))));
         let sync = knobs.get("wal_sync").map(|v| v != 0).unwrap_or(true);
         wal.set_sync_on_commit(sync);
+        if let Ok(window) = knobs.get("group_commit_window") {
+            wal.set_group_window_us(window as u64);
+        }
+        let metrics = Metrics::new();
+        // Each WAL flush reports how many commits it made durable, so the
+        // batch-size histogram shows whether group commit is batching.
+        let reg = metrics.registry_handle();
+        wal.set_flush_observer(Box::new(move |batch| {
+            reg.observe(GROUP_COMMIT_BATCH, batch as f64);
+        }));
         let tracer = Tracer::default();
         if let Ok(threshold) = knobs.get("slow_query_cost_threshold") {
             tracer.set_slow_threshold(threshold as f64);
@@ -219,11 +270,12 @@ impl Database {
             catalog: Catalog::new(),
             wal,
             knobs,
-            metrics: Metrics::new(),
+            metrics,
             tracer,
             clock: RwLock::new(Arc::new(WallClock::new())),
             stats: RwLock::new(HashMap::new()),
             txn: Mutex::new(TxnManager::new()),
+            runtime: TxnRuntime::new(),
             estimator: RwLock::new(Arc::new(HistogramEstimator)),
             hook: RwLock::new(None),
         }
@@ -389,20 +441,50 @@ impl Database {
 
     /// Write a checkpoint record now: full logical state, so recovery can
     /// start from it instead of replaying the whole log.
+    ///
+    /// Checkpoints are quiescent: the call holds the commit lock and
+    /// fails with [`AimError::TxnAborted`] if any transaction is in
+    /// flight, so no transaction ever spans a checkpoint. Dead row
+    /// versions are vacuumed first — the snapshot is exactly the
+    /// committed-visible state.
     pub fn checkpoint_now(&self) -> Result<u64> {
+        let _quiesce = self.runtime.commit_lock.lock();
+        if self.runtime.active_count() > 0 {
+            return Err(AimError::TxnAborted(format!(
+                "checkpoint requires quiescence: {} transaction(s) in flight",
+                self.runtime.active_count()
+            )));
+        }
+        // Plain-statement readers do not block the checkpoint: the
+        // vacuum horizon below keeps every version their frozen
+        // snapshots may still need. Readers entering mid-vacuum
+        // registered under `commit_lock` (held here), so they read the
+        // final pre-vacuum timestamp and need nothing the vacuum takes.
+        let horizon = self.runtime.vacuum_horizon();
+        for name in self.catalog.table_names() {
+            self.catalog.table(&name)?.vacuum(horizon)?;
+        }
         let data = self.snapshot_state()?;
         self.wal.append(LogRecord::Checkpoint(Box::new(data)))
     }
 
-    /// Checkpoint if the interval knob says so and no transaction is open
-    /// (checkpoints are quiescent: no transaction ever spans one).
+    /// Checkpoint if the interval knob says so and the database is
+    /// quiescent (no session transaction, no concurrent handles).
     pub fn maybe_checkpoint(&self) -> Result<bool> {
         let interval = self.knobs.get("checkpoint_interval")? as u64;
-        if self.txn.lock().in_txn() || self.wal.records_since_checkpoint() < interval {
+        if self.txn.lock().in_txn()
+            || self.runtime.active_count() > 0
+            || self.wal.records_since_checkpoint() < interval
+        {
             return Ok(false);
         }
-        self.checkpoint_now()?;
-        Ok(true)
+        match self.checkpoint_now() {
+            Ok(_) => Ok(true),
+            // A transaction slipped in between the check and the lock:
+            // skip this round, the next statement retries.
+            Err(AimError::TxnAborted(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
     }
 
     fn snapshot_state(&self) -> Result<CheckpointData> {
@@ -410,7 +492,7 @@ impl Database {
         let mut tables = Vec::new();
         for name in self.catalog.table_names() {
             let t = self.catalog.table(&name)?;
-            let rows = t.scan()?.into_iter().map(|(_, r)| r).collect();
+            let rows = t.scan_visible(None)?.into_iter().map(|(_, r)| r).collect();
             tables.push(TableSnapshot {
                 name: t.name.clone(),
                 schema: t.schema.clone(),
@@ -432,6 +514,201 @@ impl Database {
             tables,
             indexes,
         })
+    }
+
+    /// Open a concurrent transaction handle: a frozen snapshot plus a
+    /// transaction id, independent of the session `BEGIN`/`COMMIT`
+    /// statements. Any number of handles may be live at once; writes
+    /// conflict under first-updater-wins and surface as retryable
+    /// [`AimError::WriteConflict`].
+    pub fn begin_txn(&self) -> Result<TxnHandle> {
+        let id = self.txn.lock().fresh_id(&self.wal)?;
+        let snap = self.runtime.register(id);
+        Ok(TxnHandle {
+            id,
+            read_ts: snap.read_ts,
+        })
+    }
+
+    /// Execute one DML or SELECT statement inside the transaction of
+    /// `h`. Reads see the handle's snapshot plus its own writes; DDL and
+    /// transaction-control statements are rejected.
+    pub fn execute_in(&self, h: &TxnHandle, sql: &str) -> Result<QueryResult> {
+        let stmt = parse_one(sql)?;
+        let out = match &stmt {
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => self.exec_insert(table, columns.as_deref(), rows, Some(h)),
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => self.exec_update(table, assignments, where_clause.as_ref(), Some(h)),
+            Statement::Delete {
+                table,
+                where_clause,
+            } => self.exec_delete(table, where_clause.as_ref(), Some(h)),
+            Statement::Select(sel) => {
+                let plan = self.plan(sel)?;
+                let (rows, _) = self.exec_plan_traced(&plan, None, Some(h.snapshot()))?;
+                Ok(QueryResult::Rows {
+                    schema: plan.schema.clone(),
+                    rows,
+                })
+            }
+            other => Err(AimError::Execution(format!(
+                "transaction handles support DML and SELECT, got {}",
+                stmt_label(other)
+            ))),
+        };
+        if out.is_err() {
+            self.metrics.record_error();
+        }
+        out
+    }
+
+    /// Commit the transaction of `h`: its commit record becomes durable
+    /// (group-committed with concurrent transactions' records), then all
+    /// its versions become visible atomically.
+    pub fn commit_txn(&self, h: &TxnHandle) -> Result<CommitTs> {
+        let cts = self.commit_mvcc(h.id)?;
+        let _ = self.maybe_checkpoint();
+        Ok(cts)
+    }
+
+    /// Roll back the transaction of `h`, reversing its writes and
+    /// releasing its claims. After a [`AimError::WriteConflict`] the
+    /// caller rolls back and retries on a fresh handle.
+    pub fn rollback_txn(&self, h: &TxnHandle) -> Result<()> {
+        self.rollback_mvcc(h.id)?;
+        self.metrics.record_abort();
+        Ok(())
+    }
+
+    /// MVCC commit: WAL durability first, then visibility.
+    ///
+    /// The `Commit` record is appended (and group-committed) *before*
+    /// any version is stamped, so a crash can never expose effects whose
+    /// commit record did not reach the log. Stamping and publishing the
+    /// commit timestamp happen under the commit lock, making the whole
+    /// transaction visible atomically: a reader snapshot either sees all
+    /// of the transaction or none of it.
+    fn commit_mvcc(&self, txn: u64) -> Result<CommitTs> {
+        let clock = self.clock();
+        let start = clock.now_secs();
+        if let Err(e) = self.wal.append(LogRecord::Commit { txn }) {
+            // A commit that cannot be made durable aborts instead: the
+            // write-set is reversed and recovery discards the txn.
+            let _ = self.rollback_writes(txn);
+            let _ = self.wal.append(LogRecord::Abort { txn });
+            self.metrics.record_abort();
+            return Err(e);
+        }
+        let cts;
+        {
+            let _g = self.runtime.commit_lock.lock();
+            cts = self.runtime.last_commit_ts() + 1;
+            if let Some(info) = self.runtime.take(txn) {
+                for op in &info.writes {
+                    match op {
+                        // The table may have been dropped after the write;
+                        // its versions died with it.
+                        WriteOp::Created { table, rid } => {
+                            if let Ok(t) = self.catalog.table(table) {
+                                t.mvcc_stamp_begin(*rid, cts);
+                            }
+                        }
+                        WriteOp::Ended { table, rid } => {
+                            if let Ok(t) = self.catalog.table(table) {
+                                t.mvcc_stamp_end(*rid, cts);
+                            }
+                        }
+                    }
+                }
+            }
+            self.runtime.publish_commit_ts(cts);
+        }
+        self.metrics.record_commit();
+        self.metrics
+            .record_commit_latency((clock.now_secs() - start).max(0.0));
+        Ok(cts)
+    }
+
+    /// MVCC rollback: reverse the write-set newest-first (drop created
+    /// versions, release claims), then log the abort.
+    fn rollback_mvcc(&self, txn: u64) -> Result<()> {
+        self.rollback_writes(txn)?;
+        self.wal.append(LogRecord::Abort { txn })?;
+        Ok(())
+    }
+
+    fn rollback_writes(&self, txn: u64) -> Result<()> {
+        if let Some(info) = self.runtime.take(txn) {
+            for op in info.writes.iter().rev() {
+                match op {
+                    WriteOp::Created { table, rid } => {
+                        if let Ok(t) = self.catalog.table(table) {
+                            t.mvcc_drop_created(*rid)?;
+                        }
+                    }
+                    WriteOp::Ended { table, rid } => {
+                        if let Ok(t) = self.catalog.table(table) {
+                            t.mvcc_unclaim(*rid, txn);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The snapshot a statement outside any handle reads through: the
+    /// open session transaction's frozen view, or latest-committed.
+    fn session_snapshot(&self) -> Option<Snapshot> {
+        self.txn
+            .lock()
+            .current()
+            .and_then(|id| self.runtime.snapshot_of(id))
+    }
+
+    /// A statement-scoped read view for plain (auto-commit) SELECTs.
+    ///
+    /// Freezing `read_ts` at statement start makes concurrent commits
+    /// atomic to the reader: versions are stamped before the commit
+    /// timestamp is published, so a half-stamped transaction lies
+    /// entirely in the reader's future. Txn id 0 is never allocated
+    /// (`TxnManager` starts at 1), so this snapshot owns no
+    /// uncommitted writes.
+    fn read_snapshot(&self) -> (Snapshot, ReadGuard<'_>) {
+        let ts = self.runtime.reader_enter();
+        let guard = ReadGuard {
+            runtime: &self.runtime,
+            ts,
+        };
+        (
+            Snapshot {
+                txn: 0,
+                read_ts: ts,
+            },
+            guard,
+        )
+    }
+
+    /// Resolve the transaction identity for one DML statement: an
+    /// explicit handle, the open session transaction, or a fresh
+    /// auto-commit transaction.
+    fn stmt_txn(&self, h: Option<&TxnHandle>) -> Result<(u64, bool, Snapshot)> {
+        if let Some(h) = h {
+            return Ok((h.id, false, h.snapshot()));
+        }
+        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let snap = match self.runtime.snapshot_of(txn) {
+            Some(s) => s,
+            None => self.runtime.register(txn),
+        };
+        Ok((txn, auto, snap))
     }
 
     /// Install a learned cardinality estimator (E5/E7); pass
@@ -465,6 +742,20 @@ impl Database {
         let b = self.pool.stats();
         let d = self.store.stats();
         self.metrics.snapshot(b.hit_rate(), d.reads, d.writes)
+    }
+
+    /// Physical WAL fsyncs performed so far. Group commit merges many
+    /// transactions into one flush, so under concurrent commit load this
+    /// stays below `kpis().txns_committed`.
+    pub fn wal_flush_count(&self) -> u64 {
+        self.wal.flush_count()
+    }
+
+    /// A quantile from one of the engine's registry histograms, e.g.
+    /// `metric_quantile(metrics::GROUP_COMMIT_BATCH, 0.5)` for the median
+    /// group-commit batch size.
+    pub fn metric_quantile(&self, name: &str, q: f64) -> f64 {
+        self.metrics.registry().quantile(name, q)
     }
 
     /// Execute one SQL statement. With `query_tracing` on (the default)
@@ -602,7 +893,7 @@ impl Database {
                 table,
                 columns,
                 rows,
-            } => self.exec_insert(table, columns.as_deref(), rows),
+            } => self.exec_insert(table, columns.as_deref(), rows, None),
             Statement::Select(sel) => {
                 let plan = {
                     let oid = tb.as_deref_mut().map(|t| t.open("optimize"));
@@ -612,7 +903,7 @@ impl Database {
                     }
                     plan?
                 };
-                let (rows, _) = self.exec_plan_traced(&plan, tb)?;
+                let (rows, _) = self.exec_plan_traced(&plan, tb, None)?;
                 Ok(QueryResult::Rows {
                     schema: plan.schema.clone(),
                     rows,
@@ -622,25 +913,37 @@ impl Database {
                 table,
                 assignments,
                 where_clause,
-            } => self.exec_update(table, assignments, where_clause.as_ref()),
+            } => self.exec_update(table, assignments, where_clause.as_ref(), None),
             Statement::Delete {
                 table,
                 where_clause,
-            } => self.exec_delete(table, where_clause.as_ref()),
+            } => self.exec_delete(table, where_clause.as_ref(), None),
             Statement::Begin => {
-                self.txn.lock().begin(&self.wal)?;
+                let id = self.txn.lock().begin(&self.wal)?;
+                self.runtime.register(id);
                 Ok(QueryResult::Text("begin".into()))
             }
             Statement::Commit => {
-                self.txn.lock().commit(&self.wal)?;
-                self.metrics.record_commit();
+                let id = self.txn.lock().take_active()?;
+                let sid = tb.as_deref_mut().map(|t| t.open("commit"));
+                let out = self.commit_mvcc(id);
+                if let (Some(t), Some(s)) = (tb.as_deref_mut(), sid) {
+                    t.close(s);
+                }
+                out?;
                 // Best-effort: the commit is durable; a checkpoint failure
                 // surfaces on the next statement instead.
                 let _ = self.maybe_checkpoint();
                 Ok(QueryResult::Text("commit".into()))
             }
             Statement::Rollback => {
-                self.txn.lock().rollback(&self.wal, &self.catalog)?;
+                let id = self.txn.lock().take_active()?;
+                let sid = tb.as_deref_mut().map(|t| t.open("rollback"));
+                let out = self.rollback_mvcc(id);
+                if let (Some(t), Some(s)) = (tb.as_deref_mut(), sid) {
+                    t.close(s);
+                }
+                out?;
                 self.metrics.record_abort();
                 Ok(QueryResult::Text("rollback".into()))
             }
@@ -680,6 +983,9 @@ impl Database {
                 }
                 if knob.eq_ignore_ascii_case("wal_sync") {
                     self.wal.set_sync_on_commit(applied != 0);
+                }
+                if knob.eq_ignore_ascii_case("group_commit_window") {
+                    self.wal.set_group_window_us(applied as u64);
                 }
                 if knob.eq_ignore_ascii_case("slow_query_cost_threshold") {
                     self.tracer.set_slow_threshold(applied as f64);
@@ -773,11 +1079,11 @@ impl Database {
     /// experiments): starts its own trace when tracing is enabled.
     fn exec_plan(&self, plan: &PhysicalPlan) -> Result<(Vec<Row>, f64)> {
         if !self.tracing_enabled() {
-            return self.exec_plan_traced(plan, None);
+            return self.exec_plan_traced(plan, None, None);
         }
         let clock = self.clock();
         let mut tb = TraceBuilder::new(clock.as_ref(), plan_label(plan));
-        let out = self.exec_plan_traced(plan, Some(&mut tb));
+        let out = self.exec_plan_traced(plan, Some(&mut tb), None);
         self.tracer.record(tb.finish());
         out
     }
@@ -790,7 +1096,20 @@ impl Database {
         &self,
         plan: &PhysicalPlan,
         mut tb: Option<&mut TraceBuilder<'_>>,
+        snap: Option<Snapshot>,
     ) -> Result<(Vec<Row>, f64)> {
+        // Reads go through a snapshot when a transaction supplies one
+        // (handle or session BEGIN); otherwise a statement-scoped
+        // read snapshot so concurrent commits appear atomically. The
+        // guard keeps the checkpoint vacuum at bay until the scan ends.
+        let (snap, _read_guard) = match snap.or_else(|| self.session_snapshot()) {
+            Some(s) => (s, None),
+            None => {
+                let (s, g) = self.read_snapshot();
+                (s, Some(g))
+            }
+        };
+        let snap = Some(snap);
         // Debug builds statically verify every plan before running it, so
         // the whole test suite doubles as a verifier soak test.
         #[cfg(debug_assertions)]
@@ -812,6 +1131,7 @@ impl Database {
             let bs = self.knobs.get("exec_batch_size").unwrap_or(1024) as usize;
             let workers = self.exec_workers();
             let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
+            ctx.set_snapshot(snap);
             let rows = execute_batched_parallel(plan, &ctx, bs, workers)?;
             let ops = ctx.take_op_stats();
             self.flush_op_stats(&ops);
@@ -820,6 +1140,7 @@ impl Database {
             (rows, cost, ops)
         } else {
             let ctx = ExecContext::new(&self.catalog, &fns);
+            ctx.set_snapshot(snap);
             let rows = execute(plan, &ctx)?;
             let cost = ctx.cost_units();
             (rows, cost, Vec::new())
@@ -925,6 +1246,14 @@ impl Database {
         let eid = tb.as_deref_mut().map(|t| t.open("execute"));
         let workers = self.exec_workers();
         let ctx = ExecContext::with_clock(&self.catalog, &fns, clock.as_ref());
+        let (snap, _read_guard) = match self.session_snapshot() {
+            Some(s) => (s, None),
+            None => {
+                let (s, g) = self.read_snapshot();
+                (s, Some(g))
+            }
+        };
+        ctx.set_snapshot(Some(snap));
         let rows = execute_batched_parallel(&plan, &ctx, bs, workers)?;
         let ops = ctx.take_op_stats();
         self.flush_op_stats(&ops);
@@ -1007,9 +1336,10 @@ impl Database {
         table: &str,
         columns: Option<&[String]>,
         rows: &[Vec<Expr>],
+        h: Option<&TxnHandle>,
     ) -> Result<QueryResult> {
         let t = self.catalog.table(table)?;
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let (txn, auto, _snap) = self.stmt_txn(h)?;
         let body = || -> Result<usize> {
             let mut n = 0;
             for exprs in rows {
@@ -1034,7 +1364,14 @@ impl Database {
                         full
                     }
                 };
-                let rid = t.insert(full)?;
+                let rid = t.mvcc_insert(full, txn)?;
+                self.runtime.record_write(
+                    txn,
+                    WriteOp::Created {
+                        table: table.to_string(),
+                        rid,
+                    },
+                );
                 // Log the stored row (the schema may have coerced values),
                 // so redo reproduces exactly what was persisted.
                 let stored = t.heap.get(rid)?.ok_or_else(|| {
@@ -1048,15 +1385,17 @@ impl Database {
         self.finish_dml(txn, auto, body())
     }
 
-    /// Close out a DML statement: auto-commit on success, or (for
-    /// auto-commit statements) undo the partial effects and abort on
-    /// failure so a mid-statement storage fault cannot leave half a
-    /// statement applied.
+    /// Close out a DML statement. Auto-commit statements commit (or, on
+    /// failure, roll back) their implicit transaction through the MVCC
+    /// path, so a mid-statement storage fault cannot leave half a
+    /// statement visible. Statements inside an open transaction or
+    /// handle leave the error to the caller, who decides between
+    /// ROLLBACK and retrying the statement.
     fn finish_dml(&self, txn: u64, auto: bool, out: Result<usize>) -> Result<QueryResult> {
         match out {
             Ok(n) => {
                 if auto {
-                    self.txn.lock().commit_auto(&self.wal, txn)?;
+                    self.commit_mvcc(txn)?;
                     let _ = self.maybe_checkpoint();
                 }
                 Ok(QueryResult::Affected(n))
@@ -1065,8 +1404,8 @@ impl Database {
                 if auto {
                     // Best-effort: on an injected crash these fail too, and
                     // recovery discards the unfinished transaction anyway.
-                    let _ = crate::txn::undo(&self.wal, &self.catalog, txn);
-                    let _ = self.wal.append(LogRecord::Abort { txn });
+                    let _ = self.rollback_mvcc(txn);
+                    self.metrics.record_abort();
                 }
                 Err(e)
             }
@@ -1078,6 +1417,7 @@ impl Database {
         table: &str,
         assignments: &[(String, Expr)],
         where_clause: Option<&Expr>,
+        h: Option<&TxnHandle>,
     ) -> Result<QueryResult> {
         let t = self.catalog.table(table)?;
         let fns = EngineFns {
@@ -1091,10 +1431,12 @@ impl Database {
             .iter()
             .map(|(c, e)| Ok((t.schema.index_of(c)?, bind_expr(e, &t.schema)?)))
             .collect::<Result<_>>()?;
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let (txn, auto, snap) = self.stmt_txn(h)?;
         let body = || -> Result<usize> {
             let mut n = 0;
-            for (rid, row) in t.scan()? {
+            // Materialized snapshot scan: new versions inserted below are
+            // never rescanned (no Halloween problem).
+            for (rid, row) in t.scan_visible(Some(snap))? {
                 let keep = match &pred {
                     Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
                     None => true,
@@ -1106,11 +1448,28 @@ impl Database {
                 for (ci, e) in &bound_assign {
                     vals[*ci] = e.eval(&t.schema, &row, &fns)?;
                 }
-                let (before, new_rid) = t.update(rid, vals)?;
+                // First-updater-wins: claim the old version, then write
+                // the new one as a fresh row version.
+                t.mvcc_claim(rid, &snap)?;
+                self.runtime.record_write(
+                    txn,
+                    WriteOp::Ended {
+                        table: table.to_string(),
+                        rid,
+                    },
+                );
+                let new_rid = t.mvcc_insert(vals, txn)?;
+                self.runtime.record_write(
+                    txn,
+                    WriteOp::Created {
+                        table: table.to_string(),
+                        rid: new_rid,
+                    },
+                );
                 let after = t.heap.get(new_rid)?.ok_or_else(|| {
                     AimError::Storage(format!("row {new_rid:?} vanished after update"))
                 })?;
-                log_update(&self.wal, txn, table, rid, new_rid, before, after)?;
+                log_update(&self.wal, txn, table, rid, new_rid, row, after)?;
                 n += 1;
             }
             Ok(n)
@@ -1118,7 +1477,12 @@ impl Database {
         self.finish_dml(txn, auto, body())
     }
 
-    fn exec_delete(&self, table: &str, where_clause: Option<&Expr>) -> Result<QueryResult> {
+    fn exec_delete(
+        &self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        h: Option<&TxnHandle>,
+    ) -> Result<QueryResult> {
         let t = self.catalog.table(table)?;
         let fns = EngineFns {
             hook: self.hook.read().clone(),
@@ -1127,19 +1491,28 @@ impl Database {
             Some(w) => Some(bind_expr(w, &t.schema)?),
             None => None,
         };
-        let (txn, auto) = self.txn.lock().current_or_auto(&self.wal)?;
+        let (txn, auto, snap) = self.stmt_txn(h)?;
         let body = || -> Result<usize> {
             let mut n = 0;
-            for (rid, row) in t.scan()? {
+            for (rid, row) in t.scan_visible(Some(snap))? {
                 let keep = match &pred {
                     Some(p) => p.eval_predicate(&t.schema, &row, &fns)?,
                     None => true,
                 };
                 if keep {
-                    if let Some(before) = t.delete(rid)? {
-                        log_delete(&self.wal, txn, table, rid, before)?;
-                        n += 1;
-                    }
+                    // MVCC delete is a claim: the version stays in the
+                    // heap for concurrent snapshots and is physically
+                    // removed by the checkpoint vacuum.
+                    t.mvcc_claim(rid, &snap)?;
+                    self.runtime.record_write(
+                        txn,
+                        WriteOp::Ended {
+                            table: table.to_string(),
+                            rid,
+                        },
+                    );
+                    log_delete(&self.wal, txn, table, rid, row)?;
+                    n += 1;
                 }
             }
             Ok(n)

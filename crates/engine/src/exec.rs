@@ -15,6 +15,7 @@ use aimdb_sql::expr::ScalarFns;
 use aimdb_sql::logical::AggExpr;
 
 use crate::catalog::Catalog;
+use crate::mvcc::Snapshot;
 use crate::plan::{PhysOp, PhysicalPlan};
 
 /// Per-operator execution counters accumulated by the vectorized
@@ -61,6 +62,9 @@ pub struct ExecContext<'a> {
     pub fns: &'a dyn ScalarFns,
     cost_units: Cell<f64>,
     clock: Option<&'a dyn Clock>,
+    /// MVCC read view for scans: `Some` inside a transaction (snapshot
+    /// isolation), `None` for latest-committed reads.
+    snapshot: Cell<Option<Snapshot>>,
     op_stats: RefCell<BTreeMap<OpKey, OpStats>>,
     worker_spans: RefCell<Vec<WorkerSpan>>,
 }
@@ -72,9 +76,20 @@ impl<'a> ExecContext<'a> {
             fns,
             cost_units: Cell::new(0.0),
             clock: None,
+            snapshot: Cell::new(None),
             op_stats: RefCell::new(BTreeMap::new()),
             worker_spans: RefCell::new(Vec::new()),
         }
+    }
+
+    /// Pin the MVCC snapshot every scan in this context reads through.
+    pub fn set_snapshot(&self, snap: Option<Snapshot>) {
+        self.snapshot.set(snap);
+    }
+
+    /// The context's MVCC read view, if one is pinned.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.snapshot.get()
     }
 
     /// A context that also timestamps per-operator work (used by the
@@ -148,7 +163,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
     match &plan.op {
         PhysOp::SeqScan { table, filter, .. } => {
             let t = ctx.catalog.table(table)?;
-            let rows = t.scan()?;
+            let rows = t.scan_visible(ctx.snapshot())?;
             ctx.charge(rows.len() as f64 * 0.01 + (rows.len() as f64 / 64.0).ceil());
             let out: Vec<Row> = match filter {
                 Some(f) => rows
@@ -176,7 +191,7 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
             let idx = t.index_on(column).ok_or_else(|| {
                 AimError::Execution(format!("planned index on {table}.{column} missing"))
             })?;
-            let rids = match (lo, hi) {
+            let mut rids = match (lo, hi) {
                 (Some(l), Some(h)) if l == h => idx.lookup(l),
                 (l, h) => {
                     let lo_v = l.clone().unwrap_or(Value::Float(f64::NEG_INFINITY));
@@ -184,6 +199,8 @@ pub fn execute(plan: &PhysicalPlan, ctx: &ExecContext) -> Result<Vec<Row>> {
                     idx.range(&lo_v, &hi_v)
                 }
             };
+            let vis = t.visibility(ctx.snapshot())?;
+            rids.retain(|r| vis.allows(*r));
             ctx.charge(3.0 + rids.len() as f64 * 0.06);
             let mut out = Vec::with_capacity(rids.len());
             for rid in rids {

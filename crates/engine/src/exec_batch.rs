@@ -46,6 +46,7 @@ use aimdb_sql::vexpr::{self, VExpr};
 
 use crate::catalog::Table;
 use crate::exec::{AggState, ExecContext, OpStats, WorkerSpan, MAIN_WORKER};
+use crate::mvcc::RowVis;
 use crate::plan::{PhysOp, PhysicalPlan};
 use aimdb_storage::{HeapScanCursor, Morsel, MorselDispenser, MorselSource, RowId};
 
@@ -110,6 +111,7 @@ fn build<'p>(
                 "seq_scan",
                 Box::new(SeqScanOp {
                     cursor: t.heap.scan_cursor(),
+                    vis: t.visibility(ctx.snapshot())?,
                     schema: &plan.schema,
                     filter,
                     ctx,
@@ -130,7 +132,7 @@ fn build<'p>(
             let idx = t.index_on(column).ok_or_else(|| {
                 AimError::Execution(format!("planned index on {table}.{column} missing"))
             })?;
-            let rids = match (lo, hi) {
+            let mut rids = match (lo, hi) {
                 (Some(l), Some(h)) if l == h => idx.lookup(l),
                 (l, h) => {
                     let lo_v = l.clone().unwrap_or(Value::Float(f64::NEG_INFINITY));
@@ -138,6 +140,8 @@ fn build<'p>(
                     idx.range_batched(&lo_v, &hi_v, bs)
                 }
             };
+            let vis = t.visibility(ctx.snapshot())?;
+            rids.retain(|r| vis.allows(*r));
             ctx.charge(3.0 + rids.len() as f64 * 0.06);
             let filter = filter
                 .as_ref()
@@ -405,6 +409,7 @@ impl BatchOp for Instrumented<'_> {
 
 struct SeqScanOp<'p> {
     cursor: HeapScanCursor,
+    vis: RowVis,
     schema: &'p Schema,
     filter: Option<VExpr>,
     ctx: &'p ExecContext<'p>,
@@ -424,7 +429,10 @@ impl BatchOp for SeqScanOp<'_> {
                 .iter()
                 .map(|c| ColVec::with_capacity(c.data_type, self.bs))
                 .collect();
-            let (n, more) = self.cursor.fill_batch(self.bs, &mut cols)?;
+            let vis = &self.vis;
+            let (n, more) =
+                self.cursor
+                    .fill_batch_vis(self.bs, &mut cols, Some(&|rid| vis.allows(rid)))?;
             if !more {
                 self.done = true;
             }
@@ -1068,6 +1076,9 @@ impl RegionStage {
 /// scoped worker pool.
 struct RegionSpec<'p> {
     source: MorselSource,
+    /// MVCC row filter resolved at compile time (metas cloned once, so
+    /// workers share it without touching the catalog).
+    vis: RowVis,
     scan_schema: &'p Schema,
     scan_filter: Option<VExpr>,
     scan_node: usize,
@@ -1117,6 +1128,7 @@ fn compile_region<'p>(
                 stages.reverse();
                 return Ok(RegionSpec {
                     source: t.heap.morsel_source(),
+                    vis: t.visibility(ctx.snapshot())?,
                     scan_schema: &cur.schema,
                     scan_filter,
                     scan_node: node,
@@ -1365,7 +1377,8 @@ fn process_morsel<'p>(
             .iter()
             .map(|c| ColVec::with_capacity(c.data_type, bs))
             .collect();
-        let (n, more) = cursor.fill_batch(bs, &mut cols)?;
+        let vis = &region.vis;
+        let (n, more) = cursor.fill_batch_vis(bs, &mut cols, Some(&|rid| vis.allows(rid)))?;
         if n > 0 {
             let nf = n as f64;
             acc.charge("seq_scan", region.scan_node, nf * 0.01 + (nf / 64.0).ceil());

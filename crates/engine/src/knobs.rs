@@ -103,6 +103,14 @@ pub const KNOB_SPECS: &[KnobSpec] = &[
             "morsel worker threads for parallel scans (0 = all available cores, 1 = serial)",
     },
     KnobSpec {
+        name: "group_commit_window",
+        min: 0,
+        max: 10_000,
+        default: 0,
+        description:
+            "microseconds a group-commit leader waits for followers before the shared WAL flush",
+    },
+    KnobSpec {
         name: "query_tracing",
         min: 0,
         max: 1,

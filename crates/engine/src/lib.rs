@@ -31,6 +31,7 @@ pub mod exec;
 pub mod exec_batch;
 pub mod knobs;
 pub mod metrics;
+pub mod mvcc;
 pub mod optimizer;
 pub mod plan;
 pub mod stats;
@@ -41,9 +42,10 @@ pub use aimdb_trace as trace;
 
 pub use analyze::{q_error, AnalyzeReport, NodeActuals};
 pub use catalog::{Catalog, Table};
-pub use db::{Database, ModelHook, QueryResult, RecoveryReport};
+pub use db::{Database, ModelHook, QueryResult, RecoveryReport, TxnHandle};
 pub use exec_batch::{execute_batched, execute_batched_parallel};
 pub use knobs::Knobs;
 pub use metrics::KpiSnapshot;
+pub use mvcc::{CommitTs, Snapshot};
 pub use optimizer::CardEstimator;
 pub use plan::PhysicalPlan;

@@ -13,6 +13,7 @@
 //! page.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
@@ -29,6 +30,11 @@ pub const TXN_ABORTS_TOTAL: &str = "aimdb_txn_aborts_total";
 pub const RECOVERIES_TOTAL: &str = "aimdb_recoveries_total";
 pub const WAL_REPLAYED_TOTAL: &str = "aimdb_wal_records_replayed_total";
 pub const QUERY_COST_UNITS: &str = "aimdb_query_cost_units";
+/// Transactions made durable per WAL fsync (histogram; p50 > 1 means
+/// group commit is actually batching).
+pub const GROUP_COMMIT_BATCH: &str = "aimdb_group_commit_batch";
+/// Wall-clock seconds from commit request to published visibility.
+pub const COMMIT_LATENCY_SECONDS: &str = "aimdb_commit_latency_seconds";
 
 /// A point-in-time view of engine health metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -101,7 +107,7 @@ impl KpiSnapshot {
 /// per-operator counter table keyed by (operator, plan-node id).
 #[derive(Default)]
 pub struct Metrics {
-    registry: MetricsRegistry,
+    registry: Arc<MetricsRegistry>,
     /// Per-operator rows / batches / wall-time / cost, keyed by operator
     /// name and preorder plan-node id so two instances of one operator
     /// in the same plan shape keep separate counters.
@@ -115,7 +121,19 @@ impl Metrics {
 
     /// The underlying registry (shared with the exposition page).
     pub fn registry(&self) -> &MetricsRegistry {
-        &self.registry
+        self.registry.as_ref()
+    }
+
+    /// An owned handle to the registry, for observers that outlive the
+    /// borrow (e.g. the WAL flush observer reporting group-commit batch
+    /// sizes from whichever thread leads the flush).
+    pub fn registry_handle(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Observe one commit's request-to-visibility latency.
+    pub fn record_commit_latency(&self, seconds: f64) {
+        self.registry.observe(COMMIT_LATENCY_SECONDS, seconds);
     }
 
     pub fn record_query(&self, rows: u64, cost_units: f64) {

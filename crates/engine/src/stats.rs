@@ -90,7 +90,7 @@ pub struct TableStats {
 impl TableStats {
     /// Compute stats by scanning the table (ANALYZE).
     pub fn analyze(table: &Table, n_buckets: usize) -> Result<TableStats> {
-        let rows = table.scan()?;
+        let rows = table.scan_visible(None)?;
         let row_count = rows.len();
         let mut columns = HashMap::new();
         for (ci, col) in table.schema.columns().iter().enumerate() {

@@ -1,10 +1,13 @@
-//! Transactions: WAL-logged DML with rollback by undo.
+//! Session transaction bookkeeping and WAL logging helpers.
 //!
-//! One explicit transaction at a time per [`crate::db::Database`] (the
-//! interactive model of a single session); statements outside BEGIN/COMMIT
-//! are auto-committed. Learned transaction *scheduling* — the tutorial's
-//! §2.1 design topic — operates above this layer in `aimdb-ai4db`, where
-//! many client transactions are simulated and ordered before execution.
+//! A [`TxnManager`] tracks one *session* transaction (the interactive
+//! BEGIN/COMMIT model) and allocates transaction ids — both for the
+//! session slot and for concurrent transaction handles
+//! ([`crate::db::Database::begin_txn`]), which run many writers at once
+//! under MVCC snapshot isolation. Commit and rollback mechanics live in
+//! the database's MVCC path ([`crate::mvcc`]): rollback reverses the
+//! in-memory write-set, commit group-commits the WAL record and stamps
+//! version timestamps.
 //!
 //! Every append goes through the durable WAL and is fallible: an injected
 //! storage fault on a log write surfaces as `Err` from the statement, not
@@ -14,9 +17,7 @@ use aimdb_common::{AimError, Result, Row};
 use aimdb_storage::wal::{LogRecord, TxnId, Wal};
 use aimdb_storage::RowId;
 
-use crate::catalog::Catalog;
-
-/// State of the current session transaction.
+/// State of the current session transaction plus the id allocator.
 #[derive(Debug, Default)]
 pub struct TxnManager {
     next_id: TxnId,
@@ -36,6 +37,11 @@ impl TxnManager {
         self.active.is_some()
     }
 
+    /// The open session transaction, if any.
+    pub fn current(&self) -> Option<TxnId> {
+        self.active
+    }
+
     /// First id that will be handed out next. Recovery bumps this past
     /// every id seen in the durable log.
     pub fn next_id(&self) -> TxnId {
@@ -46,13 +52,27 @@ impl TxnManager {
         self.next_id = self.next_id.max(id).max(1);
     }
 
+    /// Open the session transaction. A second `BEGIN` while one is open
+    /// is a first-class [`AimError::NestedTxn`] — the session model has
+    /// no nesting, and callers can match on the variant instead of
+    /// parsing message text.
     pub fn begin(&mut self, wal: &Wal) -> Result<TxnId> {
-        if self.active.is_some() {
-            return Err(AimError::TxnAborted("transaction already open".into()));
+        if let Some(open) = self.active {
+            return Err(AimError::NestedTxn(format!(
+                "BEGIN while transaction {open} is already open"
+            )));
         }
+        let id = self.fresh_id(wal)?;
+        self.active = Some(id);
+        Ok(id)
+    }
+
+    /// Allocate a fresh transaction id and log its `Begin`, without
+    /// binding it to the session slot — the allocation path for
+    /// concurrent transaction handles.
+    pub fn fresh_id(&mut self, wal: &Wal) -> Result<TxnId> {
         let id = self.next_id;
         self.next_id += 1;
-        self.active = Some(id);
         wal.append(LogRecord::Begin { txn: id })?;
         Ok(id)
     }
@@ -62,84 +82,22 @@ impl TxnManager {
     pub fn current_or_auto(&mut self, wal: &Wal) -> Result<(TxnId, bool)> {
         match self.active {
             Some(id) => Ok((id, false)),
-            None => {
-                let id = self.next_id;
-                self.next_id += 1;
-                wal.append(LogRecord::Begin { txn: id })?;
-                Ok((id, true))
-            }
+            None => Ok((self.fresh_id(wal)?, true)),
         }
     }
 
-    pub fn commit(&mut self, wal: &Wal) -> Result<TxnId> {
-        let id = self
-            .active
+    /// Close the session slot for COMMIT/ROLLBACK, returning the id the
+    /// caller must finish through the MVCC commit or rollback path.
+    pub fn take_active(&mut self) -> Result<TxnId> {
+        self.active
             .take()
-            .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
-        wal.append(LogRecord::Commit { txn: id })?;
-        Ok(id)
+            .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))
     }
-
-    pub fn commit_auto(&self, wal: &Wal, id: TxnId) -> Result<()> {
-        wal.append(LogRecord::Commit { txn: id })?;
-        Ok(())
-    }
-
-    /// Roll back the open transaction by undoing its WAL records.
-    pub fn rollback(&mut self, wal: &Wal, catalog: &Catalog) -> Result<TxnId> {
-        let id = self
-            .active
-            .take()
-            .ok_or_else(|| AimError::TxnAborted("no open transaction".into()))?;
-        undo(wal, catalog, id)?;
-        wal.append(LogRecord::Abort { txn: id })?;
-        Ok(id)
-    }
-
-    /// Abort-without-undo: used when a statement inside a transaction
-    /// failed partway and the undo chain has already been applied, or at
-    /// recovery for loser transactions (their effects never replayed).
-    pub fn abort_current(&mut self, wal: &Wal) -> Result<Option<TxnId>> {
-        match self.active.take() {
-            Some(id) => {
-                wal.append(LogRecord::Abort { txn: id })?;
-                Ok(Some(id))
-            }
-            None => Ok(None),
-        }
-    }
-}
-
-/// Undo every data record of `txn`, newest first.
-pub(crate) fn undo(wal: &Wal, catalog: &Catalog, txn: TxnId) -> Result<()> {
-    for rec in wal.undo_chain(txn) {
-        match rec {
-            LogRecord::Insert { table, rid, .. } => {
-                let t = catalog.table(&table)?;
-                t.delete(rid)?;
-            }
-            LogRecord::Delete { table, before, .. } => {
-                let t = catalog.table(&table)?;
-                t.reinsert(before)?;
-            }
-            LogRecord::Update {
-                table,
-                new_rid,
-                before,
-                ..
-            } => {
-                let t = catalog.table(&table)?;
-                t.delete(new_rid)?;
-                t.reinsert(before)?;
-            }
-            _ => {}
-        }
-    }
-    Ok(())
 }
 
 /// Log helpers used by the DML executor. All carry full row images so the
-/// durable log supports both undo (before-image) and redo (after-image).
+/// durable log supports redo (after-image) and recovery audits
+/// (before-image).
 pub fn log_insert(wal: &Wal, txn: TxnId, table: &str, rid: RowId, row: Row) -> Result<()> {
     wal.append(LogRecord::Insert {
         txn,
@@ -186,18 +144,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn begin_commit_lifecycle() {
+    fn begin_lifecycle_and_nested_begin_is_first_class() {
         let wal = Wal::new();
         let mut tm = TxnManager::new();
         assert!(!tm.in_txn());
         let id = tm.begin(&wal).unwrap();
         assert!(tm.in_txn());
-        assert!(tm.begin(&wal).is_err()); // no nesting
-        let cid = tm.commit(&wal).unwrap();
+        assert_eq!(tm.current(), Some(id));
+        // nesting surfaces as NestedTxn, not a generic abort
+        match tm.begin(&wal) {
+            Err(AimError::NestedTxn(msg)) => {
+                assert!(
+                    msg.contains(&id.to_string()),
+                    "message names the open txn: {msg}"
+                );
+            }
+            other => panic!("expected NestedTxn, got {other:?}"),
+        }
+        // the failed BEGIN did not disturb the open transaction
+        assert_eq!(tm.current(), Some(id));
+        let cid = tm.take_active().unwrap();
         assert_eq!(id, cid);
         assert!(!tm.in_txn());
-        assert!(tm.commit(&wal).is_err());
-        assert!(wal.is_finished(id));
+        assert!(tm.take_active().is_err());
     }
 
     #[test]
@@ -205,7 +174,6 @@ mod tests {
         let wal = Wal::new();
         let mut tm = TxnManager::new();
         let (a, auto_a) = tm.current_or_auto(&wal).unwrap();
-        tm.commit_auto(&wal, a).unwrap();
         let (b, auto_b) = tm.current_or_auto(&wal).unwrap();
         assert!(auto_a && auto_b);
         assert_ne!(a, b);
@@ -217,11 +185,29 @@ mod tests {
     }
 
     #[test]
+    fn fresh_ids_do_not_touch_session_slot() {
+        let wal = Wal::new();
+        let mut tm = TxnManager::new();
+        let h1 = tm.fresh_id(&wal).unwrap();
+        let h2 = tm.fresh_id(&wal).unwrap();
+        assert_ne!(h1, h2);
+        assert!(!tm.in_txn());
+        // a session txn can open while handles exist
+        let s = tm.begin(&wal).unwrap();
+        assert!(s > h2);
+    }
+
+    #[test]
     fn next_id_restore_is_monotone() {
         let mut tm = TxnManager::new();
         tm.set_next_id(40);
         assert_eq!(tm.next_id(), 40);
         tm.set_next_id(10); // never moves backward
         assert_eq!(tm.next_id(), 40);
+        // ids handed out after a restore start at the floor
+        let wal = Wal::new();
+        let id = tm.fresh_id(&wal).unwrap();
+        assert_eq!(id, 40);
+        assert_eq!(tm.next_id(), 41);
     }
 }

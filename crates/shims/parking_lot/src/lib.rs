@@ -49,6 +49,56 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable with parking_lot's in-place `wait(&mut guard)`
+/// signature, backed by `std::sync::Condvar`. std's `wait` consumes the
+/// guard and returns a new one, so the shim moves the guard out and back
+/// through raw pointers; this is sound because `wait` and the poison
+/// recovery never unwind for a single-mutex condvar.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified, releasing the mutex while parked and
+    /// reacquiring it before returning — the guard stays valid in place.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = recover(self.inner.wait(owned));
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Block until notified or `timeout` elapses; returns true if the
+    /// wait timed out.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let (reacquired, res) = match self.inner.wait_timeout(owned, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::ptr::write(guard, reacquired);
+            res.timed_out()
+        }
+    }
+}
+
 /// A reader-writer lock with parking_lot's panic-free `read`/`write`.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
@@ -100,6 +150,35 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut started = lock.lock();
+            while !*started {
+                cv.wait(&mut started);
+            }
+            *started
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = lock.lock();
+        assert!(cv.wait_for(&mut g, std::time::Duration::from_millis(5)));
     }
 
     #[test]

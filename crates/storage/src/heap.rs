@@ -103,6 +103,23 @@ impl HeapFile {
         self.pages.lock().len()
     }
 
+    /// Insertion high-water mark: the last page and its slot count,
+    /// captured atomically against concurrent inserts (which hold the
+    /// same page-list lock while appending). Because page ids are
+    /// allocated monotonically and slot ids are never reused, a row is
+    /// at or beyond the mark **iff** it was inserted after this call —
+    /// MVCC scans use that to exclude rows born mid-scan.
+    pub fn watermark(&self) -> Result<Option<(PageId, u16)>> {
+        let pages = self.pages.lock();
+        match pages.last() {
+            None => Ok(None),
+            Some(&last) => {
+                let n = self.pool.get(last)?.slot_count();
+                Ok(Some((last, n)))
+            }
+        }
+    }
+
     /// Open a streaming cursor over the heap for batched scans. The
     /// cursor snapshots the page list at open time; rows inserted after
     /// that may or may not be observed (same guarantee as [`scan`]).
@@ -267,6 +284,21 @@ impl HeapScanCursor {
     ///
     /// [`fill`]: HeapScanCursor::fill
     pub fn fill_batch(&mut self, min_rows: usize, cols: &mut [ColVec]) -> Result<(usize, bool)> {
+        self.fill_batch_vis(min_rows, cols, None)
+    }
+
+    /// [`fill_batch`] with an optional row-visibility filter: slots whose
+    /// [`RowId`] the filter rejects are skipped without being decoded.
+    /// MVCC snapshot scans pass the snapshot's visibility predicate here;
+    /// `None` decodes every live slot (physical scan).
+    ///
+    /// [`fill_batch`]: HeapScanCursor::fill_batch
+    pub fn fill_batch_vis(
+        &mut self,
+        min_rows: usize,
+        cols: &mut [ColVec],
+        vis: Option<&(dyn Fn(RowId) -> bool + Sync)>,
+    ) -> Result<(usize, bool)> {
         let mut appended = 0usize;
         while self.pos < self.pages.len() {
             if appended >= min_rows {
@@ -275,7 +307,12 @@ impl HeapScanCursor {
             let pid = self.pages[self.pos];
             self.pos += 1;
             let page = self.pool.get(pid)?;
-            for (_slot, bytes) in page.iter() {
+            for (slot, bytes) in page.iter() {
+                if let Some(f) = vis {
+                    if !f(RowId { page: pid, slot }) {
+                        continue;
+                    }
+                }
                 decode_row_into(bytes, cols)?;
                 appended += 1;
             }
@@ -392,6 +429,38 @@ mod tests {
         for (i, (_, r)) in want.iter().enumerate() {
             assert_eq!(&cols[0].value(i), r.get(0));
             assert_eq!(&cols[1].value(i), r.get(1));
+        }
+    }
+
+    #[test]
+    fn fill_batch_vis_skips_filtered_rows() {
+        use aimdb_common::DataType;
+        let h = heap();
+        for i in 0..200 {
+            h.insert(&row(i)).unwrap();
+        }
+        let ids: Vec<RowId> = h.scan().unwrap().iter().map(|(id, _)| *id).collect();
+        let hidden: std::collections::HashSet<RowId> = ids.iter().copied().step_by(3).collect();
+        let mut cur = h.scan_cursor();
+        let mut cols = vec![
+            ColVec::with_capacity(DataType::Int, 64),
+            ColVec::with_capacity(DataType::Text, 64),
+        ];
+        let vis = |rid: RowId| !hidden.contains(&rid);
+        let mut total = 0;
+        loop {
+            let (n, more) = cur.fill_batch_vis(64, &mut cols, Some(&vis)).unwrap();
+            total += n;
+            if !more {
+                break;
+            }
+        }
+        assert_eq!(total, 200 - hidden.len());
+        for i in 0..total {
+            match cols[0].value(i) {
+                Value::Int(v) => assert!(v % 3 != 0, "hidden row {v} leaked"),
+                other => panic!("unexpected value {other:?}"),
+            }
         }
     }
 

@@ -61,7 +61,9 @@ impl Page {
         &self.data[..]
     }
 
-    fn slot_count(&self) -> u16 {
+    /// Number of slots ever allocated in this page (tombstoned slots
+    /// included — slot ids are never reused).
+    pub fn slot_count(&self) -> u16 {
         u16::from_le_bytes([self.data[0], self.data[1]])
     }
 

@@ -18,11 +18,12 @@
 //! (`undo_chain`) exactly as before; recovery instead re-parses the
 //! durable byte stream.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use bytes::{Buf, BufMut};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use aimdb_common::{AimError, Result, Row, Schema};
 
@@ -623,14 +624,45 @@ struct WalInner {
     records: Vec<LogRecord>,
     next_lsn: u64,
     since_checkpoint: u64,
+    /// Cumulative count of commit records ever appended (group-commit
+    /// batch accounting).
+    commits_appended: u64,
 }
 
+/// Group-commit coordination. One thread at a time is the flush leader;
+/// everyone else whose record is already buffered parks on the condvar
+/// and rides the leader's single sink flush.
+struct GroupState {
+    /// Highest LSN known durable (covered by a successful flush).
+    durable_lsn: u64,
+    /// Commit records covered by successful flushes so far.
+    durable_commits: u64,
+    /// A leader is currently flushing.
+    flush_in_progress: bool,
+    /// Completed flush attempts (success or failure) — wakes followers.
+    attempts: u64,
+}
+
+/// Called after each durable group flush with the number of commit
+/// records the flush made durable (the batch size).
+pub type FlushObserver = Box<dyn Fn(u64) + Send + Sync>;
+
 /// The write-ahead log: serializes records through a sink and mirrors
-/// them in memory for rollback.
+/// them in memory for rollback. Commit flushes go through a group-commit
+/// protocol: the first committer becomes leader, optionally waits
+/// `group_window_us` for followers to queue their records, then performs
+/// one sink flush on behalf of everyone buffered.
 pub struct Wal {
     sink: Box<dyn WalSink>,
     sync_on_commit: AtomicBool,
+    /// Microseconds a group-commit leader waits before flushing.
+    group_window_us: AtomicU64,
+    /// Successful flushes that pushed bytes to the store — the fsync count.
+    flushes: AtomicU64,
     inner: Mutex<WalInner>,
+    group: Mutex<GroupState>,
+    group_cv: Condvar,
+    flush_observer: Mutex<Option<FlushObserver>>,
 }
 
 impl Default for Wal {
@@ -649,16 +681,29 @@ impl Wal {
         Wal {
             sink,
             sync_on_commit: AtomicBool::new(true),
+            group_window_us: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
             inner: Mutex::new(WalInner {
                 records: Vec::new(),
                 next_lsn: 1,
                 since_checkpoint: 0,
+                commits_appended: 0,
             }),
+            group: Mutex::new(GroupState {
+                durable_lsn: 0,
+                durable_commits: 0,
+                flush_in_progress: false,
+                attempts: 0,
+            }),
+            group_cv: Condvar::new(),
+            flush_observer: Mutex::new(None),
         }
     }
 
     /// Adopt state recovered from a durable log: the mirror records, and
-    /// the next LSN to hand out. Used by crash recovery only.
+    /// the next LSN to hand out. Used by crash recovery only. The adopted
+    /// records are already durable, so the group-commit watermark starts
+    /// at the end of the adopted log.
     pub fn adopt_state(&self, records: Vec<LogRecord>, next_lsn: u64) {
         let mut inner = self.inner.lock();
         let since = records
@@ -666,9 +711,105 @@ impl Wal {
             .rev()
             .take_while(|r| !matches!(r, LogRecord::Checkpoint(_)))
             .count() as u64;
+        let commits = records
+            .iter()
+            .filter(|r| matches!(r, LogRecord::Commit { .. }))
+            .count() as u64;
         inner.since_checkpoint = since;
         inner.records = records;
         inner.next_lsn = next_lsn;
+        inner.commits_appended = commits;
+        drop(inner);
+        let mut g = self.group.lock();
+        g.durable_lsn = next_lsn.saturating_sub(1);
+        g.durable_commits = commits;
+    }
+
+    /// Set the group-commit window: how long (µs) a flush leader waits
+    /// for follower commits to queue before the shared flush. 0 keeps
+    /// single-committer latency unchanged (flush immediately, but still
+    /// absorb whatever queued concurrently).
+    pub fn set_group_window_us(&self, us: u64) {
+        self.group_window_us.store(us, Ordering::Relaxed);
+    }
+
+    pub fn group_window_us(&self) -> u64 {
+        self.group_window_us.load(Ordering::Relaxed)
+    }
+
+    /// Successful buffer-pushing flushes so far — the fsync count a
+    /// group-commit benchmark compares against committed transactions.
+    pub fn flush_count(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.group.lock().durable_lsn
+    }
+
+    /// Install a callback invoked with each durable group's commit-record
+    /// count (batch size). Used by the engine to feed its metrics
+    /// histograms without a storage→trace dependency.
+    pub fn set_flush_observer(&self, obs: FlushObserver) {
+        *self.flush_observer.lock() = Some(obs);
+    }
+
+    /// Wait (or lead) until every record with LSN ≤ `lsn` is durable.
+    /// The calling thread either becomes the flush leader — waiting
+    /// `window_us` for followers, then flushing the sink once for the
+    /// whole group — or parks until a leader's flush covers its LSN.
+    fn group_commit(&self, lsn: u64, window_us: u64) -> Result<()> {
+        let mut g = self.group.lock();
+        loop {
+            if g.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if g.flush_in_progress {
+                // Follower: ride out the in-flight attempt, then re-check.
+                let attempt = g.attempts;
+                while g.flush_in_progress && g.attempts == attempt {
+                    self.group_cv.wait(&mut g);
+                }
+                continue;
+            }
+            // Leader.
+            g.flush_in_progress = true;
+            drop(g);
+            if window_us > 0 {
+                std::thread::sleep(Duration::from_micros(window_us));
+            }
+            // Everything appended before this capture rides this flush.
+            let (high, high_commits) = {
+                let inner = self.inner.lock();
+                (inner.next_lsn - 1, inner.commits_appended)
+            };
+            let had_bytes = self.sink.buffered() > 0;
+            let res = self.sink.flush();
+            let mut g = self.group.lock();
+            g.flush_in_progress = false;
+            g.attempts += 1;
+            let batch = if res.is_ok() {
+                g.durable_lsn = g.durable_lsn.max(high);
+                let batch = high_commits.saturating_sub(g.durable_commits);
+                g.durable_commits = g.durable_commits.max(high_commits);
+                if had_bytes {
+                    self.flushes.fetch_add(1, Ordering::Relaxed);
+                }
+                batch
+            } else {
+                0
+            };
+            drop(g);
+            self.group_cv.notify_all();
+            res?;
+            if batch > 0 {
+                if let Some(obs) = self.flush_observer.lock().as_ref() {
+                    obs(batch);
+                }
+            }
+            return Ok(());
+        }
     }
 
     /// Whether commit records force a flush (the `wal_sync` knob).
@@ -680,12 +821,13 @@ impl Wal {
         self.sync_on_commit.load(Ordering::Relaxed)
     }
 
-    /// Append a record, returning its LSN. Commit records flush when
-    /// `sync_on_commit` is set; DDL and checkpoint records always flush.
+    /// Append a record, returning its LSN. Commit records flush through
+    /// the group-commit protocol when `sync_on_commit` is set; DDL and
+    /// checkpoint records always flush (with no batching window).
     pub fn append(&self, rec: LogRecord) -> Result<u64> {
-        let flush = rec.always_flush()
-            || (matches!(rec, LogRecord::Commit { .. })
-                && self.sync_on_commit.load(Ordering::Relaxed));
+        let is_commit = matches!(rec, LogRecord::Commit { .. });
+        let flush =
+            rec.always_flush() || (is_commit && self.sync_on_commit.load(Ordering::Relaxed));
         let lsn;
         {
             let mut inner = self.inner.lock();
@@ -697,17 +839,30 @@ impl Wal {
             } else {
                 inner.since_checkpoint += 1;
             }
+            if is_commit {
+                inner.commits_appended += 1;
+            }
             inner.records.push(rec);
         }
         if flush {
-            self.sink.flush()?;
+            let window = if is_commit {
+                self.group_window_us.load(Ordering::Relaxed)
+            } else {
+                0
+            };
+            self.group_commit(lsn, window)?;
         }
         Ok(lsn)
     }
 
-    /// Durability barrier: push buffered bytes to the sink's backing store.
+    /// Durability barrier: push buffered bytes to the sink's backing
+    /// store, keeping the group-commit watermark consistent.
     pub fn flush(&self) -> Result<()> {
-        self.sink.flush()
+        let high = self.inner.lock().next_lsn - 1;
+        if high == 0 {
+            return self.sink.flush();
+        }
+        self.group_commit(high, 0)
     }
 
     /// Bytes appended but not yet durable.
@@ -954,6 +1109,93 @@ mod tests {
         wal.append(LogRecord::Commit { txn: 2 }).unwrap();
         assert_eq!(wal.buffered(), 0);
         assert_eq!(scan_wal(&disk.wal_bytes().unwrap()).records.len(), 4);
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_commits_into_fewer_flushes() {
+        use crate::disk::Disk;
+        use std::sync::atomic::AtomicU64;
+
+        let disk = Arc::new(Disk::new());
+        let wal = Arc::new(Wal::with_sink(Box::new(DiskSink::new(disk.clone()))));
+        wal.set_group_window_us(300);
+        let batches = Arc::new(Mutex::new(Vec::new()));
+        let observed = Arc::clone(&batches);
+        wal.set_flush_observer(Box::new(move |b| observed.lock().push(b)));
+
+        const THREADS: u64 = 8;
+        const COMMITS: u64 = 20;
+        let next = AtomicU64::new(1);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..COMMITS {
+                        let txn = next.fetch_add(1, Ordering::Relaxed);
+                        wal.append(LogRecord::Begin { txn }).unwrap();
+                        wal.append(LogRecord::Commit { txn }).unwrap();
+                    }
+                });
+            }
+        });
+
+        let committed = THREADS * COMMITS;
+        let flushes = wal.flush_count();
+        assert!(flushes >= 1);
+        assert!(
+            flushes < committed,
+            "group commit never batched: {flushes} flushes for {committed} commits"
+        );
+        let batches = batches.lock();
+        assert_eq!(
+            batches.iter().sum::<u64>(),
+            committed,
+            "observer batch sizes must account for every commit exactly once"
+        );
+        // every Ok commit is durable
+        let scan = scan_wal(&disk.wal_bytes().unwrap());
+        let durable_commits = scan
+            .records
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::Commit { .. }))
+            .count() as u64;
+        assert_eq!(durable_commits, committed);
+        assert_eq!(scan.corrupt_tail_bytes, 0);
+    }
+
+    #[test]
+    fn group_commit_failure_surfaces_and_store_stays_usable_after_transient() {
+        use crate::disk::Disk;
+        use crate::fault::{FaultInjector, FaultPlan};
+
+        // op 1 = CreateTable flush; op 2 = first commit flush fails once.
+        let inj = Arc::new(FaultInjector::new(
+            Arc::new(Disk::new()),
+            FaultPlan::default().with_io_error_at(vec![2]),
+        ));
+        let store: Arc<dyn PageStore> = inj;
+        let wal = Wal::with_sink(Box::new(DiskSink::new(store.clone())));
+        wal.append(LogRecord::CreateTable {
+            name: "t".into(),
+            schema: Schema::from_pairs(&[("id", DataType::Int)]),
+        })
+        .unwrap();
+        wal.append(LogRecord::Begin { txn: 1 }).unwrap();
+        let err = wal.append(LogRecord::Commit { txn: 1 });
+        assert!(err.is_err(), "transient flush failure must surface");
+        // The next commit retries the flush and succeeds (buffer intact).
+        wal.append(LogRecord::Begin { txn: 2 }).unwrap();
+        wal.append(LogRecord::Commit { txn: 2 }).unwrap();
+        let scan = scan_wal(&store.wal_bytes().unwrap());
+        assert_eq!(scan.records.len(), 5, "retried flush carried everything");
+    }
+
+    #[test]
+    fn flush_watermark_advances_without_commits() {
+        let wal = Wal::new();
+        assert_eq!(wal.durable_lsn(), 0);
+        wal.append(LogRecord::Begin { txn: 1 }).unwrap();
+        wal.flush().unwrap();
+        assert_eq!(wal.durable_lsn(), 1);
     }
 
     #[test]

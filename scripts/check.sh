@@ -24,6 +24,11 @@ run cargo test -q -p aimdb-engine --test exec_differential
 # concurrency stress: reader threads running parallel scans against a
 # writer doing inserts + checkpoints, healthy and through crash/recovery
 run cargo test -q --test concurrent_scan_recovery
+# MVCC first-updater-wins properties at 1/2/4/8 writer threads, and the
+# fault-injected writer-race loop (pair-write atomicity through torn
+# writes, transient I/O errors and scripted crashes, then recovery)
+run cargo test -q --test mvcc_conflicts
+run cargo test -q --test txn_writer_races
 # property suites: storage cursors vs model, batch-vs-scalar expression
 # kernels, crash-recovery with an index model
 run cargo test -q -p aimdb-storage --test proptests
@@ -38,6 +43,13 @@ run cargo run -q --release -p aimdb-bench --bin exec_bench -- --smoke
 # tracing overhead: full-lifecycle passes with query_tracing on vs off
 # must stay within 5% (min-of-N interleaved, release build)
 run cargo run -q --release -p aimdb-bench --bin exec_bench -- --trace --smoke
+# group-commit evidence: fsyncs < commits and median batch > 1 under
+# concurrent disjoint-row writers (fsync-per-txn baseline printed too)
+run cargo run -q --release -p aimdb-bench --bin exec_bench -- --txn --smoke
+# committed-history serializability oracle: bounded-seed smoke of the
+# 10k-history run (serial replay in commit-ts order must match; crash
+# lives must recover prefix-consistent with zero torn batches)
+run cargo run -q --release -p aimdb-bench --bin txn_oracle -- --smoke
 # morsel-driven scaling curve at 1/2/4/8 workers; the >=2x gate at 4
 # workers binds only on hosts with >=4 cores (SKIPPED otherwise), but
 # the serial-equivalence check always runs

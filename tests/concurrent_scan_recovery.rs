@@ -3,13 +3,12 @@
 //! healthy store, then in a seeded loop of lives on a fault-injected
 //! store that crashes mid-workload and must recover cleanly.
 //!
-//! The engine offers no statement-level read isolation, so a scan that
-//! races a multi-row INSERT may observe part of it. What it must never
-//! do is return malformed rows, go backwards (rows are append-only
-//! here, so per-reader counts are monotone), or panic. Torn-batch
-//! freedom is a durability guarantee, not a visibility one: once the
-//! writer quiesces — and after crash recovery — every batch is either
-//! fully present or fully absent, at every parallelism level.
+//! Since the MVCC PR, every plain statement runs against a read
+//! snapshot frozen at statement start, so a scan racing a multi-row
+//! INSERT sees it entirely or not at all: live counts move in whole
+//! batches, never backwards, and live groups are always complete.
+//! After quiesce — and after crash recovery — the state is exact and
+//! identical at every parallelism level.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -90,11 +89,14 @@ fn concurrent_parallel_scans_against_writer() {
                         n >= last && n <= TOTAL * BATCH,
                         "count went backwards or overshot: {last} -> {n}"
                     );
+                    // Statement snapshots make each INSERT atomic to
+                    // readers: a live scan never sees a partial batch.
+                    assert_eq!(n % BATCH, 0, "live scan saw a torn batch: {n} rows");
                     last = n;
                     for (b, cnt) in group_counts(&db) {
                         assert!(
-                            (0..TOTAL).contains(&b) && cnt >= 1 && cnt <= BATCH,
-                            "malformed group ({b}, {cnt})"
+                            (0..TOTAL).contains(&b) && cnt == BATCH,
+                            "torn or malformed group ({b}, {cnt})"
                         );
                     }
                     scans.fetch_add(1, Ordering::Relaxed);
@@ -162,6 +164,11 @@ fn crash_life(seed: u64) -> (bool, i64) {
                             assert!(
                                 n >= last && n <= MAX_BATCHES * BATCH,
                                 "seed {seed}: count went backwards or overshot: {last} -> {n}"
+                            );
+                            assert_eq!(
+                                n % BATCH,
+                                0,
+                                "seed {seed}: live scan saw a torn batch: {n} rows"
                             );
                             last = n;
                         }

@@ -1,0 +1,227 @@
+//! First-updater-wins property tests for MVCC snapshot isolation.
+//!
+//! The contract under test, across 1/2/4/8 concurrent writer threads:
+//! transactions updating pairwise-disjoint rows all commit, and
+//! transactions updating the same row produce exactly one winner — every
+//! loser gets a retryable [`AimError::WriteConflict`], and a retry on a
+//! fresh snapshot succeeds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use aimdb::common::{AimError, Value};
+use aimdb::engine::Database;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn setup(rows: i64) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE accounts (id INT, bal INT)")
+        .expect("ddl");
+    for id in 0..rows {
+        db.execute(&format!("INSERT INTO accounts VALUES ({id}, 0)"))
+            .expect("seed row");
+    }
+    db
+}
+
+fn balance(db: &Database, id: i64) -> i64 {
+    let r = db
+        .execute(&format!("SELECT bal FROM accounts WHERE id = {id}"))
+        .expect("select");
+    match r.scalar().expect("scalar") {
+        Value::Int(n) => *n,
+        other => panic!("bal returned {other:?}"),
+    }
+}
+
+/// Disjoint write-sets never conflict: N transactions, each updating its
+/// own row, all commit regardless of interleaving.
+#[test]
+fn disjoint_updates_all_commit() {
+    for &threads in &THREAD_COUNTS {
+        let db = setup(threads as i64);
+        // Begin every transaction before any commits so all snapshots
+        // genuinely overlap.
+        let handles: Vec<_> = (0..threads)
+            .map(|_| db.begin_txn().expect("begin"))
+            .collect();
+        let db = &db;
+        thread::scope(|s| {
+            for (i, h) in handles.iter().enumerate() {
+                s.spawn(move || {
+                    db.execute_in(
+                        h,
+                        &format!("UPDATE accounts SET bal = {} WHERE id = {i}", i + 100),
+                    )
+                    .unwrap_or_else(|e| panic!("threads={threads} writer {i}: update: {e}"));
+                    db.commit_txn(h)
+                        .unwrap_or_else(|e| panic!("threads={threads} writer {i}: commit: {e}"));
+                });
+            }
+        });
+        for i in 0..threads {
+            assert_eq!(
+                balance(db, i as i64),
+                i as i64 + 100,
+                "threads={threads}: row {i} lost its disjoint update"
+            );
+        }
+    }
+}
+
+/// All transactions target the same row: exactly one commits, every
+/// other gets a WriteConflict (never a panic, never a silent lost
+/// update), and the surviving value belongs to the winner.
+#[test]
+fn overlapping_updates_exactly_one_winner() {
+    for &threads in &THREAD_COUNTS {
+        let db = setup(1);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| db.begin_txn().expect("begin"))
+            .collect();
+        let commits = AtomicUsize::new(0);
+        let conflicts = AtomicUsize::new(0);
+        let db = &db;
+        thread::scope(|s| {
+            for (i, h) in handles.iter().enumerate() {
+                let commits = &commits;
+                let conflicts = &conflicts;
+                s.spawn(move || {
+                    match db.execute_in(
+                        h,
+                        &format!("UPDATE accounts SET bal = {} WHERE id = 0", i + 10),
+                    ) {
+                        Ok(_) => {
+                            db.commit_txn(h).unwrap_or_else(|e| {
+                                panic!("threads={threads}: winner commit: {e}")
+                            });
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(AimError::WriteConflict(_)) => {
+                            db.rollback_txn(h).unwrap_or_else(|e| {
+                                panic!("threads={threads}: loser rollback: {e}")
+                            });
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("threads={threads} writer {i}: unexpected error {e}"),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            commits.load(Ordering::Relaxed),
+            1,
+            "threads={threads}: wrong number of winners"
+        );
+        assert_eq!(
+            conflicts.load(Ordering::Relaxed),
+            threads - 1,
+            "threads={threads}: wrong number of conflicts"
+        );
+        let v = balance(db, 0);
+        assert!(
+            (10..10 + threads as i64).contains(&v),
+            "threads={threads}: final value {v} belongs to no writer"
+        );
+    }
+}
+
+/// Mixed workload: one contended row per pair of transactions. Each pair
+/// yields exactly one winner; disjoint pairs never interfere.
+#[test]
+fn per_row_winners_with_many_contended_rows() {
+    for &threads in &THREAD_COUNTS {
+        let pairs = threads; // two txns per row, `threads` rows
+        let db = setup(pairs as i64);
+        let handles: Vec<_> = (0..2 * pairs)
+            .map(|_| db.begin_txn().expect("begin"))
+            .collect();
+        let commits = AtomicUsize::new(0);
+        let conflicts = AtomicUsize::new(0);
+        let db = &db;
+        thread::scope(|s| {
+            for (i, h) in handles.iter().enumerate() {
+                let commits = &commits;
+                let conflicts = &conflicts;
+                s.spawn(move || {
+                    let row = i / 2;
+                    match db.execute_in(
+                        h,
+                        &format!("UPDATE accounts SET bal = {} WHERE id = {row}", i + 1000),
+                    ) {
+                        Ok(_) => {
+                            db.commit_txn(h).expect("winner commit");
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(AimError::WriteConflict(_)) => {
+                            db.rollback_txn(h).expect("loser rollback");
+                            conflicts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("pairs={pairs} writer {i}: unexpected error {e}"),
+                    }
+                });
+            }
+        });
+        assert_eq!(commits.load(Ordering::Relaxed), pairs, "pairs={pairs}");
+        assert_eq!(conflicts.load(Ordering::Relaxed), pairs, "pairs={pairs}");
+        for row in 0..pairs {
+            let v = balance(db, row as i64);
+            let a = 2 * row as i64 + 1000;
+            let b = a + 1;
+            assert!(
+                v == a || v == b,
+                "pairs={pairs}: row {row} holds {v}, expected {a} or {b}"
+            );
+        }
+    }
+}
+
+/// WriteConflict is retryable: a loser that begins a fresh transaction
+/// sees the winner's committed value and succeeds.
+#[test]
+fn conflict_retry_on_fresh_snapshot_succeeds() {
+    let db = setup(1);
+    let t1 = db.begin_txn().expect("begin t1");
+    let t2 = db.begin_txn().expect("begin t2");
+    db.execute_in(&t1, "UPDATE accounts SET bal = 1 WHERE id = 0")
+        .expect("t1 update");
+    let err = db
+        .execute_in(&t2, "UPDATE accounts SET bal = 2 WHERE id = 0")
+        .expect_err("t2 must conflict");
+    assert!(err.is_retryable(), "conflict not retryable: {err}");
+    db.commit_txn(&t1).expect("t1 commit");
+    db.rollback_txn(&t2).expect("t2 rollback");
+    assert_eq!(balance(&db, 0), 1);
+
+    let t3 = db.begin_txn().expect("begin retry");
+    db.execute_in(&t3, "UPDATE accounts SET bal = 2 WHERE id = 0")
+        .expect("retry update");
+    db.commit_txn(&t3).expect("retry commit");
+    assert_eq!(balance(&db, 0), 2);
+}
+
+/// A rolled-back transaction leaves no trace: its inserts vanish and its
+/// claimed rows become claimable again.
+#[test]
+fn rollback_releases_claims_and_discards_inserts() {
+    let db = setup(2);
+    let t1 = db.begin_txn().expect("begin");
+    db.execute_in(&t1, "UPDATE accounts SET bal = 9 WHERE id = 0")
+        .expect("update");
+    db.execute_in(&t1, "INSERT INTO accounts VALUES (77, 77)")
+        .expect("insert");
+    db.rollback_txn(&t1).expect("rollback");
+
+    assert_eq!(balance(&db, 0), 0, "rolled-back update leaked");
+    let r = db
+        .execute("SELECT COUNT(*) FROM accounts WHERE id = 77")
+        .expect("count");
+    assert_eq!(r.scalar().expect("scalar"), &Value::Int(0));
+
+    let t2 = db.begin_txn().expect("begin 2");
+    db.execute_in(&t2, "UPDATE accounts SET bal = 5 WHERE id = 0")
+        .expect("row still claimable after rollback");
+    db.commit_txn(&t2).expect("commit 2");
+    assert_eq!(balance(&db, 0), 5);
+}
