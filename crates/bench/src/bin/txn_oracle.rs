@@ -408,6 +408,8 @@ fn crash_history(seed: u64) -> Result<CrashStats, String> {
             let stop = &stop;
             let torn_seen = &torn_seen;
             s.spawn(move || {
+                // ordering: Relaxed — a late-observed stop flag only costs
+                // one extra read loop; no data is published through it
                 while !stop.load(Ordering::Relaxed) {
                     match read_pairs(dbr) {
                         Ok(_) => {}
@@ -427,6 +429,8 @@ fn crash_history(seed: u64) -> Result<CrashStats, String> {
                 lock(&torn_seen).push("writer thread panicked".into());
             }
         }
+        // ordering: Relaxed — the scope join below is the synchronization
+        // point; the flag itself carries no payload
         stop.store(true, Ordering::Relaxed);
     });
 
@@ -557,6 +561,18 @@ fn main() {
             "FAIL: only {crashes}/{crash_lives} crash lives actually crashed — crash-point budget drifted"
         );
         std::process::exit(1);
+    }
+    // Debug builds run the lock-order witness across every history; any
+    // hierarchy violation in the engine's lock traffic fails the oracle.
+    if parking_lot::witness::enabled() {
+        let violations = parking_lot::witness::take_violations();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("  lock-order witness: 0 violations");
     }
     println!("txn_oracle: PASS");
 }

@@ -59,17 +59,22 @@ impl ManualClock {
     /// Advance the clock by `secs` seconds.
     pub fn advance_secs(&self, secs: f64) {
         let add = (secs * 1e9) as u64;
+        // ordering: SeqCst so a test thread that advances the clock and then
+        // signals a worker knows the worker's next read sees the new time
         self.nanos.fetch_add(add, Ordering::SeqCst);
     }
 
     /// Set the clock to an absolute time in seconds.
     pub fn set_secs(&self, secs: f64) {
+        // ordering: SeqCst, same single-total-order guarantee as advance_secs
         self.nanos.store((secs * 1e9) as u64, Ordering::SeqCst);
     }
 }
 
 impl Clock for ManualClock {
     fn now_secs(&self) -> f64 {
+        // ordering: SeqCst pairs with the stores above; time must never
+        // appear to go backwards across threads in deterministic tests
         self.nanos.load(Ordering::SeqCst) as f64 / 1e9
     }
 }

@@ -39,6 +39,12 @@ pub enum AimError {
     Model(String),
     /// Input data failed validation (empty dataset, NaN label, ...).
     InvalidInput(String),
+    /// A lock was acquired against the global hierarchy declared in
+    /// [`crate::lockrank`]. Reported by the debug-build lock-order
+    /// witness; the offending acquisition still succeeds (the witness
+    /// observes, it does not block), so this surfaces from
+    /// `parking_lot::witness::take_violations`, not from `lock()`.
+    LockOrder(String),
 }
 
 impl AimError {
@@ -63,6 +69,7 @@ impl AimError {
             AimError::NestedTxn(_) => "nested_txn",
             AimError::Model(_) => "model",
             AimError::InvalidInput(_) => "invalid_input",
+            AimError::LockOrder(_) => "lock_order",
         }
     }
 }
@@ -82,6 +89,7 @@ impl fmt::Display for AimError {
             AimError::NestedTxn(m) => write!(f, "nested transaction: {m}"),
             AimError::Model(m) => write!(f, "model error: {m}"),
             AimError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            AimError::LockOrder(m) => write!(f, "lock order violation: {m}"),
         }
     }
 }
@@ -107,6 +115,10 @@ mod tests {
             "write_conflict"
         );
         assert_eq!(AimError::NestedTxn("open".into()).category(), "nested_txn");
+        assert_eq!(
+            AimError::LockOrder("heap before commit".into()).category(),
+            "lock_order"
+        );
     }
 
     #[test]
@@ -115,6 +127,8 @@ mod tests {
         assert!(!AimError::TxnAborted("x".into()).is_retryable());
         assert!(!AimError::NestedTxn("x".into()).is_retryable());
         assert!(!AimError::Storage("x".into()).is_retryable());
+        // a hierarchy violation is a logic bug, never retryable
+        assert!(!AimError::LockOrder("x".into()).is_retryable());
     }
 
     #[test]

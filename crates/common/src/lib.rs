@@ -13,6 +13,7 @@ pub mod batch;
 pub mod clock;
 pub mod error;
 pub mod json;
+pub mod lockrank;
 pub mod row;
 pub mod schema;
 pub mod synth;
@@ -21,6 +22,7 @@ pub mod value;
 pub use batch::{Batch, ColVec, DEFAULT_BATCH_SIZE};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use error::{AimError, Result};
+pub use lockrank::LockRank;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use value::{DataType, Value};

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::{AimError, Result, Value};
+use aimdb_common::{AimError, LockRank, Result, Value};
 use aimdb_engine::{Database, ModelHook};
 use aimdb_ml::bayes::GaussianNb;
 use aimdb_ml::cluster::KMeans;
@@ -32,14 +32,21 @@ use crate::registry::{params_to_meta, ModelMeta, ModelRegistry, TrainedModel};
 
 /// The in-database model runtime. Install with
 /// [`Database::set_model_hook`].
-#[derive(Default)]
 pub struct ModelRuntime {
     registry: Mutex<ModelRegistry>,
 }
 
+impl Default for ModelRuntime {
+    fn default() -> Self {
+        ModelRuntime::new()
+    }
+}
+
 impl ModelRuntime {
     pub fn new() -> Self {
-        ModelRuntime::default()
+        ModelRuntime {
+            registry: Mutex::with_rank(ModelRegistry::default(), LockRank::ModelRegistry),
+        }
     }
 
     /// Install a fresh runtime into a database and return a handle to it.

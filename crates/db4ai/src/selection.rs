@@ -159,6 +159,8 @@ pub fn select_parallel_with_clock(
             let next = &next;
             let results = &results;
             s.spawn(move |_| loop {
+                // ordering: Relaxed — the counter only hands out distinct
+                // indices; grid data is read-only and results go via the lock
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= grid.len() {
                     break;

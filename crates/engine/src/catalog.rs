@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use aimdb_common::{AimError, Result, Row, Schema, Value};
+use aimdb_common::{AimError, LockRank, Result, Row, Schema, Value};
 use aimdb_storage::{BTree, BufferPool, HeapFile, RowId};
 
 use crate::mvcc::{RowVis, Snapshot, VersionMeta};
@@ -98,8 +98,8 @@ impl Table {
             name,
             schema,
             heap: HeapFile::new(pool),
-            indexes: RwLock::new(HashMap::new()),
-            versions: Mutex::new(HashMap::new()),
+            indexes: RwLock::with_rank(HashMap::new(), LockRank::TableIndexes),
+            versions: Mutex::with_rank(HashMap::new(), LockRank::TableVersions),
         }
     }
 
@@ -331,7 +331,7 @@ impl Table {
             name: name.to_string(),
             table: self.name.clone(),
             column: column.to_string(),
-            tree: RwLock::new(BTree::new()),
+            tree: RwLock::with_rank(BTree::new(), LockRank::IndexTree),
         });
         for (rid, row) in self.heap.scan()? {
             idx.insert_entry(row.get(col).clone(), rid);
@@ -365,16 +365,24 @@ impl Table {
 }
 
 /// The catalog of all tables and indexes.
-#[derive(Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     /// index name (lowercase) → (table, column)
     index_names: RwLock<HashMap<String, (String, String)>>,
 }
 
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog::new()
+    }
+}
+
 impl Catalog {
     pub fn new() -> Self {
-        Catalog::default()
+        Catalog {
+            tables: RwLock::with_rank(HashMap::new(), LockRank::CatalogTables),
+            index_names: RwLock::with_rank(HashMap::new(), LockRank::CatalogIndexNames),
+        }
     }
 
     pub fn create_table(

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use aimdb_common::{AimError, Clock, Column, Result, Row, Schema, Value, WallClock};
+use aimdb_common::{AimError, Clock, Column, LockRank, Result, Row, Schema, Value, WallClock};
 use aimdb_sql::ast::{ModelKind, Select, Statement};
 use aimdb_sql::expr::{BuiltinFns, ScalarFns};
 use aimdb_sql::parser::{parse, parse_one};
@@ -272,12 +272,12 @@ impl Database {
             knobs,
             metrics,
             tracer,
-            clock: RwLock::new(Arc::new(WallClock::new())),
-            stats: RwLock::new(HashMap::new()),
-            txn: Mutex::new(TxnManager::new()),
+            clock: RwLock::with_rank(Arc::new(WallClock::new()), LockRank::EngineClock),
+            stats: RwLock::with_rank(HashMap::new(), LockRank::EngineStats),
+            txn: Mutex::with_rank(TxnManager::new(), LockRank::TxnManager),
             runtime: TxnRuntime::new(),
-            estimator: RwLock::new(Arc::new(HistogramEstimator)),
-            hook: RwLock::new(None),
+            estimator: RwLock::with_rank(Arc::new(HistogramEstimator), LockRank::EngineEstimator),
+            hook: RwLock::with_rank(None, LockRank::EngineHook),
         }
     }
 
@@ -1288,7 +1288,22 @@ impl Database {
         reg.set_gauge("aimdb_buffer_hit_rate", b.hit_rate());
         reg.set_gauge("aimdb_disk_reads", d.reads as f64);
         reg.set_gauge("aimdb_disk_writes", d.writes as f64);
+        // Sync the process-wide contended-acquire total from the lock shim
+        // into the registry (counters are monotone, so apply the delta).
+        let contention = parking_lot::contention_counts();
+        let total: u64 = contention.iter().map(|(_, n)| n).sum();
+        let cur = reg.counter(crate::metrics::LOCK_CONTENTION_TOTAL);
+        reg.inc_counter(
+            crate::metrics::LOCK_CONTENTION_TOTAL,
+            total.saturating_sub(cur),
+        );
         let mut out = reg.render();
+        out.push_str("# TYPE aimdb_lock_contention_rank_total counter\n");
+        for (rank, n) in &contention {
+            out.push_str(&format!(
+                "aimdb_lock_contention_rank_total{{rank=\"{rank}\"}} {n}\n"
+            ));
+        }
         let ops = self.metrics.operator_stats();
         if !ops.is_empty() {
             for (family, pick) in [
@@ -1868,6 +1883,8 @@ mod tests {
         assert!(page.contains("aimdb_buffer_hit_rate"));
         assert!(page.contains("aimdb_operator_rows_total{op=\"seq_scan\",node="));
         assert!(page.contains("aimdb_operator_ns_total{op=\"project\",node=\"0\",worker=\"0\"}"));
+        assert!(page.contains("aimdb_lock_contention_total"));
+        assert!(page.contains("aimdb_lock_contention_rank_total{rank=\"commit_lock\"}"));
         let kpis = db.kpis();
         assert!(kpis.p50_cost_per_query > 0.0);
         assert!(kpis.p50_cost_per_query <= kpis.p99_cost_per_query);

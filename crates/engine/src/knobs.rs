@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 
-use aimdb_common::{AimError, Result, Value};
+use aimdb_common::{AimError, LockRank, Result, Value};
 
 /// Description of one knob.
 #[derive(Debug, Clone)]
@@ -140,7 +140,10 @@ impl Default for Knobs {
 impl Knobs {
     pub fn new() -> Self {
         Knobs {
-            values: RwLock::new(KNOB_SPECS.iter().map(|s| (s.name, s.default)).collect()),
+            values: RwLock::with_rank(
+                KNOB_SPECS.iter().map(|s| (s.name, s.default)).collect(),
+                LockRank::Knobs,
+            ),
         }
     }
 

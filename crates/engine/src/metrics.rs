@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use aimdb_common::LockRank;
 use aimdb_trace::MetricsRegistry;
 
 use crate::exec::{OpKey, OpStats};
@@ -35,6 +36,10 @@ pub const QUERY_COST_UNITS: &str = "aimdb_query_cost_units";
 pub const GROUP_COMMIT_BATCH: &str = "aimdb_group_commit_batch";
 /// Wall-clock seconds from commit request to published visibility.
 pub const COMMIT_LATENCY_SECONDS: &str = "aimdb_commit_latency_seconds";
+/// Contended lock acquisitions (a `lock()` that had to block), summed
+/// over all ranks; per-rank counts ride the exposition page as
+/// `aimdb_lock_contention_rank_total{rank="..."}`.
+pub const LOCK_CONTENTION_TOTAL: &str = "aimdb_lock_contention_total";
 
 /// A point-in-time view of engine health metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -105,7 +110,6 @@ impl KpiSnapshot {
 
 /// Engine metrics collector over a [`MetricsRegistry`], plus the
 /// per-operator counter table keyed by (operator, plan-node id).
-#[derive(Default)]
 pub struct Metrics {
     registry: Arc<MetricsRegistry>,
     /// Per-operator rows / batches / wall-time / cost, keyed by operator
@@ -114,9 +118,18 @@ pub struct Metrics {
     operators: Mutex<BTreeMap<OpKey, OpStats>>,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
 impl Metrics {
     pub fn new() -> Self {
-        Metrics::default()
+        Metrics {
+            registry: Arc::new(MetricsRegistry::default()),
+            operators: Mutex::with_rank(BTreeMap::new(), LockRank::MetricsOperators),
+        }
     }
 
     /// The underlying registry (shared with the exposition page).

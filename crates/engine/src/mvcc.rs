@@ -19,8 +19,9 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard};
 
+use aimdb_common::LockRank;
 use aimdb_storage::RowId;
 
 /// Commit timestamps are a monotone counter separate from transaction
@@ -178,7 +179,6 @@ pub struct TxnInfo {
 /// Registration takes `commit_lock`, so a checkpoint that holds the lock
 /// and observes `active_count() == 0` is truly quiescent: no transaction
 /// is in flight and none can start until the lock is released.
-#[derive(Default)]
 pub struct TxnRuntime {
     /// Last published commit timestamp. Stamp-then-bump under
     /// `commit_lock` makes a whole transaction visible atomically.
@@ -193,13 +193,33 @@ pub struct TxnRuntime {
     readers: Mutex<HashMap<CommitTs, usize>>,
 }
 
+impl Default for TxnRuntime {
+    fn default() -> Self {
+        TxnRuntime::new()
+    }
+}
+
 impl TxnRuntime {
     pub fn new() -> Self {
-        TxnRuntime::default()
+        TxnRuntime {
+            commit_ts: AtomicU64::new(0),
+            commit_lock: Mutex::with_rank((), LockRank::CommitLock),
+            active: Mutex::with_rank(HashMap::new(), LockRank::TxnActive),
+            readers: Mutex::with_rank(HashMap::new(), LockRank::TxnReaders),
+        }
+    }
+
+    /// The single place the active-transaction map is locked; every use
+    /// below goes through it, so its rank is declared exactly once.
+    fn active(&self) -> MutexGuard<'_, HashMap<u64, TxnInfo>> {
+        self.active.lock()
     }
 
     /// Highest commit timestamp whose transaction is fully visible.
     pub fn last_commit_ts(&self) -> CommitTs {
+        // ordering: Acquire — pairs with the Release in
+        // publish_commit_ts; a reader that observes ts T must also see
+        // every version stamp the committer wrote before publishing T.
         self.commit_ts.load(Ordering::Acquire)
     }
 
@@ -208,7 +228,7 @@ impl TxnRuntime {
     pub fn register(&self, txn: u64) -> Snapshot {
         let _g = self.commit_lock.lock();
         let read_ts = self.last_commit_ts();
-        self.active.lock().insert(
+        self.active().insert(
             txn,
             TxnInfo {
                 read_ts,
@@ -220,7 +240,7 @@ impl TxnRuntime {
 
     /// The snapshot of an active transaction, if it is registered.
     pub fn snapshot_of(&self, txn: u64) -> Option<Snapshot> {
-        self.active.lock().get(&txn).map(|info| Snapshot {
+        self.active().get(&txn).map(|info| Snapshot {
             txn,
             read_ts: info.read_ts,
         })
@@ -229,7 +249,7 @@ impl TxnRuntime {
     /// Append one write to `txn`'s write-set (no-op if `txn` is not
     /// registered — defensive, should not happen).
     pub fn record_write(&self, txn: u64, op: WriteOp) {
-        if let Some(info) = self.active.lock().get_mut(&txn) {
+        if let Some(info) = self.active().get_mut(&txn) {
             info.writes.push(op);
         }
     }
@@ -237,17 +257,20 @@ impl TxnRuntime {
     /// Deregister `txn`, returning its write-set for stamping (commit)
     /// or reversal (rollback).
     pub fn take(&self, txn: u64) -> Option<TxnInfo> {
-        self.active.lock().remove(&txn)
+        self.active().remove(&txn)
     }
 
     /// Number of registered in-flight transactions.
     pub fn active_count(&self) -> usize {
-        self.active.lock().len()
+        self.active().len()
     }
 
     /// Publish a new commit timestamp. The caller must hold
     /// `commit_lock` and have stamped every write-set entry first.
     pub fn publish_commit_ts(&self, cts: CommitTs) {
+        // ordering: Release — pairs with the Acquire in last_commit_ts;
+        // all version stamps written before this store become visible to
+        // any thread that reads ts >= cts.
         self.commit_ts.store(cts, Ordering::Release);
     }
 
@@ -288,8 +311,7 @@ impl TxnRuntime {
         let last = self.last_commit_ts();
         let rmin = self.readers.lock().keys().min().copied().unwrap_or(last);
         let amin = self
-            .active
-            .lock()
+            .active()
             .values()
             .map(|i| i.read_ts)
             .min()

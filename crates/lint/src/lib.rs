@@ -16,6 +16,14 @@
 //! - **L003 — error hygiene**: public `engine`/`storage` functions must
 //!   not return `Result<_, String>` or `Box<dyn Error>`; the workspace
 //!   error type is `AimError`.
+//! - **L004 — lock ranking**: every `Mutex::new` / `RwLock::new` in the
+//!   concurrency-bearing crates (`engine`, `storage`, `trace`) must be
+//!   `with_rank(value, LockRank::...)` instead, so the debug-build
+//!   lock-order witness can check the acquisition hierarchy.
+//! - **L005 — atomic-ordering audit**: every `Ordering::Relaxed` /
+//!   `Acquire` / `Release` / `AcqRel` / `SeqCst` use site must carry an
+//!   adjacent `// ordering:` comment (same line or the line above)
+//!   justifying the chosen memory ordering.
 //!
 //! Escape hatch: a `// aimdb-lint: allow(L00X, reason)` comment on the
 //! same line or the line above suppresses that rule there. The analysis is
@@ -35,6 +43,10 @@ pub enum Rule {
     L002,
     /// Public API returning `Result<_, String>` or `Box<dyn Error>`.
     L003,
+    /// Unranked `Mutex::new`/`RwLock::new` in a concurrency-bearing crate.
+    L004,
+    /// Atomic `Ordering::*` use without an adjacent `// ordering:` comment.
+    L005,
 }
 
 impl Rule {
@@ -43,6 +55,8 @@ impl Rule {
             Rule::L001 => "L001",
             Rule::L002 => "L002",
             Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
         }
     }
 
@@ -51,8 +65,16 @@ impl Rule {
             "L001" => Some(Rule::L001),
             "L002" => Some(Rule::L002),
             "L003" => Some(Rule::L003),
+            "L004" => Some(Rule::L004),
+            "L005" => Some(Rule::L005),
             _ => None,
         }
+    }
+
+    /// Whether the rule is enforced via the checked-in ratchet baseline
+    /// (per-file counts may only go down) rather than as a hard error.
+    pub fn ratcheted(&self) -> bool {
+        matches!(self, Rule::L001 | Rule::L004 | Rule::L005)
     }
 }
 
@@ -117,6 +139,14 @@ pub fn rules_for_crate(crate_key: &str) -> Vec<Rule> {
     // L003: the public engine/storage API surface.
     if matches!(crate_key, "engine" | "storage") {
         rules.push(Rule::L003);
+    }
+    // L004: crates whose locks participate in the global lock hierarchy.
+    if matches!(crate_key, "engine" | "storage" | "trace") {
+        rules.push(Rule::L004);
+    }
+    // L005: every crate with raw atomics (the shims document their own).
+    if !matches!(crate_key, "shims" | "lint") {
+        rules.push(Rule::L005);
     }
     rules
 }
@@ -672,6 +702,78 @@ fn scan_l003(scrubbed: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
     }
 }
 
+const L004_NEEDLES: &[&str] = &["Mutex::new", "RwLock::new"];
+
+fn scan_l004(scrubbed: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
+    let code = &scrubbed.code;
+    for needle in L004_NEEDLES {
+        for at in word_hits(code, needle) {
+            if !followed_by_paren(code, at, needle) {
+                continue;
+            }
+            let kind = needle.split("::").next().unwrap_or(needle);
+            out.push(Finding {
+                rule: Rule::L004,
+                file: file.to_string(),
+                line: line_of(code, at),
+                col: col_of(code, at),
+                message: format!(
+                    "unranked `{needle}`; use `{kind}::with_rank(value, LockRank::...)` \
+                     so the lock-order witness can check the hierarchy"
+                ),
+            });
+        }
+    }
+}
+
+const L005_NEEDLES: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+fn scan_l005(scrubbed: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
+    let code = &scrubbed.code;
+    // Lines covered by an `// ordering:` justification comment: the
+    // comment's own line (trailing form) plus the statement below it —
+    // following lines up to and including the first one ending in `;`
+    // (capped, so a comment cannot blanket a whole function).
+    let lines: Vec<&str> = code.lines().collect();
+    let mut justified: Vec<usize> = Vec::new();
+    for (cline, text) in &scrubbed.comments {
+        if !text.contains("ordering:") {
+            continue;
+        }
+        for l in *cline..=cline + 6 {
+            justified.push(l);
+            // lines[] is 0-based; stop once the statement ends
+            if l > *cline && lines.get(l - 1).is_some_and(|s| s.contains(';')) {
+                break;
+            }
+        }
+    }
+    for needle in L005_NEEDLES {
+        for at in word_hits(code, needle) {
+            let line = line_of(code, at);
+            if justified.contains(&line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: Rule::L005,
+                file: file.to_string(),
+                line,
+                col: col_of(code, at),
+                message: format!(
+                    "`{needle}` without an adjacent `// ordering:` comment justifying \
+                     the memory ordering"
+                ),
+            });
+        }
+    }
+}
+
 /// The second generic argument of the first `Result<...>` in a return
 /// type, if it has one (i.e. it is not the workspace `Result<T>` alias).
 fn result_err_type(ret: &str) -> Option<String> {
@@ -721,6 +823,12 @@ pub fn lint_source(crate_key: &str, file: &str, src: &str) -> Vec<Finding> {
     if rules.contains(&Rule::L003) {
         scan_l003(&scrubbed, file, &mut raw);
     }
+    if rules.contains(&Rule::L004) {
+        scan_l004(&scrubbed, file, &mut raw);
+    }
+    if rules.contains(&Rule::L005) {
+        scan_l005(&scrubbed, file, &mut raw);
+    }
     let allowed = allowed_lines(&scrubbed);
     raw.retain(|f| {
         if scrubbed.test_lines.get(f.line).copied().unwrap_or(false) {
@@ -751,34 +859,50 @@ pub fn crate_key_of(rel_path: &str) -> Option<String> {
 // Baseline (ratchet) handling
 // ---------------------------------------------------------------------------
 
-/// Parse `lint-baseline.txt`: `<path> <count>` lines, `#` comments.
-pub fn parse_baseline(text: &str) -> HashMap<String, usize> {
+/// Parse `lint-baseline.txt`. Lines are either `<rule> <path> <count>` or
+/// the legacy two-field `<path> <count>` (implicitly L001); `#` comments.
+pub fn parse_baseline(text: &str) -> HashMap<(Rule, String), usize> {
     let mut out = HashMap::new();
     for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        if let (Some(path), Some(count)) = (parts.next(), parts.next()) {
-            if let Ok(n) = count.parse::<usize>() {
-                out.insert(path.to_string(), n);
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            [rule, path, count] => {
+                if let (Some(r), Ok(n)) = (Rule::parse(rule), count.parse::<usize>()) {
+                    out.insert((r, path.to_string()), n);
+                }
             }
+            [path, count] => {
+                if let Ok(n) = count.parse::<usize>() {
+                    out.insert((Rule::L001, path.to_string()), n);
+                }
+            }
+            _ => {}
         }
     }
     out
 }
 
-/// Render a baseline map back to the checked-in format (sorted).
-pub fn render_baseline(counts: &HashMap<String, usize>) -> String {
+/// Render a baseline map back to the checked-in format (sorted). L001
+/// entries keep the legacy two-field form; other rules are prefixed.
+pub fn render_baseline(counts: &HashMap<(Rule, String), usize>) -> String {
     let mut out = String::from(
-        "# aimdb-lint L001 baseline — existing panic-path debt, per file.\n\
+        "# aimdb-lint ratchet baseline — existing debt, per rule and file.\n\
+         # L001 lines are `<path> <count>`; other rules are `<rule> <path> <count>`.\n\
          # Counts may only go DOWN. Regenerate with: cargo run -p lint -- --update-baseline\n",
     );
-    let mut entries: Vec<(&String, &usize)> = counts.iter().filter(|(_, n)| **n > 0).collect();
+    let mut entries: Vec<(&(Rule, String), &usize)> =
+        counts.iter().filter(|(_, n)| **n > 0).collect();
     entries.sort();
-    for (path, n) in entries {
-        out.push_str(&format!("{path} {n}\n"));
+    for ((rule, path), n) in entries {
+        if *rule == Rule::L001 {
+            out.push_str(&format!("{path} {n}\n"));
+        } else {
+            out.push_str(&format!("{rule} {path} {n}\n"));
+        }
     }
     out
 }

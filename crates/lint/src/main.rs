@@ -1,6 +1,7 @@
-//! `aimdb-lint` — run the workspace invariant lints (L001/L002/L003)
-//! against every non-test source file and enforce the L001 ratchet
-//! baseline.
+//! `aimdb-lint` — run the workspace invariant lints (L001–L005)
+//! against every non-test source file and enforce the ratchet
+//! baseline for L001 (panic-freedom), L004 (lock ranking) and
+//! L005 (atomic-ordering justification).
 //!
 //! Usage:
 //!   aimdb-lint [--update-baseline] [--root <dir>]
@@ -67,18 +68,21 @@ fn main() -> ExitCode {
         findings.extend(lint_source(&key, rel, &src));
     }
 
-    // L001 is ratcheted: per-file counts compared against the baseline,
-    // except in zero-tolerance crates where every hit is a hard error.
-    let mut l001_counts: HashMap<String, usize> = HashMap::new();
-    for f in findings.iter().filter(|f| f.rule == Rule::L001) {
-        *l001_counts.entry(f.file.clone()).or_default() += 1;
+    // L001/L004/L005 are ratcheted: per-(rule, file) counts compared
+    // against the baseline, except L001 in zero-tolerance crates where
+    // every hit is a hard error.
+    let mut ratchet_counts: HashMap<(Rule, String), usize> = HashMap::new();
+    for f in findings.iter().filter(|f| f.rule.ratcheted()) {
+        *ratchet_counts.entry((f.rule, f.file.clone())).or_default() += 1;
     }
 
     if update_baseline {
-        let ratcheted: HashMap<String, usize> = l001_counts
+        let ratcheted: HashMap<(Rule, String), usize> = ratchet_counts
             .iter()
-            .filter(|(file, _)| crate_key_of(file).is_some_and(|k| !l001_zero_tolerance(&k)))
-            .map(|(f, n)| (f.clone(), *n))
+            .filter(|((rule, file), _)| {
+                *rule != Rule::L001 || crate_key_of(file).is_some_and(|k| !l001_zero_tolerance(&k))
+            })
+            .map(|(k, n)| (k.clone(), *n))
             .collect();
         let text = render_baseline(&ratcheted);
         if let Err(e) = fs::write(root.join(BASELINE_FILE), &text) {
@@ -87,25 +91,28 @@ fn main() -> ExitCode {
         }
         let total: usize = ratcheted.values().sum();
         println!(
-            "aimdb-lint: baseline updated — {total} L001 sites across {} files",
+            "aimdb-lint: baseline updated — {total} ratcheted sites across {} (rule, file) entries",
             ratcheted.len()
         );
         // still report hard errors so --update-baseline can't mask them
-        let hard = hard_errors(&findings, &l001_counts, &HashMap::new(), true);
+        let hard = hard_errors(&findings, &ratchet_counts, &HashMap::new(), true);
         return report(hard, files.len());
     }
 
     let baseline_text = fs::read_to_string(root.join(BASELINE_FILE)).unwrap_or_default();
     let baseline = parse_baseline(&baseline_text);
-    let hard = hard_errors(&findings, &l001_counts, &baseline, false);
+    let hard = hard_errors(&findings, &ratchet_counts, &baseline, false);
 
     // Stale baseline entries (debt paid down but baseline not regenerated):
     // warn so the ratchet actually ratchets.
-    for (file, &allowed) in &baseline {
-        let now = l001_counts.get(file).copied().unwrap_or(0);
+    for ((rule, file), &allowed) in &baseline {
+        let now = ratchet_counts
+            .get(&(*rule, file.clone()))
+            .copied()
+            .unwrap_or(0);
         if now < allowed {
             eprintln!(
-                "aimdb-lint: note: {file} has {now} L001 sites, baseline allows {allowed} — \
+                "aimdb-lint: note: {file} has {now} {rule} sites, baseline allows {allowed} — \
                  run `cargo run -p lint -- --update-baseline` to ratchet down"
             );
         }
@@ -115,30 +122,31 @@ fn main() -> ExitCode {
 }
 
 /// Findings that fail the run: all L002/L003, L001 in zero-tolerance
-/// crates, and L001 in files whose count exceeds their baseline
-/// allowance. With `skip_ratchet` (used by `--update-baseline`) the
-/// baseline comparison is skipped.
+/// crates, and ratcheted rules (L001/L004/L005) in files whose count
+/// exceeds their baseline allowance. With `skip_ratchet` (used by
+/// `--update-baseline`) the baseline comparison is skipped.
 fn hard_errors(
     findings: &[Finding],
-    l001_counts: &HashMap<String, usize>,
-    baseline: &HashMap<String, usize>,
+    ratchet_counts: &HashMap<(Rule, String), usize>,
+    baseline: &HashMap<(Rule, String), usize>,
     skip_ratchet: bool,
 ) -> Vec<Finding> {
     let mut out = Vec::new();
     for f in findings {
-        match f.rule {
-            Rule::L002 | Rule::L003 => out.push(f.clone()),
-            Rule::L001 => {
-                let zero = crate_key_of(&f.file).is_some_and(|k| l001_zero_tolerance(&k));
-                if zero {
-                    out.push(f.clone());
-                } else if !skip_ratchet {
-                    let allowed = baseline.get(&f.file).copied().unwrap_or(0);
-                    let now = l001_counts.get(&f.file).copied().unwrap_or(0);
-                    if now > allowed {
-                        out.push(f.clone());
-                    }
-                }
+        if !f.rule.ratcheted() {
+            out.push(f.clone());
+            continue;
+        }
+        let zero =
+            f.rule == Rule::L001 && crate_key_of(&f.file).is_some_and(|k| l001_zero_tolerance(&k));
+        if zero {
+            out.push(f.clone());
+        } else if !skip_ratchet {
+            let key = (f.rule, f.file.clone());
+            let allowed = baseline.get(&key).copied().unwrap_or(0);
+            let now = ratchet_counts.get(&key).copied().unwrap_or(0);
+            if now > allowed {
+                out.push(f.clone());
             }
         }
     }

@@ -200,6 +200,117 @@ fn l003_only_engine_and_storage() {
     assert!(!lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
 }
 
+// --- L004: lock ranking ----------------------------------------------------
+
+#[test]
+fn l004_fires_on_unranked_lock_constructors() {
+    let src = r#"
+fn build() {
+    let m = Mutex::new(0u32);
+    let l = parking_lot::RwLock::new(Vec::<u8>::new());
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    assert_eq!(rules(&found), vec![(Rule::L004, 3), (Rule::L004, 4)]);
+}
+
+#[test]
+fn l004_accepts_ranked_constructors_and_lookalikes() {
+    let src = r#"
+fn build() {
+    let m = Mutex::with_rank(0u32, LockRank::EngineStats);
+    let l = RwLock::with_rank(Vec::<u8>::new(), LockRank::EngineHook);
+    let s = StdMutex::new(0u32); // different type name, not matched
+}
+"#;
+    assert!(lint_source("storage", "crates/storage/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l004_skips_tests_and_out_of_scope_crates() {
+    let test_src = r#"
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let m = Mutex::new(0u32);
+    }
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", test_src).is_empty());
+    // bench is not a concurrency-bearing crate for L004
+    let src = "fn f() { let m = Mutex::new(0u32); }\n";
+    assert!(lint_source("bench", "crates/bench/src/fake.rs", src)
+        .iter()
+        .all(|f| f.rule != Rule::L004));
+}
+
+#[test]
+fn l004_allow_directive_suppresses() {
+    let src = r#"
+fn build() {
+    // aimdb-lint: allow(L004, bootstrap lock outside the hierarchy)
+    let m = Mutex::new(0u32);
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+// --- L005: atomic-ordering audit -------------------------------------------
+
+#[test]
+fn l005_fires_on_unjustified_orderings() {
+    let src = r#"
+fn f(a: &AtomicU64) {
+    let x = a.load(Ordering::Relaxed);
+    a.store(1, Ordering::SeqCst);
+    a.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+}
+"#;
+    let found = lint_source("engine", "crates/engine/src/fake.rs", src);
+    assert_eq!(
+        rules(&found),
+        vec![(Rule::L005, 3), (Rule::L005, 4), (Rule::L005, 5)]
+    );
+}
+
+#[test]
+fn l005_accepts_adjacent_ordering_comments() {
+    let src = r#"
+fn f(a: &AtomicU64) {
+    // ordering: Relaxed — statistics counter, no payload published
+    let x = a.load(Ordering::Relaxed);
+    a.store(1, Ordering::Release); // ordering: pairs with the Acquire load
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l005_skips_test_regions() {
+    let src = r#"
+#[cfg(test)]
+mod tests {
+    fn t(a: &AtomicU64) {
+        let _ = a.load(Ordering::Relaxed);
+    }
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
+#[test]
+fn l005_ignores_cmp_ordering() {
+    let src = r#"
+fn f(a: u32, b: u32) -> std::cmp::Ordering {
+    match a.cmp(&b) {
+        std::cmp::Ordering::Less => std::cmp::Ordering::Less,
+        other => other,
+    }
+}
+"#;
+    assert!(lint_source("engine", "crates/engine/src/fake.rs", src).is_empty());
+}
+
 // --- plumbing --------------------------------------------------------------
 
 #[test]
@@ -220,11 +331,26 @@ fn crate_keys_and_zero_tolerance() {
 
 #[test]
 fn baseline_roundtrip() {
-    let text = "# comment\ncrates/bench/src/lib.rs 60\n\ncrates/x/src/y.rs 2\n";
+    // legacy two-field lines parse as L001; rule-prefixed lines keep
+    // their rule; the rendered form reparses to the same map
+    let text = "# comment\ncrates/bench/src/lib.rs 60\n\ncrates/x/src/y.rs 2\n\
+                L005 crates/ml/src/z.rs 3\n";
     let parsed = parse_baseline(text);
-    assert_eq!(parsed.get("crates/bench/src/lib.rs"), Some(&60));
-    assert_eq!(parsed.get("crates/x/src/y.rs"), Some(&2));
+    assert_eq!(
+        parsed.get(&(Rule::L001, "crates/bench/src/lib.rs".into())),
+        Some(&60)
+    );
+    assert_eq!(
+        parsed.get(&(Rule::L001, "crates/x/src/y.rs".into())),
+        Some(&2)
+    );
+    assert_eq!(
+        parsed.get(&(Rule::L005, "crates/ml/src/z.rs".into())),
+        Some(&3)
+    );
     let rendered = lint::render_baseline(&parsed);
+    assert!(rendered.contains("crates/bench/src/lib.rs 60"));
+    assert!(rendered.contains("L005 crates/ml/src/z.rs 3"));
     let reparsed = parse_baseline(&rendered);
     assert_eq!(parsed, reparsed);
 }

@@ -1,20 +1,216 @@
-//! Offline shim for the `parking_lot` crate.
+//! Offline shim for the `parking_lot` crate, extended with lock-rank
+//! discipline.
 //!
 //! The build environment has no network access, so this workspace vendors
 //! the small API subset it uses: `Mutex` and `RwLock` with non-poisoning
-//! guards. Backed by `std::sync`; a poisoned lock is recovered rather than
-//! propagated, matching parking_lot's semantics of never poisoning.
+//! guards, backed by `std::sync`; a poisoned lock is recovered rather
+//! than propagated, matching parking_lot's semantics of never poisoning.
+//!
+//! On top of the upstream API, every lock can carry a
+//! [`aimdb_common::LockRank`] ([`Mutex::with_rank`] /
+//! [`RwLock::with_rank`]; lint rule L004 makes this mandatory in the
+//! engine, storage and trace crates). In debug builds a thread-local
+//! acquisition stack — the *lock-order witness* — validates that ranks
+//! are acquired in strictly increasing order and records every violation
+//! as a structured [`aimdb_common::AimError::LockOrder`] in
+//! [`witness::take_violations`]; it never panics and never blocks the
+//! offending acquisition. The witness compiles out in release builds.
+//! Per-rank contended-acquire counters ([`contention_counts`]) stay on in
+//! both profiles and feed the engine's `aimdb_lock_contention_total`
+//! metric.
 
-use std::sync::{self, LockResult};
+use std::sync::{self, LockResult, TryLockError};
 
-/// A mutex that never poisons: a panic while holding the guard leaves the
-/// data accessible to later lockers, as in the real parking_lot.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized> {
-    inner: sync::Mutex<T>,
+pub use aimdb_common::LockRank;
+
+/// Per-rank count of contended acquisitions: the lock was held by
+/// another thread when `lock()`/`read()`/`write()` arrived, so the
+/// caller had to block. Active in debug and release builds.
+mod contention {
+    use super::LockRank;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    const SLOTS: usize = LockRank::ALL.len();
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static COUNTS: [AtomicU64; SLOTS] = [ZERO; SLOTS];
+
+    pub(crate) fn note(rank: Option<LockRank>) {
+        if let Some(r) = rank {
+            // ordering: Relaxed — a monotone statistics counter; no other
+            // memory depends on its value and totals are read racily.
+            COUNTS[r.idx()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot() -> Vec<(&'static str, u64)> {
+        LockRank::ALL
+            .iter()
+            // ordering: Relaxed — same counter; an approximate read is fine.
+            .map(|r| (r.name(), COUNTS[r.idx()].load(Ordering::Relaxed)))
+            .collect()
+    }
 }
 
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Cumulative contended-acquire count per rank, in rank order. Every
+/// rank is present (zeros included) so metric expositions are stable.
+pub fn contention_counts() -> Vec<(&'static str, u64)> {
+    contention::snapshot()
+}
+
+/// The debug-build lock-order witness.
+///
+/// Each thread keeps a stack of the ranked locks it currently holds.
+/// Acquiring a ranked lock whose level is not strictly greater than
+/// every held level records a violation; unranked locks are invisible to
+/// the witness. Violations are observations, not errors at the lock
+/// site: the acquisition proceeds (the witness must never deadlock or
+/// panic the program it is diagnosing) and tests drain them via
+/// [`witness::take_violations`].
+pub mod witness {
+    use aimdb_common::AimError;
+
+    #[cfg(debug_assertions)]
+    mod imp {
+        use super::super::LockRank;
+        use std::cell::RefCell;
+        use std::sync as ssync;
+
+        thread_local! {
+            /// Ranked locks held by this thread, in acquisition order.
+            /// Guards may drop out of order, so released entries become
+            /// `None` holes and the tail is trimmed lazily.
+            static HELD: RefCell<Vec<Option<LockRank>>> = const { RefCell::new(Vec::new()) };
+        }
+
+        /// Global violation buffer, drained by tests. Plain `std::sync`:
+        /// the witness must not recurse into the shim's own locks.
+        static VIOLATIONS: ssync::Mutex<Vec<String>> = ssync::Mutex::new(Vec::new());
+        const MAX_VIOLATIONS: usize = 256;
+
+        fn report(msg: String) {
+            let mut v = match VIOLATIONS.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if v.len() < MAX_VIOLATIONS {
+                v.push(msg);
+            }
+        }
+
+        /// Check monotonicity and push; returns the stack slot to clear
+        /// on release.
+        pub(crate) fn acquire(rank: LockRank) -> usize {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(top) = h.iter().flatten().map(|r| r.level()).max() {
+                    if !LockRank::may_follow(top, rank.level()) {
+                        let held: Vec<String> = h.iter().flatten().map(|r| r.to_string()).collect();
+                        report(format!(
+                            "acquired {rank} while holding [{}]; lock ranks must be \
+                             strictly increasing (see aimdb_common::lockrank)",
+                            held.join(" -> ")
+                        ));
+                    }
+                }
+                h.push(Some(rank));
+                h.len() - 1
+            })
+        }
+
+        pub(crate) fn release(slot: usize) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(e) = h.get_mut(slot) {
+                    *e = None;
+                }
+                while h.last().is_some_and(|e| e.is_none()) {
+                    h.pop();
+                }
+            });
+        }
+
+        pub(crate) fn drain() -> Vec<String> {
+            let mut v = match VIOLATIONS.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::mem::take(&mut *v)
+        }
+
+        pub(crate) fn count() -> usize {
+            match VIOLATIONS.lock() {
+                Ok(g) => g.len(),
+                Err(poisoned) => poisoned.into_inner().len(),
+            }
+        }
+    }
+
+    /// RAII registration of one ranked acquisition on the thread-local
+    /// stack. Zero-sized no-op in release builds.
+    #[derive(Debug)]
+    pub(crate) struct Held {
+        #[cfg(debug_assertions)]
+        slot: Option<usize>,
+    }
+
+    impl Held {
+        pub(crate) fn acquire(rank: Option<LockRank>) -> Held {
+            #[cfg(debug_assertions)]
+            {
+                Held {
+                    slot: rank.map(imp::acquire),
+                }
+            }
+            #[cfg(not(debug_assertions))]
+            {
+                let _ = rank;
+                Held {}
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    impl Drop for Held {
+        fn drop(&mut self) {
+            if let Some(slot) = self.slot {
+                imp::release(slot);
+            }
+        }
+    }
+
+    use super::LockRank;
+
+    /// Whether the witness is compiled in (debug builds only).
+    pub fn enabled() -> bool {
+        cfg!(debug_assertions)
+    }
+
+    /// Drain all recorded violations as structured errors. Empty in
+    /// release builds and in any debug run that obeyed the hierarchy.
+    pub fn take_violations() -> Vec<AimError> {
+        #[cfg(debug_assertions)]
+        {
+            imp::drain().into_iter().map(AimError::LockOrder).collect()
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Vec::new()
+        }
+    }
+
+    /// Number of violations currently buffered (without draining).
+    pub fn violation_count() -> usize {
+        #[cfg(debug_assertions)]
+        {
+            imp::count()
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+}
 
 fn recover<G>(r: LockResult<G>) -> G {
     match r {
@@ -23,9 +219,48 @@ fn recover<G>(r: LockResult<G>) -> G {
     }
 }
 
+/// A mutex that never poisons: a panic while holding the guard leaves the
+/// data accessible to later lockers, as in the real parking_lot. Carries
+/// an optional [`LockRank`] checked by the debug-build witness.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    rank: Option<LockRank>,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; releases the lock and pops the witness
+/// stack on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    _held: witness::Held,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
         Mutex {
+            rank: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// A mutex with a declared position in the global lock hierarchy.
+    pub const fn with_rank(value: T, rank: LockRank) -> Self {
+        Mutex {
+            rank: Some(rank),
             inner: sync::Mutex::new(value),
         }
     }
@@ -36,12 +271,31 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The declared rank, if any.
+    pub fn rank(&self) -> Option<LockRank> {
+        self.rank
+    }
+
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        recover(self.inner.lock())
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                contention::note(self.rank);
+                recover(self.inner.lock())
+            }
+        };
+        MutexGuard {
+            _held: witness::Held::acquire(self.rank),
+            inner,
+        }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        self.inner.try_lock().ok()
+        self.inner.try_lock().ok().map(|inner| MutexGuard {
+            _held: witness::Held::acquire(self.rank),
+            inner,
+        })
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -51,9 +305,11 @@ impl<T: ?Sized> Mutex<T> {
 
 /// A condition variable with parking_lot's in-place `wait(&mut guard)`
 /// signature, backed by `std::sync::Condvar`. std's `wait` consumes the
-/// guard and returns a new one, so the shim moves the guard out and back
-/// through raw pointers; this is sound because `wait` and the poison
-/// recovery never unwind for a single-mutex condvar.
+/// guard and returns a new one, so the shim moves the inner guard out
+/// and back through raw pointers; this is sound because `wait` and the
+/// poison recovery never unwind for a single-mutex condvar. The witness
+/// entry stays on the stack across the wait — the thread is parked and
+/// acquires nothing while the mutex is temporarily released.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: sync::Condvar,
@@ -78,9 +334,9 @@ impl Condvar {
     /// reacquiring it before returning — the guard stays valid in place.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         unsafe {
-            let owned = std::ptr::read(guard);
+            let owned = std::ptr::read(&guard.inner);
             let reacquired = recover(self.inner.wait(owned));
-            std::ptr::write(guard, reacquired);
+            std::ptr::write(&mut guard.inner, reacquired);
         }
     }
 
@@ -88,29 +344,74 @@ impl Condvar {
     /// wait timed out.
     pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
         unsafe {
-            let owned = std::ptr::read(guard);
+            let owned = std::ptr::read(&guard.inner);
             let (reacquired, res) = match self.inner.wait_timeout(owned, timeout) {
                 Ok((g, r)) => (g, r),
                 Err(poisoned) => poisoned.into_inner(),
             };
-            std::ptr::write(guard, reacquired);
+            std::ptr::write(&mut guard.inner, reacquired);
             res.timed_out()
         }
     }
 }
 
 /// A reader-writer lock with parking_lot's panic-free `read`/`write`.
+/// Shared and exclusive acquisitions are both rank-checked: a read guard
+/// can still participate in a deadlock cycle, so it obeys the same
+/// hierarchy.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    rank: Option<LockRank>,
     inner: sync::RwLock<T>,
 }
 
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// RAII shared guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _held: witness::Held,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// RAII exclusive guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _held: witness::Held,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     pub const fn new(value: T) -> Self {
         RwLock {
+            rank: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// A reader-writer lock with a declared position in the global lock
+    /// hierarchy.
+    pub const fn with_rank(value: T, rank: LockRank) -> Self {
+        RwLock {
+            rank: Some(rank),
             inner: sync::RwLock::new(value),
         }
     }
@@ -121,12 +422,39 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// The declared rank, if any.
+    pub fn rank(&self) -> Option<LockRank> {
+        self.rank
+    }
+
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        recover(self.inner.read())
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                contention::note(self.rank);
+                recover(self.inner.read())
+            }
+        };
+        RwLockReadGuard {
+            _held: witness::Held::acquire(self.rank),
+            inner,
+        }
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        recover(self.inner.write())
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                contention::note(self.rank);
+                recover(self.inner.write())
+            }
+        };
+        RwLockWriteGuard {
+            _held: witness::Held::acquire(self.rank),
+            inner,
+        }
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -137,6 +465,14 @@ impl<T: ?Sized> RwLock<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Tests that assert on the global violation buffer must not
+    /// interleave; the buffer is process-wide.
+    static SERIAL: sync::Mutex<()> = sync::Mutex::new(());
+
+    fn serial() -> sync::MutexGuard<'static, ()> {
+        recover(SERIAL.lock())
+    }
 
     #[test]
     fn mutex_roundtrip() {
@@ -193,5 +529,141 @@ mod tests {
         // parking_lot semantics: still lockable afterwards
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn ranked_monotone_acquisition_is_clean() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let a = Mutex::with_rank((), LockRank::CommitLock);
+        let b = Mutex::with_rank((), LockRank::HeapPages);
+        let c = RwLock::with_rank((), LockRank::MetricsRegistry);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+            let _gc = c.read();
+        }
+        assert!(witness::take_violations().is_empty());
+    }
+
+    #[test]
+    fn inverted_acquisition_is_reported_not_blocked() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let low = Mutex::with_rank((), LockRank::CommitLock);
+        let high = Mutex::with_rank((), LockRank::HeapPages);
+        {
+            let _gh = high.lock();
+            // inversion: CommitLock(10) under HeapPages(55)
+            let _gl = low.lock();
+        }
+        let v = witness::take_violations();
+        if witness::enabled() {
+            assert_eq!(v.len(), 1, "exactly one violation: {v:?}");
+            let msg = v[0].to_string();
+            assert!(msg.contains("commit_lock(10)"), "{msg}");
+            assert!(msg.contains("heap_pages(55)"), "{msg}");
+            assert!(
+                matches!(&v[0], aimdb_common::AimError::LockOrder(_)),
+                "structured variant"
+            );
+        } else {
+            assert!(v.is_empty(), "witness is compiled out in release");
+        }
+    }
+
+    #[test]
+    fn release_order_does_not_confuse_the_stack() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let a = Mutex::with_rank((), LockRank::CommitLock);
+        let b = Mutex::with_rank((), LockRank::TxnActive);
+        let c = Mutex::with_rank((), LockRank::HeapPages);
+        let ga = a.lock();
+        let gb = b.lock();
+        // drop the *middle* guard first, then acquire again above the max
+        drop(gb);
+        let gc = c.lock();
+        drop(ga);
+        drop(gc);
+        // re-acquiring from the bottom on an empty stack is clean
+        let _ga = a.lock();
+        assert!(witness::take_violations().is_empty());
+    }
+
+    #[test]
+    fn equal_ranks_may_not_nest() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let a = Mutex::with_rank((), LockRank::IndexTree);
+        let b = Mutex::with_rank((), LockRank::IndexTree);
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let v = witness::take_violations();
+        if witness::enabled() {
+            assert_eq!(v.len(), 1);
+        } else {
+            assert!(v.is_empty());
+        }
+    }
+
+    #[test]
+    fn unranked_locks_are_invisible_to_the_witness() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let plain = Mutex::new(0);
+        let ranked = Mutex::with_rank(0, LockRank::CommitLock);
+        {
+            let _gp = plain.lock();
+            let _gr = ranked.lock();
+            let _gp2 = Mutex::new(1); // construction alone is a no-op
+        }
+        assert!(witness::take_violations().is_empty());
+    }
+
+    #[test]
+    fn witness_stack_is_per_thread() {
+        let _s = serial();
+        let _ = witness::take_violations();
+        let low = std::sync::Arc::new(Mutex::with_rank((), LockRank::CommitLock));
+        let high = std::sync::Arc::new(Mutex::with_rank((), LockRank::DiskInner));
+        // this thread holds `high`; another thread may take `low` freely
+        let _gh = high.lock();
+        let low2 = std::sync::Arc::clone(&low);
+        std::thread::spawn(move || {
+            let _gl = low2.lock();
+        })
+        .join()
+        .unwrap();
+        assert!(witness::take_violations().is_empty());
+    }
+
+    #[test]
+    fn contention_is_counted_per_rank() {
+        use std::sync::Arc;
+        let m = Arc::new(Mutex::with_rank(0u64, LockRank::WalGroup));
+        let before = contention_counts()
+            .iter()
+            .find(|(n, _)| *n == "wal_group")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        let m2 = Arc::clone(&m);
+        let g = m.lock();
+        let t = std::thread::spawn(move || {
+            // blocks: the parent holds the lock
+            *m2.lock() += 1;
+        });
+        // hold long enough for the child to hit the contended path
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(g);
+        t.join().unwrap();
+        let after = contention_counts()
+            .iter()
+            .find(|(n, _)| *n == "wal_group")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(after > before, "contended acquire was counted");
     }
 }

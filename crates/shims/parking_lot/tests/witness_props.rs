@@ -1,0 +1,83 @@
+//! Property test for the lock-order witness: over randomized interleaved
+//! acquire/release sequences, the witness reports a violation exactly
+//! when an acquisition is non-monotone against the ranks still held.
+//!
+//! This file is its own test binary on purpose — the violation buffer is
+//! process-global, and no other test may interleave with the drains.
+
+use parking_lot::{witness, LockRank, Mutex, MutexGuard};
+use proptest::prelude::*;
+
+/// A small palette spanning the hierarchy, duplicates welcome: equal
+/// ranks must not nest either.
+const PALETTE: [LockRank; 8] = [
+    LockRank::CommitLock,
+    LockRank::TxnActive,
+    LockRank::TableVersions,
+    LockRank::HeapPages,
+    LockRank::HeapPages,
+    LockRank::WalInner,
+    LockRank::DiskInner,
+    LockRank::MetricsRegistry,
+];
+
+/// One scripted step: acquire a fresh lock of `PALETTE[rank_idx]`, or
+/// (when `release` is set) drop the oldest still-held guard instead.
+#[derive(Debug, Clone)]
+struct Step {
+    rank_idx: usize,
+    release: bool,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0..PALETTE.len(), any::<u8>()).prop_map(|(rank_idx, r)| Step {
+            rank_idx,
+            // roughly one release per two acquires
+            release: r < 90,
+        }),
+        1..48,
+    )
+}
+
+proptest! {
+    #[test]
+    fn violation_iff_nonmonotone(steps in arb_steps()) {
+        if !witness::enabled() {
+            // release build: the witness is compiled out; nothing to check
+            return Ok(());
+        }
+        let _ = witness::take_violations();
+
+        // one fresh mutex per potential acquisition, so a repeated rank
+        // never self-deadlocks on the same instance
+        let locks: Vec<Mutex<()>> = steps
+            .iter()
+            .map(|s| Mutex::with_rank((), PALETTE[s.rank_idx]))
+            .collect();
+        let mut guards: Vec<Option<(u16, MutexGuard<'_, ()>)>> = Vec::new();
+        let mut expected = 0usize;
+
+        for (i, step) in steps.iter().enumerate() {
+            if step.release {
+                // drop the oldest guard still held, if any
+                if let Some(slot) = guards.iter_mut().find(|g| g.is_some()) {
+                    *slot = None;
+                }
+                continue;
+            }
+            let level = PALETTE[step.rank_idx].level();
+            let held_max = guards.iter().flatten().map(|(l, _)| *l).max();
+            if let Some(top) = held_max {
+                if level <= top {
+                    expected += 1;
+                }
+            }
+            guards.push(Some((level, locks[i].lock())));
+        }
+        drop(guards);
+
+        let got = witness::take_violations();
+        prop_assert_eq!(got.len(), expected);
+    }
+}

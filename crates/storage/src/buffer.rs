@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::{AimError, Result};
+use aimdb_common::{AimError, LockRank, Result};
 
 use crate::disk::PageStore;
 use crate::page::{Page, PageId};
@@ -58,12 +58,15 @@ impl BufferPool {
     pub fn new(disk: Arc<dyn PageStore>, capacity: usize) -> Self {
         BufferPool {
             disk,
-            inner: Mutex::new(PoolInner {
-                frames: HashMap::new(),
-                capacity: capacity.max(1),
-                tick: 0,
-                stats: BufferStats::default(),
-            }),
+            inner: Mutex::with_rank(
+                PoolInner {
+                    frames: HashMap::new(),
+                    capacity: capacity.max(1),
+                    tick: 0,
+                    stats: BufferStats::default(),
+                },
+                LockRank::BufferPool,
+            ),
         }
     }
 

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use parking_lot::Mutex;
 
-use aimdb_common::{AimError, Result};
+use aimdb_common::{AimError, LockRank, Result};
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 
@@ -83,12 +83,15 @@ impl Default for Disk {
 impl Disk {
     pub fn new() -> Self {
         Disk {
-            inner: Mutex::new(DiskInner {
-                pages: HashMap::new(),
-                wal: Vec::new(),
-                next_id: 0,
-                stats: DiskStats::default(),
-            }),
+            inner: Mutex::with_rank(
+                DiskInner {
+                    pages: HashMap::new(),
+                    wal: Vec::new(),
+                    next_id: 0,
+                    stats: DiskStats::default(),
+                },
+                LockRank::DiskInner,
+            ),
         }
     }
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::{AimError, Result};
+use aimdb_common::{AimError, LockRank, Result};
 
 use crate::disk::{Disk, DiskStats, PageStore};
 use crate::page::{Page, PageId};
@@ -94,11 +94,14 @@ impl FaultInjector {
     pub fn new(disk: Arc<Disk>, plan: FaultPlan) -> Self {
         FaultInjector {
             disk,
-            state: Mutex::new(InjectorState {
-                plan,
-                ops: 0,
-                crashed: false,
-            }),
+            state: Mutex::with_rank(
+                InjectorState {
+                    plan,
+                    ops: 0,
+                    crashed: false,
+                },
+                LockRank::FaultInjector,
+            ),
         }
     }
 

@@ -4,7 +4,7 @@ use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use aimdb_common::{AimError, ColVec, Result, Row};
+use aimdb_common::{AimError, ColVec, LockRank, Result, Row};
 
 use crate::buffer::BufferPool;
 use crate::codec::{decode_row, decode_row_into, encode_row};
@@ -28,7 +28,7 @@ impl HeapFile {
     pub fn new(pool: Arc<BufferPool>) -> Self {
         HeapFile {
             pool,
-            pages: Mutex::new(Vec::new()),
+            pages: Mutex::with_rank(Vec::new(), LockRank::HeapPages),
         }
     }
 
@@ -221,11 +221,16 @@ impl MorselDispenser {
     /// handed out. Safe to call from any number of threads.
     pub fn claim(&self) -> Option<Morsel> {
         loop {
+            // ordering: Relaxed — the counter only partitions indices; the
+            // page data a claim grants access to is read through the
+            // buffer pool's lock, which provides the synchronization.
             let start = self.next.load(Ordering::Relaxed);
             if start >= self.page_count {
                 return None;
             }
             let end = (start + self.morsel_pages).min(self.page_count);
+            // ordering: Relaxed on success and failure — same reasoning;
+            // the CAS itself is atomic, and no payload is published.
             if self
                 .next
                 .compare_exchange_weak(start, end, Ordering::Relaxed, Ordering::Relaxed)

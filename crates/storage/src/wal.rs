@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use aimdb_common::LockRank;
 use bytes::{Buf, BufMut};
 use parking_lot::{Condvar, Mutex};
 
@@ -544,14 +545,21 @@ pub trait WalSink: Send + Sync {
 }
 
 /// Instantly durable in-memory sink (unit tests, ephemeral databases).
-#[derive(Default)]
 pub struct MemSink {
     bytes: Mutex<Vec<u8>>,
 }
 
+impl Default for MemSink {
+    fn default() -> Self {
+        MemSink::new()
+    }
+}
+
 impl MemSink {
     pub fn new() -> Self {
-        MemSink::default()
+        MemSink {
+            bytes: Mutex::with_rank(Vec::new(), LockRank::WalSink),
+        }
     }
 }
 
@@ -586,7 +594,7 @@ impl DiskSink {
     pub fn new(store: Arc<dyn PageStore>) -> Self {
         DiskSink {
             store,
-            buf: Mutex::new(Vec::new()),
+            buf: Mutex::with_rank(Vec::new(), LockRank::WalSink),
         }
     }
 }
@@ -683,20 +691,26 @@ impl Wal {
             sync_on_commit: AtomicBool::new(true),
             group_window_us: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
-            inner: Mutex::new(WalInner {
-                records: Vec::new(),
-                next_lsn: 1,
-                since_checkpoint: 0,
-                commits_appended: 0,
-            }),
-            group: Mutex::new(GroupState {
-                durable_lsn: 0,
-                durable_commits: 0,
-                flush_in_progress: false,
-                attempts: 0,
-            }),
+            inner: Mutex::with_rank(
+                WalInner {
+                    records: Vec::new(),
+                    next_lsn: 1,
+                    since_checkpoint: 0,
+                    commits_appended: 0,
+                },
+                LockRank::WalInner,
+            ),
+            group: Mutex::with_rank(
+                GroupState {
+                    durable_lsn: 0,
+                    durable_commits: 0,
+                    flush_in_progress: false,
+                    attempts: 0,
+                },
+                LockRank::WalGroup,
+            ),
             group_cv: Condvar::new(),
-            flush_observer: Mutex::new(None),
+            flush_observer: Mutex::with_rank(None, LockRank::WalFlushObserver),
         }
     }
 
@@ -730,16 +744,21 @@ impl Wal {
     /// single-committer latency unchanged (flush immediately, but still
     /// absorb whatever queued concurrently).
     pub fn set_group_window_us(&self, us: u64) {
+        // ordering: Relaxed — an isolated tuning knob; no other memory is
+        // published with it, and a stale read merely changes batching.
         self.group_window_us.store(us, Ordering::Relaxed);
     }
 
     pub fn group_window_us(&self) -> u64 {
+        // ordering: Relaxed — see set_group_window_us.
         self.group_window_us.load(Ordering::Relaxed)
     }
 
     /// Successful buffer-pushing flushes so far — the fsync count a
     /// group-commit benchmark compares against committed transactions.
     pub fn flush_count(&self) -> u64 {
+        // ordering: Relaxed — statistics counter; durability decisions
+        // never read it, only benchmarks and tests do.
         self.flushes.load(Ordering::Relaxed)
     }
 
@@ -794,6 +813,8 @@ impl Wal {
                 let batch = high_commits.saturating_sub(g.durable_commits);
                 g.durable_commits = g.durable_commits.max(high_commits);
                 if had_bytes {
+                    // ordering: Relaxed — statistics counter; the durable
+                    // state it describes is guarded by the group lock.
                     self.flushes.fetch_add(1, Ordering::Relaxed);
                 }
                 batch
@@ -814,10 +835,13 @@ impl Wal {
 
     /// Whether commit records force a flush (the `wal_sync` knob).
     pub fn set_sync_on_commit(&self, on: bool) {
+        // ordering: Relaxed — a durability-policy flag read at the top of
+        // each append; it gates behavior, it does not publish data.
         self.sync_on_commit.store(on, Ordering::Relaxed);
     }
 
     pub fn sync_on_commit(&self) -> bool {
+        // ordering: Relaxed — see set_sync_on_commit.
         self.sync_on_commit.load(Ordering::Relaxed)
     }
 
@@ -826,6 +850,7 @@ impl Wal {
     /// checkpoint records always flush (with no batching window).
     pub fn append(&self, rec: LogRecord) -> Result<u64> {
         let is_commit = matches!(rec, LogRecord::Commit { .. });
+        // ordering: Relaxed — policy flag; see set_sync_on_commit.
         let flush =
             rec.always_flush() || (is_commit && self.sync_on_commit.load(Ordering::Relaxed));
         let lsn;
@@ -846,6 +871,7 @@ impl Wal {
         }
         if flush {
             let window = if is_commit {
+                // ordering: Relaxed — tuning knob; see set_group_window_us.
                 self.group_window_us.load(Ordering::Relaxed)
             } else {
                 0

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use aimdb_common::LockRank;
 use parking_lot::Mutex;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
@@ -19,9 +20,16 @@ struct RegistryInner {
 /// Thread-safe registry of named metrics. Names are sanitized to the
 /// exposition alphabet (`[a-zA-Z0-9_:]`, non-digit first byte) on entry
 /// so `render()` always emits a parseable page.
-#[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<RegistryInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            inner: Mutex::with_rank(RegistryInner::default(), LockRank::MetricsRegistry),
+        }
+    }
 }
 
 /// Replace characters outside the metric-name alphabet with `_`.

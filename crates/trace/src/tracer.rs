@@ -6,6 +6,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use aimdb_common::LockRank;
 use parking_lot::Mutex;
 
 use crate::span::QueryTrace;
@@ -39,12 +40,15 @@ impl Tracer {
     /// threshold starts at infinity (log disabled) until a knob sets it.
     pub fn new(capacity: usize) -> Self {
         Self {
-            inner: Mutex::new(TracerInner {
-                ring: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
-                capacity: capacity.max(1),
-                slow_threshold: f64::INFINITY,
-                slow_log: VecDeque::new(),
-            }),
+            inner: Mutex::with_rank(
+                TracerInner {
+                    ring: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+                    capacity: capacity.max(1),
+                    slow_threshold: f64::INFINITY,
+                    slow_log: VecDeque::new(),
+                },
+                LockRank::TracerInner,
+            ),
         }
     }
 

@@ -12,8 +12,10 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy -p aimdb-storage -p aimdb-engine --all-targets -- -D warnings
-# workspace invariant linter: L001 panic-freedom (ratcheted baseline),
-# L002 determinism, L003 error hygiene
+# workspace invariant linter: L001 panic-freedom, L004 lock ranking and
+# L005 atomic-ordering justification (all three ratcheted via
+# lint-baseline.txt — counts may only go down), L002 determinism,
+# L003 error hygiene
 run cargo run -q -p lint --release
 run cargo test -q --workspace
 # executor equivalence: 1200 generated queries through both the row and
@@ -22,7 +24,9 @@ run cargo test -q --workspace
 # morsel-parallel executor at 1/2/4/8 workers, bit-identical required
 run cargo test -q -p aimdb-engine --test exec_differential
 # concurrency stress: reader threads running parallel scans against a
-# writer doing inserts + checkpoints, healthy and through crash/recovery
+# writer doing inserts + checkpoints, healthy and through crash/recovery.
+# These debug-build suites run under the lock-order witness and assert
+# zero hierarchy violations.
 run cargo test -q --test concurrent_scan_recovery
 # MVCC first-updater-wins properties at 1/2/4/8 writer threads, and the
 # fault-injected writer-race loop (pair-write atomicity through torn

@@ -66,6 +66,15 @@ fn insert_batch(db: &Database, b: i64) -> bool {
         .is_ok()
 }
 
+/// In debug builds the lock shim's witness records every acquisition
+/// that breaks the declared rank hierarchy; this suite must not trip it.
+fn assert_lock_hierarchy_clean() {
+    if parking_lot::witness::enabled() {
+        let v = parking_lot::witness::take_violations();
+        assert!(v.is_empty(), "lock-order violations: {v:?}");
+    }
+}
+
 /// Readers hammer parallel scans while the writer appends; nothing
 /// crashes, per-reader counts are monotone, groups never overfill, and
 /// the quiesced state is exact and identical at every thread count.
@@ -121,6 +130,7 @@ fn concurrent_parallel_scans_against_writer() {
             assert_eq!(cnt, BATCH, "torn batch {b} at workers={workers}");
         }
     }
+    assert_lock_hierarchy_clean();
 }
 
 /// One life: concurrent readers and writer on a store scripted to crash
@@ -250,4 +260,5 @@ fn concurrent_scan_crash_recover_loop() {
     // actually die mid-flight, and some batches must land before they do.
     assert!(crashes >= LIVES / 2, "only {crashes}/{LIVES} lives crashed");
     assert!(total_committed > 0, "no life committed a single batch");
+    assert_lock_hierarchy_clean();
 }

@@ -35,6 +35,15 @@ fn balance(db: &Database, id: i64) -> i64 {
     }
 }
 
+/// In debug builds the lock shim's witness records every acquisition
+/// that breaks the declared rank hierarchy; this suite must not trip it.
+fn assert_lock_hierarchy_clean() {
+    if parking_lot::witness::enabled() {
+        let v = parking_lot::witness::take_violations();
+        assert!(v.is_empty(), "lock-order violations: {v:?}");
+    }
+}
+
 /// Disjoint write-sets never conflict: N transactions, each updating its
 /// own row, all commit regardless of interleaving.
 #[test]
@@ -68,6 +77,7 @@ fn disjoint_updates_all_commit() {
             );
         }
     }
+    assert_lock_hierarchy_clean();
 }
 
 /// All transactions target the same row: exactly one commits, every
@@ -125,6 +135,7 @@ fn overlapping_updates_exactly_one_winner() {
             "threads={threads}: final value {v} belongs to no writer"
         );
     }
+    assert_lock_hierarchy_clean();
 }
 
 /// Mixed workload: one contended row per pair of transactions. Each pair
@@ -175,6 +186,7 @@ fn per_row_winners_with_many_contended_rows() {
             );
         }
     }
+    assert_lock_hierarchy_clean();
 }
 
 /// WriteConflict is retryable: a loser that begins a fresh transaction

@@ -40,6 +40,15 @@ struct Receipt {
     cts: Option<u64>,
 }
 
+/// In debug builds the lock shim's witness records every acquisition
+/// that breaks the declared rank hierarchy; this suite must not trip it.
+fn assert_lock_hierarchy_clean() {
+    if parking_lot::witness::enabled() {
+        let v = parking_lot::witness::take_violations();
+        assert!(v.is_empty(), "lock-order violations: {v:?}");
+    }
+}
+
 /// Seed the table in a single statement so a scripted fault can never
 /// land between two halves of the initial state.
 fn setup(db: &Database) {
@@ -259,6 +268,7 @@ fn writer_races_healthy_store_with_group_commit() {
         flushed < committed,
         "group commit never batched: {flushed} fsyncs for {committed} commits"
     );
+    assert_lock_hierarchy_clean();
 }
 
 /// One fault-injected life: writers and readers race on a store scripted
@@ -383,4 +393,5 @@ fn writer_races_crash_recover_loop() {
     // and plenty of commits land before they do.
     assert!(crashes >= LIVES / 2, "only {crashes}/{LIVES} lives crashed");
     assert!(total_acked > 0, "no life acknowledged a single commit");
+    assert_lock_hierarchy_clean();
 }
