@@ -12,6 +12,10 @@
 
 use std::fmt::Write as _;
 
+pub mod macro_report;
+pub mod tpcc;
+pub mod tpch;
+
 /// A rendered experiment report.
 pub struct Report {
     pub id: &'static str,

@@ -1,0 +1,156 @@
+//! BENCH_macro.json emission: the standing cross-PR perf trajectory for
+//! the macro-benchmark family.
+//!
+//! Schema (`schema_version` 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "suite": "macro",
+//!   "mode": "smoke" | "full",
+//!   "seed": <u64>,
+//!   "oltp": {
+//!     "scale_rows": <approx row count>,
+//!     "zipf_theta": <f64>,
+//!     "runs": [{
+//!       "threads": N, "committed": N, "aborted": N, "conflicts": N,
+//!       "txns_per_sec": f, "p50_ms": f, "p95_ms": f, "p99_ms": f,
+//!       "fsyncs_per_commit": f, "abort_rate": f,
+//!       "crash_lives": N, "invariant_checks": N
+//!     }, ...]
+//!   },
+//!   "analytics": {
+//!     "scale_rows": <approx row count>,
+//!     "workers": [1, 2, 4, 8],
+//!     "queries": [{"name": "Q1_...", "rows": N,
+//!                  "secs": {"1": f, "2": f, "4": f, "8": f}}, ...]
+//!   }
+//! }
+//! ```
+//!
+//! Every field is a plain scalar so the trajectory diffs cleanly between
+//! PRs and CI can assert on it without a JSON-path library.
+
+use std::collections::BTreeMap;
+
+use aimdb_common::json::Json;
+
+use crate::tpch::QueryTiming;
+
+/// One measured OLTP configuration (one writer-thread count).
+#[derive(Debug, Clone)]
+pub struct OltpRun {
+    pub threads: usize,
+    pub committed: u64,
+    pub aborted: u64,
+    pub conflicts: u64,
+    pub txns_per_sec: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub fsyncs_per_commit: f64,
+    pub abort_rate: f64,
+    pub crash_lives: u64,
+    pub invariant_checks: u64,
+}
+
+/// The whole report, rendered by [`MacroReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct MacroReport {
+    pub mode: &'static str,
+    pub seed: u64,
+    pub oltp_scale_rows: i64,
+    pub zipf_theta: f64,
+    pub oltp_runs: Vec<OltpRun>,
+    pub analytics_scale_rows: i64,
+    pub workers: Vec<usize>,
+    pub analytics: Vec<QueryTiming>,
+}
+
+impl MacroReport {
+    pub fn to_json(&self) -> Json {
+        let runs: Vec<Json> = self
+            .oltp_runs
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("threads", Json::Num(r.threads as f64)),
+                    ("committed", Json::Num(r.committed as f64)),
+                    ("aborted", Json::Num(r.aborted as f64)),
+                    ("conflicts", Json::Num(r.conflicts as f64)),
+                    ("txns_per_sec", Json::Num(round3(r.txns_per_sec))),
+                    ("p50_ms", Json::Num(round3(r.p50_ms))),
+                    ("p95_ms", Json::Num(round3(r.p95_ms))),
+                    ("p99_ms", Json::Num(round3(r.p99_ms))),
+                    ("fsyncs_per_commit", Json::Num(round3(r.fsyncs_per_commit))),
+                    ("abort_rate", Json::Num(round3(r.abort_rate))),
+                    ("crash_lives", Json::Num(r.crash_lives as f64)),
+                    ("invariant_checks", Json::Num(r.invariant_checks as f64)),
+                ])
+            })
+            .collect();
+        let queries: Vec<Json> = self
+            .analytics
+            .iter()
+            .map(|q| {
+                let secs: BTreeMap<String, Json> = q
+                    .secs
+                    .iter()
+                    .map(|(w, s)| (w.to_string(), Json::Num(round6(*s))))
+                    .collect();
+                Json::obj(vec![
+                    ("name", Json::Str(q.name.to_string())),
+                    ("rows", Json::Num(q.rows as f64)),
+                    ("secs", Json::Obj(secs)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::Num(1.0)),
+            ("suite", Json::Str("macro".into())),
+            ("mode", Json::Str(self.mode.into())),
+            ("seed", Json::Num(self.seed as f64)),
+            (
+                "oltp",
+                Json::obj(vec![
+                    ("scale_rows", Json::Num(self.oltp_scale_rows as f64)),
+                    ("zipf_theta", Json::Num(self.zipf_theta)),
+                    ("runs", Json::Arr(runs)),
+                ]),
+            ),
+            (
+                "analytics",
+                Json::obj(vec![
+                    ("scale_rows", Json::Num(self.analytics_scale_rows as f64)),
+                    (
+                        "workers",
+                        Json::Arr(self.workers.iter().map(|w| Json::Num(*w as f64)).collect()),
+                    ),
+                    ("queries", Json::Arr(queries)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Write the report to `path` (pretty-printed, trailing newline).
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        let text = self.to_json().to_string_pretty() + "\n";
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    if v.is_finite() {
+        (v * 1e3).round() / 1e3
+    } else {
+        0.0
+    }
+}
+
+fn round6(v: f64) -> f64 {
+    if v.is_finite() {
+        (v * 1e6).round() / 1e6
+    } else {
+        0.0
+    }
+}

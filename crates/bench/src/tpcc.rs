@@ -1,0 +1,897 @@
+//! TPC-C-like OLTP workload generator, driver and consistency oracle.
+//!
+//! A scaled-down but structurally faithful adaptation of TPC-C to this
+//! engine's surface (single-column indexes, INT/TEXT/FLOAT types):
+//!
+//! - **Schema** — warehouse / district / customer / item / stock /
+//!   orders / order_line with surrogate integer keys
+//!   (`d_key = w·DPW + d`, `o_key = d_key·1e6 + o_id`) so every lookup
+//!   is a single-column index probe. All money columns are integer
+//!   *cents* so the YTD conservation invariants are exact, never
+//!   float-approximate.
+//! - **Transaction mix** — NewOrder / Payment / OrderStatus / Delivery /
+//!   StockLevel at the classic 45/43/4/4/4 weights, with district choice
+//!   drawn from a configurable Zipfian so contention is tunable.
+//! - **Consistency oracle** — [`check_invariants`] asserts the TPC-C
+//!   consistency conditions (warehouse YTD = Σ district YTD, order /
+//!   order-line count coherence, stock YTD = Σ ordered quantity, …).
+//!   Every transaction maintains them atomically, so they must hold on
+//!   *any* committed-prefix state — including one recovered from a
+//!   mid-run crash.
+//!
+//! The driver runs through the full public [`Database`] API (MVCC
+//! transactions, group-commit WAL, checkpointing) and retries
+//! `WriteConflict` losers like a real client.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::thread;
+
+use aimdb_common::{AimError, Clock, Value, WallClock};
+use aimdb_engine::Database;
+use aimdb_storage::FaultInjector;
+use aimdb_trace::MetricsRegistry;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Histogram name for per-transaction latency in the harness-local
+/// registry. Recorded in **milliseconds**: the log-linear histogram
+/// lumps everything below 1.0 into one underflow bucket, so seconds
+/// would collapse every sub-second quantile to the observed max.
+pub const TXN_LATENCY: &str = "macro_oltp_txn_latency_ms";
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ------------------------------------------------------------------ scale
+
+/// Row-count knobs for the generated TPC-C-like database.
+#[derive(Debug, Clone)]
+pub struct TpccScale {
+    pub warehouses: i64,
+    pub districts_per_wh: i64,
+    pub customers_per_district: i64,
+    pub items: i64,
+    /// Orders pre-loaded per district (order lines, stock YTD and
+    /// `d_next_o_id` are kept coherent with them).
+    pub initial_orders_per_district: i64,
+}
+
+impl TpccScale {
+    /// Tiny database for CI smoke runs (~200 rows).
+    pub fn smoke() -> TpccScale {
+        TpccScale {
+            warehouses: 1,
+            districts_per_wh: 2,
+            customers_per_district: 20,
+            items: 50,
+            initial_orders_per_district: 3,
+        }
+    }
+
+    /// The standing benchmark scale (~12k rows at sf=1); multiply row
+    /// counts linearly with `sf` for larger databases.
+    pub fn standard(sf: i64) -> TpccScale {
+        let sf = sf.max(1);
+        TpccScale {
+            warehouses: 2 * sf,
+            districts_per_wh: 10,
+            customers_per_district: 100,
+            items: 1000,
+            initial_orders_per_district: 10,
+        }
+    }
+
+    pub fn districts(&self) -> i64 {
+        self.warehouses * self.districts_per_wh
+    }
+
+    /// Approximate total row count across all seven tables.
+    pub fn approx_rows(&self) -> i64 {
+        let d = self.districts();
+        self.warehouses
+            + d
+            + d * self.customers_per_district
+            + self.items
+            + self.warehouses * self.items
+            + d * self.initial_orders_per_district
+            + d * self.initial_orders_per_district * 8 // ~8 lines/order
+    }
+
+    pub fn d_key(&self, w: i64, d: i64) -> i64 {
+        w * self.districts_per_wh + d
+    }
+
+    pub fn c_key(&self, d_key: i64, c: i64) -> i64 {
+        d_key * self.customers_per_district + c
+    }
+
+    pub fn s_key(&self, w: i64, i: i64) -> i64 {
+        w * self.items + i
+    }
+}
+
+/// Orders are keyed `o_key = d_key * ORDER_STRIDE + o_id`, so one
+/// district's orders occupy a contiguous key range.
+pub const ORDER_STRIDE: i64 = 1_000_000;
+
+// ------------------------------------------------------------------- zipf
+
+/// Zipfian sampler over `0..n` with precomputed CDF: skew `theta = 0`
+/// is uniform, larger values concentrate probability on low indices.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        match self.cdf.binary_search_by(|p| match p.partial_cmp(&u) {
+            Some(o) => o,
+            None => std::cmp::Ordering::Less,
+        }) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+// ------------------------------------------------------------------- load
+
+const DDL: &[&str] = &[
+    "CREATE TABLE warehouse (w_id INT, w_ytd INT)",
+    "CREATE TABLE district (d_key INT, d_w INT, d_id INT, d_next_o_id INT, d_ytd INT)",
+    "CREATE INDEX d_key_idx ON district (d_key)",
+    "CREATE TABLE customer (c_key INT, c_w INT, c_d INT, c_balance INT, \
+     c_ytd_payment INT, c_payment_cnt INT, c_delivery_cnt INT)",
+    "CREATE INDEX c_key_idx ON customer (c_key)",
+    "CREATE TABLE item (i_id INT, i_price INT)",
+    "CREATE INDEX i_id_idx ON item (i_id)",
+    "CREATE TABLE stock (s_key INT, s_w INT, s_i INT, s_quantity INT, s_ytd INT, s_order_cnt INT)",
+    "CREATE INDEX s_key_idx ON stock (s_key)",
+    "CREATE TABLE orders (o_key INT, o_d_key INT, o_id INT, o_c_key INT, o_ol_cnt INT, o_carrier INT)",
+    "CREATE INDEX o_key_idx ON orders (o_key)",
+    "CREATE INDEX o_d_key_idx ON orders (o_d_key)",
+    "CREATE TABLE order_line (ol_o_key INT, ol_num INT, ol_i_id INT, ol_qty INT, ol_amount INT)",
+    "CREATE INDEX ol_o_key_idx ON order_line (ol_o_key)",
+];
+
+/// Rows per `insert_rows` batch during bulk load (one commit per batch).
+const LOAD_BATCH: usize = 2000;
+
+fn flush(db: &Database, table: &str, rows: &mut Vec<Vec<Value>>) -> Result<(), String> {
+    if rows.is_empty() {
+        return Ok(());
+    }
+    db.insert_rows(table, std::mem::take(rows))
+        .map_err(|e| format!("load {table}: {e}"))?;
+    Ok(())
+}
+
+fn push(
+    db: &Database,
+    table: &str,
+    rows: &mut Vec<Vec<Value>>,
+    row: Vec<Value>,
+) -> Result<(), String> {
+    rows.push(row);
+    if rows.len() >= LOAD_BATCH {
+        flush(db, table, rows)?;
+    }
+    Ok(())
+}
+
+/// Create the schema and bulk-load a seeded initial database whose state
+/// already satisfies every invariant in [`check_invariants`].
+pub fn load(db: &Database, scale: &TpccScale, seed: u64) -> Result<(), String> {
+    for sql in DDL {
+        db.execute(sql).map_err(|e| format!("ddl ({e}): {sql}"))?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf: Vec<Vec<Value>> = Vec::new();
+
+    for w in 0..scale.warehouses {
+        push(
+            db,
+            "warehouse",
+            &mut buf,
+            vec![Value::Int(w), Value::Int(0)],
+        )?;
+    }
+    flush(db, "warehouse", &mut buf)?;
+
+    for i in 0..scale.items {
+        let price = rng.gen_range(100i64..10_000); // cents
+        push(db, "item", &mut buf, vec![Value::Int(i), Value::Int(price)])?;
+    }
+    flush(db, "item", &mut buf)?;
+
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_wh {
+            let dk = scale.d_key(w, d);
+            push(
+                db,
+                "district",
+                &mut buf,
+                vec![
+                    Value::Int(dk),
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::Int(scale.initial_orders_per_district + 1),
+                    Value::Int(0),
+                ],
+            )?;
+        }
+    }
+    flush(db, "district", &mut buf)?;
+
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_wh {
+            let dk = scale.d_key(w, d);
+            for c in 0..scale.customers_per_district {
+                push(
+                    db,
+                    "customer",
+                    &mut buf,
+                    vec![
+                        Value::Int(scale.c_key(dk, c)),
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(0),
+                        Value::Int(0),
+                        Value::Int(0),
+                        Value::Int(0),
+                    ],
+                )?;
+            }
+        }
+    }
+    flush(db, "customer", &mut buf)?;
+
+    // Initial orders, their lines, and the stock YTD they imply.
+    let mut stock_ytd: Vec<i64> = vec![0; (scale.warehouses * scale.items) as usize];
+    let mut stock_cnt: Vec<i64> = vec![0; (scale.warehouses * scale.items) as usize];
+    let mut lines: Vec<Vec<Value>> = Vec::new();
+    for w in 0..scale.warehouses {
+        for d in 0..scale.districts_per_wh {
+            let dk = scale.d_key(w, d);
+            for o_id in 1..=scale.initial_orders_per_district {
+                let o_key = dk * ORDER_STRIDE + o_id;
+                let c = rng.gen_range(0..scale.customers_per_district);
+                let ol_cnt = rng.gen_range(5i64..12);
+                // roughly a third of the initial orders are still
+                // undelivered, so Delivery has work from the start
+                let carrier = if o_id % 3 == 0 {
+                    0
+                } else {
+                    rng.gen_range(1i64..10)
+                };
+                push(
+                    db,
+                    "orders",
+                    &mut buf,
+                    vec![
+                        Value::Int(o_key),
+                        Value::Int(dk),
+                        Value::Int(o_id),
+                        Value::Int(scale.c_key(dk, c)),
+                        Value::Int(ol_cnt),
+                        Value::Int(carrier),
+                    ],
+                )?;
+                for n in 0..ol_cnt {
+                    let item = rng.gen_range(0..scale.items);
+                    let qty = rng.gen_range(1i64..10);
+                    let amount = qty * rng.gen_range(100i64..10_000);
+                    stock_ytd[scale.s_key(w, item) as usize] += qty;
+                    stock_cnt[scale.s_key(w, item) as usize] += 1;
+                    push(
+                        db,
+                        "order_line",
+                        &mut lines,
+                        vec![
+                            Value::Int(o_key),
+                            Value::Int(n),
+                            Value::Int(item),
+                            Value::Int(qty),
+                            Value::Int(amount),
+                        ],
+                    )?;
+                }
+            }
+        }
+    }
+    flush(db, "orders", &mut buf)?;
+    flush(db, "order_line", &mut lines)?;
+
+    for w in 0..scale.warehouses {
+        for i in 0..scale.items {
+            let sk = scale.s_key(w, i);
+            push(
+                db,
+                "stock",
+                &mut buf,
+                vec![
+                    Value::Int(sk),
+                    Value::Int(w),
+                    Value::Int(i),
+                    Value::Int(rng.gen_range(50i64..150)),
+                    Value::Int(stock_ytd[sk as usize]),
+                    Value::Int(stock_cnt[sk as usize]),
+                ],
+            )?;
+        }
+    }
+    flush(db, "stock", &mut buf)?;
+    Ok(())
+}
+
+// ------------------------------------------------------------ transactions
+
+/// Outcome of one transaction attempt.
+enum Attempt {
+    Committed,
+    /// Lost a first-updater-wins race; rolled back, safe to retry.
+    Conflict,
+    /// The storage fault fired (only meaningful under an injector).
+    Dead,
+}
+
+fn classify(e: &AimError) -> Result<Attempt, String> {
+    match e {
+        AimError::WriteConflict(_) => Ok(Attempt::Conflict),
+        AimError::Storage(_) | AimError::TxnAborted(_) => Ok(Attempt::Dead),
+        other => Err(format!("transaction failed: {other}")),
+    }
+}
+
+/// Scalar helper: `Ok(None)` for NULL (empty aggregate), integer else.
+fn opt_int_in(
+    db: &Database,
+    h: &aimdb_engine::TxnHandle,
+    sql: &str,
+) -> Result<Option<i64>, AimError> {
+    let r = db.execute_in(h, sql)?;
+    match r.scalar()? {
+        Value::Int(n) => Ok(Some(*n)),
+        Value::Null => Ok(None),
+        // aggregate paths may widen to float; cents stay exact below 2^53
+        Value::Float(f) if f.fract() == 0.0 => Ok(Some(*f as i64)),
+        other => Err(AimError::Execution(format!(
+            "expected int scalar from {sql}, got {other:?}"
+        ))),
+    }
+}
+
+/// One NewOrder: allocate the next order id from the district (the
+/// serialization point), insert the order and its lines, and update the
+/// stock rows the lines consumed.
+fn new_order(
+    db: &Database,
+    scale: &TpccScale,
+    w: i64,
+    dk: i64,
+    ck: i64,
+    order_lines: &[(i64, i64)], // (item, qty)
+) -> Result<Attempt, String> {
+    let h = match db.begin_txn() {
+        Ok(h) => h,
+        Err(e) => return classify(&e),
+    };
+    let body = || -> Result<Attempt, AimError> {
+        let o_id = match opt_int_in(
+            db,
+            &h,
+            &format!("SELECT d_next_o_id FROM district WHERE d_key = {dk}"),
+        )? {
+            Some(n) => n,
+            None => {
+                return Err(AimError::Execution(format!("district {dk} missing")));
+            }
+        };
+        db.execute_in(
+            &h,
+            &format!(
+                "UPDATE district SET d_next_o_id = {} WHERE d_key = {dk}",
+                o_id + 1
+            ),
+        )?;
+        let o_key = dk * ORDER_STRIDE + o_id;
+        let mut line_rows: Vec<String> = Vec::with_capacity(order_lines.len());
+        for (n, &(item, qty)) in order_lines.iter().enumerate() {
+            let price = match opt_int_in(
+                db,
+                &h,
+                &format!("SELECT i_price FROM item WHERE i_id = {item}"),
+            )? {
+                Some(p) => p,
+                None => return Err(AimError::Execution(format!("item {item} missing"))),
+            };
+            let sk = scale.s_key(w, item);
+            db.execute_in(
+                &h,
+                &format!(
+                    "UPDATE stock SET s_quantity = s_quantity - {qty}, \
+                     s_ytd = s_ytd + {qty}, s_order_cnt = s_order_cnt + 1 \
+                     WHERE s_key = {sk}"
+                ),
+            )?;
+            line_rows.push(format!("({o_key}, {n}, {item}, {qty}, {})", qty * price));
+        }
+        db.execute_in(
+            &h,
+            &format!(
+                "INSERT INTO orders VALUES ({o_key}, {dk}, {o_id}, {ck}, {}, 0)",
+                order_lines.len()
+            ),
+        )?;
+        db.execute_in(
+            &h,
+            &format!("INSERT INTO order_line VALUES {}", line_rows.join(",")),
+        )?;
+        Ok(Attempt::Committed)
+    };
+    match body() {
+        Ok(Attempt::Committed) => match db.commit_txn(&h) {
+            Ok(_) => Ok(Attempt::Committed),
+            Err(e) => classify(&e),
+        },
+        Ok(other) => {
+            let _ = db.rollback_txn(&h);
+            Ok(other)
+        }
+        Err(e) => {
+            let _ = db.rollback_txn(&h);
+            classify(&e)
+        }
+    }
+}
+
+/// One Payment: the YTD conservation invariant is maintained by updating
+/// warehouse, district and customer in the same transaction.
+fn payment(db: &Database, w: i64, dk: i64, ck: i64, amount: i64) -> Result<Attempt, String> {
+    let h = match db.begin_txn() {
+        Ok(h) => h,
+        Err(e) => return classify(&e),
+    };
+    let body = || -> Result<(), AimError> {
+        db.execute_in(
+            &h,
+            &format!("UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {w}"),
+        )?;
+        db.execute_in(
+            &h,
+            &format!("UPDATE district SET d_ytd = d_ytd + {amount} WHERE d_key = {dk}"),
+        )?;
+        db.execute_in(
+            &h,
+            &format!(
+                "UPDATE customer SET c_balance = c_balance - {amount}, \
+                 c_ytd_payment = c_ytd_payment + {amount}, \
+                 c_payment_cnt = c_payment_cnt + 1 WHERE c_key = {ck}"
+            ),
+        )?;
+        Ok(())
+    };
+    match body() {
+        Ok(()) => match db.commit_txn(&h) {
+            Ok(_) => Ok(Attempt::Committed),
+            Err(e) => classify(&e),
+        },
+        Err(e) => {
+            let _ = db.rollback_txn(&h);
+            classify(&e)
+        }
+    }
+}
+
+/// One OrderStatus: read the district's latest order and its lines under
+/// a single snapshot.
+fn order_status(db: &Database, dk: i64) -> Result<Attempt, String> {
+    let h = match db.begin_txn() {
+        Ok(h) => h,
+        Err(e) => return classify(&e),
+    };
+    let body = || -> Result<(), AimError> {
+        let latest = opt_int_in(
+            db,
+            &h,
+            &format!("SELECT MAX(o_id) FROM orders WHERE o_d_key = {dk}"),
+        )?;
+        if let Some(o_id) = latest {
+            let o_key = dk * ORDER_STRIDE + o_id;
+            let r = db.execute_in(
+                &h,
+                &format!(
+                    "SELECT COUNT(*), SUM(ol_amount) FROM order_line WHERE ol_o_key = {o_key}"
+                ),
+            )?;
+            if r.rows().len() != 1 {
+                return Err(AimError::Execution("order_status: no aggregate row".into()));
+            }
+        }
+        Ok(())
+    };
+    match body() {
+        Ok(()) => match db.commit_txn(&h) {
+            Ok(_) => Ok(Attempt::Committed),
+            Err(e) => classify(&e),
+        },
+        Err(e) => {
+            let _ = db.rollback_txn(&h);
+            classify(&e)
+        }
+    }
+}
+
+/// One Delivery: deliver the district's oldest undelivered order and
+/// credit its customer with the order's total.
+fn delivery(db: &Database, dk: i64, carrier: i64) -> Result<Attempt, String> {
+    let h = match db.begin_txn() {
+        Ok(h) => h,
+        Err(e) => return classify(&e),
+    };
+    let body = || -> Result<(), AimError> {
+        let oldest = opt_int_in(
+            db,
+            &h,
+            &format!("SELECT MIN(o_id) FROM orders WHERE o_d_key = {dk} AND o_carrier = 0"),
+        )?;
+        let o_id = match oldest {
+            Some(n) => n,
+            None => return Ok(()), // nothing undelivered
+        };
+        let o_key = dk * ORDER_STRIDE + o_id;
+        let ck = match opt_int_in(
+            db,
+            &h,
+            &format!("SELECT o_c_key FROM orders WHERE o_key = {o_key}"),
+        )? {
+            Some(n) => n,
+            None => return Ok(()), // raced another delivery
+        };
+        db.execute_in(
+            &h,
+            &format!("UPDATE orders SET o_carrier = {carrier} WHERE o_key = {o_key}"),
+        )?;
+        let total = opt_int_in(
+            db,
+            &h,
+            &format!("SELECT SUM(ol_amount) FROM order_line WHERE ol_o_key = {o_key}"),
+        )?
+        .unwrap_or(0);
+        db.execute_in(
+            &h,
+            &format!(
+                "UPDATE customer SET c_balance = c_balance + {total}, \
+                 c_delivery_cnt = c_delivery_cnt + 1 WHERE c_key = {ck}"
+            ),
+        )?;
+        Ok(())
+    };
+    match body() {
+        Ok(()) => match db.commit_txn(&h) {
+            Ok(_) => Ok(Attempt::Committed),
+            Err(e) => classify(&e),
+        },
+        Err(e) => {
+            let _ = db.rollback_txn(&h);
+            classify(&e)
+        }
+    }
+}
+
+/// One StockLevel: count low-stock items in the warehouse (read-only,
+/// single-statement snapshot).
+fn stock_level(db: &Database, w: i64, threshold: i64) -> Result<Attempt, String> {
+    match db.execute(&format!(
+        "SELECT COUNT(*) FROM stock WHERE s_w = {w} AND s_quantity < {threshold}"
+    )) {
+        Ok(_) => Ok(Attempt::Committed),
+        Err(e) => classify(&e),
+    }
+}
+
+// ----------------------------------------------------------------- driver
+
+/// Knobs for one multi-threaded mix run.
+#[derive(Debug, Clone)]
+pub struct OltpConfig {
+    pub threads: usize,
+    pub txns_per_thread: usize,
+    /// Zipf skew over districts (0 = uniform).
+    pub zipf_theta: f64,
+    pub seed: u64,
+    pub max_retries: usize,
+}
+
+/// What one mix run did. Latency quantiles come from the harness-local
+/// log-linear histogram ([`TXN_LATENCY`]).
+#[derive(Debug, Clone)]
+pub struct OltpStats {
+    pub committed: u64,
+    /// Retriable write-conflict losses (each retried up to `max_retries`).
+    pub conflicts: u64,
+    /// Transactions abandoned after exhausting retries.
+    pub aborted: u64,
+    pub elapsed_secs: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    /// Whether the scripted storage crash fired during the run.
+    pub crashed: bool,
+}
+
+/// Run a seeded multi-threaded TPC-C-like mix against `db`. When `inj`
+/// is armed with a crash, writers detect the dead store and stop; the
+/// caller then recovers from the surviving disk and re-checks the
+/// invariants. Transaction latencies are observed into `registry`.
+pub fn run_mix(
+    db: &Database,
+    scale: &TpccScale,
+    cfg: &OltpConfig,
+    inj: Option<&FaultInjector>,
+    registry: &MetricsRegistry,
+) -> Result<OltpStats, String> {
+    let clock = WallClock::new();
+    let committed = Mutex::new(0u64);
+    let conflicts = Mutex::new(0u64);
+    let aborted = Mutex::new(0u64);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let dead = AtomicBool::new(false);
+    let t0 = clock.now_secs();
+
+    thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let clock = &clock;
+            let committed = &committed;
+            let conflicts = &conflicts;
+            let aborted = &aborted;
+            let errors = &errors;
+            let dead = &dead;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (0xA11CE + t as u64 * 0x9E3779B9));
+                let zipf = Zipf::new(scale.districts() as usize, cfg.zipf_theta);
+                for _ in 0..cfg.txns_per_thread {
+                    // ordering: Relaxed — the flag only short-circuits work
+                    // after a crash; no data is published through it
+                    if dead.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let dk = zipf.sample(&mut rng) as i64;
+                    let w = dk / scale.districts_per_wh;
+                    let ck = scale.c_key(dk, rng.gen_range(0..scale.customers_per_district));
+                    let kind = rng.gen_range(0u32..100);
+                    let start = clock.now_secs();
+                    let mut outcome: Option<Attempt> = None;
+                    for attempt in 0..=cfg.max_retries {
+                        let run = if kind < 45 {
+                            let n = rng.gen_range(3usize..9);
+                            let ols: Vec<(i64, i64)> = (0..n)
+                                .map(|_| (rng.gen_range(0..scale.items), rng.gen_range(1i64..10)))
+                                .collect();
+                            new_order(db, scale, w, dk, ck, &ols)
+                        } else if kind < 88 {
+                            payment(db, w, dk, ck, rng.gen_range(1i64..5000))
+                        } else if kind < 92 {
+                            order_status(db, dk)
+                        } else if kind < 96 {
+                            delivery(db, dk, rng.gen_range(1i64..10))
+                        } else {
+                            stock_level(db, w, rng.gen_range(10i64..80))
+                        };
+                        match run {
+                            Ok(Attempt::Committed) => {
+                                outcome = Some(Attempt::Committed);
+                                break;
+                            }
+                            Ok(Attempt::Conflict) => {
+                                *lock(conflicts) += 1;
+                                if attempt == cfg.max_retries {
+                                    outcome = Some(Attempt::Conflict);
+                                }
+                            }
+                            Ok(Attempt::Dead) => {
+                                let crashed = inj.map(|i| i.crashed()).unwrap_or(false);
+                                if crashed {
+                                    // ordering: Relaxed — see load above
+                                    dead.store(true, Ordering::Relaxed);
+                                    outcome = Some(Attempt::Dead);
+                                    break;
+                                }
+                                // transient I/O error: retry like a conflict
+                                *lock(conflicts) += 1;
+                                if attempt == cfg.max_retries {
+                                    outcome = Some(Attempt::Conflict);
+                                }
+                            }
+                            Err(e) => {
+                                lock(errors).push(format!("thread {t}: {e}"));
+                                return;
+                            }
+                        }
+                    }
+                    match outcome {
+                        Some(Attempt::Committed) => {
+                            registry.observe(TXN_LATENCY, (clock.now_secs() - start) * 1e3);
+                            *lock(committed) += 1;
+                        }
+                        Some(Attempt::Conflict) => *lock(aborted) += 1,
+                        _ => return,
+                    }
+                }
+            });
+        }
+    });
+
+    let errs = errors.into_inner().unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = errs.into_iter().next() {
+        return Err(e);
+    }
+    let crashed = inj.map(|i| i.crashed()).unwrap_or(false);
+    let committed = committed
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let conflicts = conflicts
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let aborted = aborted.into_inner().unwrap_or_else(PoisonError::into_inner);
+    Ok(OltpStats {
+        committed,
+        conflicts,
+        aborted,
+        elapsed_secs: clock.now_secs() - t0,
+        p50_ms: registry.quantile(TXN_LATENCY, 0.5),
+        p95_ms: registry.quantile(TXN_LATENCY, 0.95),
+        p99_ms: registry.quantile(TXN_LATENCY, 0.99),
+        crashed,
+    })
+}
+
+// ----------------------------------------------------------------- oracle
+
+fn int_rows(db: &Database, sql: &str) -> Result<Vec<Vec<i64>>, String> {
+    let r = db
+        .execute(sql)
+        .map_err(|e| format!("oracle ({e}): {sql}"))?;
+    r.rows()
+        .iter()
+        .map(|row| {
+            (0..row.len())
+                .map(|i| match row.get(i) {
+                    Value::Int(n) => Ok(*n),
+                    Value::Null => Ok(0),
+                    // some aggregate paths widen to float; exact integers
+                    // are still exact there (all money values are cents
+                    // well under 2^53)
+                    Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+                    other => Err(format!("oracle: non-int {other:?} from {sql}")),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn int_scalar(db: &Database, sql: &str) -> Result<i64, String> {
+    let rows = int_rows(db, sql)?;
+    match rows.first().and_then(|r| r.first()) {
+        Some(v) => Ok(*v),
+        None => Err(format!("oracle: empty result from {sql}")),
+    }
+}
+
+/// TPC-C-style consistency conditions. Every transaction in the mix
+/// maintains these atomically, so they hold on any committed snapshot —
+/// the correctness oracle after every crash→recover life.
+pub fn check_invariants(db: &Database, scale: &TpccScale) -> Result<(), String> {
+    // C1: per warehouse, w_ytd == Σ d_ytd of its districts.
+    let w_ytd = int_rows(db, "SELECT w_id, w_ytd FROM warehouse ORDER BY w_id")?;
+    let d_ytd = int_rows(
+        db,
+        "SELECT d_w, SUM(d_ytd) FROM district GROUP BY d_w ORDER BY d_w",
+    )?;
+    if w_ytd.len() != scale.warehouses as usize || d_ytd.len() != w_ytd.len() {
+        return Err(format!(
+            "C1: {} warehouses, {} district groups (expected {})",
+            w_ytd.len(),
+            d_ytd.len(),
+            scale.warehouses
+        ));
+    }
+    for (wr, dr) in w_ytd.iter().zip(&d_ytd) {
+        if wr != dr {
+            return Err(format!(
+                "C1: warehouse {} holds w_ytd {} but its districts sum to {} (district row {:?})",
+                wr[0], wr[1], dr[1], dr
+            ));
+        }
+    }
+
+    // C2: payments conserve money globally: Σ c_ytd_payment == Σ w_ytd.
+    let paid = int_scalar(db, "SELECT SUM(c_ytd_payment) FROM customer")?;
+    let earned = int_scalar(db, "SELECT SUM(w_ytd) FROM warehouse")?;
+    if paid != earned {
+        return Err(format!(
+            "C2: customers paid {paid}, warehouses hold {earned}"
+        ));
+    }
+
+    // C3: per district, d_next_o_id - 1 == COUNT(orders) == MAX(o_id),
+    // and the district's order lines match Σ o_ol_cnt.
+    let districts = int_rows(db, "SELECT d_key, d_next_o_id FROM district ORDER BY d_key")?;
+    for d in &districts {
+        let (dk, next) = (d[0], d[1]);
+        let lo = dk * ORDER_STRIDE;
+        let hi = (dk + 1) * ORDER_STRIDE;
+        let agg = int_rows(
+            db,
+            &format!("SELECT COUNT(*), MAX(o_id), SUM(o_ol_cnt) FROM orders WHERE o_d_key = {dk}"),
+        )?;
+        let (cnt, max_id, ol_sum) = match agg.first() {
+            Some(r) if r.len() == 3 => (r[0], r[1], r[2]),
+            _ => return Err(format!("C3: bad aggregate shape for district {dk}")),
+        };
+        if cnt != next - 1 || (cnt > 0 && max_id != next - 1) {
+            return Err(format!(
+                "C3: district {dk} has d_next_o_id {next} but {cnt} orders (max o_id {max_id})"
+            ));
+        }
+        let ol_cnt = int_scalar(
+            db,
+            &format!("SELECT COUNT(*) FROM order_line WHERE ol_o_key >= {lo} AND ol_o_key < {hi}"),
+        )?;
+        if ol_cnt != ol_sum {
+            return Err(format!(
+                "C3: district {dk} orders claim {ol_sum} lines but {ol_cnt} exist"
+            ));
+        }
+    }
+
+    // C4: stock movement matches ordered quantity: Σ s_ytd == Σ ol_qty,
+    // and Σ s_order_cnt == COUNT(order_line).
+    let s_ytd = int_scalar(db, "SELECT SUM(s_ytd) FROM stock")?;
+    let ol_qty = int_scalar(db, "SELECT SUM(ol_qty) FROM order_line")?;
+    if s_ytd != ol_qty {
+        return Err(format!(
+            "C4: stock s_ytd sums to {s_ytd}, order lines to {ol_qty}"
+        ));
+    }
+    let s_cnt = int_scalar(db, "SELECT SUM(s_order_cnt) FROM stock")?;
+    let ol_n = int_scalar(db, "SELECT COUNT(*) FROM order_line")?;
+    if s_cnt != ol_n {
+        return Err(format!(
+            "C4: stock order_cnt sums to {s_cnt}, {ol_n} order lines exist"
+        ));
+    }
+
+    // C5: deliveries are counted coherently. The load marks o_id % 3 != 0
+    // among the first `initial_orders_per_district` delivered without
+    // crediting anyone; every later delivery is a Delivery transaction
+    // that increments exactly one c_delivery_cnt. So COUNT(delivered) ==
+    // preloaded_constant + Σ c_delivery_cnt, exactly.
+    let delivered = int_scalar(db, "SELECT COUNT(*) FROM orders WHERE o_carrier > 0")?;
+    let credited = int_scalar(db, "SELECT SUM(c_delivery_cnt) FROM customer")?;
+    let n = scale.initial_orders_per_district;
+    let preloaded = scale.districts() * (n - n / 3);
+    if delivered != preloaded + credited {
+        return Err(format!(
+            "C5: {delivered} delivered orders but {preloaded} preloaded + {credited} credited"
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,363 @@
+//! TPC-H/SSB-like analytics workload: a seeded star schema and a
+//! 12-query family exercising multi-way joins, grouped aggregates and
+//! sort/limit through the parallel vectorized executor.
+//!
+//! The schema is a classic star with a second-level dimension (`nation`
+//! hangs off `cust`), so the widest query joins six tables:
+//!
+//! ```text
+//!   part ── lineorder ── supp
+//!              │ │
+//!         dates  cust ── nation
+//! ```
+//!
+//! Queries are run at several `exec_parallelism` settings; results must
+//! be bit-identical across worker counts (checked as sorted multisets),
+//! and per-query wall times feed the BENCH_macro.json trajectory.
+
+use aimdb_common::{Clock, Value, WallClock};
+use aimdb_engine::Database;
+use rand::{Rng, SeedableRng, StdRng};
+
+// ------------------------------------------------------------------ scale
+
+/// Row-count knobs for the star schema.
+#[derive(Debug, Clone)]
+pub struct TpchScale {
+    pub customers: i64,
+    pub parts: i64,
+    pub suppliers: i64,
+    pub years: i64,
+    pub lineorders: i64,
+}
+
+pub const NATIONS: i64 = 24;
+pub const REGIONS: i64 = 5;
+const SEGMENTS: &[&str] = &["AUTO", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const COLORS: &[&str] = &["red", "green", "blue", "ivory", "plum", "steel"];
+
+impl TpchScale {
+    /// Tiny database for CI smoke runs.
+    pub fn smoke() -> TpchScale {
+        TpchScale {
+            customers: 60,
+            parts: 40,
+            suppliers: 10,
+            years: 3,
+            lineorders: 1500,
+        }
+    }
+
+    /// The standing benchmark scale (~62k rows at sf=1); the fact table
+    /// grows linearly with `sf`.
+    pub fn standard(sf: i64) -> TpchScale {
+        let sf = sf.max(1);
+        TpchScale {
+            customers: 1000,
+            parts: 400,
+            suppliers: 50,
+            years: 7,
+            lineorders: 60_000 * sf,
+        }
+    }
+
+    pub fn dates(&self) -> i64 {
+        self.years * 12
+    }
+
+    pub fn approx_rows(&self) -> i64 {
+        self.customers + self.parts + self.suppliers + self.dates() + NATIONS + self.lineorders
+    }
+}
+
+// ------------------------------------------------------------------- load
+
+const DDL: &[&str] = &[
+    "CREATE TABLE nation (n_id INT, n_region INT, n_name TEXT)",
+    "CREATE TABLE dates (d_id INT, d_year INT, d_month INT)",
+    "CREATE INDEX dates_id_idx ON dates (d_id)",
+    "CREATE TABLE cust (c_id INT, c_nation INT, c_segment TEXT)",
+    "CREATE INDEX cust_id_idx ON cust (c_id)",
+    "CREATE TABLE part (p_id INT, p_brand INT, p_category INT, p_color TEXT)",
+    "CREATE INDEX part_id_idx ON part (p_id)",
+    "CREATE TABLE supp (s_id INT, s_nation INT)",
+    "CREATE INDEX supp_id_idx ON supp (s_id)",
+    "CREATE TABLE lineorder (lo_id INT, lo_cust INT, lo_part INT, lo_supp INT, \
+     lo_date INT, lo_qty INT, lo_price INT, lo_disc INT, lo_rev INT)",
+];
+
+const LOAD_BATCH: usize = 4000;
+
+fn bulk(db: &Database, table: &str, rows: Vec<Vec<Value>>) -> Result<(), String> {
+    for chunk in rows.chunks(LOAD_BATCH) {
+        db.insert_rows(table, chunk.to_vec())
+            .map_err(|e| format!("load {table}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Create the star schema, bulk-load seeded data and ANALYZE it so the
+/// optimizer has real statistics for join ordering.
+pub fn load(db: &Database, scale: &TpchScale, seed: u64) -> Result<(), String> {
+    for sql in DDL {
+        db.execute(sql).map_err(|e| format!("ddl ({e}): {sql}"))?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    bulk(
+        db,
+        "nation",
+        (0..NATIONS)
+            .map(|n| {
+                vec![
+                    Value::Int(n),
+                    Value::Int(n % REGIONS),
+                    Value::Text(format!("nation{n}")),
+                ]
+            })
+            .collect(),
+    )?;
+    bulk(
+        db,
+        "dates",
+        (0..scale.dates())
+            .map(|d| {
+                vec![
+                    Value::Int(d),
+                    Value::Int(2015 + d / 12),
+                    Value::Int(d % 12 + 1),
+                ]
+            })
+            .collect(),
+    )?;
+    bulk(
+        db,
+        "cust",
+        (0..scale.customers)
+            .map(|c| {
+                vec![
+                    Value::Int(c),
+                    Value::Int(rng.gen_range(0..NATIONS)),
+                    Value::Text(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string()),
+                ]
+            })
+            .collect(),
+    )?;
+    bulk(
+        db,
+        "part",
+        (0..scale.parts)
+            .map(|p| {
+                vec![
+                    Value::Int(p),
+                    Value::Int(rng.gen_range(0i64..40)),
+                    Value::Int(rng.gen_range(0i64..8)),
+                    Value::Text(COLORS[rng.gen_range(0..COLORS.len())].to_string()),
+                ]
+            })
+            .collect(),
+    )?;
+    bulk(
+        db,
+        "supp",
+        (0..scale.suppliers)
+            .map(|s| vec![Value::Int(s), Value::Int(rng.gen_range(0..NATIONS))])
+            .collect(),
+    )?;
+    let facts: Vec<Vec<Value>> = (0..scale.lineorders)
+        .map(|lo| {
+            let qty = rng.gen_range(1i64..50);
+            let price = rng.gen_range(100i64..20_000);
+            let disc = rng.gen_range(0i64..11);
+            vec![
+                Value::Int(lo),
+                Value::Int(rng.gen_range(0..scale.customers)),
+                Value::Int(rng.gen_range(0..scale.parts)),
+                Value::Int(rng.gen_range(0..scale.suppliers)),
+                Value::Int(rng.gen_range(0..scale.dates())),
+                Value::Int(qty),
+                Value::Int(price),
+                Value::Int(disc),
+                Value::Int(qty * price * (100 - disc) / 100),
+            ]
+        })
+        .collect();
+    bulk(db, "lineorder", facts)?;
+    db.execute("ANALYZE").map_err(|e| format!("analyze: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------- queries
+
+/// The 12-query family: scans, filtered and grouped aggregates, 2–6-way
+/// joins, and sort/limit top-N. Q10 is the six-table star query the
+/// `dp_join` regression pins to an edge-connected plan.
+pub fn queries() -> Vec<(&'static str, String)> {
+    vec![
+        (
+            "Q1_full_agg",
+            "SELECT COUNT(*), SUM(lo_rev), SUM(lo_qty) FROM lineorder".to_string(),
+        ),
+        (
+            "Q2_filtered_agg",
+            "SELECT SUM(lo_rev), AVG(lo_price) FROM lineorder \
+             WHERE lo_disc >= 2 AND lo_disc <= 5 AND lo_qty < 25"
+                .to_string(),
+        ),
+        (
+            "Q3_groupby",
+            "SELECT lo_disc, COUNT(*), SUM(lo_rev) FROM lineorder \
+             GROUP BY lo_disc ORDER BY lo_disc"
+                .to_string(),
+        ),
+        (
+            "Q4_join_dates",
+            "SELECT d.d_year, SUM(l.lo_rev) FROM lineorder l \
+             JOIN dates d ON l.lo_date = d.d_id \
+             GROUP BY d.d_year ORDER BY d.d_year"
+                .to_string(),
+        ),
+        (
+            "Q5_join_supp",
+            "SELECT s.s_nation, COUNT(*) FROM lineorder l \
+             JOIN supp s ON l.lo_supp = s.s_id \
+             WHERE l.lo_qty > 10 GROUP BY s.s_nation ORDER BY s.s_nation"
+                .to_string(),
+        ),
+        (
+            "Q6_join3_segment_year",
+            "SELECT c.c_segment, d.d_year, SUM(l.lo_rev) FROM lineorder l \
+             JOIN cust c ON l.lo_cust = c.c_id \
+             JOIN dates d ON l.lo_date = d.d_id \
+             GROUP BY c.c_segment, d.d_year ORDER BY c.c_segment, d.d_year"
+                .to_string(),
+        ),
+        (
+            "Q7_join3_part_supp",
+            "SELECT p.p_category, AVG(l.lo_price) FROM lineorder l \
+             JOIN part p ON l.lo_part = p.p_id \
+             JOIN supp s ON l.lo_supp = s.s_id \
+             WHERE s.s_nation < 12 GROUP BY p.p_category ORDER BY p.p_category"
+                .to_string(),
+        ),
+        (
+            "Q8_join4_year",
+            "SELECT d.d_year, COUNT(*), SUM(l.lo_rev) FROM lineorder l \
+             JOIN cust c ON l.lo_cust = c.c_id \
+             JOIN supp s ON l.lo_supp = s.s_id \
+             JOIN dates d ON l.lo_date = d.d_id \
+             WHERE c.c_segment = 'BUILDING' \
+             GROUP BY d.d_year ORDER BY d.d_year"
+                .to_string(),
+        ),
+        (
+            "Q9_join5_brand",
+            "SELECT p.p_brand, SUM(l.lo_rev) FROM lineorder l \
+             JOIN cust c ON l.lo_cust = c.c_id \
+             JOIN part p ON l.lo_part = p.p_id \
+             JOIN supp s ON l.lo_supp = s.s_id \
+             JOIN dates d ON l.lo_date = d.d_id \
+             WHERE d.d_year >= 2016 AND s.s_nation < 18 \
+             GROUP BY p.p_brand ORDER BY p.p_brand LIMIT 20"
+                .to_string(),
+        ),
+        (
+            "Q10_join6_star",
+            "SELECT n.n_region, d.d_year, SUM(l.lo_rev) FROM lineorder l \
+             JOIN cust c ON l.lo_cust = c.c_id \
+             JOIN nation n ON c.c_nation = n.n_id \
+             JOIN dates d ON l.lo_date = d.d_id \
+             JOIN supp s ON l.lo_supp = s.s_id \
+             JOIN part p ON l.lo_part = p.p_id \
+             WHERE p.p_category = 3 \
+             GROUP BY n.n_region, d.d_year ORDER BY n.n_region, d.d_year"
+                .to_string(),
+        ),
+        (
+            "Q11_topn",
+            "SELECT lo_cust, SUM(lo_rev) AS total FROM lineorder \
+             GROUP BY lo_cust ORDER BY total DESC, lo_cust LIMIT 10"
+                .to_string(),
+        ),
+        (
+            "Q12_expr_agg",
+            "SELECT SUM(lo_price * lo_qty - lo_rev), MIN(lo_price), MAX(lo_rev) \
+             FROM lineorder WHERE lo_part < 200"
+                .to_string(),
+        ),
+    ]
+}
+
+// ----------------------------------------------------------------- runner
+
+/// Wall times for one query at each worker count.
+#[derive(Debug, Clone)]
+pub struct QueryTiming {
+    pub name: &'static str,
+    pub rows: usize,
+    /// `(workers, best-of-reps seconds)` per configured worker count.
+    pub secs: Vec<(usize, f64)>,
+}
+
+/// A sorted multiset fingerprint of a result, for cross-worker-count
+/// equivalence (grouped queries without total ORDER BY may emit rows in
+/// any order).
+fn fingerprint(rows: &[aimdb_common::Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+/// Run the query family at each worker count, enforcing identical
+/// results across counts and recording best-of-`reps` wall seconds.
+pub fn run_analytics(
+    db: &Database,
+    workers: &[usize],
+    reps: usize,
+) -> Result<Vec<QueryTiming>, String> {
+    let clock = WallClock::new();
+    let mut out: Vec<QueryTiming> = Vec::new();
+    for (name, sql) in queries() {
+        let mut timing = QueryTiming {
+            name,
+            rows: 0,
+            secs: Vec::new(),
+        };
+        let mut reference: Option<Vec<String>> = None;
+        for &w in workers {
+            db.execute(&format!("SET exec_parallelism = {w}"))
+                .map_err(|e| format!("{name}: SET exec_parallelism: {e}"))?;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = clock.now_secs();
+                let r = db
+                    .execute(&sql)
+                    .map_err(|e| format!("{name} @ {w} workers: {e}"))?;
+                let dt = clock.now_secs() - t0;
+                if dt < best {
+                    best = dt;
+                }
+                let fp = fingerprint(r.rows());
+                timing.rows = fp.len();
+                match &reference {
+                    None => reference = Some(fp),
+                    Some(expect) => {
+                        if *expect != fp {
+                            return Err(format!(
+                                "{name}: result differs at {w} workers \
+                                 ({} vs {} reference rows)",
+                                fp.len(),
+                                expect.len()
+                            ));
+                        }
+                    }
+                }
+            }
+            timing.secs.push((w, best));
+        }
+        out.push(timing);
+    }
+    db.execute("SET exec_parallelism = 0")
+        .map_err(|e| format!("restore exec_parallelism: {e}"))?;
+    Ok(out)
+}

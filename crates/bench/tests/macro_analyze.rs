@@ -1,0 +1,99 @@
+//! EXPLAIN ANALYZE determinism over the macro analytics family.
+//!
+//! Runs every macro-benchmark analytics query through
+//! [`Database::explain_analyze`] at `exec_parallelism` 1 and 4 and pins
+//! three invariants the standing perf trajectory relies on:
+//!
+//! - per-node **actual row counts are identical** across worker counts
+//!   (morsel workers split the input but their per-node sums must agree
+//!   with the single-worker run),
+//! - per-node **wall times are present** (the instrumented pipeline
+//!   actually timed the nodes it pulled),
+//! - the **lock-order witness stays empty**: the parallel analytics run
+//!   acquires engine locks strictly within the ranked hierarchy.
+
+use aimdb_bench::tpch::{self, TpchScale};
+use aimdb_engine::Database;
+use aimdb_sql::ast::Statement;
+use aimdb_sql::parse;
+use parking_lot::witness;
+
+fn select_of(sql: &str) -> aimdb_sql::ast::Select {
+    let stmts = parse(sql).unwrap_or_else(|e| panic!("unparseable ({e}): {sql}"));
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("not a SELECT: {sql}");
+    };
+    sel
+}
+
+#[test]
+fn analytics_explain_analyze_is_worker_count_invariant() {
+    let db = Database::new();
+    tpch::load(&db, &TpchScale::smoke(), 0xA9).expect("load smoke analytics dataset");
+    // Start from a clean slate so a pre-existing violation from another
+    // test binary can't be attributed to this run (each test binary is
+    // its own process, but the drain also resets state across queries).
+    let _ = witness::take_violations();
+
+    for (name, sql) in tpch::queries() {
+        let sel = select_of(&sql);
+        db.execute("SET exec_parallelism = 1").expect("knob");
+        let serial = db
+            .explain_analyze(&sel)
+            .unwrap_or_else(|e| panic!("{name}: analyze at 1 worker: {e}"));
+        db.execute("SET exec_parallelism = 4").expect("knob");
+        let parallel = db
+            .explain_analyze(&sel)
+            .unwrap_or_else(|e| panic!("{name}: analyze at 4 workers: {e}"));
+
+        assert_eq!(
+            serial.result_rows, parallel.result_rows,
+            "{name}: result rows differ across worker counts"
+        );
+        assert_eq!(
+            serial.nodes.len(),
+            parallel.nodes.len(),
+            "{name}: plan shape differs across worker counts"
+        );
+        for (s, p) in serial.nodes.iter().zip(parallel.nodes.iter()) {
+            assert_eq!(
+                (s.node, s.name),
+                (p.node, p.name),
+                "{name}: node identity differs across worker counts"
+            );
+            assert_eq!(
+                s.rows, p.rows,
+                "{name}: node {} ({}) actual rows differ: {} at 1 worker vs {} at 4",
+                s.node, s.name, s.rows, p.rows
+            );
+        }
+        for report in [&serial, &parallel] {
+            let root = report
+                .root()
+                .unwrap_or_else(|| panic!("{name}: report has no nodes"));
+            assert!(
+                root.ns > 0,
+                "{name}: root node reports no wall time (times missing)"
+            );
+            // Every node the executor actually pulled rows through must
+            // carry a time; untouched nodes (e.g. pruned sides) may be 0.
+            for n in &report.nodes {
+                assert!(
+                    n.rows == 0 || n.ns > 0,
+                    "{name}: node {} ({}) produced {} rows but reports 0ns",
+                    n.node,
+                    n.name,
+                    n.rows
+                );
+            }
+        }
+    }
+
+    let violations = witness::take_violations();
+    assert!(
+        violations.is_empty(),
+        "lock-order witness recorded violations during parallel analytics \
+         (enabled={}): {violations:?}",
+        witness::enabled()
+    );
+}

@@ -318,6 +318,13 @@ impl Database {
                 }
                 LogRecord::Abort { txn } => {
                     begun.remove(txn);
+                    // An Abort after a Commit for the same txn is the
+                    // commit-durability failure path annulling the commit
+                    // (see commit_mvcc): the live engine rolled the txn
+                    // back and told the client it failed, so replaying it
+                    // as committed would diverge from the pre-crash state.
+                    // The later record wins.
+                    committed.remove(txn);
                 }
                 _ => {}
             }
@@ -1400,6 +1407,44 @@ impl Database {
         self.finish_dml(txn, auto, body())
     }
 
+    /// Batched ingest: insert many pre-built rows into `table` as one
+    /// auto-commit transaction, bypassing SQL parsing and expression
+    /// evaluation. Each row must list every column in schema order
+    /// (values are coerced by the schema exactly like `INSERT`). The
+    /// whole batch commits atomically through the MVCC path and is WAL
+    /// logged row-by-row, so crash recovery replays it all or nothing.
+    /// Built for the macro-benchmark loaders, where per-statement parse
+    /// and per-row commit dominate bulk-load time.
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let t = self.catalog.table(table)?;
+        let (txn, auto, _snap) = self.stmt_txn(None)?;
+        let body = || -> Result<usize> {
+            let mut n = 0;
+            for full in rows {
+                let rid = t.mvcc_insert(full, txn)?;
+                self.runtime.record_write(
+                    txn,
+                    WriteOp::Created {
+                        table: table.to_string(),
+                        rid,
+                    },
+                );
+                // Log the stored row (the schema may have coerced values),
+                // so redo reproduces exactly what was persisted.
+                let stored = t.heap.get(rid)?.ok_or_else(|| {
+                    AimError::Storage(format!("row {rid:?} vanished after insert"))
+                })?;
+                log_insert(&self.wal, txn, table, rid, stored)?;
+                n += 1;
+            }
+            Ok(n)
+        };
+        match self.finish_dml(txn, auto, body())? {
+            QueryResult::Affected(n) => Ok(n),
+            _ => Err(AimError::Execution("insert_rows: non-DML result".into())),
+        }
+    }
+
     /// Close out a DML statement. Auto-commit statements commit (or, on
     /// failure, roll back) their implicit transaction through the MVCC
     /// path, so a mid-statement storage fault cannot leave half a
@@ -1618,6 +1663,94 @@ mod tests {
         // user 9 gets orders 9,19,29,39,49 → 1.5*(9+19+29+39+49)=217.5
         assert_eq!(r.rows()[0].get(0), &Value::Text("user9".into()));
         assert_eq!(r.rows()[0].get(1), &Value::Float(217.5));
+    }
+
+    #[test]
+    fn insert_rows_batched_ingest() {
+        let db = Database::new();
+        db.execute("CREATE TABLE items (id INT, name TEXT, price FLOAT)")
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("item{i}")),
+                    Value::Float(i as f64 * 0.5),
+                ]
+            })
+            .collect();
+        assert_eq!(db.insert_rows("items", rows).unwrap(), 500);
+        let r = db.execute("SELECT COUNT(*), SUM(id) FROM items").unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Int(500));
+        assert_eq!(r.rows()[0].get(1), &Value::Int(500 * 499 / 2));
+        // schema coercion matches INSERT: an Int into a FLOAT column lands
+        // as Float
+        db.insert_rows(
+            "items",
+            vec![vec![
+                Value::Int(1000),
+                Value::Text("x".into()),
+                Value::Int(3),
+            ]],
+        )
+        .unwrap();
+        let r = db
+            .execute("SELECT price FROM items WHERE id = 1000")
+            .unwrap();
+        assert_eq!(r.rows()[0].get(0), &Value::Float(3.0));
+        // arity mismatch is a schema error, and the batch rolls back whole
+        let bad = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        assert!(db.insert_rows("items", bad).is_err());
+        let r = db.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(501));
+        // batch survives recovery through the WAL
+        let report = db.checkpoint_now();
+        assert!(report.is_ok());
+        let (db2, _) = Database::recover(Arc::clone(db.disk())).unwrap();
+        let r = db2.execute("SELECT COUNT(*) FROM items").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(501));
+    }
+
+    #[test]
+    fn annulled_commit_stays_aborted_after_recovery() {
+        use aimdb_storage::{Disk, FaultInjector, FaultPlan};
+
+        // A commit whose group flush fails transiently is rolled back and
+        // annulled with an Abort record — but the Commit record is already
+        // in the flush buffer and becomes durable on the next successful
+        // flush. Recovery must honor the later Abort, or the failed txn's
+        // effects resurrect after a crash and diverge from the pre-crash
+        // live state (found by the macro-bench crash harness).
+        let disk = Arc::new(Disk::new());
+        let inj = Arc::new(FaultInjector::new(Arc::clone(&disk), FaultPlan::default()));
+        let db = Database::with_store(inj.clone() as Arc<dyn PageStore>);
+        db.execute("CREATE TABLE t (id INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+
+        // Next mutating store op (the commit flush) fails once.
+        inj.arm(FaultPlan::default().with_io_error_at(vec![1]));
+        let h = db.begin_txn().unwrap();
+        db.execute_in(&h, "INSERT INTO t VALUES (2)").unwrap();
+        assert!(db.commit_txn(&h).is_err(), "commit flush failure surfaces");
+
+        // Live state: the failed txn rolled back.
+        let r = db.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(1));
+
+        // A later commit flushes the retained buffer — including the
+        // annulled txn's Commit AND its Abort.
+        db.execute("INSERT INTO t VALUES (3)").unwrap();
+        drop(db);
+
+        let (db2, _) = Database::recover(Arc::clone(&disk) as Arc<dyn PageStore>).unwrap();
+        let r = db2.execute("SELECT COUNT(*) FROM t ").unwrap();
+        assert_eq!(
+            r.scalar().unwrap(),
+            &Value::Int(2),
+            "annulled commit must not resurrect at recovery"
+        );
+        let r = db2.execute("SELECT COUNT(*) FROM t WHERE id = 2").unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(0));
     }
 
     #[test]

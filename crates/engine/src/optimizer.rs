@@ -93,18 +93,40 @@ impl CardEstimator for HistogramEstimator {
         preds: &[SimplePred],
         stats: Option<&TableStats>,
     ) -> f64 {
+        // Same-column range conjuncts (`k >= lo AND k <= hi` arrives as
+        // two half-open ranges) are maximally dependent: multiplying
+        // them under independence turns a narrow interval into the
+        // product of two wide tails. Intersect them into one interval
+        // per column first, then apply independence across columns.
+        let mut ranges: HashMap<&str, (Option<f64>, Option<f64>)> = HashMap::new();
         let mut sel = 1.0;
         for p in preds {
-            let s = match (p, stats) {
-                (SimplePred::Eq { column, .. }, Some(st)) => st.eq_selectivity(column),
-                (SimplePred::Range { column, lo, hi }, Some(st)) => {
-                    st.range_selectivity(column, *lo, *hi)
+            match p {
+                SimplePred::Range { column, lo, hi } => {
+                    let entry = ranges.entry(column.as_str()).or_insert((None, None));
+                    entry.0 = match (entry.0, *lo) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                    entry.1 = match (entry.1, *hi) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
                 }
-                (SimplePred::Eq { .. }, None) => 0.05,
-                (SimplePred::Range { .. }, None) => 0.33,
-                (SimplePred::Other, _) => 0.33,
+                SimplePred::Eq { column, .. } => {
+                    sel *= match stats {
+                        Some(st) => st.eq_selectivity(column),
+                        None => 0.05,
+                    };
+                }
+                SimplePred::Other => sel *= 0.33,
+            }
+        }
+        for (column, (lo, hi)) in ranges {
+            sel *= match stats {
+                Some(st) => st.range_selectivity(column, lo, hi),
+                None => 0.33,
             };
-            sel *= s; // independence assumption
         }
         sel.clamp(1e-9, 1.0)
     }
@@ -670,7 +692,13 @@ impl<'a> Planner<'a> {
             .collect()
     }
 
-    /// Exact DP over connected subsets (textbook DPsize).
+    /// Exact DP over connected subsets (textbook DPsize). Cartesian
+    /// products are never considered while an edge-connected merge can
+    /// cover the subset — a tiny dimension✕dimension cross product can
+    /// look cheap in isolation but forces the fact table through an
+    /// unfiltered product later. Only when the first pass cannot reach
+    /// the full mask (the join graph is genuinely disconnected) does a
+    /// second pass stitch the remaining components with cross joins.
     fn dp_join(
         &self,
         aliases: &[AliasInfo],
@@ -683,6 +711,33 @@ impl<'a> Planner<'a> {
         for (i, s) in scans.into_iter().enumerate() {
             best.insert(1 << i, s);
         }
+        // remember which singletons exist — needed for the diagnostic if
+        // the DP table never reaches the full mask
+        let have_scan: u64 = best.keys().fold(0, |acc, m| acc | m);
+        // Pass 1: edge-connected merges only.
+        self.dp_pass(&mut best, full, aliases, edges, false)?;
+        if !best.contains_key(&full) {
+            // Pass 2: disconnected graph — allow cross joins to stitch
+            // the already-optimal connected components together.
+            self.dp_pass(&mut best, full, aliases, edges, true)?;
+        }
+        match best.remove(&full) {
+            Some(plan) => Ok(plan),
+            None => Err(Self::dp_disconnected_error(aliases, edges, have_scan)),
+        }
+    }
+
+    /// One DPsize sweep over all subset masks. With `allow_cross` false,
+    /// only splits linked by at least one equi edge are merged; masks
+    /// already solved by an earlier pass are kept as-is.
+    fn dp_pass(
+        &self,
+        best: &mut HashMap<u64, PhysicalPlan>,
+        full: u64,
+        aliases: &[AliasInfo],
+        edges: &[JoinEdge],
+        allow_cross: bool,
+    ) -> Result<()> {
         for mask in 1..=full {
             if mask.count_ones() < 2 || best.contains_key(&mask) {
                 continue;
@@ -694,8 +749,7 @@ impl<'a> Planner<'a> {
                 let other = mask ^ sub;
                 if let (Some(l), Some(r)) = (best.get(&sub), best.get(&other)) {
                     let crossing = Self::crossing_edges(edges, sub, other);
-                    // prefer joins with at least one edge unless forced
-                    if !crossing.is_empty() || mask == full || candidate.is_none() {
+                    if !crossing.is_empty() || allow_cross {
                         let plan = self.make_join(l.clone(), r.clone(), &crossing, aliases)?;
                         if candidate
                             .as_ref()
@@ -711,8 +765,59 @@ impl<'a> Planner<'a> {
                 best.insert(mask, c);
             }
         }
-        best.remove(&full)
-            .ok_or_else(|| AimError::Plan("join DP failed to cover all tables".into()))
+        Ok(())
+    }
+
+    /// Diagnose a DP failure to cover the full mask: name the aliases in
+    /// each connected component of the join graph and flag any alias with
+    /// no base access path, instead of the old bare "failed to cover all
+    /// tables". Unreachable from `plan_select` under normal operation
+    /// (every alias gets a scan and the cross-join fallback connects any
+    /// pair of covered masks), but kept informative for direct callers
+    /// and future candidate-pruning rules.
+    fn dp_disconnected_error(
+        aliases: &[AliasInfo],
+        edges: &[JoinEdge],
+        have_scan: u64,
+    ) -> AimError {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let n = aliases.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        for e in edges {
+            if e.left_alias < n && e.right_alias < n {
+                let (a, b) = (
+                    find(&mut parent, e.left_alias),
+                    find(&mut parent, e.right_alias),
+                );
+                parent[a] = b;
+            }
+        }
+        let mut groups: HashMap<usize, Vec<String>> = HashMap::new();
+        for (i, a) in aliases.iter().enumerate() {
+            let root = find(&mut parent, i);
+            let label = if have_scan & (1 << i) == 0 {
+                format!("{} (no access path)", a.alias)
+            } else {
+                a.alias.clone()
+            };
+            groups.entry(root).or_default().push(label);
+        }
+        let mut parts: Vec<String> = groups
+            .into_values()
+            .map(|g| format!("[{}]", g.join(", ")))
+            .collect();
+        parts.sort();
+        AimError::Plan(format!(
+            "join DP failed to cover all tables: join graph has {} disconnected component(s): {}",
+            parts.len(),
+            parts.join(" ")
+        ))
     }
 
     /// Greedy join ordering for wide queries (> 10 tables).
@@ -1200,5 +1305,93 @@ fn substitute_agg(
         other => Err(AimError::Plan(format!(
             "expression {other:?} must appear in GROUP BY or be an aggregate"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aimdb_common::{Column, DataType};
+
+    fn alias(name: &str) -> AliasInfo {
+        AliasInfo {
+            alias: name.to_string(),
+            table: name.to_string(),
+            schema: Schema::new(vec![Column::new(format!("{name}.k"), DataType::Int)]),
+            base_rows: 100.0,
+        }
+    }
+
+    fn scan_of(a: &AliasInfo) -> PhysicalPlan {
+        PhysicalPlan {
+            op: PhysOp::Values { rows: vec![] },
+            schema: a.schema.clone(),
+            est_rows: a.base_rows,
+            est_cost: 1.0,
+        }
+    }
+
+    fn edge(l: usize, r: usize) -> JoinEdge {
+        JoinEdge {
+            left_alias: l,
+            left_col: "k".into(),
+            right_alias: r,
+            right_col: "k".into(),
+        }
+    }
+
+    #[test]
+    fn dp_join_error_names_disconnected_aliases() {
+        let catalog = Catalog::new();
+        let stats = HashMap::new();
+        let planner = Planner::new(&catalog, &stats, &HistogramEstimator);
+        let aliases = vec![alias("a"), alias("b"), alias("c")];
+        // alias `c` has no base access path: full mask can never be covered
+        let scans = vec![scan_of(&aliases[0]), scan_of(&aliases[1])];
+        let err = planner
+            .dp_join(&aliases, scans, &[edge(0, 1)])
+            .expect_err("full mask is uncoverable");
+        let msg = format!("{err}");
+        assert!(msg.contains("disconnected"), "got: {msg}");
+        assert!(msg.contains("[a, b]"), "connected pair named: {msg}");
+        assert!(
+            msg.contains("c (no access path)"),
+            "missing scan flagged: {msg}"
+        );
+    }
+
+    #[test]
+    fn dp_join_error_groups_join_graph_components() {
+        let catalog = Catalog::new();
+        let stats = HashMap::new();
+        let planner = Planner::new(&catalog, &stats, &HistogramEstimator);
+        let aliases = vec![alias("a"), alias("b"), alias("c"), alias("d")];
+        // two 2-alias components, and only component {a,b} has scans
+        let scans = vec![scan_of(&aliases[0]), scan_of(&aliases[1])];
+        let err = planner
+            .dp_join(&aliases, scans, &[edge(0, 1), edge(2, 3)])
+            .expect_err("full mask is uncoverable");
+        let msg = format!("{err}");
+        assert!(msg.contains("2 disconnected component(s)"), "got: {msg}");
+        assert!(
+            msg.contains("[c (no access path), d (no access path)]"),
+            "scanless component named: {msg}"
+        );
+    }
+
+    #[test]
+    fn dp_join_covers_disconnected_graph_when_scans_exist() {
+        // With every singleton present, the cross-join fallback still
+        // covers a disconnected join graph — the error fires only when a
+        // base access path is missing.
+        let catalog = Catalog::new();
+        let stats = HashMap::new();
+        let planner = Planner::new(&catalog, &stats, &HistogramEstimator);
+        let aliases = vec![alias("a"), alias("b"), alias("c")];
+        let scans = aliases.iter().map(scan_of).collect();
+        let plan = planner
+            .dp_join(&aliases, scans, &[edge(0, 1)])
+            .expect("cross-join fallback covers alias c");
+        assert_eq!(plan.schema.len(), 3);
     }
 }

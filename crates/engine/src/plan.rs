@@ -278,12 +278,27 @@ pub fn resolve_column(schema: &Schema, qualifier: Option<&str>, name: &str) -> R
     match qualifier {
         Some(q) => {
             let want = format!("{q}.{name}");
-            schema
+            if let Some(c) = schema
                 .columns()
                 .iter()
                 .find(|c| c.name.eq_ignore_ascii_case(&want))
-                .map(|c| c.name.clone())
-                .ok_or_else(|| AimError::NotFound(format!("column {want}")))
+            {
+                return Ok(c.name.clone());
+            }
+            // Projection outputs carry bare display names (`d.d_year`
+            // projects as `d_year`), so a qualified reference in ORDER BY
+            // over an aggregate/projection scope falls back to the bare
+            // name when that is unambiguous.
+            let bare: Vec<&Column> = schema
+                .columns()
+                .iter()
+                .filter(|c| c.name.eq_ignore_ascii_case(name))
+                .collect();
+            match bare.len() {
+                1 => Ok(bare[0].name.clone()),
+                0 => Err(AimError::NotFound(format!("column {want}"))),
+                _ => Err(AimError::Plan(format!("ambiguous column {want}"))),
+            }
         }
         None => {
             if let Some(c) = schema

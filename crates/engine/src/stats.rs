@@ -151,8 +151,22 @@ impl TableStats {
 
     /// Selectivity of a numeric range predicate on `col`.
     pub fn range_selectivity(&self, col: &str, lo: Option<f64>, hi: Option<f64>) -> f64 {
-        match self.column(col).and_then(|c| c.histogram.as_ref()) {
-            Some(h) => h.range_fraction(lo, hi).clamp(1e-9, 1.0),
+        let Some(c) = self.column(col) else {
+            return 0.33;
+        };
+        match c.histogram.as_ref() {
+            Some(h) => {
+                let mut f = h.range_fraction(lo, hi);
+                // The continuous CDF difference excludes the lower
+                // boundary's own mass, so on discrete data an inclusive
+                // `x >= lo` under-counts by one value — and a narrow or
+                // max-boundary interval collapses to zero. Add one
+                // value's worth of mass back.
+                if lo.is_some() && c.n_distinct > 0 {
+                    f += (1.0 - c.null_fraction) / c.n_distinct as f64;
+                }
+                f.clamp(1e-9, 1.0)
+            }
             None => 0.33,
         }
     }

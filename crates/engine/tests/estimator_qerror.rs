@@ -1,0 +1,146 @@
+//! Property tests bounding the cardinality estimator's Q-error on
+//! ANALYZE'd uniform data — the regime where histogram estimates are
+//! supposed to be good. The macro-benchmark analytics queries lean on
+//! these estimates for join ordering, so a silent estimator regression
+//! shows up here before it shows up as a bad plan.
+//!
+//! Documented bounds (empirical worst cases on this seeded dataset are
+//! well inside them; the asserted factors leave headroom for histogram
+//! bucket-boundary effects, not for regressions):
+//!
+//! - single-table equality and range filters: Q-error ≤ 4
+//! - two-way equi-joins (with and without a dimension filter): Q-error ≤ 8
+//!
+//! Q-error = max(est/actual, actual/est), both sides clamped to ≥ 1
+//! ([`aimdb_engine::q_error`]), so a bound of 4 means "within 4× in
+//! either direction".
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng, StdRng};
+
+use aimdb_engine::{q_error, Database};
+use aimdb_sql::ast::Statement;
+use aimdb_sql::parse;
+
+const FILTER_QERR_BOUND: f64 = 4.0;
+const JOIN_QERR_BOUND: f64 = 8.0;
+
+/// Shared seeded dataset: a 3000-row fact table with a uniform low-NDV
+/// key and a uniform value column, plus a 150-row dimension keyed 0..150.
+fn db() -> &'static Database {
+    static DB: OnceLock<Database> = OnceLock::new();
+    DB.get_or_init(|| {
+        let db = Database::new();
+        db.execute("CREATE TABLE f (k INT, v INT)").unwrap();
+        db.execute("CREATE TABLE dim (pk INT, w INT)").unwrap();
+        db.execute("CREATE TABLE fact (fk INT, x INT)").unwrap();
+        let mut rng = StdRng::seed_from_u64(0xE57);
+        let rows: Vec<String> = (0..3000)
+            .map(|_| {
+                format!(
+                    "({}, {})",
+                    rng.gen_range(0i64..100),
+                    rng.gen_range(0i64..1000)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO f VALUES {}", rows.join(",")))
+            .unwrap();
+        let rows: Vec<String> = (0..150)
+            .map(|pk| format!("({pk}, {})", rng.gen_range(0i64..40)))
+            .collect();
+        db.execute(&format!("INSERT INTO dim VALUES {}", rows.join(",")))
+            .unwrap();
+        let rows: Vec<String> = (0..3000)
+            .map(|_| {
+                format!(
+                    "({}, {})",
+                    rng.gen_range(0i64..150),
+                    rng.gen_range(0i64..1000)
+                )
+            })
+            .collect();
+        db.execute(&format!("INSERT INTO fact VALUES {}", rows.join(",")))
+            .unwrap();
+        db.execute("ANALYZE").unwrap();
+        db
+    })
+}
+
+/// The planner's row estimate for a SELECT (top-of-plan `est_rows`).
+fn est_rows(sql: &str) -> f64 {
+    let stmts = parse(sql).unwrap();
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("not a SELECT: {sql}");
+    };
+    db().plan(&sel).unwrap().est_rows
+}
+
+/// The true row count of the same FROM/WHERE body.
+fn actual_rows(body: &str) -> f64 {
+    let r = db().execute(&format!("SELECT COUNT(*) {body}")).unwrap();
+    let aimdb_common::Value::Int(n) = r.scalar().unwrap() else {
+        panic!("COUNT did not return an Int");
+    };
+    *n as f64
+}
+
+/// Assert the estimate for `SELECT * {body}` is within `bound` of truth.
+fn check(body: &str, bound: f64) -> std::result::Result<(), String> {
+    let est = est_rows(&format!("SELECT * {body}"));
+    let actual = actual_rows(body);
+    let q = q_error(est, actual);
+    prop_assert!(
+        q <= bound,
+        "Q-error {q:.2} over bound {bound} (est {est:.1}, actual {actual}) for: {body}"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Equality and range filters over the uniform key column.
+    #[test]
+    fn single_table_filter_qerror_is_bounded(
+        eq in 0i64..100,
+        lo in 0i64..100,
+        width in 1i64..60,
+    ) {
+        check(&format!("FROM f WHERE k = {eq}"), FILTER_QERR_BOUND)?;
+        let hi = (lo + width).min(100);
+        check(
+            &format!("FROM f WHERE k >= {lo} AND k <= {hi}"),
+            FILTER_QERR_BOUND,
+        )?;
+    }
+
+    // Conjunctive filters across two columns: independence holds on
+    // this dataset, so the product estimate must stay bounded too.
+    #[test]
+    fn conjunctive_filter_qerror_is_bounded(
+        eq in 0i64..100,
+        vcut in 100i64..900,
+    ) {
+        check(
+            &format!("FROM f WHERE k = {eq} AND v < {vcut}"),
+            FILTER_QERR_BOUND,
+        )?;
+    }
+
+    // Two-way PK/FK equi-join, bare and with a pushed-down dimension
+    // filter.
+    #[test]
+    fn equi_join_qerror_is_bounded(wcut in 1i64..40) {
+        check(
+            "FROM fact JOIN dim ON fact.fk = dim.pk",
+            JOIN_QERR_BOUND,
+        )?;
+        check(
+            &format!("FROM fact JOIN dim ON fact.fk = dim.pk WHERE dim.w < {wcut}"),
+            JOIN_QERR_BOUND,
+        )?;
+    }
+}

@@ -1,0 +1,192 @@
+//! Join-ordering regression suite on the macro-benchmark star schema.
+//!
+//! Pins three planner behaviors the macro analytics family depends on:
+//! the six-table star query gets an edge-connected plan (no cross
+//! joins), the DP orderer's cutoff at 10 tables hands wider queries to
+//! the greedy orderer without loss of connectivity, and a genuinely
+//! disconnected query still plans (cross-join fallback) rather than
+//! erroring.
+
+use aimdb_engine::plan::{PhysOp, PhysicalPlan};
+use aimdb_engine::Database;
+use aimdb_sql::ast::Statement;
+use aimdb_sql::parse;
+
+/// Build the analytics star schema (same shape as `aimdb_bench::tpch`)
+/// with enough seeded rows for ANALYZE to produce real statistics.
+fn star_db() -> Database {
+    let db = Database::new();
+    for sql in [
+        "CREATE TABLE nation (n_id INT, n_region INT, n_name TEXT)",
+        "CREATE TABLE dates (d_id INT, d_year INT, d_month INT)",
+        "CREATE TABLE cust (c_id INT, c_nation INT, c_segment TEXT)",
+        "CREATE TABLE part (p_id INT, p_brand INT, p_category INT)",
+        "CREATE TABLE supp (s_id INT, s_nation INT)",
+        "CREATE TABLE lineorder (lo_id INT, lo_cust INT, lo_part INT, \
+         lo_supp INT, lo_date INT, lo_rev INT)",
+    ] {
+        db.execute(sql).unwrap();
+    }
+    for n in 0..24 {
+        db.execute(&format!(
+            "INSERT INTO nation VALUES ({n}, {}, 'n{n}')",
+            n % 5
+        ))
+        .unwrap();
+    }
+    for d in 0..36 {
+        db.execute(&format!(
+            "INSERT INTO dates VALUES ({d}, {}, {})",
+            2015 + d / 12,
+            d % 12 + 1
+        ))
+        .unwrap();
+    }
+    for c in 0..40 {
+        db.execute(&format!(
+            "INSERT INTO cust VALUES ({c}, {}, 's{}')",
+            c % 24,
+            c % 5
+        ))
+        .unwrap();
+    }
+    for p in 0..30 {
+        db.execute(&format!(
+            "INSERT INTO part VALUES ({p}, {}, {})",
+            p % 8,
+            p % 4
+        ))
+        .unwrap();
+    }
+    for s in 0..10 {
+        db.execute(&format!("INSERT INTO supp VALUES ({s}, {})", s % 24))
+            .unwrap();
+    }
+    let facts: Vec<String> = (0..400)
+        .map(|lo| {
+            format!(
+                "({lo}, {}, {}, {}, {}, {})",
+                lo % 40,
+                lo % 30,
+                lo % 10,
+                lo % 36,
+                lo * 7 % 1000
+            )
+        })
+        .collect();
+    db.execute(&format!("INSERT INTO lineorder VALUES {}", facts.join(",")))
+        .unwrap();
+    db.execute("ANALYZE").unwrap();
+    db
+}
+
+fn plan_of(db: &Database, sql: &str) -> PhysicalPlan {
+    let stmts = parse(sql).unwrap();
+    let Some(Statement::Select(sel)) = stmts.into_iter().next() else {
+        panic!("not a SELECT: {sql}");
+    };
+    db.plan(&sel).unwrap()
+}
+
+/// Count cross joins (`NestedLoopJoin` with no predicate) in a plan.
+fn cross_joins(plan: &PhysicalPlan) -> usize {
+    let here = matches!(&plan.op, PhysOp::NestedLoopJoin { on: None, .. }) as usize;
+    here + plan
+        .children()
+        .iter()
+        .map(|c| cross_joins(c))
+        .sum::<usize>()
+}
+
+/// Count join operators of any kind.
+fn joins(plan: &PhysicalPlan) -> usize {
+    let here = matches!(
+        &plan.op,
+        PhysOp::NestedLoopJoin { .. } | PhysOp::HashJoin { .. }
+    ) as usize;
+    here + plan.children().iter().map(|c| joins(c)).sum::<usize>()
+}
+
+/// The macro family's widest query (Q10 shape): six tables, every join
+/// predicated. The DP orderer must produce an edge-connected plan —
+/// five joins, zero cross joins.
+#[test]
+fn six_table_star_plans_edge_connected() {
+    let db = star_db();
+    let plan = plan_of(
+        &db,
+        "SELECT n.n_region, d.d_year, SUM(l.lo_rev) FROM lineorder l \
+         JOIN cust c ON l.lo_cust = c.c_id \
+         JOIN nation n ON c.c_nation = n.n_id \
+         JOIN dates d ON l.lo_date = d.d_id \
+         JOIN supp s ON l.lo_supp = s.s_id \
+         JOIN part p ON l.lo_part = p.p_id \
+         WHERE p.p_category = 3 \
+         GROUP BY n.n_region, d.d_year ORDER BY n.n_region, d.d_year",
+    );
+    assert_eq!(joins(&plan), 5, "six tables join with five operators");
+    assert_eq!(
+        cross_joins(&plan),
+        0,
+        "star query with full join edges must not plan a cross join:\n{plan:?}"
+    );
+}
+
+/// A chain query at and beyond the DP cutoff. `plan_select` hands ≤10
+/// aliases to exhaustive DP and wider queries to the greedy orderer;
+/// both sides of the boundary must stay edge-connected.
+#[test]
+fn chain_queries_stay_connected_across_dp_cutoff() {
+    let db = Database::new();
+    for i in 0..12 {
+        db.execute(&format!("CREATE TABLE t{i} (a INT, b INT)"))
+            .unwrap();
+        for r in 0..20 {
+            db.execute(&format!("INSERT INTO t{i} VALUES ({r}, {})", r + 1))
+                .unwrap();
+        }
+    }
+    db.execute("ANALYZE").unwrap();
+    // n tables chained t0.b = t1.a, t1.b = t2.a, ...
+    let chain_sql = |n: usize| {
+        let mut sql = String::from("SELECT COUNT(*) FROM t0");
+        for i in 1..n {
+            sql.push_str(&format!(" JOIN t{i} ON t{}.b = t{i}.a", i - 1));
+        }
+        sql
+    };
+    // 10 tables: the last width the exhaustive DP orderer handles.
+    let plan = plan_of(&db, &chain_sql(10));
+    assert_eq!(joins(&plan), 9);
+    assert_eq!(cross_joins(&plan), 0, "10-table chain (DP) is connected");
+    // 12 tables: over the cutoff, greedy ordering — still connected.
+    let plan = plan_of(&db, &chain_sql(12));
+    assert_eq!(joins(&plan), 11);
+    assert_eq!(
+        cross_joins(&plan),
+        0,
+        "12-table chain (greedy) is connected"
+    );
+    // The chain executes, and its count pins correctness of either
+    // orderer: each link matches exactly 19 rows end to end.
+    let r = db.execute(&chain_sql(12)).unwrap();
+    assert_eq!(
+        r.scalar().unwrap(),
+        &aimdb_common::Value::Int(20 - 11),
+        "12-way chain join row count"
+    );
+}
+
+/// A query whose join graph is disconnected (no predicate between the
+/// two tables) must still plan — as an explicit cross join — rather
+/// than surface the planner's disconnected-graph error, which is
+/// reserved for missing base access paths.
+#[test]
+fn disconnected_query_plans_as_cross_join() {
+    let db = star_db();
+    let plan = plan_of(&db, "SELECT COUNT(*) FROM supp s, nation n");
+    assert_eq!(joins(&plan), 1);
+    assert_eq!(cross_joins(&plan), 1, "cartesian product is explicit");
+    let r = db.execute("SELECT COUNT(*) FROM supp s, nation n").unwrap();
+    assert_eq!(r.scalar().unwrap(), &aimdb_common::Value::Int(240));
+}

@@ -121,6 +121,22 @@ impl FaultInjector {
         self.state.lock().ops
     }
 
+    /// Re-script the injector with a new plan whose operation numbers are
+    /// relative to *now*: `crash_after_ops = Some(n)` crashes on the nth
+    /// mutating operation counted from this call, not from construction.
+    /// Lets a harness run a fault-free phase (bulk load, recovery through
+    /// the injector) and only then arm the crash for the measured phase.
+    /// Arming does not resurrect a store that has already crashed.
+    pub fn arm(&self, plan: FaultPlan) {
+        let mut st = self.state.lock();
+        let base = st.ops;
+        st.plan = FaultPlan {
+            crash_after_ops: plan.crash_after_ops.map(|n| base + n),
+            torn_tail: plan.torn_tail,
+            io_error_at: plan.io_error_at.iter().map(|n| base + n).collect(),
+        };
+    }
+
     /// Count a mutating operation and decide its fate.
     fn mutating_op(&self) -> (Verdict, TornMode) {
         let mut st = self.state.lock();
@@ -278,6 +294,29 @@ mod tests {
         );
         assert!(inj.wal_append(&[1, 2, 3]).is_err());
         assert_eq!(inj.underlying().wal_bytes().unwrap(), vec![1, 2, 3 ^ 0xFF]);
+    }
+
+    #[test]
+    fn arm_rebases_operation_numbers_to_now() {
+        let inj = FaultInjector::new(Arc::new(Disk::new()), FaultPlan::default());
+        let id = inj.allocate().unwrap(); // op 1
+        inj.write(id, &Page::new()).unwrap(); // op 2
+        inj.write(id, &Page::new()).unwrap(); // op 3
+                                              // crash on the 2nd op counted from NOW, i.e. absolute op 5
+        inj.arm(FaultPlan::crash_after(2));
+        inj.write(id, &Page::new()).unwrap(); // op 4
+        assert!(inj.write(id, &Page::new()).is_err()); // op 5: crash
+        assert!(inj.crashed());
+        assert_eq!(inj.ops(), 5);
+    }
+
+    #[test]
+    fn arm_does_not_resurrect_a_crashed_store() {
+        let inj = FaultInjector::new(Arc::new(Disk::new()), FaultPlan::crash_after(1));
+        assert!(inj.allocate().is_err());
+        assert!(inj.crashed());
+        inj.arm(FaultPlan::default());
+        assert!(inj.allocate().is_err(), "still dead after re-arming");
     }
 
     #[test]

@@ -58,6 +58,11 @@ run cargo run -q --release -p aimdb-bench --bin txn_oracle -- --smoke
 # workers binds only on hosts with >=4 cores (SKIPPED otherwise), but
 # the serial-equivalence check always runs
 run cargo run -q --release -p aimdb-bench --bin exec_bench -- --parallel --smoke
+# TPC-style macro benchmark smoke: seeded OLTP mix with a mid-run
+# crash→recover life and TPC-C consistency invariants at 1/2/4/8
+# writers, then the 12-query analytics family at 1/2/4/8 workers with
+# cross-worker fingerprints required identical; writes BENCH_macro.json
+run cargo run -q --release -p aimdb-bench --bin macro_bench -- --smoke
 # observability demo: EXPLAIN ANALYZE tree, metrics page (asserts the
 # exposition format parses via validate_exposition), trace ring,
 # slow-query log — fails on any assertion
