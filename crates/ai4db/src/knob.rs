@@ -226,6 +226,18 @@ impl TuningEnv for DbEnv<'_> {
         // optional tail-latency objective from the cost histogram
         if self.tail_cost_weight > 0.0 {
             cost += self.tail_cost_weight * self.db.kpis().p99_cost_per_query;
+            // ... and from the statement fingerprint store: the global
+            // histogram averages statement shapes together, so a single
+            // pathological fingerprint can hide inside a healthy p99.
+            // Charging the worst per-fingerprint p99 (in ms) makes the
+            // tuner answer for every statement shape, not the blend.
+            let worst_p99_ms = self
+                .db
+                .statement_stats()
+                .iter()
+                .map(|s| s.latency.p99 / 1e6)
+                .fold(0.0, f64::max);
+            cost += self.tail_cost_weight * worst_p99_ms;
         }
         1e4 / cost.max(1.0)
     }

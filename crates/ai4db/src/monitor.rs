@@ -112,6 +112,13 @@ pub fn rule_based_diagnosis(kpis: &[f64]) -> RootCause {
 /// latency_p95]`, each squashed into [0, 1] so live vectors are
 /// comparable with the synthetic incident history. The latency signal
 /// uses the histogram-backed p95 cost quantile the snapshot now carries.
+///
+/// The `lock_waits` dimension combines two live signals: the abort rate
+/// (conflicts that already killed transactions) and the lock-acquire
+/// share of attributed wait time (contention that is still only slowing
+/// statements down). Either alone under-reports — aborts lag the onset
+/// of a contention storm, while wait share misses first-updater-wins
+/// kills that never blocked.
 pub fn live_kpi_vector(k: &KpiSnapshot) -> Vec<f64> {
     let squash = |x: f64| x / (1.0 + x);
     let txns = (k.txns_committed + k.txns_aborted) as f64;
@@ -120,11 +127,17 @@ pub fn live_kpi_vector(k: &KpiSnapshot) -> Vec<f64> {
     } else {
         0.0
     };
+    let wait_total = (k.wait_lock_ns + k.wait_wal_ns + k.wait_io_ns) as f64;
+    let lock_share = if wait_total > 0.0 {
+        k.wait_lock_ns as f64 / wait_total
+    } else {
+        0.0
+    };
     vec![
         squash(k.avg_cost_per_query / 100.0),
         k.buffer_hit_rate.clamp(0.0, 1.0),
         squash(k.disk_reads as f64 / 1000.0),
-        abort_rate,
+        abort_rate.max(lock_share),
         squash(k.p95_cost_per_query / 1000.0),
     ]
 }
@@ -498,6 +511,14 @@ mod tests {
         let hot = live_kpi_vector(&k);
         assert!(hot.iter().all(|&x| (0.0..=1.0).contains(&x)), "{hot:?}");
         assert!(hot[0] > v[0] && hot[2] > v[2] && hot[3] > v[3] && hot[4] > v[4]);
+        // measured lock-acquire waits raise the contention dimension even
+        // before any transaction has aborted
+        let mut w = KpiSnapshot::default();
+        w.wait_lock_ns = 900;
+        w.wait_wal_ns = 80;
+        w.wait_io_ns = 20;
+        let wv = live_kpi_vector(&w);
+        assert!((0.89..=0.91).contains(&wv[3]), "{wv:?}");
         // live vectors are diagnosable by the trained pipeline
         let history = generate_incidents(200, 0.1, 9);
         let diag = KpiDiagnoser::train(&history, 4, 7).unwrap();

@@ -28,10 +28,15 @@ use std::sync::Arc;
 
 use aimdb_bench::macro_report::{MacroReport, OltpRun};
 use aimdb_bench::{tpcc, tpch};
+use aimdb_common::wait;
 use aimdb_engine::Database;
 use aimdb_storage::{Disk, FaultInjector, FaultPlan, PageStore, TornMode};
-use aimdb_trace::MetricsRegistry;
+use aimdb_trace::{FlightKind, MetricsRegistry};
 use rand::{Rng, SeedableRng, StdRng};
+
+/// Post-mortem flight-recorder snapshot, written by the injector crash
+/// hook at the instant each scripted crash fires (CI uploads it).
+const FLIGHT_DUMP: &str = "BENCH_macro_flight.json";
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -43,11 +48,17 @@ struct Args {
     /// Crash lives per writer-thread count (full mode).
     lives: u64,
     zipf_theta: f64,
+    /// Group-commit window (µs) for the OLTP phase — sweep it to see
+    /// the wait-class mix shift between `wal_fsync` (leader) and
+    /// `group_commit_follower` (followers parked in the window).
+    gcw_us: i64,
     out: String,
 }
 
 fn usage() -> ! {
-    eprintln!("macro_bench [--smoke] [--seed S] [--sf N] [--lives L] [--theta T] [--out PATH]");
+    eprintln!(
+        "macro_bench [--smoke] [--seed S] [--sf N] [--lives L] [--theta T] [--gcw US] [--out PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -58,6 +69,7 @@ fn parse_args() -> Args {
         sf: 1,
         lives: 5,
         zipf_theta: 0.8,
+        gcw_us: 150,
         out: "BENCH_macro.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +90,10 @@ fn parse_args() -> Args {
             },
             "--theta" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => out.zipf_theta = n,
+                None => usage(),
+            },
+            "--gcw" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => out.gcw_us = n,
                 None => usage(),
             },
             "--out" => match args.next() {
@@ -126,6 +142,15 @@ fn crash_life(
             .with_torn_tail(torn)
             .with_io_error_at(vec![transient]),
     );
+    // Every crash life ships a post-mortem: the hook runs at the exact
+    // store operation where the scripted crash fires, while the dying
+    // database's flight recorder still holds the final events.
+    let flight = db.flight_recorder();
+    inj.set_crash_hook(move || {
+        flight.record(FlightKind::FaultInjected, 0, 0, 0);
+        let dump = flight.dump_json("fault_injector_crash").to_string_pretty();
+        let _ = std::fs::write(FLIGHT_DUMP, dump + "\n");
+    });
     let stats = match tpcc::run_mix(&db, scale, cfg, Some(&inj), registry) {
         Ok(s) => s,
         Err(e) => fail(&format!("crash-life mix: {e}")),
@@ -179,7 +204,7 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
         if let Err(e) = tpcc::load(&db, &scale, args.seed) {
             fail(&format!("tpcc load: {e}"));
         }
-        if let Err(e) = db.execute("SET group_commit_window = 150") {
+        if let Err(e) = db.execute(&format!("SET group_commit_window = {}", args.gcw_us)) {
             fail(&format!("set group_commit_window: {e}"));
         }
         if let Err(e) = db.checkpoint_now() {
@@ -212,6 +237,15 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
             checks += 1;
             if crashed {
                 crashes += 1;
+                // the crash hook must have left a parseable post-mortem
+                match std::fs::read_to_string(FLIGHT_DUMP) {
+                    Ok(text) => {
+                        if let Err(e) = aimdb_common::json::Json::parse(&text) {
+                            fail(&format!("flight dump unparseable: {e}"));
+                        }
+                    }
+                    Err(e) => fail(&format!("crash fired but no flight dump: {e}")),
+                }
             }
         }
         if lives > 0 && crashes < lives.div_ceil(2) {
@@ -227,10 +261,11 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
             Ok(x) => x,
             Err(e) => fail(&format!("{tc} threads: pre-measure recovery: {e}")),
         };
-        if let Err(e) = mdb.execute("SET group_commit_window = 150") {
+        if let Err(e) = mdb.execute(&format!("SET group_commit_window = {}", args.gcw_us)) {
             fail(&format!("set group_commit_window: {e}"));
         }
         let registry = MetricsRegistry::new();
+        let waits0 = wait::global_totals();
         let fsyncs0 = mdb.wal_flush_count();
         let measured_cfg = tpcc::OltpConfig {
             threads: tc,
@@ -249,6 +284,12 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
         checks += 1;
         let fsyncs = mdb.wal_flush_count() - fsyncs0;
         let attempts = stats.committed + stats.aborted;
+        let waits = wait::global_totals().delta_since(&waits0);
+        let wait_profile: Vec<(String, u64, u64)> = waits
+            .entries()
+            .into_iter()
+            .map(|(class, ns, events)| (class.to_string(), ns, events))
+            .collect();
         let run = OltpRun {
             threads: tc,
             committed: stats.committed,
@@ -262,6 +303,7 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
             abort_rate: stats.aborted as f64 / (attempts as f64).max(1.0),
             crash_lives: crashes,
             invariant_checks: checks,
+            wait_profile,
         };
         println!(
             "  {tc} writer(s): {:7.0} txn/s | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | \
@@ -273,6 +315,14 @@ fn oltp_phase(args: &Args) -> (tpcc::TpccScale, Vec<OltpRun>) {
             run.fsyncs_per_commit,
             run.abort_rate
         );
+        if !run.wait_profile.is_empty() {
+            let parts: Vec<String> = run
+                .wait_profile
+                .iter()
+                .map(|(class, ns, events)| format!("{class} {:.1}ms/{events}", *ns as f64 / 1e6))
+                .collect();
+            println!("      waits: {}", parts.join(" | "));
+        }
         runs.push(run);
     }
     (scale, runs)

@@ -16,7 +16,8 @@
 //!       "threads": N, "committed": N, "aborted": N, "conflicts": N,
 //!       "txns_per_sec": f, "p50_ms": f, "p95_ms": f, "p99_ms": f,
 //!       "fsyncs_per_commit": f, "abort_rate": f,
-//!       "crash_lives": N, "invariant_checks": N
+//!       "crash_lives": N, "invariant_checks": N,
+//!       "wait_profile": {"wal_fsync": {"ns": N, "events": N}, ...}
 //!     }, ...]
 //!   },
 //!   "analytics": {
@@ -52,6 +53,9 @@ pub struct OltpRun {
     pub abort_rate: f64,
     pub crash_lives: u64,
     pub invariant_checks: u64,
+    /// Wait-class attribution for the measured run: `(class, ns, events)`
+    /// per nonzero class, from the process-wide wait totals delta.
+    pub wait_profile: Vec<(String, u64, u64)>,
 }
 
 /// The whole report, rendered by [`MacroReport::to_json`].
@@ -86,6 +90,23 @@ impl MacroReport {
                     ("abort_rate", Json::Num(round3(r.abort_rate))),
                     ("crash_lives", Json::Num(r.crash_lives as f64)),
                     ("invariant_checks", Json::Num(r.invariant_checks as f64)),
+                    (
+                        "wait_profile",
+                        Json::Obj(
+                            r.wait_profile
+                                .iter()
+                                .map(|(class, ns, events)| {
+                                    (
+                                        class.clone(),
+                                        Json::obj(vec![
+                                            ("ns", Json::Num(*ns as f64)),
+                                            ("events", Json::Num(*events as f64)),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ])
             })
             .collect();

@@ -1,0 +1,322 @@
+//! Statement-fingerprint collision soak over a seeded 1200-query corpus.
+//!
+//! The engine can't dev-depend on the bench generators, so the corpus
+//! test lives here: 60 structurally distinct statement shapes × 20
+//! literal variants each. Two invariants:
+//!
+//! - **literal insensitivity** — every variant of a shape normalizes to
+//!   the same text and hashes to the same fingerprint,
+//! - **shape separation** — no two distinct shapes collide, either on
+//!   the normalized text or on the 64-bit FNV-1a fingerprint.
+
+use std::collections::HashMap;
+
+use aimdb_engine::{fingerprint, normalize};
+use rand::{Rng, SeedableRng, StdRng};
+
+/// One statement shape: a template whose `{}` slots take literals.
+struct Shape {
+    template: &'static str,
+    slots: usize,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape {
+        template: "SELECT * FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT * FROM t WHERE a = {} AND b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT * FROM t WHERE a = {} OR b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a, b FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a < {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a >= {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a <= {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a <> {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a BETWEEN {} AND {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT COUNT(*) FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT COUNT(*) FROM t WHERE b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT SUM(a) FROM t WHERE b > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT AVG(a) FROM t WHERE b > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT MIN(a), MAX(a) FROM t WHERE b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a, COUNT(*) FROM t WHERE b = {} GROUP BY a",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t ORDER BY a LIMIT {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {} ORDER BY b",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {} ORDER BY b DESC",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE s = '{}'",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE s = '{}' AND a = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE s LIKE '{}'",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM u WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM u WHERE b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT t.a FROM t, u WHERE t.a = u.a AND t.b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT t.a FROM t, u WHERE t.a = u.a AND u.b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT t.a, u.b FROM t, u WHERE t.a = u.a AND t.b > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "INSERT INTO t VALUES ({}, {})",
+        slots: 2,
+    },
+    Shape {
+        template: "INSERT INTO t VALUES ({}, {}, {})",
+        slots: 3,
+    },
+    Shape {
+        template: "INSERT INTO t (a) VALUES ({})",
+        slots: 1,
+    },
+    Shape {
+        template: "INSERT INTO t (a, b) VALUES ({}, {})",
+        slots: 2,
+    },
+    Shape {
+        template: "INSERT INTO u VALUES ({}, {})",
+        slots: 2,
+    },
+    Shape {
+        template: "UPDATE t SET a = {} WHERE b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "UPDATE t SET a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "UPDATE t SET a = {}, b = {} WHERE c = {}",
+        slots: 3,
+    },
+    Shape {
+        template: "UPDATE t SET a = a + {} WHERE b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "UPDATE u SET a = {} WHERE b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "DELETE FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "DELETE FROM t WHERE a = {} AND b = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "DELETE FROM t WHERE a < {}",
+        slots: 1,
+    },
+    Shape {
+        template: "DELETE FROM u WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a IN ({}, {}, {})",
+        slots: 3,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a IN ({}, {})",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a + b > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {} + {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT a * {} FROM t",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE b = {} LIMIT {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT DISTINCT a FROM t WHERE b = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE c = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT b FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT b, a FROM t WHERE a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t GROUP BY a LIMIT {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {} AND s = '{}'",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE ABS(a) > {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a % {} = {}",
+        slots: 2,
+    },
+    Shape {
+        template: "SELECT CASE WHEN a > {} THEN a ELSE b END FROM t",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE NOT a = {}",
+        slots: 1,
+    },
+    Shape {
+        template: "SELECT a FROM t WHERE a = {} OR a = {} OR a = {}",
+        slots: 3,
+    },
+];
+
+/// Render `shape` with seeded literals: a mix of integers, floats and
+/// digit strings so every literal class the normalizer folds appears.
+fn instantiate(shape: &Shape, rng: &mut StdRng) -> String {
+    let mut out = shape.template.to_string();
+    for _ in 0..shape.slots {
+        let lit = match rng.gen_range(0u32..3) {
+            0 => rng.gen_range(0i64..100_000).to_string(),
+            1 => format!("{:.2}", rng.gen_range(0.0f64..1000.0)),
+            _ => format!("{}", rng.gen_range(0u32..999)),
+        };
+        out = out.replacen("{}", &lit, 1);
+    }
+    out
+}
+
+#[test]
+fn seeded_corpus_has_no_fingerprint_collisions() {
+    const VARIANTS: usize = 20;
+    let mut rng = StdRng::seed_from_u64(0xF1A6);
+    assert_eq!(SHAPES.len() * VARIANTS, 1200, "corpus size drifted");
+
+    // fingerprint -> (shape index, normalized text) of its first owner
+    let mut owners: HashMap<u64, (usize, String)> = HashMap::new();
+    for (si, shape) in SHAPES.iter().enumerate() {
+        let mut shape_fp = None;
+        for _ in 0..VARIANTS {
+            let sql = instantiate(shape, &mut rng);
+            let norm = normalize(&sql);
+            let fp = fingerprint(&sql);
+            // literal insensitivity within the shape
+            match shape_fp {
+                None => shape_fp = Some((fp, norm.clone())),
+                Some((first_fp, ref first_norm)) => {
+                    assert_eq!(
+                        norm, *first_norm,
+                        "shape {si} variants normalize apart: {sql}"
+                    );
+                    assert_eq!(fp, first_fp, "shape {si} fingerprint unstable: {sql}");
+                }
+            }
+            // shape separation across the whole corpus
+            match owners.get(&fp) {
+                None => {
+                    owners.insert(fp, (si, norm));
+                }
+                Some((owner, owner_norm)) => {
+                    assert_eq!(
+                        (*owner, owner_norm.as_str()),
+                        (si, norm.as_str()),
+                        "fingerprint collision between shapes {owner} and {si}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(owners.len(), SHAPES.len(), "distinct shapes must not merge");
+}

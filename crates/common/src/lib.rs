@@ -18,6 +18,7 @@ pub mod row;
 pub mod schema;
 pub mod synth;
 pub mod value;
+pub mod wait;
 
 pub use batch::{Batch, ColVec, DEFAULT_BATCH_SIZE};
 pub use clock::{Clock, ManualClock, WallClock};
@@ -26,3 +27,4 @@ pub use lockrank::LockRank;
 pub use row::Row;
 pub use schema::{Column, Schema};
 pub use value::{DataType, Value};
+pub use wait::{WaitClass, WaitSet, NUM_WAIT_CLASSES};

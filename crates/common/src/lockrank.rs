@@ -52,10 +52,16 @@
 //! FaultInjector(80) -> DiskInner(85)     leader flushes with no WAL lock
 //!   |                                    held
 //!   v
-//! WalFlushObserver(90) -> MetricsOperators(92) -> MetricsRegistry(94)
-//!   |                                    the flush observer calls into
-//!   v                                    the metrics registry
-//! TracerInner(96) -> Knobs(98)           pure leaves: nothing is ever
+//! WalFlushObserver(90) -> FaultHook(91)  the flush observer calls into
+//!   |                                    the metrics registry; the fault
+//!   v                                    hook fires with storage locks
+//! MetricsOperators(92) -> StatementStats(93) -> MetricsRegistry(94)
+//!   |                                    held (never FaultInjector); the
+//!   v                                    statement store observes into
+//! FlightRecorder(95) -> TracerInner(96)  the registry. The flight
+//!   |                                    recorder must sit above every
+//!   v                                    rank held at a record site.
+//! Knobs(98)                              pure leaves: nothing is ever
 //!                                        acquired while these are held
 //! ```
 
@@ -119,10 +125,21 @@ pub enum LockRank {
     /// `Wal::flush_observer` — held while calling the observer, which
     /// records into the metrics registry.
     WalFlushObserver = 90,
+    /// `FaultInjector::crash_hook` — held while invoking the crash-dump
+    /// hook, after the injector state lock is released (the caller may
+    /// still hold storage locks like `WalSink`/`BufferPool`).
+    FaultHook = 91,
     /// `Metrics::operators` — per-operator runtime counters.
     MetricsOperators = 92,
+    /// `StatementStore::inner` — per-fingerprint statement statistics;
+    /// observes into the metrics registry, never back into the engine.
+    StatementStats = 93,
     /// `MetricsRegistry::inner` — the counter/gauge/histogram registry.
     MetricsRegistry = 94,
+    /// `FlightRecorder::inner` — the crash-dump event ring; recorded
+    /// into from commit/conflict/fault paths, so it ranks above every
+    /// lock held at those sites.
+    FlightRecorder = 95,
     /// `Tracer::inner` — query trace ring buffer.
     TracerInner = 96,
     /// `ModelRuntime::registry` (db4ai) — trained-model versions; pure
@@ -135,7 +152,7 @@ pub enum LockRank {
 impl LockRank {
     /// Every rank, in ascending order. Drives the dense index used by
     /// the shim's per-rank contention counters.
-    pub const ALL: [LockRank; 26] = [
+    pub const ALL: [LockRank; 29] = [
         LockRank::EngineClock,
         LockRank::EngineStats,
         LockRank::EngineEstimator,
@@ -157,8 +174,11 @@ impl LockRank {
         LockRank::FaultInjector,
         LockRank::DiskInner,
         LockRank::WalFlushObserver,
+        LockRank::FaultHook,
         LockRank::MetricsOperators,
+        LockRank::StatementStats,
         LockRank::MetricsRegistry,
+        LockRank::FlightRecorder,
         LockRank::TracerInner,
         LockRank::ModelRegistry,
         LockRank::Knobs,
@@ -194,8 +214,11 @@ impl LockRank {
             LockRank::FaultInjector => "fault_injector",
             LockRank::DiskInner => "disk_inner",
             LockRank::WalFlushObserver => "wal_flush_observer",
+            LockRank::FaultHook => "fault_hook",
             LockRank::MetricsOperators => "metrics_operators",
+            LockRank::StatementStats => "statement_stats",
             LockRank::MetricsRegistry => "metrics_registry",
+            LockRank::FlightRecorder => "flight_recorder",
             LockRank::TracerInner => "tracer_inner",
             LockRank::ModelRegistry => "model_registry",
             LockRank::Knobs => "knobs",

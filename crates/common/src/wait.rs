@@ -1,0 +1,410 @@
+//! Wait-event attribution: where does a statement's wall time go?
+//!
+//! The engine's observability layer splits every statement's elapsed
+//! time into *cpu* (time the thread was doing work) and a small set of
+//! *wait classes* (time the thread was blocked on a shared resource).
+//! The taxonomy mirrors the wait sites the engine actually has:
+//!
+//! - [`WaitClass::LockAcquire`] — a contended `Mutex`/`RwLock`
+//!   acquisition in the parking_lot shim (per-rank breakdown lives in
+//!   the shim's own counters).
+//! - [`WaitClass::WalFsync`] — the group-commit leader's window sleep
+//!   plus the WAL sink flush to the (simulated) device.
+//! - [`WaitClass::GroupCommitFollower`] — a committer parked on the
+//!   group condvar while another thread leads the flush.
+//! - [`WaitClass::BufferMiss`] — a buffer-pool miss: eviction plus the
+//!   page read from disk.
+//! - [`WaitClass::WriteConflictRetry`] — a statement aborted by MVCC
+//!   first-updater-wins (counted per conflict; the retry loop's cost is
+//!   the repeated statement itself, so `ns` stays 0).
+//! - [`WaitClass::MorselStarvation`] — morsel workers' idle time inside
+//!   the parallel executor (wall-clock window minus busy time).
+//! - [`WaitClass::SnapshotRegister`] — taking the commit lock to
+//!   register a transaction or statement read snapshot.
+//!
+//! Attribution is *exclusive*: waits nest (a contended lock acquire
+//! inside the WAL fsync window), so each thread keeps a stack of open
+//! wait frames and a frame is credited only its self time — elapsed
+//! minus the time already credited to nested frames. Per-thread totals
+//! accumulate in a thread-local [`WaitSet`] the engine drains per
+//! statement; process-wide totals accumulate in global atomics the
+//! metrics page renders.
+//!
+//! Waits are measured with the real monotonic clock, not the injected
+//! [`crate::Clock`]: they describe genuinely nondeterministic blocking
+//! and feed only observability surfaces, never plans or costs.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Number of wait classes; sizes [`WaitSet`] arrays and the global
+/// counters.
+pub const NUM_WAIT_CLASSES: usize = 7;
+
+/// One class of blocking the engine can attribute time to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum WaitClass {
+    /// Contended lock acquisition (any rank).
+    LockAcquire = 0,
+    /// Group-commit leader: window sleep + WAL sink flush.
+    WalFsync = 1,
+    /// Group-commit follower parked on the group condvar.
+    GroupCommitFollower = 2,
+    /// Buffer-pool miss: eviction + page read from disk.
+    BufferMiss = 3,
+    /// MVCC first-updater-wins conflict (count-only).
+    WriteConflictRetry = 4,
+    /// Morsel workers idle inside the parallel executor.
+    MorselStarvation = 5,
+    /// Commit-lock hold to register a txn / read snapshot.
+    SnapshotRegister = 6,
+}
+
+impl WaitClass {
+    /// Every class, in index order (drives stable metric expositions).
+    pub const ALL: [WaitClass; NUM_WAIT_CLASSES] = [
+        WaitClass::LockAcquire,
+        WaitClass::WalFsync,
+        WaitClass::GroupCommitFollower,
+        WaitClass::BufferMiss,
+        WaitClass::WriteConflictRetry,
+        WaitClass::MorselStarvation,
+        WaitClass::SnapshotRegister,
+    ];
+
+    /// Dense slot index (the discriminant).
+    pub const fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, used as the `class` label on the
+    /// exposition page and in trace JSON.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WaitClass::LockAcquire => "lock_acquire",
+            WaitClass::WalFsync => "wal_fsync",
+            WaitClass::GroupCommitFollower => "group_commit_follower",
+            WaitClass::BufferMiss => "buffer_miss",
+            WaitClass::WriteConflictRetry => "write_conflict_retry",
+            WaitClass::MorselStarvation => "morsel_starvation",
+            WaitClass::SnapshotRegister => "snapshot_register",
+        }
+    }
+}
+
+impl std::fmt::Display for WaitClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-class wait totals: nanoseconds and event counts. `Copy` and
+/// fixed-size so it can ride inside executor per-operator stats without
+/// allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaitSet {
+    /// Exclusive blocked nanoseconds per class.
+    pub ns: [u64; NUM_WAIT_CLASSES],
+    /// Wait events per class.
+    pub count: [u64; NUM_WAIT_CLASSES],
+}
+
+impl WaitSet {
+    /// Credit `ns` nanoseconds and `count` events to `class`.
+    pub fn add(&mut self, class: WaitClass, ns: u64, count: u64) {
+        self.ns[class.idx()] += ns;
+        self.count[class.idx()] += count;
+    }
+
+    /// Accumulate another set into this one.
+    pub fn merge(&mut self, other: &WaitSet) {
+        for i in 0..NUM_WAIT_CLASSES {
+            self.ns[i] += other.ns[i];
+            self.count[i] += other.count[i];
+        }
+    }
+
+    /// Field-wise `self - earlier` (saturating), for before/after
+    /// snapshots around a region of interest.
+    pub fn delta_since(&self, earlier: &WaitSet) -> WaitSet {
+        let mut out = WaitSet::default();
+        for i in 0..NUM_WAIT_CLASSES {
+            out.ns[i] = self.ns[i].saturating_sub(earlier.ns[i]);
+            out.count[i] = self.count[i].saturating_sub(earlier.count[i]);
+        }
+        out
+    }
+
+    /// Blocked nanoseconds summed over every class.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Wait events summed over every class.
+    pub fn total_count(&self) -> u64 {
+        self.count.iter().sum()
+    }
+
+    /// True when no time and no events have been recorded.
+    pub fn is_zero(&self) -> bool {
+        self.total_ns() == 0 && self.total_count() == 0
+    }
+
+    /// `(ns, count)` for one class.
+    pub fn get(&self, class: WaitClass) -> (u64, u64) {
+        (self.ns[class.idx()], self.count[class.idx()])
+    }
+
+    /// Non-zero classes as `(name, ns, count)`, in class order.
+    pub fn entries(&self) -> Vec<(&'static str, u64, u64)> {
+        WaitClass::ALL
+            .iter()
+            .filter(|c| self.ns[c.idx()] != 0 || self.count[c.idx()] != 0)
+            .map(|c| (c.name(), self.ns[c.idx()], self.count[c.idx()]))
+            .collect()
+    }
+}
+
+/// One open wait frame on a thread's wait stack.
+struct Frame {
+    class: WaitClass,
+    start: Instant,
+    /// Nanoseconds already credited to frames nested inside this one.
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadWaits {
+    stack: Vec<Frame>,
+    acc: WaitSet,
+}
+
+thread_local! {
+    static THREAD: RefCell<ThreadWaits> = RefCell::new(ThreadWaits::default());
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+/// Process-wide exclusive blocked nanoseconds per class.
+static GLOBAL_NS: [AtomicU64; NUM_WAIT_CLASSES] = [ZERO; NUM_WAIT_CLASSES];
+/// Process-wide wait events per class.
+static GLOBAL_COUNT: [AtomicU64; NUM_WAIT_CLASSES] = [ZERO; NUM_WAIT_CLASSES];
+
+fn credit(class: WaitClass, ns: u64, count: u64) {
+    // ordering: Relaxed — monotone statistics counters; nothing
+    // synchronizes through them and totals are read racily.
+    GLOBAL_NS[class.idx()].fetch_add(ns, Ordering::Relaxed);
+    // ordering: Relaxed — same monotone counter pair.
+    GLOBAL_COUNT[class.idx()].fetch_add(count, Ordering::Relaxed);
+    let _ = THREAD.try_with(|t| {
+        if let Ok(mut t) = t.try_borrow_mut() {
+            t.acc.add(class, ns, count);
+        }
+    });
+}
+
+/// RAII token for one timed wait. Created by [`enter`]; dropping it ends
+/// the wait and credits the frame's *exclusive* time to its class.
+pub struct WaitGuard {
+    // Non-Send by construction (frame lives in this thread's stack).
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a timed wait frame of `class` on this thread's wait stack. The
+/// returned guard ends the frame on drop; nested frames subtract their
+/// elapsed time from this frame's credit, so totals never double-count.
+pub fn enter(class: WaitClass) -> WaitGuard {
+    let _ = THREAD.try_with(|t| {
+        if let Ok(mut t) = t.try_borrow_mut() {
+            t.stack.push(Frame {
+                class,
+                // aimdb-lint: allow(L002, wait-time measurement is observability-only and never plan-affecting)
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        }
+    });
+    WaitGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for WaitGuard {
+    fn drop(&mut self) {
+        let done = THREAD.try_with(|t| {
+            let Ok(mut t) = t.try_borrow_mut() else {
+                return None;
+            };
+            let frame = t.stack.pop()?;
+            let elapsed = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = elapsed.saturating_sub(frame.child_ns);
+            if let Some(parent) = t.stack.last_mut() {
+                parent.child_ns += elapsed;
+            }
+            t.acc.add(frame.class, self_ns, 1);
+            Some((frame.class, self_ns))
+        });
+        if let Ok(Some((class, self_ns))) = done {
+            // ordering: Relaxed — monotone statistics counters; totals are
+            // read racily by the metrics page.
+            GLOBAL_NS[class.idx()].fetch_add(self_ns, Ordering::Relaxed);
+            // ordering: Relaxed — same monotone counter pair.
+            GLOBAL_COUNT[class.idx()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Run `f` inside a timed wait frame of `class`.
+pub fn timed<T>(class: WaitClass, f: impl FnOnce() -> T) -> T {
+    let _g = enter(class);
+    f()
+}
+
+/// Record a count-only wait event (no measurable blocked time), e.g. a
+/// write conflict whose cost is the statement retry itself.
+pub fn record_event(class: WaitClass) {
+    credit(class, 0, 1);
+}
+
+/// Record a pre-measured wait, e.g. morsel starvation computed from
+/// worker spans after the parallel executor joins.
+pub fn record_ns(class: WaitClass, ns: u64) {
+    credit(class, ns, 1);
+}
+
+/// This thread's accumulated waits since the last [`take_thread`].
+pub fn thread_snapshot() -> WaitSet {
+    THREAD
+        .try_with(|t| t.try_borrow().map(|t| t.acc).unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// Merge waits measured on *another* thread into this thread's
+/// accumulator — cross-thread attribution for worker pools whose threads
+/// end before the statement does. The set must already be in the global
+/// totals (worker-side guards put it there), so only the thread-local
+/// accumulator is touched here; adopting through `credit` would count
+/// the time twice globally.
+pub fn adopt(set: &WaitSet) {
+    let _ = THREAD.try_with(|t| {
+        if let Ok(mut t) = t.try_borrow_mut() {
+            t.acc.merge(set);
+        }
+    });
+}
+
+/// Drain this thread's accumulated waits (statement boundary).
+pub fn take_thread() -> WaitSet {
+    THREAD
+        .try_with(|t| {
+            t.try_borrow_mut()
+                .map(|mut t| std::mem::take(&mut t.acc))
+                .unwrap_or_default()
+        })
+        .unwrap_or_default()
+}
+
+/// Process-wide wait totals across all threads since process start.
+pub fn global_totals() -> WaitSet {
+    let mut out = WaitSet::default();
+    for c in WaitClass::ALL {
+        // ordering: Relaxed — monotone counters read racily for display.
+        out.ns[c.idx()] = GLOBAL_NS[c.idx()].load(Ordering::Relaxed);
+        // ordering: Relaxed — same display-only read.
+        out.count[c.idx()] = GLOBAL_COUNT[c.idx()].load(Ordering::Relaxed);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_dense_and_uniquely_named() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, c) in WaitClass::ALL.iter().enumerate() {
+            assert_eq!(c.idx(), i);
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert!(c
+                .name()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch == '_'));
+        }
+        assert_eq!(WaitClass::ALL.len(), NUM_WAIT_CLASSES);
+    }
+
+    #[test]
+    fn waitset_arithmetic() {
+        let mut a = WaitSet::default();
+        a.add(WaitClass::WalFsync, 100, 1);
+        a.add(WaitClass::BufferMiss, 50, 2);
+        let mut b = a;
+        b.add(WaitClass::WalFsync, 25, 1);
+        let d = b.delta_since(&a);
+        assert_eq!(d.get(WaitClass::WalFsync), (25, 1));
+        assert_eq!(d.get(WaitClass::BufferMiss), (0, 0));
+        assert_eq!(a.total_ns(), 150);
+        assert_eq!(a.total_count(), 3);
+        assert!(!a.is_zero());
+        assert!(WaitSet::default().is_zero());
+        let mut m = WaitSet::default();
+        m.merge(&a);
+        m.merge(&d);
+        assert_eq!(m.get(WaitClass::WalFsync), (125, 2));
+        let e = a.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, "wal_fsync");
+    }
+
+    #[test]
+    fn nested_frames_attribute_exclusively() {
+        let before = take_thread();
+        let _ = before;
+        {
+            let _outer = enter(WaitClass::WalFsync);
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = enter(WaitClass::LockAcquire);
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let acc = take_thread();
+        let (fsync_ns, fsync_n) = acc.get(WaitClass::WalFsync);
+        let (lock_ns, lock_n) = acc.get(WaitClass::LockAcquire);
+        assert_eq!(fsync_n, 1);
+        assert_eq!(lock_n, 1);
+        assert!(lock_ns >= 3_000_000, "inner wait measured: {lock_ns}");
+        assert!(
+            fsync_ns >= 3_000_000,
+            "outer self time measured: {fsync_ns}"
+        );
+        // exclusive attribution: the outer frame does not re-count the
+        // inner frame's time, so the sum stays near true elapsed (~9ms),
+        // far below the ~13ms double-counting would produce.
+        assert!(
+            fsync_ns < lock_ns + 9_000_000,
+            "no double counting: fsync={fsync_ns} lock={lock_ns}"
+        );
+    }
+
+    #[test]
+    fn count_only_and_premeasured_events() {
+        let _ = take_thread();
+        record_event(WaitClass::WriteConflictRetry);
+        record_ns(WaitClass::MorselStarvation, 1234);
+        let acc = thread_snapshot();
+        assert_eq!(acc.get(WaitClass::WriteConflictRetry), (0, 1));
+        assert_eq!(acc.get(WaitClass::MorselStarvation), (1234, 1));
+        // globals grew too
+        let g = global_totals();
+        assert!(g.count[WaitClass::WriteConflictRetry.idx()] >= 1);
+        // draining the thread resets the thread view only
+        let drained = take_thread();
+        assert_eq!(drained.total_count(), 2);
+        assert!(thread_snapshot().is_zero());
+    }
+}

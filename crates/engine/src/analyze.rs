@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use aimdb_common::WaitSet;
 use aimdb_trace::OpProfile;
 
 use crate::exec::{OpKey, OpStats};
@@ -32,6 +33,9 @@ pub struct NodeActuals {
     pub ns: u64,
     /// Inclusive cost units charged in this node's subtree.
     pub cost_units: f64,
+    /// Inclusive blocked time by wait class in this node's subtree;
+    /// `ns - wait.total_ns()` approximates on-cpu time.
+    pub wait: WaitSet,
     /// `QEvalError`: Q-error between estimated and actual cardinality.
     pub q_error: f64,
 }
@@ -99,6 +103,7 @@ pub(crate) fn node_actuals(plan: &PhysicalPlan, ops: &[(OpKey, OpStats)]) -> Vec
         e.batches += st.batches;
         e.ns += st.ns;
         e.cost_units += st.cost_units;
+        e.wait.merge(&st.wait);
     }
     let mut out = Vec::with_capacity(plan.node_count());
     walk(plan, None, &mut 0, &by_node, &mut out);
@@ -125,6 +130,7 @@ fn walk(
         batches: st.batches,
         ns: st.ns,
         cost_units: st.cost_units,
+        wait: st.wait,
         q_error: q_error(plan.est_rows, st.rows as f64),
     });
     for child in plan.children() {
@@ -145,6 +151,7 @@ pub(crate) fn op_profiles(plan: &PhysicalPlan, ops: &[(OpKey, OpStats)]) -> Vec<
             batches: n.batches,
             ns: n.ns,
             cost_units: n.cost_units,
+            wait: n.wait,
         })
         .collect()
 }
@@ -185,11 +192,24 @@ fn render(
     let line = plan.describe();
     if let Some(n) = nodes.get(node) {
         let ms = n.ns as f64 / 1e6;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "{pad}{line}  (rows≈{:.0} cost≈{:.1}) (actual rows={} batches={} time={ms:.3}ms cost={:.1}) QEvalError={:.2}",
             n.est_rows, n.est_cost, n.rows, n.batches, n.cost_units, n.q_error
         );
+        // cpu-vs-wait split: only rendered when the node actually blocked
+        if !n.wait.is_zero() {
+            let cpu_ms = n.ns.saturating_sub(n.wait.total_ns()) as f64 / 1e6;
+            let _ = write!(out, " cpu={cpu_ms:.3}ms waits[");
+            for (i, (class, ns, count)) in n.wait.entries().into_iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(out, " ");
+                }
+                let _ = write!(out, "{class}={:.3}ms/{count}", ns as f64 / 1e6);
+            }
+            let _ = write!(out, "]");
+        }
+        let _ = writeln!(out);
     } else {
         let _ = writeln!(
             out,

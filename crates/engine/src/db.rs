@@ -2,24 +2,31 @@
 //! transactions, durability (WAL + checkpoints + crash recovery), knobs,
 //! statistics and the AISQL model hook.
 
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use aimdb_common::{AimError, Clock, Column, LockRank, Result, Row, Schema, Value, WallClock};
+use aimdb_common::{
+    wait, AimError, Clock, Column, LockRank, Result, Row, Schema, Value, WaitSet, WallClock,
+};
 use aimdb_sql::ast::{ModelKind, Select, Statement};
 use aimdb_sql::expr::{BuiltinFns, ScalarFns};
 use aimdb_sql::parser::{parse, parse_one};
 use aimdb_sql::Expr;
 use aimdb_storage::wal::{CheckpointData, IndexSnapshot, LogRecord, TableSnapshot};
 use aimdb_storage::{scan_wal, BufferPool, Disk, DiskSink, PageStore, RowId, Wal};
-use aimdb_trace::{validate_exposition, QueryTrace, TraceBuilder, Tracer};
+use aimdb_trace::{
+    validate_exposition, FlightKind, FlightRecorder, QueryTrace, TraceBuilder, Tracer,
+};
 
 use crate::analyze::AnalyzeReport;
 use crate::catalog::{Catalog, Table};
 use crate::exec::{execute, ExecContext, OpKey, OpStats, WorkerSpan};
 use crate::exec_batch::execute_batched_parallel;
+use crate::fingerprint::{self, StatementStat, StatementStore};
 use crate::knobs::Knobs;
 use crate::metrics::{KpiSnapshot, Metrics, GROUP_COMMIT_BATCH};
 use crate::mvcc::{CommitTs, Snapshot, TxnRuntime, WriteOp};
@@ -170,6 +177,31 @@ pub struct Database {
     runtime: TxnRuntime,
     estimator: RwLock<Arc<dyn CardEstimator>>,
     hook: RwLock<Option<Arc<dyn ModelHook>>>,
+    /// Crash-dump flight recorder: a bounded ring of recent structured
+    /// events (statement begin/end, commit, conflict, recovery). Shared
+    /// (`Arc`) so a `FaultInjector` crash hook can dump it post-mortem.
+    flight: Arc<FlightRecorder>,
+    /// Per-fingerprint statement statistics (bounded, least-called
+    /// eviction).
+    stmt_stats: StatementStore,
+    /// Lock-order witness violations already reported to the flight
+    /// recorder (the witness counter is monotone).
+    witness_seen: AtomicU64,
+}
+
+thread_local! {
+    /// Cost units charged by plan executions inside the current
+    /// statement on this thread, drained into the statement's
+    /// fingerprint entry at statement end.
+    static STMT_COST: Cell<f64> = const { Cell::new(0.0) };
+}
+
+/// Carrier for the measurements opened by [`Database::begin_statement`]
+/// and folded into the fingerprint store by [`Database::end_statement`].
+struct StmtObservation {
+    fp: u64,
+    start_secs: f64,
+    w0: WaitSet,
 }
 
 /// A concurrent transaction handle from [`Database::begin_txn`]: many
@@ -278,6 +310,9 @@ impl Database {
             runtime: TxnRuntime::new(),
             estimator: RwLock::with_rank(Arc::new(HistogramEstimator), LockRank::EngineEstimator),
             hook: RwLock::with_rank(None, LockRank::EngineHook),
+            flight: Arc::new(FlightRecorder::default()),
+            stmt_stats: StatementStore::default(),
+            witness_seen: AtomicU64::new(0),
         }
     }
 
@@ -435,6 +470,12 @@ impl Database {
         db.checkpoint_now()?;
 
         db.metrics.record_recovery(replayed);
+        db.flight.record(
+            FlightKind::Recovery,
+            replayed,
+            scan.records.len() as u64,
+            scan.corrupt_tail_bytes as u64,
+        );
         let report = RecoveryReport {
             total_records: scan.records.len(),
             replayed,
@@ -541,7 +582,15 @@ impl Database {
     /// `h`. Reads see the handle's snapshot plus its own writes; DDL and
     /// transaction-control statements are rejected.
     pub fn execute_in(&self, h: &TxnHandle, sql: &str) -> Result<QueryResult> {
-        let stmt = parse_one(sql)?;
+        let obs = self.begin_statement(fingerprint::fingerprint(sql));
+        let stmt = match parse_one(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => {
+                let out = Err(e);
+                self.end_statement(obs, &fingerprint::normalize(sql), &out, None);
+                return out;
+            }
+        };
         let out = match &stmt {
             Statement::Insert {
                 table,
@@ -573,6 +622,7 @@ impl Database {
         if out.is_err() {
             self.metrics.record_error();
         }
+        self.end_statement(obs, &fingerprint::normalize(sql), &out, None);
         out
     }
 
@@ -640,6 +690,7 @@ impl Database {
         self.metrics.record_commit();
         self.metrics
             .record_commit_latency((clock.now_secs() - start).max(0.0));
+        self.flight.record(FlightKind::Commit, txn, cts, 0);
         Ok(cts)
     }
 
@@ -648,6 +699,7 @@ impl Database {
     fn rollback_mvcc(&self, txn: u64) -> Result<()> {
         self.rollback_writes(txn)?;
         self.wal.append(LogRecord::Abort { txn })?;
+        self.flight.record(FlightKind::Abort, txn, 0, 0);
         Ok(())
     }
 
@@ -769,12 +821,21 @@ impl Database {
     /// the whole lifecycle — parse, optimize, verify, execute — runs
     /// under a trace recorded into [`Database::tracer`].
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let obs = self.begin_statement(fingerprint::fingerprint(sql));
         if !self.tracing_enabled() {
-            let stmt = parse_one(sql)?;
+            let stmt = match parse_one(sql) {
+                Ok(stmt) => stmt,
+                Err(e) => {
+                    let out = Err(e);
+                    self.end_statement(obs, &fingerprint::normalize(sql), &out, None);
+                    return out;
+                }
+            };
             let out = self.dispatch(&stmt, None);
             if out.is_err() {
                 self.metrics.record_error();
             }
+            self.end_statement(obs, &fingerprint::normalize(sql), &out, None);
             return out;
         }
         let clock = self.clock();
@@ -785,14 +846,17 @@ impl Database {
         let stmt = match parsed {
             Ok(stmt) => stmt,
             Err(e) => {
+                let out = Err(e);
+                self.end_statement(obs, &fingerprint::normalize(sql), &out, Some(&mut tb));
                 self.tracer.record(tb.finish());
-                return Err(e);
+                return out;
             }
         };
         let out = self.dispatch(&stmt, Some(&mut tb));
         if out.is_err() {
             self.metrics.record_error();
         }
+        self.end_statement(obs, &fingerprint::normalize(sql), &out, Some(&mut tb));
         if self.tracing_enabled() {
             self.tracer.record(tb.finish());
         }
@@ -807,19 +871,25 @@ impl Database {
     /// Execute a parsed statement (traced like [`Database::execute`],
     /// minus the parse span).
     pub fn execute_stmt(&self, stmt: &Statement) -> Result<QueryResult> {
+        // No raw SQL here, so statements fingerprint by kind label — the
+        // same bounded-store surface, one shape per statement kind.
+        let label = stmt_label(stmt);
+        let obs = self.begin_statement(fingerprint::fingerprint(label));
         if !self.tracing_enabled() {
             let out = self.dispatch(stmt, None);
             if out.is_err() {
                 self.metrics.record_error();
             }
+            self.end_statement(obs, &fingerprint::normalize(label), &out, None);
             return out;
         }
         let clock = self.clock();
-        let mut tb = TraceBuilder::new(clock.as_ref(), stmt_label(stmt));
+        let mut tb = TraceBuilder::new(clock.as_ref(), label);
         let out = self.dispatch(stmt, Some(&mut tb));
         if out.is_err() {
             self.metrics.record_error();
         }
+        self.end_statement(obs, &fingerprint::normalize(label), &out, Some(&mut tb));
         if self.tracing_enabled() {
             self.tracer.record(tb.finish());
         }
@@ -828,6 +898,74 @@ impl Database {
 
     fn tracing_enabled(&self) -> bool {
         self.knobs.get("query_tracing").unwrap_or(1) != 0
+    }
+
+    /// Open the per-statement observation window: flight `StmtBegin`,
+    /// a wait-set baseline, and a zeroed statement cost accumulator.
+    fn begin_statement(&self, fp: u64) -> StmtObservation {
+        self.flight.record(FlightKind::StmtBegin, fp, 0, 0);
+        STMT_COST.with(|c| c.set(0.0));
+        StmtObservation {
+            fp,
+            start_secs: self.clock().now_secs(),
+            w0: wait::thread_snapshot(),
+        }
+    }
+
+    /// Close the observation window: fold the statement into its
+    /// fingerprint entry, emit flight events, feed the per-wait-class
+    /// registry histograms, and attach the wait breakdown to the trace.
+    fn end_statement(
+        &self,
+        obs: StmtObservation,
+        normalized: &str,
+        out: &Result<QueryResult>,
+        tb: Option<&mut TraceBuilder<'_>>,
+    ) {
+        // A lost first-updater-wins race is a wait event: its cost is
+        // the retry the caller now has to do. Record it before taking
+        // the delta so it lands in this statement's wait set.
+        if let Err(e) = out {
+            if matches!(e, AimError::WriteConflict(_)) {
+                wait::record_event(wait::WaitClass::WriteConflictRetry);
+                self.flight.record(FlightKind::WriteConflict, obs.fp, 0, 0);
+            }
+        }
+        let waits = wait::thread_snapshot().delta_since(&obs.w0);
+        let elapsed_ns = ((self.clock().now_secs() - obs.start_secs).max(0.0) * 1e9) as u64;
+        let rows = match out {
+            Ok(QueryResult::Rows { rows, .. }) => rows.len() as u64,
+            Ok(QueryResult::Affected(n)) => *n as u64,
+            _ => 0,
+        };
+        let cost = STMT_COST.with(|c| c.take());
+        let err = out.is_err();
+        self.stmt_stats
+            .observe(obs.fp, normalized, elapsed_ns, rows, cost, &waits, err);
+        self.flight
+            .record(FlightKind::StmtEnd, obs.fp, elapsed_ns, err as u64);
+        if !waits.is_zero() {
+            let reg = self.metrics.registry();
+            for (class, ns, _count) in waits.entries() {
+                // per-class blocked-time distribution across statements
+                // (in ns: the log-linear histogram has no sub-1.0
+                // resolution, so seconds would flatten everything)
+                reg.observe(&format!("aimdb_wait_ns_{class}"), ns as f64);
+            }
+        }
+        // Surface lock-order witness violations (debug builds) as flight
+        // events: `a` = total observed, `b` = new since last statement.
+        let seen = parking_lot::witness::violation_count() as u64;
+        // ordering: Relaxed — monotone high-water mark, read/written only
+        // for best-effort reporting.
+        let prev = self.witness_seen.swap(seen, Ordering::Relaxed);
+        if seen > prev {
+            self.flight
+                .record(FlightKind::LockOrderViolation, seen, seen - prev, 0);
+        }
+        if let Some(t) = tb {
+            t.set_waits(waits);
+        }
     }
 
     /// The injected clock used for span and operator timing.
@@ -1090,7 +1228,9 @@ impl Database {
         }
         let clock = self.clock();
         let mut tb = TraceBuilder::new(clock.as_ref(), plan_label(plan));
+        let w0 = wait::thread_snapshot();
         let out = self.exec_plan_traced(plan, Some(&mut tb), None);
+        tb.set_waits(wait::thread_snapshot().delta_since(&w0));
         self.tracer.record(tb.finish());
         out
     }
@@ -1169,6 +1309,7 @@ impl Database {
             t.set_ops(crate::analyze::op_profiles(plan, &ops));
         }
         self.metrics.record_query(rows.len() as u64, cost);
+        STMT_COST.with(|c| c.set(c.get() + cost));
         Ok((rows, cost))
     }
 
@@ -1217,6 +1358,11 @@ impl Database {
                 "aimdb_worker_busy_ratio",
                 (busy as f64 / window as f64).min(1.0),
             );
+            // The idle remainder of the workers' combined window is time
+            // spent starved for morsels — attribute it to the statement.
+            if window > busy {
+                wait::record_ns(wait::WaitClass::MorselStarvation, window - busy);
+            }
         }
     }
 
@@ -1275,6 +1421,7 @@ impl Database {
             t.set_ops(crate::analyze::op_profiles(&plan, &ops));
         }
         self.metrics.record_query(rows.len() as u64, cost);
+        STMT_COST.with(|c| c.set(c.get() + cost));
         Ok(crate::analyze::build_report(
             &plan,
             &ops,
@@ -1304,11 +1451,57 @@ impl Database {
             crate::metrics::LOCK_CONTENTION_TOTAL,
             total.saturating_sub(cur),
         );
+        // Same delta-sync for contended-acquire *time*: acquisition counts
+        // alone rank a hot uncontended lock above a slow contended one.
+        let wait_by_rank = parking_lot::contention_wait_ns();
+        let wait_total: u64 = wait_by_rank.iter().map(|(_, ns)| ns).sum();
+        let cur = reg.counter(crate::metrics::LOCK_WAIT_NS_TOTAL);
+        reg.inc_counter(
+            crate::metrics::LOCK_WAIT_NS_TOTAL,
+            wait_total.saturating_sub(cur),
+        );
         let mut out = reg.render();
         out.push_str("# TYPE aimdb_lock_contention_rank_total counter\n");
         for (rank, n) in &contention {
             out.push_str(&format!(
                 "aimdb_lock_contention_rank_total{{rank=\"{rank}\"}} {n}\n"
+            ));
+        }
+        out.push_str("# TYPE aimdb_lock_wait_ns_rank_total counter\n");
+        for (rank, ns) in &wait_by_rank {
+            out.push_str(&format!(
+                "aimdb_lock_wait_ns_rank_total{{rank=\"{rank}\"}} {ns}\n"
+            ));
+        }
+        // Process-wide wait-class attribution. Every class is always
+        // exposed (zeros included) so scrapes see a stable label set.
+        let waits = wait::global_totals();
+        out.push_str("# TYPE aimdb_wait_ns_total counter\n");
+        for class in wait::WaitClass::ALL {
+            let (ns, _) = waits.get(class);
+            out.push_str(&format!(
+                "aimdb_wait_ns_total{{class=\"{}\"}} {ns}\n",
+                class.name()
+            ));
+        }
+        out.push_str("# TYPE aimdb_wait_events_total counter\n");
+        for class in wait::WaitClass::ALL {
+            let (_, n) = waits.get(class);
+            out.push_str(&format!(
+                "aimdb_wait_events_total{{class=\"{}\"}} {n}\n",
+                class.name()
+            ));
+        }
+        // Top statement fingerprints by call count, so a scrape alone
+        // identifies the hot statements without the stats API.
+        for st in self.stmt_stats.snapshot().into_iter().take(5) {
+            out.push_str(&format!(
+                "aimdb_statement_calls_total{{fingerprint=\"{:016x}\"}} {}\n",
+                st.fingerprint, st.calls
+            ));
+            out.push_str(&format!(
+                "aimdb_statement_ns_total{{fingerprint=\"{:016x}\"}} {}\n",
+                st.fingerprint, st.total_ns
             ));
         }
         let ops = self.metrics.operator_stats();
@@ -1338,6 +1531,20 @@ impl Database {
     /// Recently completed query traces, oldest first.
     pub fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
         self.tracer.recent()
+    }
+
+    /// Per-fingerprint statement statistics, most-called first: call /
+    /// error / row counts, cost units, latency quantiles and the
+    /// wait-class breakdown accumulated across executions.
+    pub fn statement_stats(&self) -> Vec<StatementStat> {
+        self.stmt_stats.snapshot()
+    }
+
+    /// The database's flight recorder. Hold a clone to dump post-mortem
+    /// snapshots (e.g. from a [`FaultInjector`](aimdb_storage::FaultInjector)
+    /// crash hook) after the `Database` itself is gone.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
     }
 
     /// Structured JSON slow-query log lines, oldest first (queries whose
@@ -2018,9 +2225,90 @@ mod tests {
         assert!(page.contains("aimdb_operator_ns_total{op=\"project\",node=\"0\",worker=\"0\"}"));
         assert!(page.contains("aimdb_lock_contention_total"));
         assert!(page.contains("aimdb_lock_contention_rank_total{rank=\"commit_lock\"}"));
+        assert!(page.contains("aimdb_lock_wait_ns_total"));
+        // all seven wait classes are always exposed, zero or not
+        for class in wait::WaitClass::ALL {
+            assert!(
+                page.contains(&format!(
+                    "aimdb_wait_ns_total{{class=\"{}\"}}",
+                    class.name()
+                )),
+                "missing wait class {} in:\n{page}",
+                class.name()
+            );
+        }
+        assert!(page.contains("aimdb_wait_events_total{class=\"wal_fsync\"}"));
+        assert!(page.contains("aimdb_statement_calls_total{fingerprint=\""));
         let kpis = db.kpis();
         assert!(kpis.p50_cost_per_query > 0.0);
         assert!(kpis.p50_cost_per_query <= kpis.p99_cost_per_query);
+    }
+
+    #[test]
+    fn statement_stats_aggregate_by_fingerprint() {
+        let db = observability_fixture();
+        for i in 0..7 {
+            db.execute(&format!("SELECT id FROM ev WHERE amt > {i}.0"))
+                .unwrap();
+        }
+        db.execute("SELECT grp FROM ev WHERE grp = 3").unwrap();
+        let stats = db.statement_stats();
+        let hot = stats
+            .iter()
+            .find(|s| s.normalized == "select id from ev where amt > ?")
+            .expect("literal-varied statements share one fingerprint");
+        assert_eq!(hot.calls, 7);
+        assert!(hot.rows > 0);
+        assert!(hot.cost_units > 0.0);
+        assert_eq!(hot.latency.count, 7);
+        assert!(hot.latency.p50 <= hot.latency.p99);
+        // the INSERT from the fixture went through the WAL, so its
+        // fingerprint entry attributes commit-path waits
+        let ins = stats
+            .iter()
+            .find(|s| s.normalized.starts_with("insert into ev values"))
+            .expect("insert fingerprinted");
+        assert_eq!(ins.errors, 0);
+        assert!(
+            ins.waits.get(wait::WaitClass::WalFsync).1 > 0
+                || ins.waits.get(wait::WaitClass::GroupCommitFollower).1 > 0,
+            "insert saw no commit-path waits: {:?}",
+            ins.waits
+        );
+        // parse errors are observed too, under their own fingerprint
+        let _ = db.execute("SELEC id FROM ev");
+        let stats = db.statement_stats();
+        let bad = stats
+            .iter()
+            .find(|s| s.normalized == "selec id from ev")
+            .expect("parse error fingerprinted");
+        assert_eq!(bad.errors, 1);
+    }
+
+    #[test]
+    fn flight_recorder_captures_statement_lifecycle() {
+        let db = observability_fixture();
+        db.execute("SELECT COUNT(*) FROM ev").unwrap();
+        let flight = db.flight_recorder();
+        let dump = flight.dump_json("unit_test").to_string_pretty();
+        let doc = aimdb_common::json::Json::parse(&dump).expect("dump round-trips");
+        assert_eq!(doc.field("reason").unwrap().as_str().unwrap(), "unit_test");
+        let events = flight.events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert!(kinds.contains(&"stmt_begin"));
+        assert!(kinds.contains(&"stmt_end"));
+        assert!(kinds.contains(&"commit"), "fixture INSERT commits");
+        // stmt_end carries the fingerprint and elapsed time
+        let end = events
+            .iter()
+            .rev()
+            .find(|e| e.kind.name() == "stmt_end")
+            .unwrap();
+        assert_eq!(
+            end.a,
+            crate::fingerprint::fingerprint("SELECT COUNT(*) FROM ev")
+        );
+        assert_eq!(end.c, 0, "statement did not error");
     }
 
     #[test]

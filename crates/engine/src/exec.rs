@@ -9,7 +9,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 
-use aimdb_common::{AimError, Clock, Result, Row, Schema, Value};
+use aimdb_common::{AimError, Clock, Result, Row, Schema, Value, WaitSet};
 use aimdb_sql::ast::AggFunc;
 use aimdb_sql::expr::ScalarFns;
 use aimdb_sql::logical::AggExpr;
@@ -28,6 +28,9 @@ pub struct OpStats {
     pub batches: u64,
     pub ns: u64,
     pub cost_units: f64,
+    /// Blocked time by wait class incurred while pulling from this
+    /// operator's subtree (inclusive of children, like `ns`).
+    pub wait: WaitSet,
 }
 
 /// Key for per-operator counters: operator name, the preorder plan-node
@@ -136,6 +139,7 @@ impl<'a> ExecContext<'a> {
         e.batches += st.batches;
         e.ns += st.ns;
         e.cost_units += st.cost_units;
+        e.wait.merge(&st.wait);
     }
 
     /// Record one morsel worker's wall-clock footprint.

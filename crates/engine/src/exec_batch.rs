@@ -38,7 +38,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use aimdb_common::{AimError, Batch, Clock, ColVec, DataType, Result, Row, Schema, Value};
+use aimdb_common::{wait, AimError, Batch, Clock, ColVec, DataType, Result, Row, Schema, Value};
 use aimdb_sql::ast::AggFunc;
 use aimdb_sql::expr::{Expr, ScalarFns};
 use aimdb_sql::logical::AggExpr;
@@ -387,9 +387,11 @@ impl BatchOp for Instrumented<'_> {
     fn next(&mut self) -> Result<Option<Batch>> {
         let t0 = self.ctx.clock_ns();
         let c0 = self.ctx.cost_units();
+        let w0 = wait::thread_snapshot();
         let r = self.inner.next();
         let ns = self.ctx.clock_ns().saturating_sub(t0);
         let cost = self.ctx.cost_units() - c0;
+        let wait = wait::thread_snapshot().delta_since(&w0);
         let (rows, batches) = match &r {
             Ok(Some(b)) => (b.len() as u64, 1),
             _ => (0, 0),
@@ -401,6 +403,7 @@ impl BatchOp for Instrumented<'_> {
                 batches,
                 ns,
                 cost_units: cost,
+                wait,
             },
         );
         r
@@ -1240,6 +1243,9 @@ struct WorkerOut {
     stats: BTreeMap<(&'static str, usize), OpStats>,
     cost: f64,
     span: WorkerSpan,
+    /// Waits incurred on the worker thread (already in the global
+    /// totals; adopted into the coordinating thread's statement set).
+    waits: aimdb_common::WaitSet,
 }
 
 /// Pages per morsel: aim for ~8 morsels per worker so the dispenser can
@@ -1298,6 +1304,7 @@ fn run_region<'p>(
         }
         ctx.charge(out.cost);
         ctx.note_worker_span(out.span);
+        wait::adopt(&out.waits);
         pieces.extend(out.pieces);
     }
     pieces.sort_by_key(|&(idx, _)| idx);
@@ -1337,6 +1344,18 @@ fn run_worker<'p>(
         pieces.push((m.index, out));
     }
     let end_ns = region_now(clock);
+    // attribute this worker's blocked time (buffer misses, contended
+    // locks) to the scan node it pulled through, and hand the set back
+    // for statement-level adoption — the worker thread dies here, so
+    // its thread-local accumulator must be drained now
+    let waits = wait::take_thread();
+    if !waits.is_zero() {
+        acc.stats
+            .entry(("seq_scan", region.scan_node))
+            .or_default()
+            .wait
+            .merge(&waits);
+    }
     Ok(WorkerOut {
         pieces,
         stats: acc.stats,
@@ -1347,6 +1366,7 @@ fn run_worker<'p>(
             end_ns,
             busy_ns,
         },
+        waits,
     })
 }
 

@@ -29,6 +29,7 @@ pub mod catalog;
 pub mod db;
 pub mod exec;
 pub mod exec_batch;
+pub mod fingerprint;
 pub mod knobs;
 pub mod metrics;
 pub mod mvcc;
@@ -44,6 +45,7 @@ pub use analyze::{q_error, AnalyzeReport, NodeActuals};
 pub use catalog::{Catalog, Table};
 pub use db::{Database, ModelHook, QueryResult, RecoveryReport, TxnHandle};
 pub use exec_batch::{execute_batched, execute_batched_parallel};
+pub use fingerprint::{fingerprint, normalize, StatementStat, StatementStore};
 pub use knobs::Knobs;
 pub use metrics::KpiSnapshot;
 pub use mvcc::{CommitTs, Snapshot};

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::LockRank;
+use aimdb_common::{wait, LockRank, WaitClass};
 use aimdb_trace::MetricsRegistry;
 
 use crate::exec::{OpKey, OpStats};
@@ -40,6 +40,12 @@ pub const COMMIT_LATENCY_SECONDS: &str = "aimdb_commit_latency_seconds";
 /// over all ranks; per-rank counts ride the exposition page as
 /// `aimdb_lock_contention_rank_total{rank="..."}`.
 pub const LOCK_CONTENTION_TOTAL: &str = "aimdb_lock_contention_total";
+/// Nanoseconds spent blocked acquiring contended locks, summed over all
+/// ranks — the *time* companion to [`LOCK_CONTENTION_TOTAL`]'s count
+/// (an acquisition tally alone cannot distinguish a thousand cheap
+/// collisions from one long convoy). Per-rank time rides the exposition
+/// page as `aimdb_lock_wait_ns_rank_total{rank="..."}`.
+pub const LOCK_WAIT_NS_TOTAL: &str = "aimdb_lock_wait_ns_total";
 
 /// A point-in-time view of engine health metrics.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -62,6 +68,15 @@ pub struct KpiSnapshot {
     pub recoveries: u64,
     /// WAL records replayed across all recoveries.
     pub wal_records_replayed: u64,
+    /// Process-wide blocked nanoseconds acquiring contended locks.
+    pub wait_lock_ns: u64,
+    /// Process-wide blocked nanoseconds in WAL fsync (group-commit
+    /// leader window + flush) and follower waits.
+    pub wait_wal_ns: u64,
+    /// Process-wide blocked nanoseconds on buffer misses (disk reads).
+    pub wait_io_ns: u64,
+    /// Process-wide write-conflict events (first-updater-wins losers).
+    pub wait_conflicts: u64,
 }
 
 impl KpiSnapshot {
@@ -83,6 +98,10 @@ impl KpiSnapshot {
             self.txns_aborted as f64,
             self.recoveries as f64,
             self.wal_records_replayed as f64,
+            self.wait_lock_ns as f64,
+            self.wait_wal_ns as f64,
+            self.wait_io_ns as f64,
+            self.wait_conflicts as f64,
         ]
     }
 
@@ -104,6 +123,10 @@ impl KpiSnapshot {
             "txns_aborted",
             "recoveries",
             "wal_records_replayed",
+            "wait_lock_ns",
+            "wait_wal_ns",
+            "wait_io_ns",
+            "wait_conflicts",
         ]
     }
 }
@@ -179,6 +202,7 @@ impl Metrics {
         e.batches += stats.batches;
         e.ns += stats.ns;
         e.cost_units += stats.cost_units;
+        e.wait.merge(&stats.wait);
     }
 
     /// Per-operator counters accumulated since the last reset, in stable
@@ -206,6 +230,7 @@ impl Metrics {
             .registry
             .histogram(QUERY_COST_UNITS)
             .unwrap_or_default();
+        let waits = wait::global_totals();
         let avg = if cost.count > 0 {
             cost.sum / cost.count as f64
         } else {
@@ -227,6 +252,11 @@ impl Metrics {
             txns_aborted: self.registry.counter(TXN_ABORTS_TOTAL),
             recoveries: self.registry.counter(RECOVERIES_TOTAL),
             wal_records_replayed: self.registry.counter(WAL_REPLAYED_TOTAL),
+            wait_lock_ns: waits.get(WaitClass::LockAcquire).0,
+            wait_wal_ns: waits.get(WaitClass::WalFsync).0
+                + waits.get(WaitClass::GroupCommitFollower).0,
+            wait_io_ns: waits.get(WaitClass::BufferMiss).0,
+            wait_conflicts: waits.get(WaitClass::WriteConflictRetry).1,
         }
     }
 
@@ -301,6 +331,7 @@ mod tests {
                 batches: 2,
                 ns: 100,
                 cost_units: 1.0,
+                wait: Default::default(),
             },
         );
         m.record_operator(
@@ -312,6 +343,7 @@ mod tests {
                 batches: 1,
                 ns: 50,
                 cost_units: 0.5,
+                wait: Default::default(),
             },
         );
         // same (operator, node, worker) accumulates across queries
@@ -324,6 +356,7 @@ mod tests {
                 batches: 1,
                 ns: 10,
                 cost_units: 0.2,
+                wait: Default::default(),
             },
         );
         let stats = m.operator_stats();
@@ -353,6 +386,7 @@ mod tests {
                 batches: 3,
                 ns: 300,
                 cost_units: 3.0,
+                wait: Default::default(),
             },
         );
         m.record_operator(
@@ -364,6 +398,7 @@ mod tests {
                 batches: 2,
                 ns: 120,
                 cost_units: 1.2,
+                wait: Default::default(),
             },
         );
         let stats = m.operator_stats();

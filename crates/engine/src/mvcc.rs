@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard};
 
-use aimdb_common::LockRank;
+use aimdb_common::{wait, LockRank};
 use aimdb_storage::RowId;
 
 /// Commit timestamps are a monotone counter separate from transaction
@@ -226,7 +226,12 @@ impl TxnRuntime {
     /// Register `txn` as active and freeze its snapshot. Serialized with
     /// commits and checkpoints via `commit_lock`.
     pub fn register(&self, txn: u64) -> Snapshot {
+        // Serialization against in-flight commits is a SnapshotRegister
+        // wait (the lock acquire itself also counts as LockAcquire when
+        // contended; exclusive attribution keeps the two disjoint).
+        let wait = wait::enter(wait::WaitClass::SnapshotRegister);
         let _g = self.commit_lock.lock();
+        drop(wait);
         let read_ts = self.last_commit_ts();
         self.active().insert(
             txn,
@@ -281,7 +286,11 @@ impl TxnRuntime {
     /// visible to the vacuum or strictly newer than everything it
     /// removes.
     pub fn reader_enter(&self) -> CommitTs {
+        // See register(): commit_lock serialization is a
+        // SnapshotRegister wait.
+        let wait = wait::enter(wait::WaitClass::SnapshotRegister);
         let _g = self.commit_lock.lock();
+        drop(wait);
         let ts = self.last_commit_ts();
         *self.readers.lock().entry(ts).or_insert(0) += 1;
         ts

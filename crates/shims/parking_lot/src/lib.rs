@@ -23,17 +23,21 @@ use std::sync::{self, LockResult, TryLockError};
 
 pub use aimdb_common::LockRank;
 
-/// Per-rank count of contended acquisitions: the lock was held by
-/// another thread when `lock()`/`read()`/`write()` arrived, so the
-/// caller had to block. Active in debug and release builds.
+/// Per-rank contention statistics: how often a `lock()`/`read()`/
+/// `write()` arrived while the lock was held by another thread, and how
+/// long those blocked acquisitions took. Active in debug and release
+/// builds — none of this is coupled to the debug-only witness.
 mod contention {
     use super::LockRank;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
 
     const SLOTS: usize = LockRank::ALL.len();
     #[allow(clippy::declare_interior_mutable_const)]
     const ZERO: AtomicU64 = AtomicU64::new(0);
     static COUNTS: [AtomicU64; SLOTS] = [ZERO; SLOTS];
+    /// Nanoseconds spent blocked in contended acquisitions, per rank.
+    static WAIT_NS: [AtomicU64; SLOTS] = [ZERO; SLOTS];
 
     pub(crate) fn note(rank: Option<LockRank>) {
         if let Some(r) = rank {
@@ -43,11 +47,37 @@ mod contention {
         }
     }
 
+    /// Run `acquire` (a blocking lock acquisition that already lost its
+    /// try-lock race) inside a timed wait frame: the blocked time lands
+    /// in the per-rank counter *and* on the calling thread's wait stack
+    /// as a `LockAcquire` wait.
+    pub(crate) fn timed_acquire<G>(rank: Option<LockRank>, acquire: impl FnOnce() -> G) -> G {
+        note(rank);
+        let wait = aimdb_common::wait::enter(aimdb_common::wait::WaitClass::LockAcquire);
+        let t0 = Instant::now();
+        let g = acquire();
+        if let Some(r) = rank {
+            let ns = t0.elapsed().as_nanos() as u64;
+            // ordering: Relaxed — monotone statistics counter, read racily.
+            WAIT_NS[r.idx()].fetch_add(ns, Ordering::Relaxed);
+        }
+        drop(wait);
+        g
+    }
+
     pub(crate) fn snapshot() -> Vec<(&'static str, u64)> {
         LockRank::ALL
             .iter()
             // ordering: Relaxed — same counter; an approximate read is fine.
             .map(|r| (r.name(), COUNTS[r.idx()].load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn snapshot_wait_ns() -> Vec<(&'static str, u64)> {
+        LockRank::ALL
+            .iter()
+            // ordering: Relaxed — monotone counter read racily for display.
+            .map(|r| (r.name(), WAIT_NS[r.idx()].load(Ordering::Relaxed)))
             .collect()
     }
 }
@@ -56,6 +86,13 @@ mod contention {
 /// rank is present (zeros included) so metric expositions are stable.
 pub fn contention_counts() -> Vec<(&'static str, u64)> {
     contention::snapshot()
+}
+
+/// Cumulative nanoseconds spent blocked in contended acquisitions, per
+/// rank in rank order (zeros included). Like [`contention_counts`],
+/// active in both debug and release builds.
+pub fn contention_wait_ns() -> Vec<(&'static str, u64)> {
+    contention::snapshot_wait_ns()
 }
 
 /// The debug-build lock-order witness.
@@ -281,8 +318,7 @@ impl<T: ?Sized> Mutex<T> {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
-                contention::note(self.rank);
-                recover(self.inner.lock())
+                contention::timed_acquire(self.rank, || recover(self.inner.lock()))
             }
         };
         MutexGuard {
@@ -432,8 +468,7 @@ impl<T: ?Sized> RwLock<T> {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
-                contention::note(self.rank);
-                recover(self.inner.read())
+                contention::timed_acquire(self.rank, || recover(self.inner.read()))
             }
         };
         RwLockReadGuard {
@@ -447,8 +482,7 @@ impl<T: ?Sized> RwLock<T> {
             Ok(g) => g,
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
-                contention::note(self.rank);
-                recover(self.inner.write())
+                contention::timed_acquire(self.rank, || recover(self.inner.write()))
             }
         };
         RwLockWriteGuard {
@@ -649,21 +683,40 @@ mod tests {
             .find(|(n, _)| *n == "wal_group")
             .map(|(_, c)| *c)
             .unwrap_or(0);
+        let before_ns = contention_wait_ns()
+            .iter()
+            .find(|(n, _)| *n == "wal_group")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         let m2 = Arc::clone(&m);
         let g = m.lock();
         let t = std::thread::spawn(move || {
-            // blocks: the parent holds the lock
+            // blocks: the parent holds the lock; the blocked time must
+            // land on this thread's wait stack as a LockAcquire wait
+            let _ = aimdb_common::wait::take_thread();
             *m2.lock() += 1;
+            aimdb_common::wait::take_thread()
         });
         // hold long enough for the child to hit the contended path
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(g);
-        t.join().unwrap();
+        let child_waits = t.join().unwrap();
         let after = contention_counts()
             .iter()
             .find(|(n, _)| *n == "wal_group")
             .map(|(_, c)| *c)
             .unwrap_or(0);
+        let after_ns = contention_wait_ns()
+            .iter()
+            .find(|(n, _)| *n == "wal_group")
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
         assert!(after > before, "contended acquire was counted");
+        // works in BOTH profiles: the counters are not witness-coupled,
+        // so this assertion also holds under `cargo test --release`
+        assert!(after_ns > before_ns, "contended acquire time was counted");
+        let (ns, n) = child_waits.get(aimdb_common::wait::WaitClass::LockAcquire);
+        assert!(n >= 1, "wait stack saw the contended acquire");
+        assert!(ns > 0, "wait stack measured blocked time");
     }
 }

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use aimdb_common::{AimError, LockRank, Result};
+use aimdb_common::{wait, AimError, LockRank, Result};
 
 use crate::disk::PageStore;
 use crate::page::{Page, PageId};
@@ -116,10 +116,14 @@ impl BufferPool {
             inner.stats.hits += 1;
         } else {
             inner.stats.misses += 1;
+            // A miss stalls the caller on storage: eviction (possibly a
+            // dirty write-back) plus the page read are a BufferMiss wait.
+            let wait = wait::enter(wait::WaitClass::BufferMiss);
             if inner.frames.len() >= inner.capacity {
                 Self::evict_lru(self.disk.as_ref(), inner)?;
             }
             let page = self.disk.read(id)?;
+            drop(wait);
             inner.frames.insert(
                 id,
                 Frame {

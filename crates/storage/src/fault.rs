@@ -82,6 +82,11 @@ struct InjectorState {
 pub struct FaultInjector {
     disk: Arc<Disk>,
     state: Mutex<InjectorState>,
+    /// Invoked exactly once, when the scripted crash first fires — after
+    /// the state lock is released, so the hook may take higher-ranked
+    /// locks (e.g. dump a flight recorder). The caller's storage locks
+    /// (WalSink, BufferPool, ...) may still be held.
+    crash_hook: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 enum Verdict {
@@ -102,7 +107,15 @@ impl FaultInjector {
                 },
                 LockRank::FaultInjector,
             ),
+            crash_hook: Mutex::with_rank(None, LockRank::FaultHook),
         }
+    }
+
+    /// Install a callback fired once when the scripted crash triggers —
+    /// the crash-dump hook. Harnesses use it to snapshot a flight
+    /// recorder at the exact moment of the simulated failure.
+    pub fn set_crash_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        *self.crash_hook.lock() = Some(Arc::new(hook));
     }
 
     /// The wrapped disk — what survives the crash. Recovery reopens this
@@ -137,22 +150,34 @@ impl FaultInjector {
         };
     }
 
-    /// Count a mutating operation and decide its fate.
+    /// Count a mutating operation and decide its fate. Fires the crash
+    /// hook (once, outside the state lock) when the scripted crash
+    /// triggers.
     fn mutating_op(&self) -> (Verdict, TornMode) {
-        let mut st = self.state.lock();
-        if st.crashed {
-            return (Verdict::Crash, st.plan.torn_tail);
+        let (verdict, torn, first_crash) = {
+            let mut st = self.state.lock();
+            if st.crashed {
+                (Verdict::Crash, st.plan.torn_tail, false)
+            } else {
+                st.ops += 1;
+                let ops = st.ops;
+                if st.plan.crash_after_ops == Some(ops) {
+                    st.crashed = true;
+                    (Verdict::Crash, st.plan.torn_tail, true)
+                } else if st.plan.io_error_at.contains(&ops) {
+                    (Verdict::Transient, st.plan.torn_tail, false)
+                } else {
+                    (Verdict::Proceed, st.plan.torn_tail, false)
+                }
+            }
+        };
+        if first_crash {
+            let hook = self.crash_hook.lock().clone();
+            if let Some(h) = hook {
+                h();
+            }
         }
-        st.ops += 1;
-        let ops = st.ops;
-        if st.plan.crash_after_ops == Some(ops) {
-            st.crashed = true;
-            return (Verdict::Crash, st.plan.torn_tail);
-        }
-        if st.plan.io_error_at.contains(&ops) {
-            return (Verdict::Transient, st.plan.torn_tail);
-        }
-        (Verdict::Proceed, st.plan.torn_tail)
+        (verdict, torn)
     }
 
     fn check_alive(&self) -> Result<()> {
@@ -317,6 +342,27 @@ mod tests {
         assert!(inj.crashed());
         inj.arm(FaultPlan::default());
         assert!(inj.allocate().is_err(), "still dead after re-arming");
+    }
+
+    #[test]
+    fn crash_hook_fires_exactly_once_at_first_crash() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let inj = FaultInjector::new(Arc::new(Disk::new()), FaultPlan::crash_after(2));
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired2 = Arc::clone(&fired);
+        inj.set_crash_hook(move || {
+            // ordering: Relaxed — test counter, joined before the assert.
+            fired2.fetch_add(1, Ordering::Relaxed);
+        });
+        let id = inj.allocate().unwrap(); // op 1: healthy, no hook
+                                          // ordering: Relaxed — test counter.
+        assert_eq!(fired.load(Ordering::Relaxed), 0);
+        assert!(inj.write(id, &Page::new()).is_err()); // op 2: crash
+                                                       // ordering: Relaxed — test counter.
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fired at crash");
+        assert!(inj.wal_append(b"x").is_err()); // already dead: no re-fire
+                                                // ordering: Relaxed — test counter.
+        assert_eq!(fired.load(Ordering::Relaxed), 1, "hook fires only once");
     }
 
     #[test]

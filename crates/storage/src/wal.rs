@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use aimdb_common::LockRank;
+use aimdb_common::{wait, LockRank};
 use bytes::{Buf, BufMut};
 use parking_lot::{Condvar, Mutex};
 
@@ -786,15 +786,21 @@ impl Wal {
             }
             if g.flush_in_progress {
                 // Follower: ride out the in-flight attempt, then re-check.
+                // Parked time is a GroupCommitFollower wait.
+                let wait = wait::enter(wait::WaitClass::GroupCommitFollower);
                 let attempt = g.attempts;
                 while g.flush_in_progress && g.attempts == attempt {
                     self.group_cv.wait(&mut g);
                 }
+                drop(wait);
                 continue;
             }
             // Leader.
             g.flush_in_progress = true;
             drop(g);
+            // The batching window plus the single sink flush is the
+            // leader's WalFsync wait — durability stall, not cpu.
+            let fsync_wait = wait::enter(wait::WaitClass::WalFsync);
             if window_us > 0 {
                 std::thread::sleep(Duration::from_micros(window_us));
             }
@@ -805,6 +811,7 @@ impl Wal {
             };
             let had_bytes = self.sink.buffered() > 0;
             let res = self.sink.flush();
+            drop(fsync_wait);
             let mut g = self.group.lock();
             g.flush_in_progress = false;
             g.attempts += 1;

@@ -1,0 +1,303 @@
+//! Crash-dump flight recorder: a fixed-size ring of recent structured
+//! events, written with zero allocation per record.
+//!
+//! The recorder answers the post-mortem question "what was the system
+//! doing just before it died?". Engine paths record compact
+//! [`FlightEvent`]s (statement begin/end, commit, write conflict,
+//! recovery, fault injection); a harness dumps the ring to a structured
+//! JSON snapshot on demand — typically from a `FaultInjector` crash
+//! hook, so every scripted crash ships a post-mortem.
+//!
+//! Recording must be cheap and safe from any path, including ones that
+//! already hold storage locks: events are fixed-size `Copy` structs
+//! written into a pre-allocated ring under the highest-but-one lock rank
+//! (`LockRank::FlightRecorder`), and the hot path never allocates.
+
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use aimdb_common::json::Json;
+use aimdb_common::LockRank;
+
+/// What happened. The payload meaning of `a`/`b`/`c` is per-kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// Statement started; `a` = statement fingerprint.
+    StmtBegin = 0,
+    /// Statement finished; `a` = fingerprint, `b` = elapsed ns,
+    /// `c` = 0 ok / 1 error.
+    StmtEnd = 1,
+    /// Transaction committed; `a` = txn id, `b` = commit timestamp.
+    Commit = 2,
+    /// Transaction aborted / rolled back; `a` = txn id.
+    Abort = 3,
+    /// MVCC first-updater-wins conflict; `a` = losing txn id.
+    WriteConflict = 4,
+    /// Crash recovery completed; `a` = WAL records replayed.
+    Recovery = 5,
+    /// Injected fault fired; `a` = 0 transient / 1 crash.
+    FaultInjected = 6,
+    /// Lock-order witness violation observed; `a` = buffered count.
+    LockOrderViolation = 7,
+}
+
+impl FlightKind {
+    /// Stable snake_case name used in dump snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FlightKind::StmtBegin => "stmt_begin",
+            FlightKind::StmtEnd => "stmt_end",
+            FlightKind::Commit => "commit",
+            FlightKind::Abort => "abort",
+            FlightKind::WriteConflict => "write_conflict",
+            FlightKind::Recovery => "recovery",
+            FlightKind::FaultInjected => "fault_injected",
+            FlightKind::LockOrderViolation => "lock_order_violation",
+        }
+    }
+}
+
+/// One recorded event: fixed-size, `Copy`, no heap payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (global order of record calls).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub t_ns: u64,
+    pub kind: FlightKind,
+    pub a: u64,
+    pub b: u64,
+    pub c: u64,
+}
+
+struct Ring {
+    /// Pre-allocated at construction; never grows afterwards.
+    buf: Vec<FlightEvent>,
+    /// Next write position (buf is a circular buffer once full).
+    next: usize,
+    /// Total events ever recorded (so `seq` survives wrap-around).
+    seq: u64,
+}
+
+/// A fixed-capacity, zero-allocation-on-record event ring.
+pub struct FlightRecorder {
+    inner: Mutex<Ring>,
+    origin: Instant,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// Default ring capacity: enough for the tail of a busy run without
+    /// measurable memory cost (each event is a few words).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Mutex::with_rank(
+                Ring {
+                    buf: Vec::with_capacity(capacity),
+                    next: 0,
+                    seq: 0,
+                },
+                LockRank::FlightRecorder,
+            ),
+            // aimdb-lint: allow(L002, flight-recorder timestamps are observability-only)
+            origin: Instant::now(),
+            capacity,
+        }
+    }
+
+    /// Ring capacity in events (fixed at construction).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently buffered (≤ capacity).
+    pub fn len(&self) -> usize {
+        let g = self.inner.lock();
+        g.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (monotone, survives wrap-around).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().seq
+    }
+
+    /// Record one event. No allocation: the ring was pre-allocated and
+    /// events are `Copy`.
+    pub fn record(&self, kind: FlightKind, a: u64, b: u64, c: u64) {
+        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        let mut g = self.inner.lock();
+        let seq = g.seq;
+        g.seq += 1;
+        let ev = FlightEvent {
+            seq,
+            t_ns,
+            kind,
+            a,
+            b,
+            c,
+        };
+        if g.buf.len() < self.capacity {
+            g.buf.push(ev);
+        } else {
+            let at = g.next;
+            g.buf[at] = ev;
+        }
+        g.next = (g.next + 1) % self.capacity;
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let g = self.inner.lock();
+        let mut out = Vec::with_capacity(g.buf.len());
+        if g.buf.len() < self.capacity {
+            out.extend_from_slice(&g.buf);
+        } else {
+            out.extend_from_slice(&g.buf[g.next..]);
+            out.extend_from_slice(&g.buf[..g.next]);
+        }
+        out
+    }
+
+    /// Structured JSON snapshot: header (capacity, totals, lock-order
+    /// violation count from the shim witness) plus the buffered events
+    /// oldest-first. `reason` labels why the dump was taken
+    /// (e.g. `"injected_crash"`, `"on_demand"`).
+    pub fn dump_json(&self, reason: &str) -> Json {
+        let events = self.events();
+        let arr = events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("seq", Json::Num(e.seq as f64)),
+                    ("t_ns", Json::Num(e.t_ns as f64)),
+                    ("kind", Json::Str(e.kind.name().to_string())),
+                    ("a", Json::Num(e.a as f64)),
+                    ("b", Json::Num(e.b as f64)),
+                    ("c", Json::Num(e.c as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("flight_recorder", Json::Str("aimdb".to_string())),
+            ("reason", Json::Str(reason.to_string())),
+            ("capacity", Json::Num(self.capacity as f64)),
+            ("recorded_total", Json::Num(self.recorded() as f64)),
+            (
+                "lock_order_violations",
+                Json::Num(parking_lot::witness::violation_count() as f64),
+            ),
+            ("events", Json::Arr(arr)),
+        ])
+    }
+
+    /// Human-readable snapshot: one line per event plus a header.
+    pub fn dump_text(&self, reason: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# flight recorder dump (reason={reason}, recorded={}, capacity={})",
+            self.recorded(),
+            self.capacity
+        );
+        for e in self.events() {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>14}ns {:<22} a={} b={} c={}",
+                e.seq,
+                e.t_ns,
+                e.kind.name(),
+                e.a,
+                e.b,
+                e.c
+            );
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_newest_events_in_order() {
+        let fr = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            fr.record(FlightKind::StmtBegin, i, 0, 0);
+        }
+        assert_eq!(fr.len(), 4);
+        assert_eq!(fr.recorded(), 10);
+        let evs = fr.events();
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest-first, newest retained");
+        assert_eq!(evs[3].a, 9);
+    }
+
+    #[test]
+    fn memory_is_bounded_under_sustained_load() {
+        let fr = FlightRecorder::new(64);
+        // Far more records than capacity: the ring must not grow.
+        for i in 0..100_000u64 {
+            fr.record(FlightKind::Commit, i, i * 2, 0);
+        }
+        assert_eq!(fr.len(), 64);
+        assert_eq!(fr.capacity(), 64);
+        assert_eq!(fr.recorded(), 100_000);
+        // the backing buffer never reallocated past its preallocation
+        let g = fr.inner.lock();
+        assert!(g.buf.capacity() >= 64 && g.buf.capacity() < 128);
+    }
+
+    #[test]
+    fn dump_json_parses_and_carries_events() {
+        let fr = FlightRecorder::new(8);
+        fr.record(FlightKind::StmtBegin, 42, 0, 0);
+        fr.record(FlightKind::WriteConflict, 7, 0, 0);
+        fr.record(FlightKind::StmtEnd, 42, 1234, 1);
+        let text = fr.dump_json("on_demand").to_string_pretty();
+        let parsed = Json::parse(&text).expect("dump is valid json");
+        assert_eq!(
+            parsed.field("reason").and_then(Json::as_str).ok(),
+            Some("on_demand")
+        );
+        let evs = parsed
+            .field("events")
+            .and_then(Json::as_arr)
+            .expect("events array");
+        assert_eq!(evs.len(), 3);
+        assert_eq!(
+            evs[1].field("kind").and_then(Json::as_str).ok(),
+            Some("write_conflict")
+        );
+        assert_eq!(evs[2].field("b").and_then(Json::as_f64).ok(), Some(1234.0));
+        // text dump carries the same events
+        let txt = fr.dump_text("on_demand");
+        assert!(txt.contains("write_conflict"));
+        assert!(txt.contains("reason=on_demand"));
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let fr = FlightRecorder::new(8);
+        fr.record(FlightKind::StmtBegin, 1, 0, 0);
+        fr.record(FlightKind::StmtEnd, 1, 0, 0);
+        let evs = fr.events();
+        assert!(evs[0].t_ns <= evs[1].t_ns);
+    }
+}

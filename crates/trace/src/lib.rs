@@ -19,12 +19,14 @@
 //! deterministic under a [`aimdb_common::clock::ManualClock`].
 
 pub mod exposition;
+pub mod flight;
 pub mod histogram;
 pub mod registry;
 pub mod span;
 pub mod tracer;
 
 pub use exposition::validate_exposition;
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::MetricsRegistry;
 pub use span::{OpProfile, QueryTrace, Span, TraceBuilder};

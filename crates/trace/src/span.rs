@@ -12,6 +12,7 @@
 
 use aimdb_common::clock::Clock;
 use aimdb_common::json::Json;
+use aimdb_common::wait::WaitSet;
 
 /// One timed phase of a query's lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +55,9 @@ pub struct OpProfile {
     pub ns: u64,
     /// Inclusive cost units charged while pulling from this subtree.
     pub cost_units: f64,
+    /// Inclusive blocked time by wait class while pulling from this
+    /// subtree; `ns - wait.total_ns()` approximates on-cpu time.
+    pub wait: WaitSet,
 }
 
 /// A completed query trace: the span tree plus the operator profile.
@@ -64,6 +68,9 @@ pub struct QueryTrace {
     /// Span 0 is always the root `query` span.
     pub spans: Vec<Span>,
     pub ops: Vec<OpProfile>,
+    /// Per-wait-class blocked time attributed to this statement; the
+    /// remainder of the root span is cpu ([`QueryTrace::cpu_ns`]).
+    pub waits: WaitSet,
 }
 
 impl QueryTrace {
@@ -97,6 +104,12 @@ impl QueryTrace {
         self.spans.iter().map(|s| s.rows).sum()
     }
 
+    /// Wall time not attributed to any wait class: the statement's
+    /// approximate on-cpu time.
+    pub fn cpu_ns(&self) -> u64 {
+        self.duration_ns().saturating_sub(self.waits.total_ns())
+    }
+
     /// Structured JSON event for the slow-query log.
     pub fn to_json(&self) -> Json {
         let spans = self
@@ -124,14 +137,29 @@ impl QueryTrace {
                     ("batches", Json::Num(o.batches as f64)),
                     ("ns", Json::Num(o.ns as f64)),
                     ("cost_units", Json::Num(o.cost_units)),
+                    ("wait_ns", Json::Num(o.wait.total_ns() as f64)),
+                ])
+            })
+            .collect();
+        let waits = self
+            .waits
+            .entries()
+            .into_iter()
+            .map(|(class, ns, count)| {
+                Json::obj(vec![
+                    ("class", Json::Str(class.to_string())),
+                    ("ns", Json::Num(ns as f64)),
+                    ("count", Json::Num(count as f64)),
                 ])
             })
             .collect();
         Json::obj(vec![
             ("label", Json::Str(self.label.clone())),
             ("duration_ns", Json::Num(self.duration_ns() as f64)),
+            ("cpu_ns", Json::Num(self.cpu_ns() as f64)),
             ("cost_units", Json::Num(self.total_cost())),
             ("rows", Json::Num(self.total_rows() as f64)),
+            ("waits", Json::Arr(waits)),
             ("spans", Json::Arr(spans)),
             ("ops", Json::Arr(ops)),
         ])
@@ -146,6 +174,7 @@ pub struct TraceBuilder<'c> {
     /// Indices of currently open spans, root first.
     stack: Vec<usize>,
     ops: Vec<OpProfile>,
+    waits: WaitSet,
 }
 
 impl<'c> TraceBuilder<'c> {
@@ -157,6 +186,7 @@ impl<'c> TraceBuilder<'c> {
             spans: Vec::new(),
             stack: Vec::new(),
             ops: Vec::new(),
+            waits: WaitSet::default(),
         };
         tb.push_span("query", None);
         tb
@@ -249,6 +279,12 @@ impl<'c> TraceBuilder<'c> {
         self.ops = ops;
     }
 
+    /// Attach the statement's per-wait-class blocked time (replacing any
+    /// previous set).
+    pub fn set_waits(&mut self, waits: WaitSet) {
+        self.waits = waits;
+    }
+
     /// Record an already-timed child span under the innermost open span —
     /// used for intervals measured off the builder's stack discipline,
     /// like morsel workers that ran concurrently inside `execute` (their
@@ -285,6 +321,7 @@ impl<'c> TraceBuilder<'c> {
             label: self.label,
             spans: self.spans,
             ops: self.ops,
+            waits: self.waits,
         }
     }
 }
@@ -387,6 +424,7 @@ mod tests {
             batches: 1,
             ns: 42,
             cost_units: 99.0,
+            wait: WaitSet::default(),
         });
         let text = t.to_json().to_string_compact();
         let parsed = Json::parse(&text).expect("valid json");

@@ -2,7 +2,8 @@
 //! read everything the engine now exposes about it — `EXPLAIN ANALYZE`
 //! with per-operator actuals and Q-errors, the Prometheus-style metrics
 //! page (validated against the exposition grammar), the query-trace
-//! ring, and the structured slow-query log.
+//! ring, the structured slow-query log, the statement fingerprint store
+//! with per-class wait attribution, and the flight-recorder event ring.
 
 use aimdb::engine::trace::validate_exposition;
 use aimdb::engine::{Database, QueryResult};
@@ -91,4 +92,57 @@ fn main() {
         "the self-join should have crossed the slow threshold"
     );
     println!("-- {} slow quer(ies) captured --", slow.len());
+
+    println!("\n== statement fingerprint store ==");
+    // the wait-class exposition must survive the release profile: these
+    // lines come from the shim's always-on counters, not the witness
+    assert!(page.contains("aimdb_wait_ns_total{class=\"wal_fsync\"}"));
+    assert!(page.contains("aimdb_lock_wait_ns_total"));
+    let stats = db.statement_stats();
+    assert!(!stats.is_empty(), "workload must be fingerprinted");
+    for s in stats.iter().take(5) {
+        let label: String = s.normalized.chars().take(56).collect();
+        println!(
+            "  {:016x} calls={:<3} rows={:<6} p95={:.3}ms {label}",
+            s.fingerprint,
+            s.calls,
+            s.rows,
+            s.latency.p95 / 1e6
+        );
+        let entries = s.waits.entries();
+        if !entries.is_empty() {
+            let parts: Vec<String> = entries
+                .iter()
+                .map(|(class, ns, n)| format!("{class} {:.3}ms/{n}", *ns as f64 / 1e6))
+                .collect();
+            println!("      waits: {}", parts.join(" | "));
+        }
+    }
+    let ins = stats
+        .iter()
+        .find(|s| s.normalized.starts_with("insert"))
+        .expect("bulk load fingerprinted");
+    assert!(
+        !ins.waits.is_zero(),
+        "the WAL-committed load must attribute commit-path waits"
+    );
+
+    println!("\n== flight recorder (last 6 events) ==");
+    let flight = db.flight_recorder();
+    let events = flight.events();
+    assert!(!events.is_empty(), "statements must leave flight events");
+    for e in events.iter().rev().take(6).rev() {
+        println!(
+            "  #{:<5} +{:>9.3}ms {:<12} a={} b={} c={}",
+            e.seq,
+            e.t_ns as f64 / 1e6,
+            e.kind.name(),
+            e.a,
+            e.b,
+            e.c
+        );
+    }
+    let dump = flight.dump_json("example").to_string_pretty();
+    aimdb::common::json::Json::parse(&dump).expect("flight dump must round-trip");
+    println!("-- dump_json round-trips ({} bytes) --", dump.len());
 }

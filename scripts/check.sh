@@ -38,6 +38,12 @@ run cargo test -q --test txn_writer_races
 run cargo test -q -p aimdb-storage --test proptests
 run cargo test -q -p aimdb-sql --test vexpr_proptests
 run cargo test -q --test index_model_recovery
+# statement-fingerprint collision soak: 60 statement shapes x 20 literal
+# variants — literal-insensitive within a shape, no cross-shape collisions
+run cargo test -q -p aimdb-bench --test fingerprint_corpus
+# lock contention export must survive the release profile: the witness is
+# debug-only but the contended-acquire count/time counters are not
+run cargo test -q --release -p parking_lot contention_is_counted_per_rank
 # static plan verifier must accept every executable query in a 1k-query
 # random corpus (debug builds also verify every plan inline)
 run cargo run -q --release -p aimdb-bench --bin verify_corpus

@@ -176,6 +176,61 @@ fn injected_faults_surface_as_errors_not_panics() {
     db.execute("INSERT INTO t VALUES (99)").unwrap();
 }
 
+#[test]
+fn crash_hook_dumps_parseable_flight_snapshot() {
+    let disk = Arc::new(Disk::new());
+    let inj = Arc::new(FaultInjector::new(
+        disk,
+        FaultPlan::crash_after(12).with_torn_tail(TornMode::Prefix),
+    ));
+    let store: Arc<dyn PageStore> = inj.clone();
+    let db = Database::with_store(store);
+    db.execute("CREATE TABLE t (id INT, tag TEXT)").unwrap();
+
+    // The hook fires at the exact store op where the scripted crash
+    // lands, while the dying database's flight recorder still holds the
+    // final statements — the post-mortem the ring buffer exists for.
+    let dump: Arc<std::sync::Mutex<Option<String>>> = Arc::default();
+    let flight = db.flight_recorder();
+    let sink = Arc::clone(&dump);
+    inj.set_crash_hook(move || {
+        let text = flight.dump_json("scripted_crash").to_string_pretty();
+        *sink.lock().unwrap() = Some(text);
+    });
+
+    let mut crashed = false;
+    for i in 0..200 {
+        if db
+            .execute(&format!("INSERT INTO t VALUES ({i}, 'x')"))
+            .is_err()
+        {
+            crashed = true;
+            break;
+        }
+    }
+    assert!(crashed && inj.crashed(), "scripted crash never fired");
+
+    let text = dump.lock().unwrap().take().expect("crash hook ran");
+    let doc = aimdb::common::json::Json::parse(&text).expect("snapshot parses");
+    assert_eq!(
+        doc.field("reason").unwrap().as_str().unwrap(),
+        "scripted_crash"
+    );
+    let events = doc.field("events").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty(), "post-mortem must carry events");
+    let kinds: Vec<&str> = events
+        .iter()
+        .map(|e| e.field("kind").unwrap().as_str().unwrap())
+        .collect();
+    assert!(kinds.contains(&"stmt_begin"), "{kinds:?}");
+    assert!(kinds.contains(&"commit"), "{kinds:?}");
+
+    // the post-mortem is a side channel: recovery itself is unaffected
+    drop(db);
+    let (rdb, _report) = Database::recover(inj.underlying()).unwrap();
+    rdb.execute("SELECT COUNT(*) FROM t").unwrap();
+}
+
 // ---------------------------------------------------------------------------
 // Randomized crash/recover loop.
 
