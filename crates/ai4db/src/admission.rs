@@ -1,0 +1,280 @@
+//! Admission-control tuning: the actuation half of the Baihe-style
+//! closed loop (PAPERS.md §self-driving).
+//!
+//! The server's admission gate bounds how many statements may be inside
+//! the engine at once. This module decides *where* that bound should
+//! sit, from the same observability surfaces the health monitor reads:
+//! [`crate::monitor::live_kpi_vector`] (cost, hit rate, disk reads,
+//! contention, p95 tail) plus the wait-class shares of
+//! [`aimdb_common::WaitSet`]. The policy is AIMD with hysteresis —
+//! multiplicative decrease when the engine shows contention collapse,
+//! additive increase when it runs clean — because admission limits have
+//! the same stability shape as congestion windows: overshoot is
+//! expensive (p99 collapse), undershoot is cheap (a few rejects).
+//!
+//! Everything here is pure and deterministic (lint L002): the tuner
+//! consumes snapshots the caller took and returns a target; the server's
+//! control-loop thread owns the clock and the actuation (a
+//! `SET admission_max_statements = target` through the knob system, so
+//! actuations are visible exactly like any DBA knob change).
+
+use aimdb_common::{WaitClass, WaitSet};
+
+/// Relative share of attributed wait time per class over an observation
+/// window, plus the conflict-event count — the contention signature the
+/// tuner steers on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WaitShares {
+    /// Lock-acquire share of total attributed wait time, in [0, 1].
+    pub lock: f64,
+    /// WAL fsync + group-commit-follower share, in [0, 1].
+    pub wal: f64,
+    /// Buffer-miss (disk I/O) share, in [0, 1].
+    pub io: f64,
+    /// First-updater-wins conflict events in the window.
+    pub conflicts: u64,
+}
+
+impl WaitShares {
+    /// Shares from a wait-set delta (window totals). A zero set yields
+    /// all-zero shares, not NaN.
+    pub fn from_waits(w: &WaitSet) -> WaitShares {
+        let lock = w.get(WaitClass::LockAcquire).0;
+        let wal = w.get(WaitClass::WalFsync).0 + w.get(WaitClass::GroupCommitFollower).0;
+        let io = w.get(WaitClass::BufferMiss).0;
+        let total = w.total_ns() as f64;
+        let share = |ns: u64| {
+            if total > 0.0 {
+                ns as f64 / total
+            } else {
+                0.0
+            }
+        };
+        WaitShares {
+            lock: share(lock),
+            wal: share(wal),
+            io: share(io),
+            conflicts: w.get(WaitClass::WriteConflictRetry).1,
+        }
+    }
+}
+
+/// One control decision: the new statement-gate limit and why.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionAction {
+    /// Contention pressure above the high water: halve the limit.
+    Shrink,
+    /// Clean window at the current limit: add one slot back.
+    Grow,
+    /// Inside the hysteresis band (or still backing off): no change.
+    Hold,
+}
+
+/// AIMD admission tuner over the statement-gate limit.
+///
+/// Inputs per tick: the 5-dim live KPI vector (each dim already squashed
+/// into [0, 1]), the wait-class shares of the window, and the window's
+/// admission reject rate. The pressure signal is the max of the KPI
+/// contention dim, the KPI tail dim, and the lock+wal wait share — any
+/// one of them saturating means more concurrency will only queue on
+/// shared resources.
+#[derive(Debug, Clone)]
+pub struct AdmissionTuner {
+    min_limit: i64,
+    max_limit: i64,
+    limit: i64,
+    /// Pressure above this triggers multiplicative decrease.
+    pub high_water: f64,
+    /// Pressure below this (sustained) allows additive increase.
+    pub low_water: f64,
+    /// Consecutive clean ticks required before growing (hysteresis).
+    pub patience: u32,
+    clean_ticks: u32,
+    shrinks: u64,
+    grows: u64,
+}
+
+impl AdmissionTuner {
+    pub fn new(min_limit: i64, max_limit: i64, start: i64) -> AdmissionTuner {
+        let min_limit = min_limit.max(1);
+        let max_limit = max_limit.max(min_limit);
+        AdmissionTuner {
+            min_limit,
+            max_limit,
+            limit: start.clamp(min_limit, max_limit),
+            high_water: 0.6,
+            low_water: 0.3,
+            patience: 2,
+            clean_ticks: 0,
+            shrinks: 0,
+            grows: 0,
+        }
+    }
+
+    /// The current target limit.
+    pub fn limit(&self) -> i64 {
+        self.limit
+    }
+
+    /// `(shrinks, grows)` actuation counts so far.
+    pub fn actuations(&self) -> (u64, u64) {
+        (self.shrinks, self.grows)
+    }
+
+    /// The scalar contention-pressure signal in [0, 1] the AIMD loop
+    /// compares against its water marks.
+    pub fn pressure(kpi: &[f64], shares: &WaitShares) -> f64 {
+        // live_kpi_vector layout: [avg cost, hit rate, disk reads,
+        // max(abort rate, lock share), p95]. Dim 1 is goodness, not
+        // pressure, so it is excluded.
+        let contention = kpi.get(3).copied().unwrap_or(0.0);
+        let tail = kpi.get(4).copied().unwrap_or(0.0);
+        let wait = (shares.lock + shares.wal).clamp(0.0, 1.0);
+        contention.max(tail).max(wait).clamp(0.0, 1.0)
+    }
+
+    /// One control tick: observe a window, return the action taken. The
+    /// new target is [`AdmissionTuner::limit`]. `reject_rate` is the
+    /// window's rejected/offered statement ratio — while load is being
+    /// shed and the engine runs clean, the tuner grows back faster than
+    /// patience alone would allow (the shed load is demand, not noise).
+    pub fn observe(
+        &mut self,
+        kpi: &[f64],
+        shares: &WaitShares,
+        reject_rate: f64,
+    ) -> AdmissionAction {
+        let pressure = Self::pressure(kpi, shares);
+        if pressure > self.high_water {
+            self.clean_ticks = 0;
+            let next = (self.limit / 2).max(self.min_limit);
+            if next < self.limit {
+                self.limit = next;
+                self.shrinks += 1;
+                return AdmissionAction::Shrink;
+            }
+            return AdmissionAction::Hold;
+        }
+        if pressure < self.low_water {
+            self.clean_ticks = self.clean_ticks.saturating_add(1);
+            let needed = if reject_rate > 0.0 { 1 } else { self.patience };
+            if self.clean_ticks >= needed && self.limit < self.max_limit {
+                self.clean_ticks = 0;
+                self.limit += 1;
+                self.grows += 1;
+                return AdmissionAction::Grow;
+            }
+            return AdmissionAction::Hold;
+        }
+        // inside the band: neither shrink nor bank a clean tick
+        self.clean_ticks = 0;
+        AdmissionAction::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm_kpi() -> Vec<f64> {
+        vec![0.1, 0.9, 0.05, 0.05, 0.1]
+    }
+
+    fn stormy_kpi() -> Vec<f64> {
+        vec![0.5, 0.4, 0.3, 0.9, 0.8]
+    }
+
+    #[test]
+    fn shares_from_waitset_sum_and_zero() {
+        let mut w = WaitSet::default();
+        w.add(WaitClass::LockAcquire, 600, 3);
+        w.add(WaitClass::WalFsync, 200, 1);
+        w.add(WaitClass::GroupCommitFollower, 100, 1);
+        w.add(WaitClass::BufferMiss, 100, 2);
+        w.add(WaitClass::WriteConflictRetry, 0, 7);
+        let s = WaitShares::from_waits(&w);
+        assert!((s.lock - 0.6).abs() < 1e-9);
+        assert!((s.wal - 0.3).abs() < 1e-9);
+        assert!((s.io - 0.1).abs() < 1e-9);
+        assert_eq!(s.conflicts, 7);
+        assert_eq!(
+            WaitShares::from_waits(&WaitSet::default()),
+            WaitShares::default()
+        );
+    }
+
+    #[test]
+    fn storm_halves_until_floor() {
+        let mut t = AdmissionTuner::new(2, 64, 64);
+        let shares = WaitShares::default();
+        assert_eq!(
+            t.observe(&stormy_kpi(), &shares, 0.0),
+            AdmissionAction::Shrink
+        );
+        assert_eq!(t.limit(), 32);
+        for _ in 0..10 {
+            t.observe(&stormy_kpi(), &shares, 0.0);
+        }
+        assert_eq!(t.limit(), 2, "multiplicative decrease bottoms at the floor");
+        // at the floor the storm holds, it cannot shrink further
+        assert_eq!(
+            t.observe(&stormy_kpi(), &shares, 0.0),
+            AdmissionAction::Hold
+        );
+    }
+
+    #[test]
+    fn clean_windows_grow_additively_with_hysteresis() {
+        let mut t = AdmissionTuner::new(2, 64, 8);
+        let shares = WaitShares::default();
+        // first clean tick banks, second grows (patience = 2)
+        assert_eq!(t.observe(&calm_kpi(), &shares, 0.0), AdmissionAction::Hold);
+        assert_eq!(t.observe(&calm_kpi(), &shares, 0.0), AdmissionAction::Grow);
+        assert_eq!(t.limit(), 9);
+        // while load is being shed, a single clean tick is enough
+        assert_eq!(t.observe(&calm_kpi(), &shares, 0.25), AdmissionAction::Grow);
+        assert_eq!(t.limit(), 10);
+    }
+
+    #[test]
+    fn wait_share_alone_triggers_shrink() {
+        let mut t = AdmissionTuner::new(1, 32, 16);
+        let shares = WaitShares {
+            lock: 0.5,
+            wal: 0.4,
+            io: 0.1,
+            conflicts: 0,
+        };
+        // KPI vector looks calm; the wait profile says the engine is
+        // spending 90% of its blocked time on locks + WAL
+        assert_eq!(
+            t.observe(&calm_kpi(), &shares, 0.0),
+            AdmissionAction::Shrink
+        );
+        assert_eq!(t.limit(), 8);
+    }
+
+    #[test]
+    fn band_resets_hysteresis() {
+        let mut t = AdmissionTuner::new(1, 32, 16);
+        let shares = WaitShares::default();
+        let mid = vec![0.1, 0.9, 0.05, 0.45, 0.1]; // inside [0.3, 0.6]
+        assert_eq!(t.observe(&calm_kpi(), &shares, 0.0), AdmissionAction::Hold);
+        assert_eq!(t.observe(&mid, &shares, 0.0), AdmissionAction::Hold);
+        // the banked clean tick was reset by the in-band window
+        assert_eq!(t.observe(&calm_kpi(), &shares, 0.0), AdmissionAction::Hold);
+        assert_eq!(t.limit(), 16);
+    }
+
+    #[test]
+    fn limits_clamp_and_actuations_count() {
+        let mut t = AdmissionTuner::new(4, 8, 100);
+        assert_eq!(t.limit(), 8);
+        let shares = WaitShares::default();
+        t.observe(&stormy_kpi(), &shares, 0.0);
+        assert_eq!(t.limit(), 4);
+        t.observe(&calm_kpi(), &shares, 1.0);
+        assert_eq!(t.limit(), 5);
+        assert_eq!(t.actuations(), (1, 1));
+    }
+}

@@ -26,10 +26,12 @@
 
 use std::sync::Arc;
 
-use aimdb_bench::macro_report::{MacroReport, OltpRun};
+use aimdb_bench::macro_report::{MacroReport, OltpRun, ServerLife};
+use aimdb_bench::server_load::wire_payment;
 use aimdb_bench::{tpcc, tpch};
 use aimdb_common::wait;
 use aimdb_engine::Database;
+use aimdb_server::{Client, Server, ServerConfig};
 use aimdb_storage::{Disk, FaultInjector, FaultPlan, PageStore, TornMode};
 use aimdb_trace::{FlightKind, MetricsRegistry};
 use rand::{Rng, SeedableRng, StdRng};
@@ -37,6 +39,10 @@ use rand::{Rng, SeedableRng, StdRng};
 /// Post-mortem flight-recorder snapshot, written by the injector crash
 /// hook at the instant each scripted crash fires (CI uploads it).
 const FLIGHT_DUMP: &str = "BENCH_macro_flight.json";
+
+/// Same post-mortem for the server crash life: the storage dies under a
+/// live TCP server while wire clients are mid-transaction.
+const SERVER_FLIGHT_DUMP: &str = "BENCH_macro_server_flight.json";
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -363,10 +369,177 @@ fn analytics_phase(args: &Args) -> (tpch::TpchScale, Vec<tpch::QueryTiming>) {
     (scale, timings)
 }
 
+/// Drive wire payment transactions through `server` at `addr` until the
+/// scripted storage crash kills the statements (or the budget runs out).
+/// Returns committed wire transactions.
+fn drive_wire_mix(
+    addr: std::net::SocketAddr,
+    scale: &tpcc::TpccScale,
+    seed: u64,
+    threads: usize,
+    txns_per_thread: usize,
+    theta: f64,
+) -> u64 {
+    let committed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let committed = &committed;
+            s.spawn(move || {
+                let mut c = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return, // server already draining
+                };
+                let mut rng = StdRng::seed_from_u64(seed ^ (0xD1E + t as u64 * 0x9E3779B9));
+                let zipf = tpcc::Zipf::new(scale.districts() as usize, theta);
+                for _ in 0..txns_per_thread {
+                    match wire_payment(&mut c, scale, &mut rng, &zipf, 4) {
+                        Ok((true, _)) => {
+                            // ordering: Relaxed — statistics counter
+                            committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Ok((false, _)) => {}
+                        // a non-retryable error is the crash (or drain)
+                        // signal: the connection is done either way
+                        Err(_) => return,
+                    }
+                }
+                let _ = c.close();
+            });
+        }
+    });
+    committed.into_inner()
+}
+
+/// The server crash life (PR 10 satellite): kill the storage under a
+/// live TCP server mid-load, verify the flight-recorder post-mortem,
+/// recover, verify the TPC-C invariants, restart the server on the
+/// recovered database, replay wire load, and re-check the oracle.
+fn server_phase(args: &Args) -> ServerLife {
+    let scale = tpcc::TpccScale::smoke();
+    println!("macro_bench: server crash life — wire payments until the storage dies");
+    let disk = Arc::new(Disk::new());
+    let inj = Arc::new(FaultInjector::new(Arc::clone(&disk), FaultPlan::default()));
+    let db = Database::with_store(inj.clone() as Arc<dyn PageStore>);
+    if let Err(e) = tpcc::load(&db, &scale, args.seed.wrapping_add(7)) {
+        fail(&format!("server life load: {e}"));
+    }
+    if let Err(e) = db.checkpoint_now() {
+        fail(&format!("server life checkpoint: {e}"));
+    }
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5E17);
+    let threads = 2usize;
+    let txns_per_thread = if args.smoke { 80 } else { 300 };
+    let budget = (threads * txns_per_thread) as u64;
+    let crash_at = rng.gen_range(10u64..(budget / 3).max(20));
+    inj.arm(FaultPlan::crash_after(crash_at).with_torn_tail(TornMode::Prefix));
+    let flight = db.flight_recorder();
+    inj.set_crash_hook(move || {
+        flight.record(FlightKind::FaultInjected, 0, 0, 0);
+        let dump = flight.dump_json("server_crash_life").to_string_pretty();
+        let _ = std::fs::write(SERVER_FLIGHT_DUMP, dump + "\n");
+    });
+
+    let db = Arc::new(db);
+    let server = match Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            tuner_enabled: false,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("server life start: {e}")),
+    };
+    let committed_before = drive_wire_mix(
+        server.local_addr(),
+        &scale,
+        args.seed,
+        threads,
+        txns_per_thread,
+        args.zipf_theta,
+    );
+    let crashed = inj.crashed();
+    if !crashed {
+        fail("server life: the scripted crash never fired under wire load");
+    }
+    // the dying server must still drain and join cleanly
+    if let Err(e) = server.shutdown() {
+        fail(&format!("server life shutdown after crash: {e}"));
+    }
+    drop(db);
+    match std::fs::read_to_string(SERVER_FLIGHT_DUMP) {
+        Ok(text) => {
+            if let Err(e) = aimdb_common::json::Json::parse(&text) {
+                fail(&format!("server flight dump unparseable: {e}"));
+            }
+        }
+        Err(e) => fail(&format!("crash fired but no server flight dump: {e}")),
+    }
+
+    // Recover from the surviving disk and verify the oracle.
+    let inj2 = Arc::new(FaultInjector::new(Arc::clone(&disk), FaultPlan::default()));
+    let (rdb, _report) = match Database::recover(inj2 as Arc<dyn PageStore>) {
+        Ok(x) => x,
+        Err(e) => fail(&format!("server life recovery: {e}")),
+    };
+    if let Err(e) = tpcc::check_invariants(&rdb, &scale) {
+        fail(&format!(
+            "server life: invariants violated after recovery: {e}"
+        ));
+    }
+    let mut checks = 1u64;
+
+    // Restart the server on the recovered database and replay.
+    let rdb = Arc::new(rdb);
+    let server = match Server::start(
+        Arc::clone(&rdb),
+        ServerConfig {
+            tuner_enabled: false,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("server life restart: {e}")),
+    };
+    let replay_txns = if args.smoke { 20 } else { 60 };
+    let replayed = drive_wire_mix(
+        server.local_addr(),
+        &scale,
+        args.seed.wrapping_add(99),
+        threads,
+        replay_txns,
+        args.zipf_theta,
+    );
+    if replayed == 0 {
+        fail("server life: nothing committed through the restarted server");
+    }
+    if let Err(e) = server.shutdown() {
+        fail(&format!("server life final shutdown: {e}"));
+    }
+    if let Err(e) = tpcc::check_invariants(&rdb, &scale) {
+        fail(&format!(
+            "server life: invariants violated after replay: {e}"
+        ));
+    }
+    checks += 1;
+    println!(
+        "  crash fired at store op {crash_at} | {committed_before} wire txns before, \
+         {replayed} replayed after restart | {checks} oracle checks"
+    );
+    ServerLife {
+        crashed,
+        invariant_checks: checks,
+        committed_before,
+        replayed,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let (oltp_scale, oltp_runs) = oltp_phase(&args);
     let (tpch_scale, analytics) = analytics_phase(&args);
+    let server_life = server_phase(&args);
 
     let report = MacroReport {
         mode: if args.smoke { "smoke" } else { "full" },
@@ -377,6 +550,7 @@ fn main() {
         analytics_scale_rows: tpch_scale.approx_rows(),
         workers: WORKER_COUNTS.to_vec(),
         analytics,
+        server_life,
     };
     if let Err(e) = report.write(&args.out) {
         fail(&e);

@@ -13,6 +13,7 @@
 use std::fmt::Write as _;
 
 pub mod macro_report;
+pub mod server_load;
 pub mod tpcc;
 pub mod tpch;
 

@@ -25,7 +25,9 @@
 //!     "workers": [1, 2, 4, 8],
 //!     "queries": [{"name": "Q1_...", "rows": N,
 //!                  "secs": {"1": f, "2": f, "4": f, "8": f}}, ...]
-//!   }
+//!   },
+//!   "server_life": {"crashed": true, "invariant_checks": N,
+//!                   "committed_before": N, "replayed": N}
 //! }
 //! ```
 //!
@@ -58,6 +60,20 @@ pub struct OltpRun {
     pub wait_profile: Vec<(String, u64, u64)>,
 }
 
+/// The server crash life: kill the storage under a live TCP server
+/// mid-load, recover, restart the server and replay.
+#[derive(Debug, Clone)]
+pub struct ServerLife {
+    /// Whether the scripted crash actually fired under wire load.
+    pub crashed: bool,
+    /// TPC-C oracle passes (after recovery and after the replay).
+    pub invariant_checks: u64,
+    /// Wire transactions committed before the storage died.
+    pub committed_before: u64,
+    /// Wire transactions committed through the restarted server.
+    pub replayed: u64,
+}
+
 /// The whole report, rendered by [`MacroReport::to_json`].
 #[derive(Debug, Clone)]
 pub struct MacroReport {
@@ -69,6 +85,7 @@ pub struct MacroReport {
     pub analytics_scale_rows: i64,
     pub workers: Vec<usize>,
     pub analytics: Vec<QueryTiming>,
+    pub server_life: ServerLife,
 }
 
 impl MacroReport {
@@ -148,6 +165,21 @@ impl MacroReport {
                         Json::Arr(self.workers.iter().map(|w| Json::Num(*w as f64)).collect()),
                     ),
                     ("queries", Json::Arr(queries)),
+                ]),
+            ),
+            (
+                "server_life",
+                Json::obj(vec![
+                    ("crashed", Json::Bool(self.server_life.crashed)),
+                    (
+                        "invariant_checks",
+                        Json::Num(self.server_life.invariant_checks as f64),
+                    ),
+                    (
+                        "committed_before",
+                        Json::Num(self.server_life.committed_before as f64),
+                    ),
+                    ("replayed", Json::Num(self.server_life.replayed as f64)),
                 ]),
             ),
         ])

@@ -22,6 +22,11 @@
 //! derived from the acquisition chains the engine actually executes:
 //!
 //! ```text
+//! ServerAdmission(0) -> ServerSessions(1) the TCP front end sits above
+//!   |                                    the whole engine: the admission
+//!   v                                    gate and session registry are
+//!                                        acquired before any statement
+//!                                        reaches `Database`
 //! EngineClock(2) .. EngineHook(8)        leaf config RwLocks on Database;
 //!   |                                    stats.read() is held across
 //!   v                                    planning, which walks the catalog
@@ -70,6 +75,14 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u16)]
 pub enum LockRank {
+    /// `AdmissionGate::core` (server) — admit/queue/reject bookkeeping.
+    /// Acquired before anything else on the statement path; never held
+    /// across an engine call (the gate decides, then releases).
+    ServerAdmission = 0,
+    /// `Server::sessions` (server) — the live-connection registry.
+    /// Acquired after the admission gate on accept, before any engine
+    /// lock.
+    ServerSessions = 1,
     /// `Database::clock` — injectable time source.
     EngineClock = 2,
     /// `Database::stats` — table statistics; the read guard is held
@@ -152,7 +165,9 @@ pub enum LockRank {
 impl LockRank {
     /// Every rank, in ascending order. Drives the dense index used by
     /// the shim's per-rank contention counters.
-    pub const ALL: [LockRank; 29] = [
+    pub const ALL: [LockRank; 31] = [
+        LockRank::ServerAdmission,
+        LockRank::ServerSessions,
         LockRank::EngineClock,
         LockRank::EngineStats,
         LockRank::EngineEstimator,
@@ -193,6 +208,8 @@ impl LockRank {
     /// label of `aimdb_lock_contention_total`.
     pub const fn name(self) -> &'static str {
         match self {
+            LockRank::ServerAdmission => "server_admission",
+            LockRank::ServerSessions => "server_sessions",
             LockRank::EngineClock => "engine_clock",
             LockRank::EngineStats => "engine_stats",
             LockRank::EngineEstimator => "engine_estimator",

@@ -810,6 +810,23 @@ impl Database {
         self.wal.flush_count()
     }
 
+    /// Concurrent transaction handles currently in flight (sessions
+    /// between `begin_txn` and commit/rollback). The server's session
+    /// tests use this to prove a dropped connection released its
+    /// transaction.
+    pub fn active_txn_count(&self) -> usize {
+        self.runtime.active_count()
+    }
+
+    /// The MVCC vacuum horizon: every row version superseded at or
+    /// before this commit timestamp is reclaimable. Bounded by the
+    /// oldest registered reader or in-flight transaction snapshot, so it
+    /// advances only once those release — the observable signal that a
+    /// dead session's snapshot is truly gone.
+    pub fn vacuum_horizon(&self) -> CommitTs {
+        self.runtime.vacuum_horizon()
+    }
+
     /// A quantile from one of the engine's registry histograms, e.g.
     /// `metric_quantile(metrics::GROUP_COMMIT_BATCH, 0.5)` for the median
     /// group-commit batch size.

@@ -41,9 +41,25 @@ pub const KNOB_SPECS: &[KnobSpec] = &[
     KnobSpec {
         name: "max_connections",
         min: 1,
-        max: 1024,
+        max: 4096,
         default: 100,
-        description: "simulated concurrent session limit",
+        description: "concurrent session limit enforced by the server's admission gate",
+    },
+    KnobSpec {
+        name: "admission_max_statements",
+        min: 1,
+        max: 4096,
+        default: 64,
+        description: "statements allowed in the engine at once; excess queues then sheds \
+                      (actuated by the ai4db admission tuner)",
+    },
+    KnobSpec {
+        name: "admission_queue_timeout_ms",
+        min: 0,
+        max: 10_000,
+        default: 100,
+        description: "milliseconds a statement may wait at the admission gate before it is \
+                      rejected instead of queued",
     },
     KnobSpec {
         name: "wal_sync",

@@ -13,13 +13,13 @@
 //!   (`thread_rng`, `rand::random`, `from_entropy`, `SystemTime::now`,
 //!   `Instant::now`) in plan-affecting crates. Seeded RNGs and the
 //!   injectable clock in `aimdb-common` are the sanctioned sources.
-//! - **L003 — error hygiene**: public `engine`/`storage` functions must
-//!   not return `Result<_, String>` or `Box<dyn Error>`; the workspace
-//!   error type is `AimError`.
+//! - **L003 — error hygiene**: public `engine`/`storage`/`server`
+//!   functions must not return `Result<_, String>` or `Box<dyn Error>`;
+//!   the workspace error type is `AimError`.
 //! - **L004 — lock ranking**: every `Mutex::new` / `RwLock::new` in the
-//!   concurrency-bearing crates (`engine`, `storage`, `trace`) must be
-//!   `with_rank(value, LockRank::...)` instead, so the debug-build
-//!   lock-order witness can check the acquisition hierarchy.
+//!   concurrency-bearing crates (`engine`, `storage`, `trace`,
+//!   `server`) must be `with_rank(value, LockRank::...)` instead, so the
+//!   debug-build lock-order witness can check the acquisition hierarchy.
 //! - **L005 — atomic-ordering audit**: every `Ordering::Relaxed` /
 //!   `Acquire` / `Release` / `AcqRel` / `SeqCst` use site must carry an
 //!   adjacent `// ordering:` comment (same line or the line above)
@@ -136,12 +136,16 @@ pub fn rules_for_crate(crate_key: &str) -> Vec<Rule> {
     ) {
         rules.push(Rule::L002);
     }
-    // L003: the public engine/storage API surface.
-    if matches!(crate_key, "engine" | "storage") {
+    // L003: the public engine/storage API surface, plus the server's
+    // wire-facing API (error frames are AimError-derived, so stringly
+    // errors would lose the category tag clients dispatch on).
+    if matches!(crate_key, "engine" | "storage" | "server") {
         rules.push(Rule::L003);
     }
     // L004: crates whose locks participate in the global lock hierarchy.
-    if matches!(crate_key, "engine" | "storage" | "trace") {
+    // The server front end holds its gate/registry locks below every
+    // engine rank, so it joins the witnessed set.
+    if matches!(crate_key, "engine" | "storage" | "trace" | "server") {
         rules.push(Rule::L004);
     }
     // L005: every crate with raw atomics (the shims document their own).

@@ -1,0 +1,158 @@
+//! A minimal blocking client for tests and the load generator.
+//!
+//! One statement in flight per connection (the protocol is strictly
+//! request/response). Engine errors arrive as [`WireError`] frames and
+//! are surfaced as reconstructed [`AimError`]s, so client-side retry
+//! loops can keep keying off [`AimError::is_retryable`]. Admission sheds
+//! arrive as a distinct [`Outcome::Shed`] — they are back-pressure, not
+//! failures, and the load generator counts them separately.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use aimdb_common::{AimError, Result, Value};
+use aimdb_engine::QueryResult;
+
+use crate::protocol::{self, Frame, FrameKind};
+
+/// One statement's outcome over the wire.
+#[derive(Debug)]
+pub enum Outcome {
+    /// The statement ran; the decoded result plus the *exact payload
+    /// bytes* the server sent (for bit-identity checks).
+    Ok(QueryResult, Vec<u8>),
+    /// The admission gate shed the statement; the connection is fine.
+    Shed(String),
+}
+
+impl Outcome {
+    /// Unwrap the result, treating a shed as an error (tests that do
+    /// not exercise overload use this).
+    pub fn expect_result(self) -> Result<(QueryResult, Vec<u8>)> {
+        match self {
+            Outcome::Ok(r, bytes) => Ok((r, bytes)),
+            Outcome::Shed(reason) => Err(AimError::Execution(format!(
+                "statement shed by admission control: {reason}"
+            ))),
+        }
+    }
+}
+
+/// A connected, handshaken client.
+pub struct Client {
+    stream: TcpStream,
+    session_id: u64,
+}
+
+impl Client {
+    /// Connect and handshake. Fails with an `execution` error carrying
+    /// the server's reason if the session itself is rejected.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| AimError::Storage(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| AimError::Storage(format!("set_nodelay: {e}")))?;
+        // generous safety net so a dead server cannot hang a test run
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .map_err(|e| AimError::Storage(format!("set_read_timeout: {e}")))?;
+        let mut client = Client {
+            stream,
+            session_id: 0,
+        };
+        client.send(FrameKind::Hello, protocol::encode_hello())?;
+        let reply = client.read_reply()?;
+        match reply.kind {
+            FrameKind::HelloOk => {
+                let (_version, sid) = protocol::decode_hello_ok(&reply.payload)?;
+                client.session_id = sid;
+                Ok(client)
+            }
+            FrameKind::Rejected => {
+                let (_stmt_scope, reason) = protocol::decode_rejected(&reply.payload)?;
+                Err(AimError::Execution(format!("session rejected: {reason}")))
+            }
+            FrameKind::Error => Err(protocol::decode_error(&reply.payload)?.to_aim()),
+            other => Err(AimError::InvalidInput(format!(
+                "handshake: unexpected frame kind {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Run one SQL statement.
+    pub fn query(&mut self, sql: &str) -> Result<Outcome> {
+        self.send(FrameKind::Query, sql.as_bytes().to_vec())?;
+        self.statement_reply()
+    }
+
+    /// Run one SQL statement, erroring on an admission shed.
+    pub fn query_ok(&mut self, sql: &str) -> Result<QueryResult> {
+        Ok(self.query(sql)?.expect_result()?.0)
+    }
+
+    /// Register a named prepared statement.
+    pub fn parse(&mut self, name: &str, sql: &str) -> Result<()> {
+        self.send(FrameKind::Parse, protocol::encode_parse(name, sql))?;
+        match self.statement_reply()? {
+            Outcome::Ok(_, _) => Ok(()),
+            Outcome::Shed(reason) => Err(AimError::Execution(format!(
+                "parse shed by admission control: {reason}"
+            ))),
+        }
+    }
+
+    /// Bind and execute a prepared statement.
+    pub fn execute(&mut self, name: &str, params: &[Value]) -> Result<Outcome> {
+        self.send(FrameKind::Execute, protocol::encode_execute(name, params))?;
+        self.statement_reply()
+    }
+
+    /// Graceful goodbye: Close, await Bye.
+    pub fn close(mut self) -> Result<()> {
+        self.send(FrameKind::Close, Vec::new())?;
+        let reply = self.read_reply()?;
+        match reply.kind {
+            FrameKind::Bye => Ok(()),
+            other => Err(AimError::InvalidInput(format!(
+                "close: expected Bye, got {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+
+    fn send(&mut self, kind: FrameKind, payload: Vec<u8>) -> Result<()> {
+        protocol::write_frame(&mut self.stream, &Frame::new(kind, payload))
+    }
+
+    fn read_reply(&mut self) -> Result<Frame> {
+        protocol::read_frame(&mut self.stream)?
+            .ok_or_else(|| AimError::Storage("wire: server closed the connection".into()))
+    }
+
+    fn statement_reply(&mut self) -> Result<Outcome> {
+        let reply = self.read_reply()?;
+        match reply.kind {
+            FrameKind::Result => {
+                let r = protocol::decode_result(&reply.payload)?;
+                Ok(Outcome::Ok(r, reply.payload))
+            }
+            FrameKind::Error => Err(protocol::decode_error(&reply.payload)?.to_aim()),
+            FrameKind::Rejected => {
+                let (_stmt_scope, reason) = protocol::decode_rejected(&reply.payload)?;
+                Ok(Outcome::Shed(reason))
+            }
+            FrameKind::Bye => Err(AimError::Storage("wire: server is shutting down".into())),
+            other => Err(AimError::InvalidInput(format!(
+                "wire: unexpected reply kind {:#04x}",
+                other as u8
+            ))),
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! ## Frame grammar
+//!
+//! ```text
+//! frame      := kind:u8 len:u32le payload:[u8; len]        len <= 1 MiB
+//!
+//! client →
+//!   Hello    0x01   magic:"aimw" version:u16le
+//!   Query    0x02   sql:utf8
+//!   Parse    0x03   name:utf8 0x00 sql:utf8       (sql may hold ? params)
+//!   Execute  0x04   name:utf8 0x00 nparams:u16le value*
+//!   Close    0x05   (empty)                       graceful goodbye
+//!
+//! server →
+//!   HelloOk  0x81   version:u16le session_id:u64le
+//!   Result   0x82   result                        (see below)
+//!   Error    0x83   retryable:u8 category:utf8 0x00 message:utf8
+//!   Bye      0x84   (empty)                       sent before close
+//!   Rejected 0x85   scope:u8 reason:utf8          admission shed
+//!                   (scope 0 = session, 1 = statement)
+//!
+//! result     := 0x00 schema nrows:u32le row*      rows
+//!             | 0x01 affected:u64le               DML count
+//!             | 0x02 text:utf8                    informational
+//! schema     := ncols:u16le column*
+//! column     := name:utf8 0x00 dtype:u8 nullable:u8
+//!               (dtype 1 = INT, 2 = FLOAT, 3 = TEXT, 4 = BOOL)
+//! row        := nvals:u32le value*
+//! value      := 0x00                              NULL
+//!             | 0x01 i64le | 0x02 f64-bits-le
+//!             | 0x03 len:u32le utf8 | 0x04 bool:u8
+//! ```
+//!
+//! Everything is deterministic: encoding the same [`QueryResult`] yields
+//! the same bytes, which is what lets the load generator assert
+//! bit-identical results between in-process and over-the-wire execution.
+//!
+//! This module is pure parsing/serialization over `Read`/`Write` — no
+//! sockets, no sessions — so the fuzz suite can drive it byte-by-byte.
+//! Malformed input maps to [`AimError::InvalidInput`] (frame-level) or
+//! [`AimError::Parse`] (payload-level); oversized lengths are rejected
+//! before any allocation of that size happens.
+
+use std::io::{Read, Write};
+
+use aimdb_common::{AimError, Column, DataType, Result, Row, Schema, Value};
+use aimdb_engine::QueryResult;
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u16 = 1;
+/// Handshake magic — first bytes a client must send.
+pub const MAGIC: &[u8; 4] = b"aimw";
+/// Hard cap on a frame payload; larger lengths are a protocol error
+/// (and are rejected *before* allocating).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Frame type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Hello = 0x01,
+    Query = 0x02,
+    Parse = 0x03,
+    Execute = 0x04,
+    Close = 0x05,
+    HelloOk = 0x81,
+    Result = 0x82,
+    Error = 0x83,
+    Bye = 0x84,
+    Rejected = 0x85,
+}
+
+impl FrameKind {
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Some(match b {
+            0x01 => FrameKind::Hello,
+            0x02 => FrameKind::Query,
+            0x03 => FrameKind::Parse,
+            0x04 => FrameKind::Execute,
+            0x05 => FrameKind::Close,
+            0x81 => FrameKind::HelloOk,
+            0x82 => FrameKind::Result,
+            0x83 => FrameKind::Error,
+            0x84 => FrameKind::Bye,
+            0x85 => FrameKind::Rejected,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+}
+
+fn io_err(op: &str, e: &std::io::Error) -> AimError {
+    AimError::Storage(format!("wire {op}: {e}"))
+}
+
+/// Write one frame. The header and payload go out in a single `write_all`
+/// so a concurrent reader never observes a torn header.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    let mut buf = Vec::with_capacity(5 + frame.payload.len());
+    buf.push(frame.kind as u8);
+    buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf).map_err(|e| io_err("write", &e))?;
+    w.flush().map_err(|e| io_err("flush", &e))
+}
+
+/// Read exactly `n` bytes, mapping EOF mid-object to a structured error.
+/// Returns `Ok(None)` on clean EOF at an object boundary when
+/// `at_boundary` is set.
+fn read_exact_opt(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(AimError::InvalidInput(format!(
+                    "wire: EOF after {filled} of {} bytes",
+                    buf.len()
+                )));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read", &e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary. Unknown frame kinds and oversized lengths are
+/// [`AimError::InvalidInput`]; short reads inside a frame likewise.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>> {
+    let mut header = [0u8; 5];
+    if !read_exact_opt(r, &mut header, true)? {
+        return Ok(None);
+    }
+    let kind = FrameKind::from_u8(header[0]).ok_or_else(|| {
+        AimError::InvalidInput(format!("wire: unknown frame kind {:#04x}", header[0]))
+    })?;
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME {
+        return Err(AimError::InvalidInput(format!(
+            "wire: frame length {len} exceeds the {MAX_FRAME}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_opt(r, &mut payload, false)?;
+    Ok(Some(Frame { kind, payload }))
+}
+
+// ---------------------------------------------------------------- payloads
+
+/// Encode the Hello payload.
+pub fn encode_hello() -> Vec<u8> {
+    let mut out = Vec::with_capacity(6);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out
+}
+
+/// Validate a Hello payload, returning the client's protocol version.
+pub fn decode_hello(payload: &[u8]) -> Result<u16> {
+    if payload.len() != 6 || &payload[..4] != MAGIC {
+        return Err(AimError::Parse("hello: bad magic".into()));
+    }
+    Ok(u16::from_le_bytes([payload[4], payload[5]]))
+}
+
+/// Encode the HelloOk payload.
+pub fn encode_hello_ok(session_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&session_id.to_le_bytes());
+    out
+}
+
+/// Decode a HelloOk payload into `(version, session_id)`.
+pub fn decode_hello_ok(payload: &[u8]) -> Result<(u16, u64)> {
+    if payload.len() != 10 {
+        return Err(AimError::Parse("hello_ok: bad length".into()));
+    }
+    let version = u16::from_le_bytes([payload[0], payload[1]]);
+    let mut id = [0u8; 8];
+    id.copy_from_slice(&payload[2..]);
+    Ok((version, u64::from_le_bytes(id)))
+}
+
+/// Encode a Parse payload (`name NUL sql`).
+pub fn encode_parse(name: &str, sql: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.len() + 1 + sql.len());
+    out.extend_from_slice(name.as_bytes());
+    out.push(0);
+    out.extend_from_slice(sql.as_bytes());
+    out
+}
+
+/// Decode a Parse payload into `(name, sql)`.
+pub fn decode_parse(payload: &[u8]) -> Result<(String, String)> {
+    let nul = payload
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| AimError::Parse("parse: missing name terminator".into()))?;
+    let name = utf8(&payload[..nul], "statement name")?;
+    let sql = utf8(&payload[nul + 1..], "sql")?;
+    if name.is_empty() {
+        return Err(AimError::Parse("parse: empty statement name".into()));
+    }
+    Ok((name, sql))
+}
+
+/// Encode an Execute payload (`name NUL nparams value*`).
+pub fn encode_execute(name: &str, params: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(name.len() + 3 + params.len() * 9);
+    out.extend_from_slice(name.as_bytes());
+    out.push(0);
+    out.extend_from_slice(&(params.len() as u16).to_le_bytes());
+    for v in params {
+        encode_value(&mut out, v);
+    }
+    out
+}
+
+/// Decode an Execute payload into `(name, params)`.
+pub fn decode_execute(payload: &[u8]) -> Result<(String, Vec<Value>)> {
+    let nul = payload
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| AimError::Parse("execute: missing name terminator".into()))?;
+    let name = utf8(&payload[..nul], "statement name")?;
+    let rest = &payload[nul + 1..];
+    if rest.len() < 2 {
+        return Err(AimError::Parse("execute: missing parameter count".into()));
+    }
+    let n = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+    let mut at = 2;
+    let mut params = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let (v, used) = decode_value(&rest[at..])?;
+        params.push(v);
+        at += used;
+    }
+    if at != rest.len() {
+        return Err(AimError::Parse(format!(
+            "execute: {} trailing bytes after parameters",
+            rest.len() - at
+        )));
+    }
+    Ok((name, params))
+}
+
+/// Encode an Error payload from an [`AimError`].
+pub fn encode_error(e: &AimError) -> Vec<u8> {
+    let category = e.category();
+    let msg = e.to_string();
+    let mut out = Vec::with_capacity(2 + category.len() + msg.len());
+    out.push(u8::from(e.is_retryable()));
+    out.extend_from_slice(category.as_bytes());
+    out.push(0);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// A decoded server error frame: the [`AimError::category`] tag, the
+/// rendered message, and whether the statement is retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub retryable: bool,
+    pub category: String,
+    pub message: String,
+}
+
+impl WireError {
+    /// Reconstruct the nearest [`AimError`] variant from the category
+    /// tag, so client-side retry logic (`is_retryable`) keeps working
+    /// across the wire.
+    pub fn to_aim(&self) -> AimError {
+        let m = self.message.clone();
+        match self.category.as_str() {
+            "parse" => AimError::Parse(m),
+            "not_found" => AimError::NotFound(m),
+            "already_exists" => AimError::AlreadyExists(m),
+            "type_mismatch" => AimError::TypeMismatch(m),
+            "plan" => AimError::Plan(m),
+            "storage" => AimError::Storage(m),
+            "txn_aborted" => AimError::TxnAborted(m),
+            "write_conflict" => AimError::WriteConflict(m),
+            "nested_txn" => AimError::NestedTxn(m),
+            "model" => AimError::Model(m),
+            "invalid_input" => AimError::InvalidInput(m),
+            "lock_order" => AimError::LockOrder(m),
+            _ => AimError::Execution(m),
+        }
+    }
+}
+
+/// Decode an Error payload.
+pub fn decode_error(payload: &[u8]) -> Result<WireError> {
+    if payload.len() < 2 {
+        return Err(AimError::Parse("error frame: too short".into()));
+    }
+    let retryable = payload[0] != 0;
+    let rest = &payload[1..];
+    let nul = rest
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| AimError::Parse("error frame: missing category terminator".into()))?;
+    Ok(WireError {
+        retryable,
+        category: utf8(&rest[..nul], "category")?,
+        message: utf8(&rest[nul + 1..], "message")?,
+    })
+}
+
+/// Encode a Rejected payload. `statement_scope` distinguishes a shed
+/// statement (connection stays up) from a refused session.
+pub fn encode_rejected(statement_scope: bool, reason: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + reason.len());
+    out.push(u8::from(statement_scope));
+    out.extend_from_slice(reason.as_bytes());
+    out
+}
+
+/// Decode a Rejected payload into `(statement_scope, reason)`.
+pub fn decode_rejected(payload: &[u8]) -> Result<(bool, String)> {
+    if payload.is_empty() {
+        return Err(AimError::Parse("rejected frame: empty".into()));
+    }
+    Ok((payload[0] != 0, utf8(&payload[1..], "reason")?))
+}
+
+// ---------------------------------------------------------------- results
+
+fn dtype_tag(t: DataType) -> u8 {
+    match t {
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Text => 3,
+        DataType::Bool => 4,
+    }
+}
+
+fn dtype_from_tag(b: u8) -> Result<DataType> {
+    Ok(match b {
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Text,
+        4 => DataType::Bool,
+        other => return Err(AimError::Parse(format!("schema: unknown dtype {other}"))),
+    })
+}
+
+/// Deterministically encode a [`QueryResult`].
+pub fn encode_result(r: &QueryResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    match r {
+        QueryResult::Rows { schema, rows } => {
+            out.push(0x00);
+            out.extend_from_slice(&(schema.len() as u16).to_le_bytes());
+            for col in schema.columns() {
+                out.extend_from_slice(col.name.as_bytes());
+                out.push(0);
+                out.push(dtype_tag(col.data_type));
+                out.push(u8::from(col.nullable));
+            }
+            out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+            for row in rows {
+                let values = row.values();
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    encode_value(&mut out, v);
+                }
+            }
+        }
+        QueryResult::Affected(n) => {
+            out.push(0x01);
+            out.extend_from_slice(&(*n as u64).to_le_bytes());
+        }
+        QueryResult::Text(t) => {
+            out.push(0x02);
+            out.extend_from_slice(t.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a Result payload back into a [`QueryResult`].
+pub fn decode_result(payload: &[u8]) -> Result<QueryResult> {
+    let Some((&tag, rest)) = payload.split_first() else {
+        return Err(AimError::Parse("result: empty payload".into()));
+    };
+    match tag {
+        0x00 => {
+            if rest.len() < 2 {
+                return Err(AimError::Parse("result: missing column count".into()));
+            }
+            let ncols = u16::from_le_bytes([rest[0], rest[1]]) as usize;
+            let mut at = 2;
+            let mut columns = Vec::with_capacity(ncols.min(256));
+            for _ in 0..ncols {
+                let nul = rest[at..]
+                    .iter()
+                    .position(|&b| b == 0)
+                    .ok_or_else(|| AimError::Parse("schema: unterminated column name".into()))?;
+                let name = utf8(&rest[at..at + nul], "column name")?;
+                at += nul + 1;
+                if rest.len() < at + 2 {
+                    return Err(AimError::Parse("schema: truncated column meta".into()));
+                }
+                let data_type = dtype_from_tag(rest[at])?;
+                let nullable = rest[at + 1] != 0;
+                at += 2;
+                let col = Column::new(name, data_type);
+                columns.push(if nullable { col } else { col.not_null() });
+            }
+            let schema = Schema::new(columns);
+            if rest.len() < at + 4 {
+                return Err(AimError::Parse("result: missing row count".into()));
+            }
+            let nrows =
+                u32::from_le_bytes([rest[at], rest[at + 1], rest[at + 2], rest[at + 3]]) as usize;
+            at += 4;
+            let mut rows = Vec::with_capacity(nrows.min(1024));
+            for _ in 0..nrows {
+                if rest.len() < at + 4 {
+                    return Err(AimError::Parse("result: truncated row header".into()));
+                }
+                let nvals = u32::from_le_bytes([rest[at], rest[at + 1], rest[at + 2], rest[at + 3]])
+                    as usize;
+                at += 4;
+                let mut values = Vec::with_capacity(nvals.min(256));
+                for _ in 0..nvals {
+                    let (v, used) = decode_value(&rest[at..])?;
+                    values.push(v);
+                    at += used;
+                }
+                rows.push(Row::new(values));
+            }
+            if at != rest.len() {
+                return Err(AimError::Parse("result: trailing bytes after rows".into()));
+            }
+            Ok(QueryResult::Rows { schema, rows })
+        }
+        0x01 => {
+            if rest.len() != 8 {
+                return Err(AimError::Parse("result: bad affected length".into()));
+            }
+            let mut n = [0u8; 8];
+            n.copy_from_slice(rest);
+            Ok(QueryResult::Affected(u64::from_le_bytes(n) as usize))
+        }
+        0x02 => Ok(QueryResult::Text(utf8(rest, "text result")?)),
+        other => Err(AimError::Parse(format!("result: unknown tag {other:#04x}"))),
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Int(i) => {
+            out.push(0x01);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(0x02);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Text(t) => {
+            out.push(0x03);
+            out.extend_from_slice(&(t.len() as u32).to_le_bytes());
+            out.extend_from_slice(t.as_bytes());
+        }
+        Value::Bool(b) => {
+            out.push(0x04);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+/// Decode one value, returning it and the bytes consumed.
+fn decode_value(bytes: &[u8]) -> Result<(Value, usize)> {
+    let Some((&tag, rest)) = bytes.split_first() else {
+        return Err(AimError::Parse("value: truncated tag".into()));
+    };
+    match tag {
+        0x00 => Ok((Value::Null, 1)),
+        0x01 => {
+            let b = fixed::<8>(rest, "int")?;
+            Ok((Value::Int(i64::from_le_bytes(b)), 9))
+        }
+        0x02 => {
+            let b = fixed::<8>(rest, "float")?;
+            Ok((Value::Float(f64::from_bits(u64::from_le_bytes(b))), 9))
+        }
+        0x03 => {
+            let b = fixed::<4>(rest, "text length")?;
+            let len = u32::from_le_bytes(b) as usize;
+            if len > MAX_FRAME {
+                return Err(AimError::Parse(format!(
+                    "value: text length {len} too large"
+                )));
+            }
+            if rest.len() < 4 + len {
+                return Err(AimError::Parse("value: truncated text".into()));
+            }
+            Ok((Value::Text(utf8(&rest[4..4 + len], "text value")?), 5 + len))
+        }
+        0x04 => {
+            let b = fixed::<1>(rest, "bool")?;
+            Ok((Value::Bool(b[0] != 0), 2))
+        }
+        other => Err(AimError::Parse(format!("value: unknown tag {other:#04x}"))),
+    }
+}
+
+fn fixed<const N: usize>(bytes: &[u8], what: &str) -> Result<[u8; N]> {
+    if bytes.len() < N {
+        return Err(AimError::Parse(format!("value: truncated {what}")));
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&bytes[..N]);
+    Ok(out)
+}
+
+fn utf8(bytes: &[u8], what: &str) -> Result<String> {
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| AimError::Parse(format!("wire: {what} is not valid UTF-8")))
+}
+
+/// Render a [`Value`] as a SQL literal for parameter substitution.
+/// Strings escape embedded quotes by doubling, matching the
+/// fingerprint normalizer's understanding of string literals.
+pub fn value_to_sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            // keep a decimal point so the engine parses a float back
+            if f.fract() == 0.0 && f.is_finite() {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        Value::Text(t) => format!("'{}'", t.replace('\'', "''")),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        let f = Frame::new(FrameKind::Query, b"SELECT 1".to_vec());
+        write_frame(&mut buf, &f).expect("write");
+        let got = read_frame(&mut buf.as_slice())
+            .expect("read")
+            .expect("frame");
+        assert_eq!(got, f);
+        // clean EOF at a boundary
+        assert!(read_frame(&mut (&buf[..0])).expect("eof").is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_structured_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::new(FrameKind::Query, vec![1, 2, 3])).expect("write");
+        // truncate inside the payload
+        let e = read_frame(&mut (&buf[..6])).expect_err("truncated");
+        assert_eq!(e.category(), "invalid_input");
+        // oversized declared length
+        let mut huge = vec![FrameKind::Query as u8];
+        huge.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let e = read_frame(&mut huge.as_slice()).expect_err("oversized");
+        assert_eq!(e.category(), "invalid_input");
+        // unknown kind
+        let unk = [0x7fu8, 0, 0, 0, 0];
+        let e = read_frame(&mut unk.as_slice()).expect_err("unknown kind");
+        assert_eq!(e.category(), "invalid_input");
+    }
+
+    #[test]
+    fn hello_roundtrip_and_bad_magic() {
+        assert_eq!(
+            decode_hello(&encode_hello()).expect("hello"),
+            PROTOCOL_VERSION
+        );
+        assert!(decode_hello(b"nope12").is_err());
+        let (v, sid) = decode_hello_ok(&encode_hello_ok(42)).expect("hello_ok");
+        assert_eq!((v, sid), (PROTOCOL_VERSION, 42));
+    }
+
+    #[test]
+    fn parse_execute_roundtrip() {
+        let p = encode_parse("get_user", "SELECT v FROM kv WHERE k = ?");
+        let (name, sql) = decode_parse(&p).expect("parse");
+        assert_eq!(name, "get_user");
+        assert_eq!(sql, "SELECT v FROM kv WHERE k = ?");
+        let params = vec![
+            Value::Int(-7),
+            Value::Text("o'brien".into()),
+            Value::Null,
+            Value::Float(1.5),
+            Value::Bool(true),
+        ];
+        let e = encode_execute("get_user", &params);
+        let (name, got) = decode_execute(&e).expect("execute");
+        assert_eq!(name, "get_user");
+        assert_eq!(got, params);
+    }
+
+    #[test]
+    fn result_roundtrip_is_bit_identical() {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int).not_null(),
+            Column::new("note", DataType::Text),
+            Column::new("score", DataType::Float),
+        ]);
+        let r = QueryResult::Rows {
+            schema,
+            rows: vec![
+                Row::new(vec![Value::Int(1), Value::Text("a".into()), Value::Null]),
+                Row::new(vec![Value::Float(2.25), Value::Bool(false), Value::Int(-9)]),
+            ],
+        };
+        let enc = encode_result(&r);
+        let dec = decode_result(&enc).expect("decode");
+        assert_eq!(encode_result(&dec), enc);
+        let a = QueryResult::Affected(12);
+        assert_eq!(
+            encode_result(&decode_result(&encode_result(&a)).expect("affected")),
+            encode_result(&a)
+        );
+        let t = QueryResult::Text("set x = 1".into());
+        assert_eq!(
+            encode_result(&decode_result(&encode_result(&t)).expect("text")),
+            encode_result(&t)
+        );
+    }
+
+    #[test]
+    fn error_frame_carries_category_and_retryability() {
+        let e = AimError::WriteConflict("row 5".into());
+        let w = decode_error(&encode_error(&e)).expect("decode");
+        assert!(w.retryable);
+        assert_eq!(w.category, "write_conflict");
+        assert!(w.message.contains("row 5"));
+        let e = AimError::Parse("bad token".into());
+        let w = decode_error(&encode_error(&e)).expect("decode");
+        assert!(!w.retryable);
+        assert_eq!(w.category, "parse");
+    }
+
+    #[test]
+    fn sql_literals_escape() {
+        assert_eq!(
+            value_to_sql_literal(&Value::Text("o'brien".into())),
+            "'o''brien'"
+        );
+        assert_eq!(value_to_sql_literal(&Value::Null), "NULL");
+        assert_eq!(value_to_sql_literal(&Value::Int(-3)), "-3");
+        assert_eq!(value_to_sql_literal(&Value::Float(2.0)), "2.0");
+    }
+
+    #[test]
+    fn malformed_payloads_never_panic() {
+        // decode_* over random-ish truncations must return Err, not panic
+        let enc = encode_execute("s", &[Value::Int(1), Value::Text("abc".into())]);
+        for cut in 0..enc.len() {
+            let _ = decode_execute(&enc[..cut]);
+        }
+        let res = encode_result(&QueryResult::Rows {
+            schema: Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Text)]),
+            rows: vec![Row::new(vec![Value::Int(1), Value::Text("abc".into())])],
+        });
+        for cut in 0..res.len() {
+            let _ = decode_result(&res[..cut]);
+        }
+    }
+}

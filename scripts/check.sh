@@ -67,8 +67,18 @@ run cargo run -q --release -p aimdb-bench --bin exec_bench -- --parallel --smoke
 # TPC-style macro benchmark smoke: seeded OLTP mix with a mid-run
 # crash→recover life and TPC-C consistency invariants at 1/2/4/8
 # writers, then the 12-query analytics family at 1/2/4/8 workers with
-# cross-worker fingerprints required identical; writes BENCH_macro.json
+# cross-worker fingerprints required identical, then the server crash
+# life (storage dies under a live TCP server, recover, restart, replay);
+# writes BENCH_macro.json
 run cargo run -q --release -p aimdb-bench --bin macro_bench -- --smoke
+# wire-protocol conformance + fuzz: seeded random byte streams, truncated
+# and oversized frames, frames split across tiny writes — structured
+# errors or clean disconnects, never a panic or hang
+run cargo test -q -p aimdb-server --test protocol
+# serving-layer load smoke: seeded statement stream byte-identical over
+# the wire vs in-process, 64 concurrent sessions held open, and the
+# admission gate shedding under overload; writes BENCH_server.json
+run cargo run -q --release -p aimdb-bench --bin load_bench -- --smoke
 # observability demo: EXPLAIN ANALYZE tree, metrics page (asserts the
 # exposition format parses via validate_exposition), trace ring,
 # slow-query log — fails on any assertion
